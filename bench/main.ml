@@ -1,0 +1,261 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Figures 2-4 and the fourth, text-only server-count experiment)
+   and runs Bechamel micro-benchmarks of the concurrency-control hot paths
+   that make up the "added overhead of the ACC".
+
+   Usage:  main.exe [all|fig2|fig3|fig4|servers|micro|quick] *)
+
+module Experiment = Acc_harness.Experiment
+module Figures = Acc_harness.Figures
+
+let ppf = Format.std_formatter
+
+let check_consistency fig =
+  let v = Figures.consistency_violations fig in
+  if v > 0 then Format.fprintf ppf "!! %d consistency violations (semantic correctness broken)@." v
+  else Format.fprintf ppf "consistency: all runs ended in a consistent database@."
+
+(* fig3 and fig4 share fig2's standard sweep; run it once *)
+let run_figures ~quick =
+  let settings = Experiment.default_settings in
+  let fig2 = Figures.fig2 ~quick settings in
+  Figures.render ppf fig2;
+  check_consistency fig2;
+  let std_series = List.find (fun s -> s.Figures.name = "standard") fig2.Figures.series in
+  let fig3 =
+    let computed = Figures.fig3 ~quick settings in
+    {
+      computed with
+      Figures.series =
+        (match computed.Figures.series with
+        | [ _without; with_compute ] ->
+            [ { std_series with Figures.name = "w/o compute time" }; with_compute ]
+        | other -> other);
+    }
+  in
+  Figures.render ppf fig3;
+  check_consistency fig3;
+  let fig4 = { (Figures.fig4 ~quick settings) with Figures.series = [ std_series ] } in
+  Figures.render ppf fig4;
+  let servers = Figures.servers ~quick settings in
+  Figures.render ppf servers;
+  check_consistency servers;
+  let items = Figures.items ~quick settings in
+  Figures.render ppf items;
+  check_consistency items;
+  let ablation = Figures.ablation ~quick settings in
+  Figures.render ppf ablation;
+  check_consistency ablation
+
+let run_one ~quick id =
+  let settings = Experiment.default_settings in
+  let fig =
+    match id with
+    | "fig2" -> Figures.fig2 ~quick settings
+    | "fig3" -> Figures.fig3 ~quick settings
+    | "fig4" -> Figures.fig4 ~quick settings
+    | "servers" -> Figures.servers ~quick settings
+    | "ablation" -> Figures.ablation ~quick settings
+    | "items" -> Figures.items ~quick settings
+    | _ -> invalid_arg "unknown figure"
+  in
+  Figures.render ppf fig;
+  check_consistency fig
+
+(* ---------- micro-benchmarks ------------------------------------------- *)
+
+module Value = Acc_relation.Value
+module Schema = Acc_relation.Schema
+module Table = Acc_relation.Table
+module Database = Acc_relation.Database
+module Mode = Acc_lock.Mode
+module Lock_table = Acc_lock.Lock_table
+module Resource_id = Acc_lock.Resource_id
+module Executor = Acc_txn.Executor
+module Schedule = Acc_txn.Schedule
+module Program = Acc_core.Program
+module Runtime = Acc_core.Runtime
+
+let bench_schema =
+  Schema.make ~name:"t" ~key:[ "id" ] [ Schema.col "id" Value.Tint; Schema.col "v" Value.Tint ]
+
+let bench_db () =
+  let db = Database.create () in
+  let t = Database.create_table db bench_schema in
+  for i = 1 to 1000 do
+    Table.insert t [| Value.Int i; Value.Int 0 |]
+  done;
+  db
+
+let micro_tests () =
+  let open Bechamel in
+  let res i = Resource_id.Tuple ("t", [ Value.Int i ]) in
+  (* conventional lock round trip *)
+  let plain_locks = Lock_table.create Mode.no_semantics in
+  let t_lock =
+    Test.make ~name:"lock: S acquire+release"
+      (Staged.stage (fun () ->
+           ignore (Lock_table.request plain_locks ~txn:1 ~step_type:0 Mode.S (res 1));
+           ignore (Lock_table.release plain_locks ~txn:1 Mode.S (res 1))))
+  in
+  (* assertional conflict check on the grant path: X against a held,
+     non-interfering assertional lock *)
+  let sem = Acc_tpcc.Txns.semantics in
+  let a_locks = Lock_table.create sem in
+  Lock_table.attach a_locks ~txn:99 ~step_type:0 (Mode.A 3) (res 2);
+  let t_alock =
+    Test.make ~name:"lock: X grant past foreign A (table lookup)"
+      (Staged.stage (fun () ->
+           ignore (Lock_table.request a_locks ~txn:1 ~step_type:13 Mode.X (res 2));
+           ignore (Lock_table.release a_locks ~txn:1 Mode.X (res 2))))
+  in
+  (* the §3.2 comparator: predicate-lock conflict checking is a run-time
+     intersection test per held lock, vs the ACC's precomputed lookup *)
+  let module Predicate = Acc_relation.Predicate in
+  let module Predicate_lock = Acc_lock.Predicate_lock in
+  let range c lo hi =
+    Predicate.And
+      ( Predicate.Cmp (Predicate.Ge, c, Value.Int lo),
+        Predicate.Cmp (Predicate.Le, c, Value.Int hi) )
+  in
+  let p1 =
+    Predicate.conj [ Predicate.Eq ("w", Value.Int 1); Predicate.Eq ("d", Value.Int 3); range "o" 10 30 ]
+  in
+  let p2 =
+    Predicate.conj [ Predicate.Eq ("w", Value.Int 1); Predicate.Eq ("d", Value.Int 3); range "o" 25 60 ]
+  in
+  let t_predlock =
+    Test.make ~name:"predicate lock: one intersection test"
+      (Staged.stage (fun () -> ignore (Predicate_lock.may_intersect p1 p2)))
+  in
+  let pred_mgr = Predicate_lock.create () in
+  for i = 1 to 20 do
+    ignore
+      (Predicate_lock.acquire pred_mgr ~txn:i ~mode:Predicate_lock.Read ~table:"order_line"
+         (Predicate.conj
+            [ Predicate.Eq ("w", Value.Int 1); Predicate.Eq ("d", Value.Int (i mod 10)); range "o" i (i + 20) ]))
+  done;
+  let t_predlock_acquire =
+    Test.make ~name:"predicate lock: acquire vs 20 held locks"
+      (Staged.stage (fun () ->
+           (match
+              Predicate_lock.acquire pred_mgr ~txn:99 ~mode:Predicate_lock.Write
+                ~table:"order_line" p1
+            with
+           | `Granted -> Predicate_lock.release_all pred_mgr ~txn:99
+           | `Conflict _ -> ())))
+  in
+  (* the run-time face of the design-time analysis *)
+  let t_interf =
+    Test.make ~name:"interference: step-vs-assertion lookup"
+      (Staged.stage (fun () ->
+           ignore
+             (Acc_core.Interference.step_interferes Acc_tpcc.Txns.interference ~step_type:3
+                ~assertion:2)))
+  in
+  let t_build =
+    Test.make ~name:"interference: build TPC-C tables"
+      (Staged.stage (fun () -> ignore (Acc_core.Interference.build Acc_tpcc.Txns.workload)))
+  in
+  (* storage engine point operations *)
+  let db = bench_db () in
+  let tbl = Database.table db "t" in
+  let t_read =
+    Test.make ~name:"table: point read" (Staged.stage (fun () -> ignore (Table.get tbl [ Value.Int 500 ])))
+  in
+  let t_update =
+    Test.make ~name:"table: point update"
+      (Staged.stage (fun () ->
+           ignore
+             (Table.update tbl [ Value.Int 500 ] (fun row ->
+                  row.(1) <- Value.Int (Value.as_int row.(1) + 1);
+                  row))))
+  in
+  (* end-to-end transaction dispatch: flat 2PL vs a 2-step ACC transaction,
+     uncontended — the pure protocol overhead of Sec 5.3's low-concurrency
+     regime *)
+  let flat_step =
+    Program.step ~id:70 ~name:"whole" ~txn_type:"bump2" ~index:1 ~reads:[] ~writes:[] ()
+  in
+  let s1 = Program.step ~id:71 ~name:"one" ~txn_type:"bump2s" ~index:1 ~reads:[] ~writes:[] () in
+  let s2 = Program.step ~id:72 ~name:"two" ~txn_type:"bump2s" ~index:2 ~reads:[] ~writes:[] () in
+  let comp = Program.step ~id:73 ~name:"undo" ~txn_type:"bump2s" ~index:0 ~reads:[] ~writes:[] () in
+  let flat_type = Program.txn_type ~name:"bump2" ~steps:[ flat_step ] ~assertions:[] () in
+  let stepped_type =
+    Program.txn_type ~name:"bump2s" ~steps:[ s1; s2 ] ~comp ~assertions:[] ()
+  in
+  let wl = Program.workload [ flat_type; stepped_type ] in
+  let interference = Acc_core.Interference.build wl in
+  let eng = Executor.create ~sem:(Acc_core.Interference.semantics interference) (bench_db ()) in
+  let bump ctx i =
+    ignore
+      (Executor.update ctx "t" [ Value.Int i ] (fun row ->
+           row.(1) <- Value.Int (Value.as_int row.(1) + 1);
+           row))
+  in
+  let t_flat =
+    Test.make ~name:"txn: flat 2PL (2 updates)"
+      (Staged.stage (fun () ->
+           Schedule.run eng
+             [
+               (fun () ->
+                 let ctx = Executor.begin_txn eng ~txn_type:"bump2" ~multi_step:false in
+                 bump ctx 1;
+                 bump ctx 2;
+                 Executor.commit ctx);
+             ]))
+  in
+  let t_acc =
+    Test.make ~name:"txn: ACC 2-step (2 updates + step overhead)"
+      (Staged.stage (fun () ->
+           Schedule.run eng
+             [
+               (fun () ->
+                 let inst =
+                   Program.instance ~def:stepped_type
+                     ~steps:[ (s1, fun ctx -> bump ctx 1); (s2, fun ctx -> bump ctx 2) ]
+                     ~compensate:(fun _ctx ~completed:_ -> ())
+                     ()
+                 in
+                 ignore (Runtime.run eng inst));
+             ]))
+  in
+  [
+    t_lock; t_alock; t_predlock; t_predlock_acquire; t_interf; t_build; t_read; t_update;
+    t_flat; t_acc;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Format.fprintf ppf "@.=== micro-benchmarks (CC hot paths) ===@.";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Bechamel.Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Format.fprintf ppf "  %-48s %10.1f ns/run@." name ns
+          | Some _ | None -> Format.fprintf ppf "  %-48s (no estimate)@." name)
+        analyzed)
+    (micro_tests ())
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "all" ->
+      run_figures ~quick:false;
+      run_micro ()
+  | "quick" ->
+      run_figures ~quick:true;
+      run_micro ()
+  | "fig2" | "fig3" | "fig4" | "servers" | "ablation" | "items" -> run_one ~quick:false mode
+  | "micro" -> run_micro ()
+  | other ->
+      Format.eprintf "unknown mode %s (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro)@." other;
+      exit 2

@@ -1,0 +1,80 @@
+(* CLI for regenerating the paper's evaluation artifacts.
+
+     acc-experiments --figure 2            # Figure 2 (hotspots)
+     acc-experiments --figure 3 --csv      # Figure 3 as CSV
+     acc-experiments --servers             # the Sec 5.3 server-count sweep
+     acc-experiments --show-tables         # the design-time interference tables
+     acc-experiments --figure 2 --quick    # trimmed axis/seeds for smoke runs *)
+
+open Cmdliner
+module Experiment = Acc_harness.Experiment
+module Figures = Acc_harness.Figures
+
+let run_figure ~quick ~csv ~seeds id =
+  let settings =
+    match seeds with
+    | [] -> Experiment.default_settings
+    | seeds -> { Experiment.default_settings with Experiment.seeds }
+  in
+  let fig =
+    match id with
+    | `Fig2 -> Figures.fig2 ~quick settings
+    | `Fig3 -> Figures.fig3 ~quick settings
+    | `Fig4 -> Figures.fig4 ~quick settings
+    | `Servers -> Figures.servers ~quick settings
+    | `Ablation -> Figures.ablation ~quick settings
+  in
+  if csv then Figures.render_csv Format.std_formatter fig
+  else Figures.render Format.std_formatter fig;
+  match Figures.consistency_violations fig with
+  | 0 -> `Ok ()
+  | n -> `Error (false, Printf.sprintf "%d consistency violations detected" n)
+
+let show_tables () =
+  Format.printf "TPC-C decomposition: %d forward step types@.@.%a@."
+    Acc_tpcc.Txns.forward_step_count Acc_core.Interference.pp Acc_tpcc.Txns.interference;
+  `Ok ()
+
+let main figure servers ablation tables quick csv seeds =
+  match (figure, servers, ablation, tables) with
+  | Some n, false, false, false -> begin
+      match n with
+      | 2 -> run_figure ~quick ~csv ~seeds `Fig2
+      | 3 -> run_figure ~quick ~csv ~seeds `Fig3
+      | 4 -> run_figure ~quick ~csv ~seeds `Fig4
+      | _ -> `Error (true, "figure must be 2, 3 or 4")
+    end
+  | None, true, false, false -> run_figure ~quick ~csv ~seeds `Servers
+  | None, false, true, false -> run_figure ~quick ~csv ~seeds `Ablation
+  | None, false, false, true -> show_tables ()
+  | None, false, false, false ->
+      `Error (true, "pick one of --figure N, --servers, --ablation, --show-tables")
+  | _ -> `Error (true, "options --figure, --servers, --ablation and --show-tables are exclusive")
+
+let figure =
+  Arg.(value & opt (some int) None & info [ "figure"; "f" ] ~docv:"N" ~doc:"Regenerate paper figure $(docv) (2, 3 or 4).")
+
+let servers =
+  Arg.(value & flag & info [ "servers" ] ~doc:"Run the Sec 5.3 server-count experiment.")
+
+let ablation =
+  Arg.(value & flag & info [ "ablation" ] ~doc:"Run the two-level/no-commutativity ablations.")
+
+let tables =
+  Arg.(value & flag & info [ "show-tables" ] ~doc:"Print the design-time interference tables for the TPC-C decomposition.")
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed axis and a single seed (fast smoke run).")
+
+let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+
+let seeds =
+  Arg.(value & opt (list int) [] & info [ "seeds" ] ~docv:"S1,S2,.." ~doc:"Override the seed list (default 3,17,29).")
+
+let cmd =
+  let doc = "regenerate the evaluation of 'Design and Performance of an Assertional Concurrency Control System' (ICDE 1998)" in
+  Cmd.v
+    (Cmd.info "acc-experiments" ~doc)
+    Term.(ret (const main $ figure $ servers $ ablation $ tables $ quick $ csv $ seeds))
+
+let () = exit (Cmd.eval cmd)

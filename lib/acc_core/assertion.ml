@@ -1,0 +1,36 @@
+type t = {
+  id : int;
+  name : string;
+  txn_type : string;
+  pre_of : int;
+  until : int;
+  refs : Footprint.access list;
+}
+
+let until_commit = max_int
+let legacy_isolation_id = 0
+
+let legacy_isolation =
+  {
+    id = legacy_isolation_id;
+    name = "legacy-isolation";
+    txn_type = "";
+    pre_of = 1;
+    until = until_commit;
+    refs = [ Footprint.make "*" Footprint.All_columns ];
+  }
+
+let make ~id ~name ~txn_type ~pre_of ~until ~refs =
+  if id = legacy_isolation_id then
+    invalid_arg "Assertion.make: id 0 is reserved for legacy isolation";
+  if id < 0 then invalid_arg "Assertion.make: negative id";
+  if pre_of < 1 || until < pre_of then invalid_arg ("Assertion.make: bad window for " ^ name);
+  { id; name; txn_type; pre_of; until; refs }
+
+let tables t = List.sort_uniq String.compare (List.map (fun a -> a.Footprint.acc_table) t.refs)
+
+let pp ppf t =
+  Format.fprintf ppf "A%d %s [%s, pre(S%d)..S%s] refs %a" t.id t.name t.txn_type t.pre_of
+    (if t.until = until_commit then "commit" else string_of_int t.until)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Footprint.pp)
+    t.refs

@@ -1,0 +1,44 @@
+(** Design-time interstep assertions.
+
+    An assertion stands for one [pre(S_ij)] of a decomposed transaction type
+    (or one conjunct of it): the ACC never evaluates assertions at run time —
+    it protects their truth by locking the items they reference (§3.2).  The
+    static record carries what the analysis needs: which transaction type and
+    step boundary it belongs to, and its reference footprint. *)
+
+type t = {
+  id : int;  (** globally unique; {!legacy_isolation_id} is reserved *)
+  name : string;
+  txn_type : string;  (** owning transaction type ("" for the legacy assertion) *)
+  pre_of : int;
+      (** [j] such that this assertion is (a conjunct of) [pre(S_j)]; [1]
+          makes it an admission assertion acquired before the transaction
+          initiates. *)
+  until : int;
+      (** static index of the step whose termination releases it; for
+          loop-spanning invariants of transactions with a dynamic number of
+          steps this is {!until_commit} *)
+  refs : Footprint.access list;  (** what the assertion references *)
+}
+
+val until_commit : int
+(** Sentinel (max_int): the assertion stays locked until commit. *)
+
+val legacy_isolation_id : int
+(** Reserved assertion id (0) standing for "the values this unanalyzed
+    transaction accessed are final": every write step of every decomposed
+    transaction interferes with it, which is exactly what keeps legacy and
+    ad-hoc transactions fully isolated (§3.3 end). *)
+
+val legacy_isolation : t
+
+val make :
+  id:int -> name:string -> txn_type:string -> pre_of:int -> until:int ->
+  refs:Footprint.access list -> t
+(** Raises [Invalid_argument] on a reserved id or an empty window. *)
+
+val tables : t -> string list
+(** Tables referenced (the anchor tables to which its assertional locks are
+    attached at run time). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type cols = All_columns | Columns of string list
+
+type freshness = Fresh | Shared
+
+type access = { acc_table : string; acc_cols : cols; acc_fresh : freshness }
+
+let make ?(fresh = Shared) table cols = { acc_table = table; acc_cols = cols; acc_fresh = fresh }
+
+let cols_overlap a b =
+  match (a, b) with
+  | All_columns, _ | _, All_columns -> true
+  | Columns xs, Columns ys -> List.exists (fun x -> List.mem x ys) xs
+
+let may_alias a b =
+  String.equal a.acc_table b.acc_table
+  && cols_overlap a.acc_cols b.acc_cols
+  && not (a.acc_fresh = Fresh && b.acc_fresh = Fresh)
+
+let pp ppf a =
+  let cols =
+    match a.acc_cols with All_columns -> "*" | Columns cs -> String.concat "," cs
+  in
+  Format.fprintf ppf "%s(%s)%s" a.acc_table cols
+    (match a.acc_fresh with Fresh -> " fresh" | Shared -> "")

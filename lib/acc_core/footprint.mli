@@ -1,0 +1,35 @@
+(** Symbolic data-access footprints for the design-time analysis.
+
+    A footprint describes, without running anything, which (table, column)
+    pairs a step writes or an assertion references, and how the rows involved
+    are identified.  Interference (§3.1) is then decidable by overlap:
+    a step {e may} falsify an assertion only if it writes a column the
+    assertion references in a row the assertion might be about. *)
+
+type cols =
+  | All_columns
+  | Columns of string list
+
+type freshness =
+  | Fresh
+      (** Rows identified by a value that is {e unique to the owning
+          transaction instance} — e.g. an order number drawn from the
+          monotone counter.  Two distinct instances can never denote the same
+          row, so Fresh-vs-Fresh accesses from different instances never
+          alias.  This is how the analysis knows that instances of
+          [new_order] can interleave arbitrarily (§4). *)
+  | Shared
+      (** Rows identified by an externally supplied value (a district id, an
+          existing order id): instances may collide. *)
+
+type access = { acc_table : string; acc_cols : cols; acc_fresh : freshness }
+
+val make : ?fresh:freshness -> string -> cols -> access
+(** [make table cols]; [fresh] defaults to [Shared]. *)
+
+val cols_overlap : cols -> cols -> bool
+val may_alias : access -> access -> bool
+(** Same table, overlapping columns, and row identities that can collide
+    (i.e. not both [Fresh]). *)
+
+val pp : Format.formatter -> access -> unit

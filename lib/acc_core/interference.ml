@@ -1,0 +1,148 @@
+type override = prefix_of:Assertion.t -> assertion:Assertion.t -> bool option
+
+type t = {
+  workload : Program.workload;
+  step_table : bool array array; (* [step_id].[assertion_id] *)
+  prefix_table : bool array array; (* [holder_assertion_id].[assertion_id] *)
+}
+
+let writes_anything (s : Program.step_def) = s.Program.sd_writes <> []
+
+let wild (accs : Footprint.access list) =
+  List.exists (fun a -> a.Footprint.acc_table = "*") accs
+
+(* one execution of step [s] vs assertion [a] *)
+let step_vs_assertion (s : Program.step_def) (a : Assertion.t) =
+  if a.Assertion.id = Assertion.legacy_isolation_id then writes_anything s
+  else if wild s.Program.sd_writes then true (* unanalyzed step: conservative *)
+  else
+    List.exists
+      (fun w -> List.exists (fun r -> Footprint.may_alias w r) a.Assertion.refs)
+      s.Program.sd_writes
+
+(* Within one transaction type, Fresh footprints denote the *same* rows, so
+   the prefix computation must not use the cross-instance aliasing rule.
+   Interference of a step with an assertion of its own transaction type uses
+   plain table+column overlap. *)
+let own_step_vs_assertion (s : Program.step_def) (a : Assertion.t) =
+  if a.Assertion.id = Assertion.legacy_isolation_id then writes_anything s
+  else if wild s.Program.sd_writes then true
+  else
+    List.exists
+      (fun (w : Footprint.access) ->
+        List.exists
+          (fun (r : Footprint.access) ->
+            String.equal w.Footprint.acc_table r.Footprint.acc_table
+            && Footprint.cols_overlap w.Footprint.acc_cols r.Footprint.acc_cols)
+          a.Assertion.refs)
+      s.Program.sd_writes
+
+let build ?(compatible = []) ?(override = fun ~prefix_of:_ ~assertion:_ -> None) workload =
+  let steps = Program.all_steps workload in
+  let asserts = Program.all_assertions workload in
+  let n_steps = Program.max_step_id workload + 1 in
+  let n_asserts = Program.max_assertion_id workload + 1 in
+  let step_table = Array.make_matrix n_steps n_asserts false in
+  List.iter
+    (fun (s : Program.step_def) ->
+      List.iter
+        (fun (a : Assertion.t) ->
+          step_table.(s.Program.sd_id).(a.Assertion.id) <-
+            step_vs_assertion s a && not (List.mem (s.Program.sd_id, a.Assertion.id) compatible))
+        asserts)
+    steps;
+  (* prefix table: the holder of A h with h = pre(S_k,l) has executed steps of
+     its own type with static index < l *)
+  let prefix_table = Array.make_matrix n_asserts n_asserts false in
+  List.iter
+    (fun (h : Assertion.t) ->
+      let prefix_steps =
+        if h.Assertion.id = Assertion.legacy_isolation_id then []
+          (* a legacy holder has exposed nothing: it is fully isolated *)
+        else
+          match
+            List.find_opt
+              (fun (tt : Program.txn_type_def) -> tt.Program.tt_name = h.Assertion.txn_type)
+              (Program.txn_types workload)
+          with
+          | Some tt ->
+              List.filter
+                (fun (s : Program.step_def) -> s.Program.sd_index < h.Assertion.pre_of)
+                tt.Program.tt_steps
+          | None -> []
+      in
+      List.iter
+        (fun (a : Assertion.t) ->
+          let v =
+            match override ~prefix_of:h ~assertion:a with
+            | Some b -> b
+            | None ->
+                List.exists
+                  (fun s ->
+                    if s.Program.sd_txn_type = a.Assertion.txn_type then
+                      own_step_vs_assertion s a
+                    else step_table.(s.Program.sd_id).(a.Assertion.id))
+                  prefix_steps
+          in
+          prefix_table.(h.Assertion.id).(a.Assertion.id) <- v)
+        asserts)
+    asserts;
+  { workload; step_table; prefix_table }
+
+let step_interferes t ~step_type ~assertion =
+  if
+    step_type < 0
+    || step_type >= Array.length t.step_table
+    || assertion < 0
+    || assertion >= Array.length t.step_table.(0)
+  then true
+  else t.step_table.(step_type).(assertion)
+
+let prefix_interferes t ~holder_assertion ~assertion =
+  if
+    holder_assertion < 0
+    || holder_assertion >= Array.length t.prefix_table
+    || assertion < 0
+    || assertion >= Array.length t.prefix_table.(0)
+  then true
+  else t.prefix_table.(holder_assertion).(assertion)
+
+let semantics t =
+  Acc_lock.Mode.
+    {
+      step_interferes = (fun ~step_type ~assertion -> step_interferes t ~step_type ~assertion);
+      prefix_interferes =
+        (fun ~holder_assertion ~assertion -> prefix_interferes t ~holder_assertion ~assertion);
+    }
+
+let pp ppf t =
+  let steps = Program.all_steps t.workload in
+  let asserts = Program.all_assertions t.workload in
+  Format.fprintf ppf "@[<v>Interference table (step vs assertion):@,";
+  List.iter
+    (fun (s : Program.step_def) ->
+      let hits =
+        List.filter
+          (fun (a : Assertion.t) ->
+            step_interferes t ~step_type:s.Program.sd_id ~assertion:a.Assertion.id)
+          asserts
+      in
+      Format.fprintf ppf "  %-28s -> %s@,"
+        (Printf.sprintf "%s.%s" s.Program.sd_txn_type s.Program.sd_name)
+        (if hits = [] then "-"
+         else String.concat ", " (List.map (fun (a : Assertion.t) -> a.Assertion.name) hits)))
+    steps;
+  Format.fprintf ppf "Prefix table (holder assertion vs admission assertion):@,";
+  List.iter
+    (fun (h : Assertion.t) ->
+      let hits =
+        List.filter
+          (fun (a : Assertion.t) ->
+            prefix_interferes t ~holder_assertion:h.Assertion.id ~assertion:a.Assertion.id)
+          asserts
+      in
+      if hits <> [] then
+        Format.fprintf ppf "  prefix(%-24s) -> %s@," h.Assertion.name
+          (String.concat ", " (List.map (fun (a : Assertion.t) -> a.Assertion.name) hits)))
+    asserts;
+  Format.fprintf ppf "@]"

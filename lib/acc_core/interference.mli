@@ -1,0 +1,49 @@
+(** Design-time interference tables (§3.2–3.3).
+
+    Built once per workload from symbolic footprints; consulted at run time
+    by the lock manager through {!semantics} — a constant-time array lookup,
+    which is the paper's stated advantage over predicate locks ("only a table
+    look up is required at run time").
+
+    Two tables are produced:
+
+    - [step_interferes s a] — can one execution of step type [s] falsify
+      assertion [a]?  True iff a write footprint of [s] may alias a reference
+      footprint of [a] (column overlap on the same table, row identities not
+      provably distinct), with two special cases: every writing step
+      interferes with the legacy-isolation assertion, and the legacy
+      pseudo-step interferes with everything.
+
+    - [prefix_interferes h a] — the admission check of §3.3: the holder of
+      assertional lock [A h] (h = [pre(S_k,l)]) has completed the prefix
+      [S_k,1 .. S_k,l-1]; does that prefix as a whole interfere with [a]?
+      Computed as the disjunction of step interference over the prefix,
+      refinable with {!override} for workloads whose proofs show a prefix
+      restores what it broke (the maximally-reduced-proof refinement of §3.1). *)
+
+type t
+
+type override = prefix_of:Assertion.t -> assertion:Assertion.t -> bool option
+(** Consulted before the default prefix rule; [Some b] forces the answer. *)
+
+val build :
+  ?compatible:(int * int) list -> ?override:override -> Program.workload -> t
+(** [compatible] lists (step id, assertion id) pairs that the syntactic
+    overlap rule flags but a manual proof shows commute — e.g. the district
+    counter: a foreign increment cannot falsify "my order id is below
+    [d_next_o_id]" because the counter is monotone.  This is the hook through
+    which the paper's hand analysis feeds semantic facts (commutativity,
+    monotonicity) that footprint overlap cannot see. *)
+
+val step_interferes : t -> step_type:int -> assertion:int -> bool
+(** Out-of-range ids answer conservatively ([true]): an unknown step is an
+    unanalyzed step. *)
+
+val prefix_interferes : t -> holder_assertion:int -> assertion:int -> bool
+
+val semantics : t -> Acc_lock.Mode.semantics
+(** The oracle handed to {!Acc_lock.Lock_table.create}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render both tables with step/assertion names — the artifact the paper's
+    design-time analysis ships to the run-time system. *)

@@ -1,0 +1,297 @@
+module Executor = Acc_txn.Executor
+module Txn_effect = Acc_txn.Txn_effect
+module Mode = Acc_lock.Mode
+module Lock_table = Acc_lock.Lock_table
+module Resource_id = Acc_lock.Resource_id
+
+type outcome = Committed | Compensated of { completed_steps : int }
+
+type granularity = Item | Table
+
+type options = {
+  step_retry_limit : int;
+  verify_assertions : bool;
+  assertion_granularity : granularity;
+}
+
+let default_options =
+  { step_retry_limit = 1; verify_assertions = false; assertion_granularity = Item }
+
+exception Assertion_violated of { txn : int; assertion : string; at_step : int }
+
+(* Locks released at a step boundary under the instance's read-isolation
+   level: a Snapshot reader keeps its S locks (and the isolation assertion)
+   until commit so every read stays stable. *)
+let step_release_mode inst _res mode =
+  match (inst.Program.i_read_isolation, mode) with
+  | Program.Snapshot, Mode.S -> false
+  | Program.Snapshot, Mode.A a when a = Assertion.legacy_isolation_id -> false
+  | (Program.Exposed | Program.Committed_only | Program.Snapshot), _ -> Mode.conventional mode
+
+(* Assertions whose lock must be attached while executing dynamic step [j]:
+   active ones (from <= j) and the one granted for the next boundary
+   (from = j + 1), per the "unconditionally grant A(pre(S_{i,j+1})) before
+   initiating S_ij" rule. *)
+let attachable (ai : Program.assertion_instance) j =
+  ai.Program.ai_from - 1 <= j && j <= ai.Program.ai_until
+
+let active (ai : Program.assertion_instance) j =
+  ai.Program.ai_from <= j && j <= ai.Program.ai_until
+
+let verify_active_assertions eng inst ~txn ~at_step =
+  List.iter
+    (fun ai ->
+      if active ai at_step then
+        match ai.Program.ai_check with
+        | Some check ->
+            if not (check (Executor.db eng)) then
+              raise
+                (Assertion_violated
+                   {
+                     txn;
+                     assertion = ai.Program.ai_assertion.Assertion.name;
+                     at_step;
+                   })
+        | None -> ())
+    inst.Program.i_assertions
+
+(* The dynamic-acquisition hook: piggyback assertional locks (and the
+   compensation lock for writes) on every conventional lock the step takes.
+   Under [Table] granularity (the two-level ablation) assertional locks
+   attach to whole tables, reproducing the false conflicts of §3.2. *)
+let install_lock_hook ctx inst ~granularity ~step_dyn_index =
+  let comp_step_id =
+    match inst.Program.i_def.Program.tt_comp with
+    | Some c -> Some c.Program.sd_id
+    | None -> None
+  in
+  Executor.set_on_lock ctx (fun res mode ->
+      (* assertional locks anchor on tuples: a table-level attachment would
+         assert about every row of the table and block unrelated fresh-row
+         writers; table-level assertional locks are reserved for the legacy
+         full-isolation path, where that meaning is intended *)
+      (match (res, mode) with
+      | Resource_id.Tuple _, (Mode.S | Mode.X) ->
+          let table = Resource_id.table_of res in
+          List.iter
+            (fun ai ->
+              if
+                attachable ai step_dyn_index
+                && List.mem table (Assertion.tables ai.Program.ai_assertion)
+              then
+                let anchor =
+                  match granularity with
+                  | Item -> res
+                  | Table -> Resource_id.Table table
+                in
+                Executor.attach_lock ctx (Mode.A ai.Program.ai_assertion.Assertion.id) anchor)
+            inst.Program.i_assertions
+      | _, (Mode.IS | Mode.IX | Mode.A _ | Mode.Comp _) | Resource_id.Table _, _ -> ());
+      match (res, mode, comp_step_id) with
+      | Resource_id.Tuple _, Mode.X, Some cs ->
+          (* checked request: must wait out foreign assertions the
+             compensating step would interfere with (§3.4); the lock
+             manager's hierarchical check makes this tuple-level exposure
+             marker visible to table-level readers *)
+          Executor.acquire ctx (Mode.Comp cs) res
+      | _, (Mode.X | Mode.S | Mode.IS | Mode.IX | Mode.A _ | Mode.Comp _), _ -> ())
+
+let remove_lock_hook ctx = Executor.set_on_lock ctx (fun _ _ -> ())
+
+(* Release, at the end of dynamic step [j], the conventional locks and the
+   assertional locks whose window closed. *)
+let end_of_step_release ctx inst j =
+  let closing =
+    List.filter_map
+      (fun ai ->
+        if ai.Program.ai_until = j then Some ai.Program.ai_assertion.Assertion.id else None)
+      inst.Program.i_assertions
+  in
+  Executor.release_locks ctx (fun res mode ->
+      step_release_mode inst res mode
+      || match mode with Mode.A a -> List.mem a closing | _ -> false)
+
+let compensate ctx inst ~completed =
+  if completed = 0 then begin
+    (* nothing exposed: plain physical rollback *)
+    Executor.abort_physical ctx;
+    Compensated { completed_steps = 0 }
+  end
+  else begin
+    match inst.Program.i_compensate with
+    | None ->
+        (* a multi-step instance without compensation cannot be here: the
+           instance constructor enforces a body when tt_comp exists, and a
+           single-step instance always has completed = 0 on failure *)
+        assert false
+    | Some body ->
+        let comp_def =
+          match inst.Program.i_def.Program.tt_comp with Some c -> c | None -> assert false
+        in
+        Executor.set_compensating ctx true;
+        Executor.set_step ctx ~step_type:comp_def.Program.sd_id ~step_index:(completed + 1);
+        remove_lock_hook ctx;
+        let rec attempt () =
+          try body ctx ~completed
+          with Txn_effect.Deadlock_victim ->
+            (* §3.4 guarantees the policy aborts the steps delaying a
+               compensating step rather than the step itself; if we are
+               nonetheless victimized (all-compensating cycle), undo this
+               attempt and try again *)
+            Executor.rollback_current_step ctx;
+            Txn_effect.yield ();
+            attempt ()
+        in
+        attempt ();
+        Executor.end_step ctx ~comp_area:None;
+        Executor.finish_compensated ctx;
+        Compensated { completed_steps = completed }
+  end
+
+let run ?(options = default_options) ?abort_at eng inst =
+  let n_steps = Array.length inst.Program.i_steps in
+  let multi_step = n_steps > 1 in
+  let ctx = Executor.begin_txn eng ~txn_type:inst.Program.i_def.Program.tt_name ~multi_step in
+  (* --- admission: lock pre(S_1) --------------------------------------- *)
+  Executor.charge eng (Executor.cost eng).Acc_txn.Cost_model.admission;
+  let rec admit () =
+    try
+      List.iter
+        (fun (ai, items) ->
+          List.iter
+            (fun item ->
+              Executor.acquire ctx ~admission:true
+                (Mode.A ai.Program.ai_assertion.Assertion.id) item)
+            items)
+        inst.Program.i_admission
+    with Txn_effect.Deadlock_victim ->
+      (* nothing executed yet: drop what we got, let the winner finish, and
+         re-admit *)
+      Executor.release_locks ctx (fun _ _ -> true);
+      Txn_effect.yield ();
+      admit ()
+  in
+  admit ();
+  (* --- steps ------------------------------------------------------------ *)
+  let needs_comp = Option.is_some inst.Program.i_compensate in
+  let outcome = ref None in
+  (try
+     for j0 = 0 to n_steps - 1 do
+       let j = j0 + 1 in
+       let step_def, body = inst.Program.i_steps.(j0) in
+       Executor.set_step ctx ~step_type:step_def.Program.sd_id ~step_index:j;
+       install_lock_hook ctx inst ~granularity:options.assertion_granularity
+         ~step_dyn_index:j;
+       (* read-isolation restrictions ([Gerstl et al., TR 96/07], cf. §3.3):
+          reads must not observe values an in-flight transaction could still
+          compensate away, so the isolation assertional lock precedes each
+          read lock and waits out compensation locks *)
+       (match inst.Program.i_read_isolation with
+       | Program.Exposed -> ()
+       | Program.Committed_only | Program.Snapshot ->
+           Executor.set_on_before_lock ctx (fun res mode ->
+               match mode with
+               | Mode.S ->
+                   Executor.acquire ctx (Mode.A Assertion.legacy_isolation_id) res
+               | Mode.X | Mode.IS | Mode.IX | Mode.A _ | Mode.Comp _ -> ()));
+       if options.verify_assertions then
+         verify_active_assertions eng inst ~txn:(Executor.txn_id ctx) ~at_step:j;
+       let rec attempt retries_left =
+         try body ctx with
+         | Txn_effect.Deadlock_victim ->
+             Executor.rollback_current_step ctx;
+             Executor.release_locks ctx (step_release_mode inst);
+             (* back off for one scheduling round so the winner of the deadlock
+                can finish; retrying immediately can ping-pong forever *)
+             Txn_effect.yield ();
+             if retries_left > 0 then attempt (retries_left - 1)
+             else begin
+               remove_lock_hook ctx;
+               outcome := Some (compensate ctx inst ~completed:(j - 1));
+               raise Exit
+             end
+         | Txn_effect.Abort_requested ->
+             (* the program decided to fail (e.g. TPC-C's 1% new-orders):
+                undo the current step physically, compensate the rest *)
+             Executor.rollback_current_step ctx;
+             Executor.release_locks ctx (step_release_mode inst);
+             remove_lock_hook ctx;
+             outcome := Some (compensate ctx inst ~completed:(j - 1));
+             raise Exit
+         | e ->
+             (* an unexpected failure in a step body: fail the transaction
+                the same way a programmatic abort would — physical undo of
+                the current step, compensation for the completed ones — and
+                only then let the exception surface.  A buggy body must not
+                leave locks behind. *)
+             Executor.rollback_current_step ctx;
+             Executor.release_locks ctx (step_release_mode inst);
+             remove_lock_hook ctx;
+             (try ignore (compensate ctx inst ~completed:(j - 1))
+              with _ ->
+                (* the compensation failed too: drop everything so other
+                   transactions can proceed; the database may need recovery *)
+                Executor.release_locks ctx (fun _ _ -> true));
+             raise e
+       in
+       attempt options.step_retry_limit;
+       remove_lock_hook ctx;
+       Executor.end_step ctx
+         ~comp_area:(if needs_comp then Some (inst.Program.i_comp_area ()) else None);
+       end_of_step_release ctx inst j;
+       match abort_at with
+       | Some k when k = j ->
+           outcome := Some (compensate ctx inst ~completed:j);
+           raise Exit
+       | Some _ | None -> ()
+     done
+   with Exit -> ());
+  match !outcome with
+  | Some o -> o
+  | None ->
+      if options.verify_assertions then
+        verify_active_assertions eng inst ~txn:(Executor.txn_id ctx) ~at_step:n_steps;
+      Executor.commit ctx;
+      Committed
+
+let run_legacy ?(options = default_options) eng ~txn_type body =
+  ignore options;
+  let rec attempt () =
+    let ctx = Executor.begin_txn eng ~txn_type ~multi_step:false in
+    Executor.set_step ctx ~step_type:Program.legacy_step_id ~step_index:1;
+    (* full isolation: the legacy-isolation assertional lock precedes every
+       conventional data lock and is held to commit; acquiring it first means
+       the transaction queues on in-flight multi-step writers (their Comp
+       locks) without holding the data lock across the wait *)
+    Executor.set_on_before_lock ctx (fun res mode ->
+        match mode with
+        | Mode.S | Mode.X ->
+            Executor.acquire ctx (Mode.A Assertion.legacy_isolation_id) res
+        | Mode.IS | Mode.IX | Mode.A _ | Mode.Comp _ -> ());
+    try
+      body ctx;
+      Executor.commit ctx;
+      Committed
+    with
+    | Txn_effect.Deadlock_victim ->
+        Executor.abort_physical ctx;
+        Txn_effect.yield ();
+        attempt ()
+    | e ->
+        (* unexpected failure: a flat transaction can abort physically *)
+        Executor.abort_physical ctx;
+        raise e
+  in
+  attempt ()
+
+let victim_policy locks ~requester ~cycle =
+  if Lock_table.compensating_waiter locks ~txn:requester then begin
+    match
+      List.filter
+        (fun t -> t <> requester && not (Lock_table.compensating_waiter locks ~txn:t))
+        cycle
+    with
+    | [] -> [ requester ] (* all-compensating cycle: fall back (see §3.4 note) *)
+    | victims -> victims
+  end
+  else [ requester ]

@@ -1,0 +1,77 @@
+(** The one-level ACC runtime (§3.3, implemented-algorithm variant).
+
+    Protocol per transaction instance:
+
+    + {b admission} — request [A(pre(S_1))] locks (with the prefix
+      interference check) on the instance's declared admission items;
+    + {b per step} — run the body under strict 2PL; as each conventional
+      lock is acquired, attach the assertional locks of the currently active
+      assertions to the item (the dynamic acquisition optimization at the
+      end of §3.3) and, for writes of a compensatable transaction, acquire
+      the compensation lock (§3.4);
+    + {b step end} — write the end-of-step record and work area, release
+      conventional locks and the assertional locks whose window closed;
+    + {b deadlock} — a victim's step is rolled back physically and retried;
+      if it is victimized again the transaction rolls back via its
+      compensating step (§3.4), which runs flagged so the victim policy
+      never aborts it;
+    + {b commit} — release everything.
+
+    Legacy / ad-hoc transactions run through {!run_legacy}: single step,
+    conventional locks plus the legacy-isolation assertional lock on every
+    item, all held to commit — fully isolated from decomposed transactions. *)
+
+type outcome =
+  | Committed
+  | Compensated of { completed_steps : int }
+      (** Rolled back: physically if no step had completed, otherwise by the
+          compensating step. *)
+
+type granularity =
+  | Item  (** the one-level ACC: assertional locks on the tuples touched *)
+  | Table
+      (** the two-level ACC of §3.2, for ablation: item identities are
+          treated as unknown at design time, so assertional locks attach at
+          table granularity and every may-alias conflict is taken — the
+          false conflicts the one-level design exists to eliminate *)
+
+type options = {
+  step_retry_limit : int;
+      (** Deadlock victimizations of one step before giving up and
+          compensating (paper behaviour = 1 retry). *)
+  verify_assertions : bool;
+      (** Evaluate every active assertion's checker at each step boundary and
+          raise {!Assertion_violated} on falsehood — the paper's correctness
+          claim, made executable.  Test/diagnostic use only: the ACC itself
+          never looks at values (§3.3). *)
+  assertion_granularity : granularity;
+}
+
+val default_options : options
+
+exception Assertion_violated of { txn : int; assertion : string; at_step : int }
+
+val run :
+  ?options:options ->
+  ?abort_at:int ->
+  Acc_txn.Executor.t ->
+  Program.instance ->
+  outcome
+(** Execute one instance to completion.  [abort_at j] forces a programmatic
+    abort after step [j] completes (models the TPC-C requirement that 1% of
+    new-order transactions abort, and exercises compensation). *)
+
+val run_legacy :
+  ?options:options ->
+  Acc_txn.Executor.t ->
+  txn_type:string ->
+  (Acc_txn.Executor.ctx -> unit) ->
+  outcome
+(** Run an unanalyzed transaction with full isolation (retries internally on
+    deadlock; always either commits or retries, so the result is
+    [Committed]). *)
+
+val victim_policy : Acc_txn.Schedule.victim_policy
+(** §3.4: the step closing the cycle is the victim, unless it is a
+    compensating step — then every non-compensating transaction it waits on
+    in the cycle is aborted instead. *)

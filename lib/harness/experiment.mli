@@ -1,0 +1,72 @@
+(** Paired baseline/ACC measurements: the machinery behind every figure.
+
+    One {!point} is the paper's unit of reporting: both systems run the same
+    workload at one parameter setting, averaged over the configured seeds,
+    and the ratios (non-ACC / ACC, §5.3) are derived.  Runs are deterministic
+    in the seed list, so every figure regenerates bit-identically. *)
+
+type settings = {
+  seeds : int list;  (** each point averages one run per seed *)
+  horizon : float;
+  warmup : float;
+  think_mean : float;
+  cpu_per_unit : float;
+  servers : int;
+  terminals : int;
+  skewed : bool;
+  compute_between : float;
+  items_range : int * int;
+      (** min/max items per new-order: the paper's second lock-duration knob
+          (§5.2, "increasing the number of items in an order") *)
+  params : Acc_tpcc.Params.t;
+}
+
+val default_settings : settings
+(** The calibrated setup: 3 servers, think 6 s, seeds {3, 17, 29},
+    horizon 400 s with 40 s warmup — the configuration whose shapes match
+    the paper's figures (see EXPERIMENTS.md). *)
+
+type side = {
+  s_response : float;  (** mean response time, seed-averaged *)
+  s_throughput : float;
+  s_deadlocks : float;
+  s_compensations : float;
+  s_cpu : float;
+  s_lock_wait : float;
+      (** seconds spent parked on locks per completed transaction — the
+          bottleneck variable behind the figures *)
+  s_violations : int;  (** total across seeds; must be 0 *)
+}
+
+type point = {
+  p_label : string;
+  p_terminals : int;
+  p_base : side;
+  p_acc : side;
+}
+
+val response_ratio : point -> float
+(** non-ACC mean response / ACC mean response: > 1 means the ACC is faster
+    (the ordinate of Figures 2–4). *)
+
+val throughput_ratio : point -> float
+(** non-ACC completed / ACC completed (the second series of Figure 4):
+    < 1 means the ACC completed more work. *)
+
+type acc_variant =
+  | One_level  (** the paper's implemented design: item-granularity locks *)
+  | Two_level
+      (** §3.2's earlier design, as ablation: assertional locks at table
+          granularity (item identity "unknown at design time"), suffering
+          the false conflicts the one-level ACC eliminates *)
+  | No_commutativity
+      (** interference tables built without the hand-proved commutativity
+          facts (the monotone district counter): the purely syntactic
+          analysis *)
+
+val measure : ?label:string -> ?variant:acc_variant -> settings -> point
+(** Run both systems at one setting; [variant] (default [One_level]) selects
+    the ACC flavour under test. *)
+
+val sweep_terminals : ?variant:acc_variant -> settings -> int list -> point list
+val sweep_servers : ?variant:acc_variant -> settings -> int list -> point list

@@ -1,0 +1,466 @@
+type ticket = int
+
+type grant = Granted | Queued of ticket
+
+type wakeup = { woken_ticket : ticket; woken_txn : int }
+
+type hold = {
+  h_txn : int;
+  h_mode : Mode.t;
+  h_step : int;
+  mutable h_count : int;
+}
+
+type waiter = {
+  w_ticket : ticket;
+  w_txn : int;
+  w_mode : Mode.t;
+  w_step : int;
+  w_requester : Mode.requester;
+  w_resource : Resource_id.t;
+  w_compensating : bool;
+}
+
+type entry = {
+  e_resource : Resource_id.t;
+  mutable holds : hold list; (* oldest first *)
+  mutable queue : waiter list; (* FIFO, head = next to be served *)
+}
+
+type t = {
+  sem : Mode.semantics;
+  entries : entry Resource_id.Tbl.t;
+  (* all resources of a table that currently carry holds or waiters: the
+     hierarchical checks and cross-level promotion need them *)
+  by_table : (string, unit Resource_id.Tbl.t) Hashtbl.t;
+  mutable next_ticket : int;
+  tickets : (ticket, waiter) Hashtbl.t; (* outstanding waits only *)
+  by_txn : (int, unit Resource_id.Tbl.t) Hashtbl.t; (* txn -> resources held *)
+}
+
+let create sem =
+  {
+    sem;
+    entries = Resource_id.Tbl.create 1024;
+    by_table = Hashtbl.create 64;
+    next_ticket = 0;
+    tickets = Hashtbl.create 64;
+    by_txn = Hashtbl.create 64;
+  }
+
+let table_members t tname =
+  match Hashtbl.find_opt t.by_table tname with
+  | Some set -> set
+  | None ->
+      let set = Resource_id.Tbl.create 64 in
+      Hashtbl.add t.by_table tname set;
+      set
+
+let note_entry_active t res = Resource_id.Tbl.replace (table_members t (Resource_id.table_of res)) res ()
+
+let entry t res =
+  match Resource_id.Tbl.find_opt t.entries res with
+  | Some e -> e
+  | None ->
+      let e = { e_resource = res; holds = []; queue = [] } in
+      Resource_id.Tbl.add t.entries res e;
+      e
+
+(* drop empty entries so the child-sweep of table-level assertional requests
+   stays proportional to live locks *)
+let gc_entry t e =
+  if e.holds = [] && e.queue = [] then begin
+    Resource_id.Tbl.remove t.entries e.e_resource;
+    let tname = Resource_id.table_of e.e_resource in
+    match Hashtbl.find_opt t.by_table tname with
+    | Some set ->
+        Resource_id.Tbl.remove set e.e_resource;
+        if Resource_id.Tbl.length set = 0 then Hashtbl.remove t.by_table tname
+    | None -> ()
+  end
+
+let note_held t ~txn res =
+  let set =
+    match Hashtbl.find_opt t.by_txn txn with
+    | Some s -> s
+    | None ->
+        let s = Resource_id.Tbl.create 16 in
+        Hashtbl.add t.by_txn txn s;
+        s
+  in
+  Resource_id.Tbl.replace set res ()
+
+let forget_held_if_empty t ~txn res e =
+  if not (List.exists (fun h -> h.h_txn = txn) e.holds) then
+    match Hashtbl.find_opt t.by_txn txn with
+    | Some set ->
+        Resource_id.Tbl.remove set res;
+        if Resource_id.Tbl.length set = 0 then Hashtbl.remove t.by_txn txn
+    | None -> ()
+
+let hold_conflict t h ~mode ~requester =
+  Mode.conflicts t.sem ~held:h.h_mode ~held_step:h.h_step ~req:mode ~requester
+
+let waiter_conflict t w ~mode ~requester =
+  Mode.conflicts t.sem ~held:w.w_mode ~held_step:w.w_step ~req:mode ~requester
+
+(* The holds a request on [res] must be compatible with:
+   - holds on [res] itself;
+   - holds on the parent table (a tuple write must respect table-level
+     assertional locks, e.g. a legacy scan's isolation lock);
+   - for a checked assertional request on a whole table: holds on the
+     table's tuples (a legacy scan must wait out in-flight writers, whose
+     exposure is recorded by tuple-level compensation locks). *)
+let relevant_holds t res ~mode =
+  let own = match Resource_id.Tbl.find_opt t.entries res with Some e -> e.holds | None -> [] in
+  let parent =
+    (* intention holders at the table level never constrain tuple-level
+       requests — only absolute table locks (S/X/A/Comp) reach down *)
+    match Resource_id.parent res with
+    | Some p -> (
+        match Resource_id.Tbl.find_opt t.entries p with
+        | Some e ->
+            List.filter
+              (fun h -> match h.h_mode with Mode.IS | Mode.IX -> false | _ -> true)
+              e.holds
+        | None -> [])
+    | None -> []
+  in
+  let children =
+    match (res, mode) with
+    | Resource_id.Table tname, Mode.A _ ->
+        (match Hashtbl.find_opt t.by_table tname with
+        | Some set ->
+            Resource_id.Tbl.fold
+              (fun r () acc ->
+                match r with
+                | Resource_id.Tuple _ -> (
+                    match Resource_id.Tbl.find_opt t.entries r with
+                    | Some e -> e.holds @ acc
+                    | None -> acc)
+                | Resource_id.Table _ -> acc)
+              set []
+        | None -> [])
+    | (Resource_id.Table _ | Resource_id.Tuple _), _ -> []
+  in
+  own @ parent @ children
+
+let holds_compatible t res ~txn ~mode ~requester =
+  List.for_all
+    (fun h -> h.h_txn = txn || not (hold_conflict t h ~mode ~requester))
+    (relevant_holds t res ~mode)
+
+let queue_ahead_compatible t ~txn ~mode ~requester ahead =
+  List.for_all (fun w -> w.w_txn = txn || not (waiter_conflict t w ~mode ~requester)) ahead
+
+let add_hold t e ~txn ~step_type ~mode res =
+  e.holds <- e.holds @ [ { h_txn = txn; h_mode = mode; h_step = step_type; h_count = 1 } ];
+  note_entry_active t res;
+  note_held t ~txn res
+
+let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode res =
+  let e = entry t res in
+  match
+    List.find_opt (fun h -> h.h_txn = txn && Mode.covers h.h_mode mode) e.holds
+  with
+  | Some h ->
+      h.h_count <- h.h_count + 1;
+      Granted
+  | None ->
+      let requester = Mode.{ req_step_type = step_type; req_admission = admission } in
+      let upgrade = List.exists (fun h -> h.h_txn = txn) e.holds in
+      if
+        holds_compatible t res ~txn ~mode ~requester
+        && (upgrade || queue_ahead_compatible t ~txn ~mode ~requester e.queue)
+      then begin
+        add_hold t e ~txn ~step_type ~mode res;
+        Granted
+      end
+      else begin
+        let ticket = t.next_ticket in
+        t.next_ticket <- ticket + 1;
+        let w =
+          {
+            w_ticket = ticket;
+            w_txn = txn;
+            w_mode = mode;
+            w_step = step_type;
+            w_requester = requester;
+            w_resource = res;
+            w_compensating = compensating;
+          }
+        in
+        (* upgrades wait at the head so they cannot deadlock behind requests
+           that conflict with the lock they already hold *)
+        e.queue <- (if upgrade then w :: e.queue else e.queue @ [ w ]);
+        note_entry_active t res;
+        Hashtbl.replace t.tickets ticket w;
+        Queued ticket
+      end
+
+let attach t ~txn ~step_type mode res =
+  let e = entry t res in
+  match
+    List.find_opt (fun h -> h.h_txn = txn && Mode.equal h.h_mode mode) e.holds
+  with
+  | Some h -> h.h_count <- h.h_count + 1
+  | None -> add_hold t e ~txn ~step_type ~mode res
+
+(* Grant the maximal FIFO-respecting set of waiters on [e]. *)
+let promote_entry t e =
+  let rec loop granted still_waiting = function
+    | [] ->
+        e.queue <- List.rev still_waiting;
+        List.rev granted
+    | w :: rest ->
+        if
+          holds_compatible t w.w_resource ~txn:w.w_txn ~mode:w.w_mode ~requester:w.w_requester
+          && queue_ahead_compatible t ~txn:w.w_txn ~mode:w.w_mode ~requester:w.w_requester
+               (List.rev still_waiting)
+        then begin
+          add_hold t e ~txn:w.w_txn ~step_type:w.w_step ~mode:w.w_mode w.w_resource;
+          Hashtbl.remove t.tickets w.w_ticket;
+          loop ({ woken_ticket = w.w_ticket; woken_txn = w.w_txn } :: granted) still_waiting rest
+        end
+        else loop granted (w :: still_waiting) rest
+  in
+  loop [] [] e.queue
+
+(* A release on any resource of a table can unblock waiters anywhere in that
+   table (cross-level conflicts), so promotion sweeps the table's queued
+   entries to a fixpoint. *)
+let promote_table t tname =
+  let rec sweep acc =
+    let entries_with_queues =
+      match Hashtbl.find_opt t.by_table tname with
+      | Some set ->
+          Resource_id.Tbl.fold
+            (fun r () acc ->
+              match Resource_id.Tbl.find_opt t.entries r with
+              | Some e when e.queue <> [] -> e :: acc
+              | Some _ | None -> acc)
+            set []
+          |> List.sort (fun a b -> Resource_id.compare a.e_resource b.e_resource)
+      | None -> []
+    in
+    let woken = List.concat_map (fun e -> promote_entry t e) entries_with_queues in
+    if woken = [] then acc else sweep (acc @ woken)
+  in
+  sweep []
+
+let after_change t e =
+  let tname = Resource_id.table_of e.e_resource in
+  let woken = promote_table t tname in
+  gc_entry t e;
+  (* gc any other drained entries of the table *)
+  (match Hashtbl.find_opt t.by_table tname with
+  | Some set ->
+      let drained =
+        Resource_id.Tbl.fold
+          (fun r () acc ->
+            match Resource_id.Tbl.find_opt t.entries r with
+            | Some e when e.holds = [] && e.queue = [] -> e :: acc
+            | Some _ -> acc
+            | None -> acc)
+          set []
+      in
+      List.iter (gc_entry t) drained
+  | None -> ());
+  woken
+
+let release t ~txn mode res =
+  let e = entry t res in
+  match
+    List.find_opt (fun h -> h.h_txn = txn && Mode.equal h.h_mode mode) e.holds
+  with
+  | None ->
+      gc_entry t e;
+      invalid_arg
+        (Format.asprintf "Lock_table.release: %d does not hold %a on %a" txn Mode.pp mode
+           Resource_id.pp res)
+  | Some h ->
+      if h.h_count > 1 then begin
+        h.h_count <- h.h_count - 1;
+        []
+      end
+      else begin
+        e.holds <- List.filter (fun h' -> h' != h) e.holds;
+        forget_held_if_empty t ~txn res e;
+        after_change t e
+      end
+
+let release_where t ~txn pred =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some set ->
+      let resources = Resource_id.Tbl.fold (fun res () acc -> res :: acc) set [] in
+      List.concat_map
+        (fun res ->
+          let e = entry t res in
+          let mine, kept =
+            List.partition (fun h -> h.h_txn = txn && pred res h.h_mode) e.holds
+          in
+          if mine = [] then begin
+            gc_entry t e;
+            []
+          end
+          else begin
+            e.holds <- kept;
+            forget_held_if_empty t ~txn res e;
+            after_change t e
+          end)
+        (List.sort Resource_id.compare resources)
+
+let cancel t ~ticket =
+  match Hashtbl.find_opt t.tickets ticket with
+  | None -> []
+  | Some w ->
+      Hashtbl.remove t.tickets ticket;
+      let e = entry t w.w_resource in
+      e.queue <- List.filter (fun w' -> w'.w_ticket <> ticket) e.queue;
+      after_change t e
+
+let release_all t ~txn =
+  (* withdraw any outstanding wait first so promotion is not blocked by it *)
+  let my_tickets =
+    Hashtbl.fold (fun tk w acc -> if w.w_txn = txn then tk :: acc else acc) t.tickets []
+  in
+  let w1 = List.concat_map (fun tk -> cancel t ~ticket:tk) my_tickets in
+  let w2 = release_where t ~txn (fun _ _ -> true) in
+  w1 @ w2
+
+let outstanding t ~ticket = Hashtbl.mem t.tickets ticket
+let ticket_txn t ~ticket = Option.map (fun w -> w.w_txn) (Hashtbl.find_opt t.tickets ticket)
+
+let holders t res =
+  match Resource_id.Tbl.find_opt t.entries res with
+  | None -> []
+  | Some e -> List.map (fun h -> (h.h_txn, h.h_mode, h.h_step)) e.holds
+
+let held_by t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some set ->
+      Resource_id.Tbl.fold
+        (fun res () acc ->
+          let holds =
+            match Resource_id.Tbl.find_opt t.entries res with Some e -> e.holds | None -> []
+          in
+          List.filter_map (fun h -> if h.h_txn = txn then Some (res, h.h_mode) else None) holds
+          @ acc)
+        set []
+      |> List.sort compare
+
+let waiting_on t ~txn =
+  Hashtbl.fold
+    (fun _ w acc -> if w.w_txn = txn then w.w_resource :: acc else acc)
+    t.tickets []
+
+let waiter_blockers t w =
+  let from_holds =
+    List.filter_map
+      (fun h ->
+        if
+          h.h_txn <> w.w_txn
+          && hold_conflict t h ~mode:w.w_mode ~requester:w.w_requester
+        then Some h.h_txn
+        else None)
+      (relevant_holds t w.w_resource ~mode:w.w_mode)
+  in
+  let e = entry t w.w_resource in
+  let rec ahead acc = function
+    | [] -> [] (* w not queued here anymore *)
+    | w' :: _ when w'.w_ticket = w.w_ticket -> List.rev acc
+    | w' :: rest -> ahead (w' :: acc) rest
+  in
+  let from_queue =
+    List.filter_map
+      (fun w' ->
+        if w'.w_txn <> w.w_txn && waiter_conflict t w' ~mode:w.w_mode ~requester:w.w_requester
+        then Some w'.w_txn
+        else None)
+      (ahead [] e.queue)
+  in
+  gc_entry t e;
+  List.sort_uniq compare (from_holds @ from_queue)
+
+let blockers t ~ticket =
+  match Hashtbl.find_opt t.tickets ticket with
+  | None -> []
+  | Some w -> waiter_blockers t w
+
+let wait_edges t =
+  Hashtbl.fold
+    (fun _ w acc -> List.map (fun b -> (w.w_txn, b)) (waiter_blockers t w) @ acc)
+    t.tickets []
+
+let find_cycle t ~from =
+  (* BFS from [from]'s successors back to [from]: O(V + E), with parent
+     pointers to reconstruct one witness cycle *)
+  let edges = wait_edges t in
+  let succ = Hashtbl.create 32 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace succ a (b :: Option.value ~default:[] (Hashtbl.find_opt succ a)))
+    edges;
+  let successors n = Option.value ~default:[] (Hashtbl.find_opt succ n) in
+  let parent = Hashtbl.create 32 in
+  let frontier = Queue.create () in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem parent s) then begin
+        Hashtbl.replace parent s from;
+        Queue.add s frontier
+      end)
+    (successors from);
+  let rec search () =
+    if Queue.is_empty frontier then None
+    else begin
+      let n = Queue.pop frontier in
+      if n = from then begin
+        (* walk the parent chain back to [from] *)
+        let rec unwind node acc =
+          if node = from && acc <> [] then acc
+          else unwind (Hashtbl.find parent node) (node :: acc)
+        in
+        (* n = from was enqueued with a parent on the cycle *)
+        let last = Hashtbl.find parent from in
+        Some (from :: List.filter (fun x -> x <> from) (unwind last []))
+      end
+      else begin
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem parent s) then begin
+              Hashtbl.replace parent s n;
+              Queue.add s frontier
+            end)
+          (successors n);
+        search ()
+      end
+    end
+  in
+  search ()
+
+let compensating_waiter t ~txn =
+  Hashtbl.fold
+    (fun _ w acc -> acc || (w.w_txn = txn && w.w_compensating))
+    t.tickets false
+
+let lock_count t =
+  Resource_id.Tbl.fold (fun _ e acc -> acc + List.length e.holds) t.entries 0
+
+let waiter_count t = Hashtbl.length t.tickets
+let entry_count t = Resource_id.Tbl.length t.entries
+
+let pp_state ppf t =
+  Resource_id.Tbl.iter
+    (fun res e ->
+      if e.holds <> [] || e.queue <> [] then begin
+        Format.fprintf ppf "@[<h>%a:" Resource_id.pp res;
+        List.iter
+          (fun h -> Format.fprintf ppf " held(T%d,%a,x%d)" h.h_txn Mode.pp h.h_mode h.h_count)
+          e.holds;
+        List.iter (fun w -> Format.fprintf ppf " wait(T%d,%a)" w.w_txn Mode.pp w.w_mode) e.queue;
+        Format.fprintf ppf "@]@."
+      end)
+    t.entries

@@ -1,0 +1,98 @@
+(** The lock manager.
+
+    Synchronous by design: {!request} never blocks — it either grants or
+    queues and returns a ticket; {!release} and friends return the set of
+    queued requests that became grantable, and the {e caller} (simulator
+    driver, test harness, example scheduler) decides how waiting and waking
+    are realised.  This keeps every concurrency-control decision unit-testable
+    with hand-built schedules.
+
+    Queuing is FIFO with two standard refinements: a request by a transaction
+    that already holds a lock on the resource (an upgrade) checks only against
+    holders and, when blocked, waits at the head of the queue; all other
+    requests also respect the queue (they will not overtake a waiter they
+    conflict with). *)
+
+type t
+
+type ticket = int
+
+type grant = Granted | Queued of ticket
+
+type wakeup = { woken_ticket : ticket; woken_txn : int }
+
+val create : Mode.semantics -> t
+
+val request :
+  t ->
+  txn:int ->
+  step_type:int ->
+  ?admission:bool ->
+  ?compensating:bool ->
+  Mode.t ->
+  Resource_id.t ->
+  grant
+(** Ask for a lock.  [admission] marks the transaction-initiation acquisition
+    of the first interstep assertion (prefix-interference checks apply);
+    [compensating] marks requests made on behalf of a compensating step,
+    which the deadlock resolver must never choose as victim.  Re-requesting a
+    covered mode is re-entrant and always granted. *)
+
+val attach : t -> txn:int -> step_type:int -> Mode.t -> Resource_id.t -> unit
+(** Unconditional grant, bypassing all conflict checks: the §3.3 rule
+    "before initiating step [S_ij]: unconditionally grant [A(pre(S_i,j+1))]
+    locks".  Safe because the protocol only attaches assertional locks to
+    items on which the transaction already holds a conventional lock. *)
+
+val release : t -> txn:int -> Mode.t -> Resource_id.t -> wakeup list
+(** Release one unit of one hold.  Raises [Invalid_argument] if not held. *)
+
+val release_where : t -> txn:int -> (Resource_id.t -> Mode.t -> bool) -> wakeup list
+(** Drop every hold of [txn] satisfying the predicate (regardless of
+    re-entrant count); returns all wakeups across resources. *)
+
+val release_all : t -> txn:int -> wakeup list
+(** Commit/final-abort: drop all holds {e and} any outstanding waiting
+    request of the transaction. *)
+
+val cancel : t -> ticket:ticket -> wakeup list
+(** Withdraw a waiting request (used when its step is chosen as deadlock
+    victim); no-op if the ticket is no longer outstanding. *)
+
+val outstanding : t -> ticket:ticket -> bool
+(** Is the ticket still waiting?  (False once granted or cancelled.) *)
+
+val ticket_txn : t -> ticket:ticket -> int option
+
+(* Introspection *)
+
+val holders : t -> Resource_id.t -> (int * Mode.t * int) list
+(** (txn, mode, step_type) of each hold, oldest first. *)
+
+val held_by : t -> txn:int -> (Resource_id.t * Mode.t) list
+val waiting_on : t -> txn:int -> Resource_id.t list
+
+val blockers : t -> ticket:ticket -> int list
+(** Transactions this waiter is waiting for (holders it conflicts with and
+    conflicting waiters ahead of it), deduplicated. *)
+
+val wait_edges : t -> (int * int) list
+(** All (waiter-txn, blocking-txn) edges of the waits-for graph. *)
+
+val find_cycle : t -> from:int -> int list option
+(** A waits-for cycle through [from], as the list of transactions on the
+    cycle (starting with [from]), if one exists. *)
+
+val compensating_waiter : t -> txn:int -> bool
+(** Is this transaction's outstanding wait flagged as compensating? *)
+
+val lock_count : t -> int
+(** Total holds outstanding (for leak tests). *)
+
+val waiter_count : t -> int
+(** Outstanding queued requests (for leak tests). *)
+
+val entry_count : t -> int
+(** Live lock-table entries (for leak tests). *)
+
+val pp_state : Format.formatter -> t -> unit

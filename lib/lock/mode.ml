@@ -1,0 +1,71 @@
+type t = IS | IX | S | X | A of int | Comp of int
+
+type semantics = {
+  step_interferes : step_type:int -> assertion:int -> bool;
+  prefix_interferes : holder_assertion:int -> assertion:int -> bool;
+}
+
+let no_semantics =
+  {
+    step_interferes = (fun ~step_type:_ ~assertion:_ -> false);
+    prefix_interferes = (fun ~holder_assertion:_ ~assertion:_ -> false);
+  }
+
+let conventional = function IS | IX | S | X -> true | A _ | Comp _ -> false
+
+let covers held req =
+  match (held, req) with
+  | X, (X | S | IS | IX) -> true
+  | S, (S | IS) -> true
+  | IX, (IX | IS) -> true
+  | IS, IS -> true
+  | A a, A b -> a = b
+  | Comp a, Comp b -> a = b
+  | (X | S | IX | IS | A _ | Comp _), _ -> false
+
+type requester = { req_step_type : int; req_admission : bool }
+
+(* Classical compatibility of the hierarchical modes. *)
+let conventional_conflict held req =
+  match (held, req) with
+  | IS, X | X, IS -> true
+  | IX, (S | X) | (S | X), IX -> true
+  | S, X | X, S | X, X -> true
+  | S, S | IS, (IS | IX | S) | (IX | S), IS | IX, IX -> false
+  | (A _ | Comp _), _ | _, (A _ | Comp _) -> assert false
+
+let conflicts sem ~held ~held_step ~req ~requester =
+  match (held, req) with
+  (* conventional vs conventional: the textbook matrix *)
+  | (IS | IX | S | X), (IS | IX | S | X) -> conventional_conflict held req
+  (* a write blocked by a foreign active assertion it interferes with (§3.3,
+     "acquire conventional read and write locks") *)
+  | A a, X -> sem.step_interferes ~step_type:requester.req_step_type ~assertion:a
+  (* reads never invalidate assertions; intention modes carry no data access *)
+  | A _, (S | IS | IX) -> false
+  (* an exclusive holder is mid-flight: a checked assertional request (an
+     admission lock, or a legacy transaction's isolation lock) on the same
+     item must wait if the holding step interferes with the assertion *)
+  | X, A a -> sem.step_interferes ~step_type:held_step ~assertion:a
+  | (IS | IX | S), A _ -> false
+  (* admission: holder's A(pre(S_k,l)) stands for the completed prefix
+     S_k,1..S_k,l-1; check the prefix as a whole against the new assertion *)
+  | A held_a, A req_a when requester.req_admission ->
+      sem.prefix_interferes ~holder_assertion:held_a ~assertion:req_a
+  | A _, A _ -> false
+  (* compensation guarantees (§3.4): an item a transaction has modified may
+     later be re-written by its compensating step [cs]; assertions that [cs]
+     would interfere with must not attach to the item, in either order *)
+  | Comp cs, A a | A a, Comp cs -> sem.step_interferes ~step_type:cs ~assertion:a
+  | Comp _, (IS | IX | S | X) | (IS | IX | S | X), Comp _ -> false
+  | Comp _, Comp _ -> false
+
+let pp ppf = function
+  | IS -> Format.pp_print_string ppf "IS"
+  | IX -> Format.pp_print_string ppf "IX"
+  | S -> Format.pp_print_string ppf "S"
+  | X -> Format.pp_print_string ppf "X"
+  | A a -> Format.fprintf ppf "A(%d)" a
+  | Comp c -> Format.fprintf ppf "Comp(%d)" c
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,64 @@
+(** Lock modes and their conflict relation.
+
+    Beyond the classical hierarchical modes (IS/IX/S/X) there are the two
+    modes the ACC adds (paper §3.2–3.4):
+
+    - [A a] — an {e assertional lock} protecting interstep assertion [a]: a
+      write by a step [s] on an item carrying a foreign [A a] is delayed iff
+      the design-time interference table says [s] interferes with [a].
+    - [Comp cs] — a {e compensation lock}: acquired by forward steps on every
+      item they modify, naming the compensating step type [cs] that would undo
+      them.  It blocks later foreign assertional locks that [cs] would
+      interfere with, guaranteeing that a compensating step never waits on an
+      assertional lock (the unrecoverable-deadlock prevention of §3.4).
+
+    Conflicts involving [A]/[Comp] are not a static matrix: they defer to a
+    {!semantics} oracle — the run-time face of the design-time interference
+    tables. *)
+
+type t =
+  | IS  (** intend shared: tuple reads below this table *)
+  | IX  (** intend exclusive: tuple writes below this table *)
+  | S   (** shared *)
+  | X   (** exclusive *)
+  | A of int  (** assertional lock on assertion id *)
+  | Comp of int  (** compensation lock naming a compensating step type *)
+
+type semantics = {
+  step_interferes : step_type:int -> assertion:int -> bool;
+      (** Does an execution of step type [step_type] potentially falsify
+          assertion [assertion]?  Looked up for X-vs-A, A-vs-Comp and
+          Comp-vs-A pairs. *)
+  prefix_interferes : holder_assertion:int -> assertion:int -> bool;
+      (** Admission check of §3.3: the holder of [A holder_assertion] has
+          completed (or is completing) the step prefix leading to it; does
+          that prefix, as a whole, interfere with [assertion]? *)
+}
+
+val no_semantics : semantics
+(** Oracle for plain 2PL workloads: no step interferes with anything (there
+    are no assertional locks to protect). *)
+
+val conventional : t -> bool
+(** IS/IX/S/X — the modes released at step end; [A]/[Comp] survive. *)
+
+val covers : t -> t -> bool
+(** [covers held req]: holding [held] already grants [req] (e.g. X covers S,
+    S covers IS, every mode covers itself). *)
+
+type requester = {
+  req_step_type : int;  (** design-time step type making the request *)
+  req_admission : bool;
+      (** true only for the transaction-initiation acquisition of
+          [A (pre (S_i1))], which must run the prefix-interference check;
+          mid-transaction assertional locks are granted unconditionally and
+          never pass through conflict checking at all *)
+}
+
+val conflicts : semantics -> held:t -> held_step:int -> req:t -> requester:requester -> bool
+(** Conflict between a lock held by one transaction and a request by a
+    {e different} transaction (same-transaction pairs never conflict and must
+    be filtered by the caller). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

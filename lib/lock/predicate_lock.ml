@@ -1,0 +1,155 @@
+module Value = Acc_relation.Value
+module Predicate = Acc_relation.Predicate
+
+type mode = Read | Write
+
+(* --- conservative per-column constraint summaries ------------------------ *)
+
+(* The summary of what a conjunctive predicate says about one column. *)
+type col_constraint = {
+  eq : Value.t option;
+  ne : Value.t list;
+  lo : (Value.t * bool) option; (* bound, inclusive? *)
+  hi : (Value.t * bool) option;
+  inset : Value.t list option; (* IN list, when present *)
+}
+
+let top_constraint = { eq = None; ne = []; lo = None; hi = None; inset = None }
+
+type summary =
+  | Anything (* non-conjunctive structure: assume it can match any row *)
+  | Cols of (string * col_constraint) list
+
+let tighten_lo cur (v, incl) =
+  match cur with
+  | None -> Some (v, incl)
+  | Some (v', incl') ->
+      let c = Value.compare v v' in
+      if c > 0 then Some (v, incl)
+      else if c < 0 then Some (v', incl')
+      else Some (v, incl && incl')
+
+let tighten_hi cur (v, incl) =
+  match cur with
+  | None -> Some (v, incl)
+  | Some (v', incl') ->
+      let c = Value.compare v v' in
+      if c < 0 then Some (v, incl)
+      else if c > 0 then Some (v', incl')
+      else Some (v, incl && incl')
+
+let add_constraint cols col f =
+  let cur = Option.value ~default:top_constraint (List.assoc_opt col cols) in
+  (col, f cur) :: List.remove_assoc col cols
+
+let rec summarize p =
+  match p with
+  | Predicate.True -> Cols []
+  | Predicate.Eq (c, v) -> Cols [ (c, { top_constraint with eq = Some v }) ]
+  | Predicate.Ne (c, v) -> Cols [ (c, { top_constraint with ne = [ v ] }) ]
+  | Predicate.Cmp (op, c, v) ->
+      let cc =
+        match op with
+        | Predicate.Lt -> { top_constraint with hi = Some (v, false) }
+        | Predicate.Le -> { top_constraint with hi = Some (v, true) }
+        | Predicate.Gt -> { top_constraint with lo = Some (v, false) }
+        | Predicate.Ge -> { top_constraint with lo = Some (v, true) }
+      in
+      Cols [ (c, cc) ]
+  | Predicate.In (c, vs) -> Cols [ (c, { top_constraint with inset = Some vs }) ]
+  | Predicate.And (a, b) -> begin
+      match (summarize a, summarize b) with
+      | Anything, _ | _, Anything -> Anything
+      | Cols ca, Cols cb ->
+          let merge acc (col, cc) =
+            add_constraint acc col (fun cur ->
+                let eq, forced_empty =
+                  match (cur.eq, cc.eq) with
+                  | Some a, Some b when not (Value.equal a b) ->
+                      (* x = a AND x = b with a <> b: unsatisfiable *)
+                      (Some a, true)
+                  | (Some _ as e), _ | _, e -> (e, false)
+                in
+                {
+                  eq;
+                  ne = cc.ne @ cur.ne;
+                  lo = (match cc.lo with Some b -> tighten_lo cur.lo b | None -> cur.lo);
+                  hi = (match cc.hi with Some b -> tighten_hi cur.hi b | None -> cur.hi);
+                  inset =
+                    (if forced_empty then Some []
+                     else
+                       match (cur.inset, cc.inset) with
+                       | Some xs, Some ys ->
+                           Some (List.filter (fun x -> List.exists (Value.equal x) ys) xs)
+                       | Some xs, None -> Some xs
+                       | None, s -> s);
+                })
+          in
+          Cols (List.fold_left merge ca cb)
+    end
+  | Predicate.Or _ | Predicate.Not _ -> Anything
+
+(* Is the merged constraint on one column satisfiable? *)
+let satisfiable cc =
+  let within v =
+    (match cc.lo with
+    | Some (b, incl) ->
+        let c = Value.compare v b in
+        if incl then c >= 0 else c > 0
+    | None -> true)
+    && (match cc.hi with
+       | Some (b, incl) ->
+           let c = Value.compare v b in
+           if incl then c <= 0 else c < 0
+       | None -> true)
+    && not (List.exists (Value.equal v) cc.ne)
+  in
+  match (cc.eq, cc.inset) with
+  | Some v, Some vs -> List.exists (Value.equal v) vs && within v
+  | Some v, None -> within v
+  | None, Some vs -> List.exists within vs
+  | None, None -> (
+      (* interval nonempty?  discrete gaps from [ne] are ignored: sound,
+         conservative *)
+      match (cc.lo, cc.hi) with
+      | Some (l, li), Some (h, hi_incl) ->
+          let c = Value.compare l h in
+          c < 0 || (c = 0 && li && hi_incl)
+      | _ -> true)
+
+(* merge the two summaries column-wise and test satisfiability *)
+let may_intersect a b =
+  match summarize (Predicate.And (a, b)) with
+  | Anything -> true
+  | Cols cols -> List.for_all (fun (_, cc) -> satisfiable cc) cols
+
+let definitely_disjoint a b = not (may_intersect a b)
+
+(* --- the lock manager ------------------------------------------------------ *)
+
+type lock = { l_txn : int; l_mode : mode; l_table : string; l_pred : Predicate.t }
+
+type t = { mutable locks : lock list }
+
+let create () = { locks = [] }
+
+let conflict a b =
+  a.l_txn <> b.l_txn
+  && (a.l_mode = Write || b.l_mode = Write)
+  && String.equal a.l_table b.l_table
+  && may_intersect a.l_pred b.l_pred
+
+let acquire t ~txn ~mode ~table pred =
+  let candidate = { l_txn = txn; l_mode = mode; l_table = table; l_pred = pred } in
+  match
+    List.filter_map
+      (fun held -> if conflict held candidate then Some held.l_txn else None)
+      t.locks
+  with
+  | [] ->
+      t.locks <- candidate :: t.locks;
+      `Granted
+  | blockers -> `Conflict (List.sort_uniq compare blockers)
+
+let release_all t ~txn = t.locks <- List.filter (fun l -> l.l_txn <> txn) t.locks
+let lock_count t = List.length t.locks

@@ -1,0 +1,47 @@
+module Value = Acc_relation.Value
+
+type t = Table of string | Tuple of string * Value.t list
+
+let table_of = function Table t -> t | Tuple (t, _) -> t
+let parent = function Table _ -> None | Tuple (t, _) -> Some (Table t)
+
+let equal a b =
+  match (a, b) with
+  | Table x, Table y -> String.equal x y
+  | Tuple (x, kx), Tuple (y, ky) ->
+      String.equal x y && List.length kx = List.length ky && List.for_all2 Value.equal kx ky
+  | (Table _ | Tuple _), _ -> false
+
+let hash = Hashtbl.hash
+
+let compare a b =
+  match (a, b) with
+  | Table x, Table y -> String.compare x y
+  | Table _, Tuple _ -> -1
+  | Tuple _, Table _ -> 1
+  | Tuple (x, kx), Tuple (y, ky) ->
+      let c = String.compare x y in
+      if c <> 0 then c else List.compare Value.compare kx ky
+
+let pp ppf = function
+  | Table t -> Format.fprintf ppf "table:%s" t
+  | Tuple (t, k) ->
+      Format.fprintf ppf "%s[%a]" t
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Value.pp)
+        k
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hsh = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hsh)

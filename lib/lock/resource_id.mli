@@ -1,0 +1,23 @@
+(** Lockable database items.
+
+    The lock hierarchy has two levels: whole tables (locked with intention
+    modes, or S/X for full-table operations) and individual tuples (named by
+    table and primary key).  The paper attaches assertional locks "to any
+    database item that can be locked with a conventional lock"; both levels
+    qualify. *)
+
+type t =
+  | Table of string
+  | Tuple of string * Acc_relation.Value.t list  (** table name, primary key *)
+
+val table_of : t -> string
+val parent : t -> t option
+(** [parent (Tuple (t, _)) = Some (Table t)]; tables have no parent. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,39 @@
+let count ?where t = Table.scan_count ?where t
+
+let fold_column ?where t ~column ~init ~f =
+  let pos = Schema.position (Table.schema t) column in
+  List.fold_left (fun acc row -> f acc row.(pos)) init (Table.scan ?where t)
+
+let sum_int ?where t ~column =
+  fold_column ?where t ~column ~init:0 ~f:(fun acc v -> acc + Value.as_int v)
+
+let sum_float ?where t ~column =
+  fold_column ?where t ~column ~init:0. ~f:(fun acc v -> acc +. Value.number v)
+
+let extremum ?where t ~column better =
+  fold_column ?where t ~column ~init:None ~f:(fun acc v ->
+      match acc with
+      | None -> Some v
+      | Some best -> if better (Value.compare v best) then Some v else acc)
+
+let min_value ?where t ~column = extremum ?where t ~column (fun c -> c < 0)
+let max_value ?where t ~column = extremum ?where t ~column (fun c -> c > 0)
+
+let group_by ?where t ~key ~init ~f =
+  let schema = Table.schema t in
+  let positions = List.map (Schema.position schema) key in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let g = List.map (fun i -> row.(i)) positions in
+      let acc = Option.value ~default:init (Hashtbl.find_opt groups g) in
+      Hashtbl.replace groups g (f acc row))
+    (Table.scan ?where t);
+  Hashtbl.fold (fun g acc l -> (g, acc) :: l) groups []
+  |> List.sort (fun (a, _) (b, _) -> List.compare Value.compare a b)
+
+let count_by ?where t ~key = group_by ?where t ~key ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let sum_float_by ?where t ~key ~column =
+  let pos = Schema.position (Table.schema t) column in
+  group_by ?where t ~key ~init:0. ~f:(fun acc row -> acc +. Value.number row.(pos))

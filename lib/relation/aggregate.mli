@@ -1,0 +1,34 @@
+(** Aggregation helpers over tables: the read-side query vocabulary the
+    workloads and consistency checkers share (SQL's COUNT/SUM/MIN/MAX/GROUP
+    BY for this engine's scans). *)
+
+val count : ?where:Predicate.t -> Table.t -> int
+
+val sum_int : ?where:Predicate.t -> Table.t -> column:string -> int
+(** Sum of an integer column over the satisfying rows. *)
+
+val sum_float : ?where:Predicate.t -> Table.t -> column:string -> float
+(** Sum of a numeric (int or float) column. *)
+
+val min_value : ?where:Predicate.t -> Table.t -> column:string -> Value.t option
+val max_value : ?where:Predicate.t -> Table.t -> column:string -> Value.t option
+
+val group_by :
+  ?where:Predicate.t ->
+  Table.t ->
+  key:string list ->
+  init:'a ->
+  f:('a -> Value.t array -> 'a) ->
+  (Value.t list * 'a) list
+(** Fold the satisfying rows per group key, returning (group, accumulated)
+    pairs sorted by group key. *)
+
+val count_by :
+  ?where:Predicate.t -> Table.t -> key:string list -> (Value.t list * int) list
+
+val sum_float_by :
+  ?where:Predicate.t ->
+  Table.t ->
+  key:string list ->
+  column:string ->
+  (Value.t list * float) list

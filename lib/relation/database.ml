@@ -1,0 +1,33 @@
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let create_table t schema =
+  let name = Schema.name schema in
+  if Hashtbl.mem t.tables name then invalid_arg ("Database.create_table: duplicate " ^ name);
+  let table = Table.create schema in
+  Hashtbl.add t.tables name table;
+  table
+
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let table t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Database.table: no table " ^ name)
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort String.compare
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter (fun name tbl -> Hashtbl.add fresh.tables name (Table.copy tbl)) t.tables;
+  fresh
+
+let total_rows t = Hashtbl.fold (fun _ tbl acc -> acc + Table.cardinality tbl) t.tables 0
+
+let pp_summary ppf t =
+  List.iter
+    (fun name ->
+      Format.fprintf ppf "%-16s %6d rows@." name (Table.cardinality (table t name)))
+    (table_names t)

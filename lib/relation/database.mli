@@ -1,0 +1,25 @@
+(** A database: a mutable namespace of {!Table.t}. *)
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> Schema.t -> Table.t
+(** Create and register an empty table.  Raises [Invalid_argument] if a
+    table with that schema name already exists. *)
+
+val table : t -> string -> Table.t
+(** Raises [Invalid_argument] if absent. *)
+
+val find_table : t -> string -> Table.t option
+val table_names : t -> string list
+(** Sorted. *)
+
+val copy : t -> t
+(** Deep copy of every table: used by crash-recovery tests to rebuild a
+    database from a log against a pristine baseline. *)
+
+val total_rows : t -> int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line per table with its cardinality. *)

@@ -1,0 +1,67 @@
+type comparison = Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Eq of string * Value.t
+  | Ne of string * Value.t
+  | Cmp of comparison * string * Value.t
+  | In of string * Value.t list
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let conj = function [] -> True | p :: ps -> List.fold_left (fun a b -> And (a, b)) p ps
+
+let holds cmp c =
+  match cmp with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
+
+let rec compile schema p =
+  match p with
+  | True -> fun _ -> true
+  | Eq (col, v) ->
+      let i = Schema.position schema col in
+      fun row -> Value.equal row.(i) v
+  | Ne (col, v) ->
+      let i = Schema.position schema col in
+      fun row -> not (Value.equal row.(i) v)
+  | Cmp (cmp, col, v) ->
+      let i = Schema.position schema col in
+      fun row -> holds cmp (Value.compare row.(i) v)
+  | In (col, vs) ->
+      let i = Schema.position schema col in
+      fun row -> List.exists (Value.equal row.(i)) vs
+  | And (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun row -> fa row && fb row
+  | Or (a, b) ->
+      let fa = compile schema a and fb = compile schema b in
+      fun row -> fa row || fb row
+  | Not a ->
+      let fa = compile schema a in
+      fun row -> not (fa row)
+
+let rec equality_bindings = function
+  | Eq (col, v) -> [ (col, v) ]
+  | And (a, b) -> equality_bindings a @ equality_bindings b
+  | True | Ne _ | Cmp _ | In _ | Or _ | Not _ -> []
+
+let rec comparison_bindings = function
+  | Cmp (op, col, v) -> [ (op, col, v) ]
+  | And (a, b) -> comparison_bindings a @ comparison_bindings b
+  | True | Eq _ | Ne _ | In _ | Or _ | Not _ -> []
+
+let pp_comparison ppf cmp =
+  Format.pp_print_string ppf (match cmp with Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Eq (c, v) -> Format.fprintf ppf "%s = %a" c Value.pp v
+  | Ne (c, v) -> Format.fprintf ppf "%s <> %a" c Value.pp v
+  | Cmp (cmp, c, v) -> Format.fprintf ppf "%s %a %a" c pp_comparison cmp Value.pp v
+  | In (c, vs) ->
+      Format.fprintf ppf "%s in (%a)" c
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Value.pp)
+        vs
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(not %a)" pp a

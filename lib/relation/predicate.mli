@@ -1,0 +1,33 @@
+(** First-order row predicates for scans.
+
+    Predicates are a small structured language (no closures) so they can be
+    printed in traces and inspected for index applicability. *)
+
+type comparison = Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Eq of string * Value.t
+  | Ne of string * Value.t
+  | Cmp of comparison * string * Value.t  (** [column <op> constant] *)
+  | In of string * Value.t list
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val conj : t list -> t
+(** Conjunction of a list ([True] when empty). *)
+
+val compile : Schema.t -> t -> Value.t array -> bool
+(** Resolve column names to positions once; the returned closure evaluates
+    rows. Raises [Invalid_argument] on unknown columns. *)
+
+val equality_bindings : t -> (string * Value.t) list
+(** Columns bound by equality in every satisfying row: the [Eq] conjuncts
+    reachable through [And] only.  Used for index selection. *)
+
+val comparison_bindings : t -> (comparison * string * Value.t) list
+(** The [Cmp] conjuncts reachable through [And] only: range constraints that
+    hold of every satisfying row.  Used for ordered-index selection. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type column = { name : string; ty : Value.ty; nullable : bool }
+
+type t = {
+  name : string;
+  columns : column array;
+  positions : (string, int) Hashtbl.t;
+  key : string list;
+  key_positions : int array;
+}
+
+let col ?(nullable = false) name ty = { name; ty; nullable }
+
+let make ~name ~key (columns : column list) =
+  if key = [] then invalid_arg (name ^ ": empty primary key");
+  let columns = Array.of_list columns in
+  let positions = Hashtbl.create (Array.length columns) in
+  Array.iteri
+    (fun i (c : column) ->
+      if Hashtbl.mem positions c.name then
+        invalid_arg (Printf.sprintf "%s: duplicate column %s" name c.name);
+      Hashtbl.add positions c.name i)
+    columns;
+  let key_positions =
+    Array.of_list
+      (List.map
+         (fun k ->
+           match Hashtbl.find_opt positions k with
+           | Some i ->
+               if columns.(i).nullable then
+                 invalid_arg (Printf.sprintf "%s: nullable key column %s" name k);
+               i
+           | None -> invalid_arg (Printf.sprintf "%s: unknown key column %s" name k))
+         key)
+  in
+  { name; columns; positions; key; key_positions }
+
+let name t = t.name
+let columns t = t.columns
+let arity t = Array.length t.columns
+let key_columns t = t.key
+let key_positions t = t.key_positions
+
+let position t cname =
+  match Hashtbl.find_opt t.positions cname with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "%s: unknown column %s" t.name cname)
+
+let mem t cname = Hashtbl.mem t.positions cname
+let column t cname = t.columns.(position t cname)
+
+let check_row t row =
+  if Array.length row <> arity t then
+    Error
+      (Printf.sprintf "%s: row arity %d, expected %d" t.name (Array.length row) (arity t))
+  else begin
+    let problem = ref None in
+    Array.iteri
+      (fun i v ->
+        if !problem = None then
+          let c = t.columns.(i) in
+          if v = Value.Null then begin
+            if not c.nullable then
+              problem := Some (Printf.sprintf "%s.%s: NULL not allowed" t.name c.name)
+          end
+          else if not (Value.has_type v c.ty) then
+            problem :=
+              Some
+                (Format.asprintf "%s.%s: %a is not a %a" t.name c.name Value.pp v
+                   Value.pp_ty c.ty))
+      row;
+    match !problem with None -> Ok () | Some msg -> Error msg
+  end
+
+let key_of_row t row = Array.to_list (Array.map (fun i -> row.(i)) t.key_positions)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>table %s (key: %s)@," t.name (String.concat ", " t.key);
+  Array.iter
+    (fun (c : column) ->
+      Format.fprintf ppf "%s : %a%s@," c.name Value.pp_ty c.ty
+        (if c.nullable then " null" else ""))
+    t.columns;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** Table schemas: named, typed columns with a designated primary key. *)
+
+type column = { name : string; ty : Value.ty; nullable : bool }
+
+type t
+
+val make : name:string -> key:string list -> column list -> t
+(** [make ~name ~key columns] builds a schema.  Raises [Invalid_argument] if
+    column names are not distinct, [key] is empty, or a key column is missing
+    or nullable. *)
+
+val name : t -> string
+val columns : t -> column array
+val arity : t -> int
+val key_columns : t -> string list
+val key_positions : t -> int array
+
+val position : t -> string -> int
+(** Index of a column by name; raises [Invalid_argument] if absent. *)
+
+val mem : t -> string -> bool
+val column : t -> string -> column
+
+val check_row : t -> Value.t array -> (unit, string) result
+(** Arity, per-column type, and null admissibility. *)
+
+val key_of_row : t -> Value.t array -> Value.t list
+(** Extract the primary-key values of a (schema-valid) row. *)
+
+val pp : Format.formatter -> t -> unit
+
+val col : ?nullable:bool -> string -> Value.ty -> column
+(** Convenience constructor; [nullable] defaults to [false]. *)

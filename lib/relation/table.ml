@@ -1,0 +1,280 @@
+type key = Value.t list
+
+exception Duplicate_key of string * key
+exception No_such_row of string * key
+exception Invalid_row of string
+
+type index = {
+  index_name : string;
+  index_positions : int array;
+  (* secondary key -> set of primary keys *)
+  entries : (Value.t list, (key, unit) Hashtbl.t) Hashtbl.t;
+}
+
+type t = {
+  schema : Schema.t;
+  rows : (key, Value.t array) Hashtbl.t;
+  mutable indexes : index list;
+  mutable ordered : (Ordered_index.t * int array) list;
+  mutable last_scan_cost : int;
+}
+
+let create schema =
+  { schema; rows = Hashtbl.create 256; indexes = []; ordered = []; last_scan_cost = 0 }
+let schema t = t.schema
+let name t = Schema.name t.schema
+let cardinality t = Hashtbl.length t.rows
+let last_scan_cost t = t.last_scan_cost
+
+let index_key idx row = Array.to_list (Array.map (fun i -> row.(i)) idx.index_positions)
+
+let index_add idx ~pk row =
+  let k = index_key idx row in
+  let set =
+    match Hashtbl.find_opt idx.entries k with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.add idx.entries k s;
+        s
+  in
+  Hashtbl.replace set pk ()
+
+let index_remove idx ~pk row =
+  let k = index_key idx row in
+  match Hashtbl.find_opt idx.entries k with
+  | None -> ()
+  | Some set ->
+      Hashtbl.remove set pk;
+      if Hashtbl.length set = 0 then Hashtbl.remove idx.entries k
+
+let index_name_taken t name =
+  List.exists (fun i -> i.index_name = name) t.indexes
+  || List.exists (fun (o, _) -> Ordered_index.name o = name) t.ordered
+
+let add_index t ~name cols =
+  if index_name_taken t name then
+    invalid_arg (Printf.sprintf "%s: duplicate index %s" (Schema.name t.schema) name);
+  let index_positions = Array.of_list (List.map (Schema.position t.schema) cols) in
+  let idx = { index_name = name; index_positions; entries = Hashtbl.create 256 } in
+  Hashtbl.iter (fun pk row -> index_add idx ~pk row) t.rows;
+  t.indexes <- idx :: t.indexes
+
+let add_ordered_index t ~name cols =
+  if index_name_taken t name then
+    invalid_arg (Printf.sprintf "%s: duplicate index %s" (Schema.name t.schema) name);
+  let positions = Array.of_list (List.map (Schema.position t.schema) cols) in
+  let key_of row = Array.to_list (Array.map (fun i -> row.(i)) positions) in
+  let idx = Ordered_index.create ~name ~key_of in
+  Hashtbl.iter (fun pk row -> Ordered_index.insert idx ~pk row) t.rows;
+  t.ordered <- (idx, positions) :: t.ordered
+
+let find_ordered t name =
+  match List.find_opt (fun (o, _) -> Ordered_index.name o = name) t.ordered with
+  | Some (o, _) -> o
+  | None -> invalid_arg (Printf.sprintf "%s: no ordered index %s" (Schema.name t.schema) name)
+
+let range_lookup t ~index ?lo ?hi () = Ordered_index.range (find_ordered t index) ?lo ?hi ()
+let min_lookup t ~index ?above () = Ordered_index.min_entry (find_ordered t index) ?above ()
+
+let validate t row =
+  match Schema.check_row t.schema row with
+  | Ok () -> ()
+  | Error msg -> raise (Invalid_row msg)
+
+let insert t row =
+  validate t row;
+  let row = Array.copy row in
+  let pk = Schema.key_of_row t.schema row in
+  if Hashtbl.mem t.rows pk then raise (Duplicate_key (name t, pk));
+  Hashtbl.add t.rows pk row;
+  List.iter (fun idx -> index_add idx ~pk row) t.indexes;
+  List.iter (fun (o, _) -> Ordered_index.insert o ~pk row) t.ordered
+
+let get t pk = Option.map Array.copy (Hashtbl.find_opt t.rows pk)
+
+let get_exn t pk =
+  match get t pk with Some row -> row | None -> raise (No_such_row (name t, pk))
+
+let mem t pk = Hashtbl.mem t.rows pk
+
+let update t pk f =
+  match Hashtbl.find_opt t.rows pk with
+  | None -> raise (No_such_row (name t, pk))
+  | Some old_row ->
+      let new_row = f (Array.copy old_row) in
+      validate t new_row;
+      let new_row = Array.copy new_row in
+      let new_pk = Schema.key_of_row t.schema new_row in
+      if new_pk <> pk then
+        raise (Invalid_row (Printf.sprintf "%s: update may not change the primary key" (name t)));
+      Hashtbl.replace t.rows pk new_row;
+      List.iter
+        (fun idx ->
+          if index_key idx old_row <> index_key idx new_row then begin
+            index_remove idx ~pk old_row;
+            index_add idx ~pk new_row
+          end)
+        t.indexes;
+      List.iter
+        (fun (o, _) ->
+          Ordered_index.remove o ~pk old_row;
+          Ordered_index.insert o ~pk new_row)
+        t.ordered;
+      Array.copy new_row
+
+let set_column t pk col v =
+  let i = Schema.position t.schema col in
+  update t pk (fun row ->
+      row.(i) <- v;
+      row)
+
+let delete t pk =
+  match Hashtbl.find_opt t.rows pk with
+  | None -> raise (No_such_row (name t, pk))
+  | Some row ->
+      Hashtbl.remove t.rows pk;
+      List.iter (fun idx -> index_remove idx ~pk row) t.indexes;
+      List.iter (fun (o, _) -> Ordered_index.remove o ~pk row) t.ordered;
+      row
+
+(* Pick an index whose columns are all bound by equality in the predicate. *)
+let applicable_index t where =
+  let bindings = Predicate.equality_bindings where in
+  let bound col = List.assoc_opt col bindings in
+  let rec try_indexes = function
+    | [] -> None
+    | idx :: rest ->
+        let cols =
+          Array.map (fun i -> (Schema.columns t.schema).(i).Schema.name) idx.index_positions
+        in
+        let probe = Array.map bound cols in
+        if Array.for_all Option.is_some probe then
+          Some (idx, Array.to_list (Array.map Option.get probe))
+        else try_indexes rest
+  in
+  try_indexes t.indexes
+
+(* An ordered index applies when a prefix of its columns is equality-bound
+   and (optionally) the next column carries a range constraint: the classic
+   composite-index access path.  The extracted candidate set may be a
+   superset of the answer; the caller's residual filter finishes the job. *)
+let applicable_ordered_index t where =
+  let eqs = Predicate.equality_bindings where in
+  let cmps = Predicate.comparison_bindings where in
+  let col_name i = (Schema.columns t.schema).(i).Schema.name in
+  let rec try_ordered = function
+    | [] -> None
+    | (o, positions) :: rest ->
+        let cols = Array.to_list (Array.map col_name positions) in
+        let rec split_prefix acc = function
+          | c :: cs when List.mem_assoc c eqs -> split_prefix (List.assoc c eqs :: acc) cs
+          | remaining -> (List.rev acc, remaining)
+        in
+        let prefix_vals, rest_cols = split_prefix [] cols in
+        let lo_bound, hi_bound =
+          match rest_cols with
+          | c :: _ ->
+              ( List.find_map
+                  (fun (op, c', v) ->
+                    if c' = c && (op = Predicate.Ge || op = Predicate.Gt) then Some v else None)
+                  cmps,
+                List.find_map
+                  (fun (op, c', v) ->
+                    if c' = c && (op = Predicate.Le || op = Predicate.Lt) then Some v else None)
+                  cmps )
+          | [] -> (None, None)
+        in
+        if prefix_vals = [] && lo_bound = None && hi_bound = None then try_ordered rest
+        else begin
+          let with_bound bound =
+            match bound with
+            | Some v -> Some (prefix_vals @ [ v ])
+            | None -> if prefix_vals = [] then None else Some prefix_vals
+          in
+          Some
+            (List.map snd
+               (Ordered_index.range o ?lo:(with_bound lo_bound) ?hi:(with_bound hi_bound) ()))
+        end
+  in
+  try_ordered t.ordered
+
+let candidates t where =
+  match applicable_index t where with
+  | Some (idx, probe_key) -> begin
+      match Hashtbl.find_opt idx.entries probe_key with
+      | None -> []
+      | Some set -> Hashtbl.fold (fun pk () acc -> pk :: acc) set []
+    end
+  | None -> (
+      match applicable_ordered_index t where with
+      | Some pks -> pks
+      | None -> Hashtbl.fold (fun pk _ acc -> pk :: acc) t.rows [])
+
+let scan_matches ?(where = Predicate.True) t f =
+  let test = Predicate.compile t.schema where in
+  let pks = List.sort compare (candidates t where) in
+  t.last_scan_cost <- List.length pks;
+  List.iter
+    (fun pk ->
+      match Hashtbl.find_opt t.rows pk with
+      | Some row when test row -> f pk row
+      | Some _ | None -> ())
+    pks
+
+let scan ?where t =
+  let acc = ref [] in
+  scan_matches ?where t (fun _ row -> acc := Array.copy row :: !acc);
+  List.rev !acc
+
+let scan_count ?where t =
+  let n = ref 0 in
+  scan_matches ?where t (fun _ _ -> incr n);
+  !n
+
+let scan_keys ?where t =
+  let acc = ref [] in
+  scan_matches ?where t (fun pk _ -> acc := pk :: !acc);
+  List.rev !acc
+
+let index_lookup t ~index probe =
+  match List.find_opt (fun i -> i.index_name = index) t.indexes with
+  | None -> invalid_arg (Printf.sprintf "%s: no index %s" (name t) index)
+  | Some idx -> begin
+      match Hashtbl.find_opt idx.entries probe with
+      | None -> []
+      | Some set -> List.sort compare (Hashtbl.fold (fun pk () acc -> pk :: acc) set [])
+    end
+
+let iter f t =
+  let snapshot = Hashtbl.fold (fun pk row acc -> (pk, Array.copy row) :: acc) t.rows [] in
+  List.iter (fun (pk, row) -> f pk row) (List.sort compare snapshot)
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun pk row -> acc := f pk row !acc) t;
+  !acc
+
+let copy t =
+  let fresh = create t.schema in
+  Hashtbl.iter (fun pk row -> Hashtbl.add fresh.rows pk (Array.copy row)) t.rows;
+  List.iter
+    (fun idx ->
+      let cols =
+        Array.to_list
+          (Array.map (fun i -> (Schema.columns t.schema).(i).Schema.name) idx.index_positions)
+      in
+      add_index fresh ~name:idx.index_name cols)
+    (List.rev t.indexes);
+  List.iter
+    (fun (o, positions) ->
+      let fresh_idx =
+        Ordered_index.create ~name:(Ordered_index.name o) ~key_of:(Ordered_index.projection o)
+      in
+      Hashtbl.iter (fun pk row -> Ordered_index.insert fresh_idx ~pk row) fresh.rows;
+      fresh.ordered <- (fresh_idx, positions) :: fresh.ordered)
+    (List.rev t.ordered);
+  fresh.last_scan_cost <- t.last_scan_cost;
+  fresh
+
+let field t row col = row.(Schema.position t.schema col)

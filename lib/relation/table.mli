@@ -1,0 +1,93 @@
+(** In-memory tables: a primary-key hash plus optional secondary hash
+    indexes, maintained transparently by the mutators.
+
+    Rows are immutable value arrays; an update replaces the whole row.  This
+    makes before-images for the WAL free (just keep the old array) and rules
+    out aliasing bugs between the store and transaction workspaces. *)
+
+type t
+
+type key = Value.t list
+(** Primary-key values in schema key order. *)
+
+exception Duplicate_key of string * key
+exception No_such_row of string * key
+exception Invalid_row of string
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val name : t -> string
+val cardinality : t -> int
+
+val add_index : t -> name:string -> string list -> unit
+(** Secondary hash index on the given columns.  May be added to a populated
+    table (it is built immediately).  Raises [Invalid_argument] on duplicate
+    index names or unknown columns. *)
+
+val insert : t -> Value.t array -> unit
+(** Raises {!Invalid_row} if the row does not satisfy the schema and
+    {!Duplicate_key} if the primary key is taken.  The array is copied. *)
+
+val get : t -> key -> Value.t array option
+(** Point lookup; the returned array is a copy. *)
+
+val get_exn : t -> key -> Value.t array
+
+val mem : t -> key -> bool
+
+val update : t -> key -> (Value.t array -> Value.t array) -> Value.t array
+(** [update t k f] replaces the row at [k] with [f row]; returns the {e new}
+    row. [f] receives a private copy.  Raises {!No_such_row} if absent,
+    {!Invalid_row} if the result is schema-invalid or changes the primary
+    key (delete + insert is the supported way to move a row). *)
+
+val set_column : t -> key -> string -> Value.t -> Value.t array
+(** Specialised single-column update; returns the new row. *)
+
+val delete : t -> key -> Value.t array
+(** Remove and return the row.  Raises {!No_such_row} if absent. *)
+
+val scan : ?where:Predicate.t -> t -> Value.t array list
+(** All rows satisfying the predicate (copies).  Uses a secondary index when
+    the predicate's equality bindings cover one; otherwise a full scan.
+    Result order is unspecified but deterministic for a given history. *)
+
+val scan_count : ?where:Predicate.t -> t -> int
+(** [List.length (scan ~where t)] without building the rows. *)
+
+val scan_keys : ?where:Predicate.t -> t -> key list
+(** Primary keys of the satisfying rows. *)
+
+val index_lookup : t -> index:string -> Value.t list -> key list
+(** Exact-match probe of a secondary index. *)
+
+val add_ordered_index : t -> name:string -> string list -> unit
+(** Ordered secondary index on the given columns; supports range and
+    min/max probes.  May be added to a populated table. *)
+
+val range_lookup :
+  t -> index:string -> ?lo:Value.t list -> ?hi:Value.t list -> unit ->
+  (Value.t list * key) list
+(** Entries of an ordered index with [lo <= key <= hi] (lexicographic;
+    shorter bounds act as prefix bounds), ascending. *)
+
+val min_lookup :
+  t -> index:string -> ?above:Value.t list -> unit -> (Value.t list * key) option
+(** Smallest entry of an ordered index, optionally strictly above a key. *)
+
+val iter : (key -> Value.t array -> unit) -> t -> unit
+(** Iterate over a snapshot of the rows; the visited arrays are copies, and
+    mutating the table from the callback is allowed. *)
+
+val fold : (key -> Value.t array -> 'a -> 'a) -> t -> 'a -> 'a
+
+val last_scan_cost : t -> int
+(** Number of rows examined by the most recent [scan]/[scan_count]/
+    [scan_keys]: the harness reads this to charge simulated CPU. *)
+
+val copy : t -> t
+(** Deep copy (rows and indexes). *)
+
+val field : t -> Value.t array -> string -> Value.t
+(** [field t row col] reads a column by name, e.g.
+    [Value.as_int (Table.field stock row "s_level")]. *)

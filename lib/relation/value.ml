@@ -1,0 +1,63 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null
+
+type ty = Tint | Tfloat | Tstr | Tbool
+
+let type_of = function
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstr
+  | Bool _ -> Some Tbool
+  | Null -> None
+
+let has_type v ty = match type_of v with None -> true | Some t -> t = ty
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Null, Null -> true
+  | (Int _ | Float _ | Str _ | Bool _ | Null), _ -> false
+
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ -> 2 | Float _ -> 3 | Str _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Null, Null -> 0
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Null -> Format.pp_print_string ppf "NULL"
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with Tint -> "int" | Tfloat -> "float" | Tstr -> "string" | Tbool -> "bool")
+
+let to_string v = Format.asprintf "%a" pp v
+
+let type_error expected v =
+  invalid_arg (Format.asprintf "Value.as_%s: got %a" expected pp v)
+
+let as_int = function Int n -> n | v -> type_error "int" v
+let as_float = function Float f -> f | v -> type_error "float" v
+let as_str = function Str s -> s | v -> type_error "str" v
+let as_bool = function Bool b -> b | v -> type_error "bool" v
+
+let number = function
+  | Int n -> float_of_int n
+  | Float f -> f
+  | v -> type_error "number" v

@@ -1,0 +1,39 @@
+(** Typed scalar values stored in relations. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null
+
+type ty = Tint | Tfloat | Tstr | Tbool
+
+val type_of : t -> ty option
+(** [None] for {!Null}, which inhabits every column type. *)
+
+val has_type : t -> ty -> bool
+(** True for exact type matches and for [Null] against any type. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Null] equals only [Null] (this is storage equality,
+    not SQL three-valued logic). *)
+
+val compare : t -> t -> int
+(** Total order: within a type the natural order; across types an arbitrary
+    but fixed order with [Null] first. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val to_string : t -> string
+
+(** Checked projections; raise [Invalid_argument] on a type mismatch so that
+    workload bugs fail fast instead of corrupting an experiment. *)
+
+val as_int : t -> int
+val as_float : t -> float
+val as_str : t -> string
+val as_bool : t -> bool
+
+val number : t -> float
+(** Numeric reading of [Int] or [Float]; raises on other shapes. *)

@@ -1,0 +1,187 @@
+module Database = Acc_relation.Database
+module Table = Acc_relation.Table
+open Acc_relation.Value
+
+let conditions =
+  [
+    (1, "w_ytd = sum(d_ytd) for the warehouse's districts");
+    (2, "d_next_o_id - 1 >= max(o_id) per district, with equality when orders exist");
+    (3, "new_order queue ids are distinct, within (delivered, next) range");
+    (4, "sum(o_ol_cnt) = count(order_line) per district");
+    (5, "o_carrier_id = -1 iff the order has a new_order queue row");
+    (6, "count(order_line of order) = o_ol_cnt for every order");
+    (7, "ol_delivery_d set iff the owning order is delivered");
+    (8, "w_ytd = sum(h_amount) for the warehouse");
+    (9, "d_ytd = sum(h_amount) for the district");
+    (10, "c_balance + c_ytd_payment = sum(delivered ol_amount) for the customer");
+    (11, "per district: orders - cancelled - delivered = queue length");
+    (12, "s_ytd = sum(ol_quantity) over the item's order lines; quantities sane");
+  ]
+
+let near a b = Float.abs (a -. b) < 1e-6 *. (1.0 +. Float.abs a +. Float.abs b)
+
+let check db =
+  let problems = ref [] in
+  let complain c fmt =
+    Format.kasprintf (fun s -> problems := Printf.sprintf "C%d: %s" c s :: !problems) fmt
+  in
+  let warehouse = Database.table db "warehouse" in
+  let district = Database.table db "district" in
+  let customer = Database.table db "customer" in
+  let history = Database.table db "history" in
+  let orders = Database.table db "orders" in
+  let new_order = Database.table db "new_order" in
+  let order_line = Database.table db "order_line" in
+  let stock = Database.table db "stock" in
+  (* gather once: per-(w,d) aggregates *)
+  let dist_sum_ytd = Hashtbl.create 16 (* w -> sum d_ytd *) in
+  let hist_w = Hashtbl.create 16 and hist_d = Hashtbl.create 64 in
+  let hist_c = Hashtbl.create 256 in
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(1) and d = as_int row.(2) and c = as_int row.(3) in
+      let amt = number row.(4) in
+      let bump tbl key = Hashtbl.replace tbl key (amt +. Option.value ~default:0. (Hashtbl.find_opt tbl key)) in
+      bump hist_w w;
+      bump hist_d (w, d);
+      bump hist_c (w, d, c))
+    history;
+  let queue_ids = Hashtbl.create 64 (* (w,d) -> o_id list *) in
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(0) and d = as_int row.(1) and o = as_int row.(2) in
+      Hashtbl.replace queue_ids (w, d)
+        (o :: Option.value ~default:[] (Hashtbl.find_opt queue_ids (w, d))))
+    new_order;
+  (* per-order line aggregates *)
+  let lines_per_order = Hashtbl.create 1024 in
+  let delivered_amount_per_order = Hashtbl.create 1024 in
+  let lines_per_district = Hashtbl.create 64 in
+  let qty_per_item = Hashtbl.create 256 in
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(0) and d = as_int row.(1) and o = as_int row.(2) in
+      let item = as_int row.(4) and qty = as_int row.(5) in
+      let amount = number row.(6) and delivered = as_int row.(7) >= 0 in
+      let bump tbl key v =
+        Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      in
+      bump lines_per_order (w, d, o) 1;
+      bump lines_per_district (w, d) 1;
+      bump qty_per_item (w, item) qty;
+      if delivered then
+        Hashtbl.replace delivered_amount_per_order (w, d, o)
+          (amount +. Option.value ~default:0. (Hashtbl.find_opt delivered_amount_per_order (w, d, o)));
+      if qty < 1 then complain 12 "order_line (%d,%d,%d) has quantity %d" w d o qty)
+    order_line;
+  (* orders pass: conditions 2,3,4,5,6,7,10,11 pieces *)
+  let max_o_id = Hashtbl.create 64 in
+  let order_count = Hashtbl.create 64 in
+  let cancelled_count = Hashtbl.create 64 in
+  let delivered_count = Hashtbl.create 64 in
+  let ol_cnt_sum = Hashtbl.create 64 in
+  let delivered_amount_per_customer = Hashtbl.create 256 in
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(0) and d = as_int row.(1) and o = as_int row.(2) in
+      let c = as_int row.(3) and carrier = as_int row.(4) and ol_cnt = as_int row.(5) in
+      let bump tbl key v =
+        Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      in
+      Hashtbl.replace max_o_id (w, d) (max o (Option.value ~default:0 (Hashtbl.find_opt max_o_id (w, d))));
+      bump order_count (w, d) 1;
+      bump ol_cnt_sum (w, d) ol_cnt;
+      if carrier = -2 then bump cancelled_count (w, d) 1;
+      if carrier >= 0 then bump delivered_count (w, d) 1;
+      (* C6 *)
+      let actual_lines = Option.value ~default:0 (Hashtbl.find_opt lines_per_order (w, d, o)) in
+      if actual_lines <> ol_cnt then
+        complain 6 "order (%d,%d,%d): o_ol_cnt=%d but %d order lines" w d o ol_cnt actual_lines;
+      (* C5 *)
+      let queued =
+        List.mem o (Option.value ~default:[] (Hashtbl.find_opt queue_ids (w, d)))
+      in
+      if carrier = -1 && not queued then
+        complain 5 "undelivered order (%d,%d,%d) missing from new_order queue" w d o;
+      if carrier <> -1 && queued then
+        complain 5 "order (%d,%d,%d) with carrier %d still queued" w d o carrier;
+      (* C7 *)
+      let delivered_amt = Hashtbl.find_opt delivered_amount_per_order (w, d, o) in
+      if carrier >= 0 && actual_lines > 0 && delivered_amt = None then
+        complain 7 "delivered order (%d,%d,%d) has undelivered lines" w d o;
+      if carrier < 0 && delivered_amt <> None then
+        complain 7 "undelivered order (%d,%d,%d) has delivered lines" w d o;
+      (* accumulate delivered amounts per customer for C10 *)
+      (match delivered_amt with
+      | Some amt ->
+          Hashtbl.replace delivered_amount_per_customer (w, d, c)
+            (amt
+            +. Option.value ~default:0. (Hashtbl.find_opt delivered_amount_per_customer (w, d, c)))
+      | None -> ()))
+    orders;
+  (* district pass *)
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(0) and d = as_int row.(1) in
+      let d_ytd = number row.(4) and next_o = as_int row.(5) in
+      let bump tbl key v = Hashtbl.replace tbl key (v +. Option.value ~default:0. (Hashtbl.find_opt tbl key)) in
+      bump dist_sum_ytd w d_ytd;
+      (* C2 *)
+      let mx = Option.value ~default:0 (Hashtbl.find_opt max_o_id (w, d)) in
+      if Option.is_some (Hashtbl.find_opt order_count (w, d)) && next_o - 1 <> mx then
+        complain 2 "district (%d,%d): d_next_o_id=%d but max o_id=%d" w d next_o mx;
+      (* C3 *)
+      let ids = List.sort Stdlib.compare (Option.value ~default:[] (Hashtbl.find_opt queue_ids (w, d))) in
+      let rec dup = function a :: b :: _ when a = b -> true | _ :: r -> dup r | [] -> false in
+      if dup ids then complain 3 "district (%d,%d): duplicate queue entries" w d;
+      List.iter
+        (fun o -> if o < 1 || o >= next_o then complain 3 "district (%d,%d): queue id %d out of range" w d o)
+        ids;
+      (* C4 *)
+      let sum_cnt = Option.value ~default:0 (Hashtbl.find_opt ol_cnt_sum (w, d)) in
+      let line_cnt = Option.value ~default:0 (Hashtbl.find_opt lines_per_district (w, d)) in
+      if sum_cnt <> line_cnt then
+        complain 4 "district (%d,%d): sum(o_ol_cnt)=%d, order lines=%d" w d sum_cnt line_cnt;
+      (* C9 *)
+      let h = Option.value ~default:0. (Hashtbl.find_opt hist_d (w, d)) in
+      if not (near d_ytd h) then complain 9 "district (%d,%d): d_ytd=%.2f, history=%.2f" w d d_ytd h;
+      (* C11 *)
+      let n_orders = Option.value ~default:0 (Hashtbl.find_opt order_count (w, d)) in
+      let n_cancel = Option.value ~default:0 (Hashtbl.find_opt cancelled_count (w, d)) in
+      let n_deliv = Option.value ~default:0 (Hashtbl.find_opt delivered_count (w, d)) in
+      let n_queue = List.length ids in
+      if n_orders - n_cancel - n_deliv <> n_queue then
+        complain 11 "district (%d,%d): %d orders - %d cancelled - %d delivered <> %d queued" w d
+          n_orders n_cancel n_deliv n_queue)
+    district;
+  (* warehouse pass: C1, C8 *)
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(0) in
+      let w_ytd = number row.(3) in
+      let dsum = Option.value ~default:0. (Hashtbl.find_opt dist_sum_ytd w) in
+      if not (near w_ytd dsum) then complain 1 "warehouse %d: w_ytd=%.2f, sum(d_ytd)=%.2f" w w_ytd dsum;
+      let h = Option.value ~default:0. (Hashtbl.find_opt hist_w w) in
+      if not (near w_ytd h) then complain 8 "warehouse %d: w_ytd=%.2f, history=%.2f" w w_ytd h)
+    warehouse;
+  (* customer pass: C10 *)
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(0) and d = as_int row.(1) and c = as_int row.(2) in
+      let balance = number row.(6) and ytd_pay = number row.(7) in
+      let delivered =
+        Option.value ~default:0. (Hashtbl.find_opt delivered_amount_per_customer (w, d, c))
+      in
+      if not (near (balance +. ytd_pay) delivered) then
+        complain 10 "customer (%d,%d,%d): balance %.2f + ytd %.2f <> delivered %.2f" w d c balance
+          ytd_pay delivered)
+    customer;
+  (* stock pass: C12 *)
+  Table.iter
+    (fun _ row ->
+      let w = as_int row.(0) and i = as_int row.(1) in
+      let s_ytd = as_int row.(3) in
+      let sold = Option.value ~default:0 (Hashtbl.find_opt qty_per_item (w, i)) in
+      if s_ytd <> sold then complain 12 "stock (%d,%d): s_ytd=%d, sum(ol_quantity)=%d" w i s_ytd sold)
+    stock;
+  List.rev !problems

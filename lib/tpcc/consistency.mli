@@ -1,0 +1,19 @@
+(** The TPC-C consistency constraint — "I has twelve components" (§5.1).
+
+    Conditions follow the spec's §3.3.2 consistency requirements, adapted for
+    the ACC's cancelled orders: a compensated new-order keeps its order row,
+    marked cancelled ([o_carrier_id = -2], [o_ol_cnt = 0]), because the
+    consumed order number cannot be returned to the (exposed, monotone)
+    district counter.  Delivered orders have [o_carrier_id >= 0]; undelivered
+    ones have [-1] and exactly one queue row.
+
+    The checker is the executable form of the constraint [I]: the test suite
+    and the experiment harness call it at quiescent points, where semantic
+    correctness requires it to hold. *)
+
+val check : Acc_relation.Database.t -> string list
+(** All violations found (empty = consistent).  Each message is prefixed
+    with its condition number C1..C12. *)
+
+val conditions : (int * string) list
+(** Condition number and description, for documentation output. *)

@@ -1,0 +1,329 @@
+module Executor = Acc_txn.Executor
+module Txn_effect = Acc_txn.Txn_effect
+module Lock_table = Acc_lock.Lock_table
+module Mode = Acc_lock.Mode
+module Runtime = Acc_core.Runtime
+module Sim = Acc_sim.Sim
+module Prng = Acc_util.Prng
+module Tally = Acc_util.Stats.Tally
+
+type system = Baseline | Acc
+
+type config = {
+  seed : int;
+  system : system;
+  terminals : int;
+  servers : int;
+  horizon : float;
+  warmup : float;
+  think_mean : float;
+  compute_between : float;
+  cpu_per_unit : float;
+  skewed_district : bool;
+  min_items : int;
+  max_items : int;
+  params : Params.t;
+  acc_options : Acc_core.Runtime.options;
+  acc_semantics : Acc_lock.Mode.semantics option;
+}
+
+let default_config =
+  {
+    seed = 7;
+    system = Baseline;
+    terminals = 10;
+    servers = 3;
+    horizon = 600.0;
+    warmup = 30.0;
+    think_mean = 4.0;
+    compute_between = 0.0;
+    cpu_per_unit = 0.004;
+    skewed_district = false;
+    min_items = 5;
+    max_items = 15;
+    params = Params.default;
+    acc_options = Acc_core.Runtime.default_options;
+    acc_semantics = None;
+  }
+
+type report = {
+  completed : int;
+  response : Tally.t;
+  lock_wait : Tally.t;
+  per_type : (string * Tally.t) list;
+  throughput : float;
+  deadlock_victims : int;
+  forced_aborts : int;
+  compensations : int;
+  cpu_utilization : float;
+  quiesced_at : float;
+  violations : string list;
+}
+
+let mean_response r = Tally.mean r.response
+
+type wait_outcome = Granted | Victim
+
+type state = {
+  cfg : config;
+  sim : Sim.t;
+  eng : Executor.t;
+  servers_pool : Sim.Resource.resource;
+  parked : (Lock_table.ticket, wait_outcome Sim.Condition.cond) Hashtbl.t;
+  backoff_g : Prng.t;
+  lock_wait : Tally.t;
+  mutable deadlock_victims : int;
+}
+
+let deliver_wakeups st wakeups =
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt st.parked w.Lock_table.woken_ticket with
+      | Some cond ->
+          Hashtbl.remove st.parked w.Lock_table.woken_ticket;
+          ignore (Sim.Condition.signal st.sim cond Granted)
+      | None -> ())
+    wakeups
+
+(* Resume [txn]'s parked wait (if any) as a deadlock victim. *)
+let kill_waiter st txn =
+  let locks = Executor.locks st.eng in
+  let victim_tickets =
+    Hashtbl.fold
+      (fun ticket _ acc ->
+        match Lock_table.ticket_txn locks ~ticket with
+        | Some t when t = txn -> ticket :: acc
+        | Some _ | None -> acc)
+      st.parked []
+  in
+  List.iter
+    (fun ticket ->
+      match Hashtbl.find_opt st.parked ticket with
+      | Some cond ->
+          Hashtbl.remove st.parked ticket;
+          st.deadlock_victims <- st.deadlock_victims + 1;
+          deliver_wakeups st (Lock_table.cancel locks ~ticket);
+          ignore (Sim.Condition.signal st.sim cond Victim)
+      | None -> ())
+    victim_tickets
+
+(* Run one transaction attempt under the lock-wait/yield effect handler.
+   Runs inside a sim process; lock waits suspend the terminal. *)
+let with_txn_effects : type r. state -> (unit -> r) -> r =
+ fun st f ->
+  let locks = Executor.locks st.eng in
+  Effect.Deep.match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Txn_effect.Wait_lock { ticket; txn } ->
+              Some
+                (fun (k : (b, r) Effect.Deep.continuation) ->
+                  if not (Lock_table.outstanding locks ~ticket) then Effect.Deep.continue k ()
+                  else begin
+                    let self_victim =
+                      match Lock_table.find_cycle locks ~from:txn with
+                      | None -> false
+                      | Some cycle ->
+                          let victims = Runtime.victim_policy locks ~requester:txn ~cycle in
+                          List.iter (fun v -> if v <> txn then kill_waiter st v) victims;
+                          List.mem txn victims
+                    in
+                    if self_victim then begin
+                      st.deadlock_victims <- st.deadlock_victims + 1;
+                      deliver_wakeups st (Lock_table.cancel locks ~ticket);
+                      Effect.Deep.discontinue k Txn_effect.Deadlock_victim
+                    end
+                    else if not (Lock_table.outstanding locks ~ticket) then
+                      (* cancelling the other victims promoted the queue and
+                         granted our own request before we could park *)
+                      Effect.Deep.continue k ()
+                    else begin
+                      let cond = Sim.Condition.create () in
+                      Hashtbl.replace st.parked ticket cond;
+                      let t0 = Sim.now st.sim in
+                      let outcome = Sim.Condition.wait cond in
+                      Tally.add st.lock_wait (Sim.now st.sim -. t0);
+                      match outcome with
+                      | Granted -> Effect.Deep.continue k ()
+                      | Victim -> Effect.Deep.discontinue k Txn_effect.Deadlock_victim
+                    end
+                  end)
+          | Txn_effect.Yield ->
+              (* deadlock-retry backoff: randomized so that repeatedly
+                 colliding transactions desynchronize instead of retrying in
+                 lockstep forever *)
+              Some
+                (fun (k : (b, r) Effect.Deep.continuation) ->
+                  Sim.delay (0.002 +. Prng.exponential st.backoff_g ~mean:0.05);
+                  Effect.Deep.continue k ())
+          | _ -> None);
+    }
+
+let run cfg =
+  Params.validate cfg.params;
+  let db = Load.populate ~seed:cfg.seed cfg.params in
+  let sem =
+    match cfg.system with
+    | Baseline -> Mode.no_semantics
+    | Acc -> Option.value ~default:Txns.semantics cfg.acc_semantics
+  in
+  let eng = Executor.create ~sem db in
+  let sim = Sim.create () in
+  let servers_pool = Sim.Resource.create sim ~capacity:cfg.servers in
+  let st =
+    {
+      cfg;
+      sim;
+      eng;
+      servers_pool;
+      parked = Hashtbl.create 64;
+      backoff_g = Prng.create ~seed:(cfg.seed * 7919);
+      lock_wait = Tally.create ();
+      deadlock_victims = 0;
+    }
+  in
+  Executor.set_on_wakeup eng (deliver_wakeups st);
+  Executor.set_charge eng (fun units ->
+      if units > 0.0 then Sim.Resource.use servers_pool (units *. cfg.cpu_per_unit));
+  let response = Tally.create () in
+  let per_type = Hashtbl.create 8 in
+  let type_tally name =
+    match Hashtbl.find_opt per_type name with
+    | Some t -> t
+    | None ->
+        let t = Tally.create () in
+        Hashtbl.add per_type name t;
+        t
+  in
+  let completed = ref 0 in
+  let forced_aborts = ref 0 in
+  let compensations = ref 0 in
+  let base_env =
+    {
+      Txns.gen = Random_gen.create ~seed:(cfg.seed * 31 + 1) cfg.params;
+      params = cfg.params;
+      skewed_district = cfg.skewed_district;
+      min_items = cfg.min_items;
+      max_items = cfg.max_items;
+      new_order_abort_rate = 0.01;
+      pace =
+        (fun () -> if cfg.compute_between > 0.0 then Sim.delay cfg.compute_between);
+    }
+  in
+  let terminal term_id =
+    let env = { base_env with Txns.gen = Random_gen.split base_env.Txns.gen } in
+    let think_g = Prng.create ~seed:((cfg.seed * 1009) + term_id) in
+    let rec loop () =
+      if Sim.now sim < cfg.horizon then begin
+        Sim.delay (Prng.exponential think_g ~mean:cfg.think_mean);
+        if Sim.now sim < cfg.horizon then begin
+          let input = Txns.gen_input env in
+          let t0 = Sim.now sim in
+          let outcome =
+            with_txn_effects st (fun () ->
+                match cfg.system with
+                | Baseline -> begin
+                    match Txns.run_flat eng env input with
+                    | `Committed -> `Done
+                    | `Aborted -> `Forced_abort
+                  end
+                | Acc -> begin
+                    match Txns.run_acc ~options:cfg.acc_options eng env input with
+                    | Runtime.Committed -> `Done
+                    | Runtime.Compensated _ -> begin
+                        match input with
+                        | Txns.New_order { no_fail_last = true; _ } -> `Forced_abort_compensated
+                        | _ -> `Compensated
+                      end
+                  end)
+          in
+          let t1 = Sim.now sim in
+          (match outcome with
+          | `Done -> ()
+          | `Forced_abort -> incr forced_aborts
+          | `Forced_abort_compensated ->
+              incr forced_aborts;
+              incr compensations
+          | `Compensated -> incr compensations);
+          if t0 >= cfg.warmup && t1 <= cfg.horizon then begin
+            incr completed;
+            Tally.add response (t1 -. t0);
+            Tally.add (type_tally (Txns.txn_name input)) (t1 -. t0)
+          end;
+          loop ()
+        end
+      end
+    in
+    loop
+  in
+  let active_terminals = ref 0 in
+  for term_id = 1 to cfg.terminals do
+    incr active_terminals;
+    Sim.spawn sim (fun () ->
+        terminal term_id ();
+        decr active_terminals)
+  done;
+  (* Periodic deadlock detector (in addition to the at-block check): grant
+     promotions and lock upgrades can close a waits-for cycle without any
+     transaction newly blocking, so an Ingres-style background sweep is the
+     safety net that guarantees progress. *)
+  let locks = Executor.locks eng in
+  let rec detector () =
+    if !active_terminals > 0 then begin
+      Sim.delay 0.25;
+      let parked_txns =
+        Hashtbl.fold
+          (fun ticket _ acc ->
+            match Lock_table.ticket_txn locks ~ticket with
+            | Some txn -> txn :: acc
+            | None -> acc)
+          st.parked []
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun txn ->
+          match Lock_table.find_cycle locks ~from:txn with
+          | Some cycle ->
+              let victims = Runtime.victim_policy locks ~requester:txn ~cycle in
+              List.iter (fun v -> kill_waiter st v) victims
+          | None -> ())
+        parked_txns;
+      detector ()
+    end
+  in
+  Sim.spawn sim detector;
+  (* event budget proportional to the configured load: a runaway-retry guard
+     that legitimate heavy configurations (many terminals, huge orders) do
+     not trip *)
+  let max_events =
+    max 50_000_000 (int_of_float (float_of_int cfg.terminals *. cfg.horizon *. 20_000.))
+  in
+  Sim.run ~max_events sim;
+  if Hashtbl.length st.parked > 0 then begin
+    let locks = Executor.locks eng in
+    Format.eprintf "stranded lock state:@.%a@.wait edges:@." Lock_table.pp_state locks;
+    List.iter (fun (a, b) -> Format.eprintf "  T%d -> T%d@." a b) (Lock_table.wait_edges locks);
+    raise (Txn_effect.Stuck "driver: terminals stranded on locks at quiescence")
+  end;
+  let quiesced_at = Sim.now sim in
+  {
+    completed = !completed;
+    response;
+    lock_wait = st.lock_wait;
+    per_type =
+      Hashtbl.fold (fun name t acc -> (name, t) :: acc) per_type []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    throughput =
+      (if cfg.horizon > cfg.warmup then float_of_int !completed /. (cfg.horizon -. cfg.warmup)
+       else 0.);
+    deadlock_victims = st.deadlock_victims;
+    forced_aborts = !forced_aborts;
+    compensations = !compensations;
+    cpu_utilization = Sim.Resource.utilization servers_pool ~at:quiesced_at;
+    quiesced_at;
+    violations = Consistency.check (Executor.db eng);
+  }

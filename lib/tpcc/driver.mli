@@ -1,0 +1,67 @@
+(** The experiment driver: a closed queueing network of terminals against one
+    warehouse, mirroring the paper's §5.2 setup.
+
+    Each terminal thinks (exponential think time), draws a transaction from
+    the standard mix, and submits it to the engine; every engine work unit
+    occupies one server of the pool (the 1–4 "database server processes"),
+    and lock waits suspend the terminal without occupying a server.  The two
+    systems under test share everything except the concurrency control:
+
+    - {!Baseline}: every transaction runs flat under strict 2PL to commit
+      (the unmodified system); stock-level runs at READ COMMITTED as the
+      spec permits.
+    - {!Acc}: the decomposed transactions run under the ACC runtime,
+      order-status under legacy full isolation, stock-level at READ
+      COMMITTED.
+
+    Terminals stop issuing work at the horizon and the simulation drains to
+    quiescence, where the consistency constraint is checked — semantic
+    correctness made operational. *)
+
+type system = Baseline | Acc
+
+type config = {
+  seed : int;
+  system : system;
+  terminals : int;
+  servers : int;
+  horizon : float;  (** stop issuing new transactions after this sim time *)
+  warmup : float;  (** responses before this time are not recorded *)
+  think_mean : float;
+  compute_between : float;  (** client compute between successive statements *)
+  cpu_per_unit : float;  (** server CPU seconds per engine work unit *)
+  skewed_district : bool;
+  min_items : int;
+  max_items : int;
+  params : Params.t;
+  acc_options : Acc_core.Runtime.options;
+      (** runtime options for the ACC side (retry budget, assertion
+          granularity — set [Table] for the two-level ablation of §3.2) *)
+  acc_semantics : Acc_lock.Mode.semantics option;
+      (** override the interference oracle for the ACC side (e.g. tables
+          built without the hand-proved commutativity facts); [None] uses
+          {!Txns.semantics} *)
+}
+
+val default_config : config
+(** 3 servers, 10 terminals, standard mix, no skew, no added compute time. *)
+
+type report = {
+  completed : int;  (** transactions finished inside the horizon *)
+  response : Acc_util.Stats.Tally.t;  (** response times after warmup *)
+  lock_wait : Acc_util.Stats.Tally.t;
+      (** time spent parked on locks, one observation per wait: the paper's
+          bottleneck variable, measured directly *)
+  per_type : (string * Acc_util.Stats.Tally.t) list;
+  throughput : float;  (** completed per sim second of measured window *)
+  deadlock_victims : int;
+  forced_aborts : int;  (** the 1% new-order rule *)
+  compensations : int;
+  cpu_utilization : float;
+  quiesced_at : float;
+  violations : string list;  (** consistency breaches at quiescence (must be []) *)
+}
+
+val run : config -> report
+
+val mean_response : report -> float

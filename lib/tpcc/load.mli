@@ -1,0 +1,14 @@
+(** Initial database population (TPC-C Rev 3.1 §4.3, scaled by {!Params}).
+
+    Every district is pre-loaded with a run of delivered orders so that
+    order-status and delivery have material to work on, and [d_next_o_id]
+    starts just past them — the consistency conditions hold of the freshly
+    loaded database (verified by the test suite). *)
+
+val populate : seed:int -> Params.t -> Acc_relation.Database.t
+(** Build and fill a fresh database. *)
+
+val district_key : w:int -> d:int -> Acc_relation.Table.key
+val customer_key : w:int -> d:int -> c:int -> Acc_relation.Table.key
+val stock_key : w:int -> i:int -> Acc_relation.Table.key
+val order_key : w:int -> d:int -> o:int -> Acc_relation.Table.key

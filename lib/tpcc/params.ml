@@ -1,0 +1,38 @@
+type t = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  initial_stock : int;
+  initial_orders_per_district : int;
+}
+
+let default =
+  {
+    warehouses = 1;
+    districts_per_warehouse = 10;
+    customers_per_district = 100;
+    items = 2000;
+    initial_stock = 50;
+    initial_orders_per_district = 5;
+  }
+
+let full =
+  {
+    warehouses = 1;
+    districts_per_warehouse = 10;
+    customers_per_district = 3000;
+    items = 100_000;
+    initial_stock = 100;
+    initial_orders_per_district = 3000;
+  }
+
+let validate t =
+  let check name v = if v < 1 then invalid_arg (Printf.sprintf "Params: %s must be >= 1" name) in
+  check "warehouses" t.warehouses;
+  check "districts_per_warehouse" t.districts_per_warehouse;
+  check "customers_per_district" t.customers_per_district;
+  check "items" t.items;
+  check "initial_stock" t.initial_stock;
+  if t.initial_orders_per_district < 0 then
+    invalid_arg "Params: initial_orders_per_district must be >= 0"

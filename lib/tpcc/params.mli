@@ -1,0 +1,31 @@
+(** Scale parameters of the TPC-C database.
+
+    TPC-C Rev 3.1 fixes the cardinalities per warehouse (10 districts, 3 000
+    customers per district, 100 000 items).  A full-scale in-memory build is
+    possible but pointless for the paper's experiments, whose contention
+    lives in the district/warehouse tuples; the default scale keeps the same
+    table shapes and skew structure at a fraction of the rows.  Paper-scale
+    values are available as {!full}. *)
+
+type t = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  initial_stock : int;  (** s_quantity each stock row starts with *)
+  initial_orders_per_district : int;
+      (** pre-loaded committed orders per district (order-status and delivery
+          need history to chew on) *)
+}
+
+val default : t
+(** 1 warehouse, 10 districts, 100 customers/district, 2 000 items: scaled
+    down from Rev 3.1 while keeping item/customer collision probabilities
+    low enough that the district tuples stay the leading hotspot, as at full
+    scale. *)
+
+val full : t
+(** The Rev 3.1 cardinalities (1 warehouse). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical values. *)

@@ -1,0 +1,63 @@
+module Prng = Acc_util.Prng
+
+type t = { g : Prng.t; params : Params.t; c_customer : int; c_item : int }
+
+let create ~seed params =
+  let g = Prng.create ~seed in
+  (* the constant C of NURand, chosen once per run as the spec requires *)
+  { g; params; c_customer = Prng.int g 1024; c_item = Prng.int g 8192 }
+
+let split t = { t with g = Prng.split t.g }
+let prng t = t.g
+
+let nurand_c t a = if a = 1023 then t.c_customer else t.c_item
+
+let nurand t ~a ~x ~y =
+  let c = nurand_c t a in
+  let r1 = Prng.int_in t.g 0 a and r2 = Prng.int_in t.g x y in
+  (((r1 lor r2) + c) mod (y - x + 1)) + x
+
+let warehouse t = Prng.int_in t.g 1 t.params.Params.warehouses
+
+let district t ~skewed =
+  let n = t.params.Params.districts_per_warehouse in
+  if skewed && Prng.bool t.g then 1 else Prng.int_in t.g 1 n
+
+let customer t =
+  let n = t.params.Params.customers_per_district in
+  (* scale the spec's NURand(1023, 1, 3000) to the configured cardinality *)
+  if n >= 3000 then nurand t ~a:1023 ~x:1 ~y:n else (nurand t ~a:1023 ~x:1 ~y:3000 mod n) + 1
+
+let item t =
+  let n = t.params.Params.items in
+  if n >= 100_000 then nurand t ~a:8191 ~x:1 ~y:n
+  else (nurand t ~a:8191 ~x:1 ~y:100_000 mod n) + 1
+
+let order_line_count t ~min_items ~max_items = Prng.int_in t.g min_items max_items
+
+let quantity t = Prng.int_in t.g 1 10
+
+let distinct_items t ~count =
+  let n = t.params.Params.items in
+  let count = min count n in
+  let rec pick acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let candidate = item t in
+      if List.mem candidate acc then
+        (* fall back to uniform probing to terminate fast at small scales *)
+        let rec probe c = if List.mem c acc then probe ((c mod n) + 1) else c in
+        pick (probe candidate :: acc) (remaining - 1)
+      else pick (candidate :: acc) (remaining - 1)
+    end
+  in
+  pick [] count
+
+let payment_amount t = 1.0 +. Prng.float t.g 4999.0
+
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name _t n =
+  let n = n mod 1000 in
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)

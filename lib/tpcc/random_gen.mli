@@ -1,0 +1,42 @@
+(** TPC-C random input generation (Rev 3.1 §2.1.6, §4.3), plus the paper's
+    skewed variants.
+
+    [NURand(A, x, y)] produces the non-uniform distribution the benchmark
+    uses for customer and item selection.  The paper additionally skews the
+    {e district} choice to manufacture hotspots ("when the district
+    distribution is skewed, creating hotspots in the district table") — that
+    is {!district} with [skewed:true]. *)
+
+type t
+
+val create : seed:int -> Params.t -> t
+val split : t -> t
+(** Independent stream (one per simulated terminal). *)
+
+val prng : t -> Acc_util.Prng.t
+
+val nurand : t -> a:int -> x:int -> y:int -> int
+
+val warehouse : t -> int
+val district : t -> skewed:bool -> int
+(** Uniform over districts, or — skewed — district 1 with 50% probability
+    and uniform otherwise. *)
+
+val customer : t -> int
+(** NURand(1023-scaled) over the district's customers. *)
+
+val item : t -> int
+(** NURand(8191-scaled) over the item range. *)
+
+val order_line_count : t -> min_items:int -> max_items:int -> int
+val quantity : t -> int
+(** Uniform 1..10. *)
+
+val distinct_items : t -> count:int -> int list
+(** [count] distinct item ids (NURand-biased first picks, uniform fill). *)
+
+val payment_amount : t -> float
+(** Uniform 1.00 .. 5000.00. *)
+
+val last_name : t -> int -> string
+(** The spec's syllable-concatenation last-name generator. *)

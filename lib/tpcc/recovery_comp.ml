@@ -1,0 +1,123 @@
+module Database = Acc_relation.Database
+module Table = Acc_relation.Table
+module Predicate = Acc_relation.Predicate
+module Recovery = Acc_wal.Recovery
+open Acc_relation.Value
+
+let field area name =
+  match List.assoc_opt name area with
+  | Some v -> v
+  | None -> invalid_arg ("Recovery_comp: work area lacks " ^ name)
+
+let int_field area name = as_int (field area name)
+
+let new_order db (p : Recovery.pending) =
+  let area = p.Recovery.p_area in
+  let w = int_field area "w" and d = int_field area "d" and o = int_field area "o_id" in
+  let orders = Database.table db "orders" in
+  let order_line = Database.table db "order_line" in
+  let new_order_t = Database.table db "new_order" in
+  let stock = Database.table db "stock" in
+  let line_keys =
+    Table.scan_keys
+      ~where:
+        (Predicate.conj
+           [
+             Predicate.Eq ("ol_w_id", Int w);
+             Predicate.Eq ("ol_d_id", Int d);
+             Predicate.Eq ("ol_o_id", Int o);
+           ])
+      order_line
+  in
+  List.iter
+    (fun key ->
+      let row = Table.get_exn order_line key in
+      let item = as_int row.(4) and qty = as_int row.(5) in
+      ignore
+        (Table.update stock (Load.stock_key ~w ~i:item) (fun s ->
+             s.(2) <- Int (as_int s.(2) + qty);
+             s.(3) <- Int (as_int s.(3) - qty);
+             s.(4) <- Int (as_int s.(4) - 1);
+             s));
+      ignore (Table.delete order_line key))
+    line_keys;
+  (* mark the burnt order number as a cancelled order *)
+  (if Table.mem orders (Load.order_key ~w ~d ~o) then
+     ignore
+       (Table.update orders (Load.order_key ~w ~d ~o) (fun row ->
+            row.(4) <- Int (-2);
+            row.(5) <- Int 0;
+            row))
+   else Table.insert orders [| Int w; Int d; Int o; Int 1; Int (-2); Int 0 |]);
+  if Table.mem new_order_t [ Int w; Int d; Int o ] then
+    ignore (Table.delete new_order_t [ Int w; Int d; Int o ])
+
+let payment db (p : Recovery.pending) =
+  let area = p.Recovery.p_area in
+  let w = int_field area "w" and d = int_field area "d" and c = int_field area "c" in
+  let amount = number (field area "amount") in
+  let completed = p.Recovery.p_completed_steps in
+  if completed >= 1 then
+    ignore
+      (Table.update (Database.table db "warehouse") [ Int w ] (fun row ->
+           row.(3) <- Float (number row.(3) -. amount);
+           row));
+  if completed >= 2 then
+    ignore
+      (Table.update (Database.table db "district") (Load.district_key ~w ~d) (fun row ->
+           row.(4) <- Float (number row.(4) -. amount);
+           row));
+  if completed >= 3 then begin
+    ignore
+      (Table.update (Database.table db "customer") (Load.customer_key ~w ~d ~c) (fun row ->
+           row.(6) <- Float (number row.(6) +. amount);
+           row.(7) <- Float (number row.(7) -. amount);
+           row.(8) <- Int (as_int row.(8) - 1);
+           row));
+    (* the exact history row is named in the work area *)
+    let h_id = int_field area "h_id" in
+    ignore (Table.delete (Database.table db "history") [ Int h_id ])
+  end
+
+let delivery db (p : Recovery.pending) =
+  let area = p.Recovery.p_area in
+  let w = int_field area "w" and n = int_field area "n" in
+  let order_line = Database.table db "order_line" in
+  for idx = 0 to n - 1 do
+    let d = int_field area (Printf.sprintf "d%d" idx) in
+    let o = int_field area (Printf.sprintf "o%d" idx) in
+    let c = int_field area (Printf.sprintf "c%d" idx) in
+    let amount = number (field area (Printf.sprintf "amt%d" idx)) in
+    ignore
+      (Table.update (Database.table db "customer") (Load.customer_key ~w ~d ~c) (fun row ->
+           row.(6) <- Float (number row.(6) -. amount);
+           row.(9) <- Int (as_int row.(9) - 1);
+           row));
+    let o_row = Table.get_exn (Database.table db "orders") (Load.order_key ~w ~d ~o) in
+    for ln = 1 to as_int o_row.(5) do
+      ignore
+        (Table.update order_line [ Int w; Int d; Int o; Int ln ] (fun row ->
+             row.(7) <- Int (-1);
+             row))
+    done;
+    ignore
+      (Table.update (Database.table db "orders") (Load.order_key ~w ~d ~o) (fun row ->
+           row.(4) <- Int (-1);
+           row));
+    Table.insert (Database.table db "new_order") [| Int w; Int d; Int o |]
+  done
+
+let complete db (p : Recovery.pending) =
+  match p.Recovery.p_txn_type with
+  | "new_order" -> new_order db p
+  | "payment" -> payment db p
+  | "delivery" -> delivery db p
+  | other -> invalid_arg ("Recovery_comp: unknown transaction type " ^ other)
+
+let complete_all db (report : Recovery.report) =
+  List.iter (complete db) report.Recovery.pending
+
+let recover_and_compensate ~baseline records =
+  let report = Recovery.recover ~baseline records in
+  complete_all report.Recovery.db report;
+  report.Recovery.db

@@ -1,0 +1,21 @@
+(** Crash-time completion of pending compensations (§3.4).
+
+    {!Acc_wal.Recovery.recover} reports multi-step transactions that had
+    completed one or more steps when the system died; their exposed effects
+    must be undone {e logically}.  This module re-executes the semantic undo
+    of each TPC-C transaction type directly against the recovered database,
+    driven by the work area the forward steps checkpointed at every step
+    boundary — exactly what a restarted ACC would do before accepting new
+    work. *)
+
+val complete : Acc_relation.Database.t -> Acc_wal.Recovery.pending -> unit
+(** Apply the compensating action for one pending transaction.  Raises
+    [Invalid_argument] on an unknown transaction type or a work area missing
+    required fields. *)
+
+val complete_all : Acc_relation.Database.t -> Acc_wal.Recovery.report -> unit
+
+val recover_and_compensate :
+  baseline:Acc_relation.Database.t -> Acc_wal.Record.t list -> Acc_relation.Database.t
+(** One-call restart: physical recovery then all pending compensations;
+    returns the consistent database. *)

@@ -1,0 +1,37 @@
+(** The nine TPC-C tables (Rev 3.1 §1.2), with the columns the five
+    transactions touch.  Keys follow the specification; the secondary indexes
+    mirror what the paper's Ingres setup needed "to allow the system to use
+    page locks as much as possible". *)
+
+(** key w_id *)
+val warehouse : Acc_relation.Schema.t
+
+(** key (d_w_id, d_id) *)
+val district : Acc_relation.Schema.t
+
+(** key (c_w_id, c_d_id, c_id) *)
+val customer : Acc_relation.Schema.t
+
+(** key h_id (surrogate) *)
+val history : Acc_relation.Schema.t
+
+(** key (o_w_id, o_d_id, o_id) *)
+val orders : Acc_relation.Schema.t
+
+(** key (no_w_id, no_d_id, no_o_id) *)
+val new_order : Acc_relation.Schema.t
+
+(** key (ol_w_id, ol_d_id, ol_o_id, ol_number) *)
+val order_line : Acc_relation.Schema.t
+
+(** key i_id *)
+val item : Acc_relation.Schema.t
+
+(** key (s_w_id, s_i_id) *)
+val stock : Acc_relation.Schema.t
+
+
+val create_all : Acc_relation.Database.t -> unit
+(** Create the nine tables and their secondary indexes. *)
+
+val table_names : string list

@@ -1,0 +1,871 @@
+module Executor = Acc_txn.Executor
+module Txn_effect = Acc_txn.Txn_effect
+module Program = Acc_core.Program
+module Assertion = Acc_core.Assertion
+module Footprint = Acc_core.Footprint
+module Interference = Acc_core.Interference
+module Runtime = Acc_core.Runtime
+module Value = Acc_relation.Value
+module Table = Acc_relation.Table
+module Database = Acc_relation.Database
+module Predicate = Acc_relation.Predicate
+module Prng = Acc_util.Prng
+open Value
+
+type env = {
+  gen : Random_gen.t;
+  params : Params.t;
+  skewed_district : bool;
+  min_items : int;
+  max_items : int;
+  new_order_abort_rate : float;
+  pace : unit -> unit;
+}
+
+let default_env ?(seed = 1) params =
+  {
+    gen = Random_gen.create ~seed params;
+    params;
+    skewed_district = false;
+    min_items = 5;
+    max_items = 15;
+    new_order_abort_rate = 0.01;
+    pace = (fun () -> ());
+  }
+
+type new_order_input = {
+  no_w : int;
+  no_d : int;
+  no_c : int;
+  no_items : (int * int) list;
+  no_fail_last : bool;
+}
+
+type customer_selector = By_id of int | By_last_name of string
+
+type payment_input = { p_w : int; p_d : int; p_customer : customer_selector; p_amount : float }
+type order_status_input = { os_w : int; os_d : int; os_customer : customer_selector }
+type delivery_input = { dl_w : int; dl_carrier : int }
+type stock_level_input = { sl_w : int; sl_d : int; sl_threshold : int }
+
+type input =
+  | New_order of new_order_input
+  | Payment of payment_input
+  | Order_status of order_status_input
+  | Delivery of delivery_input
+  | Stock_level of stock_level_input
+
+let txn_name = function
+  | New_order _ -> "new_order"
+  | Payment _ -> "payment"
+  | Order_status _ -> "order_status"
+  | Delivery _ -> "delivery"
+  | Stock_level _ -> "stock_level"
+
+let gen_new_order env =
+  let g = Random_gen.prng env.gen in
+  let count = Random_gen.order_line_count env.gen ~min_items:env.min_items ~max_items:env.max_items in
+  let items =
+    List.map
+      (fun i -> (i, Random_gen.quantity env.gen))
+      (Random_gen.distinct_items env.gen ~count)
+  in
+  {
+    no_w = Random_gen.warehouse env.gen;
+    no_d = Random_gen.district env.gen ~skewed:env.skewed_district;
+    no_c = Random_gen.customer env.gen;
+    no_items = items;
+    no_fail_last = Prng.chance g env.new_order_abort_rate;
+  }
+
+(* the spec's 60/40 split between by-last-name and by-id selection *)
+let gen_customer_selector env =
+  let g = Random_gen.prng env.gen in
+  let c = Random_gen.customer env.gen in
+  if Prng.chance g 0.6 then
+    By_last_name (Random_gen.last_name env.gen (if c <= 1000 then c - 1 else Prng.int g 1000))
+  else By_id c
+
+let gen_payment env =
+  {
+    p_w = Random_gen.warehouse env.gen;
+    p_d = Random_gen.district env.gen ~skewed:env.skewed_district;
+    p_customer = gen_customer_selector env;
+    p_amount = Random_gen.payment_amount env.gen;
+  }
+
+let gen_input env =
+  let g = Random_gen.prng env.gen in
+  let roll = Prng.int g 100 in
+  if roll < 45 then New_order (gen_new_order env)
+  else if roll < 88 then Payment (gen_payment env)
+  else if roll < 92 then
+    Order_status
+      {
+        os_w = Random_gen.warehouse env.gen;
+        os_d = Random_gen.district env.gen ~skewed:env.skewed_district;
+        os_customer = gen_customer_selector env;
+      }
+  else if roll < 96 then
+    Delivery { dl_w = Random_gen.warehouse env.gen; dl_carrier = 1 + Prng.int g 10 }
+  else
+    Stock_level
+      {
+        sl_w = Random_gen.warehouse env.gen;
+        sl_d = Random_gen.district env.gen ~skewed:env.skewed_district;
+        sl_threshold = 10 + Prng.int g 11;
+      }
+
+(* ====================================================================== *)
+(* Static decomposition: the eleven forward step types                    *)
+(* ====================================================================== *)
+
+let fp = Footprint.make
+let cols cs = Footprint.Columns cs
+let fresh = Footprint.Fresh
+
+(* --- new_order: 4 forward steps + compensation --- *)
+
+let no_reads =
+  Program.step ~id:1 ~name:"reads+counter" ~txn_type:"new_order" ~index:1
+    ~reads:
+      [
+        fp "warehouse" (cols [ "w_tax" ]);
+        fp "district" (cols [ "d_tax"; "d_next_o_id" ]);
+        fp "customer" (cols [ "c_discount"; "c_last"; "c_credit" ]);
+      ]
+    ~writes:[ fp "district" (cols [ "d_next_o_id" ]) ]
+    ()
+
+let no_insert =
+  Program.step ~id:2 ~name:"insert-order" ~txn_type:"new_order" ~index:2
+    ~reads:[]
+    ~writes:
+      [ fp ~fresh "orders" Footprint.All_columns; fp ~fresh "new_order" Footprint.All_columns ]
+    ()
+
+let no_line =
+  Program.step ~id:3 ~name:"order-line" ~txn_type:"new_order" ~index:3 ~repeats:true
+    ~reads:[ fp "item" (cols [ "i_price" ]); fp "stock" (cols [ "s_quantity" ]) ]
+    ~writes:
+      [
+        fp "stock" (cols [ "s_quantity"; "s_ytd"; "s_order_cnt" ]);
+        fp ~fresh "order_line" Footprint.All_columns;
+      ]
+    ()
+
+let no_final =
+  Program.step ~id:4 ~name:"finalize" ~txn_type:"new_order" ~index:4
+    ~reads:[ fp ~fresh "orders" Footprint.All_columns ]
+    ~writes:[]
+    ()
+
+let no_comp =
+  Program.step ~id:5 ~name:"cancel-order" ~txn_type:"new_order" ~index:0
+    ~reads:[ fp ~fresh "order_line" Footprint.All_columns ]
+    ~writes:
+      [
+        fp "stock" (cols [ "s_quantity"; "s_ytd"; "s_order_cnt" ]);
+        fp ~fresh "orders" (cols [ "o_carrier_id"; "o_ol_cnt" ]);
+        fp ~fresh "order_line" Footprint.All_columns;
+        fp ~fresh "new_order" Footprint.All_columns;
+      ]
+    ()
+
+(* pre(S_2): "the order id I drew is mine alone and below the counter" —
+   references the district counter, but foreign increments are monotone and
+   cannot falsify it: declared compatible below *)
+let a_no_seq =
+  Assertion.make ~id:1 ~name:"no_counter_seq" ~txn_type:"new_order" ~pre_of:2 ~until:2
+    ~refs:
+      [ fp "district" (cols [ "d_next_o_id" ]); fp ~fresh "orders" Footprint.All_columns ]
+
+(* pre(S_3)...: the I1-style loop invariant — my order header, queue row and
+   order lines agree with my progress *)
+let a_no_lines =
+  Assertion.make ~id:2 ~name:"no_lines_inv" ~txn_type:"new_order" ~pre_of:3
+    ~until:Assertion.until_commit
+    ~refs:
+      [
+        fp ~fresh "orders" (cols [ "o_ol_cnt"; "o_carrier_id" ]);
+        fp ~fresh "order_line" Footprint.All_columns;
+        fp ~fresh "new_order" Footprint.All_columns;
+      ]
+
+let new_order_type =
+  Program.txn_type ~name:"new_order"
+    ~steps:[ no_reads; no_insert; no_line; no_final ]
+    ~comp:no_comp
+    ~assertions:[ a_no_seq; a_no_lines ]
+    ()
+
+(* --- payment: 3 forward steps + compensation --- *)
+
+let pay_wh =
+  Program.step ~id:6 ~name:"warehouse-ytd" ~txn_type:"payment" ~index:1
+    ~reads:[ fp "warehouse" (cols [ "w_name" ]) ]
+    ~writes:[ fp "warehouse" (cols [ "w_ytd" ]) ]
+    ()
+
+let pay_dist =
+  Program.step ~id:7 ~name:"district-ytd" ~txn_type:"payment" ~index:2
+    ~reads:[ fp "district" (cols [ "d_name" ]) ]
+    ~writes:[ fp "district" (cols [ "d_ytd" ]) ]
+    ()
+
+let pay_cust =
+  Program.step ~id:8 ~name:"customer+history" ~txn_type:"payment" ~index:3
+    ~reads:[ fp "customer" (cols [ "c_credit" ]) ]
+    ~writes:
+      [
+        fp "customer" (cols [ "c_balance"; "c_ytd_payment"; "c_payment_cnt" ]);
+        fp ~fresh "history" Footprint.All_columns;
+      ]
+    ()
+
+let pay_comp =
+  Program.step ~id:9 ~name:"refund" ~txn_type:"payment" ~index:0
+    ~reads:[]
+    ~writes:
+      [
+        fp "warehouse" (cols [ "w_ytd" ]);
+        fp "district" (cols [ "d_ytd" ]);
+        fp "customer" (cols [ "c_balance"; "c_ytd_payment"; "c_payment_cnt" ]);
+        fp ~fresh "history" Footprint.All_columns;
+      ]
+    ()
+
+(* the maximally-reduced interstep assertion: only the transaction's own
+   (fresh) history row is referenced — the running ytd totals are protected
+   by commutativity, not by locks (§3.1's weakest-assertions principle) *)
+let a_pay_applied =
+  Assertion.make ~id:3 ~name:"pay_applied" ~txn_type:"payment" ~pre_of:2
+    ~until:Assertion.until_commit
+    ~refs:[ fp ~fresh "history" Footprint.All_columns ]
+
+let payment_type =
+  Program.txn_type ~name:"payment"
+    ~steps:[ pay_wh; pay_dist; pay_cust ]
+    ~comp:pay_comp
+    ~assertions:[ a_pay_applied ]
+    ()
+
+(* --- delivery: 2 forward steps + compensation --- *)
+
+let dl_init =
+  Program.step ~id:10 ~name:"assign-carrier" ~txn_type:"delivery" ~index:1
+    ~reads:[ fp "warehouse" (cols [ "w_name" ]) ]
+    ~writes:[]
+    ()
+
+let dl_district =
+  Program.step ~id:11 ~name:"deliver-district" ~txn_type:"delivery" ~index:2 ~repeats:true
+    ~reads:[ fp "new_order" Footprint.All_columns; fp "orders" (cols [ "o_c_id"; "o_ol_cnt" ]) ]
+    ~writes:
+      [
+        fp "new_order" Footprint.All_columns;
+        fp "orders" (cols [ "o_carrier_id" ]);
+        fp "order_line" (cols [ "ol_delivery_d" ]);
+        fp "customer" (cols [ "c_balance"; "c_delivery_cnt" ]);
+      ]
+    ()
+
+let dl_comp =
+  Program.step ~id:12 ~name:"undeliver" ~txn_type:"delivery" ~index:0
+    ~reads:[]
+    ~writes:
+      [
+        fp "new_order" Footprint.All_columns;
+        fp "orders" (cols [ "o_carrier_id" ]);
+        fp "order_line" (cols [ "ol_delivery_d" ]);
+        fp "customer" (cols [ "c_balance"; "c_delivery_cnt" ]);
+      ]
+    ()
+
+(* districts delivered so far stay delivered while the rest are processed *)
+let a_dl_progress =
+  Assertion.make ~id:4 ~name:"delivery_progress" ~txn_type:"delivery" ~pre_of:2
+    ~until:Assertion.until_commit
+    ~refs:
+      [
+        fp "orders" (cols [ "o_carrier_id" ]);
+        fp "order_line" (cols [ "ol_delivery_d" ]);
+        fp "new_order" Footprint.All_columns;
+      ]
+
+let delivery_type =
+  Program.txn_type ~name:"delivery"
+    ~steps:[ dl_init; dl_district ]
+    ~comp:dl_comp
+    ~assertions:[ a_dl_progress ]
+    ()
+
+(* --- order_status and stock_level: analyzed read-only single steps --- *)
+
+let os_read =
+  Program.step ~id:13 ~name:"read-status" ~txn_type:"order_status" ~index:1
+    ~reads:
+      [
+        fp "customer" Footprint.All_columns;
+        fp "orders" Footprint.All_columns;
+        fp "order_line" Footprint.All_columns;
+      ]
+    ~writes:[] ()
+
+let order_status_type =
+  Program.txn_type ~name:"order_status" ~steps:[ os_read ] ~assertions:[] ()
+
+let sl_read =
+  Program.step ~id:14 ~name:"count-low-stock" ~txn_type:"stock_level" ~index:1
+    ~reads:
+      [
+        fp "district" (cols [ "d_next_o_id" ]);
+        fp "order_line" (cols [ "ol_i_id"; "ol_o_id" ]);
+        fp "stock" (cols [ "s_quantity" ]);
+      ]
+    ~writes:[] ()
+
+let stock_level_type = Program.txn_type ~name:"stock_level" ~steps:[ sl_read ] ~assertions:[] ()
+
+let workload =
+  Program.workload
+    [ new_order_type; payment_type; delivery_type; order_status_type; stock_level_type ]
+
+(* the hand-proved compatibilities (monotone counter): foreign counter
+   increments cannot invalidate a_no_seq *)
+let interference =
+  Interference.build ~compatible:[ (no_reads.Program.sd_id, a_no_seq.Assertion.id) ] workload
+
+let semantics = Interference.semantics interference
+
+let forward_step_count =
+  List.length
+    (List.filter
+       (fun (s : Program.step_def) -> s.Program.sd_index > 0 && s.Program.sd_id <> 0)
+       (Program.all_steps workload))
+
+(* ====================================================================== *)
+(* Shared SQL-ish pieces                                                   *)
+(* ====================================================================== *)
+
+let fnum = Value.number
+
+(* Resolve a customer selector to an id.  By-name resolution probes the
+   last-name hash index without data locks (the subsequent point access to
+   the chosen customer takes the real locks); the spec picks the midpoint of
+   the matches ordered by c_first — here, by id. *)
+let resolve_customer ctx ~w ~d selector =
+  match selector with
+  | By_id c -> c
+  | By_last_name name -> (
+      let matches =
+        Executor.peek_keys ctx "customer"
+          ~where:
+            (Predicate.conj
+               [
+                 Predicate.Eq ("c_w_id", Int w);
+                 Predicate.Eq ("c_d_id", Int d);
+                 Predicate.Eq ("c_last", Str name);
+               ])
+          ()
+      in
+      match matches with
+      | [] -> raise Txn_effect.Abort_requested (* unknown name: spec says fail *)
+      | keys -> (
+          let middle = List.nth keys (List.length keys / 2) in
+          match middle with
+          | [ _; _; Int c ] -> c
+          | _ -> assert false))
+
+(* workspace threaded through a new_order execution *)
+type no_ws = {
+  mutable o_id : int;
+  mutable ol_number : int;
+  mutable total : float;
+}
+
+let no_step1 env (i : new_order_input) ws ctx =
+  let w_row = Executor.read_exn ctx "warehouse" [ Int i.no_w ] in
+  ignore (fnum w_row.(2));
+  env.pace ();
+  let d_row =
+    Executor.update ctx "district" (Load.district_key ~w:i.no_w ~d:i.no_d) (fun row ->
+        row.(5) <- Int (as_int row.(5) + 1);
+        row)
+  in
+  ws.o_id <- as_int d_row.(5) - 1;
+  env.pace ();
+  ignore (Executor.read_exn ctx "customer" (Load.customer_key ~w:i.no_w ~d:i.no_d ~c:i.no_c))
+
+let no_step2 env (i : new_order_input) ws ctx =
+  Executor.insert ctx "orders"
+    [| Int i.no_w; Int i.no_d; Int ws.o_id; Int i.no_c; Int (-1); Int (List.length i.no_items) |];
+  env.pace ();
+  Executor.insert ctx "new_order" [| Int i.no_w; Int i.no_d; Int ws.o_id |]
+
+let no_step_line env (i : new_order_input) ws ~ln ~last ~item ~qty ctx =
+  (* idempotent under step retry: the line number comes from the step's
+     position, and the workspace is assigned, not accumulated *)
+  if last && i.no_fail_last then raise Txn_effect.Abort_requested;
+  let item_row = Executor.read_exn ctx "item" [ Int item ] in
+  let price = fnum item_row.(2) in
+  env.pace ();
+  ignore
+    (Executor.update ctx "stock" (Load.stock_key ~w:i.no_w ~i:item) (fun row ->
+         let q = as_int row.(2) in
+         let q' = if q - qty >= 10 then q - qty else q - qty + 91 in
+         row.(2) <- Int q';
+         row.(3) <- Int (as_int row.(3) + qty);
+         row.(4) <- Int (as_int row.(4) + 1);
+         row));
+  env.pace ();
+  ws.ol_number <- ln;
+  Executor.insert ctx "order_line"
+    [|
+      Int i.no_w; Int i.no_d; Int ws.o_id; Int ln; Int item; Int qty;
+      Float (float_of_int qty *. price); Int (-1);
+    |]
+
+let no_step_final (i : new_order_input) ws ctx =
+  (* re-read the header to compute the displayed total (w_tax/d_tax applied
+     client-side); keeps the step non-trivial without new writes *)
+  let o = Executor.read_exn ctx "orders" (Load.order_key ~w:i.no_w ~d:i.no_d ~o:ws.o_id) in
+  ignore (as_int o.(5))
+
+let no_compensation (i : new_order_input) ws ctx ~completed =
+  (* semantic undo (§4): return filled stock, drop the lines and the queue
+     row, and mark the order row cancelled (carrier -2, zero lines); the
+     consumed order number stays burnt *)
+  if completed = 1 then
+    (* the counter advance is exposed and cannot be taken back; record the
+       burnt number as a cancelled order so the id sequence stays dense *)
+    Executor.insert ctx "orders"
+      [| Int i.no_w; Int i.no_d; Int ws.o_id; Int i.no_c; Int (-2); Int 0 |];
+  if completed >= 2 then begin
+    (* the committed lines are exactly 1 .. completed - 2 (steps 1 and 2 are
+       the reads and the order insert): point-keyed access only — a
+       compensating step touches nothing beyond its own items (§3.4) *)
+    let committed_lines = min (List.length i.no_items) (max 0 (completed - 2)) in
+    for ln = 1 to committed_lines do
+      let key = [ Int i.no_w; Int i.no_d; Int ws.o_id; Int ln ] in
+      let row = Executor.read_exn ctx "order_line" key in
+      let item = as_int row.(4) and qty = as_int row.(5) in
+      ignore
+        (Executor.update ctx "stock" (Load.stock_key ~w:i.no_w ~i:item) (fun s ->
+             s.(2) <- Int (as_int s.(2) + qty);
+             s.(3) <- Int (as_int s.(3) - qty);
+             s.(4) <- Int (as_int s.(4) - 1);
+             s));
+      Executor.delete ctx "order_line" key
+    done;
+    ignore
+      (Executor.update ctx "orders" (Load.order_key ~w:i.no_w ~d:i.no_d ~o:ws.o_id) (fun row ->
+           row.(4) <- Int (-2);
+           row.(5) <- Int 0;
+           row));
+    Executor.delete ctx "new_order" [ Int i.no_w; Int i.no_d; Int ws.o_id ]
+  end
+
+(* --- payment pieces --- *)
+
+type pay_ws = { mutable h_id : int; mutable w_customer : int }
+
+let pay_h_seq = ref 1_000_000 (* surrogate history keys; process-wide *)
+
+let pay_step1 env (i : payment_input) ctx =
+  ignore env;
+  ignore
+    (Executor.update ctx "warehouse" [ Int i.p_w ] (fun row ->
+         row.(3) <- Float (fnum row.(3) +. i.p_amount);
+         row))
+
+let pay_step2 env (i : payment_input) ctx =
+  ignore env;
+  ignore
+    (Executor.update ctx "district" (Load.district_key ~w:i.p_w ~d:i.p_d) (fun row ->
+         row.(4) <- Float (fnum row.(4) +. i.p_amount);
+         row))
+
+let pay_step3 env (i : payment_input) ws ctx =
+  let c = resolve_customer ctx ~w:i.p_w ~d:i.p_d i.p_customer in
+  ws.w_customer <- c;
+  ignore
+    (Executor.update ctx "customer" (Load.customer_key ~w:i.p_w ~d:i.p_d ~c) (fun row ->
+         row.(6) <- Float (fnum row.(6) -. i.p_amount);
+         row.(7) <- Float (fnum row.(7) +. i.p_amount);
+         row.(8) <- Int (as_int row.(8) + 1);
+         row));
+  env.pace ();
+  incr pay_h_seq;
+  ws.h_id <- !pay_h_seq;
+  Executor.insert ctx "history"
+    [| Int ws.h_id; Int i.p_w; Int i.p_d; Int ws.w_customer; Float i.p_amount |]
+
+let pay_compensation (i : payment_input) ws ctx ~completed =
+  let c = ws.w_customer in
+  if completed >= 1 then
+    ignore
+      (Executor.update ctx "warehouse" [ Int i.p_w ] (fun row ->
+           row.(3) <- Float (fnum row.(3) -. i.p_amount);
+           row));
+  if completed >= 2 then
+    ignore
+      (Executor.update ctx "district" (Load.district_key ~w:i.p_w ~d:i.p_d) (fun row ->
+           row.(4) <- Float (fnum row.(4) -. i.p_amount);
+           row));
+  if completed >= 3 then begin
+    ignore
+      (Executor.update ctx "customer" (Load.customer_key ~w:i.p_w ~d:i.p_d ~c) (fun row ->
+           row.(6) <- Float (fnum row.(6) +. i.p_amount);
+           row.(7) <- Float (fnum row.(7) -. i.p_amount);
+           row.(8) <- Int (as_int row.(8) - 1);
+           row));
+    Executor.delete ctx "history" [ Int ws.h_id ]
+  end
+
+(* --- delivery pieces --- *)
+
+type dl_delivered = { dv_d : int; dv_o : int; dv_c : int; dv_amount : float }
+
+type dl_ws = { mutable delivered : dl_delivered list }
+
+(* Oldest undelivered order of the district: hunt via an index peek, then
+   lock-and-verify.  New queue entries always carry higher order ids, so a
+   phantom insert cannot displace the minimum; a concurrent delivery racing
+   us to the same entry loses the X-lock race and re-hunts. *)
+let rec dl_hunt_oldest env (i : delivery_input) ~d ctx =
+  let queue =
+    Executor.peek_keys ctx "new_order"
+      ~where:
+        (Predicate.conj
+           [ Predicate.Eq ("no_w_id", Int i.dl_w); Predicate.Eq ("no_d_id", Int d) ])
+      ()
+  in
+  match queue with
+  | [] -> None
+  | oldest :: _ -> (
+      try
+        Executor.delete ctx "new_order" oldest;
+        Some oldest
+      with Table.No_such_row _ -> dl_hunt_oldest env i ~d ctx)
+
+let dl_step_district env (i : delivery_input) ws ~d ctx =
+  match dl_hunt_oldest env i ~d ctx with
+  | None -> ()
+  | Some oldest ->
+      let o_id = match oldest with [ _; _; Int o ] -> o | _ -> assert false in
+      env.pace ();
+      let o_row =
+        Executor.update ctx "orders" (Load.order_key ~w:i.dl_w ~d ~o:o_id) (fun row ->
+            row.(4) <- Int i.dl_carrier;
+            row)
+      in
+      let c_id = as_int o_row.(3) in
+      env.pace ();
+      (* the order header is X-locked: its lines are stable, address them by
+         primary key *)
+      let amount = ref 0.0 in
+      for ln = 1 to as_int o_row.(5) do
+        let row =
+          Executor.update ctx "order_line"
+            [ Int i.dl_w; Int d; Int o_id; Int ln ]
+            (fun row ->
+              row.(7) <- Int 1;
+              row)
+        in
+        amount := !amount +. fnum row.(6)
+      done;
+      env.pace ();
+      ignore
+        (Executor.update ctx "customer" (Load.customer_key ~w:i.dl_w ~d ~c:c_id) (fun row ->
+             row.(6) <- Float (fnum row.(6) +. !amount);
+             row.(9) <- Int (as_int row.(9) + 1);
+             row));
+      ws.delivered <- { dv_d = d; dv_o = o_id; dv_c = c_id; dv_amount = !amount } :: ws.delivered
+
+let dl_compensation (i : delivery_input) ws ctx ~completed =
+  ignore completed;
+  List.iter
+    (fun dv ->
+      ignore
+        (Executor.update ctx "customer" (Load.customer_key ~w:i.dl_w ~d:dv.dv_d ~c:dv.dv_c)
+           (fun row ->
+             row.(6) <- Float (fnum row.(6) -. dv.dv_amount);
+             row.(9) <- Int (as_int row.(9) - 1);
+             row));
+      let o_row =
+        Executor.read_exn ctx "orders" (Load.order_key ~w:i.dl_w ~d:dv.dv_d ~o:dv.dv_o)
+      in
+      for ln = 1 to as_int o_row.(5) do
+        ignore
+          (Executor.update ctx "order_line"
+             [ Int i.dl_w; Int dv.dv_d; Int dv.dv_o; Int ln ]
+             (fun row ->
+               row.(7) <- Int (-1);
+               row))
+      done;
+      ignore
+        (Executor.update ctx "orders" (Load.order_key ~w:i.dl_w ~d:dv.dv_d ~o:dv.dv_o)
+           (fun row ->
+             row.(4) <- Int (-1);
+             row));
+      Executor.insert ctx "new_order" [| Int i.dl_w; Int dv.dv_d; Int dv.dv_o |])
+    ws.delivered
+
+(* --- order_status and stock_level pieces --- *)
+
+let order_status_body env (i : order_status_input) ctx =
+  let c = resolve_customer ctx ~w:i.os_w ~d:i.os_d i.os_customer in
+  let _crow = Executor.read_exn ctx "customer" (Load.customer_key ~w:i.os_w ~d:i.os_d ~c) in
+  env.pace ();
+  (* most recent order of the customer *)
+  let orders =
+    Executor.scan ctx "orders"
+      ~where:
+        (Predicate.conj
+           [
+             Predicate.Eq ("o_w_id", Int i.os_w);
+             Predicate.Eq ("o_d_id", Int i.os_d);
+             Predicate.Eq ("o_c_id", Int c);
+           ])
+      ()
+  in
+  match List.rev orders with
+  | [] -> ()
+  | last :: _ ->
+      let o_id = as_int last.(2) in
+      env.pace ();
+      let lines =
+        Executor.scan ctx "order_line"
+          ~where:
+            (Predicate.conj
+               [
+                 Predicate.Eq ("ol_w_id", Int i.os_w);
+                 Predicate.Eq ("ol_d_id", Int i.os_d);
+                 Predicate.Eq ("ol_o_id", Int o_id);
+               ])
+          ()
+      in
+      (* the isolation property under test: a consistent order is complete *)
+      if as_int last.(4) <> -2 && List.length lines <> as_int last.(5) then
+        failwith
+          (Printf.sprintf "order_status: order %d has %d lines, header says %d" o_id
+             (List.length lines) (as_int last.(5)))
+
+let stock_level_body env (i : stock_level_input) ctx =
+  let d_row = Executor.read_committed ctx "district" (Load.district_key ~w:i.sl_w ~d:i.sl_d) in
+  let next_o =
+    match d_row with Some row -> as_int row.(5) | None -> failwith "stock_level: no district"
+  in
+  env.pace ();
+  let recent =
+    Executor.scan_committed ctx "order_line"
+      ~where:
+        (Predicate.conj
+           [
+             Predicate.Eq ("ol_w_id", Int i.sl_w);
+             Predicate.Eq ("ol_d_id", Int i.sl_d);
+             Predicate.Cmp (Predicate.Ge, "ol_o_id", Int (next_o - 20));
+           ])
+      ()
+  in
+  let items = List.sort_uniq Stdlib.compare (List.map (fun row -> as_int row.(4)) recent) in
+  env.pace ();
+  let low = ref 0 in
+  List.iter
+    (fun item ->
+      match Executor.read_committed ctx "stock" (Load.stock_key ~w:i.sl_w ~i:item) with
+      | Some s -> if as_int s.(2) < i.sl_threshold then incr low
+      | None -> ())
+    items;
+  ignore !low
+
+(* ====================================================================== *)
+(* Flat (baseline) dispatch                                                *)
+(* ====================================================================== *)
+
+let flat_new_order env (i : new_order_input) ctx =
+  let ws = { o_id = 0; ol_number = 0; total = 0.0 } in
+  no_step1 env i ws ctx;
+  env.pace ();
+  no_step2 env i ws ctx;
+  env.pace ();
+  let n = List.length i.no_items in
+  List.iteri
+    (fun idx (item, qty) ->
+      no_step_line env i ws ~ln:(idx + 1) ~last:(idx = n - 1) ~item ~qty ctx;
+      env.pace ())
+    i.no_items;
+  no_step_final i ws ctx
+
+let flat_payment env (i : payment_input) ctx =
+  let ws = { h_id = 0; w_customer = 0 } in
+  pay_step1 env i ctx;
+  env.pace ();
+  pay_step2 env i ctx;
+  env.pace ();
+  pay_step3 env i ws ctx
+
+let flat_delivery env (i : delivery_input) ctx =
+  let ws = { delivered = [] } in
+  ignore (Executor.read_exn ctx "warehouse" [ Int i.dl_w ]);
+  for d = 1 to env.params.Params.districts_per_warehouse do
+    env.pace ();
+    dl_step_district env i ws ~d ctx
+  done
+
+let flat env input ctx =
+  match input with
+  | New_order i -> flat_new_order env i ctx
+  | Payment i -> flat_payment env i ctx
+  | Order_status i -> order_status_body env i ctx
+  | Delivery i -> flat_delivery env i ctx
+  | Stock_level i -> stock_level_body env i ctx
+
+let is_read_committed = function
+  | Stock_level _ -> true
+  | New_order _ | Payment _ | Order_status _ | Delivery _ -> false
+
+(* ====================================================================== *)
+(* Stepped (ACC) instances                                                 *)
+(* ====================================================================== *)
+
+let new_order_instance env (i : new_order_input) =
+  let ws = { o_id = 0; ol_number = 0; total = 0.0 } in
+  let n_items = List.length i.no_items in
+  let line_steps =
+    List.mapi
+      (fun idx (item, qty) ->
+        ( no_line,
+          fun ctx ->
+            no_step_line env i ws ~ln:(idx + 1) ~last:(idx = n_items - 1) ~item ~qty ctx ))
+      i.no_items
+  in
+  let steps =
+    ((no_reads, fun ctx -> no_step1 env i ws ctx)
+    :: (no_insert, fun ctx -> no_step2 env i ws ctx)
+    :: line_steps)
+    @ [ (no_final, fun ctx -> no_step_final i ws ctx) ]
+  in
+  let n = List.length steps in
+  let assertions =
+    [
+      { Program.ai_assertion = a_no_seq; ai_from = 2; ai_until = 2; ai_check = None };
+      { Program.ai_assertion = a_no_lines; ai_from = 3; ai_until = n; ai_check = None };
+    ]
+  in
+  Program.instance ~def:new_order_type ~steps ~assertions
+    ~compensate:(fun ctx ~completed -> no_compensation i ws ctx ~completed)
+    ~comp_area:(fun () -> [ ("w", Int i.no_w); ("d", Int i.no_d); ("o_id", Int ws.o_id) ])
+    ()
+
+let payment_instance env (i : payment_input) =
+  let ws = { h_id = 0; w_customer = 0 } in
+  let steps =
+    [
+      (pay_wh, fun ctx -> pay_step1 env i ctx);
+      (pay_dist, fun ctx -> pay_step2 env i ctx);
+      (pay_cust, fun ctx -> pay_step3 env i ws ctx);
+    ]
+  in
+  let assertions =
+    [ { Program.ai_assertion = a_pay_applied; ai_from = 2; ai_until = 3; ai_check = None } ]
+  in
+  Program.instance ~def:payment_type ~steps ~assertions
+    ~compensate:(fun ctx ~completed -> pay_compensation i ws ctx ~completed)
+    ~comp_area:(fun () ->
+      [
+        ("w", Int i.p_w);
+        ("d", Int i.p_d);
+        ("c", Int ws.w_customer);
+        ("amount", Float i.p_amount);
+        ("h_id", Int ws.h_id);
+      ])
+    ()
+
+let delivery_instance env (i : delivery_input) =
+  let ws = { delivered = [] } in
+  let district_steps =
+    List.init env.params.Params.districts_per_warehouse (fun d0 ->
+        (dl_district, fun ctx -> dl_step_district env i ws ~d:(d0 + 1) ctx))
+  in
+  let steps =
+    (dl_init, fun ctx -> ignore (Executor.read_exn ctx "warehouse" [ Int i.dl_w ]))
+    :: district_steps
+  in
+  let n = List.length steps in
+  let assertions =
+    [ { Program.ai_assertion = a_dl_progress; ai_from = 2; ai_until = n; ai_check = None } ]
+  in
+  Program.instance ~def:delivery_type ~steps ~assertions
+    ~compensate:(fun ctx ~completed -> dl_compensation i ws ctx ~completed)
+    ~comp_area:(fun () ->
+      (* flatten the delivered list: crash recovery must be able to undo each
+         (district, order, customer, amount) quadruple *)
+      ("w", Int i.dl_w)
+      :: ("n", Int (List.length ws.delivered))
+      :: List.concat
+           (List.mapi
+              (fun idx dv ->
+                [
+                  (Printf.sprintf "d%d" idx, Int dv.dv_d);
+                  (Printf.sprintf "o%d" idx, Int dv.dv_o);
+                  (Printf.sprintf "c%d" idx, Int dv.dv_c);
+                  (Printf.sprintf "amt%d" idx, Float dv.dv_amount);
+                ])
+              (List.rev ws.delivered)))
+    ()
+
+let instance env input =
+  match input with
+  | New_order i -> Some (new_order_instance env i)
+  | Payment i -> Some (payment_instance env i)
+  | Delivery i -> Some (delivery_instance env i)
+  | Order_status _ | Stock_level _ -> None
+
+let run_acc ?options eng env input =
+  match input with
+  | New_order _ | Payment _ | Delivery _ -> begin
+      match instance env input with
+      | Some inst -> Runtime.run ?options eng inst
+      | None -> assert false
+    end
+  | Order_status i ->
+      Runtime.run_legacy ?options eng ~txn_type:"order_status" (fun ctx ->
+          order_status_body env i ctx)
+  | Stock_level i ->
+      (* READ COMMITTED: flat, no assertional locks, short read locks *)
+      let rec attempt () =
+        let ctx = Executor.begin_txn eng ~txn_type:"stock_level" ~multi_step:false in
+        Executor.set_step ctx ~step_type:sl_read.Program.sd_id ~step_index:1;
+        try
+          stock_level_body env i ctx;
+          Executor.commit ctx;
+          Runtime.Committed
+        with Txn_effect.Deadlock_victim ->
+          Executor.abort_physical ctx;
+          Txn_effect.yield ();
+          attempt ()
+      in
+      attempt ()
+
+let run_flat eng env input =
+  let rec attempt () =
+    let ctx = Executor.begin_txn eng ~txn_type:(txn_name input) ~multi_step:false in
+    try
+      flat env input ctx;
+      Executor.commit ctx;
+      `Committed
+    with
+    | Txn_effect.Deadlock_victim ->
+        Executor.abort_physical ctx;
+        Txn_effect.yield ();
+        attempt ()
+    | Txn_effect.Abort_requested ->
+        Executor.abort_physical ctx;
+        `Aborted
+    | e ->
+        Executor.abort_physical ctx;
+        raise e
+  in
+  attempt ()

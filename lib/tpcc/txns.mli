@@ -1,0 +1,109 @@
+(** The five TPC-C transaction types, in both forms under test.
+
+    {b Flat} bodies run under plain strict 2PL — the "unmodified Open Ingres"
+    comparator.  {b Stepped} instances are the ACC decomposition (§5.1): the
+    eleven forward step types, their compensating steps and the interstep
+    assertions, mirroring the paper's analysis:
+
+    - [new_order]: reads + district-counter increment | order/queue insert |
+      one step per order line | finalize.  Its counter assertion is declared
+      {e compatible} with foreign counter increments (monotonicity), which is
+      exactly how the analysis learns that new-order and payment "within the
+      same district" may interleave — the counter and the year-to-date
+      columns do not overlap.
+    - [payment]: warehouse ytd | district ytd | customer + history.
+    - [delivery]: header | one step per district (the long transaction).
+    - [order_status]: analyzed read-only single step, executed with full
+      isolation (it must not observe exposed intermediate order lines).
+    - [stock_level]: single step at READ COMMITTED, as the spec permits.
+
+    Forced failure: the spec requires 1% of new-orders to abort "during the
+    order of the final item" — [fail_last] makes the last line step raise,
+    which the ACC answers with the compensating step. *)
+
+type env = {
+  gen : Random_gen.t;
+  params : Params.t;
+  skewed_district : bool;
+  min_items : int;
+  max_items : int;
+  new_order_abort_rate : float;  (** spec: 0.01 *)
+  pace : unit -> unit;
+      (** called between successive SQL statements — the experiment knob
+          "adding compute time between successive SQL statements" *)
+}
+
+val default_env : ?seed:int -> Params.t -> env
+
+(** {1 Generated inputs} *)
+
+type new_order_input = {
+  no_w : int;
+  no_d : int;
+  no_c : int;
+  no_items : (int * int) list;  (** (item id, quantity), distinct items *)
+  no_fail_last : bool;
+}
+
+type customer_selector =
+  | By_id of int
+  | By_last_name of string
+      (** the spec's 60% case: resolve via the last-name index, choosing the
+          midpoint of the matches (Rev 3.1 §2.5.2.2) *)
+
+type payment_input = { p_w : int; p_d : int; p_customer : customer_selector; p_amount : float }
+
+type order_status_input = { os_w : int; os_d : int; os_customer : customer_selector }
+
+type delivery_input = { dl_w : int; dl_carrier : int }
+
+type stock_level_input = { sl_w : int; sl_d : int; sl_threshold : int }
+
+type input =
+  | New_order of new_order_input
+  | Payment of payment_input
+  | Order_status of order_status_input
+  | Delivery of delivery_input
+  | Stock_level of stock_level_input
+
+val txn_name : input -> string
+
+val gen_input : env -> input
+(** Draw a transaction from the standard mix
+    (45 / 43 / 4 / 4 / 4 % for new-order / payment / order-status /
+    delivery / stock-level). *)
+
+val gen_new_order : env -> new_order_input
+val gen_payment : env -> payment_input
+
+(** {1 The static ACC workload} *)
+
+val workload : Acc_core.Program.workload
+val interference : Acc_core.Interference.t
+val semantics : Acc_lock.Mode.semantics
+val forward_step_count : int
+(** = 11, the paper's "eleven distinct forward step types". *)
+
+(** {1 Flat (baseline) bodies} *)
+
+val flat : env -> input -> Acc_txn.Executor.ctx -> unit
+(** May raise {!Acc_txn.Txn_effect.Abort_requested} (1% new-orders). *)
+
+val is_read_committed : input -> bool
+(** Stock-level runs at READ COMMITTED in both systems. *)
+
+(** {1 Stepped (ACC) instances} *)
+
+val instance : env -> input -> Acc_core.Program.instance option
+(** [None] for the types that do not run through {!Acc_core.Runtime.run}:
+    order-status (legacy full isolation) and stock-level (read committed). *)
+
+val run_acc : ?options:Acc_core.Runtime.options -> Acc_txn.Executor.t -> env -> input ->
+  Acc_core.Runtime.outcome
+(** Dispatch one transaction under the ACC regime: decomposed types through
+    the runtime, order-status through the legacy path, stock-level as a flat
+    read-committed transaction. *)
+
+val run_flat : Acc_txn.Executor.t -> env -> input -> [ `Committed | `Aborted ]
+(** Dispatch one transaction under the baseline regime (strict 2PL, retry on
+    deadlock, abort on the 1% rule). *)

@@ -1,0 +1,24 @@
+type t = {
+  point_op : float;
+  scan_base : float;
+  scan_row : float;
+  lock_op : float;
+  assertional_op : float;
+  step_end : float;
+  admission : float;
+}
+
+(* Relative magnitudes follow the paper's description: assertional locking
+   costs are "comparable to that for conventional locks" (§3.2), and the
+   per-step overhead (log record + work-area save) is a noticeable fraction
+   of a point operation (§5). *)
+let default =
+  {
+    point_op = 1.0;
+    scan_base = 0.5;
+    scan_row = 0.05;
+    lock_op = 0.15;
+    assertional_op = 0.15;
+    step_end = 1.2;
+    admission = 0.4;
+  }

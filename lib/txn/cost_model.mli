@@ -1,0 +1,20 @@
+(** Abstract CPU costs of engine operations, in work units.
+
+    The simulator maps work units to simulated server-CPU seconds.  The model
+    exists so that the ACC's {e extra} work — assertional-lock calls, the
+    end-of-step log record, the compensation work-area save — is charged
+    explicitly: the paper's low-concurrency and single-server regimes (where
+    the unmodified system wins) emerge from these charges rather than being
+    scripted. *)
+
+type t = {
+  point_op : float;  (** point read / update / insert / delete *)
+  scan_base : float;
+  scan_row : float;  (** per row examined *)
+  lock_op : float;  (** each conventional lock-manager call *)
+  assertional_op : float;  (** each assertional/compensation lock action *)
+  step_end : float;  (** end-of-step log record + work-area save *)
+  admission : float;  (** admission table lookups at transaction start *)
+}
+
+val default : t

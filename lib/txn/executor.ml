@@ -1,0 +1,316 @@
+module Database = Acc_relation.Database
+module Table = Acc_relation.Table
+module Value = Acc_relation.Value
+module Predicate = Acc_relation.Predicate
+module Mode = Acc_lock.Mode
+module Resource_id = Acc_lock.Resource_id
+module Lock_table = Acc_lock.Lock_table
+module Log = Acc_wal.Log
+module Record = Acc_wal.Record
+module Recovery = Acc_wal.Recovery
+
+type config = {
+  mutable on_wakeup : Lock_table.wakeup list -> unit;
+  mutable charge : float -> unit;
+  mutable trace : (int -> [ `R | `W ] -> Resource_id.t -> unit) option;
+}
+
+type t = {
+  db : Database.t;
+  locks : Lock_table.t;
+  log : Log.t;
+  cost : Cost_model.t;
+  config : config;
+  mutable next_txn : int;
+  mutable active : int;
+}
+
+type ctx = {
+  eng : t;
+  txn : int;
+  txn_type : string;
+  multi_step : bool;
+  mutable step_type : int;
+  mutable step_index : int;
+  mutable compensating : bool;
+  mutable undo_stack : Record.write list; (* newest first *)
+  mutable on_lock : Resource_id.t -> Mode.t -> unit;
+  mutable on_before_lock : Resource_id.t -> Mode.t -> unit;
+  mutable finished : bool;
+}
+
+let create ?(cost = Cost_model.default) ~sem db =
+  {
+    db;
+    locks = Lock_table.create sem;
+    log = Log.create ();
+    cost;
+    config = { on_wakeup = (fun _ -> ()); charge = (fun _ -> ()); trace = None };
+    next_txn = 1;
+    active = 0;
+  }
+
+let db t = t.db
+let locks t = t.locks
+let log t = t.log
+let set_on_wakeup t f = t.config.on_wakeup <- f
+let set_charge t f = t.config.charge <- f
+let set_trace t f = t.config.trace <- f
+let charge t units = t.config.charge units
+let cost t = t.cost
+
+let begin_txn t ~txn_type ~multi_step =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  t.active <- t.active + 1;
+  ignore (Log.append t.log (Record.Begin { txn; txn_type; multi_step }));
+  {
+    eng = t;
+    txn;
+    txn_type;
+    multi_step;
+    step_type = 0;
+    step_index = 1;
+    compensating = false;
+    undo_stack = [];
+    on_lock = (fun _ _ -> ());
+    on_before_lock = (fun _ _ -> ());
+    finished = false;
+  }
+
+let txn_id ctx = ctx.txn
+let txn_type ctx = ctx.txn_type
+let engine ctx = ctx.eng
+
+let set_step ctx ~step_type ~step_index =
+  ctx.step_type <- step_type;
+  ctx.step_index <- step_index
+
+let step_type ctx = ctx.step_type
+let step_index ctx = ctx.step_index
+let set_compensating ctx flag = ctx.compensating <- flag
+let compensating ctx = ctx.compensating
+let set_on_lock ctx f = ctx.on_lock <- f
+let set_on_before_lock ctx f = ctx.on_before_lock <- f
+let finished ctx = ctx.finished
+
+let trace ctx rw res =
+  match ctx.eng.config.trace with None -> () | Some f -> f ctx.txn rw res
+
+(* Checked lock acquisition: grant or suspend on the Wait_lock effect.  When
+   the fiber is resumed normally the lock is held. *)
+let acquire ctx ?(admission = false) mode res =
+  (* assertional locks that must be in place before the data lock (legacy
+     isolation) are taken here, ahead of the conventional request, so the
+     transaction never waits for them while already holding the data lock *)
+  if Mode.conventional mode then ctx.on_before_lock res mode;
+  charge ctx.eng
+    (if Mode.conventional mode then ctx.eng.cost.lock_op else ctx.eng.cost.assertional_op);
+  (match
+     Lock_table.request ctx.eng.locks ~txn:ctx.txn ~step_type:ctx.step_type ~admission
+       ~compensating:ctx.compensating mode res
+   with
+  | Lock_table.Granted -> ()
+  | Lock_table.Queued ticket ->
+      Effect.perform (Txn_effect.Wait_lock { ticket; txn = ctx.txn }));
+  ctx.on_lock res mode
+
+let attach_lock ctx mode res =
+  charge ctx.eng ctx.eng.cost.assertional_op;
+  Lock_table.attach ctx.eng.locks ~txn:ctx.txn ~step_type:ctx.step_type mode res
+
+let lock_tuple_read ctx tname key =
+  acquire ctx Mode.IS (Resource_id.Table tname);
+  acquire ctx Mode.S (Resource_id.Tuple (tname, key))
+
+let lock_tuple_write ctx tname key =
+  acquire ctx Mode.IX (Resource_id.Table tname);
+  acquire ctx Mode.X (Resource_id.Tuple (tname, key))
+
+let table_of ctx tname = Database.table ctx.eng.db tname
+
+let read ctx tname key =
+  lock_tuple_read ctx tname key;
+  charge ctx.eng ctx.eng.cost.point_op;
+  trace ctx `R (Resource_id.Tuple (tname, key));
+  Table.get (table_of ctx tname) key
+
+let read_exn ctx tname key =
+  match read ctx tname key with
+  | Some row -> row
+  | None -> raise (Table.No_such_row (tname, key))
+
+let deliver ctx wakeups = if wakeups <> [] then ctx.eng.config.on_wakeup wakeups
+
+let read_committed ctx tname key =
+  let res = Resource_id.Tuple (tname, key) in
+  let held_before =
+    List.exists (fun (r, m) -> Resource_id.equal r res && Mode.covers m Mode.S)
+      (Lock_table.held_by ctx.eng.locks ~txn:ctx.txn)
+  in
+  lock_tuple_read ctx tname key;
+  charge ctx.eng ctx.eng.cost.point_op;
+  trace ctx `R res;
+  let row = Table.get (table_of ctx tname) key in
+  (* short lock: give the S back straight away unless it was already held *)
+  if not held_before then
+    deliver ctx (Lock_table.release ctx.eng.locks ~txn:ctx.txn Mode.S res);
+  row
+
+let charge_scan ctx table =
+  charge ctx.eng
+    (ctx.eng.cost.scan_base
+    +. (ctx.eng.cost.scan_row *. float_of_int (Table.last_scan_cost table)))
+
+let scan ctx tname ?where () =
+  acquire ctx Mode.S (Resource_id.Table tname);
+  let table = table_of ctx tname in
+  let rows = Table.scan ?where table in
+  charge_scan ctx table;
+  trace ctx `R (Resource_id.Table tname);
+  rows
+
+let scan_committed ctx tname ?where () =
+  let res = Resource_id.Table tname in
+  let held_before =
+    List.exists (fun (r, m) -> Resource_id.equal r res && Mode.covers m Mode.S)
+      (Lock_table.held_by ctx.eng.locks ~txn:ctx.txn)
+  in
+  acquire ctx Mode.S res;
+  let table = table_of ctx tname in
+  let rows = Table.scan ?where table in
+  charge_scan ctx table;
+  trace ctx `R res;
+  if not held_before then deliver ctx (Lock_table.release ctx.eng.locks ~txn:ctx.txn Mode.S res);
+  rows
+
+let scan_keys ctx tname ?where () =
+  acquire ctx Mode.S (Resource_id.Table tname);
+  let table = table_of ctx tname in
+  let keys = Table.scan_keys ?where table in
+  charge_scan ctx table;
+  trace ctx `R (Resource_id.Table tname);
+  keys
+
+let peek_keys ctx tname ?where () =
+  (* index peek without row locks (degree-1 read): the caller X-locks and
+     re-verifies whichever candidate it acts on.  Sound when the predicate's
+     answer can only grow monotonically (e.g. the oldest queue entry of a
+     district cannot be displaced by inserts, which always carry higher
+     ids). *)
+  acquire ctx Mode.IS (Resource_id.Table tname);
+  let table = table_of ctx tname in
+  let keys = Table.scan_keys ?where table in
+  charge_scan ctx table;
+  keys
+
+let scan_keys_for_update ctx tname ?where () =
+  (* scan with intent to modify: take the table lock exclusively up front so
+     that two such scanners serialize instead of meeting in the classic
+     S-then-upgrade deadlock (the update-mode-lock idiom) *)
+  acquire ctx Mode.X (Resource_id.Table tname);
+  let table = table_of ctx tname in
+  let keys = Table.scan_keys ?where table in
+  charge_scan ctx table;
+  trace ctx `R (Resource_id.Table tname);
+  keys
+
+let log_write ctx write =
+  ignore (Log.append ctx.eng.log (Record.Write { txn = ctx.txn; write; undo = false }));
+  ctx.undo_stack <- write :: ctx.undo_stack
+
+let insert ctx tname row =
+  let table = table_of ctx tname in
+  let key = Acc_relation.Schema.key_of_row (Table.schema table) row in
+  lock_tuple_write ctx tname key;
+  charge ctx.eng ctx.eng.cost.point_op;
+  trace ctx `W (Resource_id.Tuple (tname, key));
+  Table.insert table row;
+  log_write ctx
+    { Record.w_table = tname; w_key = key; w_before = None; w_after = Some (Array.copy row) }
+
+let update ctx tname key f =
+  lock_tuple_write ctx tname key;
+  charge ctx.eng ctx.eng.cost.point_op;
+  trace ctx `W (Resource_id.Tuple (tname, key));
+  let table = table_of ctx tname in
+  let before = Table.get_exn table key in
+  let after = Table.update table key f in
+  log_write ctx
+    { Record.w_table = tname; w_key = key; w_before = Some before; w_after = Some after };
+  after
+
+let set_column ctx tname key col v =
+  ignore
+    (update ctx tname key (fun row ->
+         row.(Acc_relation.Schema.position (Table.schema (table_of ctx tname)) col) <- v;
+         row))
+
+let delete ctx tname key =
+  lock_tuple_write ctx tname key;
+  charge ctx.eng ctx.eng.cost.point_op;
+  trace ctx `W (Resource_id.Tuple (tname, key));
+  let before = Table.delete (table_of ctx tname) key in
+  log_write ctx { Record.w_table = tname; w_key = key; w_before = Some before; w_after = None }
+
+let undo_stack_size ctx = List.length ctx.undo_stack
+
+let rollback_current_step ctx =
+  List.iter
+    (fun write ->
+      let undo = Record.invert write in
+      ignore (Log.append ctx.eng.log (Record.Write { txn = ctx.txn; write = undo; undo = true }));
+      charge ctx.eng ctx.eng.cost.point_op;
+      Recovery.apply_write ctx.eng.db undo)
+    ctx.undo_stack;
+  ctx.undo_stack <- []
+
+let end_step ctx ~comp_area =
+  (* the work area must be durable before the step counts as completed: a
+     crash between the two records must find either an undoable step or a
+     compensable one, never a completed step without its area *)
+  (match comp_area with
+  | Some area ->
+      ignore
+        (Log.append ctx.eng.log
+           (Record.Comp_area { txn = ctx.txn; completed_steps = ctx.step_index; area }))
+  | None -> ());
+  ignore (Log.append ctx.eng.log (Record.Step_end { txn = ctx.txn; step_index = ctx.step_index }));
+  charge ctx.eng ctx.eng.cost.step_end;
+  ctx.undo_stack <- []
+
+let release_locks ctx pred =
+  deliver ctx (Lock_table.release_where ctx.eng.locks ~txn:ctx.txn pred)
+
+let release_everything ctx = deliver ctx (Lock_table.release_all ctx.eng.locks ~txn:ctx.txn)
+
+let finish ctx =
+  ctx.finished <- true;
+  ctx.eng.active <- ctx.eng.active - 1
+
+let commit ctx =
+  assert (not ctx.finished);
+  ignore (Log.append ctx.eng.log (Record.Commit { txn = ctx.txn }));
+  finish ctx;
+  release_everything ctx
+
+let abort_physical ctx =
+  assert (not ctx.finished);
+  rollback_current_step ctx;
+  ignore (Log.append ctx.eng.log (Record.Abort { txn = ctx.txn }));
+  finish ctx;
+  release_everything ctx
+
+let finish_compensated ctx =
+  assert (not ctx.finished);
+  ignore (Log.append ctx.eng.log (Record.Abort { txn = ctx.txn }));
+  finish ctx;
+  release_everything ctx
+
+let active_txns t = t.active
+
+let checkpoint t =
+  if t.active > 0 then
+    invalid_arg
+      (Printf.sprintf "Executor.checkpoint: %d transaction(s) still active" t.active);
+  Acc_wal.Checkpoint.take t.db t.log

@@ -1,0 +1,175 @@
+(** The transaction executor: every data access of both systems under test
+    (plain strict 2PL, and steps inside the ACC) goes through here.
+
+    Responsibilities per operation: hierarchical lock acquisition (intention
+    lock on the table, S/X on the tuple; full-table S for scans), write-ahead
+    logging with physical images, application to the store, maintenance of
+    the current step's undo stack, cost charging, and access tracing.
+
+    Lock waits {!Effect.perform} {!Txn_effect.Wait_lock}; callers run under a
+    scheduler that handles it ({!Schedule} or the simulator driver). *)
+
+type t
+(** An engine: database + lock table + log + configuration. *)
+
+type ctx
+(** A live transaction. *)
+
+val create :
+  ?cost:Cost_model.t -> sem:Acc_lock.Mode.semantics -> Acc_relation.Database.t -> t
+
+val db : t -> Acc_relation.Database.t
+val locks : t -> Acc_lock.Lock_table.t
+val log : t -> Acc_wal.Log.t
+
+(* configuration hooks, installed by schedulers/drivers *)
+
+val set_on_wakeup : t -> (Acc_lock.Lock_table.wakeup list -> unit) -> unit
+(** Called with every batch of lock grants produced by a release; the
+    scheduler uses it to make fibers runnable.  Default: ignore. *)
+
+val set_charge : t -> (float -> unit) -> unit
+(** Called with the work units of each engine action; the simulator maps
+    them to server CPU time.  Default: ignore. *)
+
+val set_trace : t -> (int -> [ `R | `W ] -> Acc_lock.Resource_id.t -> unit) option -> unit
+(** Access trace for the serializability checker. *)
+
+val charge : t -> float -> unit
+val cost : t -> Cost_model.t
+
+(* transaction lifecycle *)
+
+val begin_txn : t -> txn_type:string -> multi_step:bool -> ctx
+val txn_id : ctx -> int
+val txn_type : ctx -> string
+val engine : ctx -> t
+
+val set_step : ctx -> step_type:int -> step_index:int -> unit
+(** Entering step [step_index] (1-based) whose design-time type is
+    [step_type]; lock requests made from now on carry that step type. *)
+
+val step_type : ctx -> int
+val step_index : ctx -> int
+
+val set_compensating : ctx -> bool -> unit
+(** Mark subsequent lock requests as issued by a compensating step (they are
+    never chosen as deadlock victims). *)
+
+val compensating : ctx -> bool
+
+val set_on_lock : ctx -> (Acc_lock.Resource_id.t -> Acc_lock.Mode.t -> unit) -> unit
+(** ACC hook fired after each conventional lock acquisition, used to attach
+    assertional and compensation locks to the item just locked. *)
+
+val set_on_before_lock : ctx -> (Acc_lock.Resource_id.t -> Acc_lock.Mode.t -> unit) -> unit
+(** Hook fired before each conventional lock request: the legacy runner
+    acquires its isolation assertional lock here, so a fully isolated
+    transaction queues on in-flight writers before taking the data lock
+    (taking it after would hold the data lock across the wait and deadlock
+    against the writer's next step). *)
+
+(* data operations *)
+
+val read : ctx -> string -> Acc_relation.Table.key -> Acc_relation.Value.t array option
+val read_exn : ctx -> string -> Acc_relation.Table.key -> Acc_relation.Value.t array
+
+val read_committed :
+  ctx -> string -> Acc_relation.Table.key -> Acc_relation.Value.t array option
+(** Degree-2 read: the S lock is released as soon as the value is fetched
+    (TPC-C allows one transaction type to run at READ COMMITTED). *)
+
+val scan :
+  ctx -> string -> ?where:Acc_relation.Predicate.t -> unit -> Acc_relation.Value.t array list
+(** Table-granularity S lock, as in the lock-escalated executions the paper's
+    Ingres baseline performs for multi-tuple reads. *)
+
+val scan_committed :
+  ctx -> string -> ?where:Acc_relation.Predicate.t -> unit -> Acc_relation.Value.t array list
+(** Scan at READ COMMITTED: table S lock released at operation end. *)
+
+val scan_keys :
+  ctx -> string -> ?where:Acc_relation.Predicate.t -> unit -> Acc_relation.Table.key list
+
+val peek_keys :
+  ctx -> string -> ?where:Acc_relation.Predicate.t -> unit -> Acc_relation.Table.key list
+(** Index peek under an intention lock only — no row or table data locks.
+    For hunt-then-lock patterns: the caller must X-lock its chosen candidate
+    and be prepared for it to have vanished ({!delete}/{!update} raise
+    [No_such_row]).  Sound only where phantoms are semantically harmless
+    (monotone queues). *)
+
+val scan_keys_for_update :
+  ctx -> string -> ?where:Acc_relation.Predicate.t -> unit -> Acc_relation.Table.key list
+(** Scan taken under an exclusive table lock: for scan-then-modify patterns
+    (delivery's oldest-order hunt), where a shared scan lock would upgrade
+    and two scanners would deadlock against each other every time. *)
+
+val insert : ctx -> string -> Acc_relation.Value.t array -> unit
+
+val update :
+  ctx ->
+  string ->
+  Acc_relation.Table.key ->
+  (Acc_relation.Value.t array -> Acc_relation.Value.t array) ->
+  Acc_relation.Value.t array
+
+val set_column :
+  ctx -> string -> Acc_relation.Table.key -> string -> Acc_relation.Value.t -> unit
+
+val delete : ctx -> string -> Acc_relation.Table.key -> unit
+
+val acquire :
+  ctx ->
+  ?admission:bool ->
+  Acc_lock.Mode.t ->
+  Acc_lock.Resource_id.t ->
+  unit
+(** Raw checked lock acquisition (blocking); used by the ACC runtime for
+    admission assertional locks and compensation locks. *)
+
+val attach_lock : ctx -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit
+(** Raw unconditional grant (the §3.3 mid-transaction assertional locks). *)
+
+(* step machinery (driven by the ACC runtime; flat 2PL never calls these) *)
+
+val undo_stack_size : ctx -> int
+
+val rollback_current_step : ctx -> unit
+(** Physically undo (and log as compensation records) every write of the
+    current step, newest first; clears the undo stack.  Locks are not
+    released here. *)
+
+val end_step : ctx -> comp_area:(string * Acc_relation.Value.t) list option -> unit
+(** Log the end-of-step record (and work area when compensation is needed),
+    charge the step overhead, and forget the undo stack — the step is now
+    durable and can no longer be physically undone. *)
+
+val release_locks : ctx -> (Acc_lock.Resource_id.t -> Acc_lock.Mode.t -> bool) -> unit
+(** Release this transaction's holds matching the predicate and deliver the
+    wakeups. *)
+
+(* completion *)
+
+val commit : ctx -> unit
+(** Log commit, release everything, deliver wakeups. *)
+
+val abort_physical : ctx -> unit
+(** Roll back the current step physically, log [Abort], release everything.
+    Only sound when no earlier step has exposed results (flat transactions,
+    or multi-step transactions still in their first step). *)
+
+val finish_compensated : ctx -> unit
+(** Log [Abort] after compensation has run, release everything. *)
+
+val finished : ctx -> bool
+
+(* checkpoints *)
+
+val active_txns : t -> int
+(** Transactions begun but not yet committed/aborted. *)
+
+val checkpoint : t -> Acc_wal.Checkpoint.t
+(** Quiescent checkpoint: snapshot the database and the log position so
+    recovery can start from here.  Raises [Invalid_argument] if any
+    transaction is active. *)

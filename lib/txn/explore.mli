@@ -1,0 +1,39 @@
+(** Systematic interleaving exploration: run a set of transaction fibers
+    under {e every} schedule the cooperative scheduler could produce, and
+    check an invariant after each one.
+
+    The paper argues semantic correctness by proof outline; this module makes
+    the claim machine-checkable for concrete instances — exhaustively, not
+    statistically.  Wherever more than one fiber is runnable (fibers branch
+    at {!Txn_effect.yield} points and lock grants), the explorer forks the
+    schedule.  Each schedule replays from scratch against a fresh engine, so
+    the workload factory must be deterministic.
+
+    The state space is exponential in the yield count; [max_schedules]
+    bounds the walk. *)
+
+type outcome = {
+  schedules : int;  (** schedules actually executed *)
+  exhausted : bool;  (** false if [max_schedules] stopped the walk early *)
+  failure : (string * int list) option;
+      (** first failing schedule: the invariant's message and the choice
+          trace that reproduces it via {!replay} *)
+}
+
+val explore :
+  ?max_schedules:int ->
+  ?policy:Schedule.victim_policy ->
+  make:(unit -> Executor.t * (unit -> unit) list) ->
+  check:(Executor.t -> (unit, string) result) ->
+  unit ->
+  outcome
+(** Depth-first walk over the schedule tree ([max_schedules] default 10_000).
+    Stops at the first invariant failure. *)
+
+val replay :
+  ?policy:Schedule.victim_policy ->
+  make:(unit -> Executor.t * (unit -> unit) list) ->
+  int list ->
+  Executor.t
+(** Re-execute one schedule by its choice trace and return the engine (for
+    debugging a failure). *)

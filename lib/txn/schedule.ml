@@ -1,0 +1,132 @@
+module Lock_table = Acc_lock.Lock_table
+
+type victim_policy = Lock_table.t -> requester:int -> cycle:int list -> int list
+
+let abort_requester _locks ~requester ~cycle:_ = [ requester ]
+
+let abort_youngest _locks ~requester ~cycle =
+  [ List.fold_left max requester cycle ]
+
+type task =
+  | Start of (unit -> unit)
+  | Resume of (unit, unit) Effect.Deep.continuation
+  | Kill of (unit, unit) Effect.Deep.continuation
+
+type suspended = { s_txn : int; s_k : (unit, unit) Effect.Deep.continuation }
+
+type state = {
+  engine : Executor.t;
+  policy : victim_policy;
+  ready : task Queue.t;
+  parked : (Lock_table.ticket, suspended) Hashtbl.t;
+  mutable tasks_run : int;
+}
+
+let deliver st wakeups =
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt st.parked w.Lock_table.woken_ticket with
+      | Some s ->
+          Hashtbl.remove st.parked w.Lock_table.woken_ticket;
+          Queue.add (Resume s.s_k) st.ready
+      | None -> () (* granted to a request that was cancelled concurrently *))
+    wakeups
+
+(* Unpark [txn]'s waiting fiber (if any), withdraw its lock request, and
+   schedule it to be resumed with Deadlock_victim. *)
+let kill_waiter st txn =
+  let victim_tickets =
+    Hashtbl.fold (fun ticket s acc -> if s.s_txn = txn then (ticket, s) :: acc else acc)
+      st.parked []
+  in
+  List.iter
+    (fun (ticket, s) ->
+      Hashtbl.remove st.parked ticket;
+      deliver st (Lock_table.cancel (Executor.locks st.engine) ~ticket);
+      Queue.add (Kill s.s_k) st.ready)
+    victim_tickets
+
+let handle_wait st ~ticket ~txn k =
+  let locks = Executor.locks st.engine in
+  (* the ticket may already have been granted by lock churn between the
+     request and this handler running; only park if still outstanding *)
+  if not (Lock_table.outstanding locks ~ticket) then Queue.add (Resume k) st.ready
+  else begin
+    match Lock_table.find_cycle locks ~from:txn with
+    | None -> Hashtbl.replace st.parked ticket { s_txn = txn; s_k = k }
+    | Some cycle ->
+        let victims = st.policy locks ~requester:txn ~cycle in
+        assert (victims <> [] && List.for_all (fun v -> List.mem v cycle) victims);
+        if List.mem txn victims then begin
+          deliver st (Lock_table.cancel locks ~ticket);
+          Queue.add (Kill k) st.ready
+        end
+        else Hashtbl.replace st.parked ticket { s_txn = txn; s_k = k };
+        List.iter (fun v -> if v <> txn then kill_waiter st v) victims
+  end
+
+let run ?(policy = abort_youngest) ?(max_tasks = 1_000_000) engine fibers =
+  let st =
+    { engine; policy; ready = Queue.create (); parked = Hashtbl.create 64; tasks_run = 0 }
+  in
+  Executor.set_on_wakeup engine (deliver st);
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Txn_effect.Wait_lock { ticket; txn } ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) -> handle_wait st ~ticket ~txn k)
+          | Txn_effect.Yield ->
+              Some (fun (k : (b, unit) Effect.Deep.continuation) -> Queue.add (Resume k) st.ready)
+          | _ -> None);
+    }
+  in
+  List.iter (fun f -> Queue.add (Start f) st.ready) fibers;
+  (* Grant promotions and lock upgrades can close a waits-for cycle without
+     any transaction newly blocking; when the ready queue drains with fibers
+     still parked, sweep the parked set for cycles before declaring a bug. *)
+  let stall_sweep () =
+    let locks = Executor.locks engine in
+    let parked_txns =
+      Hashtbl.fold (fun _ s acc -> s.s_txn :: acc) st.parked [] |> List.sort_uniq compare
+    in
+    List.iter
+      (fun txn ->
+        match Lock_table.find_cycle locks ~from:txn with
+        | Some cycle ->
+            let victims = st.policy locks ~requester:txn ~cycle in
+            List.iter (fun v -> kill_waiter st v) victims
+        | None -> ())
+      parked_txns
+  in
+  let rec drain () =
+    while not (Queue.is_empty st.ready) do
+      st.tasks_run <- st.tasks_run + 1;
+      if st.tasks_run > max_tasks then raise (Txn_effect.Stuck "livelock guard tripped");
+      match Queue.pop st.ready with
+      | Start f -> Effect.Deep.match_with f () handler
+      | Resume k -> Effect.Deep.continue k ()
+      | Kill k -> Effect.Deep.discontinue k Txn_effect.Deadlock_victim
+    done;
+    if Hashtbl.length st.parked > 0 then begin
+      stall_sweep ();
+      if not (Queue.is_empty st.ready) then drain ()
+    end
+  in
+  drain ();
+  if Hashtbl.length st.parked > 0 then begin
+    let stranded =
+      Hashtbl.fold (fun _ s acc -> s.s_txn :: acc) st.parked [] |> List.sort_uniq compare
+    in
+    raise
+      (Txn_effect.Stuck
+         (Format.asprintf "fibers stranded on locks: txns %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               Format.pp_print_int)
+            stranded))
+  end

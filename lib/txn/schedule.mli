@@ -1,0 +1,38 @@
+(** Deterministic cooperative scheduler for transaction fibers.
+
+    Runs a set of thunks (each typically executing one or more transactions
+    against a shared {!Executor.t}) under a round-robin discipline, handling
+    {!Txn_effect.Wait_lock} by parking the fiber until its ticket is granted.
+    Deadlock is checked at every block; victims chosen by the policy are
+    resumed with {!Txn_effect.Deadlock_victim} at their wait point.
+
+    This is the scheduler used by unit/property tests and the examples; the
+    benchmark simulator implements the same effect protocol on top of
+    simulated time. *)
+
+type victim_policy = Acc_lock.Lock_table.t -> requester:int -> cycle:int list -> int list
+(** Given the waits-for cycle just closed by [requester], name the
+    transactions whose current steps must be aborted.  The returned list must
+    be a non-empty subset of [cycle]. *)
+
+val abort_requester : victim_policy
+(** Abort the step that completed the deadlock cycle (the paper's §3.4
+    resolution for forward steps). *)
+
+val abort_youngest : victim_policy
+(** Abort the youngest (largest-id) transaction in the cycle.  This is the
+    default: with deterministic round-robin scheduling, requester-aborts can
+    livelock — two transactions re-colliding in lockstep forever — whereas
+    the youngest-victim rule never kills the system-wide oldest transaction,
+    which therefore always makes progress (wound-wait's argument). *)
+
+val run :
+  ?policy:victim_policy ->
+  ?max_tasks:int ->
+  Executor.t ->
+  (unit -> unit) list ->
+  unit
+(** Run all fibers to completion ([policy] defaults to {!abort_youngest}).  Raises {!Txn_effect.Stuck} if fibers
+    remain suspended with nothing runnable (undetected deadlock — a bug), or
+    if more than [max_tasks] resumptions occur (livelock guard,
+    default 1_000_000). *)

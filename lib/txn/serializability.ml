@@ -1,0 +1,78 @@
+module Resource_id = Acc_lock.Resource_id
+
+type access = { a_txn : int; a_rw : [ `R | `W ]; a_res : Resource_id.t }
+
+type t = {
+  mutable accesses : access list; (* newest first *)
+  committed : (int, unit) Hashtbl.t;
+  aborted : (int, unit) Hashtbl.t;
+}
+
+let create () = { accesses = []; committed = Hashtbl.create 64; aborted = Hashtbl.create 16 }
+let hook t txn rw res = t.accesses <- { a_txn = txn; a_rw = rw; a_res = res } :: t.accesses
+let note_commit t txn = Hashtbl.replace t.committed txn ()
+let note_abort t txn = Hashtbl.replace t.aborted txn ()
+let access_count t = List.length t.accesses
+
+(* Two accesses conflict when they touch overlapping resources and at least
+   one writes.  A table-granularity access overlaps every tuple of that
+   table. *)
+let overlaps r1 r2 =
+  Resource_id.equal r1 r2
+  ||
+  match (r1, r2) with
+  | Resource_id.Table t, Resource_id.Tuple (t', _) | Resource_id.Tuple (t', _), Resource_id.Table t
+    ->
+      String.equal t t'
+  | (Resource_id.Table _ | Resource_id.Tuple _), _ -> false
+
+let conflict_edges t =
+  let ordered = List.rev t.accesses in
+  let committed txn = Hashtbl.mem t.committed txn in
+  let rec walk acc earlier = function
+    | [] -> acc
+    | a :: rest ->
+        let acc =
+          if not (committed a.a_txn) then acc
+          else
+            List.fold_left
+              (fun acc e ->
+                if
+                  e.a_txn <> a.a_txn
+                  && committed e.a_txn
+                  && overlaps e.a_res a.a_res
+                  && (e.a_rw = `W || a.a_rw = `W)
+                  && not (List.mem (e.a_txn, a.a_txn) acc)
+                then (e.a_txn, a.a_txn) :: acc
+                else acc)
+              acc earlier
+        in
+        walk acc (a :: earlier) rest
+  in
+  List.sort compare (walk [] [] ordered)
+
+let serial_order t =
+  let edges = conflict_edges t in
+  let nodes =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun txn () acc -> txn :: acc) t.committed []
+      @ List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  (* Kahn's algorithm *)
+  let in_degree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace in_degree n 0) nodes;
+  List.iter (fun (_, b) -> Hashtbl.replace in_degree b (Hashtbl.find in_degree b + 1)) edges;
+  let rec loop order remaining =
+    if remaining = [] then Some (List.rev order)
+    else
+      match List.find_opt (fun n -> Hashtbl.find in_degree n = 0) remaining with
+      | None -> None (* cycle *)
+      | Some n ->
+          List.iter
+            (fun (a, b) -> if a = n then Hashtbl.replace in_degree b (Hashtbl.find in_degree b - 1))
+            edges;
+          loop (n :: order) (List.filter (fun m -> m <> n) remaining)
+  in
+  loop [] nodes
+
+let conflict_serializable t = Option.is_some (serial_order t)

@@ -1,0 +1,31 @@
+(** Conflict-serializability checking over recorded access traces.
+
+    Install {!hook} as the engine trace; after the run, {!conflict_serializable}
+    decides whether the committed transactions admit an equivalent serial
+    order (acyclic conflict graph).  Used two ways in the test suite: the
+    strict-2PL baseline must {e always} pass, and the ACC experiments use it
+    to demonstrate schedules that are provably {e not} serializable yet
+    semantically correct — the paper's central claim. *)
+
+type t
+
+val create : unit -> t
+
+val hook : t -> int -> [ `R | `W ] -> Acc_lock.Resource_id.t -> unit
+(** Record one access (in execution order). *)
+
+val note_commit : t -> int -> unit
+val note_abort : t -> int -> unit
+
+val conflict_edges : t -> (int * int) list
+(** Edges of the conflict graph restricted to committed transactions:
+    [(a, b)] when some access of [a] precedes and conflicts with (same
+    resource, at least one write) some access of [b]. *)
+
+val conflict_serializable : t -> bool
+(** Is the conflict graph acyclic? *)
+
+val serial_order : t -> int list option
+(** A topological order witnessing serializability, if one exists. *)
+
+val access_count : t -> int

@@ -1,0 +1,28 @@
+(* The single point where concurrency-control code suspends: lock waits are
+   surfaced as an effect so that the same engine runs under the deterministic
+   round-robin scheduler (tests, examples) and under the discrete-event
+   simulator (benchmarks) unchanged. *)
+
+type _ Effect.t +=
+  | Wait_lock : { ticket : Acc_lock.Lock_table.ticket; txn : int } -> unit Effect.t
+  | Yield : unit Effect.t
+        (** Voluntary reschedule point: lets tests and examples construct
+            specific interleavings of transaction steps. *)
+
+let yield () = Effect.perform Yield
+
+exception Deadlock_victim
+(** Raised {e at the wait point} of a transaction chosen as deadlock victim:
+    the scheduler discontinues the suspended fiber with this exception.  The
+    step-retry logic of the caller is responsible for undoing the current
+    step. *)
+
+exception Abort_requested
+(** Raised by a transaction body to request its own rollback (e.g. TPC-C's
+    mandated 1% of new-order transactions, which fail on the last item).
+    Flat runners answer with a physical abort; the ACC runtime rolls back the
+    current step physically and compensates the completed ones. *)
+
+exception Stuck of string
+(** Raised by schedulers when no fiber is runnable but some are still
+    suspended: indicates a scheduling bug or an undetected deadlock. *)

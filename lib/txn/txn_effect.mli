@@ -1,0 +1,36 @@
+(** The effects through which transaction code talks to its scheduler.
+
+    Engine operations never block directly: a lock wait performs
+    {!Wait_lock}, and whichever scheduler is running the fiber — the
+    deterministic round-robin {!Schedule}, the systematic {!Explore}, or the
+    discrete-event simulation driver — decides how to park and resume it.
+    This is what lets one engine implementation serve unit tests, exhaustive
+    interleaving checks, and the performance simulation unchanged. *)
+
+type _ Effect.t +=
+  | Wait_lock : { ticket : Acc_lock.Lock_table.ticket; txn : int } -> unit Effect.t
+        (** Performed by {!Executor.acquire} when a lock request queues;
+            resumed when the ticket is granted, or discontinued with
+            {!Deadlock_victim}. *)
+  | Yield : unit Effect.t
+        (** Voluntary reschedule point: lets tests and examples construct
+            specific interleavings, and gives the explorer its branch
+            points. *)
+
+val yield : unit -> unit
+
+exception Deadlock_victim
+(** Raised {e at the wait point} of a transaction chosen as deadlock victim:
+    the scheduler discontinues the suspended fiber with this exception.  The
+    step-retry logic of the caller is responsible for undoing the current
+    step. *)
+
+exception Abort_requested
+(** Raised by a transaction body to request its own rollback (e.g. TPC-C's
+    mandated 1% of new-order transactions, which fail on the last item).
+    Flat runners answer with a physical abort; the ACC runtime rolls back the
+    current step physically and compensates the completed ones. *)
+
+exception Stuck of string
+(** Raised by schedulers when no fiber is runnable but some are still
+    suspended: indicates a scheduling bug or an undetected deadlock. *)

@@ -1,0 +1,85 @@
+(* SplitMix64 (Steele, Lea, Flood 2014).  The state is a single 64-bit
+   counter advanced by the golden-gamma; outputs are a bijective mix of the
+   state, so distinct states never collide within a stream. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = bits64 g in
+  (* Remix so that the child stream is decorrelated from the parent's
+     subsequent outputs. *)
+  { state = mix (Int64.logxor seed 0x5851F42D4C957F2DL) }
+
+let copy g = { state = g.state }
+
+let int g bound =
+  assert (bound > 0);
+  (* Take the top bits; modulo bias is negligible for bounds << 2^62 and the
+     workload bounds are tiny, but use rejection to be exact. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 g) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub Int64.max_int (Int64.sub bound64 1L) then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let float g x =
+  assert (x > 0.);
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  let u = Int64.to_float bits /. 9007199254740992. in
+  u *. x
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let chance g p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else float g 1.0 < p
+
+let exponential g ~mean =
+  assert (mean > 0.);
+  let u = 1.0 -. float g 1.0 in
+  -.mean *. log u
+
+let choose g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a
+
+let alpha_string g ~min ~max =
+  let len = int_in g min max in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int g 26))
+
+let numeric_string g len = String.init len (fun _ -> Char.chr (Char.code '0' + int g 10))

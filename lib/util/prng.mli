@@ -1,0 +1,58 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomness in the repository flows through values of type {!t} so that
+    every experiment, test and example is reproducible from a single integer
+    seed.  The generator is SplitMix64: fast, decent statistical quality, and
+    {!split} yields an independent stream, which lets each simulated terminal
+    own its own generator without cross-coupling event order and argument
+    choice. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator from a seed. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    independent of the remainder of [g]'s stream. *)
+
+val copy : t -> t
+(** Duplicate the current state (both copies then produce the same stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive.
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. Requires [x > 0.]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance g p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean; used for think
+    times. Requires [mean > 0.]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniformly random permutation of [0 .. n-1]. *)
+
+val alpha_string : t -> min:int -> max:int -> string
+(** Random string of letters with length uniform in [\[min, max\]]; mirrors
+    TPC-C's a-string generator. *)
+
+val numeric_string : t -> int -> string
+(** Random string of digits of exactly the given length. *)

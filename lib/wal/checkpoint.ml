@@ -1,0 +1,8 @@
+module Database = Acc_relation.Database
+
+type t = { snapshot : Database.t; from_lsn : Log.lsn }
+
+let take db log = { snapshot = Database.copy db; from_lsn = Log.length log }
+let position t = t.from_lsn
+let snapshot t = t.snapshot
+let recover t log = Recovery.recover ~baseline:t.snapshot (Log.appended_since log t.from_lsn)

@@ -1,0 +1,29 @@
+(** Quiescent checkpoints: bound the log prefix recovery must replay.
+
+    A checkpoint is a deep copy of the database plus the log position it
+    reflects.  It must be taken at a {e transaction-quiescent} point (no
+    transaction between its [Begin] and its final [Commit]/[Abort]) — the
+    engine-level wrapper {!Acc_txn.Executor.checkpoint} enforces this.
+    Recovery then starts from the snapshot and replays only the suffix; the
+    result is identical to recovering the whole log from the original
+    baseline (property-tested).
+
+    Fuzzy (non-quiescent) checkpoints would need ARIES-style dirty-page and
+    transaction tables; the paper's system does not describe them and the
+    quiescent form is sufficient to exercise the protocol obligations
+    (end-of-step records, work areas) with a truncated log. *)
+
+type t
+
+val take : Acc_relation.Database.t -> Log.t -> t
+(** Snapshot the database and record the current end of the log.  The caller
+    must guarantee quiescence; see {!Acc_txn.Executor.checkpoint}. *)
+
+val position : t -> Log.lsn
+(** First LSN that recovery from this checkpoint will replay. *)
+
+val snapshot : t -> Acc_relation.Database.t
+(** The stored snapshot (do not mutate; {!recover} copies it). *)
+
+val recover : t -> Log.t -> Recovery.report
+(** Recover using the snapshot and the records appended after it. *)

@@ -1,0 +1,55 @@
+type lsn = int
+
+type t = { mutable records : Record.t array; mutable len : int }
+
+let create () = { records = Array.make 256 (Record.Commit { txn = -1 }); len = 0 }
+
+let append t r =
+  if t.len = Array.length t.records then begin
+    let bigger = Array.make (2 * t.len) r in
+    Array.blit t.records 0 bigger 0 t.len;
+    t.records <- bigger
+  end;
+  t.records.(t.len) <- r;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Log.get: lsn out of range";
+  t.records.(i)
+
+let to_list t = Array.to_list (Array.sub t.records 0 t.len)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f i t.records.(i)
+  done
+
+let prefix t n = Array.to_list (Array.sub t.records 0 (min n t.len))
+
+let appended_since t lsn =
+  let from = max 0 lsn in
+  if from >= t.len then [] else Array.to_list (Array.sub t.records from (t.len - from))
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc (to_list t) [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let records : Record.t list =
+        try Marshal.from_channel ic
+        with _ -> failwith ("Log.load: unreadable log file " ^ path)
+      in
+      let t = create () in
+      List.iter (fun r -> ignore (append t r)) records;
+      t)
+
+let pp ppf t = iter (fun i r -> Format.fprintf ppf "%4d %a@." i Record.pp r) t

@@ -1,0 +1,33 @@
+(** The append-only log.
+
+    An in-memory stand-in for a durable log file: supports appending,
+    sequential reads, and prefix extraction (for crash-injection tests that
+    "lose" the unforced tail). *)
+
+type t
+
+type lsn = int
+(** Log sequence number: the index of a record; the first record has LSN 0. *)
+
+val create : unit -> t
+val append : t -> Record.t -> lsn
+val length : t -> int
+val get : t -> lsn -> Record.t
+val to_list : t -> Record.t list
+val iter : (lsn -> Record.t -> unit) -> t -> unit
+
+val prefix : t -> int -> Record.t list
+(** The first [n] records (all of them if [n] exceeds the length): what
+    survives a crash that loses the tail. *)
+
+val appended_since : t -> lsn -> Record.t list
+(** Records with LSN >= the given one. *)
+
+val save : t -> string -> unit
+(** Serialize the log to a file (OCaml marshal format): lets a crash demo or
+    an operator persist and reload histories. *)
+
+val load : string -> t
+(** Inverse of {!save}.  Raises [Failure] on files this build cannot read. *)
+
+val pp : Format.formatter -> t -> unit

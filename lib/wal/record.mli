@@ -1,0 +1,35 @@
+(** Log records.
+
+    Physical images for step-atomic undo/redo, plus the ACC-specific records
+    of §5: the end-of-step record and the compensation work area that the
+    implemented ACC stores "in a database table for compensation".  We keep
+    the work area in the log itself, which is equivalent for recovery
+    purposes and keeps the store free of bookkeeping tables. *)
+
+type write = {
+  w_table : string;
+  w_key : Acc_relation.Value.t list;
+  w_before : Acc_relation.Value.t array option;  (** [None] for an insert *)
+  w_after : Acc_relation.Value.t array option;  (** [None] for a delete *)
+}
+
+type t =
+  | Begin of { txn : int; txn_type : string; multi_step : bool }
+  | Write of { txn : int; write : write; undo : bool }
+      (** [undo = true] marks a compensation-log record written while rolling
+          back (a CLR): recovery must never undo it again. *)
+  | Step_end of { txn : int; step_index : int }
+  | Comp_area of { txn : int; completed_steps : int; area : (string * Acc_relation.Value.t) list }
+      (** Work area checkpoint enabling the compensating step to run after a
+          crash: the forward steps completed so far and the named values the
+          compensation needs. *)
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+      (** Transaction fully undone (physically, or logically via its
+          compensating step); it holds nothing and needs nothing. *)
+
+val txn_of : t -> int
+val pp : Format.formatter -> t -> unit
+
+val invert : write -> write
+(** The physical undo image: swaps before and after. *)

@@ -1,0 +1,133 @@
+module Database = Acc_relation.Database
+module Table = Acc_relation.Table
+module Value = Acc_relation.Value
+
+type pending = {
+  p_txn : int;
+  p_txn_type : string;
+  p_completed_steps : int;
+  p_area : (string * Value.t) list;
+}
+
+type report = {
+  db : Database.t;
+  pending : pending list;
+  committed : int list;
+  physically_undone : int list;
+  already_resolved : int list;
+}
+
+let apply_write db (w : Record.write) =
+  let table = Database.table db w.Record.w_table in
+  match (w.Record.w_before, w.Record.w_after) with
+  | None, Some row -> Table.insert table row
+  | Some _, None -> ignore (Table.delete table w.Record.w_key)
+  | Some _, Some row -> ignore (Table.update table w.Record.w_key (fun _ -> row))
+  | None, None -> ()
+
+let undo_write db w = apply_write db (Record.invert w)
+
+(* Per-transaction crash-time picture assembled during analysis. *)
+type txn_info = {
+  mutable txn_type : string;
+  mutable multi_step : bool;
+  mutable status : [ `Active | `Committed | `Resolved ];
+  mutable completed_steps : int;
+  mutable area : (string * Value.t) list;
+  (* a work area becomes authoritative only when its step-end record is also
+     durable; until then it describes a step that never completed *)
+  mutable staged_area : (string * Value.t) list option;
+  (* forward writes since the last step boundary, newest first *)
+  mutable tail_writes : Record.write list;
+  (* compensation-log records seen since the last step boundary: each one
+     already undid the newest not-yet-covered forward write *)
+  mutable tail_undone : int;
+}
+
+let recover ~baseline records =
+  let db = Database.copy baseline in
+  let txns : (int, txn_info) Hashtbl.t = Hashtbl.create 32 in
+  let info txn =
+    match Hashtbl.find_opt txns txn with
+    | Some i -> i
+    | None ->
+        let i =
+          {
+            txn_type = "?";
+            multi_step = false;
+            status = `Active;
+            completed_steps = 0;
+            area = [];
+            staged_area = None;
+            tail_writes = [];
+            tail_undone = 0;
+          }
+        in
+        Hashtbl.add txns txn i;
+        i
+  in
+  (* single pass: redo while building the analysis *)
+  List.iter
+    (fun record ->
+      match record with
+      | Record.Begin { txn; txn_type; multi_step } ->
+          let i = info txn in
+          i.txn_type <- txn_type;
+          i.multi_step <- multi_step
+      | Record.Write { txn; write; undo } ->
+          apply_write db write;
+          let i = info txn in
+          if undo then i.tail_undone <- i.tail_undone + 1
+          else i.tail_writes <- write :: i.tail_writes
+      | Record.Step_end { txn; step_index } ->
+          let i = info txn in
+          i.completed_steps <- max i.completed_steps step_index;
+          (match i.staged_area with
+          | Some area ->
+              i.area <- area;
+              i.staged_area <- None
+          | None -> ());
+          i.tail_writes <- [];
+          i.tail_undone <- 0
+      | Record.Comp_area { txn; completed_steps = _; area } ->
+          (* staged until the matching Step_end arrives: only a durable
+             end-of-step record completes a step *)
+          (info txn).staged_area <- Some area
+      | Record.Commit { txn } -> (info txn).status <- `Committed
+      | Record.Abort { txn } -> (info txn).status <- `Resolved)
+    records;
+  (* physical undo of every loser's uncompleted step: tail_writes holds the
+     forward writes newest-first; the newest [tail_undone] of them were
+     already reversed by logged compensation records *)
+  let losers =
+    Hashtbl.fold (fun txn i acc -> if i.status = `Active then (txn, i) :: acc else acc) txns []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (_, i) ->
+      let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+      List.iter (undo_write db) (drop i.tail_undone i.tail_writes))
+    losers;
+  let pending, physically_undone =
+    List.partition (fun (_, i) -> i.multi_step && i.completed_steps > 0) losers
+  in
+  {
+    db;
+    pending =
+      List.map
+        (fun (txn, i) ->
+          {
+            p_txn = txn;
+            p_txn_type = i.txn_type;
+            p_completed_steps = i.completed_steps;
+            p_area = i.area;
+          })
+        pending;
+    committed =
+      Hashtbl.fold (fun txn i acc -> if i.status = `Committed then txn :: acc else acc) txns []
+      |> List.sort compare;
+    physically_undone = List.map fst physically_undone;
+    already_resolved =
+      Hashtbl.fold (fun txn i acc -> if i.status = `Resolved then txn :: acc else acc) txns []
+      |> List.sort compare;
+  }

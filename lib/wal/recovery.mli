@@ -1,0 +1,42 @@
+(** Crash-restart recovery (§3.4 / §5 of the paper).
+
+    Rebuilds the database from a pristine baseline plus a log prefix:
+
+    - {b redo}: every logged write is replayed in order;
+    - {b physical undo}: for each transaction that was alive at the crash,
+      writes after its last end-of-step record are undone in reverse — a step
+      is atomic, so it either completed (its end-of-step record is in the
+      log) or leaves no trace;
+    - {b logical undo}: a multi-step transaction that had completed one or
+      more steps exposed intermediate results, so physical undo is unsound
+      (§3.4); recovery reports it as {e pending compensation}, carrying the
+      work area saved at its last step boundary.  The ACC runtime re-executes
+      the programmer-supplied compensating step from that area.
+
+    Compensation-log records ([Write] with [undo = true]) are replayed like
+    ordinary writes but never undone, so recovery is correct even when the
+    crash interrupts a rollback that was itself in progress. *)
+
+type pending = {
+  p_txn : int;
+  p_txn_type : string;
+  p_completed_steps : int;
+  p_area : (string * Acc_relation.Value.t) list;
+}
+
+type report = {
+  db : Acc_relation.Database.t;  (** the recovered state *)
+  pending : pending list;  (** transactions awaiting compensating steps *)
+  committed : int list;
+  physically_undone : int list;
+      (** losers with no completed step: rolled back in place *)
+  already_resolved : int list;
+      (** transactions whose [Abort] record made the log: nothing to do *)
+}
+
+val apply_write : Acc_relation.Database.t -> Record.write -> unit
+(** Replay one physical image (insert/delete/update by key). *)
+
+val recover : baseline:Acc_relation.Database.t -> Record.t list -> report
+(** [recover ~baseline records] leaves [baseline] untouched and returns the
+    recovered copy. *)

@@ -1,0 +1,397 @@
+(* Tests for acc.wal: the log, physical redo/undo, and crash recovery with
+   step-atomic undo and pending-compensation reporting. *)
+
+open Acc_wal
+module Database = Acc_relation.Database
+module Table = Acc_relation.Table
+module Schema = Acc_relation.Schema
+module Value = Acc_relation.Value
+
+let v_int n = Value.Int n
+
+let items_schema =
+  Schema.make ~name:"items" ~key:[ "id" ]
+    [ Schema.col "id" Value.Tint; Schema.col "qty" Value.Tint ]
+
+let fresh_db rows =
+  let db = Database.create () in
+  let t = Database.create_table db items_schema in
+  List.iter (fun (id, qty) -> Table.insert t [| v_int id; v_int qty |]) rows;
+  db
+
+let qty db id = Value.as_int (Table.get_exn (Database.table db "items") [ v_int id ]).(1)
+let has db id = Table.mem (Database.table db "items") [ v_int id ]
+
+let w_insert id qty =
+  { Record.w_table = "items"; w_key = [ v_int id ]; w_before = None; w_after = Some [| v_int id; v_int qty |] }
+
+let w_update id before after =
+  {
+    Record.w_table = "items";
+    w_key = [ v_int id ];
+    w_before = Some [| v_int id; v_int before |];
+    w_after = Some [| v_int id; v_int after |];
+  }
+
+let w_delete id qty =
+  { Record.w_table = "items"; w_key = [ v_int id ]; w_before = Some [| v_int id; v_int qty |]; w_after = None }
+
+(* --- Log ---------------------------------------------------------------- *)
+
+let test_log_append_get () =
+  let log = Log.create () in
+  let l0 = Log.append log (Record.Begin { txn = 1; txn_type = "t"; multi_step = false }) in
+  let l1 = Log.append log (Record.Commit { txn = 1 }) in
+  Alcotest.(check int) "lsn 0" 0 l0;
+  Alcotest.(check int) "lsn 1" 1 l1;
+  Alcotest.(check int) "length" 2 (Log.length log);
+  (match Log.get log 1 with
+  | Record.Commit { txn } -> Alcotest.(check int) "commit txn" 1 txn
+  | _ -> Alcotest.fail "wrong record");
+  Alcotest.(check int) "to_list" 2 (List.length (Log.to_list log))
+
+let test_log_growth () =
+  (* push past the initial capacity to exercise resizing *)
+  let log = Log.create () in
+  for i = 1 to 1000 do
+    ignore (Log.append log (Record.Commit { txn = i }))
+  done;
+  Alcotest.(check int) "length" 1000 (Log.length log);
+  match Log.get log 999 with
+  | Record.Commit { txn } -> Alcotest.(check int) "last" 1000 txn
+  | _ -> Alcotest.fail "wrong record"
+
+let test_log_prefix () =
+  let log = Log.create () in
+  for i = 1 to 5 do
+    ignore (Log.append log (Record.Commit { txn = i }))
+  done;
+  Alcotest.(check int) "prefix 3" 3 (List.length (Log.prefix log 3));
+  Alcotest.(check int) "prefix over" 5 (List.length (Log.prefix log 99));
+  Alcotest.(check int) "since 3" 2 (List.length (Log.appended_since log 3));
+  Alcotest.(check int) "get oob" 5
+    (try
+       ignore (Log.get log 5);
+       0
+     with Invalid_argument _ -> 5)
+
+let test_log_save_load () =
+  let log = Log.create () in
+  ignore (Log.append log (Record.Begin { txn = 1; txn_type = "t"; multi_step = true }));
+  ignore (Log.append log (Record.Write { txn = 1; write = w_update 1 10 20; undo = false }));
+  ignore (Log.append log (Record.Comp_area { txn = 1; completed_steps = 1; area = [ ("k", v_int 3) ] }));
+  ignore (Log.append log (Record.Commit { txn = 1 }));
+  let path = Filename.temp_file "acc_log" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Log.save log path;
+      let log' = Log.load path in
+      Alcotest.(check int) "length survives" (Log.length log) (Log.length log');
+      Alcotest.(check bool) "records survive" true (Log.to_list log = Log.to_list log'))
+
+(* --- Record ------------------------------------------------------------- *)
+
+let test_record_invert () =
+  let w = w_update 1 10 20 in
+  let inv = Record.invert w in
+  Alcotest.(check bool) "before/after swapped" true
+    (inv.Record.w_before = w.Record.w_after && inv.Record.w_after = w.Record.w_before);
+  let ins = w_insert 5 1 in
+  let inv_ins = Record.invert ins in
+  Alcotest.(check bool) "insert inverts to delete" true
+    (inv_ins.Record.w_before <> None && inv_ins.Record.w_after = None)
+
+let test_record_txn_of () =
+  Alcotest.(check int) "begin" 7 (Record.txn_of (Record.Begin { txn = 7; txn_type = "x"; multi_step = true }));
+  Alcotest.(check int) "write" 8
+    (Record.txn_of (Record.Write { txn = 8; write = w_insert 1 1; undo = false }));
+  Alcotest.(check int) "step" 9 (Record.txn_of (Record.Step_end { txn = 9; step_index = 1 }));
+  Alcotest.(check int) "area" 1 (Record.txn_of (Record.Comp_area { txn = 1; completed_steps = 1; area = [] }));
+  Alcotest.(check int) "abort" 2 (Record.txn_of (Record.Abort { txn = 2 }))
+
+(* --- apply_write -------------------------------------------------------- *)
+
+let test_apply_write () =
+  let db = fresh_db [ (1, 10) ] in
+  Recovery.apply_write db (w_insert 2 5);
+  Alcotest.(check int) "insert applied" 5 (qty db 2);
+  Recovery.apply_write db (w_update 1 10 99);
+  Alcotest.(check int) "update applied" 99 (qty db 1);
+  Recovery.apply_write db (w_delete 2 5);
+  Alcotest.(check bool) "delete applied" false (has db 2)
+
+(* --- recovery scenarios -------------------------------------------------- *)
+
+let begin_r ?(multi = false) txn = Record.Begin { txn; txn_type = "test"; multi_step = multi }
+let write_r ?(undo = false) txn write = Record.Write { txn; write; undo }
+let step_r txn i = Record.Step_end { txn; step_index = i }
+let commit_r txn = Record.Commit { txn }
+let abort_r txn = Record.Abort { txn }
+
+let test_recover_committed () =
+  let baseline = fresh_db [ (1, 10) ] in
+  let log =
+    [ begin_r 1; write_r 1 (w_update 1 10 20); write_r 1 (w_insert 2 7); commit_r 1 ]
+  in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "redone update" 20 (qty r.Recovery.db 1);
+  Alcotest.(check int) "redone insert" 7 (qty r.Recovery.db 2);
+  Alcotest.(check (list int)) "committed" [ 1 ] r.Recovery.committed;
+  Alcotest.(check int) "no pending" 0 (List.length r.Recovery.pending);
+  (* baseline untouched *)
+  Alcotest.(check int) "baseline intact" 10 (qty baseline 1);
+  Alcotest.(check bool) "baseline lacks insert" false (has baseline 2)
+
+let test_recover_loser_mid_step () =
+  (* flat transaction dies mid-flight: all its writes physically undone *)
+  let baseline = fresh_db [ (1, 10); (2, 20) ] in
+  let log =
+    [ begin_r 1; write_r 1 (w_update 1 10 0); write_r 1 (w_update 2 20 30); write_r 1 (w_delete 2 30) ]
+  in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "item 1 restored" 10 (qty r.Recovery.db 1);
+  Alcotest.(check int) "item 2 restored" 20 (qty r.Recovery.db 2);
+  Alcotest.(check (list int)) "physically undone" [ 1 ] r.Recovery.physically_undone;
+  Alcotest.(check int) "no pending" 0 (List.length r.Recovery.pending)
+
+let test_recover_multistep_pending_compensation () =
+  (* a multi-step txn finished step 1 (exposed), died during step 2: step 2's
+     writes are physically undone; step 1 stands and compensation is pending *)
+  let baseline = fresh_db [ (1, 10); (2, 20) ] in
+  let log =
+    [
+      begin_r ~multi:true 1;
+      write_r 1 (w_update 1 10 11);
+      (* the work area precedes its end-of-step record, as the executor
+         writes them: the area binds only once the step is durably complete *)
+      Record.Comp_area { txn = 1; completed_steps = 1; area = [ ("item", v_int 1) ] };
+      step_r 1 1;
+      write_r 1 (w_update 2 20 21);
+    ]
+  in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "step-1 write survives" 11 (qty r.Recovery.db 1);
+  Alcotest.(check int) "step-2 write undone" 20 (qty r.Recovery.db 2);
+  (match r.Recovery.pending with
+  | [ p ] ->
+      Alcotest.(check int) "pending txn" 1 p.Recovery.p_txn;
+      Alcotest.(check int) "completed steps" 1 p.Recovery.p_completed_steps;
+      Alcotest.(check string) "txn type" "test" p.Recovery.p_txn_type;
+      Alcotest.(check bool) "area recovered" true (p.Recovery.p_area = [ ("item", v_int 1) ])
+  | _ -> Alcotest.fail "expected one pending compensation");
+  Alcotest.(check int) "not physically undone" 0 (List.length r.Recovery.physically_undone)
+
+let test_recover_multistep_before_first_boundary () =
+  (* multi-step txn that never finished step 1: nothing exposed, physical undo *)
+  let baseline = fresh_db [ (1, 10) ] in
+  let log = [ begin_r ~multi:true 1; write_r 1 (w_update 1 10 11) ] in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "restored" 10 (qty r.Recovery.db 1);
+  Alcotest.(check (list int)) "undone physically" [ 1 ] r.Recovery.physically_undone;
+  Alcotest.(check int) "no pending" 0 (List.length r.Recovery.pending)
+
+let test_recover_interrupted_rollback () =
+  (* the crash hits while a step abort was already logging compensation
+     records: recovery must finish the job without double-undoing *)
+  let baseline = fresh_db [ (1, 10); (2, 20) ] in
+  let log =
+    [
+      begin_r 1;
+      write_r 1 (w_update 1 10 11);
+      write_r 1 (w_update 2 20 22);
+      (* rollback in progress: newest write already undone and logged *)
+      write_r ~undo:true 1 (Record.invert (w_update 2 20 22));
+    ]
+  in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "item 2 single undo" 20 (qty r.Recovery.db 2);
+  Alcotest.(check int) "item 1 undone by recovery" 10 (qty r.Recovery.db 1)
+
+let test_recover_aborted_txn_untouched () =
+  (* an Abort record means rollback completed before the crash *)
+  let baseline = fresh_db [ (1, 10) ] in
+  let log =
+    [
+      begin_r 1;
+      write_r 1 (w_update 1 10 11);
+      write_r ~undo:true 1 (Record.invert (w_update 1 10 11));
+      abort_r 1;
+    ]
+  in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "value restored by logged undo" 10 (qty r.Recovery.db 1);
+  Alcotest.(check (list int)) "resolved" [ 1 ] r.Recovery.already_resolved;
+  Alcotest.(check int) "no pending" 0 (List.length r.Recovery.pending)
+
+let test_recover_mixed_txns () =
+  let baseline = fresh_db [ (1, 10); (2, 20); (3, 30) ] in
+  let log =
+    [
+      begin_r 1;
+      begin_r ~multi:true 2;
+      write_r 1 (w_update 1 10 100);
+      write_r 2 (w_update 2 20 200);
+      step_r 2 1;
+      commit_r 1;
+      begin_r 3;
+      write_r 3 (w_update 3 30 300);
+      write_r 2 (w_update 3 300 301);
+      (* t3 still active, t2 in step 2 *)
+    ]
+  in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "t1 committed work" 100 (qty r.Recovery.db 1);
+  Alcotest.(check int) "t2 step-1 survives" 200 (qty r.Recovery.db 2);
+  (* t2's step-2 write on item 3 undone to 300; then t3's write undone to 30 *)
+  Alcotest.(check int) "item 3 fully restored" 30 (qty r.Recovery.db 3);
+  Alcotest.(check (list int)) "committed" [ 1 ] r.Recovery.committed;
+  Alcotest.(check (list int)) "physical" [ 3 ] r.Recovery.physically_undone;
+  Alcotest.(check int) "t2 pending" 1 (List.length r.Recovery.pending)
+
+(* Crash injection: cut the log of a synthetic history at every prefix and
+   verify that recovery always yields one of the legal states. *)
+let test_area_staged_until_step_end () =
+  (* a crash between a work-area record and its step-end must pair the OLD
+     area with the OLD completed-step count: the staged area is discarded *)
+  let baseline = fresh_db [ (1, 10); (2, 20) ] in
+  let log =
+    [
+      begin_r ~multi:true 1;
+      write_r 1 (w_update 1 10 11);
+      Record.Comp_area { txn = 1; completed_steps = 1; area = [ ("v", v_int 1) ] };
+      step_r 1 1;
+      write_r 1 (w_update 2 20 21);
+      Record.Comp_area { txn = 1; completed_steps = 2; area = [ ("v", v_int 2) ] };
+      (* crash here: step 2's end-of-step record never made it *)
+    ]
+  in
+  let r = Recovery.recover ~baseline log in
+  Alcotest.(check int) "step 2 write undone" 20 (qty r.Recovery.db 2);
+  (match r.Recovery.pending with
+  | [ p ] ->
+      Alcotest.(check int) "completed steps = 1" 1 p.Recovery.p_completed_steps;
+      Alcotest.(check bool) "area is the step-1 area" true (p.Recovery.p_area = [ ("v", v_int 1) ])
+  | _ -> Alcotest.fail "expected one pending");
+  (* with the step-end present, the newer area binds *)
+  let r2 = Recovery.recover ~baseline (log @ [ step_r 1 2 ]) in
+  match r2.Recovery.pending with
+  | [ p ] ->
+      Alcotest.(check int) "completed steps = 2" 2 p.Recovery.p_completed_steps;
+      Alcotest.(check bool) "area is the step-2 area" true (p.Recovery.p_area = [ ("v", v_int 2) ])
+  | _ -> Alcotest.fail "expected one pending"
+
+let test_crash_at_every_prefix () =
+  let baseline = fresh_db [ (1, 10); (2, 20) ] in
+  let full_log =
+    [
+      begin_r ~multi:true 1;
+      write_r 1 (w_update 1 10 11);
+      step_r 1 1;
+      write_r 1 (w_update 2 20 21);
+      step_r 1 2;
+      commit_r 1;
+    ]
+  in
+  for cut = 0 to List.length full_log do
+    let log = List.filteri (fun i _ -> i < cut) full_log in
+    let r = Recovery.recover ~baseline log in
+    let q1 = qty r.Recovery.db 1 and q2 = qty r.Recovery.db 2 in
+    (* legal states: nothing (10,20); step1 only (11,20); both (11,21) *)
+    let legal =
+      (q1 = 10 && q2 = 20) || (q1 = 11 && q2 = 20) || (q1 = 11 && q2 = 21)
+    in
+    Alcotest.(check bool) (Printf.sprintf "legal state at cut %d" cut) true legal;
+    (* mid-step crash never leaves a torn step: q2=21 requires step 2 done *)
+    if q2 = 21 then Alcotest.(check bool) "step 2 boundary passed" true (cut >= 5)
+  done
+
+(* --- checkpoints ---------------------------------------------------------- *)
+
+let test_checkpoint_equivalence () =
+  (* recovery from (checkpoint + suffix) = recovery from (baseline + full log) *)
+  let baseline = fresh_db [ (1, 10); (2, 20) ] in
+  let log = Log.create () in
+  let db = Database.copy baseline in
+  let apply r =
+    ignore (Log.append log r);
+    match r with Record.Write { write; _ } -> Recovery.apply_write db write | _ -> ()
+  in
+  List.iter apply [ begin_r 1; write_r 1 (w_update 1 10 11); commit_r 1 ];
+  let cp = Checkpoint.take db log in
+  Alcotest.(check int) "position" 3 (Checkpoint.position cp);
+  List.iter apply
+    [ begin_r ~multi:true 2; write_r 2 (w_update 2 20 21);
+      Record.Comp_area { txn = 2; completed_steps = 1; area = [ ("k", v_int 9) ] };
+      step_r 2 1; write_r 2 (w_update 1 11 12) ];
+  let from_cp = Checkpoint.recover cp log in
+  let from_scratch = Recovery.recover ~baseline (Log.to_list log) in
+  Alcotest.(check int) "same item 1" (qty from_scratch.Recovery.db 1) (qty from_cp.Recovery.db 1);
+  Alcotest.(check int) "same item 2" (qty from_scratch.Recovery.db 2) (qty from_cp.Recovery.db 2);
+  Alcotest.(check int) "same pending count" (List.length from_scratch.Recovery.pending)
+    (List.length from_cp.Recovery.pending);
+  (match from_cp.Recovery.pending with
+  | [ p ] ->
+      Alcotest.(check int) "pending steps" 1 p.Recovery.p_completed_steps;
+      Alcotest.(check bool) "area survived" true (p.Recovery.p_area = [ ("k", v_int 9) ])
+  | _ -> Alcotest.fail "expected one pending");
+  (* the snapshot is isolated from later mutation *)
+  Recovery.apply_write db (w_update 2 21 99);
+  Alcotest.(check int) "snapshot isolated" 20
+    (qty (Checkpoint.snapshot cp) 2)
+
+let test_checkpoint_engine_guard () =
+  let module Executor = Acc_txn.Executor in
+  let db = fresh_db [ (1, 10) ] in
+  let eng = Executor.create ~sem:Acc_lock.Mode.no_semantics db in
+  Alcotest.(check int) "idle" 0 (Executor.active_txns eng);
+  let ctx = Executor.begin_txn eng ~txn_type:"t" ~multi_step:false in
+  Alcotest.(check int) "one active" 1 (Executor.active_txns eng);
+  Alcotest.(check bool) "checkpoint refused while active" true
+    (try
+       ignore (Executor.checkpoint eng);
+       false
+     with Invalid_argument _ -> true);
+  Executor.abort_physical ctx;
+  Alcotest.(check int) "idle again" 0 (Executor.active_txns eng);
+  let cp = Executor.checkpoint eng in
+  Alcotest.(check bool) "position at log end" true
+    (Checkpoint.position cp = Log.length (Executor.log eng))
+
+let suites =
+  [
+    ( "wal.log",
+      [
+        Alcotest.test_case "append/get" `Quick test_log_append_get;
+        Alcotest.test_case "growth" `Quick test_log_growth;
+        Alcotest.test_case "prefix/since" `Quick test_log_prefix;
+        Alcotest.test_case "save/load" `Quick test_log_save_load;
+      ] );
+    ( "wal.record",
+      [
+        Alcotest.test_case "invert" `Quick test_record_invert;
+        Alcotest.test_case "txn_of" `Quick test_record_txn_of;
+      ] );
+    ( "wal.recovery",
+      [
+        Alcotest.test_case "apply_write" `Quick test_apply_write;
+        Alcotest.test_case "committed redone" `Quick test_recover_committed;
+        Alcotest.test_case "loser mid-step undone" `Quick test_recover_loser_mid_step;
+        Alcotest.test_case "multi-step pending compensation" `Quick
+          test_recover_multistep_pending_compensation;
+        Alcotest.test_case "multi-step before first boundary" `Quick
+          test_recover_multistep_before_first_boundary;
+        Alcotest.test_case "interrupted rollback" `Quick test_recover_interrupted_rollback;
+        Alcotest.test_case "aborted txn untouched" `Quick test_recover_aborted_txn_untouched;
+        Alcotest.test_case "mixed transactions" `Quick test_recover_mixed_txns;
+        Alcotest.test_case "work area staged until step end" `Quick
+          test_area_staged_until_step_end;
+        Alcotest.test_case "crash at every prefix" `Quick test_crash_at_every_prefix;
+      ] );
+    ( "wal.checkpoint",
+      [
+        Alcotest.test_case "checkpoint+suffix = full recovery" `Quick
+          test_checkpoint_equivalence;
+        Alcotest.test_case "engine guard" `Quick test_checkpoint_engine_guard;
+      ] );
+  ]

@@ -3,7 +3,7 @@
    and runs Bechamel micro-benchmarks of the concurrency-control hot paths
    that make up the "added overhead of the ACC".
 
-   Usage:  main.exe [all|fig2|fig3|fig4|servers|micro|quick] *)
+   Usage:  main.exe [all|fig2|fig3|fig4|servers|micro|parallel|quick] *)
 
 module Experiment = Acc_harness.Experiment
 module Figures = Acc_harness.Figures
@@ -21,7 +21,15 @@ let run_figures ~quick =
   let fig2 = Figures.fig2 ~quick settings in
   Figures.render ppf fig2;
   check_consistency fig2;
-  let std_series = List.find (fun s -> s.Figures.name = "standard") fig2.Figures.series in
+  let std_series =
+    match List.find_opt (fun s -> s.Figures.name = "standard") fig2.Figures.series with
+    | Some s -> s
+    | None ->
+        failwith
+          (Printf.sprintf
+             "fig2 produced no \"standard\" series (got: %s); fig3/fig4 splice from it"
+             (String.concat ", " (List.map (fun s -> s.Figures.name) fig2.Figures.series)))
+  in
   let fig3 =
     let computed = Figures.fig3 ~quick settings in
     {
@@ -61,6 +69,42 @@ let run_one ~quick id =
   in
   Figures.render ppf fig;
   check_consistency fig
+
+(* ---------- multicore scaling ------------------------------------------ *)
+
+(* Committed-txns/sec versus domain count, ACC against strict 2PL, on the
+   real-domain engine (no simulator): the contended regime — client compute
+   at each pace point while locks are held — where step-boundary release
+   pays.  Wall-clock, so numbers vary with the host; the shape is the
+   point. *)
+let run_parallel ~quick =
+  let module P = Acc_tpcc.Parallel_driver in
+  let seconds = if quick then 1.5 else 4.0 in
+  let base =
+    {
+      P.default_config with
+      P.duration = seconds;
+      compute_between = 0.001;
+      mix = P.New_order_payment;
+    }
+  in
+  Format.fprintf ppf "@.=== parallel: committed txns/sec vs domains (%.1fs per cell) ===@."
+    seconds;
+  Format.fprintf ppf "%8s %12s %12s %8s@." "domains" "acc" "2pl" "ratio";
+  List.iter
+    (fun domains ->
+      let run system = P.run { base with P.system; domains } in
+      let acc = run P.Acc in
+      let bl = run P.Baseline in
+      (match (acc.P.violations, bl.P.violations) with
+      | [], [] -> ()
+      | va, vb ->
+          Format.fprintf ppf "!! consistency violations: acc=%d 2pl=%d@." (List.length va)
+            (List.length vb));
+      Format.fprintf ppf "%8d %12.1f %12.1f %8.2f@." domains acc.P.throughput
+        bl.P.throughput
+        (if bl.P.throughput > 0. then acc.P.throughput /. bl.P.throughput else nan))
+    [ 1; 2; 4 ]
 
 (* ---------- micro-benchmarks ------------------------------------------- *)
 
@@ -256,6 +300,9 @@ let () =
       run_micro ()
   | "fig2" | "fig3" | "fig4" | "servers" | "ablation" | "items" -> run_one ~quick:false mode
   | "micro" -> run_micro ()
+  | "parallel" -> run_parallel ~quick:false
+  | "parallel-quick" -> run_parallel ~quick:true
   | other ->
-      Format.eprintf "unknown mode %s (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro)@." other;
+      Format.eprintf
+        "unknown mode %s (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel)@." other;
       exit 2

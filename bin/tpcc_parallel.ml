@@ -1,0 +1,126 @@
+(* CLI for the multicore TPC-C stress driver: real domains, wall-clock time.
+
+     acc-tpcc-parallel --domains 4 --warehouses 1 --seconds 5
+     acc-tpcc-parallel --domains 4 --system both --txns 1000
+
+   Exit status 1 if any run ends with consistency violations or leaked
+   locks, so CI can use it as a smoke test. *)
+
+open Cmdliner
+module P = Acc_tpcc.Parallel_driver
+
+let run_one cfg =
+  let r = P.run cfg in
+  Format.printf "== system=%s domains=%d shards=%d warehouses=%d seed=%d ==@."
+    (match cfg.P.system with P.Acc -> "acc" | P.Baseline -> "2pl")
+    cfg.P.domains cfg.P.shards cfg.P.params.Acc_tpcc.Params.warehouses cfg.P.seed;
+  Format.printf "%a@." P.pp_report r;
+  List.iter (fun v -> Format.printf "  violation: %s@." v) r.P.violations;
+  r
+
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed =
+  let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
+  let mix =
+    match mix with
+    | "standard" -> P.Standard
+    | "nop" | "new-order-payment" -> P.New_order_payment
+    | other -> failwith ("unknown mix: " ^ other)
+  in
+  let cfg =
+    {
+      P.default_config with
+      P.domains;
+      shards;
+      duration = seconds;
+      txns_per_domain = txns;
+      think_mean = think_ms /. 1000.;
+      compute_between = compute_ms /. 1000.;
+      skewed_district = skew;
+      detector_cadence = detector_ms /. 1000.;
+      params;
+      mix;
+      seed;
+    }
+  in
+  let systems =
+    match system with
+    | "acc" -> [ P.Acc ]
+    | "2pl" | "baseline" -> [ P.Baseline ]
+    | "both" -> [ P.Acc; P.Baseline ]
+    | other -> failwith ("unknown system: " ^ other)
+  in
+  let reports = List.map (fun s -> run_one { cfg with P.system = s }) systems in
+  (match reports with
+  | [ acc; bl ] ->
+      Format.printf "acc/2pl throughput ratio: %.2f@."
+        (if bl.P.throughput > 0.0 then acc.P.throughput /. bl.P.throughput else nan)
+  | _ -> ());
+  let bad r =
+    r.P.violations <> [] || r.P.leaked_locks > 0 || r.P.leaked_waiters > 0
+  in
+  if List.exists bad reports then exit 1
+
+let system =
+  Arg.(
+    value & opt string "acc"
+    & info [ "system"; "s" ] ~docv:"SYS" ~doc:"acc, 2pl, or both.")
+
+let domains =
+  Arg.(value & opt int 4 & info [ "domains"; "d" ] ~docv:"N" ~doc:"Worker domain count.")
+
+let shards =
+  Arg.(
+    value
+    & opt int Acc_parallel.Sharded_lock_table.default_shards
+    & info [ "shards" ] ~docv:"N" ~doc:"Lock-table shard count.")
+
+let warehouses =
+  Arg.(value & opt int 1 & info [ "warehouses"; "w" ] ~docv:"N" ~doc:"TPC-C scale.")
+
+let seconds =
+  Arg.(
+    value & opt float 2.0
+    & info [ "seconds" ] ~docv:"SECS" ~doc:"Wall-clock run length (timed mode).")
+
+let txns =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "txns" ] ~docv:"N"
+        ~doc:"Fixed transaction count per domain (overrides --seconds).")
+
+let think_ms =
+  Arg.(
+    value & opt float 0.
+    & info [ "think-ms" ] ~docv:"MS" ~doc:"Mean think time between transactions.")
+
+let compute_ms =
+  Arg.(
+    value & opt float 1.
+    & info [ "compute-ms" ] ~docv:"MS"
+        ~doc:"Client compute at each intra-transaction pace point, while locks are held \
+              (the paper's regime; 0 for raw engine speed).")
+
+let skew = Arg.(value & flag & info [ "skew" ] ~doc:"Skew district selection (hotspot).")
+
+let mix =
+  Arg.(
+    value & opt string "standard"
+    & info [ "mix" ] ~docv:"MIX" ~doc:"standard or new-order-payment.")
+
+let detector_ms =
+  Arg.(
+    value & opt float 20.
+    & info [ "detector-ms" ] ~docv:"MS" ~doc:"Deadlock-detector sweep cadence.")
+
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let cmd =
+  let doc = "run TPC-C on real domains against the sharded lock manager" in
+  Cmd.v
+    (Cmd.info "acc-tpcc-parallel" ~doc)
+    Term.(
+      const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
+      $ compute_ms $ skew $ mix $ detector_ms $ seed)
+
+let () = exit (Cmd.eval cmd)

@@ -285,13 +285,6 @@ let run_legacy ?(options = default_options) eng ~txn_type body =
   attempt ()
 
 let victim_policy locks ~requester ~cycle =
-  if Lock_table.compensating_waiter locks ~txn:requester then begin
-    match
-      List.filter
-        (fun t -> t <> requester && not (Lock_table.compensating_waiter locks ~txn:t))
-        cycle
-    with
-    | [] -> [ requester ] (* all-compensating cycle: fall back (see §3.4 note) *)
-    | victims -> victims
-  end
-  else [ requester ]
+  Acc_lock.Lock_core.victim_policy
+    ~is_compensating:(fun txn -> Lock_table.compensating_waiter locks ~txn)
+    ~requester ~cycle

@@ -1,0 +1,117 @@
+(* The pure decision core of the lock manager, shared by the sequential
+   table ([Lock_table], driven by the discrete-event simulator) and the
+   sharded multi-domain table (lib/parallel).  Everything here is
+   side-effect-free over its inputs: mode compatibility against held locks
+   and queued waiters, the hierarchical reach-down rule, the waits-for cycle
+   search, and the paper's §3.4 victim policy.  Keeping the logic in one
+   module is what guarantees the two tables make identical grant/block
+   decisions for the same request sequence. *)
+
+type hold = {
+  h_txn : int;
+  h_mode : Mode.t;
+  h_step : int;
+  mutable h_count : int;
+}
+
+type waiter = {
+  w_ticket : int;
+  w_txn : int;
+  w_mode : Mode.t;
+  w_step : int;
+  w_requester : Mode.requester;
+  w_resource : Resource_id.t;
+  w_compensating : bool;
+}
+
+let hold_conflict sem h ~mode ~requester =
+  Mode.conflicts sem ~held:h.h_mode ~held_step:h.h_step ~req:mode ~requester
+
+let waiter_conflict sem w ~mode ~requester =
+  Mode.conflicts sem ~held:w.w_mode ~held_step:w.w_step ~req:mode ~requester
+
+(* A request is compatible with a set of (relevant) holds when every foreign
+   hold is non-conflicting. *)
+let holds_compatible sem holds ~txn ~mode ~requester =
+  List.for_all (fun h -> h.h_txn = txn || not (hold_conflict sem h ~mode ~requester)) holds
+
+(* FIFO discipline: a request must also be compatible with every foreign
+   waiter queued ahead of it, or it would overtake them. *)
+let queue_ahead_compatible sem ~txn ~mode ~requester ahead =
+  List.for_all (fun w -> w.w_txn = txn || not (waiter_conflict sem w ~mode ~requester)) ahead
+
+(* Intention holders at the table level never constrain tuple-level requests:
+   only absolute table locks (S/X/A/Comp) reach down the hierarchy. *)
+let reaches_down h = match h.h_mode with Mode.IS | Mode.IX -> false | _ -> true
+
+(* A checked assertional request on a whole table must also be compatible
+   with the table's tuple-level holds (a legacy scan waits out in-flight
+   writers, whose exposure is recorded by tuple-level compensation locks). *)
+let needs_child_sweep res ~mode =
+  match (res, mode) with
+  | Resource_id.Table _, Mode.A _ -> true
+  | (Resource_id.Table _ | Resource_id.Tuple _), _ -> false
+
+(* Re-entrant grant: an existing hold of the same transaction that covers the
+   requested mode. *)
+let find_covering holds ~txn ~mode =
+  List.find_opt (fun h -> h.h_txn = txn && Mode.covers h.h_mode mode) holds
+
+(* BFS from [from]'s successors back to [from] over an explicit waits-for
+   edge list: O(V + E), with parent pointers to reconstruct one witness
+   cycle. *)
+let find_cycle ~edges ~from =
+  let succ = Hashtbl.create 32 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace succ a (b :: Option.value ~default:[] (Hashtbl.find_opt succ a)))
+    edges;
+  let successors n = Option.value ~default:[] (Hashtbl.find_opt succ n) in
+  let parent = Hashtbl.create 32 in
+  let frontier = Queue.create () in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem parent s) then begin
+        Hashtbl.replace parent s from;
+        Queue.add s frontier
+      end)
+    (successors from);
+  let rec search () =
+    if Queue.is_empty frontier then None
+    else begin
+      let n = Queue.pop frontier in
+      if n = from then begin
+        (* walk the parent chain back to [from] *)
+        let rec unwind node acc =
+          if node = from && acc <> [] then acc
+          else unwind (Hashtbl.find parent node) (node :: acc)
+        in
+        (* n = from was enqueued with a parent on the cycle *)
+        let last = Hashtbl.find parent from in
+        Some (from :: List.filter (fun x -> x <> from) (unwind last []))
+      end
+      else begin
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem parent s) then begin
+              Hashtbl.replace parent s n;
+              Queue.add s frontier
+            end)
+          (successors n);
+        search ()
+      end
+    end
+  in
+  search ()
+
+(* §3.4: a compensating step is never victimized; the transactions delaying
+   it are aborted instead.  With an all-compensating cycle (which the paper
+   argues cannot arise from well-formed compensation) fall back to the
+   requester. *)
+let victim_policy ~is_compensating ~requester ~cycle =
+  if is_compensating requester then begin
+    match List.filter (fun t -> t <> requester && not (is_compensating t)) cycle with
+    | [] -> [ requester ]
+    | victims -> victims
+  end
+  else [ requester ]

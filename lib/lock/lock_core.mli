@@ -1,0 +1,53 @@
+(** The pure decision core of the lock manager, shared by the sequential
+    {!Lock_table} and the sharded multi-domain table (lib/parallel).  All
+    compatibility, cycle-search and victim-selection logic lives here so the
+    two tables cannot drift. *)
+
+type hold = {
+  h_txn : int;
+  h_mode : Mode.t;
+  h_step : int;
+  mutable h_count : int;  (** re-entrant grants *)
+}
+
+type waiter = {
+  w_ticket : int;
+  w_txn : int;
+  w_mode : Mode.t;
+  w_step : int;
+  w_requester : Mode.requester;
+  w_resource : Resource_id.t;
+  w_compensating : bool;
+}
+
+val hold_conflict : Mode.semantics -> hold -> mode:Mode.t -> requester:Mode.requester -> bool
+val waiter_conflict : Mode.semantics -> waiter -> mode:Mode.t -> requester:Mode.requester -> bool
+
+val holds_compatible :
+  Mode.semantics -> hold list -> txn:int -> mode:Mode.t -> requester:Mode.requester -> bool
+(** Is a request by [txn] compatible with every foreign hold in the list? *)
+
+val queue_ahead_compatible :
+  Mode.semantics -> txn:int -> mode:Mode.t -> requester:Mode.requester -> waiter list -> bool
+(** FIFO discipline: may the request overtake (i.e. not conflict with) every
+    foreign waiter queued ahead of it? *)
+
+val reaches_down : hold -> bool
+(** Does a table-level hold constrain tuple-level requests?  (Intention modes
+    do not; absolute S/X/A/Comp locks do.) *)
+
+val needs_child_sweep : Resource_id.t -> mode:Mode.t -> bool
+(** Must a request on this resource also be checked against the table's
+    tuple-level holds?  (Checked assertional requests on whole tables.) *)
+
+val find_covering : hold list -> txn:int -> mode:Mode.t -> hold option
+(** An existing hold of [txn] covering [mode] (re-entrant grant). *)
+
+val find_cycle : edges:(int * int) list -> from:int -> int list option
+(** A waits-for cycle through [from] in the given edge list, as the list of
+    transactions on the cycle (starting with [from]), if one exists. *)
+
+val victim_policy :
+  is_compensating:(int -> bool) -> requester:int -> cycle:int list -> int list
+(** The paper's §3.4 policy: never victimize a transaction waiting on behalf
+    of a compensating step; abort the transactions delaying it instead. *)

@@ -4,14 +4,16 @@ type grant = Granted | Queued of ticket
 
 type wakeup = { woken_ticket : ticket; woken_txn : int }
 
-type hold = {
+(* the hold/waiter shapes and all compatibility decisions live in the pure
+   [Lock_core], shared with the sharded multi-domain table (lib/parallel) *)
+type hold = Lock_core.hold = {
   h_txn : int;
   h_mode : Mode.t;
   h_step : int;
   mutable h_count : int;
 }
 
-type waiter = {
+type waiter = Lock_core.waiter = {
   w_ticket : ticket;
   w_txn : int;
   w_mode : Mode.t;
@@ -98,11 +100,8 @@ let forget_held_if_empty t ~txn res e =
         if Resource_id.Tbl.length set = 0 then Hashtbl.remove t.by_txn txn
     | None -> ()
 
-let hold_conflict t h ~mode ~requester =
-  Mode.conflicts t.sem ~held:h.h_mode ~held_step:h.h_step ~req:mode ~requester
-
-let waiter_conflict t w ~mode ~requester =
-  Mode.conflicts t.sem ~held:w.w_mode ~held_step:w.w_step ~req:mode ~requester
+let hold_conflict t h ~mode ~requester = Lock_core.hold_conflict t.sem h ~mode ~requester
+let waiter_conflict t w ~mode ~requester = Lock_core.waiter_conflict t.sem w ~mode ~requester
 
 (* The holds a request on [res] must be compatible with:
    - holds on [res] itself;
@@ -114,44 +113,36 @@ let waiter_conflict t w ~mode ~requester =
 let relevant_holds t res ~mode =
   let own = match Resource_id.Tbl.find_opt t.entries res with Some e -> e.holds | None -> [] in
   let parent =
-    (* intention holders at the table level never constrain tuple-level
-       requests — only absolute table locks (S/X/A/Comp) reach down *)
     match Resource_id.parent res with
     | Some p -> (
         match Resource_id.Tbl.find_opt t.entries p with
-        | Some e ->
-            List.filter
-              (fun h -> match h.h_mode with Mode.IS | Mode.IX -> false | _ -> true)
-              e.holds
+        | Some e -> List.filter Lock_core.reaches_down e.holds
         | None -> [])
     | None -> []
   in
   let children =
-    match (res, mode) with
-    | Resource_id.Table tname, Mode.A _ ->
-        (match Hashtbl.find_opt t.by_table tname with
-        | Some set ->
-            Resource_id.Tbl.fold
-              (fun r () acc ->
-                match r with
-                | Resource_id.Tuple _ -> (
-                    match Resource_id.Tbl.find_opt t.entries r with
-                    | Some e -> e.holds @ acc
-                    | None -> acc)
-                | Resource_id.Table _ -> acc)
-              set []
-        | None -> [])
-    | (Resource_id.Table _ | Resource_id.Tuple _), _ -> []
+    if Lock_core.needs_child_sweep res ~mode then
+      match Hashtbl.find_opt t.by_table (Resource_id.table_of res) with
+      | Some set ->
+          Resource_id.Tbl.fold
+            (fun r () acc ->
+              match r with
+              | Resource_id.Tuple _ -> (
+                  match Resource_id.Tbl.find_opt t.entries r with
+                  | Some e -> e.holds @ acc
+                  | None -> acc)
+              | Resource_id.Table _ -> acc)
+            set []
+      | None -> []
+    else []
   in
   own @ parent @ children
 
 let holds_compatible t res ~txn ~mode ~requester =
-  List.for_all
-    (fun h -> h.h_txn = txn || not (hold_conflict t h ~mode ~requester))
-    (relevant_holds t res ~mode)
+  Lock_core.holds_compatible t.sem (relevant_holds t res ~mode) ~txn ~mode ~requester
 
 let queue_ahead_compatible t ~txn ~mode ~requester ahead =
-  List.for_all (fun w -> w.w_txn = txn || not (waiter_conflict t w ~mode ~requester)) ahead
+  Lock_core.queue_ahead_compatible t.sem ~txn ~mode ~requester ahead
 
 let add_hold t e ~txn ~step_type ~mode res =
   e.holds <- e.holds @ [ { h_txn = txn; h_mode = mode; h_step = step_type; h_count = 1 } ];
@@ -160,9 +151,7 @@ let add_hold t e ~txn ~step_type ~mode res =
 
 let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode res =
   let e = entry t res in
-  match
-    List.find_opt (fun h -> h.h_txn = txn && Mode.covers h.h_mode mode) e.holds
-  with
+  match Lock_core.find_covering e.holds ~txn ~mode with
   | Some h ->
       h.h_count <- h.h_count + 1;
       Granted
@@ -332,6 +321,9 @@ let release_all t ~txn =
 let outstanding t ~ticket = Hashtbl.mem t.tickets ticket
 let ticket_txn t ~ticket = Option.map (fun w -> w.w_txn) (Hashtbl.find_opt t.tickets ticket)
 
+let outstanding_tickets t ~txn =
+  Hashtbl.fold (fun tk w acc -> if w.w_txn = txn then tk :: acc else acc) t.tickets []
+
 let holders t res =
   match Resource_id.Tbl.find_opt t.entries res with
   | None -> []
@@ -394,52 +386,7 @@ let wait_edges t =
     (fun _ w acc -> List.map (fun b -> (w.w_txn, b)) (waiter_blockers t w) @ acc)
     t.tickets []
 
-let find_cycle t ~from =
-  (* BFS from [from]'s successors back to [from]: O(V + E), with parent
-     pointers to reconstruct one witness cycle *)
-  let edges = wait_edges t in
-  let succ = Hashtbl.create 32 in
-  List.iter
-    (fun (a, b) ->
-      Hashtbl.replace succ a (b :: Option.value ~default:[] (Hashtbl.find_opt succ a)))
-    edges;
-  let successors n = Option.value ~default:[] (Hashtbl.find_opt succ n) in
-  let parent = Hashtbl.create 32 in
-  let frontier = Queue.create () in
-  List.iter
-    (fun s ->
-      if not (Hashtbl.mem parent s) then begin
-        Hashtbl.replace parent s from;
-        Queue.add s frontier
-      end)
-    (successors from);
-  let rec search () =
-    if Queue.is_empty frontier then None
-    else begin
-      let n = Queue.pop frontier in
-      if n = from then begin
-        (* walk the parent chain back to [from] *)
-        let rec unwind node acc =
-          if node = from && acc <> [] then acc
-          else unwind (Hashtbl.find parent node) (node :: acc)
-        in
-        (* n = from was enqueued with a parent on the cycle *)
-        let last = Hashtbl.find parent from in
-        Some (from :: List.filter (fun x -> x <> from) (unwind last []))
-      end
-      else begin
-        List.iter
-          (fun s ->
-            if not (Hashtbl.mem parent s) then begin
-              Hashtbl.replace parent s n;
-              Queue.add s frontier
-            end)
-          (successors n);
-        search ()
-      end
-    end
-  in
-  search ()
+let find_cycle t ~from = Lock_core.find_cycle ~edges:(wait_edges t) ~from
 
 let compensating_waiter t ~txn =
   Hashtbl.fold

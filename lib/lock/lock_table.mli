@@ -64,6 +64,10 @@ val outstanding : t -> ticket:ticket -> bool
 
 val ticket_txn : t -> ticket:ticket -> int option
 
+val outstanding_tickets : t -> txn:int -> ticket list
+(** All outstanding waiting tickets of the transaction (at most one in
+    well-formed executions; the sharded table's victim killer sweeps them). *)
+
 (* Introspection *)
 
 val holders : t -> Resource_id.t -> (int * Mode.t * int) list

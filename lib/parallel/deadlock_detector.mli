@@ -1,0 +1,30 @@
+(** Background deadlock detection for the sharded lock table.
+
+    Blocking {!Sharded_lock_table.acquire} cannot run an at-block cycle check
+    the way the sequential schedulers do (it would need a consistent global
+    graph while holding one shard's mutex), so a dedicated detector domain
+    periodically snapshots the waits-for edges, finds cycles with
+    {!Acc_lock.Lock_core.find_cycle}, and applies the paper's §3.4 victim
+    policy — never a transaction waiting on behalf of a compensating step.
+
+    Snapshots are per-shard and therefore not globally atomic; real
+    deadlocks are stable and always found, while a stale snapshot can at
+    worst victimize a transaction that would have progressed (it retries —
+    wasted work, never lost safety). *)
+
+type t
+
+val default_cadence : float
+
+val sweep : Sharded_lock_table.t -> int
+(** One synchronous detection pass; returns the number of waits victimized.
+    Exposed for deterministic tests. *)
+
+val start : ?cadence:float -> Sharded_lock_table.t -> t
+(** Spawn the detector domain, sweeping every [cadence] seconds. *)
+
+val stop : t -> unit
+(** Signal and join the detector domain.  Idempotent. *)
+
+val sweeps : t -> int
+val victims : t -> int

@@ -1,0 +1,15 @@
+(* Fork/join over real domains.  Worker 0 runs on the calling domain: with
+   [domains = 1] no domain is spawned at all, and with more, the pool uses
+   exactly [domains] execution streams. *)
+let run ~domains f =
+  if domains < 1 then invalid_arg "Domain_pool.run: domains must be >= 1";
+  let spawned = Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1))) in
+  let first =
+    try f 0
+    with e ->
+      (* still join the others before re-raising: leaked domains outlive the
+         exception and corrupt later tests *)
+      Array.iter (fun d -> try ignore (Domain.join d) with _ -> ()) spawned;
+      raise e
+  in
+  first :: Array.to_list (Array.map Domain.join spawned)

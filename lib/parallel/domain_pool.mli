@@ -1,0 +1,5 @@
+val run : domains:int -> (int -> 'a) -> 'a list
+(** [run ~domains f] evaluates [f 0 .. f (domains-1)] on [domains] parallel
+    execution streams (worker 0 on the calling domain) and returns the
+    results in worker order.  Exceptions propagate after all workers have
+    been joined. *)

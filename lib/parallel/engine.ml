@@ -1,0 +1,88 @@
+module Executor = Acc_txn.Executor
+module Txn_effect = Acc_txn.Txn_effect
+module Database = Acc_relation.Database
+module Prng = Acc_util.Prng
+
+type t = {
+  exec : Executor.t;
+  locks : Sharded_lock_table.t;
+  detector : Deadlock_detector.t;
+}
+
+let lock_ops locks =
+  {
+    Executor.lo_acquire =
+      (fun ~txn ~step_type ~admission ~compensating mode res ->
+        Sharded_lock_table.acquire locks ~txn ~step_type ~admission ~compensating mode res);
+    lo_attach =
+      (fun ~txn ~step_type mode res ->
+        Sharded_lock_table.attach locks ~txn ~step_type mode res);
+    lo_release =
+      (fun ~txn mode res -> ignore (Sharded_lock_table.release locks ~txn mode res));
+    lo_release_where =
+      (fun ~txn pred -> ignore (Sharded_lock_table.release_where locks ~txn pred));
+    lo_release_all = (fun ~txn -> ignore (Sharded_lock_table.release_all locks ~txn));
+    lo_held_by = (fun ~txn -> Sharded_lock_table.held_by locks ~txn);
+  }
+
+let create ?shards ?detector_cadence ?cost ~sem db =
+  let locks = Sharded_lock_table.create ?shards sem in
+  let exec = Executor.create_custom ?cost ~lock_ops:(lock_ops locks) db in
+  (* the storage engine (hashtables, ordered indexes) is not structurally
+     thread-safe; one mutex per table serializes physical access while the
+     lock protocol keeps logical access correct.  The fallback mutex covers
+     tables created after the engine (none in practice). *)
+  let table_mu = Hashtbl.create 16 in
+  List.iter
+    (fun name -> Hashtbl.replace table_mu name (Mutex.create ()))
+    (Database.table_names db);
+  let fallback_mu = Mutex.create () in
+  Executor.set_table_wrap exec
+    {
+      Executor.wrap =
+        (fun name f ->
+          let mu =
+            match Hashtbl.find_opt table_mu name with Some m -> m | None -> fallback_mu
+          in
+          Mutex.lock mu;
+          Fun.protect ~finally:(fun () -> Mutex.unlock mu) f);
+    };
+  let detector = Deadlock_detector.start ?cadence:detector_cadence locks in
+  { exec; locks; detector }
+
+let executor t = t.exec
+let locks t = t.locks
+let detector t = t.detector
+let shutdown t = Deadlock_detector.stop t.detector
+
+(* Transaction bodies still perform {!Txn_effect.Yield} (deadlock-retry
+   backoff points); on a worker domain that becomes a short randomized sleep
+   so colliding transactions desynchronize.  {!Txn_effect.Wait_lock} must
+   never surface here — the custom backend blocks internally. *)
+let run_txn : type r. ?backoff_g:Prng.t -> (unit -> r) -> r =
+ fun ?backoff_g f ->
+  Effect.Deep.match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Txn_effect.Yield ->
+              Some
+                (fun (k : (b, r) Effect.Deep.continuation) ->
+                  let pause =
+                    match backoff_g with
+                    | Some g -> 0.0002 +. Prng.exponential g ~mean:0.002
+                    | None -> 0.001
+                  in
+                  Unix.sleepf pause;
+                  Effect.Deep.continue k ())
+          | Txn_effect.Wait_lock _ ->
+              Some
+                (fun (_ : (b, r) Effect.Deep.continuation) ->
+                  raise
+                    (Txn_effect.Stuck
+                       "parallel engine: Wait_lock effect from a blocking lock backend"))
+          | _ -> None);
+    }

@@ -1,0 +1,36 @@
+(** The multicore execution engine: an {!Acc_txn.Executor} whose lock
+    backend is a {!Sharded_lock_table}, whose storage accesses are serialized
+    by per-table mutexes, and whose deadlocks are broken by a background
+    {!Deadlock_detector} domain.
+
+    The same transaction code (TPC-C bodies, the ACC runtime, flat 2PL
+    runners) runs unchanged: lock waits block the worker domain inside the
+    sharded table instead of performing [Wait_lock], and victimization
+    surfaces as the usual [Txn_effect.Deadlock_victim]. *)
+
+type t
+
+val create :
+  ?shards:int ->
+  ?detector_cadence:float ->
+  ?cost:Acc_txn.Cost_model.t ->
+  sem:Acc_lock.Mode.semantics ->
+  Acc_relation.Database.t ->
+  t
+(** Builds the engine and starts the detector domain; pair with
+    {!shutdown}. *)
+
+val executor : t -> Acc_txn.Executor.t
+val locks : t -> Sharded_lock_table.t
+val detector : t -> Deadlock_detector.t
+
+val shutdown : t -> unit
+(** Stop and join the detector domain.  Call after worker domains have
+    joined (the detector must outlive them: it breaks shutdown-time
+    deadlocks). *)
+
+val run_txn : ?backoff_g:Acc_util.Prng.t -> (unit -> 'r) -> 'r
+(** Run a transaction body on the calling domain under the parallel effect
+    handler: [Yield] becomes a short (randomized, when a generator is given)
+    sleep; [Wait_lock] raises [Stuck] — it cannot occur with the blocking
+    backend. *)

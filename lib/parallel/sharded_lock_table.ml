@@ -1,0 +1,190 @@
+module Mode = Acc_lock.Mode
+module Resource_id = Acc_lock.Resource_id
+module Lock_table = Acc_lock.Lock_table
+module Lock_core = Acc_lock.Lock_core
+module Txn_effect = Acc_txn.Txn_effect
+
+(* Each shard is a complete sequential {!Lock_table} behind its own mutex:
+   all compatibility, queuing and upgrade logic is the single-threaded code
+   path, verbatim, which is what makes the sharded table decision-equivalent
+   to the sequential one (property-tested in test/test_parallel.ml).
+
+   The shard key is the {e table name} of the resource, so a tuple always
+   lands in the same shard as its parent table: the hierarchical checks
+   (intention modes, reach-down of absolute table locks, the child sweep of
+   checked table-level assertional requests) and grant promotion never cross
+   a shard boundary.  Different tables spread across shards, which is where
+   the parallelism comes from — TPC-C's nine tables give nine independent
+   hot paths. *)
+
+type shard = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  table : Lock_table.t;
+  granted : (int, unit) Hashtbl.t;  (* global tickets granted while waiter slept *)
+  victims : (int, unit) Hashtbl.t;  (* global tickets cancelled by the detector *)
+}
+
+type t = { shards : shard array }
+
+let default_shards = 16
+
+let create ?(shards = default_shards) sem =
+  if shards < 1 then invalid_arg "Sharded_lock_table.create: shards must be >= 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            mu = Mutex.create ();
+            cond = Condition.create ();
+            table = Lock_table.create sem;
+            granted = Hashtbl.create 16;
+            victims = Hashtbl.create 16;
+          });
+  }
+
+let n_shards t = Array.length t.shards
+let shard_index t res = Hashtbl.hash (Resource_id.table_of res) mod n_shards t
+
+(* ticket encoding: local tickets are per-shard counters, so globalize as
+   [local * n_shards + shard] — unique, and decodable without a map *)
+let globalize t idx local = (local * n_shards t) + idx
+let ticket_shard t g = g mod n_shards t
+let localize t g = g / n_shards t
+
+let with_shard s f =
+  Mutex.lock s.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
+
+(* Publish wakeups to sleeping acquirers.  Caller holds [s.mu]. *)
+let publish t idx s (wakeups : Lock_table.wakeup list) =
+  match wakeups with
+  | [] -> []
+  | _ ->
+      let global =
+        List.map
+          (fun w ->
+            let g = globalize t idx w.Lock_table.woken_ticket in
+            Hashtbl.replace s.granted g ();
+            { w with Lock_table.woken_ticket = g })
+          wakeups
+      in
+      Condition.broadcast s.cond;
+      global
+
+(* --- the synchronous surface (parity tests, detector, introspection) ---- *)
+
+let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode res =
+  let idx = shard_index t res in
+  let s = t.shards.(idx) in
+  with_shard s (fun () ->
+      match Lock_table.request s.table ~txn ~step_type ~admission ~compensating mode res with
+      | Lock_table.Granted -> Lock_table.Granted
+      | Lock_table.Queued local -> Lock_table.Queued (globalize t idx local))
+
+let attach t ~txn ~step_type mode res =
+  let s = t.shards.(shard_index t res) in
+  with_shard s (fun () -> Lock_table.attach s.table ~txn ~step_type mode res)
+
+let release t ~txn mode res =
+  let idx = shard_index t res in
+  let s = t.shards.(idx) in
+  with_shard s (fun () -> publish t idx s (Lock_table.release s.table ~txn mode res))
+
+let fold_shards t f =
+  let acc = ref [] in
+  Array.iteri (fun idx s -> acc := !acc @ with_shard s (fun () -> f idx s)) t.shards;
+  !acc
+
+let release_where t ~txn pred =
+  fold_shards t (fun idx s -> publish t idx s (Lock_table.release_where s.table ~txn pred))
+
+let release_all t ~txn =
+  fold_shards t (fun idx s -> publish t idx s (Lock_table.release_all s.table ~txn))
+
+let cancel t ~ticket =
+  let idx = ticket_shard t ticket in
+  let s = t.shards.(idx) in
+  with_shard s (fun () -> publish t idx s (Lock_table.cancel s.table ~ticket:(localize t ticket)))
+
+let outstanding t ~ticket =
+  let s = t.shards.(ticket_shard t ticket) in
+  with_shard s (fun () -> Lock_table.outstanding s.table ~ticket:(localize t ticket))
+
+let ticket_txn t ~ticket =
+  let s = t.shards.(ticket_shard t ticket) in
+  with_shard s (fun () -> Lock_table.ticket_txn s.table ~ticket:(localize t ticket))
+
+let outstanding_tickets t ~txn =
+  fold_shards t (fun idx s ->
+      List.map (globalize t idx) (Lock_table.outstanding_tickets s.table ~txn))
+
+let holders t res =
+  let s = t.shards.(shard_index t res) in
+  with_shard s (fun () -> Lock_table.holders s.table res)
+
+let held_by t ~txn = fold_shards t (fun _ s -> Lock_table.held_by s.table ~txn)
+let waiting_on t ~txn = fold_shards t (fun _ s -> Lock_table.waiting_on s.table ~txn)
+let wait_edges t = fold_shards t (fun _ s -> Lock_table.wait_edges s.table)
+
+let compensating_waiter t ~txn =
+  Array.exists
+    (fun s -> with_shard s (fun () -> Lock_table.compensating_waiter s.table ~txn))
+    t.shards
+
+let sum_shards t f =
+  Array.fold_left (fun acc s -> acc + with_shard s (fun () -> f s)) 0 t.shards
+
+let lock_count t = sum_shards t (fun s -> Lock_table.lock_count s.table)
+let waiter_count t = sum_shards t (fun s -> Lock_table.waiter_count s.table)
+let entry_count t = sum_shards t (fun s -> Lock_table.entry_count s.table)
+
+(* --- victimization (detector side) -------------------------------------- *)
+
+let kill t ~txn =
+  let killed = ref 0 in
+  Array.iteri
+    (fun idx s ->
+      with_shard s (fun () ->
+          List.iter
+            (fun local ->
+              ignore (publish t idx s (Lock_table.cancel s.table ~ticket:local));
+              Hashtbl.replace s.victims (globalize t idx local) ();
+              incr killed;
+              Condition.broadcast s.cond)
+            (Lock_table.outstanding_tickets s.table ~txn)))
+    t.shards;
+  !killed
+
+(* --- the blocking surface (worker domains) ------------------------------ *)
+
+let acquire t ~txn ~step_type ~admission ~compensating mode res =
+  let idx = shard_index t res in
+  let s = t.shards.(idx) in
+  Mutex.lock s.mu;
+  match Lock_table.request s.table ~txn ~step_type ~admission ~compensating mode res with
+  | Lock_table.Granted -> Mutex.unlock s.mu
+  | Lock_table.Queued local ->
+      let g = globalize t idx local in
+      let rec wait () =
+        if Hashtbl.mem s.granted g then Hashtbl.remove s.granted g
+        else if Hashtbl.mem s.victims g then begin
+          Hashtbl.remove s.victims g;
+          Mutex.unlock s.mu;
+          raise Txn_effect.Deadlock_victim
+        end
+        else begin
+          Condition.wait s.cond s.mu;
+          wait ()
+        end
+      in
+      wait ();
+      Mutex.unlock s.mu
+
+let pp_state ppf t =
+  Array.iteri
+    (fun idx s ->
+      with_shard s (fun () ->
+          if Lock_table.entry_count s.table > 0 then
+            Format.fprintf ppf "shard %d:@.%a" idx Lock_table.pp_state s.table))
+    t.shards

@@ -1,0 +1,84 @@
+(** A thread-safe lock manager for real domains: N shards, each a complete
+    sequential {!Acc_lock.Lock_table} behind its own mutex.
+
+    Resources are sharded by {e table name}, so a tuple always co-shards with
+    its parent table and every hierarchical check stays inside one shard;
+    distinct tables spread across shards and proceed in parallel.
+
+    Two surfaces: a synchronous one mirroring {!Acc_lock.Lock_table} (used by
+    the parity property tests and the deadlock detector), and a blocking
+    {!acquire} for worker domains (condition-variable wait; raises
+    {!Acc_txn.Txn_effect.Deadlock_victim} when victimized by {!kill}).
+
+    Tickets returned here are globally unique encodings of per-shard tickets
+    ([local * n_shards + shard]). *)
+
+type t
+
+val default_shards : int
+
+val create : ?shards:int -> Acc_lock.Mode.semantics -> t
+val n_shards : t -> int
+
+val shard_index : t -> Acc_lock.Resource_id.t -> int
+
+(* synchronous surface *)
+
+val request :
+  t ->
+  txn:int ->
+  step_type:int ->
+  ?admission:bool ->
+  ?compensating:bool ->
+  Acc_lock.Mode.t ->
+  Acc_lock.Resource_id.t ->
+  Acc_lock.Lock_table.grant
+
+val attach :
+  t -> txn:int -> step_type:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit
+
+val release :
+  t -> txn:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> Acc_lock.Lock_table.wakeup list
+(** Wakeups are both returned and published to any blocked {!acquire}rs. *)
+
+val release_where :
+  t ->
+  txn:int ->
+  (Acc_lock.Resource_id.t -> Acc_lock.Mode.t -> bool) ->
+  Acc_lock.Lock_table.wakeup list
+
+val release_all : t -> txn:int -> Acc_lock.Lock_table.wakeup list
+val cancel : t -> ticket:int -> Acc_lock.Lock_table.wakeup list
+val outstanding : t -> ticket:int -> bool
+val ticket_txn : t -> ticket:int -> int option
+val outstanding_tickets : t -> txn:int -> int list
+
+val holders : t -> Acc_lock.Resource_id.t -> (int * Acc_lock.Mode.t * int) list
+val held_by : t -> txn:int -> (Acc_lock.Resource_id.t * Acc_lock.Mode.t) list
+val waiting_on : t -> txn:int -> Acc_lock.Resource_id.t list
+val wait_edges : t -> (int * int) list
+val compensating_waiter : t -> txn:int -> bool
+val lock_count : t -> int
+val waiter_count : t -> int
+val entry_count : t -> int
+
+val kill : t -> txn:int -> int
+(** Victimize: cancel every outstanding wait of the transaction and wake the
+    blocked acquirer with {!Acc_txn.Txn_effect.Deadlock_victim}.  Returns the
+    number of waits cancelled (0 if the transaction was not waiting). *)
+
+(* blocking surface *)
+
+val acquire :
+  t ->
+  txn:int ->
+  step_type:int ->
+  admission:bool ->
+  compensating:bool ->
+  Acc_lock.Mode.t ->
+  Acc_lock.Resource_id.t ->
+  unit
+(** Grant, or block the calling domain until granted.  Raises
+    [Txn_effect.Deadlock_victim] if {!kill}ed while waiting. *)
+
+val pp_state : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+(* The multicore TPC-C driver: real domains against the in-memory engine,
+   wall-clock time, no simulator.  Counterpart of the simulated {!Driver};
+   reuses the same transaction bodies ({!Txns}) and consistency checker. *)
+
+module Executor = Acc_txn.Executor
+module Txn_effect = Acc_txn.Txn_effect
+module Runtime = Acc_core.Runtime
+module Engine = Acc_parallel.Engine
+module Domain_pool = Acc_parallel.Domain_pool
+module Sharded_lock_table = Acc_parallel.Sharded_lock_table
+module Mode = Acc_lock.Mode
+module Prng = Acc_util.Prng
+module Metrics = Acc_util.Metrics
+module Tally = Acc_util.Stats.Tally
+
+type system = Baseline | Acc
+
+type mix =
+  | Standard  (** the full five-type TPC-C mix *)
+  | New_order_payment  (** 50/50 new-order/payment: the high-conflict core *)
+
+type config = {
+  seed : int;
+  system : system;
+  domains : int;
+  shards : int;
+  duration : float;  (** wall-clock seconds (when [txns_per_domain] is [None]) *)
+  txns_per_domain : int option;  (** fixed-count mode, for deterministic tests *)
+  think_mean : float;  (** mean exponential pause between transactions, seconds *)
+  compute_between : float;
+      (** pause at each intra-transaction pace point, seconds: models client
+          compute while locks are held — the regime the paper targets *)
+  skewed_district : bool;  (** district hotspot (drives up conflict rates) *)
+  detector_cadence : float;
+  params : Params.t;
+  mix : mix;
+  acc_options : Runtime.options;
+}
+
+let default_config =
+  {
+    seed = 7;
+    system = Baseline;
+    domains = 2;
+    shards = Acc_parallel.Sharded_lock_table.default_shards;
+    duration = 2.0;
+    txns_per_domain = None;
+    think_mean = 0.0;
+    compute_between = 0.0;
+    skewed_district = false;
+    detector_cadence = Acc_parallel.Deadlock_detector.default_cadence;
+    params = Params.default;
+    mix = Standard;
+    acc_options = Runtime.default_options;
+  }
+
+type report = {
+  committed : int;
+  forced_aborts : int;
+  compensations : int;
+  detector_victims : int;
+  detector_sweeps : int;
+  response : Tally.t;
+  elapsed : float;
+  throughput : float;  (** committed transactions per second *)
+  per_domain_committed : int list;
+  violations : string list;
+  leaked_locks : int;
+  leaked_waiters : int;
+}
+
+let gen_mixed_input cfg env =
+  match cfg.mix with
+  | Standard -> Txns.gen_input env
+  | New_order_payment ->
+      if Prng.chance (Random_gen.prng env.Txns.gen) 0.5 then
+        Txns.New_order (Txns.gen_new_order env)
+      else Txns.Payment (Txns.gen_payment env)
+
+let run cfg =
+  if cfg.domains < 1 then invalid_arg "Parallel_driver.run: domains must be >= 1";
+  Params.validate cfg.params;
+  let db = Load.populate ~seed:cfg.seed cfg.params in
+  let sem =
+    match cfg.system with Baseline -> Mode.no_semantics | Acc -> Txns.semantics
+  in
+  let engine =
+    Engine.create ~shards:cfg.shards ~detector_cadence:cfg.detector_cadence ~sem db
+  in
+  let eng = Engine.executor engine in
+  let committed = Metrics.Counter.create () in
+  let forced_aborts = Metrics.Counter.create () in
+  let compensations = Metrics.Counter.create () in
+  let response = Metrics.Latency.create () in
+  (* split the generator on this domain, before spawning: the PRNG is not
+     thread-safe, and splitting up front makes each worker's stream a pure
+     function of (seed, worker index) regardless of domain interleaving *)
+  let base_env =
+    {
+      (Txns.default_env ~seed:((cfg.seed * 31) + 1) cfg.params) with
+      Txns.skewed_district = cfg.skewed_district;
+      pace =
+        (fun () -> if cfg.compute_between > 0.0 then Unix.sleepf cfg.compute_between);
+    }
+  in
+  let envs =
+    Array.init cfg.domains (fun _ ->
+        { base_env with Txns.gen = Random_gen.split base_env.Txns.gen })
+  in
+  let started = Unix.gettimeofday () in
+  let deadline = started +. cfg.duration in
+  let worker i =
+    let env = envs.(i) in
+    let backoff_g = Prng.create ~seed:((cfg.seed * 7919) + i) in
+    let think_g = Prng.create ~seed:((cfg.seed * 1009) + i) in
+    let slot = Metrics.Latency.slot response in
+    let mine = ref 0 in
+    let budget = ref (match cfg.txns_per_domain with Some n -> n | None -> max_int) in
+    let continue () =
+      !budget > 0
+      && (cfg.txns_per_domain <> None || Unix.gettimeofday () < deadline)
+    in
+    while continue () do
+      decr budget;
+      if cfg.think_mean > 0.0 then
+        Unix.sleepf (Prng.exponential think_g ~mean:cfg.think_mean);
+      let input = gen_mixed_input cfg env in
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        Engine.run_txn ~backoff_g (fun () ->
+            match cfg.system with
+            | Baseline -> begin
+                match Txns.run_flat eng env input with
+                | `Committed -> `Done
+                | `Aborted -> `Forced_abort
+              end
+            | Acc -> begin
+                match Txns.run_acc ~options:cfg.acc_options eng env input with
+                | Runtime.Committed -> `Done
+                | Runtime.Compensated _ -> begin
+                    match input with
+                    | Txns.New_order { no_fail_last = true; _ } ->
+                        `Forced_abort_compensated
+                    | _ -> `Compensated
+                  end
+              end)
+      in
+      let t1 = Unix.gettimeofday () in
+      (match outcome with
+      | `Done ->
+          Metrics.Counter.incr committed;
+          incr mine;
+          Metrics.Latency.record slot (t1 -. t0)
+      | `Forced_abort -> Metrics.Counter.incr forced_aborts
+      | `Forced_abort_compensated ->
+          Metrics.Counter.incr forced_aborts;
+          Metrics.Counter.incr compensations
+      | `Compensated -> Metrics.Counter.incr compensations)
+    done;
+    !mine
+  in
+  let per_domain_committed = Domain_pool.run ~domains:cfg.domains worker in
+  let elapsed = Unix.gettimeofday () -. started in
+  (* workers have joined; the detector must still be alive up to here, since
+     it is what unwedges the final stragglers' deadlocks *)
+  Engine.shutdown engine;
+  let locks = Engine.locks engine in
+  {
+    committed = Metrics.Counter.get committed;
+    forced_aborts = Metrics.Counter.get forced_aborts;
+    compensations = Metrics.Counter.get compensations;
+    detector_victims = Acc_parallel.Deadlock_detector.victims (Engine.detector engine);
+    detector_sweeps = Acc_parallel.Deadlock_detector.sweeps (Engine.detector engine);
+    response = Metrics.Latency.merged response;
+    elapsed;
+    throughput =
+      (if elapsed > 0.0 then float_of_int (Metrics.Counter.get committed) /. elapsed
+       else 0.0);
+    per_domain_committed;
+    violations = Consistency.check (Executor.db eng);
+    leaked_locks = Sharded_lock_table.lock_count locks;
+    leaked_waiters = Sharded_lock_table.waiter_count locks;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>committed            %d@,throughput           %.1f txn/s@,\
+     mean response        %.4f s@,p95 response         %.4f s@,\
+     forced aborts        %d@,compensations        %d@,\
+     detector victims     %d (over %d sweeps)@,per-domain committed %s@,\
+     leaked locks         %d@,leaked waiters       %d@,consistency          %s@]"
+    r.committed r.throughput (Tally.mean r.response)
+    (Tally.percentile r.response 0.95)
+    r.forced_aborts r.compensations r.detector_victims r.detector_sweeps
+    (String.concat ", " (List.map string_of_int r.per_domain_committed))
+    r.leaked_locks r.leaked_waiters
+    (match r.violations with
+    | [] -> "OK"
+    | v -> Printf.sprintf "%d VIOLATION(S)" (List.length v))

@@ -470,7 +470,7 @@ let no_compensation (i : new_order_input) ws ctx ~completed =
 
 type pay_ws = { mutable h_id : int; mutable w_customer : int }
 
-let pay_h_seq = ref 1_000_000 (* surrogate history keys; process-wide *)
+let pay_h_seq = Atomic.make 1_000_000 (* surrogate history keys; process-wide *)
 
 let pay_step1 env (i : payment_input) ctx =
   ignore env;
@@ -496,8 +496,7 @@ let pay_step3 env (i : payment_input) ws ctx =
          row.(8) <- Int (as_int row.(8) + 1);
          row));
   env.pace ();
-  incr pay_h_seq;
-  ws.h_id <- !pay_h_seq;
+  ws.h_id <- 1 + Atomic.fetch_and_add pay_h_seq 1;
   Executor.insert ctx "history"
     [| Int ws.h_id; Int i.p_w; Int i.p_d; Int ws.w_customer; Float i.p_amount |]
 

@@ -9,20 +9,50 @@ module Log = Acc_wal.Log
 module Record = Acc_wal.Record
 module Recovery = Acc_wal.Recovery
 
+(* A pluggable lock manager: the sequential backend queues on the
+   single-threaded [Lock_table] and suspends via the [Wait_lock] effect (the
+   simulator/scheduler resumes the fiber); a custom backend (the sharded
+   multi-domain table of lib/parallel) blocks the calling domain internally
+   and raises [Txn_effect.Deadlock_victim] when victimized. *)
+type lock_ops = {
+  lo_acquire :
+    txn:int ->
+    step_type:int ->
+    admission:bool ->
+    compensating:bool ->
+    Mode.t ->
+    Resource_id.t ->
+    unit;
+  lo_attach : txn:int -> step_type:int -> Mode.t -> Resource_id.t -> unit;
+  lo_release : txn:int -> Mode.t -> Resource_id.t -> unit;
+  lo_release_where : txn:int -> (Resource_id.t -> Mode.t -> bool) -> unit;
+  lo_release_all : txn:int -> unit;
+  lo_held_by : txn:int -> (Resource_id.t * Mode.t) list;
+}
+
+type lock_backend = Sequential of Lock_table.t | Custom of lock_ops
+
+type table_wrap = { wrap : 'a. string -> (unit -> 'a) -> 'a }
+
 type config = {
   mutable on_wakeup : Lock_table.wakeup list -> unit;
   mutable charge : float -> unit;
   mutable trace : (int -> [ `R | `W ] -> Resource_id.t -> unit) option;
+  mutable table_wrap : table_wrap;
+  (* every storage-engine access runs inside [table_wrap.wrap tname]; the
+     parallel engine installs a per-table mutex here so hashtable/index
+     structure is never mutated concurrently (row-content races are already
+     excluded by the lock protocol) *)
 }
 
 type t = {
   db : Database.t;
-  locks : Lock_table.t;
+  backend : lock_backend;
   log : Log.t;
   cost : Cost_model.t;
   config : config;
-  mutable next_txn : int;
-  mutable active : int;
+  next_txn : int Atomic.t;
+  active : int Atomic.t;
 }
 
 type ctx = {
@@ -39,30 +69,83 @@ type ctx = {
   mutable finished : bool;
 }
 
-let create ?(cost = Cost_model.default) ~sem db =
+let make ?(cost = Cost_model.default) backend db =
   {
     db;
-    locks = Lock_table.create sem;
+    backend;
     log = Log.create ();
     cost;
-    config = { on_wakeup = (fun _ -> ()); charge = (fun _ -> ()); trace = None };
-    next_txn = 1;
-    active = 0;
+    config =
+      {
+        on_wakeup = (fun _ -> ());
+        charge = (fun _ -> ());
+        trace = None;
+        table_wrap = { wrap = (fun _ f -> f ()) };
+      };
+    next_txn = Atomic.make 1;
+    active = Atomic.make 0;
   }
 
+let create ?cost ~sem db = make ?cost (Sequential (Lock_table.create sem)) db
+let create_custom ?cost ~lock_ops db = make ?cost (Custom lock_ops) db
+
 let db t = t.db
-let locks t = t.locks
+
+let locks t =
+  match t.backend with
+  | Sequential locks -> locks
+  | Custom _ -> invalid_arg "Executor.locks: engine runs on a custom lock backend"
+
 let log t = t.log
 let set_on_wakeup t f = t.config.on_wakeup <- f
 let set_charge t f = t.config.charge <- f
 let set_trace t f = t.config.trace <- f
+let set_table_wrap t w = t.config.table_wrap <- w
 let charge t units = t.config.charge units
 let cost t = t.cost
 
+(* --- lock backend dispatch ---------------------------------------------- *)
+
+let deliver t wakeups = if wakeups <> [] then t.config.on_wakeup wakeups
+
+let lock_acquire t ~txn ~step_type ~admission ~compensating mode res =
+  match t.backend with
+  | Sequential locks -> (
+      match Lock_table.request locks ~txn ~step_type ~admission ~compensating mode res with
+      | Lock_table.Granted -> ()
+      | Lock_table.Queued ticket -> Effect.perform (Txn_effect.Wait_lock { ticket; txn }))
+  | Custom ops -> ops.lo_acquire ~txn ~step_type ~admission ~compensating mode res
+
+let lock_attach t ~txn ~step_type mode res =
+  match t.backend with
+  | Sequential locks -> Lock_table.attach locks ~txn ~step_type mode res
+  | Custom ops -> ops.lo_attach ~txn ~step_type mode res
+
+let lock_release t ~txn mode res =
+  match t.backend with
+  | Sequential locks -> deliver t (Lock_table.release locks ~txn mode res)
+  | Custom ops -> ops.lo_release ~txn mode res
+
+let lock_release_where t ~txn pred =
+  match t.backend with
+  | Sequential locks -> deliver t (Lock_table.release_where locks ~txn pred)
+  | Custom ops -> ops.lo_release_where ~txn pred
+
+let lock_release_all t ~txn =
+  match t.backend with
+  | Sequential locks -> deliver t (Lock_table.release_all locks ~txn)
+  | Custom ops -> ops.lo_release_all ~txn
+
+let lock_held_by t ~txn =
+  match t.backend with
+  | Sequential locks -> Lock_table.held_by locks ~txn
+  | Custom ops -> ops.lo_held_by ~txn
+
+(* --- transaction lifecycle ---------------------------------------------- *)
+
 let begin_txn t ~txn_type ~multi_step =
-  let txn = t.next_txn in
-  t.next_txn <- txn + 1;
-  t.active <- t.active + 1;
+  let txn = Atomic.fetch_and_add t.next_txn 1 in
+  Atomic.incr t.active;
   ignore (Log.append t.log (Record.Begin { txn; txn_type; multi_step }));
   {
     eng = t;
@@ -97,8 +180,11 @@ let finished ctx = ctx.finished
 let trace ctx rw res =
   match ctx.eng.config.trace with None -> () | Some f -> f ctx.txn rw res
 
-(* Checked lock acquisition: grant or suspend on the Wait_lock effect.  When
-   the fiber is resumed normally the lock is held. *)
+let with_table ctx tname f = ctx.eng.config.table_wrap.wrap tname f
+
+(* Checked lock acquisition: grant, or suspend (Wait_lock effect /
+   domain-blocking wait, depending on the backend).  When control returns
+   normally the lock is held. *)
 let acquire ctx ?(admission = false) mode res =
   (* assertional locks that must be in place before the data lock (legacy
      isolation) are taken here, ahead of the conventional request, so the
@@ -106,18 +192,13 @@ let acquire ctx ?(admission = false) mode res =
   if Mode.conventional mode then ctx.on_before_lock res mode;
   charge ctx.eng
     (if Mode.conventional mode then ctx.eng.cost.lock_op else ctx.eng.cost.assertional_op);
-  (match
-     Lock_table.request ctx.eng.locks ~txn:ctx.txn ~step_type:ctx.step_type ~admission
-       ~compensating:ctx.compensating mode res
-   with
-  | Lock_table.Granted -> ()
-  | Lock_table.Queued ticket ->
-      Effect.perform (Txn_effect.Wait_lock { ticket; txn = ctx.txn }));
+  lock_acquire ctx.eng ~txn:ctx.txn ~step_type:ctx.step_type ~admission
+    ~compensating:ctx.compensating mode res;
   ctx.on_lock res mode
 
 let attach_lock ctx mode res =
   charge ctx.eng ctx.eng.cost.assertional_op;
-  Lock_table.attach ctx.eng.locks ~txn:ctx.txn ~step_type:ctx.step_type mode res
+  lock_attach ctx.eng ~txn:ctx.txn ~step_type:ctx.step_type mode res
 
 let lock_tuple_read ctx tname key =
   acquire ctx Mode.IS (Resource_id.Table tname);
@@ -133,40 +214,42 @@ let read ctx tname key =
   lock_tuple_read ctx tname key;
   charge ctx.eng ctx.eng.cost.point_op;
   trace ctx `R (Resource_id.Tuple (tname, key));
-  Table.get (table_of ctx tname) key
+  let table = table_of ctx tname in
+  with_table ctx tname (fun () -> Table.get table key)
 
 let read_exn ctx tname key =
   match read ctx tname key with
   | Some row -> row
   | None -> raise (Table.No_such_row (tname, key))
 
-let deliver ctx wakeups = if wakeups <> [] then ctx.eng.config.on_wakeup wakeups
-
 let read_committed ctx tname key =
   let res = Resource_id.Tuple (tname, key) in
   let held_before =
     List.exists (fun (r, m) -> Resource_id.equal r res && Mode.covers m Mode.S)
-      (Lock_table.held_by ctx.eng.locks ~txn:ctx.txn)
+      (lock_held_by ctx.eng ~txn:ctx.txn)
   in
   lock_tuple_read ctx tname key;
   charge ctx.eng ctx.eng.cost.point_op;
   trace ctx `R res;
-  let row = Table.get (table_of ctx tname) key in
+  let table = table_of ctx tname in
+  let row = with_table ctx tname (fun () -> Table.get table key) in
   (* short lock: give the S back straight away unless it was already held *)
-  if not held_before then
-    deliver ctx (Lock_table.release ctx.eng.locks ~txn:ctx.txn Mode.S res);
+  if not held_before then lock_release ctx.eng ~txn:ctx.txn Mode.S res;
   row
 
-let charge_scan ctx table =
+let charge_scan ctx scanned =
   charge ctx.eng
-    (ctx.eng.cost.scan_base
-    +. (ctx.eng.cost.scan_row *. float_of_int (Table.last_scan_cost table)))
+    (ctx.eng.cost.scan_base +. (ctx.eng.cost.scan_row *. float_of_int scanned))
 
 let scan ctx tname ?where () =
   acquire ctx Mode.S (Resource_id.Table tname);
   let table = table_of ctx tname in
-  let rows = Table.scan ?where table in
-  charge_scan ctx table;
+  let rows, cost =
+    with_table ctx tname (fun () ->
+        let rows = Table.scan ?where table in
+        (rows, Table.last_scan_cost table))
+  in
+  charge_scan ctx cost;
   trace ctx `R (Resource_id.Table tname);
   rows
 
@@ -174,21 +257,29 @@ let scan_committed ctx tname ?where () =
   let res = Resource_id.Table tname in
   let held_before =
     List.exists (fun (r, m) -> Resource_id.equal r res && Mode.covers m Mode.S)
-      (Lock_table.held_by ctx.eng.locks ~txn:ctx.txn)
+      (lock_held_by ctx.eng ~txn:ctx.txn)
   in
   acquire ctx Mode.S res;
   let table = table_of ctx tname in
-  let rows = Table.scan ?where table in
-  charge_scan ctx table;
+  let rows, cost =
+    with_table ctx tname (fun () ->
+        let rows = Table.scan ?where table in
+        (rows, Table.last_scan_cost table))
+  in
+  charge_scan ctx cost;
   trace ctx `R res;
-  if not held_before then deliver ctx (Lock_table.release ctx.eng.locks ~txn:ctx.txn Mode.S res);
+  if not held_before then lock_release ctx.eng ~txn:ctx.txn Mode.S res;
   rows
 
 let scan_keys ctx tname ?where () =
   acquire ctx Mode.S (Resource_id.Table tname);
   let table = table_of ctx tname in
-  let keys = Table.scan_keys ?where table in
-  charge_scan ctx table;
+  let keys, cost =
+    with_table ctx tname (fun () ->
+        let keys = Table.scan_keys ?where table in
+        (keys, Table.last_scan_cost table))
+  in
+  charge_scan ctx cost;
   trace ctx `R (Resource_id.Table tname);
   keys
 
@@ -200,8 +291,12 @@ let peek_keys ctx tname ?where () =
      ids). *)
   acquire ctx Mode.IS (Resource_id.Table tname);
   let table = table_of ctx tname in
-  let keys = Table.scan_keys ?where table in
-  charge_scan ctx table;
+  let keys, cost =
+    with_table ctx tname (fun () ->
+        let keys = Table.scan_keys ?where table in
+        (keys, Table.last_scan_cost table))
+  in
+  charge_scan ctx cost;
   keys
 
 let scan_keys_for_update ctx tname ?where () =
@@ -210,8 +305,12 @@ let scan_keys_for_update ctx tname ?where () =
      S-then-upgrade deadlock (the update-mode-lock idiom) *)
   acquire ctx Mode.X (Resource_id.Table tname);
   let table = table_of ctx tname in
-  let keys = Table.scan_keys ?where table in
-  charge_scan ctx table;
+  let keys, cost =
+    with_table ctx tname (fun () ->
+        let keys = Table.scan_keys ?where table in
+        (keys, Table.last_scan_cost table))
+  in
+  charge_scan ctx cost;
   trace ctx `R (Resource_id.Table tname);
   keys
 
@@ -225,7 +324,7 @@ let insert ctx tname row =
   lock_tuple_write ctx tname key;
   charge ctx.eng ctx.eng.cost.point_op;
   trace ctx `W (Resource_id.Tuple (tname, key));
-  Table.insert table row;
+  with_table ctx tname (fun () -> Table.insert table row);
   log_write ctx
     { Record.w_table = tname; w_key = key; w_before = None; w_after = Some (Array.copy row) }
 
@@ -234,8 +333,12 @@ let update ctx tname key f =
   charge ctx.eng ctx.eng.cost.point_op;
   trace ctx `W (Resource_id.Tuple (tname, key));
   let table = table_of ctx tname in
-  let before = Table.get_exn table key in
-  let after = Table.update table key f in
+  let before, after =
+    with_table ctx tname (fun () ->
+        let before = Table.get_exn table key in
+        let after = Table.update table key f in
+        (before, after))
+  in
   log_write ctx
     { Record.w_table = tname; w_key = key; w_before = Some before; w_after = Some after };
   after
@@ -250,7 +353,8 @@ let delete ctx tname key =
   lock_tuple_write ctx tname key;
   charge ctx.eng ctx.eng.cost.point_op;
   trace ctx `W (Resource_id.Tuple (tname, key));
-  let before = Table.delete (table_of ctx tname) key in
+  let table = table_of ctx tname in
+  let before = with_table ctx tname (fun () -> Table.delete table key) in
   log_write ctx { Record.w_table = tname; w_key = key; w_before = Some before; w_after = None }
 
 let undo_stack_size ctx = List.length ctx.undo_stack
@@ -261,7 +365,7 @@ let rollback_current_step ctx =
       let undo = Record.invert write in
       ignore (Log.append ctx.eng.log (Record.Write { txn = ctx.txn; write = undo; undo = true }));
       charge ctx.eng ctx.eng.cost.point_op;
-      Recovery.apply_write ctx.eng.db undo)
+      with_table ctx undo.Record.w_table (fun () -> Recovery.apply_write ctx.eng.db undo))
     ctx.undo_stack;
   ctx.undo_stack <- []
 
@@ -279,14 +383,12 @@ let end_step ctx ~comp_area =
   charge ctx.eng ctx.eng.cost.step_end;
   ctx.undo_stack <- []
 
-let release_locks ctx pred =
-  deliver ctx (Lock_table.release_where ctx.eng.locks ~txn:ctx.txn pred)
-
-let release_everything ctx = deliver ctx (Lock_table.release_all ctx.eng.locks ~txn:ctx.txn)
+let release_locks ctx pred = lock_release_where ctx.eng ~txn:ctx.txn pred
+let release_everything ctx = lock_release_all ctx.eng ~txn:ctx.txn
 
 let finish ctx =
   ctx.finished <- true;
-  ctx.eng.active <- ctx.eng.active - 1
+  Atomic.decr ctx.eng.active
 
 let commit ctx =
   assert (not ctx.finished);
@@ -307,10 +409,10 @@ let finish_compensated ctx =
   finish ctx;
   release_everything ctx
 
-let active_txns t = t.active
+let active_txns t = Atomic.get t.active
 
 let checkpoint t =
-  if t.active > 0 then
+  if Atomic.get t.active > 0 then
     invalid_arg
-      (Printf.sprintf "Executor.checkpoint: %d transaction(s) still active" t.active);
+      (Printf.sprintf "Executor.checkpoint: %d transaction(s) still active" (Atomic.get t.active));
   Acc_wal.Checkpoint.take t.db t.log

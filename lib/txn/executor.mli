@@ -10,16 +10,49 @@
     scheduler that handles it ({!Schedule} or the simulator driver). *)
 
 type t
-(** An engine: database + lock table + log + configuration. *)
+(** An engine: database + lock manager + log + configuration. *)
 
 type ctx
 (** A live transaction. *)
 
+type lock_ops = {
+  lo_acquire :
+    txn:int ->
+    step_type:int ->
+    admission:bool ->
+    compensating:bool ->
+    Acc_lock.Mode.t ->
+    Acc_lock.Resource_id.t ->
+    unit;
+  lo_attach :
+    txn:int -> step_type:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit;
+  lo_release : txn:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit;
+  lo_release_where :
+    txn:int -> (Acc_lock.Resource_id.t -> Acc_lock.Mode.t -> bool) -> unit;
+  lo_release_all : txn:int -> unit;
+  lo_held_by : txn:int -> (Acc_lock.Resource_id.t * Acc_lock.Mode.t) list;
+}
+(** A custom lock manager.  [lo_acquire] must block (or suspend) until the
+    lock is held, raising [Txn_effect.Deadlock_victim] if the request is
+    victimized; the sharded multi-domain table of lib/parallel plugs in
+    here. *)
+
 val create :
   ?cost:Cost_model.t -> sem:Acc_lock.Mode.semantics -> Acc_relation.Database.t -> t
+(** An engine on the sequential {!Acc_lock.Lock_table}: lock waits perform
+    {!Txn_effect.Wait_lock} and wakeups flow through {!set_on_wakeup}. *)
+
+val create_custom : ?cost:Cost_model.t -> lock_ops:lock_ops -> Acc_relation.Database.t -> t
+(** An engine on a caller-supplied lock manager; {!locks} is unavailable and
+    the {!set_on_wakeup} hook never fires (the manager wakes its own
+    waiters). *)
 
 val db : t -> Acc_relation.Database.t
+
 val locks : t -> Acc_lock.Lock_table.t
+(** The sequential lock table.  Raises [Invalid_argument] on an engine made
+    with {!create_custom}. *)
+
 val log : t -> Acc_wal.Log.t
 
 (* configuration hooks, installed by schedulers/drivers *)
@@ -34,6 +67,15 @@ val set_charge : t -> (float -> unit) -> unit
 
 val set_trace : t -> (int -> [ `R | `W ] -> Acc_lock.Resource_id.t -> unit) option -> unit
 (** Access trace for the serializability checker. *)
+
+type table_wrap = { wrap : 'a. string -> (unit -> 'a) -> 'a }
+
+val set_table_wrap : t -> table_wrap -> unit
+(** Critical-section hook around every storage-engine access, keyed by table
+    name.  The in-memory tables are not thread-safe structurally (hashtable
+    resizes, index maintenance), so the multi-domain engine installs a
+    per-table mutex here; the lock protocol already excludes row-content
+    races.  Default: run the thunk directly. *)
 
 val charge : t -> float -> unit
 val cost : t -> Cost_model.t

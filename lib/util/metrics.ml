@@ -1,0 +1,35 @@
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let incr t = Atomic.incr t
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let reset t = Atomic.set t 0
+end
+
+module Latency = struct
+  (* Each domain records into its own private tally — [Stats.Tally.add] is
+     single-writer — and readers fold [Stats.Tally.merge] over the registered
+     set.  Registration is a lock-free CAS prepend, so the hot path (record)
+     never takes a lock and never contends with other domains. *)
+
+  type slot = Stats.Tally.t
+
+  type t = Stats.Tally.t list Atomic.t
+
+  let create () = Atomic.make []
+
+  let rec slot t =
+    let tally = Stats.Tally.create () in
+    let cur = Atomic.get t in
+    if Atomic.compare_and_set t cur (tally :: cur) then tally else slot t
+
+  let record slot v = Stats.Tally.add slot v
+
+  let merged t =
+    List.fold_left Stats.Tally.merge (Stats.Tally.create ()) (Atomic.get t)
+
+  let count t =
+    List.fold_left (fun acc tally -> acc + Stats.Tally.count tally) 0 (Atomic.get t)
+end

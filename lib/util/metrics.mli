@@ -1,0 +1,38 @@
+(** Domain-safe metrics for the multicore runtime.
+
+    {!Stats} is deliberately single-threaded (the simulator owns it); this
+    module provides the shared-memory counterparts: plain atomic counters,
+    and latency accumulators where each domain writes a private
+    {!Stats.Tally} and readers merge on demand. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Latency : sig
+  type t
+
+  type slot
+  (** A single domain's private accumulator.  {!record} on a slot is
+      wait-free and must only be called from the domain that obtained it. *)
+
+  val create : unit -> t
+
+  val slot : t -> slot
+  (** Register (lock-free) a fresh per-domain accumulator. *)
+
+  val record : slot -> float -> unit
+
+  val merged : t -> Stats.Tally.t
+  (** Fold of {!Stats.Tally.merge} over every registered slot.  Exact once
+      the writing domains have quiesced (joined); an approximate live view
+      otherwise. *)
+
+  val count : t -> int
+end

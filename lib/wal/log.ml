@@ -1,10 +1,14 @@
 type lsn = int
 
-type t = { mutable records : Record.t array; mutable len : int }
+(* [mu] serializes appends only: every transaction on every domain appends,
+   but readers (recovery, tests, checkpointing) run on a quiesced engine *)
+type t = { mutable records : Record.t array; mutable len : int; mu : Mutex.t }
 
-let create () = { records = Array.make 256 (Record.Commit { txn = -1 }); len = 0 }
+let create () =
+  { records = Array.make 256 (Record.Commit { txn = -1 }); len = 0; mu = Mutex.create () }
 
 let append t r =
+  Mutex.lock t.mu;
   if t.len = Array.length t.records then begin
     let bigger = Array.make (2 * t.len) r in
     Array.blit t.records 0 bigger 0 t.len;
@@ -12,7 +16,9 @@ let append t r =
   end;
   t.records.(t.len) <- r;
   t.len <- t.len + 1;
-  t.len - 1
+  let lsn = t.len - 1 in
+  Mutex.unlock t.mu;
+  lsn
 
 let length t = t.len
 

@@ -1,0 +1,294 @@
+(* Tests for acc.parallel: decision parity of the sharded lock table with the
+   sequential one, real-domain blocking and victimization, metrics merging,
+   and a multi-domain TPC-C stress run. *)
+
+open Acc_lock
+module Sharded = Acc_parallel.Sharded_lock_table
+module Detector = Acc_parallel.Deadlock_detector
+module Domain_pool = Acc_parallel.Domain_pool
+module Txn_effect = Acc_txn.Txn_effect
+module Metrics = Acc_util.Metrics
+module Tally = Acc_util.Stats.Tally
+module Value = Acc_relation.Value
+
+(* --- parity: sharded vs sequential, same decisions --------------------- *)
+
+(* The oracle of test_lock: step 10 interferes with assertion 100; prefix
+   behind 200 interferes with 100. *)
+let parity_sem =
+  Mode.
+    {
+      step_interferes = (fun ~step_type ~assertion -> step_type = 10 && assertion = 100);
+      prefix_interferes =
+        (fun ~holder_assertion ~assertion -> holder_assertion = 200 && assertion = 100);
+    }
+
+let parity_resources =
+  let tuple t k = Resource_id.Tuple (t, [ Value.Int k ]) in
+  [|
+    Resource_id.Table "t"; tuple "t" 1; tuple "t" 2;
+    Resource_id.Table "u"; tuple "u" 1; tuple "u" 2;
+    Resource_id.Table "v"; tuple "v" 1; tuple "v" 2;
+  |]
+
+let parity_modes = [| Mode.S; Mode.X; Mode.IS; Mode.IX; Mode.A 100; Mode.A 200; Mode.Comp 10 |]
+
+type pop =
+  | PReq of { txn : int; step : int; adm : bool; comp : bool; mode : int; res : int }
+  | PRel_where of { txn : int; res : int }
+  | PRel_all of int
+  | PCancel of int
+
+let pop_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map
+          (fun (txn, step, adm, comp, mode, res) -> PReq { txn; step; adm; comp; mode; res })
+          (tup6 (int_range 1 4) (oneofl [ 0; 10; 11 ]) bool bool (int_range 0 6)
+             (int_range 0 8));
+        map2 (fun txn res -> PRel_where { txn; res }) (int_range 1 4) (int_range 0 8);
+        map (fun txn -> PRel_all txn) (int_range 1 4);
+        map (fun txn -> PCancel txn) (int_range 1 4);
+      ])
+
+let woken_txns wakeups =
+  List.sort compare (List.map (fun w -> w.Lock_table.woken_txn) wakeups)
+
+let sorted_held tbl_held = List.sort compare tbl_held
+
+(* Drive the same single-threaded op sequence through a sequential table and
+   a sharded one and require identical decisions at every point: grant vs
+   queue, who wakes on each release, and identical final holds, waits-for
+   edges and counts.  (Ticket numbers differ by construction; they are never
+   compared.)  Waiting is one-request-per-transaction, as the blocking engine
+   guarantees. *)
+let prop_parity =
+  QCheck2.Test.make ~name:"sharded table: decision parity with sequential" ~count:200
+    QCheck2.Gen.(pair (oneofl [ 1; 2; 4; 7 ]) (list_size (int_range 0 60) pop_gen))
+    (fun (shards, ops) ->
+      let seq = Lock_table.create parity_sem in
+      let sha = Sharded.create ~shards parity_sem in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | PReq { txn; step; adm; comp; mode; res } ->
+                if Lock_table.outstanding_tickets seq ~txn = [] then begin
+                  let mode = parity_modes.(mode) and res = parity_resources.(res) in
+                  let g1 =
+                    Lock_table.request seq ~txn ~step_type:step ~admission:adm
+                      ~compensating:comp mode res
+                  in
+                  let g2 =
+                    Sharded.request sha ~txn ~step_type:step ~admission:adm
+                      ~compensating:comp mode res
+                  in
+                  check
+                    (match (g1, g2) with
+                    | Lock_table.Granted, Lock_table.Granted -> true
+                    | Lock_table.Queued _, Lock_table.Queued _ -> true
+                    | _ -> false)
+                end
+            | PRel_where { txn; res } ->
+                let target = parity_resources.(res) in
+                let pred r _ = Resource_id.equal r target in
+                let w1 = Lock_table.release_where seq ~txn pred in
+                let w2 = Sharded.release_where sha ~txn pred in
+                check (woken_txns w1 = woken_txns w2)
+            | PRel_all txn ->
+                let w1 = Lock_table.release_all seq ~txn in
+                let w2 = Sharded.release_all sha ~txn in
+                check (woken_txns w1 = woken_txns w2)
+            | PCancel txn ->
+                let w1 =
+                  List.concat_map
+                    (fun ticket -> Lock_table.cancel seq ~ticket)
+                    (Lock_table.outstanding_tickets seq ~txn)
+                in
+                let w2 =
+                  List.concat_map
+                    (fun ticket -> Sharded.cancel sha ~ticket)
+                    (Sharded.outstanding_tickets sha ~txn)
+                in
+                check (woken_txns w1 = woken_txns w2))
+        ops;
+      (* end-state equivalence *)
+      for txn = 1 to 4 do
+        check
+          (sorted_held (Lock_table.held_by seq ~txn) = sorted_held (Sharded.held_by sha ~txn));
+        check
+          (Lock_table.compensating_waiter seq ~txn = Sharded.compensating_waiter sha ~txn)
+      done;
+      check
+        (List.sort compare (Lock_table.wait_edges seq)
+        = List.sort compare (Sharded.wait_edges sha));
+      check (Lock_table.lock_count seq = Sharded.lock_count sha);
+      check (Lock_table.waiter_count seq = Sharded.waiter_count sha);
+      check (Lock_table.entry_count seq = Sharded.entry_count sha);
+      !ok)
+
+(* --- real-domain blocking ---------------------------------------------- *)
+
+let res_k = Resource_id.Tuple ("t", [ Value.Int 1 ])
+
+let test_blocking_handoff () =
+  let t = Sharded.create ~shards:4 Mode.no_semantics in
+  Sharded.acquire t ~txn:1 ~step_type:0 ~admission:false ~compensating:false Mode.X res_k;
+  let acquired = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false Mode.X
+          res_k;
+        Atomic.set acquired true;
+        ignore (Sharded.release_all t ~txn:2))
+  in
+  (* give the waiter time to block, then verify it actually did *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "waiter blocked" false (Atomic.get acquired);
+  Alcotest.(check int) "one waiter" 1 (Sharded.waiter_count t);
+  ignore (Sharded.release_all t ~txn:1);
+  Domain.join d;
+  Alcotest.(check bool) "waiter ran after release" true (Atomic.get acquired);
+  Alcotest.(check int) "no leaked locks" 0 (Sharded.lock_count t);
+  Alcotest.(check int) "no leaked waiters" 0 (Sharded.waiter_count t)
+
+(* Two domains close an X/X cycle across two resources; the detector sweep
+   must break it by victimizing exactly one side, and the survivor must then
+   complete. *)
+let test_deadlock_kill () =
+  let t = Sharded.create ~shards:4 Mode.no_semantics in
+  let a = Resource_id.Tuple ("t", [ Value.Int 1 ])
+  and b = Resource_id.Tuple ("u", [ Value.Int 1 ]) in
+  let holding = Atomic.make 0 in
+  let worker (txn, first, second) =
+    Sharded.acquire t ~txn ~step_type:0 ~admission:false ~compensating:false Mode.X first;
+    Atomic.incr holding;
+    (* wait for the other side to hold its first lock before crossing *)
+    while Atomic.get holding < 2 do
+      Domain.cpu_relax ()
+    done;
+    match
+      Sharded.acquire t ~txn ~step_type:0 ~admission:false ~compensating:false Mode.X
+        second
+    with
+    | () ->
+        ignore (Sharded.release_all t ~txn);
+        `Done
+    | exception Txn_effect.Deadlock_victim ->
+        ignore (Sharded.release_all t ~txn);
+        `Victim
+  in
+  let killer =
+    Domain.spawn (fun () ->
+        (* sweep until the cycle is visible and broken (bounded) *)
+        let victims = ref 0 in
+        let attempts = ref 0 in
+        while !victims = 0 && !attempts < 2000 do
+          incr attempts;
+          Unix.sleepf 0.002;
+          victims := !victims + Detector.sweep t
+        done;
+        !victims)
+  in
+  let outcomes = Domain_pool.run ~domains:2 (fun i ->
+      worker (if i = 0 then (1, a, b) else (2, b, a))) in
+  let victims = Domain.join killer in
+  Alcotest.(check int) "one wait victimized" 1 victims;
+  Alcotest.(check int) "exactly one Victim outcome" 1
+    (List.length (List.filter (fun o -> o = `Victim) outcomes));
+  Alcotest.(check int) "the other side completed" 1
+    (List.length (List.filter (fun o -> o = `Done) outcomes));
+  Alcotest.(check int) "no leaked locks" 0 (Sharded.lock_count t);
+  Alcotest.(check int) "no leaked waiters" 0 (Sharded.waiter_count t)
+
+(* §3.4: a compensating waiter is never the victim — the transactions
+   delaying it are. *)
+let test_victim_policy_spares_compensation () =
+  let t = Sharded.create ~shards:4 Mode.no_semantics in
+  let a = Resource_id.Tuple ("t", [ Value.Int 1 ])
+  and b = Resource_id.Tuple ("u", [ Value.Int 1 ]) in
+  (* txn 1 (compensating) holds a, waits for b; txn 2 holds b, waits for a *)
+  Sharded.acquire t ~txn:1 ~step_type:0 ~admission:false ~compensating:false Mode.X a;
+  Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false Mode.X b;
+  ignore (Sharded.request t ~txn:1 ~step_type:0 ~compensating:true Mode.X b);
+  ignore (Sharded.request t ~txn:2 ~step_type:0 Mode.X a);
+  ignore (Detector.sweep t);
+  (* txn 1's wait must survive; txn 2's must have been cancelled *)
+  Alcotest.(check int) "compensating wait survives" 1
+    (List.length (Sharded.outstanding_tickets t ~txn:1));
+  Alcotest.(check int) "non-compensating wait killed" 0
+    (List.length (Sharded.outstanding_tickets t ~txn:2))
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_metrics_multicore () =
+  let c = Metrics.Counter.create () in
+  let lat = Metrics.Latency.create () in
+  let per_domain = 25_000 in
+  ignore
+    (Domain_pool.run ~domains:4 (fun i ->
+         let slot = Metrics.Latency.slot lat in
+         for j = 1 to per_domain do
+           Metrics.Counter.incr c;
+           if j <= 100 then Metrics.Latency.record slot (float_of_int (i + 1))
+         done));
+  Alcotest.(check int) "atomic counter exact under contention" (4 * per_domain)
+    (Metrics.Counter.get c);
+  Alcotest.(check int) "all latency samples merged" 400 (Metrics.Latency.count lat);
+  let merged = Metrics.Latency.merged lat in
+  Alcotest.(check (float 1e-9)) "merged mean" 2.5 (Tally.mean merged)
+
+(* --- multi-domain TPC-C stress ------------------------------------------ *)
+
+module P = Acc_tpcc.Parallel_driver
+
+let stress_cfg system txns =
+  {
+    P.default_config with
+    P.system;
+    domains = 4;
+    duration = 60.0 (* safety net; txns_per_domain bounds the run *);
+    txns_per_domain = Some txns;
+    mix = P.New_order_payment;
+    seed = 11;
+  }
+
+let test_stress_acc () =
+  let r = P.run (stress_cfg P.Acc 250) in
+  Alcotest.(check (list string)) "no consistency violations" [] r.P.violations;
+  Alcotest.(check int) "no leaked locks" 0 r.P.leaked_locks;
+  Alcotest.(check int) "no leaked waiters" 0 r.P.leaked_waiters;
+  Alcotest.(check bool) "committed transactions" true (r.P.committed > 900);
+  Alcotest.(check int) "four domains reported" 4 (List.length r.P.per_domain_committed)
+
+let test_stress_2pl () =
+  let r = P.run (stress_cfg P.Baseline 100) in
+  Alcotest.(check (list string)) "no consistency violations" [] r.P.violations;
+  Alcotest.(check int) "no leaked locks" 0 r.P.leaked_locks;
+  Alcotest.(check int) "no leaked waiters" 0 r.P.leaked_waiters;
+  Alcotest.(check bool) "committed transactions" true (r.P.committed > 300)
+
+let suites =
+  [
+    ( "parallel.lock",
+      [
+        Alcotest.test_case "blocking handoff across domains" `Quick test_blocking_handoff;
+        Alcotest.test_case "detector breaks a cross-domain deadlock" `Quick
+          test_deadlock_kill;
+        Alcotest.test_case "victim policy spares compensating waiter" `Quick
+          test_victim_policy_spares_compensation;
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_parity;
+      ] );
+    ( "parallel.metrics",
+      [ Alcotest.test_case "counters and tallies across 4 domains" `Quick test_metrics_multicore ] );
+    ( "parallel.tpcc",
+      [
+        Alcotest.test_case "4 domains x 250 acc txns, consistent, no leaks" `Slow
+          test_stress_acc;
+        Alcotest.test_case "4 domains x 100 2pl txns, consistent, no leaks" `Slow
+          test_stress_2pl;
+      ] );
+  ]

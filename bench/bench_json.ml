@@ -1,0 +1,131 @@
+(* Machine-readable benchmark output: every bench mode writes a
+   BENCH_<mode>.json next to its human-readable tables, so trend tooling and
+   later PRs can consume the numbers without scraping stdout.  Schema is
+   versioned; everything is plain Json (lib/obs), no external dependency. *)
+
+module Json = Acc_obs.Json
+module Experiment = Acc_harness.Experiment
+module Figures = Acc_harness.Figures
+module Tally = Acc_util.Stats.Tally
+module Histogram = Acc_util.Metrics.Histogram
+module CA = Acc_obs.Conflict_accounting
+module P = Acc_tpcc.Parallel_driver
+
+let schema_version = 1
+
+let pct t p = Tally.percentile t p
+
+let tally_json t =
+  Json.Obj
+    [
+      ("count", Json.Int (Tally.count t));
+      ("mean", Json.Float (Tally.mean t));
+      ("p50", Json.Float (pct t 0.50));
+      ("p95", Json.Float (pct t 0.95));
+      ("p99", Json.Float (pct t 0.99));
+    ]
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("mean", Json.Float (Histogram.mean h));
+      ("p50", Json.Float (Histogram.percentile h 0.50));
+      ("p95", Json.Float (Histogram.percentile h 0.95));
+      ("p99", Json.Float (Histogram.percentile h 0.99));
+    ]
+
+let side_json (s : Experiment.side) =
+  Json.Obj
+    [
+      ("response_mean", Json.Float s.Experiment.s_response);
+      ("throughput", Json.Float s.Experiment.s_throughput);
+      ("deadlocks", Json.Float s.Experiment.s_deadlocks);
+      ("compensations", Json.Float s.Experiment.s_compensations);
+      ("cpu", Json.Float s.Experiment.s_cpu);
+      ("lock_wait", Json.Float s.Experiment.s_lock_wait);
+      ("violations", Json.Int s.Experiment.s_violations);
+    ]
+
+let point_json (p : Experiment.point) =
+  Json.Obj
+    [
+      ("label", Json.Str p.Experiment.p_label);
+      ("terminals", Json.Int p.Experiment.p_terminals);
+      ("response_ratio", Json.Float (Experiment.response_ratio p));
+      ("throughput_ratio", Json.Float (Experiment.throughput_ratio p));
+      ("base", side_json p.Experiment.p_base);
+      ("acc", side_json p.Experiment.p_acc);
+    ]
+
+let figure_json (f : Figures.figure) =
+  Json.Obj
+    [
+      ("id", Json.Str f.Figures.fig_id);
+      ("title", Json.Str f.Figures.title);
+      ("consistency_violations", Json.Int (Figures.consistency_violations f));
+      ( "series",
+        Json.List
+          (List.map
+             (fun (s : Figures.series) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str s.Figures.name);
+                   ("points", Json.List (List.map point_json s.Figures.points));
+                 ])
+             f.Figures.series) );
+    ]
+
+let parallel_report_json (r : P.report) =
+  Json.Obj
+    [
+      ("committed", Json.Int r.P.committed);
+      ("throughput", Json.Float r.P.throughput);
+      ("elapsed", Json.Float r.P.elapsed);
+      ("measured", Json.Float r.P.measured);
+      ("response", tally_json r.P.response);
+      ("forced_aborts", Json.Int r.P.forced_aborts);
+      ("compensations", Json.Int r.P.compensations);
+      ("deadlock_victims", Json.Int r.P.detector_victims);
+      ("leaked_locks", Json.Int r.P.leaked_locks);
+      ("leaked_waiters", Json.Int r.P.leaked_waiters);
+      ("violations", Json.Int (List.length r.P.violations));
+      ( "step_latency",
+        Json.List
+          (List.map
+             (fun (st, h) ->
+               match hist_json h with
+               | Json.Obj fields ->
+                   Json.Obj
+                     (("step_type", Json.Int st)
+                     :: ("label", Json.Str (P.step_label st))
+                     :: fields)
+               | j -> j)
+             r.P.step_hist) );
+      ( "conflicts",
+        Json.List (List.map (CA.row_to_json ~label:P.step_label) r.P.conflicts) );
+      ( "conflicts_by_txn_type",
+        Json.List
+          (List.map
+             (fun (name, row) ->
+               match CA.row_to_json row with
+               | Json.Obj fields ->
+                   Json.Obj
+                     (("txn_type", Json.Str name)
+                     :: List.filter (fun (k, _) -> k <> "label" && k <> "step_type") fields)
+               | j -> j)
+             (P.conflicts_by_txn_type r.P.conflicts)) );
+    ]
+
+let write ~mode sections =
+  let path = Printf.sprintf "BENCH_%s.json" mode in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.pretty_to_channel oc
+        (Json.Obj
+           (("schema_version", Json.Int schema_version)
+           :: ("mode", Json.Str mode)
+           :: sections)));
+  Format.printf "@.wrote %s@." path

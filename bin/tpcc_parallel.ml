@@ -8,6 +8,20 @@
 
 open Cmdliner
 module P = Acc_tpcc.Parallel_driver
+module CA = Acc_obs.Conflict_accounting
+
+let pp_conflicts_by_type r =
+  match P.conflicts_by_txn_type r.P.conflicts with
+  | [] -> ()
+  | by_type ->
+      Format.printf "lock decisions by transaction type:@.";
+      Format.printf "  %-14s %12s %12s %12s %12s@." "" "granted" "ACC-only"
+        "blk(conv)" "blk(assert)";
+      List.iter
+        (fun (name, row) ->
+          Format.printf "  %-14s %12d %12d %12d %12d@." name row.CA.r_granted_clean
+            row.CA.r_passed_2pl row.CA.r_blocked_conv row.CA.r_blocked_assert)
+        by_type
 
 let run_one cfg =
   let r = P.run cfg in
@@ -15,10 +29,11 @@ let run_one cfg =
     (match cfg.P.system with P.Acc -> "acc" | P.Baseline -> "2pl")
     cfg.P.domains cfg.P.shards cfg.P.params.Acc_tpcc.Params.warehouses cfg.P.seed;
   Format.printf "%a@." P.pp_report r;
+  pp_conflicts_by_type r;
   List.iter (fun v -> Format.printf "  violation: %s@." v) r.P.violations;
   r
 
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed =
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts trace trace_chrome =
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
   let mix =
     match mix with
@@ -26,6 +41,7 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
     | "nop" | "new-order-payment" -> P.New_order_payment
     | other -> failwith ("unknown mix: " ^ other)
   in
+  let ts = Trace_setup.configure ~jsonl:trace ~chrome:trace_chrome () in
   let cfg =
     {
       P.default_config with
@@ -40,6 +56,8 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
       params;
       mix;
       seed;
+      warmup;
+      accounting = conflicts;
     }
   in
   let systems =
@@ -55,6 +73,7 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
       Format.printf "acc/2pl throughput ratio: %.2f@."
         (if bl.P.throughput > 0.0 then acc.P.throughput /. bl.P.throughput else nan)
   | _ -> ());
+  Trace_setup.finish ts;
   let bad r =
     r.P.violations <> [] || r.P.leaked_locks > 0 || r.P.leaked_waiters > 0
   in
@@ -115,12 +134,41 @@ let detector_ms =
 
 let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+let warmup =
+  Arg.(
+    value & opt float 0.
+    & info [ "warmup" ] ~docv:"SECS"
+        ~doc:"Timed mode: skip recording for the first SECS seconds.")
+
+let conflicts =
+  Arg.(
+    value & flag
+    & info [ "conflicts" ]
+        ~doc:"Classify every lock decision (true conflict vs 2PL-only false \
+              conflict) and print the accounting per step and transaction type.")
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL event trace to FILE (also: ACC_TRACE env var).")
+
+let trace_chrome =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-chrome" ] ~docv:"FILE"
+        ~doc:"Write a chrome://tracing JSON trace to FILE (also: \
+              ACC_TRACE_CHROME env var).")
+
 let cmd =
   let doc = "run TPC-C on real domains against the sharded lock manager" in
   Cmd.v
     (Cmd.info "acc-tpcc-parallel" ~doc)
     Term.(
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
-      $ compute_ms $ skew $ mix $ detector_ms $ seed)
+      $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ trace
+      $ trace_chrome)
 
 let () = exit (Cmd.eval cmd)

@@ -32,7 +32,11 @@ let main system terminals servers horizon think compute_ms skew min_items max_it
       cpu_per_unit = 0.005;
     }
   in
+  (* ACC_TRACE / ACC_TRACE_CHROME collect a lock-decision trace of the run
+     (timestamps are virtual sim seconds) *)
+  let ts = Trace_setup.configure () in
   let r = Driver.run cfg in
+  Trace_setup.finish ts;
   Format.printf "system=%s terminals=%d servers=%d skew=%b compute=%.0fms seed=%d@."
     (match system with Driver.Acc -> "acc" | Driver.Baseline -> "baseline")
     terminals servers skew compute_ms seed;

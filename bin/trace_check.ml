@@ -1,0 +1,111 @@
+(* Validate a JSONL trace produced by ACC_TRACE / --trace.
+
+     acc-trace-check out.jsonl --require lock_grant --require-past-2pl
+
+   Checks, in order: every line parses as a JSON object with a known "ev"
+   name; the file ends with exactly one trace_summary line whose event count
+   matches the lines seen; no events were dropped (unless --allow-drops);
+   every --require'd event name appears; and with --require-past-2pl at
+   least one lock_grant carries past2pl > 0 (the "ACC passed where 2PL would
+   have blocked" signal).  Prints the per-event census; exit 1 on the first
+   violated check, so CI can gate on it. *)
+
+open Cmdliner
+module Json = Acc_obs.Json
+module Trace = Acc_obs.Trace
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline ("trace-check: " ^ s); exit 1) fmt
+
+let known = "trace_summary" :: Trace.all_event_names
+
+let main file requires require_past allow_drops =
+  let ic = try open_in file with Sys_error e -> fail "%s" e in
+  let counts = Hashtbl.create 32 in
+  let bump ev =
+    Hashtbl.replace counts ev (1 + Option.value ~default:0 (Hashtbl.find_opt counts ev))
+  in
+  let summary = ref None in
+  let events = ref 0 in
+  let past_2pl = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         if !summary <> None then fail "line %d: data after trace_summary" !lineno;
+         match Json.of_string line with
+         | Error e -> fail "line %d: %s" !lineno e
+         | Ok j -> (
+             match Option.bind (Json.member "ev" j) Json.to_str with
+             | None -> fail "line %d: no \"ev\" field" !lineno
+             | Some ev ->
+                 if not (List.mem ev known) then
+                   fail "line %d: unknown event %S" !lineno ev;
+                 bump ev;
+                 if ev = "trace_summary" then summary := Some (j, !lineno)
+                 else begin
+                   incr events;
+                   if
+                     ev = "lock_grant"
+                     && Option.bind (Json.member "past2pl" j) Json.to_int
+                        |> Option.value ~default:0 > 0
+                   then incr past_2pl
+                 end)
+       end
+     done
+   with End_of_file -> close_in ic);
+  let sj =
+    match !summary with
+    | None -> fail "no trace_summary line (truncated trace?)"
+    | Some (j, _) -> j
+  in
+  let field name =
+    match Option.bind (Json.member name sj) Json.to_int with
+    | Some n -> n
+    | None -> fail "trace_summary: missing %s" name
+  in
+  if field "events" <> !events then
+    fail "trace_summary says %d events, file has %d" (field "events") !events;
+  let dropped = field "dropped" in
+  if dropped > 0 && not allow_drops then
+    fail "%d events dropped (ring too small for this run?)" dropped;
+  List.iter
+    (fun ev ->
+      if not (List.mem ev known) then fail "--require %s: not an event name" ev;
+      if not (Hashtbl.mem counts ev) then fail "required event %s never occurred" ev)
+    requires;
+  if require_past && !past_2pl = 0 then
+    fail "no lock_grant with past2pl > 0 (expected ACC to pass where 2PL blocks)";
+  Format.printf "%s: OK, %d events (%d dropped)@." file !events dropped;
+  List.iter
+    (fun ev ->
+      match Hashtbl.find_opt counts ev with
+      | Some n when ev <> "trace_summary" -> Format.printf "  %-18s %8d@." ev n
+      | _ -> ())
+    known;
+  if !past_2pl > 0 then Format.printf "  %-18s %8d@." "(past-2PL grants)" !past_2pl
+
+let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl")
+
+let requires =
+  Arg.(
+    value & opt_all string []
+    & info [ "require" ] ~docv:"EV" ~doc:"Fail unless event $(docv) occurs (repeatable).")
+
+let require_past =
+  Arg.(
+    value & flag
+    & info [ "require-past-2pl" ]
+        ~doc:"Fail unless some lock_grant has past2pl > 0.")
+
+let allow_drops =
+  Arg.(value & flag & info [ "allow-drops" ] ~doc:"Tolerate dropped > 0.")
+
+let cmd =
+  let doc = "validate a JSONL trace emitted by the ACC binaries" in
+  Cmd.v
+    (Cmd.info "acc-trace-check" ~doc)
+    Term.(const main $ file $ requires $ require_past $ allow_drops)
+
+let () = exit (Cmd.eval cmd)

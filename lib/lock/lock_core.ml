@@ -57,6 +57,66 @@ let needs_child_sweep res ~mode =
 let find_covering holds ~txn ~mode =
   List.find_opt (fun h -> h.h_txn = txn && Mode.covers h.h_mode mode) holds
 
+(* --- decision classification (observability) ----------------------------
+
+   Pure post-hoc analysis of a grant/block decision, consumed by the tracing
+   and conflict-accounting layer.  Nothing here influences the decision
+   itself; the functions re-read the same hold/waiter lists the decision
+   used. *)
+
+(* One consultation of the interference oracle: which assertion was checked
+   against which step type, and did the request pass it.  [ac_step_type] is
+   the interfering step under test — the requester's step for writes hitting
+   a foreign assertion, the holder's step for checked assertional requests,
+   the compensating step type for compensation-lock pairs. *)
+type acheck = { ac_assertion : int; ac_step_type : int; ac_passed : bool }
+
+(* The oracle consultations a (held, requested) mode pair triggers — mirrors
+   the assertional arms of [Mode.conflicts].  [None] for pairs decided by the
+   static matrix. *)
+let assertional_check sem ~held ~held_step ~req ~requester =
+  match (held, req) with
+  | Mode.A a, Mode.X ->
+      let step = requester.Mode.req_step_type in
+      Some { ac_assertion = a; ac_step_type = step;
+             ac_passed = not (sem.Mode.step_interferes ~step_type:step ~assertion:a) }
+  | Mode.X, Mode.A a ->
+      Some { ac_assertion = a; ac_step_type = held_step;
+             ac_passed = not (sem.Mode.step_interferes ~step_type:held_step ~assertion:a) }
+  | Mode.A ha, Mode.A a when requester.Mode.req_admission ->
+      Some { ac_assertion = a; ac_step_type = held_step;
+             ac_passed = not (sem.Mode.prefix_interferes ~holder_assertion:ha ~assertion:a) }
+  | (Mode.Comp cs, Mode.A a | Mode.A a, Mode.Comp cs) ->
+      Some { ac_assertion = a; ac_step_type = cs;
+             ac_passed = not (sem.Mode.step_interferes ~step_type:cs ~assertion:a) }
+  | (Mode.IS | Mode.IX | Mode.S | Mode.X | Mode.A _ | Mode.Comp _), _ -> None
+
+let checks_against sem holds ~txn ~mode ~requester =
+  List.filter_map
+    (fun h ->
+      if h.h_txn = txn then None
+      else assertional_check sem ~held:h.h_mode ~held_step:h.h_step ~req:mode ~requester)
+    holds
+
+(* Foreign holds whose 2PL shadow conflicts with the request: on a granted
+   request this is the count of conflicts a conventional system would have
+   suffered — the paper's false conflicts, avoided. *)
+let past_2pl_count holds ~txn ~mode =
+  List.length
+    (List.filter
+       (fun h -> h.h_txn <> txn && Mode.twopl_would_block ~held:h.h_mode ~req:mode)
+       holds)
+
+let first_blocking_hold sem holds ~txn ~mode ~requester =
+  List.find_opt
+    (fun h -> h.h_txn <> txn && hold_conflict sem h ~mode ~requester)
+    holds
+
+let first_blocking_waiter sem waiters ~txn ~mode ~requester =
+  List.find_opt
+    (fun w -> w.w_txn <> txn && waiter_conflict sem w ~mode ~requester)
+    waiters
+
 (* BFS from [from]'s successors back to [from] over an explicit waits-for
    edge list: O(V + E), with parent pointers to reconstruct one witness
    cycle. *)

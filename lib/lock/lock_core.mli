@@ -43,6 +43,47 @@ val needs_child_sweep : Resource_id.t -> mode:Mode.t -> bool
 val find_covering : hold list -> txn:int -> mode:Mode.t -> hold option
 (** An existing hold of [txn] covering [mode] (re-entrant grant). *)
 
+(** {2 Decision classification}
+
+    Pure post-hoc analysis of a grant/block decision for the observability
+    layer (lib/obs): which interference checks the decision ran, what blocked
+    it, and whether a strict-2PL system would have blocked where the ACC did
+    not.  Never consulted on the decision path itself. *)
+
+type acheck = {
+  ac_assertion : int;  (** assertion id consulted *)
+  ac_step_type : int;  (** the potentially interfering step type under test *)
+  ac_passed : bool;  (** oracle said “does not interfere” *)
+}
+
+val assertional_check :
+  Mode.semantics ->
+  held:Mode.t ->
+  held_step:int ->
+  req:Mode.t ->
+  requester:Mode.requester ->
+  acheck option
+(** The interference-oracle consultation a (held, requested) pair triggers,
+    or [None] when the static matrix decides. *)
+
+val checks_against :
+  Mode.semantics -> hold list -> txn:int -> mode:Mode.t -> requester:Mode.requester ->
+  acheck list
+(** All oracle consultations a request runs against foreign holds. *)
+
+val past_2pl_count : hold list -> txn:int -> mode:Mode.t -> int
+(** Foreign holds whose {!Mode.twopl_shadow} conflicts with the request: on a
+    granted request, the false conflicts a conventional system would have
+    taken (the quantity of the paper's Figs. 2–4). *)
+
+val first_blocking_hold :
+  Mode.semantics -> hold list -> txn:int -> mode:Mode.t -> requester:Mode.requester ->
+  hold option
+
+val first_blocking_waiter :
+  Mode.semantics -> waiter list -> txn:int -> mode:Mode.t -> requester:Mode.requester ->
+  waiter option
+
 val find_cycle : edges:(int * int) list -> from:int -> int list option
 (** A waits-for cycle through [from] in the given edge list, as the list of
     transactions on the cycle (starting with [from]), if one exists. *)

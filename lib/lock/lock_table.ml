@@ -29,6 +29,37 @@ type entry = {
   mutable queue : waiter list; (* FIFO, head = next to be served *)
 }
 
+(* Observations of lock-manager decisions, for the observability layer
+   (lib/obs).  Emitted only when an observer is installed — the disabled path
+   is a single [None] match and allocates nothing. *)
+type decision =
+  | Dec_granted of {
+      past_2pl : int; (* foreign holds a strict-2PL system would have blocked on *)
+      reentrant : bool; (* covered by an own hold; no compatibility check ran *)
+      checks : Lock_core.acheck list; (* interference-oracle consultations *)
+    }
+  | Dec_blocked of {
+      blocker_txn : int;
+      blocker_mode : Mode.t;
+      blocker_waiting : bool; (* blocked behind a queued waiter (FIFO), not a holder *)
+      assertion : int option; (* set when the blocking conflict is assertional *)
+      interfering_step : int option;
+      checks : Lock_core.acheck list;
+    }
+
+type observation =
+  | Ob_request of {
+      or_txn : int;
+      or_step_type : int;
+      or_mode : Mode.t;
+      or_resource : Resource_id.t;
+      or_decision : decision;
+    }
+  | Ob_attach of { oa_txn : int; oa_step_type : int; oa_mode : Mode.t; oa_resource : Resource_id.t }
+  | Ob_wake of { ow_txn : int; ow_mode : Mode.t; ow_resource : Resource_id.t }
+  | Ob_release of { ol_txn : int; ol_mode : Mode.t; ol_resource : Resource_id.t }
+  | Ob_cancel of { oc_txn : int; oc_resource : Resource_id.t }
+
 type t = {
   sem : Mode.semantics;
   entries : entry Resource_id.Tbl.t;
@@ -38,6 +69,7 @@ type t = {
   mutable next_ticket : int;
   tickets : (ticket, waiter) Hashtbl.t; (* outstanding waits only *)
   by_txn : (int, unit Resource_id.Tbl.t) Hashtbl.t; (* txn -> resources held *)
+  mutable obs : (observation -> unit) option;
 }
 
 let create sem =
@@ -48,7 +80,10 @@ let create sem =
     next_ticket = 0;
     tickets = Hashtbl.create 64;
     by_txn = Hashtbl.create 64;
+    obs = None;
   }
+
+let set_observer t obs = t.obs <- obs
 
 let table_members t tname =
   match Hashtbl.find_opt t.by_table tname with
@@ -149,19 +184,95 @@ let add_hold t e ~txn ~step_type ~mode res =
   note_entry_active t res;
   note_held t ~txn res
 
+(* Post-hoc classification of a decision, for the observer.  Runs only when
+   an observer is installed; re-reads the same holds/queue the decision
+   used. *)
+let classify_decision t ~txn ~mode ~requester ~granted rel queue_ahead =
+  let checks = Lock_core.checks_against t.sem rel ~txn ~mode ~requester in
+  if granted then
+    Dec_granted
+      { past_2pl = Lock_core.past_2pl_count rel ~txn ~mode; reentrant = false; checks }
+  else
+    match Lock_core.first_blocking_hold t.sem rel ~txn ~mode ~requester with
+    | Some h ->
+        let ac = Lock_core.assertional_check t.sem ~held:h.h_mode ~held_step:h.h_step ~req:mode ~requester in
+        Dec_blocked
+          {
+            blocker_txn = h.h_txn;
+            blocker_mode = h.h_mode;
+            blocker_waiting = false;
+            assertion = Option.map (fun c -> c.Lock_core.ac_assertion) ac;
+            interfering_step = Option.map (fun c -> c.Lock_core.ac_step_type) ac;
+            checks;
+          }
+    | None -> (
+        match Lock_core.first_blocking_waiter t.sem queue_ahead ~txn ~mode ~requester with
+        | Some w ->
+            let ac =
+              Lock_core.assertional_check t.sem ~held:w.w_mode ~held_step:w.w_step ~req:mode ~requester
+            in
+            Dec_blocked
+              {
+                blocker_txn = w.w_txn;
+                blocker_mode = w.w_mode;
+                blocker_waiting = true;
+                assertion = Option.map (fun c -> c.Lock_core.ac_assertion) ac;
+                interfering_step = Option.map (fun c -> c.Lock_core.ac_step_type) ac;
+                checks;
+              }
+        | None ->
+            (* cannot happen: a blocked request conflicts somewhere; emit a
+               self-blocked marker rather than failing the observer *)
+            Dec_blocked
+              {
+                blocker_txn = txn;
+                blocker_mode = mode;
+                blocker_waiting = false;
+                assertion = None;
+                interfering_step = None;
+                checks;
+              })
+
 let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode res =
   let e = entry t res in
   match Lock_core.find_covering e.holds ~txn ~mode with
   | Some h ->
       h.h_count <- h.h_count + 1;
+      (match t.obs with
+      | None -> ()
+      | Some f ->
+          f
+            (Ob_request
+               {
+                 or_txn = txn;
+                 or_step_type = step_type;
+                 or_mode = mode;
+                 or_resource = res;
+                 or_decision = Dec_granted { past_2pl = 0; reentrant = true; checks = [] };
+               }));
       Granted
   | None ->
       let requester = Mode.{ req_step_type = step_type; req_admission = admission } in
       let upgrade = List.exists (fun h -> h.h_txn = txn) e.holds in
-      if
-        holds_compatible t res ~txn ~mode ~requester
+      let rel = relevant_holds t res ~mode in
+      let granted =
+        Lock_core.holds_compatible t.sem rel ~txn ~mode ~requester
         && (upgrade || queue_ahead_compatible t ~txn ~mode ~requester e.queue)
-      then begin
+      in
+      (match t.obs with
+      | None -> ()
+      | Some f ->
+          f
+            (Ob_request
+               {
+                 or_txn = txn;
+                 or_step_type = step_type;
+                 or_mode = mode;
+                 or_resource = res;
+                 or_decision =
+                   classify_decision t ~txn ~mode ~requester ~granted rel e.queue;
+               }));
+      if granted then begin
         add_hold t e ~txn ~step_type ~mode res;
         Granted
       end
@@ -188,6 +299,10 @@ let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode 
       end
 
 let attach t ~txn ~step_type mode res =
+  (match t.obs with
+  | None -> ()
+  | Some f ->
+      f (Ob_attach { oa_txn = txn; oa_step_type = step_type; oa_mode = mode; oa_resource = res }));
   let e = entry t res in
   match
     List.find_opt (fun h -> h.h_txn = txn && Mode.equal h.h_mode mode) e.holds
@@ -209,6 +324,10 @@ let promote_entry t e =
         then begin
           add_hold t e ~txn:w.w_txn ~step_type:w.w_step ~mode:w.w_mode w.w_resource;
           Hashtbl.remove t.tickets w.w_ticket;
+          (match t.obs with
+          | None -> ()
+          | Some f ->
+              f (Ob_wake { ow_txn = w.w_txn; ow_mode = w.w_mode; ow_resource = w.w_resource }));
           loop ({ woken_ticket = w.w_ticket; woken_txn = w.w_txn } :: granted) still_waiting rest
         end
         else loop granted (w :: still_waiting) rest
@@ -274,6 +393,9 @@ let release t ~txn mode res =
       end
       else begin
         e.holds <- List.filter (fun h' -> h' != h) e.holds;
+        (match t.obs with
+        | None -> ()
+        | Some f -> f (Ob_release { ol_txn = txn; ol_mode = mode; ol_resource = res }));
         forget_held_if_empty t ~txn res e;
         after_change t e
       end
@@ -295,6 +417,12 @@ let release_where t ~txn pred =
           end
           else begin
             e.holds <- kept;
+            (match t.obs with
+            | None -> ()
+            | Some f ->
+                List.iter
+                  (fun h -> f (Ob_release { ol_txn = txn; ol_mode = h.h_mode; ol_resource = res }))
+                  mine);
             forget_held_if_empty t ~txn res e;
             after_change t e
           end)
@@ -305,6 +433,9 @@ let cancel t ~ticket =
   | None -> []
   | Some w ->
       Hashtbl.remove t.tickets ticket;
+      (match t.obs with
+      | None -> ()
+      | Some f -> f (Ob_cancel { oc_txn = w.w_txn; oc_resource = w.w_resource }));
       let e = entry t w.w_resource in
       e.queue <- List.filter (fun w' -> w'.w_ticket <> ticket) e.queue;
       after_change t e

@@ -21,7 +21,54 @@ type grant = Granted | Queued of ticket
 
 type wakeup = { woken_ticket : ticket; woken_txn : int }
 
+(** {2 Decision observations}
+
+    Every grant/block decision, grant promotion, release and cancellation can
+    be reported to an installed observer — the feed the observability layer
+    (lib/obs) turns into trace events and conflict accounting.  With no
+    observer installed ({!create}'s default) the instrumentation is a single
+    [None] match per operation and allocates nothing. *)
+
+type decision =
+  | Dec_granted of {
+      past_2pl : int;
+          (** foreign holds whose {!Mode.twopl_shadow} conflicts with the
+              request: the false conflicts a strict-2PL system would have
+              taken where the ACC granted (Figs. 2–4's quantity) *)
+      reentrant : bool;  (** covered by an own hold; no compatibility check ran *)
+      checks : Lock_core.acheck list;  (** interference-oracle consultations *)
+    }
+  | Dec_blocked of {
+      blocker_txn : int;
+      blocker_mode : Mode.t;
+      blocker_waiting : bool;
+          (** blocked behind a queued waiter (FIFO discipline), not a holder *)
+      assertion : int option;  (** the assertion, when the conflict is assertional *)
+      interfering_step : int option;  (** the interfering step type, likewise *)
+      checks : Lock_core.acheck list;
+    }
+
+type observation =
+  | Ob_request of {
+      or_txn : int;
+      or_step_type : int;
+      or_mode : Mode.t;
+      or_resource : Resource_id.t;
+      or_decision : decision;
+    }
+  | Ob_attach of { oa_txn : int; oa_step_type : int; oa_mode : Mode.t; oa_resource : Resource_id.t }
+  | Ob_wake of { ow_txn : int; ow_mode : Mode.t; ow_resource : Resource_id.t }
+      (** a queued request granted by promotion after a release/cancel *)
+  | Ob_release of { ol_txn : int; ol_mode : Mode.t; ol_resource : Resource_id.t }
+      (** final release of a hold (re-entrant count reaching zero) *)
+  | Ob_cancel of { oc_txn : int; oc_resource : Resource_id.t }
+
 val create : Mode.semantics -> t
+
+val set_observer : t -> (observation -> unit) option -> unit
+(** Install (or clear) the decision observer.  The observer runs synchronously
+    inside lock-table operations — in the sharded table, under the shard
+    mutex — so it must be fast and must not call back into the table. *)
 
 val request :
   t ->

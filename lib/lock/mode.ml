@@ -60,6 +60,18 @@ let conflicts sem ~held ~held_step ~req ~requester =
   | Comp _, (IS | IX | S | X) | (IS | IX | S | X), Comp _ -> false
   | Comp _, Comp _ -> false
 
+(* The conventional lock a non-ACC (strict 2PL) system would hold in place of
+   each ACC mode: an assertional lock stands for the read locks of the steps
+   it protects (held to commit under 2PL), a compensation lock for the write
+   locks of the exposed items.  This is the shadow used by the conflict
+   accounting to measure the paper's false-conflict reduction: a request that
+   the ACC grants past a foreign hold whose shadow conflicts is exactly a
+   conflict the one-level design eliminated. *)
+let twopl_shadow = function A _ -> S | Comp _ -> X | (IS | IX | S | X) as m -> m
+
+let twopl_would_block ~held ~req =
+  conventional_conflict (twopl_shadow held) (twopl_shadow req)
+
 let pp ppf = function
   | IS -> Format.pp_print_string ppf "IS"
   | IX -> Format.pp_print_string ppf "IX"
@@ -69,3 +81,4 @@ let pp ppf = function
   | Comp c -> Format.fprintf ppf "Comp(%d)" c
 
 let equal (a : t) (b : t) = a = b
+let to_string m = Format.asprintf "%a" pp m

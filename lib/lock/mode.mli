@@ -60,5 +60,16 @@ val conflicts : semantics -> held:t -> held_step:int -> req:t -> requester:reque
     {e different} transaction (same-transaction pairs never conflict and must
     be filtered by the caller). *)
 
+val twopl_shadow : t -> t
+(** The conventional mode a strict-2PL system would hold in place of an ACC
+    mode: [A _] stands for read locks held to commit ([S]), [Comp _] for the
+    write locks of exposed items ([X]); conventional modes map to themselves. *)
+
+val twopl_would_block : held:t -> req:t -> bool
+(** Would a strict-2PL system have blocked this request?  Conflict of the
+    {!twopl_shadow}s — the hypothetical the conflict accounting charges a
+    request against to measure the paper's false-conflict reduction. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
+val to_string : t -> string

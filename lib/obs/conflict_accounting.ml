@@ -1,0 +1,144 @@
+module Lock_table = Acc_lock.Lock_table
+
+(* Four parallel arrays of atomic counters, indexed by step type; the last
+   slot is the shared overflow bucket.  Plain Atomic.incr per classified
+   request — no locks, so the lock-table observer can run this under a shard
+   mutex without widening the critical section meaningfully. *)
+type t = {
+  cap : int;
+  granted_clean : int Atomic.t array;
+  passed_2pl : int Atomic.t array;
+  blocked_conv : int Atomic.t array;
+  blocked_assert : int Atomic.t array;
+}
+
+let create ?(max_step_types = 64) () =
+  if max_step_types < 1 then invalid_arg "Conflict_accounting.create";
+  let mk () = Array.init (max_step_types + 1) (fun _ -> Atomic.make 0) in
+  {
+    cap = max_step_types;
+    granted_clean = mk ();
+    passed_2pl = mk ();
+    blocked_conv = mk ();
+    blocked_assert = mk ();
+  }
+
+let bucket t step_type =
+  if step_type >= 0 && step_type < t.cap then step_type else t.cap
+
+let observe t (ob : Lock_table.observation) =
+  match ob with
+  | Ob_request { or_step_type; or_decision; _ } -> (
+      let i = bucket t or_step_type in
+      match or_decision with
+      | Dec_granted { past_2pl; _ } ->
+          if past_2pl > 0 then Atomic.incr t.passed_2pl.(i)
+          else Atomic.incr t.granted_clean.(i)
+      | Dec_blocked { assertion = Some _; _ } -> Atomic.incr t.blocked_assert.(i)
+      | Dec_blocked { assertion = None; _ } -> Atomic.incr t.blocked_conv.(i))
+  | Ob_attach _ | Ob_wake _ | Ob_release _ | Ob_cancel _ -> ()
+
+type row = {
+  r_step_type : int;
+  r_granted_clean : int;
+  r_passed_2pl : int;
+  r_blocked_conv : int;
+  r_blocked_assert : int;
+}
+
+let row_total r = r.r_granted_clean + r.r_passed_2pl + r.r_blocked_conv + r.r_blocked_assert
+
+let rows t =
+  let out = ref [] in
+  for i = t.cap downto 0 do
+    let r =
+      {
+        r_step_type = (if i = t.cap then -1 else i);
+        r_granted_clean = Atomic.get t.granted_clean.(i);
+        r_passed_2pl = Atomic.get t.passed_2pl.(i);
+        r_blocked_conv = Atomic.get t.blocked_conv.(i);
+        r_blocked_assert = Atomic.get t.blocked_assert.(i);
+      }
+    in
+    if row_total r > 0 then out := r :: !out
+  done;
+  (* overflow bucket (step -1) sorts last, not first *)
+  let overflow, named = List.partition (fun r -> r.r_step_type = -1) !out in
+  named @ overflow
+
+let sum_rows step_type rs =
+  List.fold_left
+    (fun acc r ->
+      {
+        acc with
+        r_granted_clean = acc.r_granted_clean + r.r_granted_clean;
+        r_passed_2pl = acc.r_passed_2pl + r.r_passed_2pl;
+        r_blocked_conv = acc.r_blocked_conv + r.r_blocked_conv;
+        r_blocked_assert = acc.r_blocked_assert + r.r_blocked_assert;
+      })
+    {
+      r_step_type = step_type;
+      r_granted_clean = 0;
+      r_passed_2pl = 0;
+      r_blocked_conv = 0;
+      r_blocked_assert = 0;
+    }
+    rs
+
+let totals t = sum_rows (-1) (rows t)
+
+let merge_rows a b =
+  let keys =
+    List.sort_uniq Int.compare (List.map (fun r -> r.r_step_type) (a @ b))
+  in
+  let overflow, named = List.partition (fun k -> k = -1) keys in
+  List.map
+    (fun k -> sum_rows k (List.filter (fun r -> r.r_step_type = k) (a @ b)))
+    (named @ overflow)
+
+let default_label st = if st = -1 then "(other)" else Printf.sprintf "step %d" st
+
+let pp_table ?(label = default_label) ~header fmt rs =
+  let name r = if r.r_step_type = -1 then "(other)" else label r.r_step_type in
+  let width =
+    List.fold_left (fun w r -> max w (String.length (name r))) (String.length header) rs
+  in
+  let line name a b c d =
+    Format.fprintf fmt "  %-*s %12s %12s %12s %12s@," width name a b c d
+  in
+  Format.pp_open_vbox fmt 0;
+  line header "granted" "ACC-only" "blk(conv)" "blk(assert)";
+  List.iter
+    (fun r ->
+      line (name r)
+        (string_of_int r.r_granted_clean)
+        (string_of_int r.r_passed_2pl)
+        (string_of_int r.r_blocked_conv)
+        (string_of_int r.r_blocked_assert))
+    rs;
+  (if List.length rs > 1 then
+     let tot = sum_rows (-1) rs in
+     line "total"
+       (string_of_int tot.r_granted_clean)
+       (string_of_int tot.r_passed_2pl)
+       (string_of_int tot.r_blocked_conv)
+       (string_of_int tot.r_blocked_assert));
+  Format.pp_close_box fmt ()
+
+let row_to_json ?(label = default_label) r =
+  Json.Obj
+    [
+      ("step_type", Json.Int r.r_step_type);
+      ("label", Json.Str (if r.r_step_type = -1 then "(other)" else label r.r_step_type));
+      ("granted_clean", Json.Int r.r_granted_clean);
+      ("passed_despite_2pl", Json.Int r.r_passed_2pl);
+      ("blocked_conventional", Json.Int r.r_blocked_conv);
+      ("blocked_assertional", Json.Int r.r_blocked_assert);
+    ]
+
+let to_json ?label t =
+  Json.Obj
+    [
+      ("rows", Json.List (List.map (row_to_json ?label) (rows t)));
+      ("totals", row_to_json ?label (totals t));
+    ]

@@ -1,0 +1,63 @@
+(** Classify every lock-request decision by what a strict-2PL system would
+    have done, per requesting step type.
+
+    This measures the paper's central claim directly: assertional modes admit
+    interleavings 2PL forbids.  Each {!Acc_lock.Lock_table.Ob_request}
+    observation lands in exactly one class:
+
+    - {b granted_clean}: granted, and 2PL would have granted too (no foreign
+      hold's {!Acc_lock.Mode.twopl_shadow} conflicts).
+    - {b passed_despite_2pl}: granted, but at least one foreign hold would
+      have blocked a strict-2PL request — the false conflicts ACC removes.
+    - {b blocked_assertional}: blocked by an interference-table hit (the
+      assertion genuinely fails against a concurrent step) — a {e true}
+      conflict.
+    - {b blocked_conventional}: blocked on conventional mode incompatibility
+      (IS/IX/S/X lattice or FIFO queue discipline).
+
+    Counters are [Atomic.t]s bucketed by step type, so accounting is
+    domain-safe and adds two atomic increments per classified request.  Live
+    reads are approximate while workers run; exact after they join (same
+    contract as {!Acc_util.Metrics}). *)
+
+type t
+
+val create : ?max_step_types:int -> unit -> t
+(** [max_step_types] bounds the per-step-type table (default 64).  Step types
+    at or beyond the bound share a single overflow bucket reported as step
+    type [-1]. *)
+
+val observe : t -> Acc_lock.Lock_table.observation -> unit
+(** Classify an observation.  Only [Ob_request] updates counters; attach,
+    wake, release and cancel observations are ignored. *)
+
+type row = {
+  r_step_type : int;  (** [-1] is the overflow bucket *)
+  r_granted_clean : int;
+  r_passed_2pl : int;
+  r_blocked_conv : int;
+  r_blocked_assert : int;
+}
+
+val row_total : row -> int
+
+val rows : t -> row list
+(** Rows with at least one classified request, in step-type order. *)
+
+val totals : t -> row
+(** Sum over all rows, reported with [r_step_type = -1]. *)
+
+val merge_rows : row list -> row list -> row list
+(** Pointwise sum, matching rows by step type (for folding per-worker or
+    per-transaction-type tables together). *)
+
+val pp_table :
+  ?label:(int -> string) -> header:string -> Format.formatter -> row list -> unit
+(** Render rows as an aligned table.  [label] names a step type (defaults to
+    ["step <n>"]); a totals row is appended when more than one row prints. *)
+
+val row_to_json : ?label:(int -> string) -> row -> Json.t
+
+val to_json : ?label:(int -> string) -> t -> Json.t
+(** [{ "rows": [...], "totals": {...} }] — the shape embedded in
+    [BENCH_<mode>.json] and the [--conflicts] driver output. *)

@@ -1,0 +1,36 @@
+(** A minimal JSON tree: render and parse, no external dependencies.
+
+    This exists so the observability layer (trace drains, bench summaries)
+    can emit and verify machine-readable output without adding a package the
+    container may not have.  It covers the JSON subset those producers use:
+    finite floats, UTF-8 passed through verbatim, [\u....] escapes decoded to
+    raw bytes only for the ASCII range. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace). *)
+
+val to_channel : out_channel -> t -> unit
+
+val pretty_to_channel : out_channel -> t -> unit
+(** Two-space-indented rendering, for the bench summaries humans also read. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; [Error msg] carries the byte offset of the fault.
+    Trailing non-whitespace input is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else or a missing key. *)
+
+val to_int : t -> int option
+(** [Int n] (or an integral [Float]) as an int. *)
+
+val to_str : t -> string option

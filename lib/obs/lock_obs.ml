@@ -1,0 +1,47 @@
+module Lock_table = Acc_lock.Lock_table
+module Lock_core = Acc_lock.Lock_core
+
+let emit_checks txn (checks : Lock_core.acheck list) =
+  List.iter
+    (fun (c : Lock_core.acheck) ->
+      Trace.emit
+        (Trace.Assertion_check
+           {
+             txn;
+             assertion = c.ac_assertion;
+             interfering_step = c.ac_step_type;
+             passed = c.ac_passed;
+           }))
+    checks
+
+let observer ?accounting () (ob : Lock_table.observation) =
+  (match accounting with Some acc -> Conflict_accounting.observe acc ob | None -> ());
+  if Trace.enabled () then
+    match ob with
+    | Ob_request { or_txn = txn; or_step_type = step_type; or_mode = mode;
+                   or_resource = resource; or_decision } -> (
+        Trace.emit (Trace.Lock_request { txn; step_type; mode; resource });
+        match or_decision with
+        | Dec_granted { past_2pl; reentrant; checks } ->
+            emit_checks txn checks;
+            Trace.emit
+              (Trace.Lock_grant { txn; step_type; mode; resource; past_2pl; reentrant })
+        | Dec_blocked
+            { blocker_txn; blocker_mode; blocker_waiting; assertion; interfering_step;
+              checks } ->
+            emit_checks txn checks;
+            Trace.emit
+              (Trace.Lock_block
+                 {
+                   txn; step_type; mode; resource; blocker_txn; blocker_mode;
+                   blocker_waiting; assertion; interfering_step;
+                 }))
+    | Ob_attach { oa_txn = txn; oa_step_type = step_type; oa_mode = mode;
+                  oa_resource = resource } ->
+        Trace.emit (Trace.Lock_attach { txn; step_type; mode; resource })
+    | Ob_wake { ow_txn = txn; ow_mode = mode; ow_resource = resource } ->
+        Trace.emit (Trace.Lock_wake { txn; mode; resource })
+    | Ob_release { ol_txn = txn; ol_mode = mode; ol_resource = resource } ->
+        Trace.emit (Trace.Lock_release { txn; mode; resource })
+    | Ob_cancel { oc_txn = txn; oc_resource = resource } ->
+        Trace.emit (Trace.Lock_cancel { txn; resource })

@@ -1,0 +1,21 @@
+(** The bridge from the lock layer's observation feed to the observability
+    layer: one function to install as {!Acc_lock.Lock_table.set_observer} (or
+    {!Acc_parallel.Sharded_lock_table.set_observer}) that fans each
+    observation out to {!Trace} events and, optionally, a
+    {!Conflict_accounting} table. *)
+
+val observer :
+  ?accounting:Conflict_accounting.t ->
+  unit ->
+  Acc_lock.Lock_table.observation -> unit
+(** [observer ?accounting ()] returns a lock-table observer that
+
+    - feeds every [Ob_request] to [accounting] when given;
+    - when {!Trace.enabled}, emits [Lock_request] followed by one
+      [Assertion_check] per interference-oracle consultation the decision
+      recorded, then [Lock_grant] or [Lock_block]; and [Lock_attach],
+      [Lock_wake], [Lock_release], [Lock_cancel] for the other observations.
+
+    With tracing disabled and no accounting, the observer is a no-op — but
+    prefer installing [None] as the observer in that case so the lock table
+    skips constructing observations entirely. *)

@@ -1,5 +1,6 @@
 module Lock_core = Acc_lock.Lock_core
 module Counter = Acc_util.Metrics.Counter
+module Trace = Acc_obs.Trace
 
 (* Periodic background sweep over the global waits-for graph.
 
@@ -23,13 +24,20 @@ let sweep locks =
       match Lock_core.find_cycle ~edges ~from:txn with
       | None -> killed
       | Some cycle ->
+          if Trace.enabled () then Trace.emit (Trace.Deadlock_cycle { cycle });
           let victims =
             Lock_core.victim_policy
               ~is_compensating:(fun v -> Sharded_lock_table.compensating_waiter locks ~txn:v)
               ~requester:txn ~cycle
           in
+          (* §3.4: the requester was spared iff it is compensating and the
+             policy shifted the abort onto the transactions delaying it *)
+          let spared_compensating = not (List.mem txn victims) in
           List.fold_left
-            (fun k v -> k + Sharded_lock_table.kill locks ~txn:v)
+            (fun k v ->
+              if Trace.enabled () then
+                Trace.emit (Trace.Victim { txn = v; spared_compensating });
+              k + Sharded_lock_table.kill locks ~txn:v)
             killed victims)
     0 waiters
 

@@ -44,6 +44,14 @@ let create ?(shards = default_shards) sem =
   }
 
 let n_shards t = Array.length t.shards
+
+let set_observer t obs =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mu;
+      Lock_table.set_observer s.table obs;
+      Mutex.unlock s.mu)
+    t.shards
 let shard_index t res = Hashtbl.hash (Resource_id.table_of res) mod n_shards t
 
 (* ticket encoding: local tickets are per-shard counters, so globalize as

@@ -20,6 +20,13 @@ val default_shards : int
 val create : ?shards:int -> Acc_lock.Mode.semantics -> t
 val n_shards : t -> int
 
+val set_observer : t -> (Acc_lock.Lock_table.observation -> unit) option -> unit
+(** Install (or clear) one decision observer on every shard.  The observer
+    runs under the owning shard's mutex, possibly from several domains at
+    once (different shards), so it must be domain-safe, fast, and must not
+    call back into the table — {!Acc_obs.Lock_obs.observer} satisfies all
+    three. *)
+
 val shard_index : t -> Acc_lock.Resource_id.t -> int
 
 (* synchronous surface *)

@@ -6,6 +6,17 @@ module Runtime = Acc_core.Runtime
 module Sim = Acc_sim.Sim
 module Prng = Acc_util.Prng
 module Tally = Acc_util.Stats.Tally
+module Trace = Acc_obs.Trace
+module Lock_obs = Acc_obs.Lock_obs
+
+let trace_deadlock ~requester ~cycle ~victims =
+  if Trace.enabled () then begin
+    Trace.emit (Trace.Deadlock_cycle { cycle });
+    let spared_compensating = not (List.mem requester victims) in
+    List.iter
+      (fun v -> Trace.emit (Trace.Victim { txn = v; spared_compensating }))
+      victims
+  end
 
 type system = Baseline | Acc
 
@@ -129,6 +140,7 @@ let with_txn_effects : type r. state -> (unit -> r) -> r =
                       | None -> false
                       | Some cycle ->
                           let victims = Runtime.victim_policy locks ~requester:txn ~cycle in
+                          trace_deadlock ~requester:txn ~cycle ~victims;
                           List.iter (fun v -> if v <> txn then kill_waiter st v) victims;
                           List.mem txn victims
                     in
@@ -189,6 +201,11 @@ let run cfg =
   Executor.set_on_wakeup eng (deliver_wakeups st);
   Executor.set_charge eng (fun units ->
       if units > 0.0 then Sim.Resource.use servers_pool (units *. cfg.cpu_per_unit));
+  (* step durations in virtual time; lock decisions to the trace when one is
+     being collected (ACC_TRACE / --trace in the CLI) *)
+  Executor.set_clock eng (fun () -> Sim.now sim);
+  if Trace.enabled () then
+    Lock_table.set_observer (Executor.locks eng) (Some (Lock_obs.observer ()));
   let response = Tally.create () in
   let per_type = Hashtbl.create 8 in
   let type_tally name =
@@ -289,6 +306,7 @@ let run cfg =
           match Lock_table.find_cycle locks ~from:txn with
           | Some cycle ->
               let victims = Runtime.victim_policy locks ~requester:txn ~cycle in
+              trace_deadlock ~requester:txn ~cycle ~victims;
               List.iter (fun v -> kill_waiter st v) victims
           | None -> ())
         parked_txns;

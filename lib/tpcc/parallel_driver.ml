@@ -12,6 +12,10 @@ module Mode = Acc_lock.Mode
 module Prng = Acc_util.Prng
 module Metrics = Acc_util.Metrics
 module Tally = Acc_util.Stats.Tally
+module Program = Acc_core.Program
+module Trace = Acc_obs.Trace
+module Conflict_accounting = Acc_obs.Conflict_accounting
+module Lock_obs = Acc_obs.Lock_obs
 
 type system = Baseline | Acc
 
@@ -35,6 +39,12 @@ type config = {
   params : Params.t;
   mix : mix;
   acc_options : Runtime.options;
+  warmup : float;
+      (** duration-mode only: outcomes and latencies are recorded only after
+          this many seconds.  Gating at the source is what keeps the shared
+          counters tear-free (see the {!Acc_util.Metrics} contract) — there is
+          no mid-run reset. *)
+  accounting : bool;  (** classify every lock decision ({!Conflict_accounting}) *)
 }
 
 let default_config =
@@ -52,6 +62,8 @@ let default_config =
     params = Params.default;
     mix = Standard;
     acc_options = Runtime.default_options;
+    warmup = 0.0;
+    accounting = false;
   }
 
 type report = {
@@ -61,13 +73,74 @@ type report = {
   detector_victims : int;
   detector_sweeps : int;
   response : Tally.t;
-  elapsed : float;
-  throughput : float;  (** committed transactions per second *)
+  elapsed : float;  (** whole run, warmup included *)
+  measured : float;  (** the recording window: [elapsed - warmup], clamped *)
+  throughput : float;  (** committed transactions per second of [measured] *)
   per_domain_committed : int list;
   violations : string list;
   leaked_locks : int;
   leaked_waiters : int;
+  step_hist : (int * Metrics.Histogram.t) list;
+      (** per-step-type latency histograms (step type, histogram), non-empty
+          buckets only; empty for the flat baseline, which has no steps *)
+  conflicts : Conflict_accounting.row list;
+      (** lock-decision classification per step type; empty unless
+          [cfg.accounting] *)
 }
+
+(* step-type naming, shared with the CLI and bench output *)
+let workload_steps = lazy (Program.all_steps Txns.workload)
+
+let step_def id =
+  List.find_opt (fun s -> s.Program.sd_id = id) (Lazy.force workload_steps)
+
+let step_label id =
+  match step_def id with
+  | Some s when s.Program.sd_txn_type <> "" ->
+      s.Program.sd_txn_type ^ "." ^ s.Program.sd_name
+  | Some s -> s.Program.sd_name
+  | None ->
+      if id = Program.legacy_step_id then "legacy" else Printf.sprintf "step %d" id
+
+let step_txn_type id =
+  match step_def id with
+  | Some s when s.Program.sd_txn_type <> "" -> Some s.Program.sd_txn_type
+  | Some _ | None -> None
+
+(* Aggregate per-step-type conflict rows up to TPC-C transaction types.
+   Steps of undeclared type (the flat baseline's legacy step 0, overflow)
+   land under "(flat)". *)
+let conflicts_by_txn_type conflicts =
+  let open Conflict_accounting in
+  let name_of row =
+    match step_txn_type row.r_step_type with Some t -> t | None -> "(flat)"
+  in
+  let names = List.sort_uniq String.compare (List.map name_of conflicts) in
+  List.map
+    (fun name ->
+      let agg =
+        List.fold_left
+          (fun a row ->
+            if name_of row <> name then a
+            else
+              {
+                a with
+                r_granted_clean = a.r_granted_clean + row.r_granted_clean;
+                r_passed_2pl = a.r_passed_2pl + row.r_passed_2pl;
+                r_blocked_conv = a.r_blocked_conv + row.r_blocked_conv;
+                r_blocked_assert = a.r_blocked_assert + row.r_blocked_assert;
+              })
+          {
+            r_step_type = -1;
+            r_granted_clean = 0;
+            r_passed_2pl = 0;
+            r_blocked_conv = 0;
+            r_blocked_assert = 0;
+          }
+          conflicts
+      in
+      (name, agg))
+    names
 
 let gen_mixed_input cfg env =
   match cfg.mix with
@@ -88,6 +161,18 @@ let run cfg =
     Engine.create ~shards:cfg.shards ~detector_cadence:cfg.detector_cadence ~sem db
   in
   let eng = Engine.executor engine in
+  let max_step_id =
+    List.fold_left
+      (fun m s -> max m s.Program.sd_id)
+      Program.legacy_step_id (Lazy.force workload_steps)
+  in
+  let hists = Array.init (max_step_id + 1) (fun _ -> Metrics.Histogram.create ()) in
+  let accounting =
+    if cfg.accounting then Some (Conflict_accounting.create ()) else None
+  in
+  if cfg.accounting || Trace.enabled () then
+    Sharded_lock_table.set_observer (Engine.locks engine)
+      (Some (Lock_obs.observer ?accounting ()));
   let committed = Metrics.Counter.create () in
   let forced_aborts = Metrics.Counter.create () in
   let compensations = Metrics.Counter.create () in
@@ -109,6 +194,18 @@ let run cfg =
   in
   let started = Unix.gettimeofday () in
   let deadline = started +. cfg.duration in
+  (* warmup applies to duration mode only; fixed-count runs record everything *)
+  let record_after =
+    started +. (if cfg.txns_per_domain = None then Float.max 0.0 cfg.warmup else 0.0)
+  in
+  let recording =
+    if record_after <= started then fun () -> true
+    else fun () -> Unix.gettimeofday () >= record_after
+  in
+  Executor.set_clock eng Unix.gettimeofday;
+  Executor.set_on_step_end eng (fun ~step_type ~dur ->
+      if step_type >= 0 && step_type < Array.length hists && recording () then
+        Metrics.Histogram.record hists.(step_type) dur);
   let worker i =
     let env = envs.(i) in
     let backoff_g = Prng.create ~seed:((cfg.seed * 7919) + i) in
@@ -146,16 +243,17 @@ let run cfg =
               end)
       in
       let t1 = Unix.gettimeofday () in
-      (match outcome with
-      | `Done ->
-          Metrics.Counter.incr committed;
-          incr mine;
-          Metrics.Latency.record slot (t1 -. t0)
-      | `Forced_abort -> Metrics.Counter.incr forced_aborts
-      | `Forced_abort_compensated ->
-          Metrics.Counter.incr forced_aborts;
-          Metrics.Counter.incr compensations
-      | `Compensated -> Metrics.Counter.incr compensations)
+      if recording () then
+        match outcome with
+        | `Done ->
+            Metrics.Counter.incr committed;
+            incr mine;
+            Metrics.Latency.record slot (t1 -. t0)
+        | `Forced_abort -> Metrics.Counter.incr forced_aborts
+        | `Forced_abort_compensated ->
+            Metrics.Counter.incr forced_aborts;
+            Metrics.Counter.incr compensations
+        | `Compensated -> Metrics.Counter.incr compensations
     done;
     !mine
   in
@@ -165,22 +263,44 @@ let run cfg =
      it is what unwedges the final stragglers' deadlocks *)
   Engine.shutdown engine;
   let locks = Engine.locks engine in
+  let measured = Float.max 0.0 (elapsed -. (record_after -. started)) in
   {
     committed = Metrics.Counter.get committed;
     forced_aborts = Metrics.Counter.get forced_aborts;
     compensations = Metrics.Counter.get compensations;
     detector_victims = Acc_parallel.Deadlock_detector.victims (Engine.detector engine);
     detector_sweeps = Acc_parallel.Deadlock_detector.sweeps (Engine.detector engine);
-    response = Metrics.Latency.merged response;
+    response = Metrics.Latency.snapshot response;
     elapsed;
+    measured;
     throughput =
-      (if elapsed > 0.0 then float_of_int (Metrics.Counter.get committed) /. elapsed
+      (if measured > 0.0 then float_of_int (Metrics.Counter.get committed) /. measured
        else 0.0);
     per_domain_committed;
     violations = Consistency.check (Executor.db eng);
     leaked_locks = Sharded_lock_table.lock_count locks;
     leaked_waiters = Sharded_lock_table.waiter_count locks;
+    step_hist =
+      List.filter
+        (fun (_, h) -> Metrics.Histogram.count h > 0)
+        (List.mapi (fun i h -> (i, h)) (Array.to_list hists));
+    conflicts =
+      (match accounting with Some a -> Conflict_accounting.rows a | None -> []);
   }
+
+let pp_step_hist ppf hist =
+  Format.fprintf ppf "@[<v>step latency (s)     %-24s %8s %10s %10s %10s@,"
+    "" "count" "p50" "p95" "p99";
+  List.iter
+    (fun (st, h) ->
+      Format.fprintf ppf "                     %-24s %8d %10.6f %10.6f %10.6f@,"
+        (step_label st)
+        (Metrics.Histogram.count h)
+        (Metrics.Histogram.percentile h 0.50)
+        (Metrics.Histogram.percentile h 0.95)
+        (Metrics.Histogram.percentile h 0.99))
+    hist;
+  Format.pp_close_box ppf ()
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -196,4 +316,9 @@ let pp_report ppf r =
     r.leaked_locks r.leaked_waiters
     (match r.violations with
     | [] -> "OK"
-    | v -> Printf.sprintf "%d VIOLATION(S)" (List.length v))
+    | v -> Printf.sprintf "%d VIOLATION(S)" (List.length v));
+  if r.step_hist <> [] then Format.fprintf ppf "@.%a" pp_step_hist r.step_hist;
+  if r.conflicts <> [] then
+    Format.fprintf ppf "@.%a"
+      (Conflict_accounting.pp_table ~label:step_label ~header:"lock decisions")
+      r.conflicts

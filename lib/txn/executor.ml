@@ -8,6 +8,7 @@ module Lock_table = Acc_lock.Lock_table
 module Log = Acc_wal.Log
 module Record = Acc_wal.Record
 module Recovery = Acc_wal.Recovery
+module Trace = Acc_obs.Trace
 
 (* A pluggable lock manager: the sequential backend queues on the
    single-threaded [Lock_table] and suspends via the [Wait_lock] effect (the
@@ -38,6 +39,10 @@ type config = {
   mutable on_wakeup : Lock_table.wakeup list -> unit;
   mutable charge : float -> unit;
   mutable trace : (int -> [ `R | `W ] -> Resource_id.t -> unit) option;
+  mutable clock : unit -> float;
+  (* time source for step latencies: the simulator installs virtual time, the
+     parallel driver wall-clock; default (constantly 0) yields 0 durations *)
+  mutable on_step_end : step_type:int -> dur:float -> unit;
   mutable table_wrap : table_wrap;
   (* every storage-engine access runs inside [table_wrap.wrap tname]; the
      parallel engine installs a per-table mutex here so hashtable/index
@@ -66,6 +71,7 @@ type ctx = {
   mutable undo_stack : Record.write list; (* newest first *)
   mutable on_lock : Resource_id.t -> Mode.t -> unit;
   mutable on_before_lock : Resource_id.t -> Mode.t -> unit;
+  mutable step_t0 : float;
   mutable finished : bool;
 }
 
@@ -80,6 +86,8 @@ let make ?(cost = Cost_model.default) backend db =
         on_wakeup = (fun _ -> ());
         charge = (fun _ -> ());
         trace = None;
+        clock = (fun () -> 0.);
+        on_step_end = (fun ~step_type:_ ~dur:_ -> ());
         table_wrap = { wrap = (fun _ f -> f ()) };
       };
     next_txn = Atomic.make 1;
@@ -100,6 +108,8 @@ let log t = t.log
 let set_on_wakeup t f = t.config.on_wakeup <- f
 let set_charge t f = t.config.charge <- f
 let set_trace t f = t.config.trace <- f
+let set_clock t f = t.config.clock <- f
+let set_on_step_end t f = t.config.on_step_end <- f
 let set_table_wrap t w = t.config.table_wrap <- w
 let charge t units = t.config.charge units
 let cost t = t.cost
@@ -147,6 +157,7 @@ let begin_txn t ~txn_type ~multi_step =
   let txn = Atomic.fetch_and_add t.next_txn 1 in
   Atomic.incr t.active;
   ignore (Log.append t.log (Record.Begin { txn; txn_type; multi_step }));
+  if Trace.enabled () then Trace.emit (Trace.Txn_begin { txn; txn_type });
   {
     eng = t;
     txn;
@@ -158,6 +169,7 @@ let begin_txn t ~txn_type ~multi_step =
     undo_stack = [];
     on_lock = (fun _ _ -> ());
     on_before_lock = (fun _ _ -> ());
+    step_t0 = 0.;
     finished = false;
   }
 
@@ -167,7 +179,13 @@ let engine ctx = ctx.eng
 
 let set_step ctx ~step_type ~step_index =
   ctx.step_type <- step_type;
-  ctx.step_index <- step_index
+  ctx.step_index <- step_index;
+  ctx.step_t0 <- ctx.eng.config.clock ();
+  if Trace.enabled () then
+    if ctx.compensating then
+      (* the runtime enters the compensating step at index completed+1 *)
+      Trace.emit (Trace.Comp_run { txn = ctx.txn; step_type; from_step = step_index })
+    else Trace.emit (Trace.Step_begin { txn = ctx.txn; step_type; step_index })
 
 let step_type ctx = ctx.step_type
 let step_index ctx = ctx.step_index
@@ -381,6 +399,10 @@ let end_step ctx ~comp_area =
   | None -> ());
   ignore (Log.append ctx.eng.log (Record.Step_end { txn = ctx.txn; step_index = ctx.step_index }));
   charge ctx.eng ctx.eng.cost.step_end;
+  ctx.eng.config.on_step_end ~step_type:ctx.step_type
+    ~dur:(ctx.eng.config.clock () -. ctx.step_t0);
+  if Trace.enabled () then
+    Trace.emit (Trace.Step_end { txn = ctx.txn; step_index = ctx.step_index });
   ctx.undo_stack <- []
 
 let release_locks ctx pred = lock_release_where ctx.eng ~txn:ctx.txn pred
@@ -393,6 +415,7 @@ let finish ctx =
 let commit ctx =
   assert (not ctx.finished);
   ignore (Log.append ctx.eng.log (Record.Commit { txn = ctx.txn }));
+  if Trace.enabled () then Trace.emit (Trace.Txn_commit { txn = ctx.txn });
   finish ctx;
   release_everything ctx
 
@@ -400,12 +423,16 @@ let abort_physical ctx =
   assert (not ctx.finished);
   rollback_current_step ctx;
   ignore (Log.append ctx.eng.log (Record.Abort { txn = ctx.txn }));
+  if Trace.enabled () then
+    Trace.emit (Trace.Txn_abort { txn = ctx.txn; compensated = false });
   finish ctx;
   release_everything ctx
 
 let finish_compensated ctx =
   assert (not ctx.finished);
   ignore (Log.append ctx.eng.log (Record.Abort { txn = ctx.txn }));
+  if Trace.enabled () then
+    Trace.emit (Trace.Txn_abort { txn = ctx.txn; compensated = true });
   finish ctx;
   release_everything ctx
 

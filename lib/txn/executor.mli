@@ -68,6 +68,16 @@ val set_charge : t -> (float -> unit) -> unit
 val set_trace : t -> (int -> [ `R | `W ] -> Acc_lock.Resource_id.t -> unit) option -> unit
 (** Access trace for the serializability checker. *)
 
+val set_clock : t -> (unit -> float) -> unit
+(** Time source for per-step latency: the simulator installs virtual time,
+    the parallel driver [Unix.gettimeofday].  Default: constantly [0.], so
+    uninstrumented engines measure nothing and pay one call per step. *)
+
+val set_on_step_end : t -> (step_type:int -> dur:float -> unit) -> unit
+(** Called at every {!end_step} with the step's design-time type and its
+    duration by {!set_clock}'s time source; the TPC-C drivers feed this into
+    per-step-type latency histograms.  Default: ignore. *)
+
 type table_wrap = { wrap : 'a. string -> (unit -> 'a) -> 'a }
 
 val set_table_wrap : t -> table_wrap -> unit

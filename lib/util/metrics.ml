@@ -6,6 +6,7 @@ module Counter = struct
   let add t n = ignore (Atomic.fetch_and_add t n)
   let get t = Atomic.get t
   let reset t = Atomic.set t 0
+  let drain t = Atomic.exchange t 0
 end
 
 module Latency = struct
@@ -30,6 +31,88 @@ module Latency = struct
   let merged t =
     List.fold_left Stats.Tally.merge (Stats.Tally.create ()) (Atomic.get t)
 
+  let snapshot = merged
+
   let count t =
     List.fold_left (fun acc tally -> acc + Stats.Tally.count tally) 0 (Atomic.get t)
+end
+
+module Histogram = struct
+  (* Fixed log-scale buckets: bucket [i] counts values in
+     (base * 2^(i-1), base * 2^i], bucket 0 everything <= base, the last
+     bucket everything larger than its lower bound.  Recording is two atomic
+     adds and no allocation, so it is safe (and cheap) from every worker
+     domain; percentile reads walk the cumulative counts and interpolate
+     linearly inside the winning bucket. *)
+
+  type t = {
+    base : float;  (* upper bound of bucket 0, in the recorded unit *)
+    counts : int Atomic.t array;
+    total : int Atomic.t;
+    sum_ns : int Atomic.t;  (* sum scaled by 1e9 to stay an atomic int *)
+  }
+
+  let default_base = 1e-6
+  let default_buckets = 48
+
+  let create ?(base = default_base) ?(buckets = default_buckets) () =
+    if base <= 0. || buckets < 2 then invalid_arg "Histogram.create";
+    {
+      base;
+      counts = Array.init buckets (fun _ -> Atomic.make 0);
+      total = Atomic.make 0;
+      sum_ns = Atomic.make 0;
+    }
+
+  let bucket_of t v =
+    if not (v > t.base) then 0
+    else
+      let i = 1 + int_of_float (Float.floor (Float.log2 (v /. t.base) -. 1e-9)) in
+      min i (Array.length t.counts - 1)
+
+  let record t v =
+    let v = if Float.is_nan v || v < 0. then 0. else v in
+    Atomic.incr t.counts.(bucket_of t v);
+    ignore (Atomic.fetch_and_add t.total 1);
+    ignore (Atomic.fetch_and_add t.sum_ns (int_of_float (v *. 1e9)))
+
+  let count t = Atomic.get t.total
+  let total t = float_of_int (Atomic.get t.sum_ns) /. 1e9
+  let mean t = if count t = 0 then nan else total t /. float_of_int (count t)
+
+  let bounds t i =
+    (* (lo, hi] of bucket i; bucket 0 starts at 0 *)
+    let hi = t.base *. Float.pow 2. (float_of_int i) in
+    let lo = if i = 0 then 0. else t.base *. Float.pow 2. (float_of_int (i - 1)) in
+    (lo, hi)
+
+  let percentile t p =
+    let n = count t in
+    if n = 0 then nan
+    else begin
+      let p = Float.max 0. (Float.min 1. p) in
+      let target = p *. float_of_int n in
+      let rec walk i cum =
+        if i >= Array.length t.counts then snd (bounds t (Array.length t.counts - 1))
+        else
+          let c = Atomic.get t.counts.(i) in
+          if float_of_int (cum + c) >= target && c > 0 then begin
+            let lo, hi = bounds t i in
+            let frac =
+              if c = 0 then 0. else (target -. float_of_int cum) /. float_of_int c
+            in
+            lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
+          end
+          else walk (i + 1) (cum + c)
+      in
+      walk 0 0
+    end
+
+  let nonzero_buckets t =
+    let out = ref [] in
+    for i = Array.length t.counts - 1 downto 0 do
+      let c = Atomic.get t.counts.(i) in
+      if c > 0 then out := (snd (bounds t i), c) :: !out
+    done;
+    !out
 end

@@ -2,8 +2,19 @@
 
     {!Stats} is deliberately single-threaded (the simulator owns it); this
     module provides the shared-memory counterparts: plain atomic counters,
-    and latency accumulators where each domain writes a private
-    {!Stats.Tally} and readers merge on demand. *)
+    latency accumulators where each domain writes a private {!Stats.Tally}
+    and readers merge on demand, and fixed-bucket log-scale histograms for
+    hot-path latency recording.
+
+    {b Read consistency contract}, shared by all three: reads taken while
+    writer domains are still running are {e approximate live views} — they
+    may miss in-flight updates and, for multi-cell structures (latency slots,
+    histogram buckets), need not be a consistent cut across cells.  Reads
+    become exact once the writing domains have quiesced (joined, or provably
+    stopped recording).  Benchmarks must therefore join workers before
+    reading, and implement warmup by {e gating recording at the source} (only
+    record after the warmup deadline) rather than resetting shared state
+    mid-run. *)
 
 module Counter : sig
   type t
@@ -11,8 +22,20 @@ module Counter : sig
   val create : unit -> t
   val incr : t -> unit
   val add : t -> int -> unit
+
   val get : t -> int
+  (** Approximate while writers run; exact after they quiesce. *)
+
   val reset : t -> unit
+  (** Plain store of 0.  {b Not atomic with a preceding {!get}}: increments
+      landing between the [get] and the [reset] are lost (torn).  For
+      read-and-zero semantics — e.g. discarding warmup counts — use
+      {!drain}. *)
+
+  val drain : t -> int
+  (** Atomically read the current value and zero the counter (a single
+      exchange, so no concurrent increment is ever lost — it lands either in
+      the returned value or in the fresh epoch). *)
 end
 
 module Latency : sig
@@ -30,9 +53,50 @@ module Latency : sig
   val record : slot -> float -> unit
 
   val merged : t -> Stats.Tally.t
-  (** Fold of {!Stats.Tally.merge} over every registered slot.  Exact once
-      the writing domains have quiesced (joined); an approximate live view
-      otherwise. *)
+  (** Fold of {!Stats.Tally.merge} over every registered slot — an
+      {e approximate live view} while writers run (see the module contract):
+      samples being recorded concurrently may be missed, and different slots
+      are read at different moments. *)
+
+  val snapshot : t -> Stats.Tally.t
+  (** Same fold as {!merged}, under its exact-after-join reading: call only
+      after the recording domains have joined, at which point the result is
+      the complete, exact sample set.  The two names exist so call sites
+      document which contract they rely on. *)
 
   val count : t -> int
+end
+
+module Histogram : sig
+  type t
+  (** Fixed log-scale buckets: bucket [i] spans [(base·2{^i-1}, base·2{^i}]],
+      bucket 0 is [[0, base]], the last bucket is open-ended.  {!record} is
+      two atomic adds — no allocation, no lock — so any domain may record
+      into a shared histogram; the trade against {!Latency} is bounded memory
+      and O(1) hot path for ~2× worst-case relative quantile error (one
+      bucket width). *)
+
+  val default_base : float
+  (** [1e-6] — with seconds as the unit, bucket 0 is "at most 1µs". *)
+
+  val default_buckets : int
+  (** 48 — an upper span of 1µs·2{^47} ≈ 1.6 days. *)
+
+  val create : ?base:float -> ?buckets:int -> unit -> t
+
+  val record : t -> float -> unit
+  (** Negative and NaN samples are clamped to 0 (they land in bucket 0). *)
+
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.95] walks the cumulative bucket counts and interpolates
+      linearly inside the bucket containing the rank; [nan] when empty.
+      Approximate while writers run (module contract), and approximate in
+      value to within the winning bucket's width. *)
+
+  val nonzero_buckets : t -> (float * int) list
+  (** [(upper_bound, count)] for each non-empty bucket, ascending. *)
 end

@@ -18,6 +18,9 @@ let append t r =
   t.len <- t.len + 1;
   let lsn = t.len - 1 in
   Mutex.unlock t.mu;
+  if Acc_obs.Trace.enabled () then
+    Acc_obs.Trace.emit
+      (Acc_obs.Trace.Wal_append { txn = Record.txn_of r; lsn; kind = Record.kind r });
   lsn
 
 let length t = t.len
@@ -43,7 +46,9 @@ let save t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Marshal.to_channel oc (to_list t) [])
+    (fun () -> Marshal.to_channel oc (to_list t) []);
+  if Acc_obs.Trace.enabled () then
+    Acc_obs.Trace.emit (Acc_obs.Trace.Wal_flush { records = t.len })
 
 let load path =
   let ic = open_in_bin path in

@@ -24,6 +24,15 @@ let txn_of = function
   | Abort { txn } ->
       txn
 
+let kind = function
+  | Begin _ -> "begin"
+  | Write { undo = false; _ } -> "write"
+  | Write { undo = true; _ } -> "undo"
+  | Step_end _ -> "step_end"
+  | Comp_area _ -> "comp_area"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"
+
 let pp_key ppf key =
   Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Value.pp ppf key
 

@@ -29,6 +29,11 @@ type t =
           compensating step); it holds nothing and needs nothing. *)
 
 val txn_of : t -> int
+
+val kind : t -> string
+(** A short record-kind tag (["begin"], ["write"], ["undo"], ["step_end"],
+    ["comp_area"], ["commit"], ["abort"]) for trace events and summaries. *)
+
 val pp : Format.formatter -> t -> unit
 
 val invert : write -> write

@@ -1,2 +1,2 @@
 (* Aggregated alcotest runner; suites are contributed by test_*.ml modules. *)
-let () = Alcotest.run "acc" (Test_util.suites @ Test_relation.suites @ Test_lock.suites @ Test_wal.suites @ Test_txn.suites @ Test_acc.suites @ Test_sim.suites @ Test_tpcc.suites @ Test_integration.suites @ Test_explore.suites @ Test_harness.suites @ Test_surface.suites @ Test_parallel.suites)
+let () = Alcotest.run "acc" (Test_util.suites @ Test_relation.suites @ Test_lock.suites @ Test_obs.suites @ Test_wal.suites @ Test_txn.suites @ Test_acc.suites @ Test_sim.suites @ Test_tpcc.suites @ Test_integration.suites @ Test_explore.suites @ Test_harness.suites @ Test_surface.suites @ Test_parallel.suites)

@@ -413,6 +413,76 @@ let run_obs_gate () =
   Bench_json.write ~mode:"obs-gate" json;
   if not pass then exit 1
 
+(* ---------- crash-recovery bench --------------------------------------- *)
+
+(* How long a restart takes: full-log recovery versus recovery from the last
+   quiescent checkpoint, over the log of a seed-deterministic TPC-C run.
+   The checkpoint path is the reason lib/wal/checkpoint.ml exists — this
+   reports the observed replay reduction. *)
+let run_recovery ~quick =
+  let module Txns = Acc_tpcc.Txns in
+  let module Load = Acc_tpcc.Load in
+  let module Executor = Acc_txn.Executor in
+  let module Schedule = Acc_txn.Schedule in
+  let module Database = Acc_relation.Database in
+  let module Log = Acc_wal.Log in
+  let module Recovery = Acc_wal.Recovery in
+  let module Checkpoint = Acc_wal.Checkpoint in
+  let txns = if quick then 200 else 1_000 in
+  let checkpoint_every = 256 in
+  let seed = 7 in
+  let params = Acc_tpcc.Params.default in
+  Txns.reset_history_seq ();
+  let env = Txns.default_env ~seed params in
+  let inputs = Array.init txns (fun _ -> Txns.gen_input env) in
+  let db = Load.populate ~seed params in
+  let baseline = Database.copy db in
+  let eng = Executor.create ~sem:Txns.semantics db in
+  let mgr = Checkpoint.Manager.create ~every:checkpoint_every () in
+  Array.iter
+    (fun input ->
+      Schedule.run eng [ (fun () -> ignore (Txns.run_acc eng env input)) ];
+      ignore (Checkpoint.Manager.maybe_take mgr (Executor.db eng) (Executor.log eng)))
+    inputs;
+  let log = Executor.log eng in
+  let records = Log.to_list log in
+  let time_ms reps f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e3 /. float_of_int reps
+  in
+  let reps = if quick then 3 else 10 in
+  let full_ms = time_ms reps (fun () -> Recovery.recover ~baseline records) in
+  let ckpt_ms = time_ms reps (fun () -> Checkpoint.Manager.recover mgr ~baseline log) in
+  let from_lsn =
+    match Checkpoint.Manager.latest mgr with
+    | Some c -> Checkpoint.position c
+    | None -> 0
+  in
+  let tail = Log.length log - from_lsn in
+  Format.fprintf ppf "recovery bench: %d txns, %d log records@." txns (Log.length log);
+  Format.fprintf ppf "  full-log recovery:        %8.2f ms (%d records)@." full_ms
+    (Log.length log);
+  Format.fprintf ppf "  checkpoint recovery:      %8.2f ms (%d-record tail)@." ckpt_ms tail;
+  Format.fprintf ppf "  replay reduction:         %8.2fx@."
+    (if ckpt_ms > 0. then full_ms /. ckpt_ms else nan);
+  [
+    ( "recovery",
+      Json.Obj
+        [
+          ("txns", Json.Int txns);
+          ("log_records", Json.Int (Log.length log));
+          ("checkpoint_every", Json.Int checkpoint_every);
+          ("checkpoint_lsn", Json.Int from_lsn);
+          ("tail_records", Json.Int tail);
+          ("full_recovery_ms", Json.Float full_ms);
+          ("checkpoint_recovery_ms", Json.Float ckpt_ms);
+        ] );
+  ]
+
 let figures_json figs =
   ("figures", Json.List (List.map Bench_json.figure_json figs))
 
@@ -434,9 +504,11 @@ let () =
   | "parallel" -> Bench_json.write ~mode (run_parallel ~quick:false)
   | "parallel-quick" -> Bench_json.write ~mode (run_parallel ~quick:true)
   | "obs-gate" -> run_obs_gate ()
+  | "recovery" -> Bench_json.write ~mode (run_recovery ~quick:false)
+  | "recovery-quick" -> Bench_json.write ~mode (run_recovery ~quick:true)
   | other ->
       Format.eprintf
         "unknown mode %s \
-         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|obs-gate)@."
+         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|obs-gate|recovery)@."
         other;
       exit 2

@@ -1,0 +1,93 @@
+(* Crash-restart harness CLI: kill TPC-C at every registered crash point (or
+   probabilistically in chaos mode), recover, and check the recovery
+   invariants.  Exits 1 if any invariant is violated.
+
+     acc-crash-restart                      # deterministic sweep, all points
+     acc-crash-restart --point wal.append.commit --hit 3
+     acc-crash-restart --chaos --seeds 1,2,3
+     acc-crash-restart --list               # show registered crash points *)
+
+open Cmdliner
+module Harness = Acc_tpcc.Crash_harness
+module Fault = Acc_fault.Fault
+
+let report results =
+  List.iter (fun r -> Format.printf "%a@." Harness.pp_result r) results;
+  let failures = List.filter Harness.failed results in
+  let crashes = List.fold_left (fun acc r -> acc + r.Harness.r_crashes) 0 results in
+  Format.printf "%d run(s), %d crash(es) injected, %d failure(s)@." (List.length results)
+    crashes (List.length failures);
+  if failures <> [] then exit 1
+
+let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_every hits seed
+    verbose =
+  (* registration happens at module-init of the code under test; touching the
+     harness module links everything *)
+  ignore Harness.default_config;
+  if list_points then
+    List.iter print_endline (Fault.registered ())
+  else begin
+    (* ACC_TRACE / ACC_TRACE_CHROME collect a lock-decision trace of the whole
+       run — including the recoveries — for post-mortem on a failed seed *)
+    let ts = Trace_setup.configure () in
+    let config =
+      {
+        Harness.default_config with
+        Harness.txns;
+        chaos_p;
+        step_fault_p;
+        checkpoint_every;
+        hits_per_point = hits;
+        seed;
+        verbose;
+      }
+    in
+    let results =
+      match (point, chaos) with
+      | Some p, _ ->
+          (* single-point mode: one deterministic crash site, chosen hit *)
+          [ Harness.run_one_crash config ~inputs:(Harness.gen_inputs config) ~point:p ~hit ]
+      | None, true -> List.map (fun seed -> Harness.chaos ~config ~seed ()) seeds
+      | None, false -> Harness.sweep ~config ()
+    in
+    Trace_setup.finish ts;
+    report results
+  end
+
+let list_points = Arg.(value & flag & info [ "list" ] ~doc:"List registered crash points and exit.")
+
+let point =
+  Arg.(value & opt (some string) None & info [ "point" ] ~docv:"NAME" ~doc:"Crash at one named point only.")
+
+let hit = Arg.(value & opt int 1 & info [ "hit" ] ~docv:"N" ~doc:"Passage count at which --point fires.")
+let chaos = Arg.(value & flag & info [ "chaos" ] ~doc:"Probabilistic crashes instead of the sweep.")
+
+let seeds =
+  Arg.(value & opt (list int) [ 1; 2; 3 ] & info [ "seeds" ] ~docv:"S1,S2" ~doc:"Chaos seeds, one soak run each.")
+
+let txns = Arg.(value & opt int Harness.default_config.Harness.txns & info [ "txns" ] ~docv:"N" ~doc:"Transactions per run.")
+
+let chaos_p =
+  Arg.(value & opt float Harness.default_config.Harness.chaos_p & info [ "chaos-p" ] ~docv:"P" ~doc:"Per-passage crash probability in chaos mode.")
+
+let step_fault_p =
+  Arg.(value & opt float Harness.default_config.Harness.step_fault_p & info [ "step-fault-p" ] ~docv:"P" ~doc:"Retryable injected step-failure probability.")
+
+let checkpoint_every =
+  Arg.(value & opt int Harness.default_config.Harness.checkpoint_every & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Quiescent checkpoint cadence in log records.")
+
+let hits =
+  Arg.(value & opt int Harness.default_config.Harness.hits_per_point & info [ "hits-per-point" ] ~docv:"N" ~doc:"Crash at this many spread hit counts per point.")
+
+let seed = Arg.(value & opt int Harness.default_config.Harness.seed & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Narrate each crash and recovery.")
+
+let cmd =
+  let doc = "crash TPC-C at registered fault points, recover, check invariants" in
+  Cmd.v
+    (Cmd.info "acc-crash-restart" ~doc)
+    Term.(
+      const main $ list_points $ point $ hit $ chaos $ seeds $ txns $ chaos_p $ step_fault_p
+      $ checkpoint_every $ hits $ seed $ verbose)
+
+let () = exit (Cmd.eval cmd)

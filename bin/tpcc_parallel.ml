@@ -41,6 +41,8 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
     | "nop" | "new-order-payment" -> P.New_order_payment
     | other -> failwith ("unknown mix: " ^ other)
   in
+  (* ACC_CRASHPOINT / ACC_STEP_FAULTS arm fault injection (see RECOVERY.md) *)
+  Acc_fault.Fault.configure_from_env ();
   let ts = Trace_setup.configure ~jsonl:trace ~chrome:trace_chrome () in
   let cfg =
     {

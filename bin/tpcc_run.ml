@@ -33,7 +33,9 @@ let main system terminals servers horizon think compute_ms skew min_items max_it
     }
   in
   (* ACC_TRACE / ACC_TRACE_CHROME collect a lock-decision trace of the run
-     (timestamps are virtual sim seconds) *)
+     (timestamps are virtual sim seconds); ACC_CRASHPOINT / ACC_STEP_FAULTS
+     arm fault injection (see RECOVERY.md) *)
+  Acc_fault.Fault.configure_from_env ();
   let ts = Trace_setup.configure () in
   let r = Driver.run cfg in
   Trace_setup.finish ts;

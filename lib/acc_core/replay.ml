@@ -1,0 +1,93 @@
+(* Automated compensation replay: turn [Recovery.pending] obligations back
+   into clean state.
+
+   Recovery (lib/wal) can only report that a multi-step loser had completed
+   [k] steps with work area [a] — the compensating logic itself is program
+   code.  Transaction programs therefore register their compensating step
+   here, keyed by transaction-type name, and [replay_pending] re-executes it
+   for every pending obligation, under the same protocol the runtime uses
+   for in-flight compensation: the context is flagged compensating (so its
+   lock requests are never chosen as deadlock victims — the §3.4 sparing
+   rule), the step runs at index [k + 1], and a deadlock victimization or an
+   injected fault rolls the attempt back and retries with backoff.
+
+   [Executor.adopt_pending] first re-logs the obligation (Begin, work area,
+   last completed step) on the recovered engine's log, so a second crash in
+   the middle of the replay leaves the very same pending transaction
+   re-derivable from the durable history — the pre-crash log followed by
+   this engine's log: replay is idempotent across repeated crashes.  (The
+   pre-crash records stay part of that history: a recovered-but-not-yet-
+   compensated snapshot alone is not a quiescent baseline, and a crash
+   before an obligation is re-logged must still find it in the old tail.) *)
+
+module Executor = Acc_txn.Executor
+module Txn_effect = Acc_txn.Txn_effect
+module Recovery = Acc_wal.Recovery
+module Value = Acc_relation.Value
+module Fault = Acc_fault.Fault
+
+let cp_comp_begin = Fault.register "comp.begin"
+
+type handler = Executor.ctx -> completed:int -> area:(string * Value.t) list -> unit
+
+(* txn_type -> (design-time step type of the compensating step, handler) *)
+let registry : (string, int * handler) Hashtbl.t = Hashtbl.create 8
+
+let register ~txn_type ~step_type handler =
+  Hashtbl.replace registry txn_type (step_type, handler)
+
+let has_handler txn_type = Hashtbl.mem registry txn_type
+
+(* Replay runs on a quiesced engine, but the compensating bodies still
+   perform [Yield] on retry; resume those inline.  A lock wait cannot be
+   granted by anyone on an idle engine, so it is a protocol bug here. *)
+let with_inline_scheduler f =
+  Effect.Deep.match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Txn_effect.Yield _ ->
+              Some (fun (k : (b, _) Effect.Deep.continuation) -> Effect.Deep.continue k ())
+          | Txn_effect.Wait_lock _ ->
+              Some
+                (fun (_ : (b, _) Effect.Deep.continuation) ->
+                  raise (Txn_effect.Stuck "Replay: lock wait on a quiesced engine"))
+          | _ -> None);
+    }
+
+let replay_one eng (p : Recovery.pending) =
+  match Hashtbl.find_opt registry p.Recovery.p_txn_type with
+  | None ->
+      failwith
+        (Printf.sprintf "Replay: no compensation handler registered for %s (txn %d)"
+           p.Recovery.p_txn_type p.Recovery.p_txn)
+  | Some (step_type, handler) ->
+      let ctx =
+        Executor.adopt_pending eng ~txn:p.Recovery.p_txn ~txn_type:p.Recovery.p_txn_type
+          ~completed_steps:p.Recovery.p_completed_steps ~area:p.Recovery.p_area
+      in
+      (* obligation is durable again; this is the last point where a crash
+         leaves it entirely to the next recovery *)
+      Fault.trip cp_comp_begin;
+      Executor.set_compensating ctx true;
+      Executor.set_step ctx ~step_type ~step_index:(p.Recovery.p_completed_steps + 1);
+      with_inline_scheduler (fun () ->
+          let rec attempt n =
+            try
+              Fault.step_trip ();
+              handler ctx ~completed:p.Recovery.p_completed_steps ~area:p.Recovery.p_area
+            with Txn_effect.Deadlock_victim | Fault.Step_fault ->
+              Executor.rollback_current_step ctx;
+              Txn_effect.yield ~attempt:n ();
+              attempt (n + 1)
+          in
+          attempt 1;
+          Executor.end_step ctx ~comp_area:None;
+          Executor.finish_compensated ctx)
+
+let replay_pending eng (report : Recovery.report) =
+  List.iter (replay_one eng) report.Recovery.pending;
+  List.length report.Recovery.pending

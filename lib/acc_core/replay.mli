@@ -1,0 +1,41 @@
+(** Automated compensation replay: drive every {!Acc_wal.Recovery.pending}
+    obligation to a clean state by re-executing its registered compensating
+    step.
+
+    Recovery reports {e what} must be compensated (transaction type,
+    completed-step count, durable work area); the {e how} is program logic.
+    Transaction programs register their compensating step once per type, and
+    {!replay_pending} runs it for each pending transaction under the
+    compensation-lock protocol (context flagged compensating, §3.4 victim
+    sparing, rollback-and-backoff on deadlock or injected fault).
+
+    Replay is crash-idempotent: {!Acc_txn.Executor.adopt_pending} re-logs
+    each obligation on the recovered engine's log before the compensating
+    step starts, so a crash mid-replay re-derives the same pending set on
+    the next recovery. *)
+
+type handler =
+  Acc_txn.Executor.ctx ->
+  completed:int ->
+  area:(string * Acc_relation.Value.t) list ->
+  unit
+(** A compensating-step body: receives a live context (already flagged
+    compensating, positioned at step [completed + 1]), the number of
+    completed forward steps, and the durable work area. *)
+
+val register : txn_type:string -> step_type:int -> handler -> unit
+(** Register (or replace) the compensation handler for a transaction-type
+    name.  [step_type] is the design-time id of the compensating step
+    ({!Acc_core.Program.step_def}'s [sd_id]), used for lock provenance and
+    tracing. *)
+
+val has_handler : string -> bool
+
+val replay_one : Acc_txn.Executor.t -> Acc_wal.Recovery.pending -> unit
+(** Adopt and compensate a single pending transaction on the given (already
+    recovered) engine.  Raises [Failure] if no handler is registered for its
+    type. *)
+
+val replay_pending : Acc_txn.Executor.t -> Acc_wal.Recovery.report -> int
+(** [replay_one] for every pending transaction of the report, in report
+    order; returns how many were compensated. *)

@@ -3,6 +3,11 @@ module Txn_effect = Acc_txn.Txn_effect
 module Mode = Acc_lock.Mode
 module Lock_table = Acc_lock.Lock_table
 module Resource_id = Acc_lock.Resource_id
+module Fault = Acc_fault.Fault
+
+(* the window after a transaction's last forward step completes and before
+   its compensating step starts writing *)
+let cp_comp_begin = Fault.register "comp.begin"
 
 type outcome = Committed | Compensated of { completed_steps : int }
 
@@ -131,18 +136,21 @@ let compensate ctx inst ~completed =
         Executor.set_compensating ctx true;
         Executor.set_step ctx ~step_type:comp_def.Program.sd_id ~step_index:(completed + 1);
         remove_lock_hook ctx;
-        let rec attempt () =
-          try body ctx ~completed
-          with Txn_effect.Deadlock_victim ->
+        Fault.trip cp_comp_begin;
+        let rec attempt n =
+          try
+            Fault.step_trip ();
+            body ctx ~completed
+          with Txn_effect.Deadlock_victim | Fault.Step_fault ->
             (* §3.4 guarantees the policy aborts the steps delaying a
                compensating step rather than the step itself; if we are
-               nonetheless victimized (all-compensating cycle), undo this
-               attempt and try again *)
+               nonetheless victimized (all-compensating cycle) or fault
+               injected, undo this attempt, back off, and try again *)
             Executor.rollback_current_step ctx;
-            Txn_effect.yield ();
-            attempt ()
+            Txn_effect.yield ~attempt:n ();
+            attempt (n + 1)
         in
-        attempt ();
+        attempt 1;
         Executor.end_step ctx ~comp_area:None;
         Executor.finish_compensated ctx;
         Compensated { completed_steps = completed }
@@ -154,7 +162,7 @@ let run ?(options = default_options) ?abort_at eng inst =
   let ctx = Executor.begin_txn eng ~txn_type:inst.Program.i_def.Program.tt_name ~multi_step in
   (* --- admission: lock pre(S_1) --------------------------------------- *)
   Executor.charge eng (Executor.cost eng).Acc_txn.Cost_model.admission;
-  let rec admit () =
+  let rec admit n =
     try
       List.iter
         (fun (ai, items) ->
@@ -168,10 +176,10 @@ let run ?(options = default_options) ?abort_at eng inst =
       (* nothing executed yet: drop what we got, let the winner finish, and
          re-admit *)
       Executor.release_locks ctx (fun _ _ -> true);
-      Txn_effect.yield ();
-      admit ()
+      Txn_effect.yield ~attempt:n ();
+      admit (n + 1)
   in
-  admit ();
+  admit 1;
   (* --- steps ------------------------------------------------------------ *)
   let needs_comp = Option.is_some inst.Program.i_compensate in
   let outcome = ref None in
@@ -196,15 +204,19 @@ let run ?(options = default_options) ?abort_at eng inst =
                | Mode.X | Mode.IS | Mode.IX | Mode.A _ | Mode.Comp _ -> ()));
        if options.verify_assertions then
          verify_active_assertions eng inst ~txn:(Executor.txn_id ctx) ~at_step:j;
-       let rec attempt retries_left =
-         try body ctx with
-         | Txn_effect.Deadlock_victim ->
+       let rec attempt ~n retries_left =
+         try
+           Fault.step_trip ();
+           body ctx
+         with
+         | Txn_effect.Deadlock_victim | Fault.Step_fault ->
              Executor.rollback_current_step ctx;
              Executor.release_locks ctx (step_release_mode inst);
-             (* back off for one scheduling round so the winner of the deadlock
-                can finish; retrying immediately can ping-pong forever *)
-             Txn_effect.yield ();
-             if retries_left > 0 then attempt (retries_left - 1)
+             (* back off so the winner of the deadlock (or the faulted
+                resource) can make progress; the attempt number makes the
+                scheduler's delay grow exponentially, capped (Backoff) *)
+             Txn_effect.yield ~attempt:n ();
+             if retries_left > 0 then attempt ~n:(n + 1) (retries_left - 1)
              else begin
                remove_lock_hook ctx;
                outcome := Some (compensate ctx inst ~completed:(j - 1));
@@ -218,12 +230,14 @@ let run ?(options = default_options) ?abort_at eng inst =
              remove_lock_hook ctx;
              outcome := Some (compensate ctx inst ~completed:(j - 1));
              raise Exit
-         | e ->
+         | e when not (Fault.is_crash e) ->
              (* an unexpected failure in a step body: fail the transaction
                 the same way a programmatic abort would — physical undo of
                 the current step, compensation for the completed ones — and
                 only then let the exception surface.  A buggy body must not
-                leave locks behind. *)
+                leave locks behind.  [Fault.Crash] is exempt: it models the
+                process dying, which runs no cleanup — it must propagate
+                with the log exactly as the crash left it. *)
              Executor.rollback_current_step ctx;
              Executor.release_locks ctx (step_release_mode inst);
              remove_lock_hook ctx;
@@ -234,7 +248,7 @@ let run ?(options = default_options) ?abort_at eng inst =
                 Executor.release_locks ctx (fun _ _ -> true));
              raise e
        in
-       attempt options.step_retry_limit;
+       attempt ~n:1 options.step_retry_limit;
        remove_lock_hook ctx;
        Executor.end_step ctx
          ~comp_area:(if needs_comp then Some (inst.Program.i_comp_area ()) else None);
@@ -256,7 +270,7 @@ let run ?(options = default_options) ?abort_at eng inst =
 
 let run_legacy ?(options = default_options) eng ~txn_type body =
   ignore options;
-  let rec attempt () =
+  let rec attempt n =
     let ctx = Executor.begin_txn eng ~txn_type ~multi_step:false in
     Executor.set_step ctx ~step_type:Program.legacy_step_id ~step_index:1;
     (* full isolation: the legacy-isolation assertional lock precedes every
@@ -269,20 +283,22 @@ let run_legacy ?(options = default_options) eng ~txn_type body =
             Executor.acquire ctx (Mode.A Assertion.legacy_isolation_id) res
         | Mode.IS | Mode.IX | Mode.A _ | Mode.Comp _ -> ());
     try
+      Fault.step_trip ();
       body ctx;
       Executor.commit ctx;
       Committed
     with
-    | Txn_effect.Deadlock_victim ->
+    | Txn_effect.Deadlock_victim | Fault.Step_fault ->
         Executor.abort_physical ctx;
-        Txn_effect.yield ();
-        attempt ()
-    | e ->
-        (* unexpected failure: a flat transaction can abort physically *)
+        Txn_effect.yield ~attempt:n ();
+        attempt (n + 1)
+    | e when not (Fault.is_crash e) ->
+        (* unexpected failure: a flat transaction can abort physically; a
+           simulated crash must propagate without appending anything *)
         Executor.abort_physical ctx;
         raise e
   in
-  attempt ()
+  attempt 1
 
 let victim_policy locks ~requester ~cycle =
   Acc_lock.Lock_core.victim_policy

@@ -1,0 +1,160 @@
+(* Deterministic fault injection: a registry of named crash points threaded
+   through the engine (WAL append, step commit, lock release, compensation).
+
+   A crash point is a call to [trip point] at the place where a real process
+   could die.  Disarmed, the call is a single atomic load — cheap enough to
+   leave in production paths.  Armed, the [hit]-th passage through the named
+   point raises {!Crash}, which models the machine stopping: the caller must
+   NOT run any cleanup that appends to the log or releases locks — a dead
+   process does neither — and the harness recovers from baseline + log
+   exactly as a restarted process would.
+
+   Two arming styles:
+   - deterministic: [arm ~point ~hit] (or [ACC_CRASHPOINT=point:hit]) crashes
+     at an exact, reproducible place;
+   - chaos: [arm_chaos ~seed ~p] (or [ACC_CRASHPOINT=chaos:p:seed]) crashes
+     each passage with probability [p] from a seeded PRNG, for soak runs.
+
+   [Step_fault] is the softer sibling: a retryable step failure (armed with
+   [arm_step_faults]) that the runtime treats like a deadlock victimization —
+   roll back the step, back off, retry — exercising the retry policy without
+   killing the process. *)
+
+module Prng = Acc_util.Prng
+
+exception Crash of { point : string; hit : int }
+exception Step_fault
+
+type point = { name : string; mutable hits : int }
+
+(* The registry is append-only and built at module-init time (each owning
+   module registers its points at top level), so iteration needs no lock. *)
+let registry : point list ref = ref []
+let registry_mu = Mutex.create ()
+
+let register name =
+  Mutex.lock registry_mu;
+  let p =
+    match List.find_opt (fun p -> p.name = name) !registry with
+    | Some p -> p
+    | None ->
+        let p = { name; hits = 0 } in
+        registry := p :: !registry;
+        p
+  in
+  Mutex.unlock registry_mu;
+  p
+
+let registered () = List.rev_map (fun p -> p.name) !registry
+let trips p = p.hits
+
+let trips_of name =
+  match List.find_opt (fun p -> p.name = name) !registry with
+  | Some p -> p.hits
+  | None -> invalid_arg ("Fault.trips_of: unknown crash point " ^ name)
+
+type mode =
+  | Disarmed
+  | At of { point : string; hit : int }
+  | Chaos of { g : Prng.t; p : float }
+
+(* [enabled] is the fast path: a plain bool read (no fence needed — arming
+   happens before the run starts, on the same thread or before domains
+   spawn).  The slow path takes [mu] so chaos-mode PRNG draws and hit
+   counting are race-free under the parallel engine. *)
+let enabled = ref false
+let mode = ref Disarmed
+let mu = Mutex.create ()
+
+let step_faults : (Prng.t * float) option ref = ref None
+
+let reset_counters () = List.iter (fun p -> p.hits <- 0) !registry
+
+let disarm () =
+  Mutex.lock mu;
+  mode := Disarmed;
+  step_faults := None;
+  enabled := false;
+  reset_counters ();
+  Mutex.unlock mu
+
+let observe () =
+  (* count passages without ever firing: the harness dry-runs a workload
+     under [observe] to learn how many times each point trips, then arms a
+     spread of those hit counts *)
+  Mutex.lock mu;
+  reset_counters ();
+  mode := Disarmed;
+  enabled := true;
+  Mutex.unlock mu
+
+let arm ~point ~hit =
+  if hit < 1 then invalid_arg "Fault.arm: hit must be >= 1";
+  if not (List.exists (fun p -> p.name = point) !registry) then
+    invalid_arg ("Fault.arm: unknown crash point " ^ point);
+  Mutex.lock mu;
+  reset_counters ();
+  mode := At { point; hit };
+  enabled := true;
+  Mutex.unlock mu
+
+let arm_chaos ~seed ~p =
+  if p < 0. || p > 1. then invalid_arg "Fault.arm_chaos: p must be in [0,1]";
+  Mutex.lock mu;
+  reset_counters ();
+  mode := Chaos { g = Prng.create ~seed; p };
+  enabled := true;
+  Mutex.unlock mu
+
+let arm_step_faults ~seed ~p =
+  if p < 0. || p > 1. then invalid_arg "Fault.arm_step_faults: p must be in [0,1]";
+  Mutex.lock mu;
+  step_faults := Some (Prng.create ~seed, p);
+  Mutex.unlock mu
+
+let trip point =
+  if !enabled then begin
+    Mutex.lock mu;
+    point.hits <- point.hits + 1;
+    let fire =
+      match !mode with
+      | Disarmed -> false
+      | At { point = name; hit } -> point.name = name && point.hits = hit
+      | Chaos { g; p } -> Prng.chance g p
+    in
+    let hit = point.hits in
+    Mutex.unlock mu;
+    (* raise outside the lock: the handler may inspect the registry *)
+    if fire then raise (Crash { point = point.name; hit })
+  end
+
+let step_trip () =
+  match !step_faults with
+  | None -> ()
+  | Some (g, p) ->
+      Mutex.lock mu;
+      let fire = Prng.chance g p in
+      Mutex.unlock mu;
+      if fire then raise Step_fault
+
+let is_crash = function Crash _ -> true | _ -> false
+
+(* ACC_CRASHPOINT=point[:hit] | chaos:p[:seed]; ACC_STEP_FAULTS=p[:seed] *)
+let configure_from_env () =
+  (match Sys.getenv_opt "ACC_CRASHPOINT" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match String.split_on_char ':' spec with
+      | [ "chaos"; p ] -> arm_chaos ~seed:42 ~p:(float_of_string p)
+      | [ "chaos"; p; seed ] ->
+          arm_chaos ~seed:(int_of_string seed) ~p:(float_of_string p)
+      | [ point ] -> arm ~point ~hit:1
+      | [ point; hit ] -> arm ~point ~hit:(int_of_string hit)
+      | _ -> invalid_arg ("ACC_CRASHPOINT: cannot parse " ^ spec)));
+  match Sys.getenv_opt "ACC_STEP_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match String.split_on_char ':' spec with
+      | [ p ] -> arm_step_faults ~seed:43 ~p:(float_of_string p)
+      | [ p; seed ] -> arm_step_faults ~seed:(int_of_string seed) ~p:(float_of_string p)
+      | _ -> invalid_arg ("ACC_STEP_FAULTS: cannot parse " ^ spec))

@@ -1,0 +1,81 @@
+(** Deterministic fault injection for crash-recovery testing.
+
+    The engine threads named {e crash points} through its durability-critical
+    code paths (WAL append, step commit, lock release, compensation).  Each
+    point is {!register}ed once at module-initialization time and {!trip}ped
+    at every passage.  Disarmed — the default — a trip is a single boolean
+    load.  Armed, the selected passage raises {!Crash}, which models the
+    process dying at that instant: callers must let it propagate without
+    running any recovery-visible cleanup (no log appends, no lock releases),
+    because a crashed process performs neither.
+
+    See RECOVERY.md for the crash-point map and the recovery protocol that
+    consumes these crashes. *)
+
+exception Crash of { point : string; hit : int }
+(** The simulated process death.  [point] names the registered crash point,
+    [hit] the passage count at which it fired.  Never catch this to resume
+    the transaction — recover from the log instead.  {!is_crash} identifies
+    it in generic handlers. *)
+
+exception Step_fault
+(** A retryable, injected step failure (see {!arm_step_faults}): the runtime
+    treats it exactly like a deadlock victimization — roll the step back,
+    back off, retry. *)
+
+type point
+(** A registered crash point (name + passage counter). *)
+
+val register : string -> point
+(** [register name] adds a crash point to the global registry (idempotent:
+    re-registering a name returns the existing point).  Call at module-init
+    time in the module that owns the code path. *)
+
+val registered : unit -> string list
+(** Names of every registered crash point, in registration order.  The
+    crash-restart harness iterates this to kill the system everywhere. *)
+
+val trip : point -> unit
+(** [trip p] records a passage through [p] and raises {!Crash} if the armed
+    mode selects this passage.  Disarmed cost: one boolean load. *)
+
+val trips : point -> int
+(** Passages recorded since the last arming (each [arm]/[arm_chaos]/[disarm]
+    resets all counters). *)
+
+val trips_of : string -> int
+(** {!trips} looked up by name; raises [Invalid_argument] if unregistered. *)
+
+val observe : unit -> unit
+(** Count passages without ever crashing: a dry run under [observe] tells
+    the harness how many times each point trips for a given workload, so it
+    can arm a representative spread of hit counts. *)
+
+val arm : point:string -> hit:int -> unit
+(** Crash at exactly the [hit]-th passage (1-based) through the named point.
+    Raises [Invalid_argument] for an unregistered name or [hit < 1]. *)
+
+val arm_chaos : seed:int -> p:float -> unit
+(** Crash each passage through {e any} point with probability [p], drawn
+    from a PRNG seeded with [seed] (deterministic given the same execution). *)
+
+val arm_step_faults : seed:int -> p:float -> unit
+(** Independently of crash arming: make {!step_trip} raise {!Step_fault}
+    with probability [p] per call, for retry-policy exercise. *)
+
+val step_trip : unit -> unit
+(** Called by the runtime at the top of each step attempt; raises
+    {!Step_fault} when step faults are armed and the draw fires. *)
+
+val disarm : unit -> unit
+(** Return to the zero-cost disarmed state and reset all counters. *)
+
+val is_crash : exn -> bool
+(** [is_crash e] is true iff [e] is {!Crash}.  Use in [when] guards so
+    generic catch-all handlers stand aside for simulated process death. *)
+
+val configure_from_env : unit -> unit
+(** Arm from the environment, for binaries:
+    [ACC_CRASHPOINT=point[:hit]] or [ACC_CRASHPOINT=chaos:p[:seed]], and
+    [ACC_STEP_FAULTS=p[:seed]].  Unset/empty variables leave faults
+    disarmed. *)

@@ -69,4 +69,7 @@ val measure : ?label:string -> ?variant:acc_variant -> settings -> point
     the ACC flavour under test. *)
 
 val sweep_terminals : ?variant:acc_variant -> settings -> int list -> point list
+(** {!measure} at each terminal count (a figure's abscissa). *)
+
 val sweep_servers : ?variant:acc_variant -> settings -> int list -> point list
+(** {!measure} at each server count, at the settings' terminal count. *)

@@ -48,6 +48,7 @@ val render : Format.formatter -> figure -> unit
     ratios per point, plus the paper's claim. *)
 
 val render_csv : Format.formatter -> figure -> unit
+(** The same quantities as {!render}, one CSV row per point. *)
 
 val consistency_violations : figure -> int
 (** Total consistency violations across every run of the figure (semantic

@@ -68,15 +68,17 @@ let run_txn : type r. ?backoff_g:Prng.t -> (unit -> r) -> r =
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
-          | Txn_effect.Yield ->
+          | Txn_effect.Yield attempt ->
               Some
                 (fun (k : (b, r) Effect.Deep.continuation) ->
-                  let pause =
+                  let base =
                     match backoff_g with
                     | Some g -> 0.0002 +. Prng.exponential g ~mean:0.002
                     | None -> 0.001
                   in
-                  Unix.sleepf pause;
+                  (* capped exponential growth with the retry attempt, on top
+                     of the randomized base so repeat colliders desync *)
+                  Unix.sleepf (base *. Acc_txn.Backoff.factor ~attempt ());
                   Effect.Deep.continue k ())
           | Txn_effect.Wait_lock _ ->
               Some

@@ -3,6 +3,7 @@
     BY for this engine's scans). *)
 
 val count : ?where:Predicate.t -> Table.t -> int
+(** Number of rows satisfying the predicate (all rows when omitted). *)
 
 val sum_int : ?where:Predicate.t -> Table.t -> column:string -> int
 (** Sum of an integer column over the satisfying rows. *)
@@ -11,7 +12,11 @@ val sum_float : ?where:Predicate.t -> Table.t -> column:string -> float
 (** Sum of a numeric (int or float) column. *)
 
 val min_value : ?where:Predicate.t -> Table.t -> column:string -> Value.t option
+(** Smallest value of the column over the satisfying rows, by
+    {!Value.compare}; [None] when no row satisfies. *)
+
 val max_value : ?where:Predicate.t -> Table.t -> column:string -> Value.t option
+(** Largest value of the column over the satisfying rows. *)
 
 val group_by :
   ?where:Predicate.t ->
@@ -25,6 +30,7 @@ val group_by :
 
 val count_by :
   ?where:Predicate.t -> Table.t -> key:string list -> (Value.t list * int) list
+(** Per-group {!count}: (group key, row count) pairs sorted by group key. *)
 
 val sum_float_by :
   ?where:Predicate.t ->
@@ -32,3 +38,4 @@ val sum_float_by :
   key:string list ->
   column:string ->
   (Value.t list * float) list
+(** Per-group {!sum_float}. *)

@@ -17,7 +17,10 @@ val create : name:string -> key_of:(Value.t array -> Value.t list) -> t
 (** [key_of] projects a row to its index key (any column list). *)
 
 val name : t -> string
+(** The index's name (unique within its table). *)
+
 val size : t -> int
+(** Number of entries. *)
 
 val projection : t -> Value.t array -> Value.t list
 (** The index's key projection (for rebuilding a copy). *)
@@ -33,6 +36,7 @@ val min_entry : t -> ?above:Value.t list -> unit -> (Value.t list * Value.t list
     [above]. *)
 
 val max_entry : t -> (Value.t list * Value.t list) option
+(** Largest [(index key, pk)] entry. *)
 
 val range :
   t -> ?lo:Value.t list -> ?hi:Value.t list -> unit -> (Value.t list * Value.t list) list
@@ -44,6 +48,7 @@ val prefix : t -> Value.t list -> (Value.t list * Value.t list) list
 (** Entries whose index key starts with the given prefix, ascending. *)
 
 val fold_ascending : t -> init:'a -> f:('a -> Value.t list -> Value.t list -> 'a) -> 'a
+(** Fold [f acc index_key pk] over every entry in ascending key order. *)
 
 val invariant_ok : t -> bool
 (** BST ordering and size bookkeeping hold (test hook). *)

@@ -10,16 +10,28 @@ val make : name:string -> key:string list -> column list -> t
     or nullable. *)
 
 val name : t -> string
+(** The schema's (table) name. *)
+
 val columns : t -> column array
+(** Columns in declaration order. *)
+
 val arity : t -> int
+(** Number of columns. *)
+
 val key_columns : t -> string list
+(** Primary-key column names, in key order. *)
+
 val key_positions : t -> int array
+(** Positions of the key columns within a row, in key order. *)
 
 val position : t -> string -> int
 (** Index of a column by name; raises [Invalid_argument] if absent. *)
 
 val mem : t -> string -> bool
+(** Whether a column with that name exists. *)
+
 val column : t -> string -> column
+(** Column by name; raises [Invalid_argument] if absent. *)
 
 val check_row : t -> Value.t array -> (unit, string) result
 (** Arity, per-column type, and null admissibility. *)
@@ -28,6 +40,7 @@ val key_of_row : t -> Value.t array -> Value.t list
 (** Extract the primary-key values of a (schema-valid) row. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable rendering of the schema. *)
 
 val col : ?nullable:bool -> string -> Value.ty -> column
 (** Convenience constructor; [nullable] defaults to [false]. *)

@@ -277,4 +277,20 @@ let copy t =
   fresh.last_scan_cost <- t.last_scan_cost;
   fresh
 
+let col_names t positions =
+  Array.to_list (Array.map (fun i -> (Schema.columns t.schema).(i).Schema.name) positions)
+
+let index_specs t =
+  List.rev_map (fun idx -> (idx.index_name, col_names t idx.index_positions)) t.indexes
+
+let ordered_index_specs t =
+  List.rev_map (fun (o, positions) -> (Ordered_index.name o, col_names t positions)) t.ordered
+
+let equal a b =
+  Hashtbl.length a.rows = Hashtbl.length b.rows
+  && Hashtbl.fold
+       (fun pk row acc ->
+         acc && match Hashtbl.find_opt b.rows pk with Some r -> r = row | None -> false)
+       a.rows true
+
 let field t row col = row.(Schema.position t.schema col)

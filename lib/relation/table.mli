@@ -15,9 +15,16 @@ exception No_such_row of string * key
 exception Invalid_row of string
 
 val create : Schema.t -> t
+(** An empty table of the given schema. *)
+
 val schema : t -> Schema.t
+(** The table's schema. *)
+
 val name : t -> string
+(** = [Schema.name (schema t)]. *)
+
 val cardinality : t -> int
+(** Number of rows. *)
 
 val add_index : t -> name:string -> string list -> unit
 (** Secondary hash index on the given columns.  May be added to a populated
@@ -32,8 +39,10 @@ val get : t -> key -> Value.t array option
 (** Point lookup; the returned array is a copy. *)
 
 val get_exn : t -> key -> Value.t array
+(** {!get}, raising {!No_such_row} when absent. *)
 
 val mem : t -> key -> bool
+(** Whether a row with that key exists. *)
 
 val update : t -> key -> (Value.t array -> Value.t array) -> Value.t array
 (** [update t k f] replaces the row at [k] with [f row]; returns the {e new}
@@ -80,6 +89,7 @@ val iter : (key -> Value.t array -> unit) -> t -> unit
     mutating the table from the callback is allowed. *)
 
 val fold : (key -> Value.t array -> 'a -> 'a) -> t -> 'a -> 'a
+(** {!iter} as a fold, with the same snapshot semantics. *)
 
 val last_scan_cost : t -> int
 (** Number of rows examined by the most recent [scan]/[scan_count]/
@@ -87,6 +97,18 @@ val last_scan_cost : t -> int
 
 val copy : t -> t
 (** Deep copy (rows and indexes). *)
+
+val index_specs : t -> (string * string list) list
+(** Name and column list of every secondary hash index, in creation order;
+    with {!ordered_index_specs} this is enough to rebuild the table's access
+    paths after deserializing its rows (checkpoint save/load). *)
+
+val ordered_index_specs : t -> (string * string list) list
+(** Name and column list of every ordered index, in creation order. *)
+
+val equal : t -> t -> bool
+(** Row-level equality: same key set, equal row values.  Indexes are derived
+    data and not compared. *)
 
 val field : t -> Value.t array -> string -> Value.t
 (** [field t row col] reads a column by name, e.g.

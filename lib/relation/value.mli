@@ -24,8 +24,13 @@ val compare : t -> t -> int
     but fixed order with [Null] first. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable rendering, for traces and failure messages. *)
+
 val pp_ty : Format.formatter -> ty -> unit
+(** Render a column type. *)
+
 val to_string : t -> string
+(** String form of {!pp}. *)
 
 (** Checked projections; raise [Invalid_argument] on a type mismatch so that
     workload bugs fail fast instead of corrupting an experiment. *)

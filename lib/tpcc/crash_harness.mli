@@ -1,0 +1,66 @@
+(** Crash-restart harness: kill TPC-C at registered crash points, recover,
+    and check the §3.4 recovery invariants.
+
+    Each injected {!Acc_fault.Fault.Crash} models the process dying: the
+    engine is discarded with its locks still held and its cleanup un-run,
+    and restart sees only the baseline snapshot, the WAL, and the last
+    durable checkpoint.  After every crash the harness checks that
+
+    - full-log and checkpoint-based recovery agree (state and pending set);
+    - replaying the WAL a second time is a no-op (recovery is idempotent);
+    - compensation replay empties the pending set, the post-replay log
+      re-recovers to the live state, and no locks or waiters survive;
+    - the TPC-C consistency conditions hold once the remaining transactions
+      have been resubmitted and run to completion.
+
+    See RECOVERY.md for the crash-point map and the recovery model. *)
+
+type config = {
+  params : Params.t;
+  seed : int;  (** input generation and population seed *)
+  txns : int;  (** transactions per run *)
+  abort_rate : float;
+      (** forced new-order failure rate — elevated above the spec's 1% so
+          short runs exercise inline compensation and its crash points *)
+  step_fault_p : float;  (** retryable injected step-failure probability *)
+  checkpoint_every : int;  (** quiescent checkpoint cadence, in log records *)
+  hits_per_point : int;
+      (** deterministic sweep: crash at this many evenly-spaced passage
+          counts per point (always including the first and the last) *)
+  chaos_p : float;  (** chaos mode: per-passage crash probability *)
+  verbose : bool;  (** narrate each crash/recovery on stdout *)
+}
+
+val default_config : config
+
+type result = {
+  r_label : string;  (** ["point:hit"], ["chaos(seed=…)"], or the baseline *)
+  r_crashes : int;  (** crashes injected and survived *)
+  r_errors : string list;  (** violated invariants; empty = pass *)
+}
+
+val failed : result -> bool
+
+val gen_inputs : config -> Txns.input array
+(** The seed-deterministic transaction mix every run of this config executes. *)
+
+val run_one_crash : config -> inputs:Txns.input array -> point:string -> hit:int -> result
+(** One deterministic crash: arm [point] at its [hit]-th passage, run,
+    recover, resume, check.  [r_errors] includes ["armed crash never
+    fired"] when the workload never reaches that passage. *)
+
+val sweep : ?config:config -> unit -> result list
+(** Deterministic sweep.  Dry-runs the workload under
+    {!Acc_fault.Fault.observe} to learn each registered point's passage
+    count (reporting points the workload never reaches as coverage
+    failures), then for each point crashes at [hits_per_point] spread hit
+    counts, recovering and resuming after each.  The first result is the
+    fault-free baseline run. *)
+
+val chaos : ?config:config -> seed:int -> unit -> result
+(** Probabilistic soak: every passage through any point crashes with
+    probability [chaos_p] from a PRNG seeded with [seed].  Faults stay armed
+    through recovery, so crashes also land inside the compensation replay —
+    exercising its re-recovery path. *)
+
+val pp_result : Format.formatter -> result -> unit

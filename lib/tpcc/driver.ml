@@ -164,13 +164,16 @@ let with_txn_effects : type r. state -> (unit -> r) -> r =
                       | Victim -> Effect.Deep.discontinue k Txn_effect.Deadlock_victim
                     end
                   end)
-          | Txn_effect.Yield ->
+          | Txn_effect.Yield attempt ->
               (* deadlock-retry backoff: randomized so that repeatedly
                  colliding transactions desynchronize instead of retrying in
-                 lockstep forever *)
+                 lockstep forever, scaled by the capped exponential factor of
+                 the attempt number *)
               Some
                 (fun (k : (b, r) Effect.Deep.continuation) ->
-                  Sim.delay (0.002 +. Prng.exponential st.backoff_g ~mean:0.05);
+                  Sim.delay
+                    ((0.002 +. Prng.exponential st.backoff_g ~mean:0.05)
+                    *. Acc_txn.Backoff.factor ~attempt ());
                   Effect.Deep.continue k ())
           | _ -> None);
     }

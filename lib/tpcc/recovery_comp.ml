@@ -1,7 +1,23 @@
+(* Crash-time completion of pending compensations (§3.4), as registered
+   [Replay] handlers.
+
+   Earlier revisions patched the recovered database directly with raw table
+   writes; the handlers now run through a live [Executor.ctx] (created by
+   [Replay.replay_one] via [Executor.adopt_pending]), so replayed
+   compensation takes compensation locks, appends WAL records, and is itself
+   crash-recoverable — a second crash mid-replay re-derives the same pending
+   obligation from the new engine's log.
+
+   Each handler is driven solely by the durable work area its forward steps
+   checkpointed at every step boundary, never by in-memory workspace: that
+   is the whole point of the area. *)
+
+module Executor = Acc_txn.Executor
 module Database = Acc_relation.Database
-module Table = Acc_relation.Table
 module Predicate = Acc_relation.Predicate
 module Recovery = Acc_wal.Recovery
+module Replay = Acc_core.Replay
+module Program = Acc_core.Program
 open Acc_relation.Value
 
 let field area name =
@@ -11,111 +27,116 @@ let field area name =
 
 let int_field area name = as_int (field area name)
 
-let new_order db (p : Recovery.pending) =
-  let area = p.Recovery.p_area in
+let new_order_handler ctx ~completed ~area =
   let w = int_field area "w" and d = int_field area "d" and o = int_field area "o_id" in
-  let orders = Database.table db "orders" in
-  let order_line = Database.table db "order_line" in
-  let new_order_t = Database.table db "new_order" in
-  let stock = Database.table db "stock" in
-  let line_keys =
-    Table.scan_keys
-      ~where:
-        (Predicate.conj
-           [
-             Predicate.Eq ("ol_w_id", Int w);
-             Predicate.Eq ("ol_d_id", Int d);
-             Predicate.Eq ("ol_o_id", Int o);
-           ])
-      order_line
-  in
-  List.iter
-    (fun key ->
-      let row = Table.get_exn order_line key in
-      let item = as_int row.(4) and qty = as_int row.(5) in
-      ignore
-        (Table.update stock (Load.stock_key ~w ~i:item) (fun s ->
-             s.(2) <- Int (as_int s.(2) + qty);
-             s.(3) <- Int (as_int s.(3) - qty);
-             s.(4) <- Int (as_int s.(4) - 1);
-             s));
-      ignore (Table.delete order_line key))
-    line_keys;
-  (* mark the burnt order number as a cancelled order *)
-  (if Table.mem orders (Load.order_key ~w ~d ~o) then
-     ignore
-       (Table.update orders (Load.order_key ~w ~d ~o) (fun row ->
-            row.(4) <- Int (-2);
-            row.(5) <- Int 0;
-            row))
-   else Table.insert orders [| Int w; Int d; Int o; Int 1; Int (-2); Int 0 |]);
-  if Table.mem new_order_t [ Int w; Int d; Int o ] then
-    ignore (Table.delete new_order_t [ Int w; Int d; Int o ])
+  let c = int_field area "c" in
+  if completed = 1 then
+    (* only the reads+counter step completed: the consumed order number is
+       exposed and cannot be taken back — record it as a cancelled order so
+       the id sequence stays dense (same rule as the inline compensation) *)
+    Executor.insert ctx "orders" [| Int w; Int d; Int o; Int c; Int (-2); Int 0 |]
+  else begin
+    (* steps 1..completed are durable: the order header, queue row and the
+       lines of the completed line steps all exist; the line set is found by
+       key scan because the replay has no in-memory workspace *)
+    let line_keys =
+      Executor.scan_keys ctx "order_line"
+        ~where:
+          (Predicate.conj
+             [
+               Predicate.Eq ("ol_w_id", Int w);
+               Predicate.Eq ("ol_d_id", Int d);
+               Predicate.Eq ("ol_o_id", Int o);
+             ])
+        ()
+    in
+    List.iter
+      (fun key ->
+        let row = Executor.read_exn ctx "order_line" key in
+        let item = as_int row.(4) and qty = as_int row.(5) in
+        ignore
+          (Executor.update ctx "stock" (Load.stock_key ~w ~i:item) (fun s ->
+               s.(2) <- Int (as_int s.(2) + qty);
+               s.(3) <- Int (as_int s.(3) - qty);
+               s.(4) <- Int (as_int s.(4) - 1);
+               s));
+        Executor.delete ctx "order_line" key)
+      line_keys;
+    ignore
+      (Executor.update ctx "orders" (Load.order_key ~w ~d ~o) (fun row ->
+           row.(4) <- Int (-2);
+           row.(5) <- Int 0;
+           row));
+    Executor.delete ctx "new_order" [ Int w; Int d; Int o ]
+  end
 
-let payment db (p : Recovery.pending) =
-  let area = p.Recovery.p_area in
-  let w = int_field area "w" and d = int_field area "d" and c = int_field area "c" in
+let payment_handler ctx ~completed ~area =
+  let w = int_field area "w" and d = int_field area "d" in
   let amount = number (field area "amount") in
-  let completed = p.Recovery.p_completed_steps in
   if completed >= 1 then
     ignore
-      (Table.update (Database.table db "warehouse") [ Int w ] (fun row ->
+      (Executor.update ctx "warehouse" [ Int w ] (fun row ->
            row.(3) <- Float (number row.(3) -. amount);
            row));
   if completed >= 2 then
     ignore
-      (Table.update (Database.table db "district") (Load.district_key ~w ~d) (fun row ->
+      (Executor.update ctx "district" (Load.district_key ~w ~d) (fun row ->
            row.(4) <- Float (number row.(4) -. amount);
            row));
   if completed >= 3 then begin
+    let c = int_field area "c" in
     ignore
-      (Table.update (Database.table db "customer") (Load.customer_key ~w ~d ~c) (fun row ->
+      (Executor.update ctx "customer" (Load.customer_key ~w ~d ~c) (fun row ->
            row.(6) <- Float (number row.(6) +. amount);
            row.(7) <- Float (number row.(7) -. amount);
            row.(8) <- Int (as_int row.(8) - 1);
            row));
     (* the exact history row is named in the work area *)
     let h_id = int_field area "h_id" in
-    ignore (Table.delete (Database.table db "history") [ Int h_id ])
+    Executor.delete ctx "history" [ Int h_id ]
   end
 
-let delivery db (p : Recovery.pending) =
-  let area = p.Recovery.p_area in
+let delivery_handler ctx ~completed ~area =
+  ignore completed;
   let w = int_field area "w" and n = int_field area "n" in
-  let order_line = Database.table db "order_line" in
   for idx = 0 to n - 1 do
     let d = int_field area (Printf.sprintf "d%d" idx) in
     let o = int_field area (Printf.sprintf "o%d" idx) in
     let c = int_field area (Printf.sprintf "c%d" idx) in
     let amount = number (field area (Printf.sprintf "amt%d" idx)) in
     ignore
-      (Table.update (Database.table db "customer") (Load.customer_key ~w ~d ~c) (fun row ->
+      (Executor.update ctx "customer" (Load.customer_key ~w ~d ~c) (fun row ->
            row.(6) <- Float (number row.(6) -. amount);
            row.(9) <- Int (as_int row.(9) - 1);
            row));
-    let o_row = Table.get_exn (Database.table db "orders") (Load.order_key ~w ~d ~o) in
+    let o_row = Executor.read_exn ctx "orders" (Load.order_key ~w ~d ~o) in
     for ln = 1 to as_int o_row.(5) do
       ignore
-        (Table.update order_line [ Int w; Int d; Int o; Int ln ] (fun row ->
+        (Executor.update ctx "order_line" [ Int w; Int d; Int o; Int ln ] (fun row ->
              row.(7) <- Int (-1);
              row))
     done;
     ignore
-      (Table.update (Database.table db "orders") (Load.order_key ~w ~d ~o) (fun row ->
+      (Executor.update ctx "orders" (Load.order_key ~w ~d ~o) (fun row ->
            row.(4) <- Int (-1);
            row));
-    Table.insert (Database.table db "new_order") [| Int w; Int d; Int o |]
+    Executor.insert ctx "new_order" [| Int w; Int d; Int o |]
   done
 
-let complete db (p : Recovery.pending) =
-  match p.Recovery.p_txn_type with
-  | "new_order" -> new_order db p
-  | "payment" -> payment db p
-  | "delivery" -> delivery db p
-  | other -> invalid_arg ("Recovery_comp: unknown transaction type " ^ other)
+(* Linking this module is enough to make TPC-C recoverable: the handlers are
+   registered at module-initialization time, keyed by transaction-type name
+   and carrying the design-time id of each compensating step. *)
+let () =
+  Replay.register ~txn_type:"new_order" ~step_type:Txns.no_comp.Program.sd_id new_order_handler;
+  Replay.register ~txn_type:"payment" ~step_type:Txns.pay_comp.Program.sd_id payment_handler;
+  Replay.register ~txn_type:"delivery" ~step_type:Txns.dl_comp.Program.sd_id delivery_handler
+
+let replay_engine db = Executor.create ~sem:Txns.semantics db
+
+let complete db (p : Recovery.pending) = Replay.replay_one (replay_engine db) p
 
 let complete_all db (report : Recovery.report) =
-  List.iter (complete db) report.Recovery.pending
+  ignore (Replay.replay_pending (replay_engine db) report)
 
 let recover_and_compensate ~baseline records =
   let report = Recovery.recover ~baseline records in

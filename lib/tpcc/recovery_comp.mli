@@ -1,17 +1,24 @@
-(** Crash-time completion of pending compensations (§3.4).
+(** Crash-time completion of pending compensations (§3.4) for the TPC-C
+    workload.
 
     {!Acc_wal.Recovery.recover} reports multi-step transactions that had
     completed one or more steps when the system died; their exposed effects
-    must be undone {e logically}.  This module re-executes the semantic undo
-    of each TPC-C transaction type directly against the recovered database,
-    driven by the work area the forward steps checkpointed at every step
-    boundary — exactly what a restarted ACC would do before accepting new
-    work. *)
+    must be undone {e logically}.  This module registers the semantic undo of
+    each TPC-C transaction type as an {!Acc_core.Replay} handler (keyed by
+    type name, at module-initialization time), driven entirely by the work
+    area the forward steps made durable at every step boundary.
+
+    The handlers run through a live executor context, so a replayed
+    compensation takes compensation locks, appends WAL records, and is
+    itself crash-recoverable; drivers with a long-lived engine should call
+    {!Acc_core.Replay.replay_pending} on it directly — the helpers below
+    spin up a throwaway engine around a bare database for tests and
+    examples. *)
 
 val complete : Acc_relation.Database.t -> Acc_wal.Recovery.pending -> unit
-(** Apply the compensating action for one pending transaction.  Raises
-    [Invalid_argument] on an unknown transaction type or a work area missing
-    required fields. *)
+(** Apply the compensating step for one pending transaction, on a throwaway
+    engine over [db].  Raises [Failure] on an unknown transaction type,
+    [Invalid_argument] on a work area missing required fields. *)
 
 val complete_all : Acc_relation.Database.t -> Acc_wal.Recovery.report -> unit
 

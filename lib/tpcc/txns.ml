@@ -10,6 +10,7 @@ module Table = Acc_relation.Table
 module Database = Acc_relation.Database
 module Predicate = Acc_relation.Predicate
 module Prng = Acc_util.Prng
+module Fault = Acc_fault.Fault
 open Value
 
 type env = {
@@ -472,6 +473,11 @@ type pay_ws = { mutable h_id : int; mutable w_customer : int }
 
 let pay_h_seq = Atomic.make 1_000_000 (* surrogate history keys; process-wide *)
 
+(* Cross-run determinism (the crash-equivalence property test runs the same
+   inputs twice and compares final states): the history keys must restart
+   from the same origin for both runs. *)
+let reset_history_seq () = Atomic.set pay_h_seq 1_000_000
+
 let pay_step1 env (i : payment_input) ctx =
   ignore env;
   ignore
@@ -755,7 +761,8 @@ let new_order_instance env (i : new_order_input) =
   in
   Program.instance ~def:new_order_type ~steps ~assertions
     ~compensate:(fun ctx ~completed -> no_compensation i ws ctx ~completed)
-    ~comp_area:(fun () -> [ ("w", Int i.no_w); ("d", Int i.no_d); ("o_id", Int ws.o_id) ])
+    ~comp_area:(fun () ->
+      [ ("w", Int i.no_w); ("d", Int i.no_d); ("o_id", Int ws.o_id); ("c", Int i.no_c) ])
     ()
 
 let payment_instance env (i : payment_input) =
@@ -834,37 +841,41 @@ let run_acc ?options eng env input =
           order_status_body env i ctx)
   | Stock_level i ->
       (* READ COMMITTED: flat, no assertional locks, short read locks *)
-      let rec attempt () =
+      let rec attempt n =
         let ctx = Executor.begin_txn eng ~txn_type:"stock_level" ~multi_step:false in
         Executor.set_step ctx ~step_type:sl_read.Program.sd_id ~step_index:1;
         try
+          Fault.step_trip ();
           stock_level_body env i ctx;
           Executor.commit ctx;
           Runtime.Committed
-        with Txn_effect.Deadlock_victim ->
+        with Txn_effect.Deadlock_victim | Fault.Step_fault ->
           Executor.abort_physical ctx;
-          Txn_effect.yield ();
-          attempt ()
+          Txn_effect.yield ~attempt:n ();
+          attempt (n + 1)
       in
-      attempt ()
+      attempt 1
 
 let run_flat eng env input =
-  let rec attempt () =
+  let rec attempt n =
     let ctx = Executor.begin_txn eng ~txn_type:(txn_name input) ~multi_step:false in
     try
+      Fault.step_trip ();
       flat env input ctx;
       Executor.commit ctx;
       `Committed
     with
-    | Txn_effect.Deadlock_victim ->
+    | Txn_effect.Deadlock_victim | Fault.Step_fault ->
         Executor.abort_physical ctx;
-        Txn_effect.yield ();
-        attempt ()
+        Txn_effect.yield ~attempt:n ();
+        attempt (n + 1)
     | Txn_effect.Abort_requested ->
         Executor.abort_physical ctx;
         `Aborted
-    | e ->
+    | e when not (Fault.is_crash e) ->
+        (* a simulated crash runs no cleanup: the abort record must not reach
+           the log, recovery handles the loser *)
         Executor.abort_physical ctx;
         raise e
   in
-  attempt ()
+  attempt 1

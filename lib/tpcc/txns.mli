@@ -84,6 +84,21 @@ val semantics : Acc_lock.Mode.semantics
 val forward_step_count : int
 (** = 11, the paper's "eleven distinct forward step types". *)
 
+val no_comp : Acc_core.Program.step_def
+(** new_order's compensating step (cancel-order); {!Recovery_comp} keys its
+    replay handler on its design-time id. *)
+
+val pay_comp : Acc_core.Program.step_def
+(** payment's compensating step (refund). *)
+
+val dl_comp : Acc_core.Program.step_def
+(** delivery's compensating step (undeliver). *)
+
+val reset_history_seq : unit -> unit
+(** Reset the process-wide surrogate history-key sequence.  Call before a
+    run whose final state must be comparable with another run of the same
+    inputs (the crash-equivalence property test). *)
+
 (** {1 Flat (baseline) bodies} *)
 
 val flat : env -> input -> Acc_txn.Executor.ctx -> unit

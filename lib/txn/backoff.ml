@@ -1,0 +1,16 @@
+(* Capped exponential backoff for step retries.
+
+   The runtime does not sleep itself — scheduling is owned by whichever
+   driver handles the {!Txn_effect.Yield} effect (deterministic round-robin,
+   discrete-event simulator, or real domains).  Retrying code passes its
+   attempt number through the effect; the handler multiplies its base delay
+   by [factor ~attempt], so the same policy yields simulated milliseconds
+   under the simulator and real microseconds under the parallel engine. *)
+
+type policy = { multiplier : float; max_factor : float }
+
+let default = { multiplier = 2.0; max_factor = 32.0 }
+
+let factor ?(policy = default) ~attempt () =
+  if attempt <= 1 then 1.0
+  else Float.min policy.max_factor (policy.multiplier ** float_of_int (attempt - 1))

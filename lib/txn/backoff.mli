@@ -1,0 +1,20 @@
+(** Capped exponential backoff for deadlock-victim and fault-aborted step
+    retries.
+
+    Retrying code (the runtime's step loop, the flat-transaction runners)
+    reports its attempt number through {!Txn_effect.Yield}; the scheduler
+    handling the effect scales its own base delay by {!factor}.  Keeping the
+    policy here — and the delay units in the handlers — lets one policy
+    serve the simulator (virtual seconds) and the multicore engine (real
+    sleeps) alike. *)
+
+type policy = { multiplier : float; max_factor : float }
+(** Delay grows as [multiplier ^ (attempt - 1)], saturating at
+    [max_factor]. *)
+
+val default : policy
+(** Doubling, capped at 32× the handler's base delay. *)
+
+val factor : ?policy:policy -> attempt:int -> unit -> float
+(** Scale for the given 1-based attempt number; [1.0] for a first attempt
+    (or [attempt <= 0], used by plain reschedule yields). *)

@@ -9,6 +9,17 @@ module Log = Acc_wal.Log
 module Record = Acc_wal.Record
 module Recovery = Acc_wal.Recovery
 module Trace = Acc_obs.Trace
+module Fault = Acc_fault.Fault
+
+(* Crash points at the engine's recovery-critical state transitions (the
+   per-record points inside [Log.append] cover each record's durability;
+   these cover the windows {e between} appends): a completed work area whose
+   step-end is not yet durable, a durable commit whose locks are not yet
+   released, a lock release that never happens, and a compensating write. *)
+let cp_step_area = Fault.register "exec.step_area"
+let cp_commit_durable = Fault.register "exec.commit.durable"
+let cp_release = Fault.register "exec.release"
+let cp_comp_write = Fault.register "comp.write"
 
 (* A pluggable lock manager: the sequential backend queues on the
    single-threaded [Lock_table] and suspends via the [Wait_lock] effect (the
@@ -333,7 +344,11 @@ let scan_keys_for_update ctx tname ?where () =
   keys
 
 let log_write ctx write =
-  ignore (Log.append ctx.eng.log (Record.Write { txn = ctx.txn; write; undo = false }));
+  if ctx.compensating then Fault.trip cp_comp_write;
+  (* a compensating step's writes are compensation records: recovery replays
+     them like any write, but if the step's end record is not durable they
+     are physically rewound rather than treated as forward progress *)
+  ignore (Log.append ctx.eng.log (Record.Write { txn = ctx.txn; write; undo = ctx.compensating }));
   ctx.undo_stack <- write :: ctx.undo_stack
 
 let insert ctx tname row =
@@ -395,7 +410,10 @@ let end_step ctx ~comp_area =
   | Some area ->
       ignore
         (Log.append ctx.eng.log
-           (Record.Comp_area { txn = ctx.txn; completed_steps = ctx.step_index; area }))
+           (Record.Comp_area { txn = ctx.txn; completed_steps = ctx.step_index; area }));
+      (* the window where the area is durable but the step is not yet
+         complete: recovery must treat the step as never having happened *)
+      Fault.trip cp_step_area
   | None -> ());
   ignore (Log.append ctx.eng.log (Record.Step_end { txn = ctx.txn; step_index = ctx.step_index }));
   charge ctx.eng ctx.eng.cost.step_end;
@@ -406,7 +424,12 @@ let end_step ctx ~comp_area =
   ctx.undo_stack <- []
 
 let release_locks ctx pred = lock_release_where ctx.eng ~txn:ctx.txn pred
-let release_everything ctx = lock_release_all ctx.eng ~txn:ctx.txn
+
+let release_everything ctx =
+  (* a crash here leaves every lock of the transaction dangling in the dying
+     process; the restarted engine must come up with an empty lock table *)
+  Fault.trip cp_release;
+  lock_release_all ctx.eng ~txn:ctx.txn
 
 let finish ctx =
   ctx.finished <- true;
@@ -415,6 +438,8 @@ let finish ctx =
 let commit ctx =
   assert (not ctx.finished);
   ignore (Log.append ctx.eng.log (Record.Commit { txn = ctx.txn }));
+  (* commit durable, locks still held *)
+  Fault.trip cp_commit_durable;
   if Trace.enabled () then Trace.emit (Trace.Txn_commit { txn = ctx.txn });
   finish ctx;
   release_everything ctx
@@ -435,6 +460,39 @@ let finish_compensated ctx =
     Trace.emit (Trace.Txn_abort { txn = ctx.txn; compensated = true });
   finish ctx;
   release_everything ctx
+
+(* Re-open a transaction that recovery reported as pending compensation.
+   The adopted context keeps the original transaction id, and its protocol
+   obligations — Begin, work area, last completed step — are re-logged on
+   the (new) engine's log: if the process dies again before the compensating
+   step commits, the next recovery re-derives exactly the same pending
+   obligation from this engine's baseline + log. *)
+let adopt_pending t ~txn ~txn_type ~completed_steps ~area =
+  if completed_steps < 1 then invalid_arg "Executor.adopt_pending: nothing to compensate";
+  let rec bump () =
+    let cur = Atomic.get t.next_txn in
+    if cur <= txn && not (Atomic.compare_and_set t.next_txn cur (txn + 1)) then bump ()
+  in
+  bump ();
+  Atomic.incr t.active;
+  ignore (Log.append t.log (Record.Begin { txn; txn_type; multi_step = true }));
+  ignore (Log.append t.log (Record.Comp_area { txn; completed_steps; area }));
+  ignore (Log.append t.log (Record.Step_end { txn; step_index = completed_steps }));
+  if Trace.enabled () then Trace.emit (Trace.Txn_begin { txn; txn_type });
+  {
+    eng = t;
+    txn;
+    txn_type;
+    multi_step = true;
+    step_type = 0;
+    step_index = completed_steps;
+    compensating = false;
+    undo_stack = [];
+    on_lock = (fun _ _ -> ());
+    on_before_lock = (fun _ _ -> ());
+    step_t0 = 0.;
+    finished = false;
+  }
 
 let active_txns t = Atomic.get t.active
 

@@ -216,6 +216,25 @@ val finish_compensated : ctx -> unit
 
 val finished : ctx -> bool
 
+(* recovery *)
+
+val adopt_pending :
+  t ->
+  txn:int ->
+  txn_type:string ->
+  completed_steps:int ->
+  area:(string * Acc_relation.Value.t) list ->
+  ctx
+(** Re-open a transaction that {!Acc_wal.Recovery} reported as pending
+    compensation, keeping its original id ([next_txn] is bumped past it).
+    The obligation — [Begin], work area, last completed step — is re-logged
+    on this engine's log, so a crash during the compensation replay leaves
+    the pending state re-derivable from this engine's baseline + log.  The
+    caller then runs the compensating step on the returned context exactly
+    as the runtime would (see {!Acc_core.Replay}).  Raises
+    [Invalid_argument] if [completed_steps < 1] (nothing exposed — recovery
+    already rolled such transactions back physically). *)
+
 (* checkpoints *)
 
 val active_txns : t -> int

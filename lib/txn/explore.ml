@@ -110,7 +110,7 @@ let run_one ~policy ~trace engine fibers =
           | Txn_effect.Wait_lock { ticket; txn } ->
               Some
                 (fun (k : (b, unit) Effect.Deep.continuation) -> handle_wait st ~ticket ~txn k)
-          | Txn_effect.Yield ->
+          | Txn_effect.Yield _ ->
               Some (fun (k : (b, unit) Effect.Deep.continuation) -> enqueue st (Resume k))
           | _ -> None);
     }

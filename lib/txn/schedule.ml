@@ -80,7 +80,9 @@ let run ?(policy = abort_youngest) ?(max_tasks = 1_000_000) engine fibers =
           | Txn_effect.Wait_lock { ticket; txn } ->
               Some
                 (fun (k : (b, unit) Effect.Deep.continuation) -> handle_wait st ~ticket ~txn k)
-          | Txn_effect.Yield ->
+          | Txn_effect.Yield _ ->
+              (* deterministic round-robin: backoff is a real-time notion, so
+                 the attempt number only matters to the timed schedulers *)
               Some (fun (k : (b, unit) Effect.Deep.continuation) -> Queue.add (Resume k) st.ready)
           | _ -> None);
     }

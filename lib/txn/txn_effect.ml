@@ -5,11 +5,14 @@
 
 type _ Effect.t +=
   | Wait_lock : { ticket : Acc_lock.Lock_table.ticket; txn : int } -> unit Effect.t
-  | Yield : unit Effect.t
-        (** Voluntary reschedule point: lets tests and examples construct
-            specific interleavings of transaction steps. *)
+  | Yield : int -> unit Effect.t
+        (** Voluntary reschedule point.  The payload is the retry attempt
+            number that prompted the yield (0 for a plain reschedule): the
+            scheduler handling the effect turns it into a delay via
+            {!Backoff.factor}, so repeated victims back off exponentially
+            instead of ping-ponging. *)
 
-let yield () = Effect.perform Yield
+let yield ?(attempt = 0) () = Effect.perform (Yield attempt)
 
 exception Deadlock_victim
 (** Raised {e at the wait point} of a transaction chosen as deadlock victim:

@@ -12,12 +12,17 @@ type _ Effect.t +=
         (** Performed by {!Executor.acquire} when a lock request queues;
             resumed when the ticket is granted, or discontinued with
             {!Deadlock_victim}. *)
-  | Yield : unit Effect.t
+  | Yield : int -> unit Effect.t
         (** Voluntary reschedule point: lets tests and examples construct
             specific interleavings, and gives the explorer its branch
-            points. *)
+            points.  The payload is the retry attempt number that prompted
+            the yield ([0] for a plain reschedule); timed schedulers scale
+            their base delay by {!Backoff.factor} of it, so repeated
+            deadlock victims and fault-aborted steps back off exponentially
+            instead of ping-ponging. *)
 
-val yield : unit -> unit
+val yield : ?attempt:int -> unit -> unit
+(** [yield ()] performs [Yield 0]; [yield ~attempt ()] reports a retry. *)
 
 exception Deadlock_victim
 (** Raised {e at the wait point} of a transaction chosen as deadlock victim:

@@ -27,3 +27,43 @@ val snapshot : t -> Acc_relation.Database.t
 
 val recover : t -> Log.t -> Recovery.report
 (** Recover using the snapshot and the records appended after it. *)
+
+val save : t -> string -> unit
+(** Persist the checkpoint (snapshot rows, index specifications, and log
+    position) to a file with [Marshal].  Together with {!Log.save} this is a
+    complete on-disk recovery image. *)
+
+val load : string -> t
+(** Read back a checkpoint written by {!save}, rebuilding every secondary
+    and ordered index from its stored specification.  Raises [Failure] on an
+    unreadable file. *)
+
+(** Checkpoint cadence: keep the latest checkpoint and take a new one every
+    [every] log records, so recovery replays a bounded suffix instead of the
+    whole WAL.  The caller still guarantees quiescence at each
+    [maybe_take] (drivers call it between transactions, through
+    {!Acc_txn.Executor.checkpoint}'s active-transaction guard). *)
+module Manager : sig
+  type checkpoint = t
+
+  type t
+
+  val create : ?every:int -> unit -> t
+  (** A manager that considers a new checkpoint due once [every] (default
+      256) records have been appended past the latest one. *)
+
+  val latest : t -> checkpoint option
+
+  val install : t -> checkpoint -> unit
+  (** Adopt an externally taken checkpoint (e.g. from
+      {!Acc_txn.Executor.checkpoint}) as the latest. *)
+
+  val maybe_take : t -> Acc_relation.Database.t -> Log.t -> bool
+  (** Take and install a checkpoint if one is due; returns whether it did.
+      The caller must guarantee transaction quiescence. *)
+
+  val recover : t -> baseline:Acc_relation.Database.t -> Log.t -> Recovery.report
+  (** Recover from the latest checkpoint's snapshot and the log suffix
+      beyond it — or from [baseline] and the whole log if no checkpoint has
+      been taken. *)
+end

@@ -4,10 +4,22 @@ type lsn = int
    but readers (recovery, tests, checkpointing) run on a quiesced engine *)
 type t = { mutable records : Record.t array; mutable len : int; mu : Mutex.t }
 
+(* One crash point per record kind, tripped just before the append becomes
+   visible: a crash here models losing the record (and everything the
+   transaction would have done after it) — the recovery-critical window for
+   each record type.  Keyed by [Record.kind] so Write/undo distinguish. *)
+let crash_points =
+  List.map
+    (fun kind -> (kind, Acc_fault.Fault.register ("wal.append." ^ kind)))
+    [ "begin"; "write"; "undo"; "step_end"; "comp_area"; "commit"; "abort" ]
+
+let trip_for r = Acc_fault.Fault.trip (List.assoc (Record.kind r) crash_points)
+
 let create () =
   { records = Array.make 256 (Record.Commit { txn = -1 }); len = 0; mu = Mutex.create () }
 
 let append t r =
+  trip_for r;
   Mutex.lock t.mu;
   if t.len = Array.length t.records then begin
     let bigger = Array.make (2 * t.len) r in

@@ -42,6 +42,15 @@ type txn_info = {
   (* compensation-log records seen since the last step boundary: each one
      already undid the newest not-yet-covered forward write *)
   mutable tail_undone : int;
+  (* undo-records beyond those covering the forward tail: the writes of a
+     logical compensating step in progress, newest first.  If the crash
+     interrupts the compensation, these are physically rewound so the
+     replayed compensating step restarts from a clean post-last-step state *)
+  mutable comp_writes : Record.write list;
+  (* the compensating step's own end-of-step record is durable: the
+     compensation is complete even though the final Abort record is not —
+     the step-end is its atomic commit point, same as any step *)
+  mutable comp_done : bool;
 }
 
 let recover ~baseline records =
@@ -61,6 +70,8 @@ let recover ~baseline records =
             staged_area = None;
             tail_writes = [];
             tail_undone = 0;
+            comp_writes = [];
+            comp_done = false;
           }
         in
         Hashtbl.add txns txn i;
@@ -77,18 +88,31 @@ let recover ~baseline records =
       | Record.Write { txn; write; undo } ->
           apply_write db write;
           let i = info txn in
-          if undo then i.tail_undone <- i.tail_undone + 1
+          if undo then
+            (* the first [length tail_writes] undo-records reverse the
+               forward tail (physical step rollback, newest first); any
+               further ones are the writes of a logical compensating step *)
+            if i.tail_undone < List.length i.tail_writes then
+              i.tail_undone <- i.tail_undone + 1
+            else i.comp_writes <- write :: i.comp_writes
           else i.tail_writes <- write :: i.tail_writes
       | Record.Step_end { txn; step_index } ->
           let i = info txn in
-          i.completed_steps <- max i.completed_steps step_index;
-          (match i.staged_area with
-          | Some area ->
-              i.area <- area;
-              i.staged_area <- None
-          | None -> ());
-          i.tail_writes <- [];
-          i.tail_undone <- 0
+          if i.comp_writes <> [] then
+            (* end-of-step of the compensating step itself: its durable
+               step-end commits the compensation even if the Abort record
+               never made the log *)
+            i.comp_done <- true
+          else begin
+            i.completed_steps <- max i.completed_steps step_index;
+            (match i.staged_area with
+            | Some area ->
+                i.area <- area;
+                i.staged_area <- None
+            | None -> ());
+            i.tail_writes <- [];
+            i.tail_undone <- 0
+          end
       | Record.Comp_area { txn; completed_steps = _; area } ->
           (* staged until the matching Step_end arrives: only a durable
              end-of-step record completes a step *)
@@ -96,9 +120,13 @@ let recover ~baseline records =
       | Record.Commit { txn } -> (info txn).status <- `Committed
       | Record.Abort { txn } -> (info txn).status <- `Resolved)
     records;
-  (* physical undo of every loser's uncompleted step: tail_writes holds the
-     forward writes newest-first; the newest [tail_undone] of them were
-     already reversed by logged compensation records *)
+  (* a loser whose compensating step completed (its step-end record is
+     durable) needs nothing further: only the Abort marker was lost *)
+  Hashtbl.iter (fun _ i -> if i.status = `Active && i.comp_done then i.status <- `Resolved) txns;
+  (* physical undo of every loser's uncompleted work, newest first: the
+     writes of an interrupted compensating step, then the forward tail of
+     the uncompleted step (of which the newest [tail_undone] were already
+     reversed by logged rollback records) *)
   let losers =
     Hashtbl.fold (fun txn i acc -> if i.status = `Active then (txn, i) :: acc else acc) txns []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -106,7 +134,7 @@ let recover ~baseline records =
   List.iter
     (fun (_, i) ->
       let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
-      List.iter (undo_write db) (drop i.tail_undone i.tail_writes))
+      List.iter (undo_write db) (i.comp_writes @ drop i.tail_undone i.tail_writes))
     losers;
   let pending, physically_undone =
     List.partition (fun (_, i) -> i.multi_step && i.completed_steps > 0) losers

@@ -14,8 +14,15 @@
       the programmer-supplied compensating step from that area.
 
     Compensation-log records ([Write] with [undo = true]) are replayed like
-    ordinary writes but never undone, so recovery is correct even when the
-    crash interrupts a rollback that was itself in progress. *)
+    ordinary writes.  The ones that reverse the forward tail of an
+    uncompleted step are never undone — recovery is correct even when the
+    crash interrupts a physical rollback that was itself in progress.  The
+    ones a {e logical compensating step} logged are step-atomic like any
+    other step's: if the compensating step's end-of-step record is durable,
+    the compensation is treated as complete (only the final [Abort] marker
+    was lost); otherwise its partial writes are physically rewound and the
+    transaction is reported pending, so the replayed compensating step
+    restarts from a clean post-last-step state. *)
 
 type pending = {
   p_txn : int;

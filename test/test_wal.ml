@@ -340,6 +340,107 @@ let test_checkpoint_equivalence () =
   Alcotest.(check int) "snapshot isolated" 20
     (qty (Checkpoint.snapshot cp) 2)
 
+(* A logical compensating step logs its writes as compensation records
+   (undo = true).  Its own durable Step_end is the compensation's atomic
+   commit point: the transaction is resolved even though the final Abort
+   record never made the log. *)
+let test_recover_comp_step_end_commits () =
+  let records =
+    [
+      begin_r ~multi:true 1;
+      write_r 1 (w_update 1 10 20);
+      Record.Comp_area { txn = 1; completed_steps = 1; area = [ ("k", v_int 1) ] };
+      step_r 1 1;
+      (* compensating step: reverses the completed step, then its step-end *)
+      write_r ~undo:true 1 (w_update 1 20 10);
+      step_r 1 2;
+      (* crash before the Abort record *)
+    ]
+  in
+  let r = Recovery.recover ~baseline:(fresh_db [ (1, 10) ]) records in
+  Alcotest.(check int) "compensation kept" 10 (qty r.Recovery.db 1);
+  Alcotest.(check (list int)) "resolved, not pending" [ 1 ] r.Recovery.already_resolved;
+  Alcotest.(check int) "no pending" 0 (List.length r.Recovery.pending)
+
+(* Without that step-end, the compensating step's partial writes are
+   physically rewound and the transaction stays pending, so replay restarts
+   the compensating step from a clean post-last-step state. *)
+let test_recover_comp_partial_rewound () =
+  let records =
+    [
+      begin_r ~multi:true 1;
+      write_r 1 (w_update 1 10 20);
+      write_r 1 (w_update 2 5 6);
+      Record.Comp_area { txn = 1; completed_steps = 1; area = [ ("k", v_int 1) ] };
+      step_r 1 1;
+      (* compensation in progress: one of two reversals logged, then crash *)
+      write_r ~undo:true 1 (w_update 2 6 5);
+    ]
+  in
+  let r = Recovery.recover ~baseline:(fresh_db [ (1, 10); (2, 5) ]) records in
+  Alcotest.(check int) "partial comp write rewound" 6 (qty r.Recovery.db 2);
+  Alcotest.(check int) "completed step untouched" 20 (qty r.Recovery.db 1);
+  match r.Recovery.pending with
+  | [ p ] ->
+      Alcotest.(check int) "pending after step 1" 1 p.Recovery.p_completed_steps;
+      Alcotest.(check bool) "area carried" true (p.Recovery.p_area = [ ("k", v_int 1) ])
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 pending, got %d" (List.length l))
+
+let test_checkpoint_save_load () =
+  let db = fresh_db [ (1, 10); (2, 20) ] in
+  Table.add_index (Database.table db "items") ~name:"by_qty" [ "qty" ];
+  let log = Log.create () in
+  ignore (Log.append log (begin_r 1));
+  ignore (Log.append log (write_r 1 (w_update 1 10 11)));
+  Recovery.apply_write db (w_update 1 10 11);
+  ignore (Log.append log (commit_r 1));
+  let cp = Checkpoint.take db log in
+  let path = Filename.temp_file "acc_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Checkpoint.save cp path;
+      let cp' = Checkpoint.load path in
+      Alcotest.(check int) "position survives" (Checkpoint.position cp) (Checkpoint.position cp');
+      Alcotest.(check bool) "snapshot survives" true
+        (Database.equal (Checkpoint.snapshot cp) (Checkpoint.snapshot cp'));
+      Alcotest.(check bool) "indexes rebuilt" true
+        (Table.index_specs (Database.table (Checkpoint.snapshot cp') "items")
+        = [ ("by_qty", [ "qty" ]) ]))
+
+let test_checkpoint_manager () =
+  let module M = Checkpoint.Manager in
+  let baseline = fresh_db [ (1, 10) ] in
+  let db = Database.copy baseline in
+  let log = Log.create () in
+  let mgr = M.create ~every:3 () in
+  Alcotest.(check bool) "nothing due on empty log" false (M.maybe_take mgr db log);
+  let run_txn txn before after =
+    ignore (Log.append log (begin_r txn));
+    ignore (Log.append log (write_r txn (w_update 1 before after)));
+    Recovery.apply_write db (w_update 1 before after);
+    ignore (Log.append log (commit_r txn))
+  in
+  run_txn 1 10 11;
+  Alcotest.(check bool) "due after [every] records" true (M.maybe_take mgr db log);
+  (match M.latest mgr with
+  | Some c -> Alcotest.(check int) "position at log end" 3 (Checkpoint.position c)
+  | None -> Alcotest.fail "no checkpoint installed");
+  run_txn 2 11 12;
+  run_txn 3 12 13;
+  (* recovery from the checkpoint + suffix agrees with the full log *)
+  let via_mgr = M.recover mgr ~baseline log in
+  let via_full = Recovery.recover ~baseline (Log.to_list log) in
+  Alcotest.(check bool) "manager = full recovery" true
+    (Database.equal via_mgr.Recovery.db via_full.Recovery.db);
+  (* the suffix only mentions transactions begun after the checkpoint *)
+  Alcotest.(check (list int)) "suffix commits" [ 2; 3 ] via_mgr.Recovery.committed;
+  (* a manager with no checkpoint falls back to the whole log *)
+  let empty = M.create ~every:3 () in
+  let via_empty = M.recover empty ~baseline log in
+  Alcotest.(check bool) "fallback = full recovery" true
+    (Database.equal via_empty.Recovery.db via_full.Recovery.db)
+
 let test_checkpoint_engine_guard () =
   let module Executor = Acc_txn.Executor in
   let db = fresh_db [ (1, 10) ] in
@@ -387,11 +488,17 @@ let suites =
         Alcotest.test_case "work area staged until step end" `Quick
           test_area_staged_until_step_end;
         Alcotest.test_case "crash at every prefix" `Quick test_crash_at_every_prefix;
+        Alcotest.test_case "comp step-end commits compensation" `Quick
+          test_recover_comp_step_end_commits;
+        Alcotest.test_case "partial compensation rewound" `Quick
+          test_recover_comp_partial_rewound;
       ] );
     ( "wal.checkpoint",
       [
         Alcotest.test_case "checkpoint+suffix = full recovery" `Quick
           test_checkpoint_equivalence;
+        Alcotest.test_case "save/load roundtrip" `Quick test_checkpoint_save_load;
+        Alcotest.test_case "manager cadence + recovery" `Quick test_checkpoint_manager;
         Alcotest.test_case "engine guard" `Quick test_checkpoint_engine_guard;
       ] );
   ]

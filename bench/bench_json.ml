@@ -90,6 +90,15 @@ let parallel_report_json (r : P.report) =
       ("leaked_locks", Json.Int r.P.leaked_locks);
       ("leaked_waiters", Json.Int r.P.leaked_waiters);
       ("violations", Json.Int (List.length r.P.violations));
+      ("lock_timeouts", Json.Int r.P.lock_timeouts);
+      ("shed", Json.Int r.P.shed);
+      ("degraded_runs", Json.Int r.P.degraded_runs);
+      ("degraded_trips", Json.Int r.P.degraded_trips);
+      ("lock_wait_count", Json.Int r.P.lock_wait_count);
+      ( "lock_wait_p99",
+        Json.Float (if r.P.lock_wait_count = 0 then 0. else r.P.lock_wait_p99) );
+      ("peak_queue_depth", Json.Int r.P.peak_queue_depth);
+      ("peak_oldest_wait", Json.Float r.P.peak_oldest_wait);
       ( "step_latency",
         Json.List
           (List.map

@@ -147,6 +147,68 @@ let run_parallel ~quick =
         ] );
   ]
 
+(* ---------- overload bench --------------------------------------------- *)
+
+(* The engine past saturation: 4× more worker domains than the admission cap,
+   a district hotspot, and a short lock-wait deadline.  The robustness claim
+   being measured (DESIGN.md §13): the engine sheds rather than queues, every
+   lock wait is bounded, and the database is consistent after the drain — so
+   the headline numbers are the shed rate and the p99 lock wait, not
+   throughput.  Exits non-zero on violations or leaks: CI runs this as the
+   overload soak's machine-readable half. *)
+let run_overload ~quick =
+  let module P = Acc_tpcc.Parallel_driver in
+  let seconds = if quick then 2.0 else 5.0 in
+  let max_inflight = 2 in
+  let domains = 4 * max_inflight in
+  let deadline = 0.05 in
+  let cfg =
+    {
+      P.default_config with
+      P.system = P.Acc;
+      domains;
+      duration = seconds;
+      compute_between = 0.001;
+      mix = P.New_order_payment;
+      skewed_district = true;
+      lock_deadline = Some deadline;
+      max_inflight = Some max_inflight;
+      shed_watermark = Some 200.;
+    }
+  in
+  Format.fprintf ppf
+    "@.=== overload: %d domains against an admission cap of %d (%.1fs, %.0fms deadline) ===@."
+    domains max_inflight seconds (deadline *. 1000.);
+  let r = P.run cfg in
+  Format.fprintf ppf "%a@." P.pp_report r;
+  List.iter (fun v -> Format.fprintf ppf "  violation: %s@." v) r.P.violations;
+  let attempts = r.P.shed + r.P.committed + r.P.forced_aborts + r.P.compensations in
+  let shed_rate =
+    if attempts > 0 then float_of_int r.P.shed /. float_of_int attempts else 0.
+  in
+  Format.fprintf ppf "  shed rate:           %.3f (%d of %d admission attempts)@."
+    shed_rate r.P.shed attempts;
+  let json =
+    [
+      ( "overload",
+        Json.Obj
+          [
+            ("domains", Json.Int domains);
+            ("max_inflight", Json.Int max_inflight);
+            ("deadline_ms", Json.Float (deadline *. 1000.));
+            ("shed_watermark", Json.Float 200.);
+            ("shed_rate", Json.Float shed_rate);
+            ("report", Bench_json.parallel_report_json r);
+          ] );
+    ]
+  in
+  if r.P.violations <> [] || r.P.leaked_locks > 0 || r.P.leaked_waiters > 0 then begin
+    Bench_json.write ~mode:"overload" json;
+    Format.fprintf ppf "!! overload run left violations or leaks@.";
+    exit 1
+  end;
+  json
+
 (* ---------- micro-benchmarks ------------------------------------------- *)
 
 module Value = Acc_relation.Value
@@ -503,12 +565,14 @@ let () =
   | "micro" -> Bench_json.write ~mode [ ("micro", micro_json (run_micro ())) ]
   | "parallel" -> Bench_json.write ~mode (run_parallel ~quick:false)
   | "parallel-quick" -> Bench_json.write ~mode (run_parallel ~quick:true)
+  | "overload" -> Bench_json.write ~mode (run_overload ~quick:false)
+  | "overload-quick" -> Bench_json.write ~mode:"overload" (run_overload ~quick:true)
   | "obs-gate" -> run_obs_gate ()
   | "recovery" -> Bench_json.write ~mode (run_recovery ~quick:false)
   | "recovery-quick" -> Bench_json.write ~mode (run_recovery ~quick:true)
   | other ->
       Format.eprintf
         "unknown mode %s \
-         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|obs-gate|recovery)@."
+         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|obs-gate|recovery)@."
         other;
       exit 2

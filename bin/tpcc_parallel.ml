@@ -33,13 +33,20 @@ let run_one cfg =
   List.iter (fun v -> Format.printf "  violation: %s@." v) r.P.violations;
   r
 
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts trace trace_chrome =
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark trace trace_chrome =
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
   let mix =
     match mix with
     | "standard" -> P.Standard
     | "nop" | "new-order-payment" -> P.New_order_payment
     | other -> failwith ("unknown mix: " ^ other)
+  in
+  (* --deadline-ms beats ACC_LOCK_DEADLINE_MS beats off *)
+  let deadline_ms =
+    match deadline_ms with
+    | Some _ -> deadline_ms
+    | None ->
+        Option.bind (Sys.getenv_opt "ACC_LOCK_DEADLINE_MS") float_of_string_opt
   in
   (* ACC_CRASHPOINT / ACC_STEP_FAULTS arm fault injection (see RECOVERY.md) *)
   Acc_fault.Fault.configure_from_env ();
@@ -60,6 +67,9 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
       seed;
       warmup;
       accounting = conflicts;
+      lock_deadline = Option.map (fun ms -> ms /. 1000.) deadline_ms;
+      max_inflight;
+      shed_watermark;
     }
   in
   let systems =
@@ -149,6 +159,32 @@ let conflicts =
         ~doc:"Classify every lock decision (true conflict vs 2PL-only false \
               conflict) and print the accounting per step and transaction type.")
 
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Lock-wait deadline per request; an expired wait aborts (and \
+              compensates) the transaction like a deadlock victim. \
+              Compensating steps are exempt. Default: ACC_LOCK_DEADLINE_MS \
+              env var, else no deadline.")
+
+let max_inflight =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"Admission cap: at most N multi-step transactions running at \
+              once; excess arrivals shed and retry with jittered backoff.")
+
+let shed_watermark =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "shed-watermark" ] ~docv:"RATE"
+        ~doc:"Shed admissions while the abort rate (deadlock victims + lock \
+              timeouts per second) exceeds RATE.")
+
 let trace =
   Arg.(
     value
@@ -170,7 +206,7 @@ let cmd =
     (Cmd.info "acc-tpcc-parallel" ~doc)
     Term.(
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
-      $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ trace
-      $ trace_chrome)
+      $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ deadline_ms
+      $ max_inflight $ shed_watermark $ trace $ trace_chrome)
 
 let () = exit (Cmd.eval cmd)

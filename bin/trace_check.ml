@@ -18,7 +18,7 @@ let fail fmt = Format.kasprintf (fun s -> prerr_endline ("trace-check: " ^ s); e
 
 let known = "trace_summary" :: Trace.all_event_names
 
-let main file requires require_past allow_drops =
+let main file requires forbids require_past allow_drops =
   let ic = try open_in file with Sys_error e -> fail "%s" e in
   let counts = Hashtbl.create 32 in
   let bump ev =
@@ -75,6 +75,13 @@ let main file requires require_past allow_drops =
       if not (List.mem ev known) then fail "--require %s: not an event name" ev;
       if not (Hashtbl.mem counts ev) then fail "required event %s never occurred" ev)
     requires;
+  List.iter
+    (fun ev ->
+      if not (List.mem ev known) then fail "--forbid %s: not an event name" ev;
+      match Hashtbl.find_opt counts ev with
+      | Some n -> fail "forbidden event %s occurred %d time(s)" ev n
+      | None -> ())
+    forbids;
   if require_past && !past_2pl = 0 then
     fail "no lock_grant with past2pl > 0 (expected ACC to pass where 2PL blocks)";
   Format.printf "%s: OK, %d events (%d dropped)@." file !events dropped;
@@ -93,6 +100,13 @@ let requires =
     value & opt_all string []
     & info [ "require" ] ~docv:"EV" ~doc:"Fail unless event $(docv) occurs (repeatable).")
 
+let forbids =
+  Arg.(
+    value & opt_all string []
+    & info [ "forbid" ] ~docv:"EV"
+        ~doc:"Fail if event $(docv) occurs (repeatable) — e.g. $(b,degraded) in a \
+              healthy-load run.")
+
 let require_past =
   Arg.(
     value & flag
@@ -106,6 +120,6 @@ let cmd =
   let doc = "validate a JSONL trace emitted by the ACC binaries" in
   Cmd.v
     (Cmd.info "acc-trace-check" ~doc)
-    Term.(const main $ file $ requires $ require_past $ allow_drops)
+    Term.(const main $ file $ requires $ forbids $ require_past $ allow_drops)
 
 let () = exit (Cmd.eval cmd)

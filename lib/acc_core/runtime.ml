@@ -141,11 +141,13 @@ let compensate ctx inst ~completed =
           try
             Fault.step_trip ();
             body ctx ~completed
-          with Txn_effect.Deadlock_victim | Fault.Step_fault ->
+          with Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout | Fault.Step_fault ->
             (* §3.4 guarantees the policy aborts the steps delaying a
                compensating step rather than the step itself; if we are
                nonetheless victimized (all-compensating cycle) or fault
-               injected, undo this attempt, back off, and try again *)
+               injected, undo this attempt, back off, and try again.
+               [Lock_timeout] cannot arise here — compensating requests carry
+               no deadline — but is caught for defence in depth. *)
             Executor.rollback_current_step ctx;
             Txn_effect.yield ~attempt:n ();
             attempt (n + 1)
@@ -156,36 +158,50 @@ let compensate ctx inst ~completed =
         Compensated { completed_steps = completed }
   end
 
-let run ?(options = default_options) ?abort_at eng inst =
+let run ?(options = default_options) ?abort_at ?stop eng inst =
   let n_steps = Array.length inst.Program.i_steps in
   let multi_step = n_steps > 1 in
   let ctx = Executor.begin_txn eng ~txn_type:inst.Program.i_def.Program.tt_name ~multi_step in
-  (* --- admission: lock pre(S_1) --------------------------------------- *)
-  Executor.charge eng (Executor.cost eng).Acc_txn.Cost_model.admission;
-  let rec admit n =
-    try
-      List.iter
-        (fun (ai, items) ->
-          List.iter
-            (fun item ->
-              Executor.acquire ctx ~admission:true
-                (Mode.A ai.Program.ai_assertion.Assertion.id) item)
-            items)
-        inst.Program.i_admission
-    with Txn_effect.Deadlock_victim ->
-      (* nothing executed yet: drop what we got, let the winner finish, and
-         re-admit *)
-      Executor.release_locks ctx (fun _ _ -> true);
-      Txn_effect.yield ~attempt:n ();
-      admit (n + 1)
-  in
-  admit 1;
-  (* --- steps ------------------------------------------------------------ *)
+  let stopped () = match stop with Some f -> f () | None -> false in
   let needs_comp = Option.is_some inst.Program.i_compensate in
   let outcome = ref None in
   (try
+     (* --- admission: lock pre(S_1) ------------------------------------- *)
+     Executor.charge eng (Executor.cost eng).Acc_txn.Cost_model.admission;
+     let rec admit n =
+       try
+         List.iter
+           (fun (ai, items) ->
+             List.iter
+               (fun item ->
+                 Executor.acquire ctx ~admission:true
+                   (Mode.A ai.Program.ai_assertion.Assertion.id) item)
+               items)
+           inst.Program.i_admission
+       with Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout ->
+         (* nothing executed yet: drop what we got, let the winner finish, and
+            re-admit — or abandon admission entirely when the driver is
+            draining *)
+         Executor.release_locks ctx (fun _ _ -> true);
+         if stopped () then begin
+           outcome := Some (compensate ctx inst ~completed:0);
+           raise Exit
+         end;
+         Txn_effect.yield ~attempt:n ();
+         admit (n + 1)
+     in
+     admit 1;
+     (* --- steps ---------------------------------------------------------- *)
      for j0 = 0 to n_steps - 1 do
        let j = j0 + 1 in
+       (* drain check at the step boundary: a stopped driver wants no {e new}
+          steps issued, so compensate what completed and get off the locks;
+          this is what bounds shutdown and lets the watchdog distinguish a
+          drain from a wedge *)
+       if stopped () then begin
+         outcome := Some (compensate ctx inst ~completed:(j - 1));
+         raise Exit
+       end;
        let step_def, body = inst.Program.i_steps.(j0) in
        Executor.set_step ctx ~step_type:step_def.Program.sd_id ~step_index:j;
        install_lock_hook ctx inst ~granularity:options.assertion_granularity
@@ -209,14 +225,18 @@ let run ?(options = default_options) ?abort_at eng inst =
            Fault.step_trip ();
            body ctx
          with
-         | Txn_effect.Deadlock_victim | Fault.Step_fault ->
+         | Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout | Fault.Step_fault ->
+             (* a lock-wait timeout takes the same compensating-abort path a
+                deadlock victim does: roll the step back physically, retry
+                within budget, compensate past it *)
              Executor.rollback_current_step ctx;
              Executor.release_locks ctx (step_release_mode inst);
              (* back off so the winner of the deadlock (or the faulted
                 resource) can make progress; the attempt number makes the
                 scheduler's delay grow exponentially, capped (Backoff) *)
              Txn_effect.yield ~attempt:n ();
-             if retries_left > 0 then attempt ~n:(n + 1) (retries_left - 1)
+             if retries_left > 0 && not (stopped ()) then
+               attempt ~n:(n + 1) (retries_left - 1)
              else begin
                remove_lock_hook ctx;
                outcome := Some (compensate ctx inst ~completed:(j - 1));
@@ -268,8 +288,9 @@ let run ?(options = default_options) ?abort_at eng inst =
       Executor.commit ctx;
       Committed
 
-let run_legacy ?(options = default_options) eng ~txn_type body =
+let run_legacy ?(options = default_options) ?stop eng ~txn_type body =
   ignore options;
+  let stopped () = match stop with Some f -> f () | None -> false in
   let rec attempt n =
     let ctx = Executor.begin_txn eng ~txn_type ~multi_step:false in
     Executor.set_step ctx ~step_type:Program.legacy_step_id ~step_index:1;
@@ -288,10 +309,13 @@ let run_legacy ?(options = default_options) eng ~txn_type body =
       Executor.commit ctx;
       Committed
     with
-    | Txn_effect.Deadlock_victim | Fault.Step_fault ->
+    | Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout | Fault.Step_fault ->
         Executor.abort_physical ctx;
-        Txn_effect.yield ~attempt:n ();
-        attempt (n + 1)
+        if stopped () then Compensated { completed_steps = 0 }
+        else begin
+          Txn_effect.yield ~attempt:n ();
+          attempt (n + 1)
+        end
     | e when not (Fault.is_crash e) ->
         (* unexpected failure: a flat transaction can abort physically; a
            simulated crash must propagate without appending anything *)

@@ -54,22 +54,31 @@ exception Assertion_violated of { txn : int; assertion : string; at_step : int }
 val run :
   ?options:options ->
   ?abort_at:int ->
+  ?stop:(unit -> bool) ->
   Acc_txn.Executor.t ->
   Program.instance ->
   outcome
 (** Execute one instance to completion.  [abort_at j] forces a programmatic
     abort after step [j] completes (models the TPC-C requirement that 1% of
-    new-order transactions abort, and exercises compensation). *)
+    new-order transactions abort, and exercises compensation).  [stop] is
+    polled at every step boundary and after every victimization/timeout:
+    once it returns [true] no new step is issued — completed steps are
+    compensated and the transaction winds down (bounded drain for the
+    parallel driver's shutdown).  Lock-wait timeouts
+    ([Txn_effect.Lock_timeout]) take the same retry-then-compensate path as
+    deadlock victims. *)
 
 val run_legacy :
   ?options:options ->
+  ?stop:(unit -> bool) ->
   Acc_txn.Executor.t ->
   txn_type:string ->
   (Acc_txn.Executor.ctx -> unit) ->
   outcome
 (** Run an unanalyzed transaction with full isolation (retries internally on
-    deadlock; always either commits or retries, so the result is
-    [Committed]). *)
+    deadlock or lock timeout; commits unless [stop] becomes [true] during a
+    retry, in which case the abort stands and the result is
+    [Compensated { completed_steps = 0 }]). *)
 
 val victim_policy : Acc_txn.Schedule.victim_policy
 (** §3.4: the step closing the cycle is the victim, unless it is a

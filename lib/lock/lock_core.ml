@@ -22,13 +22,35 @@ type waiter = {
   w_requester : Mode.requester;
   w_resource : Resource_id.t;
   w_compensating : bool;
+  w_deadline : float option;
+      (* absolute expiry in the owning table's clock; compensating requests
+         never carry one (§3.4 compensation-sparing: a compensating step is
+         never timed out) *)
+  w_enqueued : float; (* table-clock timestamp at queue time *)
+  mutable w_bypassed : int;
+      (* grants made past this waiter that it conflicts with; the fairness
+         gate refuses further bypass once this reaches the table's bound *)
 }
+
+(* Default bound on how many conflicting grants may overtake one waiter
+   before the table stops granting past it (bounded bypass).  Large enough
+   that healthy workloads never trip it; small enough that a pathological
+   grant stream cannot starve a waiter. *)
+let default_max_bypass = 64
 
 let hold_conflict sem h ~mode ~requester =
   Mode.conflicts sem ~held:h.h_mode ~held_step:h.h_step ~req:mode ~requester
 
 let waiter_conflict sem w ~mode ~requester =
   Mode.conflicts sem ~held:w.w_mode ~held_step:w.w_step ~req:mode ~requester
+
+(* Would granting [mode] (requested by [step_type]) delay waiter [w]?  The
+   conflict is taken in the direction the grant creates: the granted request
+   becomes a hold that [w]'s queued request must then be compatible with.
+   This is the bypass test of the fairness rule: a grant for which this holds
+   overtakes [w]. *)
+let grant_blocks_waiter sem ~mode ~step_type w =
+  Mode.conflicts sem ~held:mode ~held_step:step_type ~req:w.w_mode ~requester:w.w_requester
 
 (* A request is compatible with a set of (relevant) holds when every foreign
    hold is non-conflicting. *)

@@ -18,10 +18,24 @@ type waiter = {
   w_requester : Mode.requester;
   w_resource : Resource_id.t;
   w_compensating : bool;
+  w_deadline : float option;
+      (** absolute expiry in the owning table's clock; [None] for requests
+          without a deadline — compensating requests never carry one *)
+  w_enqueued : float;  (** table-clock timestamp at queue time *)
+  mutable w_bypassed : int;
+      (** conflicting grants that have overtaken this waiter (fairness) *)
 }
+
+val default_max_bypass : int
+(** Default bound on conflicting grants past one waiter before the fairness
+    gate refuses further bypass. *)
 
 val hold_conflict : Mode.semantics -> hold -> mode:Mode.t -> requester:Mode.requester -> bool
 val waiter_conflict : Mode.semantics -> waiter -> mode:Mode.t -> requester:Mode.requester -> bool
+
+val grant_blocks_waiter : Mode.semantics -> mode:Mode.t -> step_type:int -> waiter -> bool
+(** Would granting [mode] (requested by step [step_type]) delay the waiter?
+    The bypass test of the bounded-bypass fairness rule. *)
 
 val holds_compatible :
   Mode.semantics -> hold list -> txn:int -> mode:Mode.t -> requester:Mode.requester -> bool

@@ -4,6 +4,15 @@ type grant = Granted | Queued of ticket
 
 type wakeup = { woken_ticket : ticket; woken_txn : int }
 
+(* a queued request withdrawn because its lock-wait deadline passed *)
+type expired = {
+  ex_ticket : ticket;
+  ex_txn : int;
+  ex_mode : Mode.t;
+  ex_resource : Resource_id.t;
+  ex_waited : float; (* seconds spent queued, in the table's clock *)
+}
+
 (* the hold/waiter shapes and all compatibility decisions live in the pure
    [Lock_core], shared with the sharded multi-domain table (lib/parallel) *)
 type hold = Lock_core.hold = {
@@ -21,6 +30,9 @@ type waiter = Lock_core.waiter = {
   w_requester : Mode.requester;
   w_resource : Resource_id.t;
   w_compensating : bool;
+  w_deadline : float option;
+  w_enqueued : float;
+  mutable w_bypassed : int;
 }
 
 type entry = {
@@ -70,9 +82,11 @@ type t = {
   tickets : (ticket, waiter) Hashtbl.t; (* outstanding waits only *)
   by_txn : (int, unit Resource_id.Tbl.t) Hashtbl.t; (* txn -> resources held *)
   mutable obs : (observation -> unit) option;
+  max_bypass : int; (* bounded-bypass fairness limit *)
+  clock : unit -> float; (* timestamps queue times and checks deadlines *)
 }
 
-let create sem =
+let create ?(max_bypass = Lock_core.default_max_bypass) ?(clock = fun () -> 0.) sem =
   {
     sem;
     entries = Resource_id.Tbl.create 1024;
@@ -81,6 +95,8 @@ let create sem =
     tickets = Hashtbl.create 64;
     by_txn = Hashtbl.create 64;
     obs = None;
+    max_bypass;
+    clock;
   }
 
 let set_observer t obs = t.obs <- obs
@@ -176,6 +192,64 @@ let relevant_holds t res ~mode =
 let holds_compatible t res ~txn ~mode ~requester =
   Lock_core.holds_compatible t.sem (relevant_holds t res ~mode) ~txn ~mode ~requester
 
+(* --- bounded-bypass fairness ---------------------------------------------
+
+   FIFO already prevents a request from overtaking a conflicting waiter in
+   the same queue, but three avenues bypass it: upgrades (which only check
+   holders), re-entrant grants, and cross-level grants (a tuple grant never
+   consults the table-level queue, and an absolute table grant never consults
+   the tuple queues).  Every such grant increments [w_bypassed] on the
+   conflicting waiters it overtook; once a waiter has been overtaken
+   [max_bypass] times the table refuses further conflicting grants until it
+   is served.  Compensating requests are exempt from the gate (§3.4: nothing
+   may delay compensation). *)
+
+(* waiters in other queues a grant on [res] can overtake: the parent table's
+   queue for a tuple grant, the tuple queues for an absolute table grant *)
+let cross_level_waiters t res ~mode =
+  let parent =
+    match Resource_id.parent res with
+    | Some p -> (
+        match Resource_id.Tbl.find_opt t.entries p with Some e -> e.queue | None -> [])
+    | None -> []
+  in
+  let children =
+    match (res, mode) with
+    | Resource_id.Table _, (Mode.IS | Mode.IX) -> []
+    | Resource_id.Table _, _ -> (
+        match Hashtbl.find_opt t.by_table (Resource_id.table_of res) with
+        | Some set ->
+            Resource_id.Tbl.fold
+              (fun r () acc ->
+                match r with
+                | Resource_id.Tuple _ -> (
+                    match Resource_id.Tbl.find_opt t.entries r with
+                    | Some e -> e.queue @ acc
+                    | None -> acc)
+                | Resource_id.Table _ -> acc)
+              set []
+        | None -> [])
+    | Resource_id.Tuple _, _ -> []
+  in
+  parent @ children
+
+(* a foreign waiter already overtaken [max_bypass] times that this grant
+   would overtake again — the fairness gate's refusal witness *)
+let starving_waiter t ~txn ~mode ~step_type waiters =
+  List.find_opt
+    (fun w ->
+      w.w_txn <> txn
+      && w.w_bypassed >= t.max_bypass
+      && Lock_core.grant_blocks_waiter t.sem ~mode ~step_type w)
+    waiters
+
+let record_bypass t ~txn ~mode ~step_type waiters =
+  List.iter
+    (fun w ->
+      if w.w_txn <> txn && Lock_core.grant_blocks_waiter t.sem ~mode ~step_type w then
+        w.w_bypassed <- w.w_bypassed + 1)
+    waiters
+
 let queue_ahead_compatible t ~txn ~mode ~requester ahead =
   Lock_core.queue_ahead_compatible t.sem ~txn ~mode ~requester ahead
 
@@ -187,12 +261,26 @@ let add_hold t e ~txn ~step_type ~mode res =
 (* Post-hoc classification of a decision, for the observer.  Runs only when
    an observer is installed; re-reads the same holds/queue the decision
    used. *)
-let classify_decision t ~txn ~mode ~requester ~granted rel queue_ahead =
+let classify_decision t ~txn ~mode ~requester ?starved ~granted rel queue_ahead =
   let checks = Lock_core.checks_against t.sem rel ~txn ~mode ~requester in
   if granted then
     Dec_granted
       { past_2pl = Lock_core.past_2pl_count rel ~txn ~mode; reentrant = false; checks }
   else
+    match starved with
+    | Some s ->
+        (* fairness deferral: otherwise-compatible, held back behind a
+           starved waiter the grant would overtake again *)
+        Dec_blocked
+          {
+            blocker_txn = s.w_txn;
+            blocker_mode = s.w_mode;
+            blocker_waiting = true;
+            assertion = None;
+            interfering_step = None;
+            checks;
+          }
+    | None -> (
     match Lock_core.first_blocking_hold t.sem rel ~txn ~mode ~requester with
     | Some h ->
         let ac = Lock_core.assertional_check t.sem ~held:h.h_mode ~held_step:h.h_step ~req:mode ~requester in
@@ -231,13 +319,17 @@ let classify_decision t ~txn ~mode ~requester ~granted rel queue_ahead =
                 assertion = None;
                 interfering_step = None;
                 checks;
-              })
+              }))
 
-let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode res =
+let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode res
+    =
+  (* §3.4 compensation-sparing: a compensating request never times out *)
+  let deadline = if compensating then None else deadline in
   let e = entry t res in
   match Lock_core.find_covering e.holds ~txn ~mode with
   | Some h ->
       h.h_count <- h.h_count + 1;
+      record_bypass t ~txn ~mode ~step_type (e.queue @ cross_level_waiters t res ~mode);
       (match t.obs with
       | None -> ()
       | Some f ->
@@ -255,10 +347,17 @@ let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode 
       let requester = Mode.{ req_step_type = step_type; req_admission = admission } in
       let upgrade = List.exists (fun h -> h.h_txn = txn) e.holds in
       let rel = relevant_holds t res ~mode in
-      let granted =
+      let affected = e.queue @ cross_level_waiters t res ~mode in
+      let compatible =
         Lock_core.holds_compatible t.sem rel ~txn ~mode ~requester
         && (upgrade || queue_ahead_compatible t ~txn ~mode ~requester e.queue)
       in
+      let starved =
+        if compatible && not compensating then
+          starving_waiter t ~txn ~mode ~step_type affected
+        else None
+      in
+      let granted = compatible && starved = None in
       (match t.obs with
       | None -> ()
       | Some f ->
@@ -270,9 +369,10 @@ let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode 
                  or_mode = mode;
                  or_resource = res;
                  or_decision =
-                   classify_decision t ~txn ~mode ~requester ~granted rel e.queue;
+                   classify_decision t ~txn ~mode ~requester ?starved ~granted rel e.queue;
                }));
       if granted then begin
+        record_bypass t ~txn ~mode ~step_type affected;
         add_hold t e ~txn ~step_type ~mode res;
         Granted
       end
@@ -288,6 +388,9 @@ let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode 
             w_requester = requester;
             w_resource = res;
             w_compensating = compensating;
+            w_deadline = deadline;
+            w_enqueued = t.clock ();
+            w_bypassed = 0;
           }
         in
         (* upgrades wait at the head so they cannot deadlock behind requests
@@ -304,24 +407,40 @@ let attach t ~txn ~step_type mode res =
   | Some f ->
       f (Ob_attach { oa_txn = txn; oa_step_type = step_type; oa_mode = mode; oa_resource = res }));
   let e = entry t res in
+  (* unconditional grants still count against the fairness bound of the
+     waiters they overtake *)
+  record_bypass t ~txn ~mode ~step_type (e.queue @ cross_level_waiters t res ~mode);
   match
     List.find_opt (fun h -> h.h_txn = txn && Mode.equal h.h_mode mode) e.holds
   with
   | Some h -> h.h_count <- h.h_count + 1
   | None -> add_hold t e ~txn ~step_type ~mode res
 
-(* Grant the maximal FIFO-respecting set of waiters on [e]. *)
+(* Grant the maximal FIFO-respecting set of waiters on [e].  A promotion
+   grant is subject to the same fairness gate as a fresh request: it may not
+   overtake (again) a starved waiter it was already counted past — skipped
+   same-queue waiters and cross-level queues both count. *)
 let promote_entry t e =
   let rec loop granted still_waiting = function
     | [] ->
         e.queue <- List.rev still_waiting;
         List.rev granted
     | w :: rest ->
-        if
+        let overtaken =
+          List.rev still_waiting @ cross_level_waiters t w.w_resource ~mode:w.w_mode
+        in
+        let compatible =
           holds_compatible t w.w_resource ~txn:w.w_txn ~mode:w.w_mode ~requester:w.w_requester
           && queue_ahead_compatible t ~txn:w.w_txn ~mode:w.w_mode ~requester:w.w_requester
                (List.rev still_waiting)
-        then begin
+        in
+        let fair =
+          w.w_compensating
+          || starving_waiter t ~txn:w.w_txn ~mode:w.w_mode ~step_type:w.w_step overtaken
+             = None
+        in
+        if compatible && fair then begin
+          record_bypass t ~txn:w.w_txn ~mode:w.w_mode ~step_type:w.w_step overtaken;
           add_hold t e ~txn:w.w_txn ~step_type:w.w_step ~mode:w.w_mode w.w_resource;
           Hashtbl.remove t.tickets w.w_ticket;
           (match t.obs with
@@ -496,16 +615,33 @@ let waiter_blockers t w =
     | w' :: _ when w'.w_ticket = w.w_ticket -> List.rev acc
     | w' :: rest -> ahead (w' :: acc) rest
   in
+  let ahead_ws = ahead [] e.queue in
   let from_queue =
     List.filter_map
       (fun w' ->
         if w'.w_txn <> w.w_txn && waiter_conflict t w' ~mode:w.w_mode ~requester:w.w_requester
         then Some w'.w_txn
         else None)
-      (ahead [] e.queue)
+      ahead_ws
+  in
+  (* fairness edges: a waiter deferred by the bounded-bypass gate is waiting
+     on the starved waiters its grant would overtake.  Without these edges a
+     gate-induced wedge would be invisible to the deadlock detector. *)
+  let from_fairness =
+    if w.w_compensating then []
+    else
+      List.filter_map
+        (fun s ->
+          if
+            s.w_txn <> w.w_txn
+            && s.w_bypassed >= t.max_bypass
+            && Lock_core.grant_blocks_waiter t.sem ~mode:w.w_mode ~step_type:w.w_step s
+          then Some s.w_txn
+          else None)
+        (ahead_ws @ cross_level_waiters t w.w_resource ~mode:w.w_mode)
   in
   gc_entry t e;
-  List.sort_uniq compare (from_holds @ from_queue)
+  List.sort_uniq compare (from_holds @ from_queue @ from_fairness)
 
 let blockers t ~ticket =
   match Hashtbl.find_opt t.tickets ticket with
@@ -523,6 +659,39 @@ let compensating_waiter t ~txn =
   Hashtbl.fold
     (fun _ w acc -> acc || (w.w_txn = txn && w.w_compensating))
     t.tickets false
+
+(* Withdraw every non-compensating waiter whose deadline has passed.  The
+   expired requests are reported to the caller (who turns them into timeout
+   aborts); the wakeups are the promotions their withdrawal enabled. *)
+let expire_overdue t ~now =
+  let overdue =
+    Hashtbl.fold
+      (fun _ w acc ->
+        match w.w_deadline with
+        | Some d when d <= now && not w.w_compensating -> w :: acc
+        | Some _ | None -> acc)
+      t.tickets []
+    |> List.sort (fun a b -> compare a.w_ticket b.w_ticket)
+  in
+  let wakeups = List.concat_map (fun w -> cancel t ~ticket:w.w_ticket) overdue in
+  let expired =
+    List.map
+      (fun w ->
+        {
+          ex_ticket = w.w_ticket;
+          ex_txn = w.w_txn;
+          ex_mode = w.w_mode;
+          ex_resource = w.w_resource;
+          ex_waited = now -. w.w_enqueued;
+        })
+      overdue
+  in
+  (expired, wakeups)
+
+let oldest_wait t ~now =
+  Hashtbl.fold (fun _ w acc -> Float.max acc (now -. w.w_enqueued)) t.tickets 0.
+
+let max_bypassed t = Hashtbl.fold (fun _ w acc -> max acc w.w_bypassed) t.tickets 0
 
 let lock_count t =
   Resource_id.Tbl.fold (fun _ e acc -> acc + List.length e.holds) t.entries 0

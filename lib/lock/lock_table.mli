@@ -11,7 +11,15 @@
     that already holds a lock on the resource (an upgrade) checks only against
     holders and, when blocked, waits at the head of the queue; all other
     requests also respect the queue (they will not overtake a waiter they
-    conflict with). *)
+    conflict with).
+
+    Overload robustness (DESIGN.md §13): requests may carry a lock-wait
+    deadline checked by {!expire_overdue}; grants that bypass the FIFO
+    discipline (upgrades, re-entrant grants, attaches, cross-level grants)
+    are counted against the overtaken waiters, and once a waiter has been
+    overtaken [max_bypass] times the table stops granting past it
+    (bounded-bypass fairness).  Compensating requests are exempt from both:
+    they never time out and are never gated (§3.4). *)
 
 type t
 
@@ -20,6 +28,15 @@ type ticket = int
 type grant = Granted | Queued of ticket
 
 type wakeup = { woken_ticket : ticket; woken_txn : int }
+
+type expired = {
+  ex_ticket : ticket;
+  ex_txn : int;
+  ex_mode : Mode.t;
+  ex_resource : Resource_id.t;
+  ex_waited : float;  (** seconds spent queued, in the table's clock *)
+}
+(** A queued request withdrawn by {!expire_overdue}. *)
 
 (** {2 Decision observations}
 
@@ -63,7 +80,12 @@ type observation =
       (** final release of a hold (re-entrant count reaching zero) *)
   | Ob_cancel of { oc_txn : int; oc_resource : Resource_id.t }
 
-val create : Mode.semantics -> t
+val create : ?max_bypass:int -> ?clock:(unit -> float) -> Mode.semantics -> t
+(** [max_bypass] bounds how many conflicting grants may overtake one waiter
+    (default {!Lock_core.default_max_bypass}); [clock] supplies the timestamps
+    used for queue times and deadlines (default: the constant 0 clock, which
+    disables aging — the simulator's virtual time or [Unix.gettimeofday] are
+    the real choices). *)
 
 val set_observer : t -> (observation -> unit) option -> unit
 (** Install (or clear) the decision observer.  The observer runs synchronously
@@ -76,14 +98,18 @@ val request :
   step_type:int ->
   ?admission:bool ->
   ?compensating:bool ->
+  ?deadline:float ->
   Mode.t ->
   Resource_id.t ->
   grant
 (** Ask for a lock.  [admission] marks the transaction-initiation acquisition
     of the first interstep assertion (prefix-interference checks apply);
     [compensating] marks requests made on behalf of a compensating step,
-    which the deadlock resolver must never choose as victim.  Re-requesting a
-    covered mode is re-entrant and always granted. *)
+    which the deadlock resolver must never choose as victim.  [deadline] is an
+    absolute time in the table's clock after which a queued request may be
+    withdrawn by {!expire_overdue}; it is ignored on compensating requests
+    (§3.4: compensation is never timed out).  Re-requesting a covered mode is
+    re-entrant and always granted. *)
 
 val attach : t -> txn:int -> step_type:int -> Mode.t -> Resource_id.t -> unit
 (** Unconditional grant, bypassing all conflict checks: the §3.3 rule
@@ -105,6 +131,19 @@ val release_all : t -> txn:int -> wakeup list
 val cancel : t -> ticket:ticket -> wakeup list
 (** Withdraw a waiting request (used when its step is chosen as deadlock
     victim); no-op if the ticket is no longer outstanding. *)
+
+val expire_overdue : t -> now:float -> expired list * wakeup list
+(** Withdraw every non-compensating waiter whose deadline is at or before
+    [now] (in the table's clock).  Returns the expired requests — which the
+    caller turns into timeout aborts — and the promotions their withdrawal
+    enabled. *)
+
+val oldest_wait : t -> now:float -> float
+(** Age in seconds of the longest-queued outstanding request (0 when the
+    queue is empty) — the watchdog's wedge signal. *)
+
+val max_bypassed : t -> int
+(** Largest bypass count over outstanding waiters (fairness introspection). *)
 
 val outstanding : t -> ticket:ticket -> bool
 (** Is the ticket still waiting?  (False once granted or cancelled.) *)

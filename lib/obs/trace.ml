@@ -37,6 +37,10 @@ type event =
   | Victim of { txn : int; spared_compensating : bool }
   | Wal_append of { txn : int; lsn : int; kind : string }
   | Wal_flush of { records : int }
+  (* overload robustness (DESIGN.md §13) *)
+  | Timed_out of { txn : int; mode : Mode.t; resource : Resource_id.t; waited : float }
+  | Shed of { inflight : int; reason : string }
+  | Degraded of { on : bool; oldest_wait : float }
 
 let event_name = function
   | Txn_begin _ -> "txn_begin"
@@ -57,13 +61,16 @@ let event_name = function
   | Victim _ -> "victim"
   | Wal_append _ -> "wal_append"
   | Wal_flush _ -> "wal_flush"
+  | Timed_out _ -> "timed_out"
+  | Shed _ -> "shed"
+  | Degraded _ -> "degraded"
 
 let all_event_names =
   [
     "txn_begin"; "txn_commit"; "txn_abort"; "step_begin"; "step_end"; "comp_run";
     "lock_request"; "lock_grant"; "lock_block"; "lock_wake"; "lock_release";
     "lock_attach"; "lock_cancel"; "assertion_check"; "deadlock_cycle"; "victim";
-    "wal_append"; "wal_flush";
+    "wal_append"; "wal_flush"; "timed_out"; "shed"; "degraded";
   ]
 
 (* ---------- the sink ----------------------------------------------------- *)
@@ -245,6 +252,15 @@ let payload = function
   | Wal_append { txn; lsn; kind } ->
       [ ("txn", Json.Int txn); ("lsn", Json.Int lsn); ("kind", Json.Str kind) ]
   | Wal_flush { records } -> [ ("records", Json.Int records) ]
+  | Timed_out { txn; mode; resource; waited } ->
+      [
+        ("txn", Json.Int txn); ("mode", Json.Str (mode_str mode));
+        ("res", Json.Str (res_str resource)); ("waited", Json.Float waited);
+      ]
+  | Shed { inflight; reason } ->
+      [ ("inflight", Json.Int inflight); ("reason", Json.Str reason) ]
+  | Degraded { on; oldest_wait } ->
+      [ ("on", Json.Bool on); ("oldest_wait", Json.Float oldest_wait) ]
 
 let to_json e =
   Json.Obj
@@ -283,9 +299,9 @@ let txn_of_event = function
   | Lock_request { txn; _ } | Lock_grant { txn; _ } | Lock_block { txn; _ }
   | Lock_wake { txn; _ } | Lock_release { txn; _ } | Lock_attach { txn; _ }
   | Lock_cancel { txn; _ } | Assertion_check { txn; _ } | Victim { txn; _ }
-  | Wal_append { txn; _ } ->
+  | Wal_append { txn; _ } | Timed_out { txn; _ } ->
       txn
-  | Deadlock_cycle _ | Wal_flush _ -> 0
+  | Deadlock_cycle _ | Wal_flush _ | Shed _ | Degraded _ -> 0
 
 let us t = t *. 1e6
 
@@ -339,12 +355,14 @@ let write_chrome oc dump =
           | Some _ | None -> ())
       | Comp_run _ | Lock_request _ | Lock_grant _ | Lock_block _ | Lock_wake _
       | Lock_release _ | Lock_attach _ | Lock_cancel _ | Assertion_check _
-      | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _ -> ());
+      | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _ | Timed_out _ | Shed _
+      | Degraded _ -> ());
       match e.ev with
       | Txn_begin _ | Txn_commit _ | Txn_abort _ | Step_begin _ | Step_end _ -> ()
       | Comp_run _ | Lock_request _ | Lock_grant _ | Lock_block _ | Lock_wake _
       | Lock_release _ | Lock_attach _ | Lock_cancel _ | Assertion_check _
-      | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _ -> push (chrome_instant e))
+      | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _ | Timed_out _ | Shed _
+      | Degraded _ -> push (chrome_instant e))
     dump.events;
   (* spans still open at drain time become instants so no data is lost *)
   Hashtbl.iter

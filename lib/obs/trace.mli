@@ -66,6 +66,16 @@ type event =
           compensating requester the §3.4 policy protected *)
   | Wal_append of { txn : int; lsn : int; kind : string }
   | Wal_flush of { records : int }
+  | Timed_out of { txn : int; mode : Acc_lock.Mode.t; resource : Acc_lock.Resource_id.t; waited : float }
+      (** a lock wait withdrawn because its deadline expired; [waited] is the
+          seconds spent queued *)
+  | Shed of { inflight : int; reason : string }
+      (** an admission refused by the overload gate ([reason]: ["capacity"]
+          for the in-flight cap, ["watermark"] for the abort-rate shedder,
+          ["degraded"] while degraded mode is on) *)
+  | Degraded of { on : bool; oldest_wait : float }
+      (** the watchdog tripped (or cleared) degraded mode; [oldest_wait] is
+          the oldest-waiter age that triggered the transition *)
 
 val event_name : event -> string
 (** The wire name (the ["ev"] field of the JSONL encoding). *)

@@ -1,19 +1,28 @@
 module Executor = Acc_txn.Executor
 module Txn_effect = Acc_txn.Txn_effect
+module Backoff = Acc_txn.Backoff
 module Database = Acc_relation.Database
 module Prng = Acc_util.Prng
+module Metrics = Acc_util.Metrics
+module Trace = Acc_obs.Trace
 
 type t = {
   exec : Executor.t;
   locks : Sharded_lock_table.t;
   detector : Deadlock_detector.t;
+  watchdog : Watchdog.t;
+  max_inflight : int option;
+  inflight : int Atomic.t;
+  shed : Metrics.Counter.t;
+  lock_waits : Metrics.Histogram.t;
 }
 
 let lock_ops locks =
   {
     Executor.lo_acquire =
-      (fun ~txn ~step_type ~admission ~compensating mode res ->
-        Sharded_lock_table.acquire locks ~txn ~step_type ~admission ~compensating mode res);
+      (fun ~txn ~step_type ~admission ~compensating ~deadline mode res ->
+        Sharded_lock_table.acquire locks ~txn ~step_type ~admission ~compensating ?deadline
+          mode res);
     lo_attach =
       (fun ~txn ~step_type mode res ->
         Sharded_lock_table.attach locks ~txn ~step_type mode res);
@@ -25,9 +34,13 @@ let lock_ops locks =
     lo_held_by = (fun ~txn -> Sharded_lock_table.held_by locks ~txn);
   }
 
-let create ?shards ?detector_cadence ?cost ~sem db =
-  let locks = Sharded_lock_table.create ?shards sem in
+let create ?shards ?detector_cadence ?cost ?lock_deadline ?max_inflight ?shed_watermark
+    ?max_bypass ?watchdog_cadence ?degrade_after ~sem db =
+  let locks = Sharded_lock_table.create ?shards ?max_bypass sem in
   let exec = Executor.create_custom ?cost ~lock_ops:(lock_ops locks) db in
+  Executor.set_lock_deadline exec lock_deadline;
+  let lock_waits = Metrics.Histogram.create () in
+  Sharded_lock_table.set_on_wait locks (Some (Metrics.Histogram.record lock_waits));
   (* the storage engine (hashtables, ordered indexes) is not structurally
      thread-safe; one mutex per table serializes physical access while the
      lock protocol keeps logical access correct.  The fallback mutex covers
@@ -48,19 +61,77 @@ let create ?shards ?detector_cadence ?cost ~sem db =
           Fun.protect ~finally:(fun () -> Mutex.unlock mu) f);
     };
   let detector = Deadlock_detector.start ?cadence:detector_cadence locks in
-  { exec; locks; detector }
+  let watchdog =
+    Watchdog.start ?cadence:watchdog_cadence ?degrade_after ?shed_watermark ~detector locks
+  in
+  {
+    exec;
+    locks;
+    detector;
+    watchdog;
+    max_inflight;
+    inflight = Atomic.make 0;
+    shed = Metrics.Counter.create ();
+    lock_waits;
+  }
 
 let executor t = t.exec
 let locks t = t.locks
 let detector t = t.detector
-let shutdown t = Deadlock_detector.stop t.detector
+let watchdog t = t.watchdog
+let lock_waits t = t.lock_waits
+let degraded t = Watchdog.degraded t.watchdog
+let inflight t = Atomic.get t.inflight
+let shed_count t = Metrics.Counter.get t.shed
+let timeout_count t = Sharded_lock_table.timeout_count t.locks
+
+(* Admission control: a token gate on multi-step transactions.  The cheap
+   cap check bounds how many transactions can be mid-protocol at once
+   (bounding queue depth and the deadlock search space); the watchdog's
+   watermark and degraded flags shed load when aborts spike or the engine
+   wedges.  Shedding happens before any lock is requested, so a shed
+   transaction costs nothing to retry. *)
+
+type admission = Admitted | Shed of string
+
+let try_admit t =
+  let refuse reason =
+    Metrics.Counter.incr t.shed;
+    if Trace.enabled () then
+      Trace.emit (Trace.Shed { inflight = Atomic.get t.inflight; reason });
+    Shed reason
+  in
+  if Watchdog.degraded t.watchdog then refuse "degraded"
+  else if Watchdog.shedding t.watchdog then refuse "watermark"
+  else
+    match t.max_inflight with
+    | None ->
+        Atomic.incr t.inflight;
+        Admitted
+    | Some cap ->
+        (* optimistic increment, backed out on overshoot: no CAS loop, and a
+           transient over-read only refuses an admission it could have made *)
+        let n = Atomic.fetch_and_add t.inflight 1 in
+        if n >= cap then begin
+          Atomic.decr t.inflight;
+          refuse "capacity"
+        end
+        else Admitted
+
+let finish t = Atomic.decr t.inflight
+
+let shutdown t =
+  Watchdog.stop t.watchdog;
+  Deadlock_detector.stop t.detector
 
 (* Transaction bodies still perform {!Txn_effect.Yield} (deadlock-retry
    backoff points); on a worker domain that becomes a short randomized sleep
-   so colliding transactions desynchronize.  {!Txn_effect.Wait_lock} must
-   never surface here — the custom backend blocks internally. *)
-let run_txn : type r. ?backoff_g:Prng.t -> (unit -> r) -> r =
- fun ?backoff_g f ->
+   so colliding transactions desynchronize.  A {!Backoff.Jitter} state gives
+   the decorrelated schedule; the legacy [backoff_g] path keeps the capped
+   exponential with a randomized base.  {!Txn_effect.Wait_lock} must never
+   surface here — the custom backend blocks internally. *)
+let run_txn : type r. ?jitter:Backoff.Jitter.t -> ?backoff_g:Prng.t -> (unit -> r) -> r =
+ fun ?jitter ?backoff_g f ->
   Effect.Deep.match_with f ()
     {
       retc = Fun.id;
@@ -71,14 +142,18 @@ let run_txn : type r. ?backoff_g:Prng.t -> (unit -> r) -> r =
           | Txn_effect.Yield attempt ->
               Some
                 (fun (k : (b, r) Effect.Deep.continuation) ->
-                  let base =
-                    match backoff_g with
-                    | Some g -> 0.0002 +. Prng.exponential g ~mean:0.002
-                    | None -> 0.001
-                  in
-                  (* capped exponential growth with the retry attempt, on top
-                     of the randomized base so repeat colliders desync *)
-                  Unix.sleepf (base *. Acc_txn.Backoff.factor ~attempt ());
+                  (match jitter with
+                  | Some j -> Unix.sleepf (Backoff.Jitter.next j ~attempt)
+                  | None ->
+                      let base =
+                        match backoff_g with
+                        | Some g -> 0.0002 +. Prng.exponential g ~mean:0.002
+                        | None -> 0.001
+                      in
+                      (* capped exponential growth with the retry attempt, on
+                         top of the randomized base so repeat colliders
+                         desync *)
+                      Unix.sleepf (base *. Backoff.factor ~attempt ()));
                   Effect.Deep.continue k ())
           | Txn_effect.Wait_lock _ ->
               Some

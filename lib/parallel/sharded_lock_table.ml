@@ -23,13 +23,25 @@ type shard = {
   table : Lock_table.t;
   granted : (int, unit) Hashtbl.t;  (* global tickets granted while waiter slept *)
   victims : (int, unit) Hashtbl.t;  (* global tickets cancelled by the detector *)
+  timed_out : (int, unit) Hashtbl.t;  (* global tickets expired by the watchdog *)
 }
 
-type t = { shards : shard array }
+type t = {
+  shards : shard array;
+  timeouts : int Atomic.t;  (* lock waits expired over the table's lifetime *)
+  mutable on_wait : (float -> unit) option;
+      (* called with each completed blocking wait's duration (seconds); the
+         engine points this at its lock-wait histogram *)
+}
 
 let default_shards = 16
 
-let create ?(shards = default_shards) sem =
+(* OCaml's [Condition] has no timed wait, so deadline expiry cannot be driven
+   by the waiter itself: an external sweeper (the engine's watchdog domain)
+   calls {!expire} periodically, which cancels overdue waits and broadcasts.
+   The shard clock is wall-clock time; deadlines passed to {!acquire} are
+   absolute [Unix.gettimeofday] values. *)
+let create ?(shards = default_shards) ?max_bypass sem =
   if shards < 1 then invalid_arg "Sharded_lock_table.create: shards must be >= 1";
   {
     shards =
@@ -37,11 +49,17 @@ let create ?(shards = default_shards) sem =
           {
             mu = Mutex.create ();
             cond = Condition.create ();
-            table = Lock_table.create sem;
+            table = Lock_table.create ?max_bypass ~clock:Unix.gettimeofday sem;
             granted = Hashtbl.create 16;
             victims = Hashtbl.create 16;
+            timed_out = Hashtbl.create 16;
           });
+    timeouts = Atomic.make 0;
+    on_wait = None;
   }
+
+let set_on_wait t f = t.on_wait <- f
+let timeout_count t = Atomic.get t.timeouts
 
 let n_shards t = Array.length t.shards
 
@@ -82,11 +100,15 @@ let publish t idx s (wakeups : Lock_table.wakeup list) =
 
 (* --- the synchronous surface (parity tests, detector, introspection) ---- *)
 
-let request t ~txn ~step_type ?(admission = false) ?(compensating = false) mode res =
+let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode
+    res =
   let idx = shard_index t res in
   let s = t.shards.(idx) in
   with_shard s (fun () ->
-      match Lock_table.request s.table ~txn ~step_type ~admission ~compensating mode res with
+      match
+        Lock_table.request s.table ~txn ~step_type ~admission ~compensating ?deadline mode
+          res
+      with
       | Lock_table.Granted -> Lock_table.Granted
       | Lock_table.Queued local -> Lock_table.Queued (globalize t idx local))
 
@@ -147,6 +169,48 @@ let lock_count t = sum_shards t (fun s -> Lock_table.lock_count s.table)
 let waiter_count t = sum_shards t (fun s -> Lock_table.waiter_count s.table)
 let entry_count t = sum_shards t (fun s -> Lock_table.entry_count s.table)
 
+let oldest_wait t ~now =
+  Array.fold_left
+    (fun acc s -> Float.max acc (with_shard s (fun () -> Lock_table.oldest_wait s.table ~now)))
+    0. t.shards
+
+let max_bypassed t =
+  Array.fold_left
+    (fun acc s -> max acc (with_shard s (fun () -> Lock_table.max_bypassed s.table)))
+    0 t.shards
+
+(* --- deadline expiry (watchdog side) ------------------------------------ *)
+
+(* Withdraw every overdue wait, wake its blocked acquirer with
+   [Txn_effect.Lock_timeout], and publish the promotions the withdrawals
+   enabled.  Returns the expired requests with globalized tickets. *)
+let expire t ~now =
+  let all = ref [] in
+  Array.iteri
+    (fun idx s ->
+      with_shard s (fun () ->
+          let expired, wakeups = Lock_table.expire_overdue s.table ~now in
+          if expired <> [] then begin
+            List.iter
+              (fun ex ->
+                Hashtbl.replace s.timed_out
+                  (globalize t idx ex.Lock_table.ex_ticket)
+                  ();
+                Atomic.incr t.timeouts)
+              expired;
+            ignore (publish t idx s wakeups);
+            Condition.broadcast s.cond;
+            all :=
+              List.map
+                (fun ex ->
+                  { ex with Lock_table.ex_ticket = globalize t idx ex.Lock_table.ex_ticket })
+                expired
+              @ !all
+          end
+          else ignore (publish t idx s wakeups)))
+    t.shards;
+  !all
+
 (* --- victimization (detector side) -------------------------------------- *)
 
 let kill t ~txn =
@@ -166,20 +230,35 @@ let kill t ~txn =
 
 (* --- the blocking surface (worker domains) ------------------------------ *)
 
-let acquire t ~txn ~step_type ~admission ~compensating mode res =
+let acquire t ~txn ~step_type ~admission ~compensating ?deadline mode res =
   let idx = shard_index t res in
   let s = t.shards.(idx) in
   Mutex.lock s.mu;
-  match Lock_table.request s.table ~txn ~step_type ~admission ~compensating mode res with
+  match
+    Lock_table.request s.table ~txn ~step_type ~admission ~compensating ?deadline mode res
+  with
   | Lock_table.Granted -> Mutex.unlock s.mu
   | Lock_table.Queued local ->
+      let started = Unix.gettimeofday () in
       let g = globalize t idx local in
+      let record_wait () =
+        match t.on_wait with
+        | None -> ()
+        | Some f -> f (Unix.gettimeofday () -. started)
+      in
       let rec wait () =
         if Hashtbl.mem s.granted g then Hashtbl.remove s.granted g
         else if Hashtbl.mem s.victims g then begin
           Hashtbl.remove s.victims g;
           Mutex.unlock s.mu;
+          record_wait ();
           raise Txn_effect.Deadlock_victim
+        end
+        else if Hashtbl.mem s.timed_out g then begin
+          Hashtbl.remove s.timed_out g;
+          Mutex.unlock s.mu;
+          record_wait ();
+          raise Txn_effect.Lock_timeout
         end
         else begin
           Condition.wait s.cond s.mu;
@@ -187,7 +266,8 @@ let acquire t ~txn ~step_type ~admission ~compensating mode res =
         end
       in
       wait ();
-      Mutex.unlock s.mu
+      Mutex.unlock s.mu;
+      record_wait ()
 
 let pp_state ppf t =
   Array.iteri

@@ -17,8 +17,20 @@ type t
 
 val default_shards : int
 
-val create : ?shards:int -> Acc_lock.Mode.semantics -> t
+val create : ?shards:int -> ?max_bypass:int -> Acc_lock.Mode.semantics -> t
+(** Shard clocks are wall-clock time ([Unix.gettimeofday]): deadlines passed
+    to {!acquire}/{!request} are absolute wall-clock instants.  [max_bypass]
+    is each shard's bounded-bypass fairness limit. *)
+
 val n_shards : t -> int
+
+val set_on_wait : t -> (float -> unit) option -> unit
+(** Install a recorder called with the duration (seconds) of every completed
+    blocking wait — granted, victimized or timed out.  The engine points this
+    at its lock-wait histogram.  Called outside the shard mutex. *)
+
+val timeout_count : t -> int
+(** Lock waits expired by {!expire} over the table's lifetime. *)
 
 val set_observer : t -> (Acc_lock.Lock_table.observation -> unit) option -> unit
 (** Install (or clear) one decision observer on every shard.  The observer
@@ -37,6 +49,7 @@ val request :
   step_type:int ->
   ?admission:bool ->
   ?compensating:bool ->
+  ?deadline:float ->
   Acc_lock.Mode.t ->
   Acc_lock.Resource_id.t ->
   Acc_lock.Lock_table.grant
@@ -69,6 +82,20 @@ val lock_count : t -> int
 val waiter_count : t -> int
 val entry_count : t -> int
 
+val oldest_wait : t -> now:float -> float
+(** Age in seconds of the longest-queued outstanding wait across all shards
+    (0 when idle) — the watchdog's wedge signal. *)
+
+val max_bypassed : t -> int
+(** Largest bounded-bypass count over outstanding waiters, across shards. *)
+
+val expire : t -> now:float -> Acc_lock.Lock_table.expired list
+(** Withdraw every non-compensating wait whose deadline is at or before
+    [now], wake the blocked acquirers with [Txn_effect.Lock_timeout], and
+    publish the promotions the withdrawals enabled.  Driven periodically by
+    the engine's watchdog domain (OCaml's [Condition] has no timed wait, so
+    waiters cannot expire themselves).  Returned tickets are globalized. *)
+
 val kill : t -> txn:int -> int
 (** Victimize: cancel every outstanding wait of the transaction and wake the
     blocked acquirer with {!Acc_txn.Txn_effect.Deadlock_victim}.  Returns the
@@ -82,10 +109,13 @@ val acquire :
   step_type:int ->
   admission:bool ->
   compensating:bool ->
+  ?deadline:float ->
   Acc_lock.Mode.t ->
   Acc_lock.Resource_id.t ->
   unit
 (** Grant, or block the calling domain until granted.  Raises
-    [Txn_effect.Deadlock_victim] if {!kill}ed while waiting. *)
+    [Txn_effect.Deadlock_victim] if {!kill}ed while waiting, and
+    [Txn_effect.Lock_timeout] if the wait outlives [deadline] (an absolute
+    wall-clock instant; ignored on compensating requests). *)
 
 val pp_state : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** The engine's overload watchdog domain.
+
+    Periodically drives {!Sharded_lock_table.expire} (waiters cannot expire
+    themselves — OCaml's [Condition] has no timed wait), emitting a
+    {!Acc_obs.Trace.Timed_out} event per withdrawn wait; samples queue depth,
+    oldest-waiter age and a smoothed abort rate (deadlock victims + lock
+    timeouts per second); and maintains the two flags the engine's admission
+    gate reads: {e shedding} while the abort rate exceeds the watermark, and
+    {e degraded} while the oldest waiter's age says the engine is wedged.
+    Both flags release at half their trip threshold (hysteresis), so a
+    metric sitting at the boundary cannot flap the flag every tick.
+
+    See DESIGN.md §13 (Overload behavior). *)
+
+type t
+
+val default_cadence : float
+(** 5ms — the resolution of lock-wait deadline enforcement. *)
+
+val default_degrade_after : float
+(** 1s of oldest-waiter age before degraded mode trips. *)
+
+val start :
+  ?cadence:float ->
+  ?degrade_after:float ->
+  ?shed_watermark:float ->
+  detector:Deadlock_detector.t ->
+  Sharded_lock_table.t ->
+  t
+(** Spawn the watchdog domain.  [shed_watermark] is in aborts/second; when
+    omitted the shedding flag never trips.  Pair with {!stop}. *)
+
+val degraded : t -> bool
+val shedding : t -> bool
+
+val queue_depth : t -> int
+(** Waiter count at the last tick. *)
+
+val oldest_wait : t -> float
+(** Oldest-waiter age (seconds) at the last tick. *)
+
+val abort_rate : t -> float
+(** Smoothed victims+timeouts per second. *)
+
+val peak_queue_depth : t -> int
+val peak_oldest_wait : t -> float
+(** Largest values seen at any tick over the watchdog's lifetime. *)
+
+val ticks : t -> int
+val degraded_trips : t -> int
+
+val stop : t -> unit
+(** Signal, join, and run one final expiry sweep so deadlines passing during
+    shutdown still resolve.  Idempotent. *)

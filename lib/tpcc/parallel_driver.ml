@@ -4,8 +4,10 @@
 
 module Executor = Acc_txn.Executor
 module Txn_effect = Acc_txn.Txn_effect
+module Backoff = Acc_txn.Backoff
 module Runtime = Acc_core.Runtime
 module Engine = Acc_parallel.Engine
+module Watchdog = Acc_parallel.Watchdog
 module Domain_pool = Acc_parallel.Domain_pool
 module Sharded_lock_table = Acc_parallel.Sharded_lock_table
 module Mode = Acc_lock.Mode
@@ -45,6 +47,13 @@ type config = {
           counters tear-free (see the {!Acc_util.Metrics} contract) — there is
           no mid-run reset. *)
   accounting : bool;  (** classify every lock decision ({!Conflict_accounting}) *)
+  lock_deadline : float option;
+      (** per-request lock-wait budget, seconds ([None] disables timeouts) *)
+  max_inflight : int option;
+      (** admission cap on concurrently running multi-step transactions *)
+  shed_watermark : float option;
+      (** abort rate (victims + timeouts per second) above which admissions
+          shed *)
 }
 
 let default_config =
@@ -64,6 +73,9 @@ let default_config =
     acc_options = Runtime.default_options;
     warmup = 0.0;
     accounting = false;
+    lock_deadline = None;
+    max_inflight = None;
+    shed_watermark = None;
   }
 
 type report = {
@@ -86,6 +98,18 @@ type report = {
   conflicts : Conflict_accounting.row list;
       (** lock-decision classification per step type; empty unless
           [cfg.accounting] *)
+  lock_timeouts : int;  (** lock waits expired by the watchdog *)
+  shed : int;  (** admissions refused by the overload gate *)
+  degraded_runs : int;
+      (** transactions executed on the fully isolated legacy path because
+          degraded mode was on at admission time *)
+  degraded_trips : int;  (** watchdog degraded-mode trips *)
+  lock_wait_p99 : float;
+      (** 99th-percentile completed blocking lock wait, seconds ([nan] when
+          no wait ever blocked) *)
+  lock_wait_count : int;
+  peak_queue_depth : int;  (** largest waiter count the watchdog sampled *)
+  peak_oldest_wait : float;  (** largest oldest-waiter age it sampled, seconds *)
 }
 
 (* step-type naming, shared with the CLI and bench output *)
@@ -158,7 +182,9 @@ let run cfg =
     match cfg.system with Baseline -> Mode.no_semantics | Acc -> Txns.semantics
   in
   let engine =
-    Engine.create ~shards:cfg.shards ~detector_cadence:cfg.detector_cadence ~sem db
+    Engine.create ~shards:cfg.shards ~detector_cadence:cfg.detector_cadence
+      ?lock_deadline:cfg.lock_deadline ?max_inflight:cfg.max_inflight
+      ?shed_watermark:cfg.shed_watermark ~sem db
   in
   let eng = Engine.executor engine in
   let max_step_id =
@@ -176,6 +202,7 @@ let run cfg =
   let committed = Metrics.Counter.create () in
   let forced_aborts = Metrics.Counter.create () in
   let compensations = Metrics.Counter.create () in
+  let degraded_runs = Metrics.Counter.create () in
   let response = Metrics.Latency.create () in
   (* split the generator on this domain, before spawning: the PRNG is not
      thread-safe, and splitting up front makes each worker's stream a pure
@@ -208,52 +235,89 @@ let run cfg =
         Metrics.Histogram.record hists.(step_type) dur);
   let worker i =
     let env = envs.(i) in
-    let backoff_g = Prng.create ~seed:((cfg.seed * 7919) + i) in
+    let jitter = Backoff.Jitter.create ~seed:((cfg.seed * 7919) + i) () in
     let think_g = Prng.create ~seed:((cfg.seed * 1009) + i) in
     let slot = Metrics.Latency.slot response in
     let mine = ref 0 in
     let budget = ref (match cfg.txns_per_domain with Some n -> n | None -> max_int) in
-    let continue () =
-      !budget > 0
-      && (cfg.txns_per_domain <> None || Unix.gettimeofday () < deadline)
+    let time_ok () =
+      cfg.txns_per_domain <> None || Unix.gettimeofday () < deadline
+    in
+    let continue () = !budget > 0 && time_ok () in
+    (* duration mode only: once the deadline passes, in-flight transactions
+       stop issuing new steps and compensate out instead of running to
+       completion — drain time is bounded by one step, not one transaction *)
+    let stop () = cfg.txns_per_domain = None && Unix.gettimeofday () >= deadline in
+    let run_flat_outcome () =
+      Engine.run_txn ~jitter (fun () ->
+          let input = gen_mixed_input cfg env in
+          match Txns.run_flat ~stop eng env input with
+          | `Committed -> `Done
+          | `Aborted -> `Forced_abort)
+    in
+    let run_acc_outcome () =
+      Engine.run_txn ~jitter (fun () ->
+          let input = gen_mixed_input cfg env in
+          match Txns.run_acc ~options:cfg.acc_options ~stop eng env input with
+          | Runtime.Committed -> `Done
+          | Runtime.Compensated _ -> begin
+              match input with
+              | Txns.New_order { no_fail_last = true; _ } -> `Forced_abort_compensated
+              | _ -> `Compensated
+            end)
     in
     while continue () do
       decr budget;
       if cfg.think_mean > 0.0 then
         Unix.sleepf (Prng.exponential think_g ~mean:cfg.think_mean);
-      let input = gen_mixed_input cfg env in
       let t0 = Unix.gettimeofday () in
       let outcome =
-        Engine.run_txn ~backoff_g (fun () ->
-            match cfg.system with
-            | Baseline -> begin
-                match Txns.run_flat eng env input with
-                | `Committed -> `Done
-                | `Aborted -> `Forced_abort
-              end
-            | Acc -> begin
-                match Txns.run_acc ~options:cfg.acc_options eng env input with
-                | Runtime.Committed -> `Done
-                | Runtime.Compensated _ -> begin
-                    match input with
-                    | Txns.New_order { no_fail_last = true; _ } ->
-                        `Forced_abort_compensated
-                    | _ -> `Compensated
+        match cfg.system with
+        | Baseline ->
+            (* the flat baseline is itself the fully isolated legacy path;
+               the multi-step admission gate does not apply *)
+            Some (run_flat_outcome ())
+        | Acc ->
+            (* admission bracket: jittered retry while shed; while degraded,
+               fall back to the legacy path instead of queueing behind a
+               wedged protocol *)
+            let rec admit attempt =
+              match Engine.try_admit engine with
+              | Engine.Admitted -> `Acc
+              | Engine.Shed "degraded" -> `Degraded
+              | Engine.Shed _ ->
+                  if time_ok () then begin
+                    Unix.sleepf (Backoff.Jitter.next jitter ~attempt);
+                    admit (attempt + 1)
                   end
-              end)
+                  else `Drop
+            in
+            (match admit 1 with
+            | `Drop -> None
+            | `Degraded ->
+                Metrics.Counter.incr degraded_runs;
+                Some (run_flat_outcome ())
+            | `Acc ->
+                Fun.protect
+                  ~finally:(fun () -> Engine.finish engine)
+                  (fun () -> Some (run_acc_outcome ())))
       in
       let t1 = Unix.gettimeofday () in
-      if recording () then
-        match outcome with
-        | `Done ->
-            Metrics.Counter.incr committed;
-            incr mine;
-            Metrics.Latency.record slot (t1 -. t0)
-        | `Forced_abort -> Metrics.Counter.incr forced_aborts
-        | `Forced_abort_compensated ->
-            Metrics.Counter.incr forced_aborts;
-            Metrics.Counter.incr compensations
-        | `Compensated -> Metrics.Counter.incr compensations
+      match outcome with
+      | None -> ()
+      | Some outcome ->
+          if recording () then begin
+            match outcome with
+            | `Done ->
+                Metrics.Counter.incr committed;
+                incr mine;
+                Metrics.Latency.record slot (t1 -. t0)
+            | `Forced_abort -> Metrics.Counter.incr forced_aborts
+            | `Forced_abort_compensated ->
+                Metrics.Counter.incr forced_aborts;
+                Metrics.Counter.incr compensations
+            | `Compensated -> Metrics.Counter.incr compensations
+          end
     done;
     !mine
   in
@@ -286,6 +350,14 @@ let run cfg =
         (List.mapi (fun i h -> (i, h)) (Array.to_list hists));
     conflicts =
       (match accounting with Some a -> Conflict_accounting.rows a | None -> []);
+    lock_timeouts = Engine.timeout_count engine;
+    shed = Engine.shed_count engine;
+    degraded_runs = Metrics.Counter.get degraded_runs;
+    degraded_trips = Watchdog.degraded_trips (Engine.watchdog engine);
+    lock_wait_p99 = Metrics.Histogram.percentile (Engine.lock_waits engine) 0.99;
+    lock_wait_count = Metrics.Histogram.count (Engine.lock_waits engine);
+    peak_queue_depth = Watchdog.peak_queue_depth (Engine.watchdog engine);
+    peak_oldest_wait = Watchdog.peak_oldest_wait (Engine.watchdog engine);
   }
 
 let pp_step_hist ppf hist =
@@ -317,6 +389,18 @@ let pp_report ppf r =
     (match r.violations with
     | [] -> "OK"
     | v -> Printf.sprintf "%d VIOLATION(S)" (List.length v));
+  if
+    r.lock_timeouts > 0 || r.shed > 0 || r.degraded_trips > 0 || r.degraded_runs > 0
+    || r.lock_wait_count > 0
+  then
+    Format.fprintf ppf
+      "@.@[<v>lock timeouts        %d@,shed admissions      %d@,\
+       degraded             %d trip(s), %d legacy run(s)@,\
+       p99 lock wait        %.6f s (%d waits)@,\
+       peak queue depth     %d@,peak oldest wait     %.4f s@]"
+      r.lock_timeouts r.shed r.degraded_trips r.degraded_runs
+      (if r.lock_wait_count = 0 then 0. else r.lock_wait_p99)
+      r.lock_wait_count r.peak_queue_depth r.peak_oldest_wait;
   if r.step_hist <> [] then Format.fprintf ppf "@.%a" pp_step_hist r.step_hist;
   if r.conflicts <> [] then
     Format.fprintf ppf "@.%a"

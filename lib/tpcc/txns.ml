@@ -829,15 +829,16 @@ let instance env input =
   | Delivery i -> Some (delivery_instance env i)
   | Order_status _ | Stock_level _ -> None
 
-let run_acc ?options eng env input =
+let run_acc ?options ?stop eng env input =
+  let stopped () = match stop with Some f -> f () | None -> false in
   match input with
   | New_order _ | Payment _ | Delivery _ -> begin
       match instance env input with
-      | Some inst -> Runtime.run ?options eng inst
+      | Some inst -> Runtime.run ?options ?stop eng inst
       | None -> assert false
     end
   | Order_status i ->
-      Runtime.run_legacy ?options eng ~txn_type:"order_status" (fun ctx ->
+      Runtime.run_legacy ?options ?stop eng ~txn_type:"order_status" (fun ctx ->
           order_status_body env i ctx)
   | Stock_level i ->
       (* READ COMMITTED: flat, no assertional locks, short read locks *)
@@ -849,14 +850,18 @@ let run_acc ?options eng env input =
           stock_level_body env i ctx;
           Executor.commit ctx;
           Runtime.Committed
-        with Txn_effect.Deadlock_victim | Fault.Step_fault ->
+        with Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout | Fault.Step_fault ->
           Executor.abort_physical ctx;
-          Txn_effect.yield ~attempt:n ();
-          attempt (n + 1)
+          if stopped () then Runtime.Compensated { completed_steps = 0 }
+          else begin
+            Txn_effect.yield ~attempt:n ();
+            attempt (n + 1)
+          end
       in
       attempt 1
 
-let run_flat eng env input =
+let run_flat ?stop eng env input =
+  let stopped () = match stop with Some f -> f () | None -> false in
   let rec attempt n =
     let ctx = Executor.begin_txn eng ~txn_type:(txn_name input) ~multi_step:false in
     try
@@ -865,10 +870,13 @@ let run_flat eng env input =
       Executor.commit ctx;
       `Committed
     with
-    | Txn_effect.Deadlock_victim | Fault.Step_fault ->
+    | Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout | Fault.Step_fault ->
         Executor.abort_physical ctx;
-        Txn_effect.yield ~attempt:n ();
-        attempt (n + 1)
+        if stopped () then `Aborted
+        else begin
+          Txn_effect.yield ~attempt:n ();
+          attempt (n + 1)
+        end
     | Txn_effect.Abort_requested ->
         Executor.abort_physical ctx;
         `Aborted

@@ -113,12 +113,20 @@ val instance : env -> input -> Acc_core.Program.instance option
 (** [None] for the types that do not run through {!Acc_core.Runtime.run}:
     order-status (legacy full isolation) and stock-level (read committed). *)
 
-val run_acc : ?options:Acc_core.Runtime.options -> Acc_txn.Executor.t -> env -> input ->
+val run_acc :
+  ?options:Acc_core.Runtime.options ->
+  ?stop:(unit -> bool) ->
+  Acc_txn.Executor.t -> env -> input ->
   Acc_core.Runtime.outcome
 (** Dispatch one transaction under the ACC regime: decomposed types through
     the runtime, order-status through the legacy path, stock-level as a flat
-    read-committed transaction. *)
+    read-committed transaction.  [stop] bounds drain: once it returns [true]
+    no new step is issued and no victim/timeout retry is attempted (see
+    {!Acc_core.Runtime.run}). *)
 
-val run_flat : Acc_txn.Executor.t -> env -> input -> [ `Committed | `Aborted ]
+val run_flat :
+  ?stop:(unit -> bool) ->
+  Acc_txn.Executor.t -> env -> input -> [ `Committed | `Aborted ]
 (** Dispatch one transaction under the baseline regime (strict 2PL, retry on
-    deadlock, abort on the 1% rule). *)
+    deadlock or lock timeout, abort on the 1% rule).  A [stop] that turns
+    [true] during a retry converts it into [`Aborted]. *)

@@ -14,3 +14,44 @@ let default = { multiplier = 2.0; max_factor = 32.0 }
 let factor ?(policy = default) ~attempt () =
   if attempt <= 1 then 1.0
   else Float.min policy.max_factor (policy.multiplier ** float_of_int (attempt - 1))
+
+(* Decorrelated jitter (the "decorrelated" variant of exponential backoff):
+   each delay is uniform in [base, min cap (3 * previous delay)].  A plain
+   capped-exponential schedule synchronizes colliding deadlock victims — two
+   transactions aborted by the same cycle sleep the same delays and collide
+   again; carrying randomized state per retrier decorrelates them.  Used by
+   the parallel engine's Yield handler and the driver's shed-retry loop. *)
+module Jitter = struct
+  type t = {
+    base : float;
+    cap : float;
+    g : Acc_util.Prng.t;
+    mutable prev : float;
+  }
+
+  (* distinct stream per unseeded instance: the whole point is that two
+     colliding retriers never share a schedule *)
+  let instances = Atomic.make 0
+
+  let create ?(base = 1e-4) ?(cap = 0.05) ?seed () =
+    if base <= 0. then invalid_arg "Backoff.Jitter.create: base must be > 0";
+    if cap < base then invalid_arg "Backoff.Jitter.create: cap must be >= base";
+    let seed =
+      match seed with
+      | Some s -> s
+      | None ->
+          let n = Atomic.fetch_and_add instances 1 in
+          (0x9e3779b9 * (n + 1)) lxor ((Domain.self () :> int) lsl 20)
+    in
+    { base; cap; g = Acc_util.Prng.create ~seed; prev = base }
+
+  let next t ~attempt =
+    (* a fresh retry sequence restarts the growth from the base *)
+    if attempt <= 1 then t.prev <- t.base;
+    let hi = Float.min t.cap (t.prev *. 3.) in
+    let d =
+      if hi <= t.base then t.base else t.base +. Acc_util.Prng.float t.g (hi -. t.base)
+    in
+    t.prev <- d;
+    d
+end

@@ -18,3 +18,25 @@ val default : policy
 val factor : ?policy:policy -> attempt:int -> unit -> float
 (** Scale for the given 1-based attempt number; [1.0] for a first attempt
     (or [attempt <= 0], used by plain reschedule yields). *)
+
+(** Decorrelated-jitter delays for real (wall-clock) retry loops.
+
+    The deterministic {!factor} schedule synchronizes colliding deadlock
+    victims: transactions aborted by the same cycle sleep identical delays
+    and collide again.  A {!Jitter.t} carries randomized state — each delay
+    is uniform in [[base, min cap (3 × previous)]] — so no two retriers share
+    a schedule.  Unseeded instances draw from distinct streams by
+    construction; pass [seed] for a reproducible schedule. *)
+module Jitter : sig
+  type t
+
+  val create : ?base:float -> ?cap:float -> ?seed:int -> unit -> t
+  (** [base] is the minimum delay in seconds (default 100µs), [cap] the
+      saturation (default 50ms).  Raises [Invalid_argument] unless
+      [0 < base <= cap]. *)
+
+  val next : t -> attempt:int -> float
+  (** The next delay in seconds.  [attempt <= 1] restarts the growth from
+      [base] (a fresh retry sequence); higher attempts continue the
+      decorrelated walk. *)
+end

@@ -32,6 +32,7 @@ type lock_ops = {
     step_type:int ->
     admission:bool ->
     compensating:bool ->
+    deadline:float option ->
     Mode.t ->
     Resource_id.t ->
     unit;
@@ -59,6 +60,10 @@ type config = {
      parallel engine installs a per-table mutex here so hashtable/index
      structure is never mutated concurrently (row-content races are already
      excluded by the lock protocol) *)
+  mutable lock_deadline : float option;
+  (* relative lock-wait budget in seconds applied to every non-compensating
+     acquisition (the absolute deadline is [clock () + budget]); [None]
+     disables timeouts *)
 }
 
 type t = {
@@ -100,6 +105,7 @@ let make ?(cost = Cost_model.default) backend db =
         clock = (fun () -> 0.);
         on_step_end = (fun ~step_type:_ ~dur:_ -> ());
         table_wrap = { wrap = (fun _ f -> f ()) };
+        lock_deadline = None;
       };
     next_txn = Atomic.make 1;
     active = Atomic.make 0;
@@ -122,6 +128,8 @@ let set_trace t f = t.config.trace <- f
 let set_clock t f = t.config.clock <- f
 let set_on_step_end t f = t.config.on_step_end <- f
 let set_table_wrap t w = t.config.table_wrap <- w
+let set_lock_deadline t d = t.config.lock_deadline <- d
+let lock_deadline t = t.config.lock_deadline
 let charge t units = t.config.charge units
 let cost t = t.cost
 
@@ -129,13 +137,15 @@ let cost t = t.cost
 
 let deliver t wakeups = if wakeups <> [] then t.config.on_wakeup wakeups
 
-let lock_acquire t ~txn ~step_type ~admission ~compensating mode res =
+let lock_acquire t ~txn ~step_type ~admission ~compensating ~deadline mode res =
   match t.backend with
   | Sequential locks -> (
-      match Lock_table.request locks ~txn ~step_type ~admission ~compensating mode res with
+      match
+        Lock_table.request locks ~txn ~step_type ~admission ~compensating ?deadline mode res
+      with
       | Lock_table.Granted -> ()
       | Lock_table.Queued ticket -> Effect.perform (Txn_effect.Wait_lock { ticket; txn }))
-  | Custom ops -> ops.lo_acquire ~txn ~step_type ~admission ~compensating mode res
+  | Custom ops -> ops.lo_acquire ~txn ~step_type ~admission ~compensating ~deadline mode res
 
 let lock_attach t ~txn ~step_type mode res =
   match t.backend with
@@ -221,8 +231,14 @@ let acquire ctx ?(admission = false) mode res =
   if Mode.conventional mode then ctx.on_before_lock res mode;
   charge ctx.eng
     (if Mode.conventional mode then ctx.eng.cost.lock_op else ctx.eng.cost.assertional_op);
+  (* compensating steps never carry a deadline (§3.4) *)
+  let deadline =
+    if ctx.compensating then None
+    else
+      Option.map (fun d -> ctx.eng.config.clock () +. d) ctx.eng.config.lock_deadline
+  in
   lock_acquire ctx.eng ~txn:ctx.txn ~step_type:ctx.step_type ~admission
-    ~compensating:ctx.compensating mode res;
+    ~compensating:ctx.compensating ~deadline mode res;
   ctx.on_lock res mode
 
 let attach_lock ctx mode res =

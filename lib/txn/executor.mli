@@ -21,6 +21,7 @@ type lock_ops = {
     step_type:int ->
     admission:bool ->
     compensating:bool ->
+    deadline:float option ->
     Acc_lock.Mode.t ->
     Acc_lock.Resource_id.t ->
     unit;
@@ -34,8 +35,9 @@ type lock_ops = {
 }
 (** A custom lock manager.  [lo_acquire] must block (or suspend) until the
     lock is held, raising [Txn_effect.Deadlock_victim] if the request is
-    victimized; the sharded multi-domain table of lib/parallel plugs in
-    here. *)
+    victimized and [Txn_effect.Lock_timeout] if its [deadline] (an absolute
+    instant in the engine clock, [None] = unbounded) expires first; the
+    sharded multi-domain table of lib/parallel plugs in here. *)
 
 val create :
   ?cost:Cost_model.t -> sem:Acc_lock.Mode.semantics -> Acc_relation.Database.t -> t
@@ -86,6 +88,15 @@ val set_table_wrap : t -> table_wrap -> unit
     resizes, index maintenance), so the multi-domain engine installs a
     per-table mutex here; the lock protocol already excludes row-content
     races.  Default: run the thunk directly. *)
+
+val set_lock_deadline : t -> float option -> unit
+(** Lock-wait budget in seconds applied to every non-compensating lock
+    acquisition: each request carries the absolute deadline [clock () +
+    budget] and the lock manager may answer [Txn_effect.Lock_timeout] once it
+    passes.  Compensating steps never carry a deadline (§3.4).  [None]
+    (default) disables timeouts. *)
+
+val lock_deadline : t -> float option
 
 val charge : t -> float -> unit
 val cost : t -> Cost_model.t

@@ -24,6 +24,13 @@ type _ Effect.t +=
 val yield : ?attempt:int -> unit -> unit
 (** [yield ()] performs [Yield 0]; [yield ~attempt ()] reports a retry. *)
 
+exception Lock_timeout
+(** Raised {e at the wait point} of a lock request whose wait deadline
+    expired before the lock was granted.  Handled exactly like
+    {!Deadlock_victim} — the step is undone and the transaction retried or
+    compensated — but counted separately: timeouts are an overload signal,
+    not a cycle. *)
+
 exception Deadlock_victim
 (** Raised {e at the wait point} of a transaction chosen as deadlock victim:
     the scheduler discontinues the suspended fiber with this exception.  The

@@ -9,6 +9,16 @@ module Counter = struct
   let drain t = Atomic.exchange t 0
 end
 
+module Gauge = struct
+  (* A boxed-float atomic: set allocates, so gauges belong on sampling paths
+     (the watchdog's cadence), not per-operation hot paths. *)
+  type t = float Atomic.t
+
+  let create () = Atomic.make 0.
+  let set t v = Atomic.set t v
+  let get t = Atomic.get t
+end
+
 module Latency = struct
   (* Each domain records into its own private tally — [Stats.Tally.add] is
      single-writer — and readers fold [Stats.Tally.merge] over the registered

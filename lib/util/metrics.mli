@@ -38,6 +38,19 @@ module Counter : sig
       the returned value or in the fresh epoch). *)
 end
 
+module Gauge : sig
+  type t
+  (** A last-value float cell any domain may set or read (e.g. the watchdog's
+      sampled queue depth and oldest-waiter age).  [set] boxes the float, so
+      use gauges on sampling cadences, not per-operation hot paths. *)
+
+  val create : unit -> t
+  (** Starts at [0.]. *)
+
+  val set : t -> float -> unit
+  val get : t -> float
+end
+
 module Latency : sig
   type t
 

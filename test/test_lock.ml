@@ -695,6 +695,139 @@ let prop_oracle_safety =
         (fun ((_, m2, _) as h2) -> List.for_all (fun h1 -> ok_pair h1 h2 m2) tholds)
         tholds)
 
+(* --- lock-wait deadlines and bounded-bypass fairness (DESIGN.md §13) ---- *)
+
+let test_deadline_expiry () =
+  let now = ref 0. in
+  let t = Lock_table.create ~clock:(fun () -> !now) Mode.no_semantics in
+  ignore (req t ~txn:1 Mode.X res_a);
+  let tk =
+    ticket_exn (Lock_table.request t ~txn:2 ~step_type:0 ~deadline:5. Mode.X res_a)
+  in
+  let ex, wk = Lock_table.expire_overdue t ~now:4.9 in
+  Alcotest.(check int) "nothing due yet" 0 (List.length ex);
+  Alcotest.(check int) "no wakeups" 0 (List.length wk);
+  now := 6.;
+  let ex, _ = Lock_table.expire_overdue t ~now:6. in
+  (match ex with
+  | [ e ] ->
+      Alcotest.(check int) "expired txn" 2 e.Lock_table.ex_txn;
+      Alcotest.(check bool) "waited measured from enqueue" true (e.Lock_table.ex_waited >= 5.9)
+  | _ -> Alcotest.fail "expected exactly one expiry");
+  Alcotest.(check bool) "ticket withdrawn" false (Lock_table.outstanding t ~ticket:tk);
+  Alcotest.(check int) "no waiter leaked" 0 (Lock_table.waiter_count t);
+  (* no double abort: a later sweep, a late cancel, and a detector-style kill
+     all find nothing to withdraw *)
+  let ex2, _ = Lock_table.expire_overdue t ~now:7. in
+  Alcotest.(check int) "second sweep empty" 0 (List.length ex2);
+  Alcotest.(check int) "late cancel is a no-op" 0
+    (List.length (Lock_table.cancel t ~ticket:tk));
+  Alcotest.(check int) "release wakes nobody" 0 (List.length (Lock_table.release_all t ~txn:1));
+  Alcotest.(check int) "clean table" 0 (Lock_table.lock_count t)
+
+let test_deadline_spares_compensating () =
+  let now = ref 0. in
+  let t = Lock_table.create ~clock:(fun () -> !now) Mode.no_semantics in
+  ignore (req t ~txn:1 Mode.X res_a);
+  (* §3.4 compensation-sparing: the deadline is discarded on a compensating
+     request, so no sweep ever withdraws it *)
+  ignore
+    (Lock_table.request t ~txn:2 ~step_type:0 ~compensating:true ~deadline:1. Mode.X res_a);
+  now := 100.;
+  let ex, _ = Lock_table.expire_overdue t ~now:100. in
+  Alcotest.(check int) "compensating wait never expires" 0 (List.length ex);
+  Alcotest.(check int) "still queued" 1 (Lock_table.waiter_count t)
+
+let test_bounded_bypass_gate () =
+  (* same-queue FIFO already forbids overtaking; the gate bounds the avenues
+     FIFO cannot see.  Here: tuple-level grants never consult the table-level
+     queue, so readers of a tuple can starve a queued table writer forever
+     without the gate. *)
+  let t = Lock_table.create ~max_bypass:3 Mode.no_semantics in
+  ignore (Lock_table.request t ~txn:1 ~step_type:0 Mode.S tbl);
+  let tk = ticket_exn (Lock_table.request t ~txn:2 ~step_type:0 Mode.X tbl) in
+  (* direct tuple readers bypass the queued table writer, but only
+     max_bypass times — then the gate refuses further conflicting grants *)
+  let grants = ref [] in
+  for txn = 3 to 10 do
+    if granted (Lock_table.request t ~txn ~step_type:0 Mode.S res_a) then
+      grants := txn :: !grants
+  done;
+  Alcotest.(check (list int)) "gate closes after max_bypass overtakes" [ 3; 4; 5 ]
+    (List.rev !grants);
+  Alcotest.(check int) "starved waiter's bypass count" 3 (Lock_table.max_bypassed t);
+  (* gate refusals are visible to the deadlock detector as wait edges on the
+     starved waiter *)
+  Alcotest.(check bool) "fairness wait edge recorded" true
+    (List.mem (6, 2) (Lock_table.wait_edges t));
+  (* §3.4: compensating requests are never fairness-gated *)
+  Alcotest.(check bool) "compensating reader passes the closed gate" true
+    (granted (Lock_table.request t ~txn:20 ~step_type:0 ~compensating:true Mode.S res_a));
+  (* drain: the starved writer goes first once the table holder leaves (an
+     absolute table grant does not sweep tuple holds — the protocol relies on
+     intention locks, which these direct tuple readers skipped), then the
+     deferred readers, and nothing leaks *)
+  ignore (Lock_table.release_all t ~txn:1);
+  Alcotest.(check bool) "starved writer granted first" false
+    (Lock_table.outstanding t ~ticket:tk);
+  List.iter (fun txn -> ignore (Lock_table.release_all t ~txn)) [ 3; 4; 5; 20 ];
+  ignore (Lock_table.release_all t ~txn:2);
+  List.iter (fun txn -> ignore (Lock_table.release_all t ~txn)) [ 6; 7; 8; 9; 10 ];
+  Alcotest.(check int) "no residue locks" 0 (Lock_table.lock_count t);
+  Alcotest.(check int) "no residue waiters" 0 (Lock_table.waiter_count t)
+
+(* The fairness bound as a property: with every request from a fresh
+   transaction (so no re-entrant/upgrade exemptions apply), no waiter is ever
+   overtaken more than max_bypass times, across any interleaving of grants,
+   queue jumps, releases and cancels — the "granted or aborted within a
+   bounded number of grant events" guarantee. *)
+let bypass_ops_gen =
+  QCheck2.Gen.(list_size (int_range 0 120) (pair (int_range 0 7) (int_range 0 5)))
+
+let run_bypass_ops ~max_bypass ~request ~release_all ~cancel_txn ~max_bypassed ops =
+  let resources = [| res_a; res_b; tbl |] in
+  let next = ref 0 in
+  let active = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun (k, r) ->
+      (match k with
+      | 0 | 1 | 2 | 3 ->
+          incr next;
+          active := !next :: !active;
+          let mode = [| Mode.S; Mode.X; Mode.IS; Mode.IX |].(k) in
+          (* intention modes only make sense on the table *)
+          let res = if k >= 2 then tbl else resources.(r mod 3) in
+          request ~txn:!next mode res
+      | 4 | 5 -> (
+          match !active with
+          | [] -> ()
+          | l ->
+              let txn = List.nth l (r mod List.length l) in
+              release_all ~txn;
+              active := List.filter (fun x -> x <> txn) l)
+      | _ -> (
+          match !active with [] -> () | l -> cancel_txn ~txn:(List.nth l (r mod List.length l))));
+      if max_bypassed () > max_bypass then ok := false)
+    ops;
+  !ok
+
+let prop_bounded_bypass =
+  QCheck2.Test.make ~name:"lock_table: no waiter overtaken more than max_bypass times"
+    ~count:300 bypass_ops_gen (fun ops ->
+      let max_bypass = 4 in
+      let t = Lock_table.create ~max_bypass Mode.no_semantics in
+      run_bypass_ops ~max_bypass
+        ~request:(fun ~txn mode res ->
+          ignore (Lock_table.request t ~txn ~step_type:0 mode res))
+        ~release_all:(fun ~txn -> ignore (Lock_table.release_all t ~txn))
+        ~cancel_txn:(fun ~txn ->
+          List.iter
+            (fun ticket -> ignore (Lock_table.cancel t ~ticket))
+            (Lock_table.outstanding_tickets t ~txn))
+        ~max_bypassed:(fun () -> Lock_table.max_bypassed t)
+        ops)
+
 let suites =
   [
     ( "lock.mode",
@@ -741,6 +874,15 @@ let suites =
         Alcotest.test_case "three-txn cycle" `Quick test_cycle_three_txns;
         Alcotest.test_case "compensating flag" `Quick test_compensating_flag;
         Alcotest.test_case "wait edges via queue" `Quick test_wait_edges_via_queue;
+      ] );
+    ( "lock.overload",
+      [
+        Alcotest.test_case "deadline expiry withdraws the wait once" `Quick
+          test_deadline_expiry;
+        Alcotest.test_case "deadline spares compensating requests" `Quick
+          test_deadline_spares_compensating;
+        Alcotest.test_case "bounded-bypass gate" `Quick test_bounded_bypass_gate;
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_bounded_bypass;
       ] );
     ( "lock.predicate",
       [

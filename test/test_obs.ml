@@ -46,6 +46,9 @@ let one_of_each =
     Trace.Victim { txn = 7; spared_compensating = true };
     Trace.Wal_append { txn = 1; lsn = 42; kind = "write" };
     Trace.Wal_flush { records = 17 };
+    Trace.Timed_out { txn = 5; mode = Mode.X; resource = res 4; waited = 0.052 };
+    Trace.Shed { inflight = 64; reason = "capacity" };
+    Trace.Degraded { on = true; oldest_wait = 1.5 };
   ]
 
 (* --- ring buffer ------------------------------------------------------- *)

@@ -222,6 +222,133 @@ let test_victim_policy_spares_compensation () =
   Alcotest.(check int) "non-compensating wait killed" 0
     (List.length (Sharded.outstanding_tickets t ~txn:2))
 
+(* --- lock-wait deadlines under real domains (DESIGN.md §13) ------------- *)
+
+(* A real two-domain deadlock where one side carries a wait deadline: the
+   expiry sweep (the watchdog's job, driven manually here) must break the
+   cycle by timing that side out, and the subsequent detector pass and kill
+   must find nothing left — timeout before detection never double-aborts or
+   leaks a queue entry. *)
+let test_timeout_breaks_cycle () =
+  let t = Sharded.create ~shards:4 Mode.no_semantics in
+  let a = Resource_id.Tuple ("t", [ Value.Int 1 ])
+  and b = Resource_id.Tuple ("u", [ Value.Int 1 ]) in
+  Sharded.acquire t ~txn:1 ~step_type:0 ~admission:false ~compensating:false Mode.X a;
+  let d =
+    Domain.spawn (fun () ->
+        Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false Mode.X b;
+        match
+          Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false
+            ~deadline:(Unix.gettimeofday () +. 0.05) Mode.X a
+        with
+        | () ->
+            ignore (Sharded.release_all t ~txn:2);
+            `Granted
+        | exception Txn_effect.Lock_timeout ->
+            (* the executor's abort path: release everything *)
+            ignore (Sharded.release_all t ~txn:2);
+            `Timed_out)
+  in
+  (* wait until txn 2 is queued on a, then close the cycle from this side
+     with a synchronous (non-blocking) request *)
+  let spins = ref 0 in
+  while Sharded.waiter_count t = 0 && !spins < 5000 do
+    incr spins;
+    Unix.sleepf 0.001
+  done;
+  let g = Sharded.request t ~txn:1 ~step_type:0 Mode.X b in
+  let sweeps = ref 0 in
+  while Sharded.timeout_count t = 0 && !sweeps < 5000 do
+    incr sweeps;
+    Unix.sleepf 0.002;
+    ignore (Sharded.expire t ~now:(Unix.gettimeofday ()))
+  done;
+  (match Domain.join d with
+  | `Timed_out -> ()
+  | `Granted -> Alcotest.fail "deadlocked wait was granted");
+  Alcotest.(check int) "exactly one timeout" 1 (Sharded.timeout_count t);
+  (* the cycle is already broken: detection and victimization find nothing *)
+  Alcotest.(check int) "detector sweep finds no cycle" 0 (Detector.sweep t);
+  Alcotest.(check int) "kill after timeout is a no-op" 0 (Sharded.kill t ~txn:2);
+  (* txn 2's release promoted the survivor's queued request *)
+  (match g with
+  | Lock_table.Granted -> ()
+  | Lock_table.Queued ticket ->
+      Alcotest.(check bool) "survivor promoted" false (Sharded.outstanding t ~ticket));
+  ignore (Sharded.release_all t ~txn:1);
+  Alcotest.(check int) "no leaked locks" 0 (Sharded.lock_count t);
+  Alcotest.(check int) "no leaked waiters" 0 (Sharded.waiter_count t)
+
+(* Same fairness bound as test_lock's property, through the sharded table's
+   synchronous surface: fresh transactions only, so every grant avenue is the
+   gated one. *)
+let shard_res = [| res_k; Resource_id.Tuple ("u", [ Value.Int 1 ]); Resource_id.Table "t" |]
+
+let prop_sharded_bounded_bypass =
+  QCheck2.Test.make ~name:"sharded table: no waiter overtaken more than max_bypass times"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 120) (pair (int_range 0 7) (int_range 0 5)))
+    (fun ops ->
+      let max_bypass = 4 in
+      let t = Sharded.create ~shards:4 ~max_bypass Mode.no_semantics in
+      let next = ref 0 in
+      let active = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (k, r) ->
+          (match k with
+          | 0 | 1 | 2 | 3 ->
+              incr next;
+              active := !next :: !active;
+              let mode = [| Mode.S; Mode.X; Mode.IS; Mode.IX |].(k) in
+              let res = if k >= 2 then shard_res.(2) else shard_res.(r mod 2) in
+              ignore (Sharded.request t ~txn:!next ~step_type:0 mode res)
+          | 4 | 5 -> (
+              match !active with
+              | [] -> ()
+              | l ->
+                  let txn = List.nth l (r mod List.length l) in
+                  ignore (Sharded.release_all t ~txn);
+                  active := List.filter (fun x -> x <> txn) l)
+          | _ -> (
+              match !active with
+              | [] -> ()
+              | l ->
+                  let txn = List.nth l (r mod List.length l) in
+                  List.iter
+                    (fun ticket -> ignore (Sharded.cancel t ~ticket))
+                    (Sharded.outstanding_tickets t ~txn)));
+          if Sharded.max_bypassed t > max_bypass then ok := false)
+        ops;
+      !ok)
+
+(* --- admission control --------------------------------------------------- *)
+
+module Engine = Acc_parallel.Engine
+
+let test_admission_gate () =
+  let db = Acc_relation.Database.create () in
+  let e = Engine.create ~shards:2 ~max_inflight:2 ~sem:Mode.no_semantics db in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown e)
+    (fun () ->
+      match (Engine.try_admit e, Engine.try_admit e) with
+      | Engine.Admitted, Engine.Admitted ->
+          (match Engine.try_admit e with
+          | Engine.Shed "capacity" -> ()
+          | Engine.Shed r -> Alcotest.fail ("unexpected shed reason: " ^ r)
+          | Engine.Admitted -> Alcotest.fail "admitted past the cap");
+          Alcotest.(check int) "shed counted" 1 (Engine.shed_count e);
+          Alcotest.(check int) "inflight at cap" 2 (Engine.inflight e);
+          Engine.finish e;
+          (match Engine.try_admit e with
+          | Engine.Admitted -> ()
+          | Engine.Shed _ -> Alcotest.fail "returned token not re-admitted");
+          Engine.finish e;
+          Engine.finish e;
+          Alcotest.(check int) "inflight drains to zero" 0 (Engine.inflight e)
+      | _ -> Alcotest.fail "initial admissions refused")
+
 (* --- metrics ------------------------------------------------------------ *)
 
 let test_metrics_multicore () =
@@ -271,6 +398,34 @@ let test_stress_2pl () =
   Alcotest.(check int) "no leaked waiters" 0 r.P.leaked_waiters;
   Alcotest.(check bool) "committed transactions" true (r.P.committed > 300)
 
+(* Saturation: 4 domains against an admission cap of 1, a district hotspot,
+   and a 20ms lock-wait deadline, in duration mode (so the deadline-drain
+   path runs too).  The robustness contract: the run completes (no hung
+   worker), the gate actually shed, and the drain leaves a consistent
+   database with zero leaked locks or wait-queue entries. *)
+let test_overload_admission () =
+  let r =
+    P.run
+      {
+        P.default_config with
+        P.system = P.Acc;
+        domains = 4;
+        duration = 1.0;
+        mix = P.New_order_payment;
+        skewed_district = true;
+        seed = 23;
+        compute_between = 0.0005;
+        lock_deadline = Some 0.02;
+        max_inflight = Some 1;
+        shed_watermark = Some 500.;
+      }
+  in
+  Alcotest.(check (list string)) "consistent after drain" [] r.P.violations;
+  Alcotest.(check int) "no leaked locks" 0 r.P.leaked_locks;
+  Alcotest.(check int) "no leaked waiters" 0 r.P.leaked_waiters;
+  Alcotest.(check bool) "made progress" true (r.P.committed > 0);
+  Alcotest.(check bool) "gate shed under 4x overload" true (r.P.shed > 0)
+
 let suites =
   [
     ( "parallel.lock",
@@ -281,6 +436,18 @@ let suites =
         Alcotest.test_case "victim policy spares compensating waiter" `Quick
           test_victim_policy_spares_compensation;
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_parity;
+      ] );
+    ( "parallel.overload",
+      [
+        Alcotest.test_case "timeout breaks a cycle, detector finds nothing" `Quick
+          test_timeout_breaks_cycle;
+        Alcotest.test_case "admission gate caps in-flight and sheds" `Quick
+          test_admission_gate;
+        QCheck_alcotest.to_alcotest
+          ~rand:(Random.State.make [| 0xACC |])
+          prop_sharded_bounded_bypass;
+        Alcotest.test_case "4 domains vs cap 1: sheds, drains, stays consistent" `Slow
+          test_overload_admission;
       ] );
     ( "parallel.metrics",
       [ Alcotest.test_case "counters and tallies across 4 domains" `Quick test_metrics_multicore ] );

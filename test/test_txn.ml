@@ -443,6 +443,47 @@ let prop_transfers_conserve_money =
       Schedule.run eng (List.map fiber transfers);
       balance eng 1 + balance eng 2 + balance eng 3 + balance eng 4 = 400)
 
+(* --- decorrelated-jitter backoff ---------------------------------------- *)
+
+let jitter_seq ?seed n =
+  let j = Backoff.Jitter.create ?seed () in
+  List.init n (fun i -> Backoff.Jitter.next j ~attempt:(i + 1))
+
+let test_jitter_seeding () =
+  (* two unseeded instances must draw distinct schedules — colliding
+     retriers sharing one would re-collide forever *)
+  Alcotest.(check bool) "unseeded schedules differ" false (jitter_seq 32 = jitter_seq 32);
+  (* an explicit seed makes the schedule reproducible *)
+  Alcotest.(check bool) "explicit seed reproduces" true
+    (jitter_seq ~seed:42 32 = jitter_seq ~seed:42 32);
+  Alcotest.check_raises "base must be positive" (Invalid_argument
+    "Backoff.Jitter.create: base must be > 0") (fun () ->
+      ignore (Backoff.Jitter.create ~base:0. ()));
+  Alcotest.check_raises "cap must dominate base" (Invalid_argument
+    "Backoff.Jitter.create: cap must be >= base") (fun () ->
+      ignore (Backoff.Jitter.create ~base:1. ~cap:0.5 ()))
+
+(* the decorrelated walk: every delay lies in [base, min cap (3 * previous)],
+   and attempt <= 1 restarts the walk from base *)
+let prop_jitter_walk =
+  QCheck2.Test.make ~name:"backoff: jitter delays stay in [base, min cap 3*prev]" ~count:300
+    QCheck2.Gen.(pair int (int_range 2 40))
+    (fun (seed, n) ->
+      let base = 0.001 and cap = 0.02 in
+      let j = Backoff.Jitter.create ~base ~cap ~seed () in
+      let ok = ref true in
+      let prev = ref base in
+      for i = 1 to n do
+        (* restart the sequence halfway to exercise the attempt<=1 reset *)
+        let attempt = if i <= n / 2 then i else i - (n / 2) in
+        if attempt <= 1 then prev := base;
+        let d = Backoff.Jitter.next j ~attempt in
+        if not (d >= base -. 1e-12 && d <= Float.min cap (!prev *. 3.) +. 1e-12) then
+          ok := false;
+        prev := d
+      done;
+      !ok)
+
 let suites =
   [
     ( "txn.executor",
@@ -480,5 +521,10 @@ let suites =
         Alcotest.test_case "table/tuple overlap" `Quick test_checker_table_tuple_overlap;
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_2pl_serializable;
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_transfers_conserve_money;
+      ] );
+    ( "txn.backoff",
+      [
+        Alcotest.test_case "jitter seeding" `Quick test_jitter_seeding;
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_jitter_walk;
       ] );
   ]

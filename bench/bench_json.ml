@@ -99,6 +99,7 @@ let parallel_report_json (r : P.report) =
         Json.Float (if r.P.lock_wait_count = 0 then 0. else r.P.lock_wait_p99) );
       ("peak_queue_depth", Json.Int r.P.peak_queue_depth);
       ("peak_oldest_wait", Json.Float r.P.peak_oldest_wait);
+      ("mutex_acquisitions", Json.Int r.P.mutex_acquisitions);
       ( "step_latency",
         Json.List
           (List.map

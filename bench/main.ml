@@ -209,6 +209,78 @@ let run_overload ~quick =
   end;
   json
 
+(* ---------- batched footprint acquisition ------------------------------ *)
+
+(* The lock-service batching claim, measured: the same fixed-count parallel
+   TPC-C run with footprints acquired lock-by-lock versus batched per step
+   ([Runtime.options.batch_footprints]).  Batching groups each step's
+   declared footprint per shard and takes every shard mutex once, so the
+   comparison is shard-mutex acquisitions per committed transaction; the
+   guard rail is that throughput must not regress. *)
+let run_batch ~quick =
+  let module P = Acc_tpcc.Parallel_driver in
+  let module Runtime = Acc_core.Runtime in
+  let domains = if quick then 2 else 4 in
+  let per_domain = if quick then 150 else 500 in
+  let base =
+    {
+      P.default_config with
+      P.system = P.Acc;
+      domains;
+      duration = 0.;
+      txns_per_domain = Some per_domain;
+      mix = P.New_order_payment;
+    }
+  in
+  Format.fprintf ppf
+    "@.=== batched footprints: shard-mutex traffic (%d domains x %d txns) ===@." domains
+    per_domain;
+  Format.fprintf ppf "%12s %12s %14s %12s@." "mode" "txn/s" "mutex acqs" "acqs/txn";
+  let cell name options =
+    let r = P.run { base with P.acc_options = options } in
+    let per_txn =
+      float_of_int r.P.mutex_acquisitions /. float_of_int (max 1 r.P.committed)
+    in
+    Format.fprintf ppf "%12s %12.1f %14d %12.1f@." name r.P.throughput
+      r.P.mutex_acquisitions per_txn;
+    if r.P.violations <> [] then
+      Format.fprintf ppf "!! %d consistency violations in the %s cell@."
+        (List.length r.P.violations) name;
+    (r, per_txn)
+  in
+  let singleton, s_per = cell "singleton" Runtime.default_options in
+  let batched, b_per =
+    cell "batched" { Runtime.default_options with Runtime.batch_footprints = true }
+  in
+  Format.fprintf ppf "  mutex acquisitions per txn: %.1f -> %.1f (%.2fx)@." s_per b_per
+    (if b_per > 0. then s_per /. b_per else nan);
+  Format.fprintf ppf "  throughput:                 %.1f -> %.1f txn/s@."
+    singleton.P.throughput batched.P.throughput;
+  let cell_json (r, per_txn) =
+    Json.Obj
+      [
+        ("mutex_acquisitions_per_txn", Json.Float per_txn);
+        ("report", Bench_json.parallel_report_json r);
+      ]
+  in
+  [
+    ( "batch",
+      Json.Obj
+        [
+          ("domains", Json.Int domains);
+          ("txns_per_domain", Json.Int per_domain);
+          ("singleton", cell_json (singleton, s_per));
+          ("batched", cell_json (batched, b_per));
+          ( "mutex_reduction",
+            Json.Float (if b_per > 0. then s_per /. b_per else nan) );
+          ( "throughput_ratio",
+            Json.Float
+              (if singleton.P.throughput > 0. then
+                 batched.P.throughput /. singleton.P.throughput
+               else nan) );
+        ] );
+  ]
+
 (* ---------- micro-benchmarks ------------------------------------------- *)
 
 module Value = Acc_relation.Value
@@ -217,6 +289,7 @@ module Table = Acc_relation.Table
 module Database = Acc_relation.Database
 module Mode = Acc_lock.Mode
 module Lock_table = Acc_lock.Lock_table
+module Lock_request = Acc_lock.Lock_request
 module Resource_id = Acc_lock.Resource_id
 module Executor = Acc_txn.Executor
 module Schedule = Acc_txn.Schedule
@@ -242,18 +315,19 @@ let micro_tests () =
   let t_lock =
     Test.make ~name:"lock: S acquire+release"
       (Staged.stage (fun () ->
-           ignore (Lock_table.request plain_locks ~txn:1 ~step_type:0 Mode.S (res 1));
+           ignore (Lock_table.submit plain_locks (Lock_request.make ~txn:1 Mode.S (res 1)));
            ignore (Lock_table.release plain_locks ~txn:1 Mode.S (res 1))))
   in
   (* assertional conflict check on the grant path: X against a held,
      non-interfering assertional lock *)
   let sem = Acc_tpcc.Txns.semantics in
   let a_locks = Lock_table.create sem in
-  Lock_table.attach a_locks ~txn:99 ~step_type:0 (Mode.A 3) (res 2);
+  Lock_table.attach_req a_locks (Lock_request.make ~txn:99 (Mode.A 3) (res 2));
   let t_alock =
     Test.make ~name:"lock: X grant past foreign A (table lookup)"
       (Staged.stage (fun () ->
-           ignore (Lock_table.request a_locks ~txn:1 ~step_type:13 Mode.X (res 2));
+           ignore
+             (Lock_table.submit a_locks (Lock_request.make ~txn:1 ~step_type:13 Mode.X (res 2)));
            ignore (Lock_table.release a_locks ~txn:1 Mode.X (res 2))))
   in
   (* the §3.2 comparator: predicate-lock conflict checking is a run-time
@@ -414,6 +488,7 @@ let micro_json results =
 let run_obs_gate () =
   let module Trace = Acc_obs.Trace in
   let module Lock_table = Acc_lock.Lock_table in
+  let module Lock_request = Acc_lock.Lock_request in
   let module Mode = Acc_lock.Mode in
   let module Resource_id = Acc_lock.Resource_id in
   Format.fprintf ppf "@.=== observability disabled-path gate ===@.";
@@ -442,7 +517,7 @@ let run_obs_gate () =
   let lock_ns =
     time_ns 2_000_000 (fun n ->
         for _ = 1 to n do
-          ignore (Lock_table.request locks ~txn:1 ~step_type:0 Mode.S res);
+          ignore (Lock_table.submit locks (Lock_request.make ~txn:1 Mode.S res));
           ignore (Lock_table.release locks ~txn:1 Mode.S res)
         done)
   in
@@ -567,12 +642,14 @@ let () =
   | "parallel-quick" -> Bench_json.write ~mode (run_parallel ~quick:true)
   | "overload" -> Bench_json.write ~mode (run_overload ~quick:false)
   | "overload-quick" -> Bench_json.write ~mode:"overload" (run_overload ~quick:true)
+  | "batch" -> Bench_json.write ~mode (run_batch ~quick:false)
+  | "batch-quick" -> Bench_json.write ~mode:"batch" (run_batch ~quick:true)
   | "obs-gate" -> run_obs_gate ()
   | "recovery" -> Bench_json.write ~mode (run_recovery ~quick:false)
   | "recovery-quick" -> Bench_json.write ~mode (run_recovery ~quick:true)
   | other ->
       Format.eprintf
         "unknown mode %s \
-         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|obs-gate|recovery)@."
+         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|batch|obs-gate|recovery)@."
         other;
       exit 2

@@ -33,7 +33,7 @@ let run_one cfg =
   List.iter (fun v -> Format.printf "  violation: %s@." v) r.P.violations;
   r
 
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark trace trace_chrome =
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints trace trace_chrome =
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
   let mix =
     match mix with
@@ -70,6 +70,8 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
       lock_deadline = Option.map (fun ms -> ms /. 1000.) deadline_ms;
       max_inflight;
       shed_watermark;
+      acc_options =
+        { P.default_config.P.acc_options with Acc_core.Runtime.batch_footprints };
     }
   in
   let systems =
@@ -185,6 +187,14 @@ let shed_watermark =
         ~doc:"Shed admissions while the abort rate (deadlock victims + lock \
               timeouts per second) exceeds RATE.")
 
+let batch_footprints =
+  Arg.(
+    value & flag
+    & info [ "batch-footprints" ]
+        ~doc:"Pre-acquire each step's declared lock footprint in one batched, \
+              canonically-ordered call (one shard-mutex round trip per shard \
+              touched) instead of lock by lock.")
+
 let trace =
   Arg.(
     value
@@ -207,6 +217,6 @@ let cmd =
     Term.(
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
       $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ deadline_ms
-      $ max_inflight $ shed_watermark $ trace $ trace_chrome)
+      $ max_inflight $ shed_watermark $ batch_footprints $ trace $ trace_chrome)
 
 let () = exit (Cmd.eval cmd)

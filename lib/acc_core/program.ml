@@ -133,6 +133,7 @@ type instance = {
   i_compensate : (Acc_txn.Executor.ctx -> completed:int -> unit) option;
   i_comp_area : unit -> (string * Acc_relation.Value.t) list;
   i_read_isolation : read_isolation;
+  i_footprint : int -> (Acc_lock.Mode.t * Acc_lock.Resource_id.t) list;
 }
 
 let check_step_sequence def steps =
@@ -162,7 +163,7 @@ let check_step_sequence def steps =
   follow def.tt_steps (List.map fst steps)
 
 let instance ~def ~steps ?(assertions = []) ?(admission = []) ?compensate
-    ?(comp_area = fun () -> []) ?(read_isolation = Exposed) () =
+    ?(comp_area = fun () -> []) ?(read_isolation = Exposed) ?(footprints = fun _ -> []) () =
   if steps = [] then invalid_arg (def.tt_name ^ ": empty instance");
   check_step_sequence def steps;
   (match (def.tt_comp, compensate) with
@@ -177,6 +178,7 @@ let instance ~def ~steps ?(assertions = []) ?(admission = []) ?compensate
     i_compensate = compensate;
     i_comp_area = comp_area;
     i_read_isolation = read_isolation;
+    i_footprint = footprints;
   }
 
 let resolve_window inst (a : Assertion.t) =

@@ -103,6 +103,10 @@ type instance = {
   i_compensate : (Acc_txn.Executor.ctx -> completed:int -> unit) option;
   i_comp_area : unit -> (string * Acc_relation.Value.t) list;
   i_read_isolation : read_isolation;
+  i_footprint : int -> (Acc_lock.Mode.t * Acc_lock.Resource_id.t) list;
+      (** concrete declared footprint of dynamic step [j] (1-based), for
+          batched pre-acquisition; [] (the default) means undeclared — the
+          step acquires dynamically, lock by lock *)
 }
 
 val instance :
@@ -113,12 +117,20 @@ val instance :
   ?compensate:(Acc_txn.Executor.ctx -> completed:int -> unit) ->
   ?comp_area:(unit -> (string * Acc_relation.Value.t) list) ->
   ?read_isolation:read_isolation ->
+  ?footprints:(int -> (Acc_lock.Mode.t * Acc_lock.Resource_id.t) list) ->
   unit ->
   instance
 (** Validates that the steps belong to [def] and appear in a legal order
     (non-repeating steps exactly once, in index order; repeating steps any
     number of consecutive times), and that a compensation body is given iff
-    [def.tt_comp] exists. *)
+    [def.tt_comp] exists.
+
+    [footprints j] lists the (mode, resource) pairs dynamic step [j] is known
+    to lock — evaluated at step start, so workspace values earlier steps
+    computed may be consulted.  Used only when the runtime's
+    [batch_footprints] option is on; a footprint may over-approximate (later
+    in-step acquires are re-entrant) and under-approximation is harmless
+    (missing locks are acquired one by one, as without batching). *)
 
 val resolve_window : instance -> Assertion.t -> int * int
 (** Dynamic [from, until] for an assertion given the instance's expanded step

@@ -1,7 +1,7 @@
 module Executor = Acc_txn.Executor
 module Txn_effect = Acc_txn.Txn_effect
 module Mode = Acc_lock.Mode
-module Lock_table = Acc_lock.Lock_table
+module Lock_service = Acc_lock.Lock_service
 module Resource_id = Acc_lock.Resource_id
 module Fault = Acc_fault.Fault
 
@@ -17,10 +17,16 @@ type options = {
   step_retry_limit : int;
   verify_assertions : bool;
   assertion_granularity : granularity;
+  batch_footprints : bool;
 }
 
 let default_options =
-  { step_retry_limit = 1; verify_assertions = false; assertion_granularity = Item }
+  {
+    step_retry_limit = 1;
+    verify_assertions = false;
+    assertion_granularity = Item;
+    batch_footprints = false;
+  }
 
 exception Assertion_violated of { txn : int; assertion : string; at_step : int }
 
@@ -78,19 +84,24 @@ let install_lock_hook ctx inst ~granularity ~step_dyn_index =
       (match (res, mode) with
       | Resource_id.Tuple _, (Mode.S | Mode.X) ->
           let table = Resource_id.table_of res in
-          List.iter
-            (fun ai ->
-              if
-                attachable ai step_dyn_index
-                && List.mem table (Assertion.tables ai.Program.ai_assertion)
-              then
-                let anchor =
-                  match granularity with
-                  | Item -> res
-                  | Table -> Resource_id.Table table
-                in
-                Executor.attach_lock ctx (Mode.A ai.Program.ai_assertion.Assertion.id) anchor)
-            inst.Program.i_assertions
+          (* one attach_batch per data lock: order and multiplicity are the
+             assertion-list order, exactly as the attach-per-assertion loop
+             produced *)
+          Executor.attach_locks ctx
+            (List.filter_map
+               (fun ai ->
+                 if
+                   attachable ai step_dyn_index
+                   && List.mem table (Assertion.tables ai.Program.ai_assertion)
+                 then
+                   let anchor =
+                     match granularity with
+                     | Item -> res
+                     | Table -> Resource_id.Table table
+                   in
+                   Some (Mode.A ai.Program.ai_assertion.Assertion.id, anchor)
+                 else None)
+               inst.Program.i_assertions)
       | _, (Mode.IS | Mode.IX | Mode.A _ | Mode.Comp _) | Resource_id.Table _, _ -> ());
       match (res, mode, comp_step_id) with
       | Resource_id.Tuple _, Mode.X, Some cs ->
@@ -170,14 +181,25 @@ let run ?(options = default_options) ?abort_at ?stop eng inst =
      Executor.charge eng (Executor.cost eng).Acc_txn.Cost_model.admission;
      let rec admit n =
        try
-         List.iter
-           (fun (ai, items) ->
-             List.iter
-               (fun item ->
-                 Executor.acquire ctx ~admission:true
-                   (Mode.A ai.Program.ai_assertion.Assertion.id) item)
-               items)
-           inst.Program.i_admission
+         if options.batch_footprints then
+           (* the admission set is a declared footprint too: one batch, one
+              canonical order, one shard round-trip per shard *)
+           Executor.acquire_footprint ctx ~admission:true
+             (List.concat_map
+                (fun (ai, items) ->
+                  List.map
+                    (fun item -> (Mode.A ai.Program.ai_assertion.Assertion.id, item))
+                    items)
+                inst.Program.i_admission)
+         else
+           List.iter
+             (fun (ai, items) ->
+               List.iter
+                 (fun item ->
+                   Executor.acquire ctx ~admission:true
+                     (Mode.A ai.Program.ai_assertion.Assertion.id) item)
+                 items)
+             inst.Program.i_admission
        with Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout ->
          (* nothing executed yet: drop what we got, let the winner finish, and
             re-admit — or abandon admission entirely when the driver is
@@ -223,6 +245,12 @@ let run ?(options = default_options) ?abort_at ?stop eng inst =
        let rec attempt ~n retries_left =
          try
            Fault.step_trip ();
+           (* pre-acquire the step's declared footprint inside the attempt,
+              so a victimization or timeout mid-batch takes the normal
+              rollback-and-retry path (partially granted batch members are
+              released by [release_locks] like any step locks) *)
+           if options.batch_footprints then
+             Executor.acquire_footprint ctx (inst.Program.i_footprint j);
            body ctx
          with
          | Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout | Fault.Step_fault ->
@@ -326,5 +354,5 @@ let run_legacy ?(options = default_options) ?stop eng ~txn_type body =
 
 let victim_policy locks ~requester ~cycle =
   Acc_lock.Lock_core.victim_policy
-    ~is_compensating:(fun txn -> Lock_table.compensating_waiter locks ~txn)
+    ~is_compensating:(fun txn -> Lock_service.compensating_waiter locks ~txn)
     ~requester ~cycle

@@ -1,0 +1,49 @@
+(** A lock request as one value.
+
+    The lock managers historically took six optional/labelled arguments per
+    call ([~txn ~step_type ?admission ?compensating ?deadline mode res]);
+    every layer that forwarded a request had to spell all six out, and a
+    batch of requests had no representation at all.  [Lock_request.t] packs
+    the full request into a single record, which is what the batched
+    acquisition path ({!Lock_service.acquire_batch}) sorts, groups and
+    forwards. *)
+
+type t = {
+  txn : int;  (** requesting transaction *)
+  step_type : int;  (** design-time step type the request is issued from *)
+  admission : bool;
+      (** transaction-initiation acquisition of the first interstep
+          assertion: prefix-interference checks apply *)
+  compensating : bool;
+      (** issued by a compensating step: never timed out, never gated by the
+          fairness bound, never chosen as deadlock victim (§3.4) *)
+  deadline : float option;
+      (** absolute instant (in the table's clock) after which a queued
+          request may be withdrawn; ignored when [compensating] *)
+  mode : Mode.t;
+  resource : Resource_id.t;
+}
+
+val make :
+  txn:int ->
+  ?step_type:int ->
+  ?admission:bool ->
+  ?compensating:bool ->
+  ?deadline:float ->
+  Mode.t ->
+  Resource_id.t ->
+  t
+(** [make ~txn mode res] with [step_type] defaulting to [0] and the flags to
+    [false]/[None] — the common shape for tests and simple callers. *)
+
+val compare : t -> t -> int
+(** Canonical batch order: by resource ({!Resource_id.compare}), then mode,
+    then transaction.  Every batch acquired in this shared total order cannot
+    contribute an intra-batch deadlock edge — two batches lock their common
+    resources in the same sequence. *)
+
+val canonicalize : t list -> t list
+(** Sort into canonical order and drop exact duplicates: the form
+    {!Lock_service.acquire_batch} processes. *)
+
+val pp : Format.formatter -> t -> unit

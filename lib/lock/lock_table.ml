@@ -321,10 +321,15 @@ let classify_decision t ~txn ~mode ~requester ?starved ~granted rel queue_ahead 
                 checks;
               }))
 
-let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode res
-    =
+let submit t (r : Lock_request.t) =
+  let txn = r.Lock_request.txn
+  and step_type = r.Lock_request.step_type
+  and admission = r.Lock_request.admission
+  and compensating = r.Lock_request.compensating
+  and mode = r.Lock_request.mode
+  and res = r.Lock_request.resource in
   (* §3.4 compensation-sparing: a compensating request never times out *)
-  let deadline = if compensating then None else deadline in
+  let deadline = if compensating then None else r.Lock_request.deadline in
   let e = entry t res in
   match Lock_core.find_covering e.holds ~txn ~mode with
   | Some h ->
@@ -401,7 +406,11 @@ let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?dead
         Queued ticket
       end
 
-let attach t ~txn ~step_type mode res =
+let attach_req t (r : Lock_request.t) =
+  let txn = r.Lock_request.txn
+  and step_type = r.Lock_request.step_type
+  and mode = r.Lock_request.mode
+  and res = r.Lock_request.resource in
   (match t.obs with
   | None -> ()
   | Some f ->
@@ -415,6 +424,25 @@ let attach t ~txn ~step_type mode res =
   with
   | Some h -> h.h_count <- h.h_count + 1
   | None -> add_hold t e ~txn ~step_type ~mode res
+
+(* deprecated optional-argument shims (one release); the canonical surface is
+   [submit]/[attach_req] on a {!Lock_request.t} *)
+let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode res
+    =
+  submit t
+    { Lock_request.txn; step_type; admission; compensating; deadline; mode; resource = res }
+
+let attach t ~txn ~step_type mode res =
+  attach_req t
+    {
+      Lock_request.txn;
+      step_type;
+      admission = false;
+      compensating = false;
+      deadline = None;
+      mode;
+      resource = res;
+    }
 
 (* Grant the maximal FIFO-respecting set of waiters on [e].  A promotion
    grant is subject to the same fairness gate as a fresh request: it may not

@@ -92,6 +92,23 @@ val set_observer : t -> (observation -> unit) option -> unit
     inside lock-table operations — in the sharded table, under the shard
     mutex — so it must be fast and must not call back into the table. *)
 
+val submit : t -> Lock_request.t -> grant
+(** Ask for a lock.  [admission] marks the transaction-initiation acquisition
+    of the first interstep assertion (prefix-interference checks apply);
+    [compensating] marks requests made on behalf of a compensating step,
+    which the deadlock resolver must never choose as victim.  [deadline] is an
+    absolute time in the table's clock after which a queued request may be
+    withdrawn by {!expire_overdue}; it is ignored on compensating requests
+    (§3.4: compensation is never timed out).  Re-requesting a covered mode is
+    re-entrant and always granted. *)
+
+val attach_req : t -> Lock_request.t -> unit
+(** Unconditional grant, bypassing all conflict checks: the §3.3 rule
+    "before initiating step [S_ij]: unconditionally grant [A(pre(S_i,j+1))]
+    locks".  Safe because the protocol only attaches assertional locks to
+    items on which the transaction already holds a conventional lock.  The
+    request's [admission]/[compensating]/[deadline] fields are ignored. *)
+
 val request :
   t ->
   txn:int ->
@@ -102,20 +119,12 @@ val request :
   Mode.t ->
   Resource_id.t ->
   grant
-(** Ask for a lock.  [admission] marks the transaction-initiation acquisition
-    of the first interstep assertion (prefix-interference checks apply);
-    [compensating] marks requests made on behalf of a compensating step,
-    which the deadlock resolver must never choose as victim.  [deadline] is an
-    absolute time in the table's clock after which a queued request may be
-    withdrawn by {!expire_overdue}; it is ignored on compensating requests
-    (§3.4: compensation is never timed out).  Re-requesting a covered mode is
-    re-entrant and always granted. *)
+[@@deprecated "use Lock_table.submit with a Lock_request.t"]
+(** @deprecated Thin shim over {!submit}, kept for one release. *)
 
 val attach : t -> txn:int -> step_type:int -> Mode.t -> Resource_id.t -> unit
-(** Unconditional grant, bypassing all conflict checks: the §3.3 rule
-    "before initiating step [S_ij]: unconditionally grant [A(pre(S_i,j+1))]
-    locks".  Safe because the protocol only attaches assertional locks to
-    items on which the transaction already holds a conventional lock. *)
+[@@deprecated "use Lock_table.attach_req with a Lock_request.t"]
+(** @deprecated Thin shim over {!attach_req}, kept for one release. *)
 
 val release : t -> txn:int -> Mode.t -> Resource_id.t -> wakeup list
 (** Release one unit of one hold.  Raises [Invalid_argument] if not held. *)

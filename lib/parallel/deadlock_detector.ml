@@ -1,4 +1,5 @@
 module Lock_core = Acc_lock.Lock_core
+module Lock_service = Acc_lock.Lock_service
 module Counter = Acc_util.Metrics.Counter
 module Trace = Acc_obs.Trace
 
@@ -14,20 +15,20 @@ module Trace = Acc_obs.Trace
    cancels waits that still exist at kill time. *)
 
 let sweep locks =
-  let edges = Sharded_lock_table.wait_edges locks in
+  let edges = Lock_service.wait_edges locks in
   let waiters = List.sort_uniq compare (List.map fst edges) in
   List.fold_left
     (fun killed txn ->
       (* re-snapshot after each kill so one sweep resolves overlapping cycles
          without victimizing transactions a previous kill already unblocked *)
-      let edges = if killed = 0 then edges else Sharded_lock_table.wait_edges locks in
+      let edges = if killed = 0 then edges else Lock_service.wait_edges locks in
       match Lock_core.find_cycle ~edges ~from:txn with
       | None -> killed
       | Some cycle ->
           if Trace.enabled () then Trace.emit (Trace.Deadlock_cycle { cycle });
           let victims =
             Lock_core.victim_policy
-              ~is_compensating:(fun v -> Sharded_lock_table.compensating_waiter locks ~txn:v)
+              ~is_compensating:(fun v -> Lock_service.compensating_waiter locks ~txn:v)
               ~requester:txn ~cycle
           in
           (* §3.4: the requester was spared iff it is compensating and the
@@ -37,7 +38,7 @@ let sweep locks =
             (fun k v ->
               if Trace.enabled () then
                 Trace.emit (Trace.Victim { txn = v; spared_compensating });
-              k + Sharded_lock_table.kill locks ~txn:v)
+              k + Lock_service.kill locks ~txn:v)
             killed victims)
     0 waiters
 

@@ -1,9 +1,10 @@
 (** Background deadlock detection for the sharded lock table.
 
-    Blocking {!Sharded_lock_table.acquire} cannot run an at-block cycle check
-    the way the sequential schedulers do (it would need a consistent global
-    graph while holding one shard's mutex), so a dedicated detector domain
-    periodically snapshots the waits-for edges, finds cycles with
+    Blocking {!Sharded_lock_table.acquire_req} cannot run an at-block cycle
+    check the way the sequential schedulers do (it would need a consistent
+    global graph while holding one shard's mutex), so a dedicated detector
+    domain periodically snapshots the waits-for edges through the
+    {!Acc_lock.Lock_service.t} it is given, finds cycles with
     {!Acc_lock.Lock_core.find_cycle}, and applies the paper's §3.4 victim
     policy — never a transaction waiting on behalf of a compensating step.
 
@@ -16,11 +17,11 @@ type t
 
 val default_cadence : float
 
-val sweep : Sharded_lock_table.t -> int
+val sweep : Acc_lock.Lock_service.t -> int
 (** One synchronous detection pass; returns the number of waits victimized.
     Exposed for deterministic tests. *)
 
-val start : ?cadence:float -> Sharded_lock_table.t -> t
+val start : ?cadence:float -> Acc_lock.Lock_service.t -> t
 (** Spawn the detector domain, sweeping every [cadence] seconds. *)
 
 val stop : t -> unit

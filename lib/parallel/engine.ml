@@ -17,27 +17,11 @@ type t = {
   lock_waits : Metrics.Histogram.t;
 }
 
-let lock_ops locks =
-  {
-    Executor.lo_acquire =
-      (fun ~txn ~step_type ~admission ~compensating ~deadline mode res ->
-        Sharded_lock_table.acquire locks ~txn ~step_type ~admission ~compensating ?deadline
-          mode res);
-    lo_attach =
-      (fun ~txn ~step_type mode res ->
-        Sharded_lock_table.attach locks ~txn ~step_type mode res);
-    lo_release =
-      (fun ~txn mode res -> ignore (Sharded_lock_table.release locks ~txn mode res));
-    lo_release_where =
-      (fun ~txn pred -> ignore (Sharded_lock_table.release_where locks ~txn pred));
-    lo_release_all = (fun ~txn -> ignore (Sharded_lock_table.release_all locks ~txn));
-    lo_held_by = (fun ~txn -> Sharded_lock_table.held_by locks ~txn);
-  }
-
 let create ?shards ?detector_cadence ?cost ?lock_deadline ?max_inflight ?shed_watermark
     ?max_bypass ?watchdog_cadence ?degrade_after ~sem db =
   let locks = Sharded_lock_table.create ?shards ?max_bypass sem in
-  let exec = Executor.create_custom ?cost ~lock_ops:(lock_ops locks) db in
+  let service = Sharded_lock_table.service locks in
+  let exec = Executor.create_with ?cost ~service db in
   Executor.set_lock_deadline exec lock_deadline;
   let lock_waits = Metrics.Histogram.create () in
   Sharded_lock_table.set_on_wait locks (Some (Metrics.Histogram.record lock_waits));
@@ -60,9 +44,9 @@ let create ?shards ?detector_cadence ?cost ?lock_deadline ?max_inflight ?shed_wa
           Mutex.lock mu;
           Fun.protect ~finally:(fun () -> Mutex.unlock mu) f);
     };
-  let detector = Deadlock_detector.start ?cadence:detector_cadence locks in
+  let detector = Deadlock_detector.start ?cadence:detector_cadence service in
   let watchdog =
-    Watchdog.start ?cadence:watchdog_cadence ?degrade_after ?shed_watermark ~detector locks
+    Watchdog.start ?cadence:watchdog_cadence ?degrade_after ?shed_watermark ~detector service
   in
   {
     exec;
@@ -77,6 +61,7 @@ let create ?shards ?detector_cadence ?cost ?lock_deadline ?max_inflight ?shed_wa
 
 let executor t = t.exec
 let locks t = t.locks
+let lock_service t = Executor.lock_service t.exec
 let detector t = t.detector
 let watchdog t = t.watchdog
 let lock_waits t = t.lock_waits

@@ -37,7 +37,13 @@ val create :
     [degrade_after] is the oldest-waiter age that trips degraded mode. *)
 
 val executor : t -> Acc_txn.Executor.t
+
 val locks : t -> Sharded_lock_table.t
+(** The concrete sharded table (shard-level introspection). *)
+
+val lock_service : t -> Acc_lock.Lock_service.t
+(** The same table as the executor sees it: a {!Acc_lock.Lock_service.t}. *)
+
 val detector : t -> Deadlock_detector.t
 val watchdog : t -> Watchdog.t
 

@@ -2,6 +2,8 @@ module Mode = Acc_lock.Mode
 module Resource_id = Acc_lock.Resource_id
 module Lock_table = Acc_lock.Lock_table
 module Lock_core = Acc_lock.Lock_core
+module Lock_request = Acc_lock.Lock_request
+module Lock_service = Acc_lock.Lock_service
 module Txn_effect = Acc_txn.Txn_effect
 
 (* Each shard is a complete sequential {!Lock_table} behind its own mutex:
@@ -29,6 +31,11 @@ type shard = {
 type t = {
   shards : shard array;
   timeouts : int Atomic.t;  (* lock waits expired over the table's lifetime *)
+  mutex_ops : int Atomic.t;
+      (* explicit shard-mutex acquisitions (one per synchronous operation, one
+         per blocking acquire, one per shard group of a batch) — the quantity
+         acquire_batch amortizes.  Condition.wait's internal reacquisitions
+         are not counted: they are wakeups, not request round-trips. *)
   mutable on_wait : (float -> unit) option;
       (* called with each completed blocking wait's duration (seconds); the
          engine points this at its lock-wait histogram *)
@@ -55,21 +62,27 @@ let create ?(shards = default_shards) ?max_bypass sem =
             timed_out = Hashtbl.create 16;
           });
     timeouts = Atomic.make 0;
+    mutex_ops = Atomic.make 0;
     on_wait = None;
   }
 
 let set_on_wait t f = t.on_wait <- f
 let timeout_count t = Atomic.get t.timeouts
+let mutex_acquisitions t = Atomic.get t.mutex_ops
 
 let n_shards t = Array.length t.shards
 
+let lock_shard t s =
+  Atomic.incr t.mutex_ops;
+  Mutex.lock s.mu
+
+let with_shard t s f =
+  lock_shard t s;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
+
 let set_observer t obs =
-  Array.iter
-    (fun s ->
-      Mutex.lock s.mu;
-      Lock_table.set_observer s.table obs;
-      Mutex.unlock s.mu)
-    t.shards
+  Array.iter (fun s -> with_shard t s (fun () -> Lock_table.set_observer s.table obs)) t.shards
+
 let shard_index t res = Hashtbl.hash (Resource_id.table_of res) mod n_shards t
 
 (* ticket encoding: local tickets are per-shard counters, so globalize as
@@ -77,10 +90,6 @@ let shard_index t res = Hashtbl.hash (Resource_id.table_of res) mod n_shards t
 let globalize t idx local = (local * n_shards t) + idx
 let ticket_shard t g = g mod n_shards t
 let localize t g = g / n_shards t
-
-let with_shard s f =
-  Mutex.lock s.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
 
 (* Publish wakeups to sleeping acquirers.  Caller holds [s.mu]. *)
 let publish t idx s (wakeups : Lock_table.wakeup list) =
@@ -100,30 +109,66 @@ let publish t idx s (wakeups : Lock_table.wakeup list) =
 
 (* --- the synchronous surface (parity tests, detector, introspection) ---- *)
 
-let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode
-    res =
-  let idx = shard_index t res in
+let submit t (r : Lock_request.t) =
+  let idx = shard_index t r.Lock_request.resource in
   let s = t.shards.(idx) in
-  with_shard s (fun () ->
-      match
-        Lock_table.request s.table ~txn ~step_type ~admission ~compensating ?deadline mode
-          res
-      with
+  with_shard t s (fun () ->
+      match Lock_table.submit s.table r with
       | Lock_table.Granted -> Lock_table.Granted
       | Lock_table.Queued local -> Lock_table.Queued (globalize t idx local))
 
+let attach_req t (r : Lock_request.t) =
+  let s = t.shards.(shard_index t r.Lock_request.resource) in
+  with_shard t s (fun () -> Lock_table.attach_req s.table r)
+
+(* Attaches are unconditional, so batching is just per-shard grouping (caller
+   order preserved within each shard) under one mutex acquisition each. *)
+let attach_batch t reqs =
+  match reqs with
+  | [] -> ()
+  | reqs ->
+      let groups = Array.make (n_shards t) [] in
+      List.iter
+        (fun (r : Lock_request.t) ->
+          let idx = shard_index t r.Lock_request.resource in
+          groups.(idx) <- r :: groups.(idx))
+        reqs;
+      Array.iteri
+        (fun idx group ->
+          match List.rev group with
+          | [] -> ()
+          | group ->
+              let s = t.shards.(idx) in
+              with_shard t s (fun () ->
+                  List.iter (Lock_table.attach_req s.table) group))
+        groups
+
+(* deprecated optional-argument shims (one release) *)
+let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode
+    res =
+  submit t
+    { Lock_request.txn; step_type; admission; compensating; deadline; mode; resource = res }
+
 let attach t ~txn ~step_type mode res =
-  let s = t.shards.(shard_index t res) in
-  with_shard s (fun () -> Lock_table.attach s.table ~txn ~step_type mode res)
+  attach_req t
+    {
+      Lock_request.txn;
+      step_type;
+      admission = false;
+      compensating = false;
+      deadline = None;
+      mode;
+      resource = res;
+    }
 
 let release t ~txn mode res =
   let idx = shard_index t res in
   let s = t.shards.(idx) in
-  with_shard s (fun () -> publish t idx s (Lock_table.release s.table ~txn mode res))
+  with_shard t s (fun () -> publish t idx s (Lock_table.release s.table ~txn mode res))
 
 let fold_shards t f =
   let acc = ref [] in
-  Array.iteri (fun idx s -> acc := !acc @ with_shard s (fun () -> f idx s)) t.shards;
+  Array.iteri (fun idx s -> acc := !acc @ with_shard t s (fun () -> f idx s)) t.shards;
   !acc
 
 let release_where t ~txn pred =
@@ -135,15 +180,16 @@ let release_all t ~txn =
 let cancel t ~ticket =
   let idx = ticket_shard t ticket in
   let s = t.shards.(idx) in
-  with_shard s (fun () -> publish t idx s (Lock_table.cancel s.table ~ticket:(localize t ticket)))
+  with_shard t s (fun () ->
+      publish t idx s (Lock_table.cancel s.table ~ticket:(localize t ticket)))
 
 let outstanding t ~ticket =
   let s = t.shards.(ticket_shard t ticket) in
-  with_shard s (fun () -> Lock_table.outstanding s.table ~ticket:(localize t ticket))
+  with_shard t s (fun () -> Lock_table.outstanding s.table ~ticket:(localize t ticket))
 
 let ticket_txn t ~ticket =
   let s = t.shards.(ticket_shard t ticket) in
-  with_shard s (fun () -> Lock_table.ticket_txn s.table ~ticket:(localize t ticket))
+  with_shard t s (fun () -> Lock_table.ticket_txn s.table ~ticket:(localize t ticket))
 
 let outstanding_tickets t ~txn =
   fold_shards t (fun idx s ->
@@ -151,7 +197,7 @@ let outstanding_tickets t ~txn =
 
 let holders t res =
   let s = t.shards.(shard_index t res) in
-  with_shard s (fun () -> Lock_table.holders s.table res)
+  with_shard t s (fun () -> Lock_table.holders s.table res)
 
 let held_by t ~txn = fold_shards t (fun _ s -> Lock_table.held_by s.table ~txn)
 let waiting_on t ~txn = fold_shards t (fun _ s -> Lock_table.waiting_on s.table ~txn)
@@ -159,11 +205,11 @@ let wait_edges t = fold_shards t (fun _ s -> Lock_table.wait_edges s.table)
 
 let compensating_waiter t ~txn =
   Array.exists
-    (fun s -> with_shard s (fun () -> Lock_table.compensating_waiter s.table ~txn))
+    (fun s -> with_shard t s (fun () -> Lock_table.compensating_waiter s.table ~txn))
     t.shards
 
 let sum_shards t f =
-  Array.fold_left (fun acc s -> acc + with_shard s (fun () -> f s)) 0 t.shards
+  Array.fold_left (fun acc s -> acc + with_shard t s (fun () -> f s)) 0 t.shards
 
 let lock_count t = sum_shards t (fun s -> Lock_table.lock_count s.table)
 let waiter_count t = sum_shards t (fun s -> Lock_table.waiter_count s.table)
@@ -171,12 +217,13 @@ let entry_count t = sum_shards t (fun s -> Lock_table.entry_count s.table)
 
 let oldest_wait t ~now =
   Array.fold_left
-    (fun acc s -> Float.max acc (with_shard s (fun () -> Lock_table.oldest_wait s.table ~now)))
+    (fun acc s ->
+      Float.max acc (with_shard t s (fun () -> Lock_table.oldest_wait s.table ~now)))
     0. t.shards
 
 let max_bypassed t =
   Array.fold_left
-    (fun acc s -> max acc (with_shard s (fun () -> Lock_table.max_bypassed s.table)))
+    (fun acc s -> max acc (with_shard t s (fun () -> Lock_table.max_bypassed s.table)))
     0 t.shards
 
 (* --- deadline expiry (watchdog side) ------------------------------------ *)
@@ -188,7 +235,7 @@ let expire t ~now =
   let all = ref [] in
   Array.iteri
     (fun idx s ->
-      with_shard s (fun () ->
+      with_shard t s (fun () ->
           let expired, wakeups = Lock_table.expire_overdue s.table ~now in
           if expired <> [] then begin
             List.iter
@@ -217,7 +264,7 @@ let kill t ~txn =
   let killed = ref 0 in
   Array.iteri
     (fun idx s ->
-      with_shard s (fun () ->
+      with_shard t s (fun () ->
           List.iter
             (fun local ->
               ignore (publish t idx s (Lock_table.cancel s.table ~ticket:local));
@@ -230,49 +277,138 @@ let kill t ~txn =
 
 (* --- the blocking surface (worker domains) ------------------------------ *)
 
-let acquire t ~txn ~step_type ~admission ~compensating ?deadline mode res =
-  let idx = shard_index t res in
-  let s = t.shards.(idx) in
-  Mutex.lock s.mu;
-  match
-    Lock_table.request s.table ~txn ~step_type ~admission ~compensating ?deadline mode res
-  with
-  | Lock_table.Granted -> Mutex.unlock s.mu
-  | Lock_table.Queued local ->
-      let started = Unix.gettimeofday () in
-      let g = globalize t idx local in
-      let record_wait () =
-        match t.on_wait with
-        | None -> ()
-        | Some f -> f (Unix.gettimeofday () -. started)
-      in
-      let rec wait () =
-        if Hashtbl.mem s.granted g then Hashtbl.remove s.granted g
-        else if Hashtbl.mem s.victims g then begin
-          Hashtbl.remove s.victims g;
-          Mutex.unlock s.mu;
-          record_wait ();
-          raise Txn_effect.Deadlock_victim
-        end
-        else if Hashtbl.mem s.timed_out g then begin
-          Hashtbl.remove s.timed_out g;
-          Mutex.unlock s.mu;
-          record_wait ();
-          raise Txn_effect.Lock_timeout
-        end
-        else begin
-          Condition.wait s.cond s.mu;
-          wait ()
-        end
-      in
-      wait ();
-      Mutex.unlock s.mu;
+(* Wait until the globalized ticket [g] resolves.  Caller holds [s.mu]; on
+   grant control returns with [s.mu] still held (a batch continues with its
+   remaining same-shard requests under the same acquisition); on
+   victimization or expiry the mutex is released and the usual exception
+   raised. *)
+let wait_resolved t s g =
+  let started = Unix.gettimeofday () in
+  let record_wait () =
+    match t.on_wait with
+    | None -> ()
+    | Some f -> f (Unix.gettimeofday () -. started)
+  in
+  let rec wait () =
+    if Hashtbl.mem s.granted g then begin
+      Hashtbl.remove s.granted g;
       record_wait ()
+    end
+    else if Hashtbl.mem s.victims g then begin
+      Hashtbl.remove s.victims g;
+      Mutex.unlock s.mu;
+      record_wait ();
+      raise Txn_effect.Deadlock_victim
+    end
+    else if Hashtbl.mem s.timed_out g then begin
+      Hashtbl.remove s.timed_out g;
+      Mutex.unlock s.mu;
+      record_wait ();
+      raise Txn_effect.Lock_timeout
+    end
+    else begin
+      Condition.wait s.cond s.mu;
+      wait ()
+    end
+  in
+  wait ()
+
+let acquire_req t (r : Lock_request.t) =
+  let idx = shard_index t r.Lock_request.resource in
+  let s = t.shards.(idx) in
+  lock_shard t s;
+  (match Lock_table.submit s.table r with
+  | Lock_table.Granted -> ()
+  | Lock_table.Queued local -> wait_resolved t s (globalize t idx local));
+  Mutex.unlock s.mu
+
+(* Acquire a whole footprint with one mutex round-trip per shard touched.
+   The batch is canonicalized first, so any two batches walk their common
+   resources in the same global order — no intra-batch deadlock edges — and
+   grouping preserves that order within each shard.  A queued member sleeps
+   on the shard's condition variable ([Condition.wait] releases and
+   reacquires [s.mu]), then the remaining same-shard requests continue under
+   the same explicit acquisition.  On victimization or expiry mid-batch the
+   already-granted members stay held; the caller's abort path releases them
+   like any partially-acquired step. *)
+let acquire_batch t reqs =
+  match Lock_request.canonicalize reqs with
+  | [] -> ()
+  | reqs ->
+      let groups = Array.make (n_shards t) [] in
+      List.iter
+        (fun (r : Lock_request.t) ->
+          let idx = shard_index t r.Lock_request.resource in
+          groups.(idx) <- r :: groups.(idx))
+        reqs;
+      Array.iteri
+        (fun idx group ->
+          match List.rev group with
+          | [] -> ()
+          | group ->
+              let s = t.shards.(idx) in
+              lock_shard t s;
+              (try
+                 List.iter
+                   (fun r ->
+                     match Lock_table.submit s.table r with
+                     | Lock_table.Granted -> ()
+                     | Lock_table.Queued local -> wait_resolved t s (globalize t idx local))
+                   group
+               with e ->
+                 (* wait_resolved already released the mutex on the raising
+                    paths; everything else raises with it held *)
+                 (match e with
+                 | Txn_effect.Deadlock_victim | Txn_effect.Lock_timeout -> ()
+                 | _ -> Mutex.unlock s.mu);
+                 raise e);
+              Mutex.unlock s.mu)
+        groups
+
+(* deprecated optional-argument shim (one release) *)
+let acquire t ~txn ~step_type ~admission ~compensating ?deadline mode res =
+  acquire_req t
+    { Lock_request.txn; step_type; admission; compensating; deadline; mode; resource = res }
 
 let pp_state ppf t =
   Array.iteri
     (fun idx s ->
-      with_shard s (fun () ->
+      with_shard t s (fun () ->
           if Lock_table.entry_count s.table > 0 then
             Format.fprintf ppf "shard %d:@.%a" idx Lock_table.pp_state s.table))
     t.shards
+
+(* --- the LOCK_SERVICE view ---------------------------------------------- *)
+
+let service t : Lock_service.t =
+  (module struct
+    let backend_name = "sharded"
+    let acquire r = acquire_req t r
+    let acquire_batch reqs = acquire_batch t reqs
+    let attach r = attach_req t r
+    let attach_batch reqs = attach_batch t reqs
+    let release ~txn mode res = ignore (release t ~txn mode res)
+    let release_where ~txn pred = ignore (release_where t ~txn pred)
+    let release_all ~txn = ignore (release_all t ~txn)
+    let cancel ~ticket = ignore (cancel t ~ticket)
+    let outstanding ~ticket = outstanding t ~ticket
+    let ticket_txn ~ticket = ticket_txn t ~ticket
+    let outstanding_tickets ~txn = outstanding_tickets t ~txn
+    let holders res = holders t res
+    let held_by ~txn = held_by t ~txn
+    let waiting_on ~txn = waiting_on t ~txn
+    let wait_edges () = wait_edges t
+    let find_cycle ~from = Lock_core.find_cycle ~edges:(wait_edges ()) ~from
+    let compensating_waiter ~txn = compensating_waiter t ~txn
+    let expire ~now = expire t ~now
+    let kill ~txn = kill t ~txn
+    let lock_count () = lock_count t
+    let waiter_count () = waiter_count t
+    let entry_count () = entry_count t
+    let oldest_wait ~now = oldest_wait t ~now
+    let max_bypassed () = max_bypassed t
+    let timeout_count () = timeout_count t
+    let mutex_acquisitions () = mutex_acquisitions t
+    let set_observer obs = set_observer t obs
+    let pp_state ppf () = pp_state ppf t
+  end)

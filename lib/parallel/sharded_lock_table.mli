@@ -6,9 +6,11 @@
     distinct tables spread across shards and proceed in parallel.
 
     Two surfaces: a synchronous one mirroring {!Acc_lock.Lock_table} (used by
-    the parity property tests and the deadlock detector), and a blocking
-    {!acquire} for worker domains (condition-variable wait; raises
-    {!Acc_txn.Txn_effect.Deadlock_victim} when victimized by {!kill}).
+    the parity property tests and the deadlock detector), and the blocking
+    {!acquire_req}/{!acquire_batch} for worker domains (condition-variable
+    wait; raises {!Acc_txn.Txn_effect.Deadlock_victim} when victimized by
+    {!kill}).  {!service} packages the whole thing as a
+    {!Acc_lock.Lock_service.t} — the form the engine and executor consume.
 
     Tickets returned here are globally unique encodings of per-shard tickets
     ([local * n_shards + shard]). *)
@@ -18,9 +20,9 @@ type t
 val default_shards : int
 
 val create : ?shards:int -> ?max_bypass:int -> Acc_lock.Mode.semantics -> t
-(** Shard clocks are wall-clock time ([Unix.gettimeofday]): deadlines passed
-    to {!acquire}/{!request} are absolute wall-clock instants.  [max_bypass]
-    is each shard's bounded-bypass fairness limit. *)
+(** Shard clocks are wall-clock time ([Unix.gettimeofday]): deadlines in
+    requests passed to {!acquire_req}/{!submit} are absolute wall-clock
+    instants.  [max_bypass] is each shard's bounded-bypass fairness limit. *)
 
 val n_shards : t -> int
 
@@ -32,6 +34,12 @@ val set_on_wait : t -> (float -> unit) option -> unit
 val timeout_count : t -> int
 (** Lock waits expired by {!expire} over the table's lifetime. *)
 
+val mutex_acquisitions : t -> int
+(** Explicit shard-mutex acquisitions over the table's lifetime: one per
+    synchronous operation, one per blocking {!acquire_req}, and one {e per
+    shard group} of an {!acquire_batch} — the quantity batching amortizes.
+    Condition-variable reacquisitions during sleeps are not counted. *)
+
 val set_observer : t -> (Acc_lock.Lock_table.observation -> unit) option -> unit
 (** Install (or clear) one decision observer on every shard.  The observer
     runs under the owning shard's mutex, possibly from several domains at
@@ -41,7 +49,18 @@ val set_observer : t -> (Acc_lock.Lock_table.observation -> unit) option -> unit
 
 val shard_index : t -> Acc_lock.Resource_id.t -> int
 
-(* synchronous surface *)
+(** {2 Synchronous surface} *)
+
+val submit : t -> Acc_lock.Lock_request.t -> Acc_lock.Lock_table.grant
+(** Non-blocking request against the resource's shard; a [Queued] ticket is
+    globalized.  (The parity tests drive both tables through this.) *)
+
+val attach_req : t -> Acc_lock.Lock_request.t -> unit
+(** Unconditional §3.3 grant on the resource's shard. *)
+
+val attach_batch : t -> Acc_lock.Lock_request.t list -> unit
+(** Attach a list of unconditional grants, grouped per shard (caller order
+    preserved within a shard), one mutex acquisition per shard touched. *)
 
 val request :
   t ->
@@ -53,13 +72,17 @@ val request :
   Acc_lock.Mode.t ->
   Acc_lock.Resource_id.t ->
   Acc_lock.Lock_table.grant
+[@@deprecated "use Sharded_lock_table.submit with a Lock_request.t"]
+(** @deprecated Thin shim over {!submit}, kept for one release. *)
 
 val attach :
   t -> txn:int -> step_type:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit
+[@@deprecated "use Sharded_lock_table.attach_req with a Lock_request.t"]
+(** @deprecated Thin shim over {!attach_req}, kept for one release. *)
 
 val release :
   t -> txn:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> Acc_lock.Lock_table.wakeup list
-(** Wakeups are both returned and published to any blocked {!acquire}rs. *)
+(** Wakeups are both returned and published to any blocked acquirers. *)
 
 val release_where :
   t ->
@@ -101,7 +124,22 @@ val kill : t -> txn:int -> int
     blocked acquirer with {!Acc_txn.Txn_effect.Deadlock_victim}.  Returns the
     number of waits cancelled (0 if the transaction was not waiting). *)
 
-(* blocking surface *)
+(** {2 Blocking surface} *)
+
+val acquire_req : t -> Acc_lock.Lock_request.t -> unit
+(** Grant, or block the calling domain until granted.  Raises
+    [Txn_effect.Deadlock_victim] if {!kill}ed while waiting, and
+    [Txn_effect.Lock_timeout] if the wait outlives the request's deadline
+    (an absolute wall-clock instant; ignored on compensating requests). *)
+
+val acquire_batch : t -> Acc_lock.Lock_request.t list -> unit
+(** Acquire a whole footprint: canonicalize ({!Acc_lock.Lock_request.canonicalize}),
+    group per shard preserving the canonical order, and take each shard mutex
+    {e once per batch}, submitting the group's requests under the single
+    acquisition.  A queued member sleeps on the shard's condition variable and
+    the group continues under the reacquired mutex.  On victimization or
+    expiry mid-batch the members already granted remain held — the caller's
+    abort path releases them, as with locks taken one by one. *)
 
 val acquire :
   t ->
@@ -113,9 +151,15 @@ val acquire :
   Acc_lock.Mode.t ->
   Acc_lock.Resource_id.t ->
   unit
-(** Grant, or block the calling domain until granted.  Raises
-    [Txn_effect.Deadlock_victim] if {!kill}ed while waiting, and
-    [Txn_effect.Lock_timeout] if the wait outlives [deadline] (an absolute
-    wall-clock instant; ignored on compensating requests). *)
+[@@deprecated "use Sharded_lock_table.acquire_req with a Lock_request.t"]
+(** @deprecated Thin shim over {!acquire_req}, kept for one release. *)
 
 val pp_state : Format.formatter -> t -> unit
+
+(** {2 The service view} *)
+
+val service : t -> Acc_lock.Lock_service.t
+(** The table as a {!Acc_lock.Lock_service.t}: [acquire]/[acquire_batch] are
+    the blocking surface above, [expire]/[kill] wake sleepers, counters sum
+    across shards.  This is what {!Engine} hands to the executor, the
+    deadlock detector and the watchdog. *)

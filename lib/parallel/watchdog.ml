@@ -1,7 +1,7 @@
 (* The engine's overload watchdog: one background domain that, every
    [cadence] seconds,
 
-   - drives {!Sharded_lock_table.expire} — OCaml's [Condition] has no timed
+   - drives {!Lock_service.expire} — OCaml's [Condition] has no timed
      wait, so deadlined waiters cannot expire themselves; the sweep is what
      turns a passed deadline into a [Lock_timeout] wakeup — and emits a
      {!Trace.Timed_out} event per withdrawn wait;
@@ -19,9 +19,10 @@
 
 module Trace = Acc_obs.Trace
 module Metrics = Acc_util.Metrics
+module Lock_service = Acc_lock.Lock_service
 
 type t = {
-  locks : Sharded_lock_table.t;
+  locks : Lock_service.t;
   detector : Deadlock_detector.t;
   cadence : float;
   degrade_after : float;
@@ -47,11 +48,11 @@ let default_degrade_after = 1.0
    burst of victims must persist before the watermark trips. *)
 let alpha cadence = Float.min 1. (cadence /. 0.25)
 
-let aborts t = Deadlock_detector.victims t.detector + Sharded_lock_table.timeout_count t.locks
+let aborts t = Deadlock_detector.victims t.detector + Lock_service.timeout_count t.locks
 
 let tick t ~prev_aborts ~prev_now =
   let now = Unix.gettimeofday () in
-  let expired = Sharded_lock_table.expire t.locks ~now in
+  let expired = Lock_service.expire t.locks ~now in
   if Trace.enabled () then
     List.iter
       (fun (e : Acc_lock.Lock_table.expired) ->
@@ -59,10 +60,10 @@ let tick t ~prev_aborts ~prev_now =
           (Trace.Timed_out
              { txn = e.ex_txn; mode = e.ex_mode; resource = e.ex_resource; waited = e.ex_waited }))
       expired;
-  let depth = float_of_int (Sharded_lock_table.waiter_count t.locks) in
+  let depth = float_of_int (Lock_service.waiter_count t.locks) in
   Metrics.Gauge.set t.queue_depth depth;
   if depth > Metrics.Gauge.get t.peak_depth then Metrics.Gauge.set t.peak_depth depth;
-  let oldest = Sharded_lock_table.oldest_wait t.locks ~now in
+  let oldest = Lock_service.oldest_wait t.locks ~now in
   Metrics.Gauge.set t.oldest oldest;
   if oldest > Metrics.Gauge.get t.peak_oldest then Metrics.Gauge.set t.peak_oldest oldest;
   let total = aborts t in
@@ -143,4 +144,4 @@ let stop t =
       t.dom <- None;
       Domain.join d;
       (* final sweep so deadlines that passed during shutdown still resolve *)
-      ignore (Sharded_lock_table.expire t.locks ~now:(Unix.gettimeofday ()))
+      ignore (Lock_service.expire t.locks ~now:(Unix.gettimeofday ()))

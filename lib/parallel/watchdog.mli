@@ -1,6 +1,7 @@
 (** The engine's overload watchdog domain.
 
-    Periodically drives {!Sharded_lock_table.expire} (waiters cannot expire
+    Periodically drives {!Acc_lock.Lock_service.expire} on the service it is
+    given (waiters cannot expire
     themselves — OCaml's [Condition] has no timed wait), emitting a
     {!Acc_obs.Trace.Timed_out} event per withdrawn wait; samples queue depth,
     oldest-waiter age and a smoothed abort rate (deadlock victims + lock
@@ -25,7 +26,7 @@ val start :
   ?degrade_after:float ->
   ?shed_watermark:float ->
   detector:Deadlock_detector.t ->
-  Sharded_lock_table.t ->
+  Acc_lock.Lock_service.t ->
   t
 (** Spawn the watchdog domain.  [shed_watermark] is in aborts/second; when
     omitted the shedding flag never trips.  Pair with {!stop}. *)

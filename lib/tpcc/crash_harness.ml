@@ -27,7 +27,7 @@ module Fault = Acc_fault.Fault
 module Executor = Acc_txn.Executor
 module Schedule = Acc_txn.Schedule
 module Database = Acc_relation.Database
-module Lock_table = Acc_lock.Lock_table
+module Lock_service = Acc_lock.Lock_service
 module Log = Acc_wal.Log
 module Record = Acc_wal.Record
 module Recovery = Acc_wal.Recovery
@@ -218,11 +218,11 @@ let replay_with_retries errs label rep0 =
   | left -> err errs label "%d pending compensations survive replay" (List.length left));
   if not (Database.equal rep'.Recovery.db (Executor.db eng')) then
     err errs label "re-recovery of the replay log diverges from the live state";
-  let locks = Executor.locks eng' in
-  if Lock_table.lock_count locks <> 0 then
-    err errs label "%d dangling locks after replay" (Lock_table.lock_count locks);
-  if Lock_table.waiter_count locks <> 0 then
-    err errs label "%d dangling waiters after replay" (Lock_table.waiter_count locks);
+  let locks = Executor.lock_service eng' in
+  if Lock_service.lock_count locks <> 0 then
+    err errs label "%d dangling locks after replay" (Lock_service.lock_count locks);
+  if Lock_service.waiter_count locks <> 0 then
+    err errs label "%d dangling waiters after replay" (Lock_service.waiter_count locks);
   Executor.db eng'
 
 let check_consistency errs label db =

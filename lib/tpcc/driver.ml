@@ -1,6 +1,7 @@
 module Executor = Acc_txn.Executor
 module Txn_effect = Acc_txn.Txn_effect
 module Lock_table = Acc_lock.Lock_table
+module Lock_service = Acc_lock.Lock_service
 module Mode = Acc_lock.Mode
 module Runtime = Acc_core.Runtime
 module Sim = Acc_sim.Sim
@@ -98,11 +99,11 @@ let deliver_wakeups st wakeups =
 
 (* Resume [txn]'s parked wait (if any) as a deadlock victim. *)
 let kill_waiter st txn =
-  let locks = Executor.locks st.eng in
+  let locks = Executor.lock_service st.eng in
   let victim_tickets =
     Hashtbl.fold
       (fun ticket _ acc ->
-        match Lock_table.ticket_txn locks ~ticket with
+        match Lock_service.ticket_txn locks ~ticket with
         | Some t when t = txn -> ticket :: acc
         | Some _ | None -> acc)
       st.parked []
@@ -113,7 +114,7 @@ let kill_waiter st txn =
       | Some cond ->
           Hashtbl.remove st.parked ticket;
           st.deadlock_victims <- st.deadlock_victims + 1;
-          deliver_wakeups st (Lock_table.cancel locks ~ticket);
+          Lock_service.cancel locks ~ticket;
           ignore (Sim.Condition.signal st.sim cond Victim)
       | None -> ())
     victim_tickets
@@ -122,7 +123,7 @@ let kill_waiter st txn =
    Runs inside a sim process; lock waits suspend the terminal. *)
 let with_txn_effects : type r. state -> (unit -> r) -> r =
  fun st f ->
-  let locks = Executor.locks st.eng in
+  let locks = Executor.lock_service st.eng in
   Effect.Deep.match_with f ()
     {
       retc = Fun.id;
@@ -133,10 +134,10 @@ let with_txn_effects : type r. state -> (unit -> r) -> r =
           | Txn_effect.Wait_lock { ticket; txn } ->
               Some
                 (fun (k : (b, r) Effect.Deep.continuation) ->
-                  if not (Lock_table.outstanding locks ~ticket) then Effect.Deep.continue k ()
+                  if not (Lock_service.outstanding locks ~ticket) then Effect.Deep.continue k ()
                   else begin
                     let self_victim =
-                      match Lock_table.find_cycle locks ~from:txn with
+                      match Lock_service.find_cycle locks ~from:txn with
                       | None -> false
                       | Some cycle ->
                           let victims = Runtime.victim_policy locks ~requester:txn ~cycle in
@@ -146,10 +147,10 @@ let with_txn_effects : type r. state -> (unit -> r) -> r =
                     in
                     if self_victim then begin
                       st.deadlock_victims <- st.deadlock_victims + 1;
-                      deliver_wakeups st (Lock_table.cancel locks ~ticket);
+                      Lock_service.cancel locks ~ticket;
                       Effect.Deep.discontinue k Txn_effect.Deadlock_victim
                     end
-                    else if not (Lock_table.outstanding locks ~ticket) then
+                    else if not (Lock_service.outstanding locks ~ticket) then
                       (* cancelling the other victims promoted the queue and
                          granted our own request before we could park *)
                       Effect.Deep.continue k ()
@@ -208,7 +209,7 @@ let run cfg =
      being collected (ACC_TRACE / --trace in the CLI) *)
   Executor.set_clock eng (fun () -> Sim.now sim);
   if Trace.enabled () then
-    Lock_table.set_observer (Executor.locks eng) (Some (Lock_obs.observer ()));
+    Lock_service.set_observer (Executor.lock_service eng) (Some (Lock_obs.observer ()));
   let response = Tally.create () in
   let per_type = Hashtbl.create 8 in
   let type_tally name =
@@ -291,14 +292,14 @@ let run cfg =
      promotions and lock upgrades can close a waits-for cycle without any
      transaction newly blocking, so an Ingres-style background sweep is the
      safety net that guarantees progress. *)
-  let locks = Executor.locks eng in
+  let locks = Executor.lock_service eng in
   let rec detector () =
     if !active_terminals > 0 then begin
       Sim.delay 0.25;
       let parked_txns =
         Hashtbl.fold
           (fun ticket _ acc ->
-            match Lock_table.ticket_txn locks ~ticket with
+            match Lock_service.ticket_txn locks ~ticket with
             | Some txn -> txn :: acc
             | None -> acc)
           st.parked []
@@ -306,7 +307,7 @@ let run cfg =
       in
       List.iter
         (fun txn ->
-          match Lock_table.find_cycle locks ~from:txn with
+          match Lock_service.find_cycle locks ~from:txn with
           | Some cycle ->
               let victims = Runtime.victim_policy locks ~requester:txn ~cycle in
               trace_deadlock ~requester:txn ~cycle ~victims;
@@ -325,9 +326,9 @@ let run cfg =
   in
   Sim.run ~max_events sim;
   if Hashtbl.length st.parked > 0 then begin
-    let locks = Executor.locks eng in
-    Format.eprintf "stranded lock state:@.%a@.wait edges:@." Lock_table.pp_state locks;
-    List.iter (fun (a, b) -> Format.eprintf "  T%d -> T%d@." a b) (Lock_table.wait_edges locks);
+    let locks = Executor.lock_service eng in
+    Format.eprintf "stranded lock state:@.%a@.wait edges:@." Lock_service.pp_state locks;
+    List.iter (fun (a, b) -> Format.eprintf "  T%d -> T%d@." a b) (Lock_service.wait_edges locks);
     raise (Txn_effect.Stuck "driver: terminals stranded on locks at quiescence")
   end;
   let quiesced_at = Sim.now sim in

@@ -110,6 +110,10 @@ type report = {
   lock_wait_count : int;
   peak_queue_depth : int;  (** largest waiter count the watchdog sampled *)
   peak_oldest_wait : float;  (** largest oldest-waiter age it sampled, seconds *)
+  mutex_acquisitions : int;
+      (** explicit shard-mutex acquisitions in the lock manager over the whole
+          run — the contention-side quantity batched footprint acquisition
+          ([acc_options.batch_footprints]) amortizes *)
 }
 
 (* step-type naming, shared with the CLI and bench output *)
@@ -358,6 +362,7 @@ let run cfg =
     lock_wait_count = Metrics.Histogram.count (Engine.lock_waits engine);
     peak_queue_depth = Watchdog.peak_queue_depth (Engine.watchdog engine);
     peak_oldest_wait = Watchdog.peak_oldest_wait (Engine.watchdog engine);
+    mutex_acquisitions = Sharded_lock_table.mutex_acquisitions locks;
   }
 
 let pp_step_hist ppf hist =
@@ -389,6 +394,7 @@ let pp_report ppf r =
     (match r.violations with
     | [] -> "OK"
     | v -> Printf.sprintf "%d VIOLATION(S)" (List.length v));
+  Format.fprintf ppf "@.shard-mutex acquisitions %d" r.mutex_acquisitions;
   if
     r.lock_timeouts > 0 || r.shed > 0 || r.degraded_trips > 0 || r.degraded_runs > 0
     || r.lock_wait_count > 0

@@ -5,6 +5,8 @@ module Predicate = Acc_relation.Predicate
 module Mode = Acc_lock.Mode
 module Resource_id = Acc_lock.Resource_id
 module Lock_table = Acc_lock.Lock_table
+module Lock_request = Acc_lock.Lock_request
+module Lock_service = Acc_lock.Lock_service
 module Log = Acc_wal.Log
 module Record = Acc_wal.Record
 module Recovery = Acc_wal.Recovery
@@ -20,30 +22,6 @@ let cp_step_area = Fault.register "exec.step_area"
 let cp_commit_durable = Fault.register "exec.commit.durable"
 let cp_release = Fault.register "exec.release"
 let cp_comp_write = Fault.register "comp.write"
-
-(* A pluggable lock manager: the sequential backend queues on the
-   single-threaded [Lock_table] and suspends via the [Wait_lock] effect (the
-   simulator/scheduler resumes the fiber); a custom backend (the sharded
-   multi-domain table of lib/parallel) blocks the calling domain internally
-   and raises [Txn_effect.Deadlock_victim] when victimized. *)
-type lock_ops = {
-  lo_acquire :
-    txn:int ->
-    step_type:int ->
-    admission:bool ->
-    compensating:bool ->
-    deadline:float option ->
-    Mode.t ->
-    Resource_id.t ->
-    unit;
-  lo_attach : txn:int -> step_type:int -> Mode.t -> Resource_id.t -> unit;
-  lo_release : txn:int -> Mode.t -> Resource_id.t -> unit;
-  lo_release_where : txn:int -> (Resource_id.t -> Mode.t -> bool) -> unit;
-  lo_release_all : txn:int -> unit;
-  lo_held_by : txn:int -> (Resource_id.t * Mode.t) list;
-}
-
-type lock_backend = Sequential of Lock_table.t | Custom of lock_ops
 
 type table_wrap = { wrap : 'a. string -> (unit -> 'a) -> 'a }
 
@@ -68,7 +46,7 @@ type config = {
 
 type t = {
   db : Database.t;
-  backend : lock_backend;
+  service : Lock_service.t;
   log : Log.t;
   cost : Cost_model.t;
   config : config;
@@ -89,12 +67,18 @@ type ctx = {
   mutable on_before_lock : Resource_id.t -> Mode.t -> unit;
   mutable step_t0 : float;
   mutable finished : bool;
+  mutable pre_acquired : (Mode.t * Resource_id.t) list;
+      (* the current step's batch-acquired footprint; a dynamic acquire of
+         an exact member is already held and skips the lock manager.  Reset
+         at step start and on any mid-transaction release; the short-lock
+         paths only release locks that were not already held, so a memo
+         entry stays held for the step's whole lifetime. *)
 }
 
-let make ?(cost = Cost_model.default) backend db =
+let make ?(cost = Cost_model.default) service db =
   {
     db;
-    backend;
+    service;
     log = Log.create ();
     cost;
     config =
@@ -111,16 +95,27 @@ let make ?(cost = Cost_model.default) backend db =
     active = Atomic.make 0;
   }
 
-let create ?cost ~sem db = make ?cost (Sequential (Lock_table.create sem)) db
-let create_custom ?cost ~lock_ops db = make ?cost (Custom lock_ops) db
+(* The sequential backend's wakeup routing is a knot: the service's [deliver]
+   must call [t.config.on_wakeup], but the service is built before [t].  A
+   forward reference unties it — [on_wakeup] is mutable anyway, so the one
+   extra indirection changes nothing observable. *)
+let create ?cost ~sem db =
+  let table = Lock_table.create sem in
+  let deliver_ref = ref (fun (_ : Lock_table.wakeup list) -> ()) in
+  let service =
+    Lock_service.of_table
+      ~wait:(fun ~ticket ~txn -> Effect.perform (Txn_effect.Wait_lock { ticket; txn }))
+      ~deliver:(fun wakeups -> !deliver_ref wakeups)
+      table
+  in
+  let t = make ?cost service db in
+  deliver_ref := (fun wakeups -> if wakeups <> [] then t.config.on_wakeup wakeups);
+  t
+
+let create_with ?cost ~service db = make ?cost service db
 
 let db t = t.db
-
-let locks t =
-  match t.backend with
-  | Sequential locks -> locks
-  | Custom _ -> invalid_arg "Executor.locks: engine runs on a custom lock backend"
-
+let lock_service t = t.service
 let log t = t.log
 let set_on_wakeup t f = t.config.on_wakeup <- f
 let set_charge t f = t.config.charge <- f
@@ -133,44 +128,12 @@ let lock_deadline t = t.config.lock_deadline
 let charge t units = t.config.charge units
 let cost t = t.cost
 
-(* --- lock backend dispatch ---------------------------------------------- *)
+(* --- lock service dispatch ---------------------------------------------- *)
 
-let deliver t wakeups = if wakeups <> [] then t.config.on_wakeup wakeups
-
-let lock_acquire t ~txn ~step_type ~admission ~compensating ~deadline mode res =
-  match t.backend with
-  | Sequential locks -> (
-      match
-        Lock_table.request locks ~txn ~step_type ~admission ~compensating ?deadline mode res
-      with
-      | Lock_table.Granted -> ()
-      | Lock_table.Queued ticket -> Effect.perform (Txn_effect.Wait_lock { ticket; txn }))
-  | Custom ops -> ops.lo_acquire ~txn ~step_type ~admission ~compensating ~deadline mode res
-
-let lock_attach t ~txn ~step_type mode res =
-  match t.backend with
-  | Sequential locks -> Lock_table.attach locks ~txn ~step_type mode res
-  | Custom ops -> ops.lo_attach ~txn ~step_type mode res
-
-let lock_release t ~txn mode res =
-  match t.backend with
-  | Sequential locks -> deliver t (Lock_table.release locks ~txn mode res)
-  | Custom ops -> ops.lo_release ~txn mode res
-
-let lock_release_where t ~txn pred =
-  match t.backend with
-  | Sequential locks -> deliver t (Lock_table.release_where locks ~txn pred)
-  | Custom ops -> ops.lo_release_where ~txn pred
-
-let lock_release_all t ~txn =
-  match t.backend with
-  | Sequential locks -> deliver t (Lock_table.release_all locks ~txn)
-  | Custom ops -> ops.lo_release_all ~txn
-
-let lock_held_by t ~txn =
-  match t.backend with
-  | Sequential locks -> Lock_table.held_by locks ~txn
-  | Custom ops -> ops.lo_held_by ~txn
+let lock_release t ~txn mode res = Lock_service.release t.service ~txn mode res
+let lock_release_where t ~txn pred = Lock_service.release_where t.service ~txn pred
+let lock_release_all t ~txn = Lock_service.release_all t.service ~txn
+let lock_held_by t ~txn = Lock_service.held_by t.service ~txn
 
 (* --- transaction lifecycle ---------------------------------------------- *)
 
@@ -192,6 +155,7 @@ let begin_txn t ~txn_type ~multi_step =
     on_before_lock = (fun _ _ -> ());
     step_t0 = 0.;
     finished = false;
+    pre_acquired = [];
   }
 
 let txn_id ctx = ctx.txn
@@ -201,6 +165,7 @@ let engine ctx = ctx.eng
 let set_step ctx ~step_type ~step_index =
   ctx.step_type <- step_type;
   ctx.step_index <- step_index;
+  ctx.pre_acquired <- [];
   ctx.step_t0 <- ctx.eng.config.clock ();
   if Trace.enabled () then
     if ctx.compensating then
@@ -221,29 +186,103 @@ let trace ctx rw res =
 
 let with_table ctx tname f = ctx.eng.config.table_wrap.wrap tname f
 
+(* compensating steps never carry a deadline (§3.4) *)
+let deadline_for ctx =
+  if ctx.compensating then None
+  else Option.map (fun d -> ctx.eng.config.clock () +. d) ctx.eng.config.lock_deadline
+
+let request_of ctx ~admission ~deadline mode res =
+  {
+    Lock_request.txn = ctx.txn;
+    step_type = ctx.step_type;
+    admission;
+    compensating = ctx.compensating;
+    deadline;
+    mode;
+    resource = res;
+  }
+
 (* Checked lock acquisition: grant, or suspend (Wait_lock effect /
    domain-blocking wait, depending on the backend).  When control returns
    normally the lock is held. *)
 let acquire ctx ?(admission = false) mode res =
-  (* assertional locks that must be in place before the data lock (legacy
-     isolation) are taken here, ahead of the conventional request, so the
-     transaction never waits for them while already holding the data lock *)
-  if Mode.conventional mode then ctx.on_before_lock res mode;
-  charge ctx.eng
-    (if Mode.conventional mode then ctx.eng.cost.lock_op else ctx.eng.cost.assertional_op);
-  (* compensating steps never carry a deadline (§3.4) *)
-  let deadline =
-    if ctx.compensating then None
-    else
-      Option.map (fun d -> ctx.eng.config.clock () +. d) ctx.eng.config.lock_deadline
-  in
-  lock_acquire ctx.eng ~txn:ctx.txn ~step_type:ctx.step_type ~admission
-    ~compensating:ctx.compensating ~deadline mode res;
-  ctx.on_lock res mode
+  if
+    (not admission)
+    && ctx.pre_acquired <> []
+    && List.exists
+         (fun (m, r) -> Mode.equal m mode && Resource_id.equal r res)
+         ctx.pre_acquired
+  then
+    (* this exact request is in the step's batch-acquired footprint: the lock
+       is held and the hooks and charge already ran at batch time with the
+       same mode, so the re-entrant round trip through the lock manager is
+       pure duplication — skip it.  (Exact mode match only: the lock hooks
+       are mode-sensitive, so a covering-but-different mode must still go
+       through the full path.) *)
+    ()
+  else begin
+    (* assertional locks that must be in place before the data lock (legacy
+       isolation) are taken here, ahead of the conventional request, so the
+       transaction never waits for them while already holding the data lock *)
+    if Mode.conventional mode then ctx.on_before_lock res mode;
+    charge ctx.eng
+      (if Mode.conventional mode then ctx.eng.cost.lock_op else ctx.eng.cost.assertional_op);
+    Lock_service.acquire ctx.eng.service
+      (request_of ctx ~admission ~deadline:(deadline_for ctx) mode res);
+    ctx.on_lock res mode
+  end
+
+(* Batched acquisition of a step's declared footprint.  Charging, the
+   before/after hooks, and the deadline policy are identical to running
+   [acquire] over the list; only the lock-manager interaction is batched
+   (canonical order, one shard-mutex round-trip per shard on the sharded
+   backend).  Later singleton acquires of the same resources are re-entrant
+   grants, so over-declared footprints cost a hash probe, not a conflict. *)
+let acquire_footprint ctx ?(admission = false) pairs =
+  match pairs with
+  | [] -> ()
+  | pairs ->
+      List.iter
+        (fun (mode, res) ->
+          if Mode.conventional mode then ctx.on_before_lock res mode;
+          charge ctx.eng
+            (if Mode.conventional mode then ctx.eng.cost.lock_op
+             else ctx.eng.cost.assertional_op))
+        pairs;
+      let deadline = deadline_for ctx in
+      Lock_service.acquire_batch ctx.eng.service
+        (List.map (fun (mode, res) -> request_of ctx ~admission ~deadline mode res) pairs);
+      List.iter (fun (mode, res) -> ctx.on_lock res mode) pairs;
+      (* admission-flagged requests carry gate semantics the memo must not
+         absorb, so only a plain footprint feeds the re-entrancy skip *)
+      if not admission then ctx.pre_acquired <- pairs;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Batch_acquired
+             { txn = ctx.txn; step_type = ctx.step_type; count = List.length pairs })
+
+let attach_request_of ctx mode res =
+  {
+    Lock_request.txn = ctx.txn;
+    step_type = ctx.step_type;
+    admission = false;
+    compensating = false;
+    deadline = None;
+    mode;
+    resource = res;
+  }
 
 let attach_lock ctx mode res =
   charge ctx.eng ctx.eng.cost.assertional_op;
-  lock_attach ctx.eng ~txn:ctx.txn ~step_type:ctx.step_type mode res
+  Lock_service.attach ctx.eng.service (attach_request_of ctx mode res)
+
+let attach_locks ctx pairs =
+  match pairs with
+  | [] -> ()
+  | pairs ->
+      List.iter (fun _ -> charge ctx.eng ctx.eng.cost.assertional_op) pairs;
+      Lock_service.attach_batch ctx.eng.service
+        (List.map (fun (mode, res) -> attach_request_of ctx mode res) pairs)
 
 let lock_tuple_read ctx tname key =
   acquire ctx Mode.IS (Resource_id.Table tname);
@@ -439,7 +478,11 @@ let end_step ctx ~comp_area =
     Trace.emit (Trace.Step_end { txn = ctx.txn; step_index = ctx.step_index });
   ctx.undo_stack <- []
 
-let release_locks ctx pred = lock_release_where ctx.eng ~txn:ctx.txn pred
+let release_locks ctx pred =
+  (* any mid-transaction release invalidates the footprint memo wholesale —
+     a later acquire of a released pair must go back to the lock manager *)
+  ctx.pre_acquired <- [];
+  lock_release_where ctx.eng ~txn:ctx.txn pred
 
 let release_everything ctx =
   (* a crash here leaves every lock of the transaction dangling in the dying
@@ -508,6 +551,7 @@ let adopt_pending t ~txn ~txn_type ~completed_steps ~area =
     on_before_lock = (fun _ _ -> ());
     step_t0 = 0.;
     finished = false;
+    pre_acquired = [];
   }
 
 let active_txns t = Atomic.get t.active

@@ -15,45 +15,27 @@ type t
 type ctx
 (** A live transaction. *)
 
-type lock_ops = {
-  lo_acquire :
-    txn:int ->
-    step_type:int ->
-    admission:bool ->
-    compensating:bool ->
-    deadline:float option ->
-    Acc_lock.Mode.t ->
-    Acc_lock.Resource_id.t ->
-    unit;
-  lo_attach :
-    txn:int -> step_type:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit;
-  lo_release : txn:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit;
-  lo_release_where :
-    txn:int -> (Acc_lock.Resource_id.t -> Acc_lock.Mode.t -> bool) -> unit;
-  lo_release_all : txn:int -> unit;
-  lo_held_by : txn:int -> (Acc_lock.Resource_id.t * Acc_lock.Mode.t) list;
-}
-(** A custom lock manager.  [lo_acquire] must block (or suspend) until the
-    lock is held, raising [Txn_effect.Deadlock_victim] if the request is
-    victimized and [Txn_effect.Lock_timeout] if its [deadline] (an absolute
-    instant in the engine clock, [None] = unbounded) expires first; the
-    sharded multi-domain table of lib/parallel plugs in here. *)
-
 val create :
   ?cost:Cost_model.t -> sem:Acc_lock.Mode.semantics -> Acc_relation.Database.t -> t
-(** An engine on the sequential {!Acc_lock.Lock_table}: lock waits perform
-    {!Txn_effect.Wait_lock} and wakeups flow through {!set_on_wakeup}. *)
+(** An engine on the sequential {!Acc_lock.Lock_table} (wrapped as a
+    {!Acc_lock.Lock_service.t}): lock waits perform {!Txn_effect.Wait_lock}
+    and wakeups flow through {!set_on_wakeup}. *)
 
-val create_custom : ?cost:Cost_model.t -> lock_ops:lock_ops -> Acc_relation.Database.t -> t
-(** An engine on a caller-supplied lock manager; {!locks} is unavailable and
-    the {!set_on_wakeup} hook never fires (the manager wakes its own
-    waiters). *)
+val create_with :
+  ?cost:Cost_model.t -> service:Acc_lock.Lock_service.t -> Acc_relation.Database.t -> t
+(** An engine on a caller-supplied lock manager — the parallel engine passes
+    [Sharded_lock_table.service] here.  The service's [acquire]
+    must block (or suspend) until the lock is held, raising
+    [Txn_effect.Deadlock_victim] if victimized and [Txn_effect.Lock_timeout]
+    on deadline expiry.  {!set_on_wakeup} never fires on such an engine (the
+    manager wakes its own waiters). *)
 
 val db : t -> Acc_relation.Database.t
 
-val locks : t -> Acc_lock.Lock_table.t
-(** The sequential lock table.  Raises [Invalid_argument] on an engine made
-    with {!create_custom}. *)
+val lock_service : t -> Acc_lock.Lock_service.t
+(** The engine's lock manager, whichever backend it is — total, unlike the
+    removed [locks] accessor.  Schedulers cancel tickets and walk waits-for
+    edges through this; tests count holds through it. *)
 
 val log : t -> Acc_wal.Log.t
 
@@ -191,8 +173,28 @@ val acquire :
 (** Raw checked lock acquisition (blocking); used by the ACC runtime for
     admission assertional locks and compensation locks. *)
 
+val acquire_footprint :
+  ctx ->
+  ?admission:bool ->
+  (Acc_lock.Mode.t * Acc_lock.Resource_id.t) list ->
+  unit
+(** Acquire a step's declared footprint as one [Lock_service.acquire_batch]:
+    canonical resource order, one shard-mutex round-trip per shard on the
+    sharded backend.  Charging, the before/after lock hooks and the deadline
+    policy are exactly as if {!acquire} ran over the list; emits one
+    [batch_acquired] trace event.  Resources the step later touches again
+    are re-entrant grants, so a footprint may safely over-approximate.  On
+    victimization or timeout mid-batch the members already granted remain
+    held and the step's normal abort path releases them.  No-op on []. *)
+
 val attach_lock : ctx -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit
 (** Raw unconditional grant (the §3.3 mid-transaction assertional locks). *)
+
+val attach_locks : ctx -> (Acc_lock.Mode.t * Acc_lock.Resource_id.t) list -> unit
+(** Attach a list of unconditional grants through
+    [Lock_service.attach_batch] — caller order and multiplicity
+    preserved, one shard-mutex round-trip per shard on the sharded
+    backend. *)
 
 (* step machinery (driven by the ACC runtime; flat 2PL never calls these) *)
 

@@ -1,4 +1,5 @@
 module Lock_table = Acc_lock.Lock_table
+module Lock_service = Acc_lock.Lock_service
 
 type outcome = {
   schedules : int;
@@ -44,20 +45,20 @@ let kill_waiter st txn =
   List.iter
     (fun (ticket, s) ->
       Hashtbl.remove st.parked ticket;
-      deliver st (Lock_table.cancel (Executor.locks st.engine) ~ticket);
+      Lock_service.cancel (Executor.lock_service st.engine) ~ticket;
       enqueue st (Kill s.s_k))
     victim_tickets
 
 let handle_wait st ~ticket ~txn k =
-  let locks = Executor.locks st.engine in
-  if not (Lock_table.outstanding locks ~ticket) then enqueue st (Resume k)
+  let locks = Executor.lock_service st.engine in
+  if not (Lock_service.outstanding locks ~ticket) then enqueue st (Resume k)
   else begin
-    match Lock_table.find_cycle locks ~from:txn with
+    match Lock_service.find_cycle locks ~from:txn with
     | None -> Hashtbl.replace st.parked ticket { s_txn = txn; s_k = k }
     | Some cycle ->
         let victims = st.policy locks ~requester:txn ~cycle in
         if List.mem txn victims then begin
-          deliver st (Lock_table.cancel locks ~ticket);
+          Lock_service.cancel locks ~ticket;
           enqueue st (Kill k)
         end
         else Hashtbl.replace st.parked ticket { s_txn = txn; s_k = k };
@@ -117,13 +118,13 @@ let run_one ~policy ~trace engine fibers =
   in
   List.iter (fun f -> enqueue st (Start f)) fibers;
   let stall_sweep () =
-    let locks = Executor.locks engine in
+    let locks = Executor.lock_service engine in
     let parked_txns =
       Hashtbl.fold (fun _ s acc -> s.s_txn :: acc) st.parked [] |> List.sort_uniq compare
     in
     List.iter
       (fun txn ->
-        match Lock_table.find_cycle locks ~from:txn with
+        match Lock_service.find_cycle locks ~from:txn with
         | Some cycle ->
             let victims = st.policy locks ~requester:txn ~cycle in
             List.iter (fun v -> kill_waiter st v) victims

@@ -1,6 +1,7 @@
 module Lock_table = Acc_lock.Lock_table
+module Lock_service = Acc_lock.Lock_service
 
-type victim_policy = Lock_table.t -> requester:int -> cycle:int list -> int list
+type victim_policy = Lock_service.t -> requester:int -> cycle:int list -> int list
 
 let abort_requester _locks ~requester ~cycle:_ = [ requester ]
 
@@ -42,23 +43,25 @@ let kill_waiter st txn =
   List.iter
     (fun (ticket, s) ->
       Hashtbl.remove st.parked ticket;
-      deliver st (Lock_table.cancel (Executor.locks st.engine) ~ticket);
+      (* the service delivers the cancellation's wakeups through the
+         [set_on_wakeup] hook, i.e. straight back into [deliver st] *)
+      Lock_service.cancel (Executor.lock_service st.engine) ~ticket;
       Queue.add (Kill s.s_k) st.ready)
     victim_tickets
 
 let handle_wait st ~ticket ~txn k =
-  let locks = Executor.locks st.engine in
+  let locks = Executor.lock_service st.engine in
   (* the ticket may already have been granted by lock churn between the
      request and this handler running; only park if still outstanding *)
-  if not (Lock_table.outstanding locks ~ticket) then Queue.add (Resume k) st.ready
+  if not (Lock_service.outstanding locks ~ticket) then Queue.add (Resume k) st.ready
   else begin
-    match Lock_table.find_cycle locks ~from:txn with
+    match Lock_service.find_cycle locks ~from:txn with
     | None -> Hashtbl.replace st.parked ticket { s_txn = txn; s_k = k }
     | Some cycle ->
         let victims = st.policy locks ~requester:txn ~cycle in
         assert (victims <> [] && List.for_all (fun v -> List.mem v cycle) victims);
         if List.mem txn victims then begin
-          deliver st (Lock_table.cancel locks ~ticket);
+          Lock_service.cancel locks ~ticket;
           Queue.add (Kill k) st.ready
         end
         else Hashtbl.replace st.parked ticket { s_txn = txn; s_k = k };
@@ -92,13 +95,13 @@ let run ?(policy = abort_youngest) ?(max_tasks = 1_000_000) engine fibers =
      any transaction newly blocking; when the ready queue drains with fibers
      still parked, sweep the parked set for cycles before declaring a bug. *)
   let stall_sweep () =
-    let locks = Executor.locks engine in
+    let locks = Executor.lock_service engine in
     let parked_txns =
       Hashtbl.fold (fun _ s acc -> s.s_txn :: acc) st.parked [] |> List.sort_uniq compare
     in
     List.iter
       (fun txn ->
-        match Lock_table.find_cycle locks ~from:txn with
+        match Lock_service.find_cycle locks ~from:txn with
         | Some cycle ->
             let victims = st.policy locks ~requester:txn ~cycle in
             List.iter (fun v -> kill_waiter st v) victims

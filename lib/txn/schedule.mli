@@ -10,7 +10,7 @@
     benchmark simulator implements the same effect protocol on top of
     simulated time. *)
 
-type victim_policy = Acc_lock.Lock_table.t -> requester:int -> cycle:int list -> int list
+type victim_policy = Acc_lock.Lock_service.t -> requester:int -> cycle:int list -> int list
 (** Given the waits-for cycle just closed by [requester], name the
     transactions whose current steps must be aborted.  The returned list must
     be a non-empty subset of [cycle]. *)

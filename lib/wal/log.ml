@@ -54,11 +54,22 @@ let appended_since t lsn =
   let from = max 0 lsn in
   if from >= t.len then [] else Array.to_list (Array.sub t.records from (t.len - from))
 
+(* The on-disk format is a fixed magic string, a format-version integer, then
+   the marshalled record list.  Marshal payloads are build-fragile, so the
+   header is what turns "Marshal.from_channel blew up" into an actionable
+   error: a foreign file fails on the magic, an old/new log fails on the
+   version. *)
+let magic = "ACCWAL\x00\x00"
+let format_version = 1
+
 let save t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Marshal.to_channel oc (to_list t) []);
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc format_version;
+      Marshal.to_channel oc (to_list t) []);
   if Acc_obs.Trace.enabled () then
     Acc_obs.Trace.emit (Acc_obs.Trace.Wal_flush { records = t.len })
 
@@ -67,6 +78,24 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
+      let header =
+        try really_input_string ic (String.length magic)
+        with End_of_file ->
+          failwith
+            (Printf.sprintf "Log.load: %s is not a WAL file (shorter than the header)" path)
+      in
+      if header <> magic then
+        failwith (Printf.sprintf "Log.load: %s is not a WAL file (bad magic)" path);
+      let version =
+        try input_binary_int ic
+        with End_of_file ->
+          failwith (Printf.sprintf "Log.load: %s is truncated (no format version)" path)
+      in
+      if version <> format_version then
+        failwith
+          (Printf.sprintf
+             "Log.load: %s has WAL format version %d, this build reads version %d" path
+             version format_version);
       let records : Record.t list =
         try Marshal.from_channel ic
         with _ -> failwith ("Log.load: unreadable log file " ^ path)

@@ -24,10 +24,13 @@ val appended_since : t -> lsn -> Record.t list
 (** Records with LSN >= the given one. *)
 
 val save : t -> string -> unit
-(** Serialize the log to a file (OCaml marshal format): lets a crash demo or
+(** Serialize the log to a file: a fixed magic string and a format-version
+    integer, then the records in OCaml marshal format.  Lets a crash demo or
     an operator persist and reload histories. *)
 
 val load : string -> t
-(** Inverse of {!save}.  Raises [Failure] on files this build cannot read. *)
+(** Inverse of {!save}.  Raises [Failure] with a distinct, actionable message
+    for each failure class: not a WAL file (bad or missing magic), WAL format
+    version this build does not read, or a corrupt record payload. *)
 
 val pp : Format.formatter -> t -> unit

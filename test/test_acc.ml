@@ -9,6 +9,8 @@ module Table = Acc_relation.Table
 module Value = Acc_relation.Value
 module Predicate = Acc_relation.Predicate
 module Executor = Acc_txn.Executor
+module Lock_service = Acc_lock.Lock_service
+module Lock_request = Acc_lock.Lock_request
 module Schedule = Acc_txn.Schedule
 module Txn_effect = Acc_txn.Txn_effect
 module Serializability = Acc_txn.Serializability
@@ -154,7 +156,7 @@ let test_single_new_order () =
   Alcotest.(check bool) "fills recorded" true
     (List.sort compare result.W.r_filled = [ (1, 5); (2, 3) ]);
   check_consistent ~initial_stock:stock2 eng;
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng));
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng));
   (* stock decremented *)
   let stock = Database.table (Executor.db eng) "stock" in
   Alcotest.(check int) "item 1 stock" 10 (Value.as_int (Table.get_exn stock [ v_int 1 ]).(1))
@@ -198,7 +200,7 @@ let test_forced_abort_compensates () =
   let stock = Database.table db "stock" in
   Alcotest.(check int) "item 1 stock restored" 15 (Value.as_int (Table.get_exn stock [ v_int 1 ]).(1));
   check_consistent ~initial_stock:stock2 eng;
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng));
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng));
   (* the consumed order number stays burnt (paper: result allows it) *)
   let counter = Database.table db "counter" in
   Alcotest.(check int) "counter advanced" 2 (Value.as_int (Table.get_exn counter [ v_int 0 ]).(1))
@@ -579,7 +581,7 @@ let test_step_deadlock_retried () =
   | _ -> Alcotest.fail "expected both to commit after retry");
   Alcotest.(check int) "item1 got both bumps" 2 (stock_val eng 1);
   Alcotest.(check int) "item2 got both bumps" 2 (stock_val eng 2);
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 let test_step_deadlock_exhaustion_compensates () =
   let eng = pair_engine () in
@@ -598,22 +600,27 @@ let test_step_deadlock_exhaustion_compensates () =
   (* the victim's anchor bump was undone by its compensating step *)
   let anchor_sum = stock_val eng 3 + stock_val eng 4 in
   Alcotest.(check int) "one anchor survives" 1 anchor_sum;
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 let test_victim_policy_shields_compensation () =
   let locks = Lock_table.create Mode.no_semantics in
   let r = Resource_id.Tuple ("stock", [ v_int 1 ]) in
   let r2 = Resource_id.Tuple ("stock", [ v_int 2 ]) in
   (* txn 1 (compensating) waits on txn 2; txn 2 waits on txn 1 *)
-  ignore (Lock_table.request locks ~txn:1 ~step_type:0 Mode.X r);
-  ignore (Lock_table.request locks ~txn:2 ~step_type:0 Mode.X r2);
-  ignore (Lock_table.request locks ~txn:2 ~step_type:0 Mode.X r);
-  ignore (Lock_table.request locks ~txn:1 ~step_type:0 ~compensating:true Mode.X r2);
+  ignore (Lock_table.submit locks (Lock_request.make ~txn:1 ~step_type:0 Mode.X r));
+  ignore (Lock_table.submit locks (Lock_request.make ~txn:2 ~step_type:0 Mode.X r2));
+  ignore (Lock_table.submit locks (Lock_request.make ~txn:2 ~step_type:0 Mode.X r));
+  ignore (Lock_table.submit locks (Lock_request.make ~txn:1 ~step_type:0 ~compensating:true Mode.X r2));
+  (* the policy only inspects waiter state, so the service view needs no
+     working suspension hook *)
+  let svc =
+    Lock_service.of_table ~wait:(fun ~ticket:_ ~txn:_ -> assert false) ~deliver:ignore locks
+  in
   let cycle = [ 1; 2 ] in
   Alcotest.(check (list int)) "compensating requester spared" [ 2 ]
-    (Runtime.victim_policy locks ~requester:1 ~cycle);
+    (Runtime.victim_policy svc ~requester:1 ~cycle);
   Alcotest.(check (list int)) "plain requester is the victim" [ 2 ]
-    (Runtime.victim_policy locks ~requester:2 ~cycle)
+    (Runtime.victim_policy svc ~requester:2 ~cycle)
 
 let test_buggy_step_body_cleans_up () =
   (* an exception in a step body compensates the completed steps, drains the
@@ -635,7 +642,7 @@ let test_buggy_step_body_cleans_up () =
         with Failure msg when msg = "boom" -> surfaced := true);
     ];
   Alcotest.(check bool) "exception surfaced" true !surfaced;
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng));
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng));
   (* the completed line (item 1) was compensated: stock restored, order
      cancelled *)
   let db = Executor.db eng in
@@ -658,7 +665,7 @@ let test_buggy_legacy_cleans_up () =
         with Failure msg when msg = "legacy boom" -> surfaced := true);
     ];
   Alcotest.(check bool) "exception surfaced" true !surfaced;
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 (* --- assertion verification harness ------------------------------------------ *)
 
@@ -783,7 +790,7 @@ let prop_semantic_correctness =
           | (Runtime.Committed | Runtime.Compensated _), _ -> false)
         !expected
       && W.check_consistency ~initial_stock (Executor.db eng) = []
-      && Lock_table.lock_count (Executor.locks eng) = 0)
+      && Lock_service.lock_count (Executor.lock_service eng) = 0)
 
 let suites =
   [

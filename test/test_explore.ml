@@ -10,6 +10,7 @@ module Table = Acc_relation.Table
 module Schema = Acc_relation.Schema
 module Value = Acc_relation.Value
 module Lock_table = Acc_lock.Lock_table
+module Lock_service = Acc_lock.Lock_service
 module Mode = Acc_lock.Mode
 module Program = Acc_core.Program
 module Runtime = Acc_core.Runtime
@@ -150,7 +151,7 @@ let check_orders_consistent eng =
   match W.check_consistency ~initial_stock:stock2 (Executor.db eng) with
   | exception e -> Error (Printexc.to_string e)
   | [] ->
-      if Lock_table.lock_count (Executor.locks eng) = 0 then Ok ()
+      if Lock_service.lock_count (Executor.lock_service eng) = 0 then Ok ()
       else Error "locks leaked"
   | problems -> Error (String.concat "; " problems)
 

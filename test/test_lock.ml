@@ -30,7 +30,7 @@ let ticket_exn = function
   | Lock_table.Granted -> Alcotest.fail "expected Queued, got Granted"
 
 let req ?(txn = 1) ?(step = 0) ?admission ?compensating t mode res =
-  Lock_table.request t ~txn ~step_type:step ?admission ?compensating mode res
+  Lock_table.submit t (Lock_request.make ~txn ~step_type:step ?admission ?compensating mode res)
 
 (* --- Mode ------------------------------------------------------------- *)
 
@@ -227,7 +227,7 @@ let test_release_where () =
   let t = plain () in
   ignore (req t ~txn:1 Mode.IX tbl);
   ignore (req t ~txn:1 Mode.X res_a);
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.A 7) res_a;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.A 7) res_a);
   let _ = Lock_table.release_where t ~txn:1 (fun _ m -> Mode.conventional m) in
   let remaining = Lock_table.held_by t ~txn:1 in
   Alcotest.(check int) "only assertional left" 1 (List.length remaining);
@@ -273,7 +273,7 @@ let acc_table () = Lock_table.create test_semantics
 
 let test_assertional_write_blocked () =
   let t = acc_table () in
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.A 100) res_a;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.A 100) res_a);
   (* non-interfering write by txn 3 (step 11) passes despite the assertion *)
   Alcotest.(check bool) "benign write granted" true
     (granted (req t ~txn:3 ~step:11 Mode.X res_a));
@@ -284,13 +284,13 @@ let test_assertional_write_blocked () =
 
 let test_own_assertion_no_self_block () =
   let t = acc_table () in
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.A 100) res_a;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.A 100) res_a);
   Alcotest.(check bool) "own write passes own assertion" true
     (granted (req t ~txn:1 ~step:10 Mode.X res_a))
 
 let test_admission_prefix_check () =
   let t = acc_table () in
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.A 200) res_a;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.A 200) res_a);
   (* admission of an assertion the prefix interferes with: delayed *)
   Alcotest.(check bool) "admission blocked" false
     (granted (req t ~txn:2 ~admission:true (Mode.A 100) res_a));
@@ -300,7 +300,7 @@ let test_admission_prefix_check () =
 
 let test_admission_unblocked_on_commit () =
   let t = acc_table () in
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.A 200) res_a;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.A 200) res_a);
   let g = req t ~txn:2 ~admission:true (Mode.A 100) res_a in
   let wake = Lock_table.release_all t ~txn:1 in
   Alcotest.(check (list int)) "admitted after release" [ 2 ]
@@ -310,7 +310,7 @@ let test_admission_unblocked_on_commit () =
 let test_comp_lock_blocks_interfering_assertion () =
   let t = acc_table () in
   (* txn 1 modified res_a; its compensating step type is 10 *)
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.Comp 10) res_a;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.Comp 10) res_a);
   Alcotest.(check bool) "interfering assertion blocked" false
     (granted (req t ~txn:2 ~admission:true (Mode.A 100) res_a));
   Alcotest.(check bool) "benign assertion allowed" true
@@ -389,7 +389,7 @@ let test_table_a_blocks_tuple_write () =
   (* a table-level assertional lock (legacy scan isolation) blocks
      interfering tuple writes *)
   let t = acc_table () in
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.A 100) tbl;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.A 100) tbl);
   Alcotest.(check bool) "interfering tuple write blocked" false
     (granted (req t ~txn:2 ~step:10 Mode.X res_a));
   Alcotest.(check bool) "benign tuple write passes" true
@@ -399,7 +399,7 @@ let test_table_a_checks_tuple_comp_holders () =
   (* a checked A request on a table must wait out tuple-level Comp holders
      whose compensating step interferes (the legacy-scan admission) *)
   let t = acc_table () in
-  Lock_table.attach t ~txn:1 ~step_type:0 (Mode.Comp 10) res_a;
+  Lock_table.attach_req t (Lock_request.make ~txn:1 ~step_type:0 (Mode.Comp 10) res_a);
   Alcotest.(check bool) "table A blocked by tuple Comp" false
     (granted (req t ~txn:2 (Mode.A 100) tbl));
   (* released when the exposing transaction commits *)
@@ -647,7 +647,7 @@ let prop_oracle_safety =
       let tuple n = Resource_id.Tuple ("t", [ Value.Int n ]) in
       (* request; on block, cancel at once *)
       let try_lock txn mode res =
-        match Lock_table.request t ~txn ~step_type:(txn mod 3) mode res with
+        match Lock_table.submit t (Lock_request.make ~txn ~step_type:(txn mod 3) mode res) with
         | Lock_table.Granted -> true
         | Lock_table.Queued ticket ->
             ignore (Lock_table.cancel t ~ticket);
@@ -667,7 +667,7 @@ let prop_oracle_safety =
               (* the §3.3 side condition: attach only alongside an own
                  conventional hold on the same item *)
               if holds_conventional txn (tuple r) then
-                Lock_table.attach t ~txn ~step_type:(txn mod 3) (Mode.A a) (tuple r)
+                Lock_table.attach_req t (Lock_request.make ~txn ~step_type:(txn mod 3) (Mode.A a) (tuple r))
           | RRel txn -> ignore (Lock_table.release_all t ~txn))
         ops;
       (* pairwise safety across ALL holds, including tuple-vs-absolute-table *)
@@ -702,7 +702,7 @@ let test_deadline_expiry () =
   let t = Lock_table.create ~clock:(fun () -> !now) Mode.no_semantics in
   ignore (req t ~txn:1 Mode.X res_a);
   let tk =
-    ticket_exn (Lock_table.request t ~txn:2 ~step_type:0 ~deadline:5. Mode.X res_a)
+    ticket_exn (Lock_table.submit t (Lock_request.make ~txn:2 ~step_type:0 ~deadline:5. Mode.X res_a))
   in
   let ex, wk = Lock_table.expire_overdue t ~now:4.9 in
   Alcotest.(check int) "nothing due yet" 0 (List.length ex);
@@ -732,7 +732,7 @@ let test_deadline_spares_compensating () =
   (* §3.4 compensation-sparing: the deadline is discarded on a compensating
      request, so no sweep ever withdraws it *)
   ignore
-    (Lock_table.request t ~txn:2 ~step_type:0 ~compensating:true ~deadline:1. Mode.X res_a);
+    (Lock_table.submit t (Lock_request.make ~txn:2 ~step_type:0 ~compensating:true ~deadline:1. Mode.X res_a));
   now := 100.;
   let ex, _ = Lock_table.expire_overdue t ~now:100. in
   Alcotest.(check int) "compensating wait never expires" 0 (List.length ex);
@@ -744,13 +744,13 @@ let test_bounded_bypass_gate () =
      queue, so readers of a tuple can starve a queued table writer forever
      without the gate. *)
   let t = Lock_table.create ~max_bypass:3 Mode.no_semantics in
-  ignore (Lock_table.request t ~txn:1 ~step_type:0 Mode.S tbl);
-  let tk = ticket_exn (Lock_table.request t ~txn:2 ~step_type:0 Mode.X tbl) in
+  ignore (Lock_table.submit t (Lock_request.make ~txn:1 ~step_type:0 Mode.S tbl));
+  let tk = ticket_exn (Lock_table.submit t (Lock_request.make ~txn:2 ~step_type:0 Mode.X tbl)) in
   (* direct tuple readers bypass the queued table writer, but only
      max_bypass times — then the gate refuses further conflicting grants *)
   let grants = ref [] in
   for txn = 3 to 10 do
-    if granted (Lock_table.request t ~txn ~step_type:0 Mode.S res_a) then
+    if granted (Lock_table.submit t (Lock_request.make ~txn ~step_type:0 Mode.S res_a)) then
       grants := txn :: !grants
   done;
   Alcotest.(check (list int)) "gate closes after max_bypass overtakes" [ 3; 4; 5 ]
@@ -762,7 +762,7 @@ let test_bounded_bypass_gate () =
     (List.mem (6, 2) (Lock_table.wait_edges t));
   (* §3.4: compensating requests are never fairness-gated *)
   Alcotest.(check bool) "compensating reader passes the closed gate" true
-    (granted (Lock_table.request t ~txn:20 ~step_type:0 ~compensating:true Mode.S res_a));
+    (granted (Lock_table.submit t (Lock_request.make ~txn:20 ~step_type:0 ~compensating:true Mode.S res_a)));
   (* drain: the starved writer goes first once the table holder leaves (an
      absolute table grant does not sweep tuple holds — the protocol relies on
      intention locks, which these direct tuple readers skipped), then the
@@ -819,7 +819,7 @@ let prop_bounded_bypass =
       let t = Lock_table.create ~max_bypass Mode.no_semantics in
       run_bypass_ops ~max_bypass
         ~request:(fun ~txn mode res ->
-          ignore (Lock_table.request t ~txn ~step_type:0 mode res))
+          ignore (Lock_table.submit t (Lock_request.make ~txn ~step_type:0 mode res)))
         ~release_all:(fun ~txn -> ignore (Lock_table.release_all t ~txn))
         ~cancel_txn:(fun ~txn ->
           List.iter

@@ -1,0 +1,145 @@
+(* The deprecated optional-argument shims ([Lock_table.request]/[attach],
+   [Sharded_lock_table.request]/[attach]/[acquire]) are kept for one release;
+   until they go they must agree exactly with the [Lock_request.t] surface
+   they wrap.  Each test drives the same operation sequence through a shim
+   table and a new-surface table and compares grant decisions and end state. *)
+
+[@@@alert "-deprecated"]
+
+open Acc_lock
+module Sharded = Acc_parallel.Sharded_lock_table
+module Value = Acc_relation.Value
+
+let sem =
+  Mode.
+    {
+      step_interferes = (fun ~step_type ~assertion -> step_type = 10 && assertion = 100);
+      prefix_interferes =
+        (fun ~holder_assertion ~assertion -> holder_assertion = 200 && assertion = 100);
+    }
+
+let tab = Resource_id.Table "t"
+let tup k = Resource_id.Tuple ("t", [ Value.Int k ])
+
+(* (txn, step, admission, compensating, deadline, mode, resource) exercising
+   grants, queueing, upgrades, re-entry and the assertional modes *)
+let script =
+  [
+    (1, 0, false, false, None, Mode.IX, tab);
+    (1, 0, false, false, None, Mode.X, tup 1);
+    (2, 10, false, false, None, Mode.IS, tab);
+    (2, 10, false, false, Some 99.0, Mode.S, tup 1) (* queues behind txn 1 *);
+    (3, 0, true, false, None, Mode.A 100, tup 2);
+    (3, 0, false, true, None, Mode.Comp 10, tup 2);
+    (1, 0, false, false, None, Mode.X, tup 1) (* re-entrant *);
+    (3, 0, false, false, None, Mode.A 200, tup 3);
+  ]
+
+let same_grant g1 g2 =
+  match (g1, g2) with
+  | Lock_table.Granted, Lock_table.Granted -> true
+  | Lock_table.Queued _, Lock_table.Queued _ -> true
+  | _ -> false
+
+let check_same_state ~holders ~lock_count ~waiter_count =
+  List.iter
+    (fun res ->
+      Alcotest.(check bool)
+        "same holders" true
+        (List.sort compare (holders `Old res) = List.sort compare (holders `New res)))
+    [ tab; tup 1; tup 2; tup 3 ];
+  Alcotest.(check int) "same lock count" (lock_count `Old) (lock_count `New);
+  Alcotest.(check int) "same waiter count" (waiter_count `Old) (waiter_count `New)
+
+let test_sequential_request_shim () =
+  let old_t = Lock_table.create sem in
+  let new_t = Lock_table.create sem in
+  List.iter
+    (fun (txn, step_type, admission, compensating, deadline, mode, res) ->
+      let g_old =
+        Lock_table.request old_t ~txn ~step_type ~admission ~compensating ?deadline mode
+          res
+      in
+      let g_new =
+        Lock_table.submit new_t
+          (Lock_request.make ~txn ~step_type ~admission ~compensating ?deadline mode res)
+      in
+      Alcotest.(check bool) "same grant decision" true (same_grant g_old g_new))
+    script;
+  check_same_state
+    ~holders:(fun w res ->
+      Lock_table.holders (match w with `Old -> old_t | `New -> new_t) res)
+    ~lock_count:(fun w ->
+      Lock_table.lock_count (match w with `Old -> old_t | `New -> new_t))
+    ~waiter_count:(fun w ->
+      Lock_table.waiter_count (match w with `Old -> old_t | `New -> new_t))
+
+let test_sequential_attach_shim () =
+  let old_t = Lock_table.create sem in
+  let new_t = Lock_table.create sem in
+  List.iter
+    (fun (txn, step_type, _, _, _, mode, res) ->
+      Lock_table.attach old_t ~txn ~step_type mode res;
+      Lock_table.attach_req new_t (Lock_request.make ~txn ~step_type mode res))
+    script;
+  check_same_state
+    ~holders:(fun w res ->
+      Lock_table.holders (match w with `Old -> old_t | `New -> new_t) res)
+    ~lock_count:(fun w ->
+      Lock_table.lock_count (match w with `Old -> old_t | `New -> new_t))
+    ~waiter_count:(fun w ->
+      Lock_table.waiter_count (match w with `Old -> old_t | `New -> new_t))
+
+let sharded_state_check old_t new_t =
+  check_same_state
+    ~holders:(fun w res -> Sharded.holders (match w with `Old -> old_t | `New -> new_t) res)
+    ~lock_count:(fun w -> Sharded.lock_count (match w with `Old -> old_t | `New -> new_t))
+    ~waiter_count:(fun w ->
+      Sharded.waiter_count (match w with `Old -> old_t | `New -> new_t))
+
+let test_sharded_request_attach_shims () =
+  let old_t = Sharded.create ~shards:4 sem in
+  let new_t = Sharded.create ~shards:4 sem in
+  List.iter
+    (fun (txn, step_type, admission, compensating, deadline, mode, res) ->
+      let g_old =
+        Sharded.request old_t ~txn ~step_type ~admission ~compensating ?deadline mode res
+      in
+      let g_new =
+        Sharded.submit new_t
+          (Lock_request.make ~txn ~step_type ~admission ~compensating ?deadline mode res)
+      in
+      Alcotest.(check bool) "same grant decision" true (same_grant g_old g_new);
+      (* attach on a disjoint txn space so it cannot disturb the grants *)
+      Sharded.attach old_t ~txn:(txn + 100) ~step_type mode res;
+      Sharded.attach_req new_t
+        (Lock_request.make ~txn:(txn + 100) ~step_type mode res))
+    script;
+  sharded_state_check old_t new_t
+
+(* the blocking shim, on a conflict-free script so it never suspends *)
+let test_sharded_acquire_shim () =
+  let old_t = Sharded.create ~shards:4 sem in
+  let new_t = Sharded.create ~shards:4 sem in
+  List.iter
+    (fun (txn, step_type, admission, compensating, deadline, mode, res) ->
+      Sharded.acquire old_t ~txn ~step_type ~admission ~compensating ?deadline mode res;
+      Sharded.acquire_req new_t
+        (Lock_request.make ~txn ~step_type ~admission ~compensating ?deadline mode res))
+    (List.filter (fun (txn, _, _, _, _, _, _) -> txn <> 2) script);
+  sharded_state_check old_t new_t
+
+let suites =
+  [
+    ( "lock.compat",
+      [
+        Alcotest.test_case "request shim agrees with submit" `Quick
+          test_sequential_request_shim;
+        Alcotest.test_case "attach shim agrees with attach_req" `Quick
+          test_sequential_attach_shim;
+        Alcotest.test_case "sharded request/attach shims agree" `Quick
+          test_sharded_request_attach_shims;
+        Alcotest.test_case "sharded acquire shim agrees with acquire_req" `Quick
+          test_sharded_acquire_shim;
+      ] );
+  ]

@@ -78,14 +78,12 @@ let prop_parity =
             | PReq { txn; step; adm; comp; mode; res } ->
                 if Lock_table.outstanding_tickets seq ~txn = [] then begin
                   let mode = parity_modes.(mode) and res = parity_resources.(res) in
-                  let g1 =
-                    Lock_table.request seq ~txn ~step_type:step ~admission:adm
+                  let r =
+                    Lock_request.make ~txn ~step_type:step ~admission:adm
                       ~compensating:comp mode res
                   in
-                  let g2 =
-                    Sharded.request sha ~txn ~step_type:step ~admission:adm
-                      ~compensating:comp mode res
-                  in
+                  let g1 = Lock_table.submit seq r in
+                  let g2 = Sharded.submit sha r in
                   check
                     (match (g1, g2) with
                     | Lock_table.Granted, Lock_table.Granted -> true
@@ -130,18 +128,175 @@ let prop_parity =
       check (Lock_table.entry_count seq = Sharded.entry_count sha);
       !ok)
 
+(* --- batched acquisition parity ----------------------------------------- *)
+
+(* acquire_batch must land exactly the lock state of the equivalent singleton
+   sequence (the canonicalized requests acquired one by one) on both
+   backends.  Generated batches mix admission/compensating flags, modes and
+   transactions but are granted-by-construction — shared resources are taken
+   in intent modes only (mutually compatible) and absolute modes stay on
+   per-transaction tuples — so the single-threaded driver never suspends;
+   the blocking and expiry corners are the directed tests below. *)
+
+let batch_req_gen =
+  QCheck2.Gen.(
+    map
+      (fun (txn, step, adm, comp, shared, pick) ->
+        let resource =
+          if shared then
+            [| Resource_id.Table "t"; Resource_id.Table "u"; Resource_id.Table "v" |].(pick mod 3)
+          else
+            [|
+              Resource_id.Tuple ("t", [ Value.Int (10 * txn) ]);
+              Resource_id.Tuple ("u", [ Value.Int (10 * txn) ]);
+              Resource_id.Tuple ("v", [ Value.Int ((10 * txn) + 1) ]);
+            |].(pick mod 3)
+        in
+        let mode =
+          if shared then [| Mode.IS; Mode.IX |].(pick mod 2)
+          else [| Mode.S; Mode.X; Mode.A 100; Mode.Comp 10 |].(pick)
+        in
+        Lock_request.make ~txn ~step_type:step ~admission:adm ~compensating:comp mode
+          resource)
+      (tup6 (int_range 1 3) (oneofl [ 0; 10; 11 ]) bool bool bool (int_range 0 3)))
+
+let universe =
+  [ Resource_id.Table "t"; Resource_id.Table "u"; Resource_id.Table "v" ]
+  @ List.concat_map
+      (fun txn ->
+        [
+          Resource_id.Tuple ("t", [ Value.Int (10 * txn) ]);
+          Resource_id.Tuple ("u", [ Value.Int (10 * txn) ]);
+          Resource_id.Tuple ("v", [ Value.Int ((10 * txn) + 1) ]);
+        ])
+      [ 1; 2; 3 ]
+
+let never_wait ~ticket:_ ~txn:_ = assert false
+
+let prop_batch_parity =
+  QCheck2.Test.make
+    ~name:"acquire_batch = canonical singleton sequence, both backends" ~count:300
+    QCheck2.Gen.(pair (oneofl [ 1; 2; 4; 7 ]) (list_size (int_range 0 24) batch_req_gen))
+    (fun (shards, reqs) ->
+      (* sharded: batch vs singleton *)
+      let sha_b = Sharded.create ~shards parity_sem in
+      Sharded.acquire_batch sha_b reqs;
+      let batch_mutex_ops = Sharded.mutex_acquisitions sha_b in
+      let sha_s = Sharded.create ~shards parity_sem in
+      List.iter (Sharded.acquire_req sha_s) (Lock_request.canonicalize reqs);
+      let singleton_mutex_ops = Sharded.mutex_acquisitions sha_s in
+      (* sequential service: batch vs singleton *)
+      let seq_b_t = Lock_table.create parity_sem in
+      let seq_b = Lock_service.of_table ~wait:never_wait ~deliver:ignore seq_b_t in
+      Lock_service.acquire_batch seq_b reqs;
+      let seq_s_t = Lock_table.create parity_sem in
+      let seq_s = Lock_service.of_table ~wait:never_wait ~deliver:ignore seq_s_t in
+      List.iter (Lock_service.acquire seq_s) (Lock_request.canonicalize reqs);
+      let held t res = List.sort compare (Sharded.holders t res) in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun res ->
+          check (held sha_b res = held sha_s res);
+          check
+            (List.sort compare (Lock_table.holders seq_b_t res)
+            = List.sort compare (Lock_table.holders seq_s_t res));
+          (* cross-backend: the sharded end state matches the sequential one *)
+          check (held sha_b res = List.sort compare (Lock_table.holders seq_b_t res)))
+        universe;
+      check (Sharded.lock_count sha_b = Sharded.lock_count sha_s);
+      check (Sharded.lock_count sha_b = Lock_table.lock_count seq_b_t);
+      check (Sharded.waiter_count sha_b = 0 && Sharded.waiter_count sha_s = 0);
+      (* the batch's reason to exist: never more shard-mutex round trips than
+         the singleton sequence (snapshots taken before the state queries
+         above, which also take shard mutexes) *)
+      check (batch_mutex_ops <= singleton_mutex_ops);
+      !ok)
+
+(* A batch whose later member is held elsewhere: earlier members are granted
+   and stay held while the caller blocks, and the batch completes when the
+   blocker leaves — the singleton-equivalent end state. *)
+let test_batch_blocks_then_completes () =
+  (* one shard so the canonical order (r1 before r2) is also the
+     acquisition order — shard groups are walked in shard-index order *)
+  let t = Sharded.create ~shards:1 Mode.no_semantics in
+  let r1 = Resource_id.Tuple ("t", [ Value.Int 1 ]) in
+  let r2 = Resource_id.Tuple ("t", [ Value.Int 2 ]) in
+  Sharded.acquire_req t (Lock_request.make ~txn:1 Mode.X r2);
+  let d =
+    Domain.spawn (fun () ->
+        (* canonical order acquires r1 first, then blocks on r2 *)
+        Sharded.acquire_batch t
+          [ Lock_request.make ~txn:2 Mode.X r2; Lock_request.make ~txn:2 Mode.X r1 ];
+        `Done)
+  in
+  let spins = ref 0 in
+  while Sharded.waiter_count t = 0 && !spins < 5000 do
+    incr spins;
+    Unix.sleepf 0.001
+  done;
+  Alcotest.(check bool) "earlier batch member already held" true
+    (List.exists (fun (txn, m, _) -> txn = 2 && m = Mode.X) (Sharded.holders t r1));
+  ignore (Sharded.release_all t ~txn:1);
+  (match Domain.join d with
+  | `Done -> ()
+  | _ -> Alcotest.fail "batch did not complete");
+  Alcotest.(check bool) "blocked member granted after handoff" true
+    (List.exists (fun (txn, m, _) -> txn = 2 && m = Mode.X) (Sharded.holders t r2));
+  ignore (Sharded.release_all t ~txn:2);
+  Alcotest.(check int) "no residue" 0 (Sharded.lock_count t);
+  Alcotest.(check int) "no waiters" 0 (Sharded.waiter_count t)
+
+(* Deadline expiry mid-batch: the queued member is withdrawn by the sweep and
+   the batch raises [Lock_timeout]; the caller's abort path reclaims the
+   already-granted members and nothing leaks. *)
+let test_batch_deadline_expiry () =
+  let t = Sharded.create ~shards:1 Mode.no_semantics in
+  let r1 = Resource_id.Tuple ("t", [ Value.Int 1 ]) in
+  let r2 = Resource_id.Tuple ("t", [ Value.Int 2 ]) in
+  Sharded.acquire_req t (Lock_request.make ~txn:1 Mode.X r2);
+  let d =
+    Domain.spawn (fun () ->
+        match
+          Sharded.acquire_batch t
+            [
+              Lock_request.make ~txn:2 Mode.X r1;
+              Lock_request.make ~txn:2 ~deadline:(Unix.gettimeofday () +. 0.05) Mode.X r2;
+            ]
+        with
+        | () ->
+            ignore (Sharded.release_all t ~txn:2);
+            `Granted
+        | exception Txn_effect.Lock_timeout ->
+            (* the executor's abort path: release the partial grants *)
+            ignore (Sharded.release_all t ~txn:2);
+            `Timed_out)
+  in
+  let sweeps = ref 0 in
+  while Sharded.timeout_count t = 0 && !sweeps < 5000 do
+    incr sweeps;
+    Unix.sleepf 0.002;
+    ignore (Sharded.expire t ~now:(Unix.gettimeofday ()))
+  done;
+  (match Domain.join d with
+  | `Timed_out -> ()
+  | `Granted -> Alcotest.fail "expected the batch to time out");
+  ignore (Sharded.release_all t ~txn:1);
+  Alcotest.(check int) "no residue locks" 0 (Sharded.lock_count t);
+  Alcotest.(check int) "no residue waiters" 0 (Sharded.waiter_count t);
+  Alcotest.(check int) "one timeout recorded" 1 (Sharded.timeout_count t)
+
 (* --- real-domain blocking ---------------------------------------------- *)
 
 let res_k = Resource_id.Tuple ("t", [ Value.Int 1 ])
 
 let test_blocking_handoff () =
   let t = Sharded.create ~shards:4 Mode.no_semantics in
-  Sharded.acquire t ~txn:1 ~step_type:0 ~admission:false ~compensating:false Mode.X res_k;
+  Sharded.acquire_req t (Lock_request.make ~txn:1 ~step_type:0 Mode.X res_k);
   let acquired = Atomic.make false in
   let d =
     Domain.spawn (fun () ->
-        Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false Mode.X
-          res_k;
+        Sharded.acquire_req t (Lock_request.make ~txn:2 ~step_type:0 Mode.X res_k);
         Atomic.set acquired true;
         ignore (Sharded.release_all t ~txn:2))
   in
@@ -164,15 +319,14 @@ let test_deadlock_kill () =
   and b = Resource_id.Tuple ("u", [ Value.Int 1 ]) in
   let holding = Atomic.make 0 in
   let worker (txn, first, second) =
-    Sharded.acquire t ~txn ~step_type:0 ~admission:false ~compensating:false Mode.X first;
+    Sharded.acquire_req t (Lock_request.make ~txn ~step_type:0 Mode.X first);
     Atomic.incr holding;
     (* wait for the other side to hold its first lock before crossing *)
     while Atomic.get holding < 2 do
       Domain.cpu_relax ()
     done;
     match
-      Sharded.acquire t ~txn ~step_type:0 ~admission:false ~compensating:false Mode.X
-        second
+      Sharded.acquire_req t (Lock_request.make ~txn ~step_type:0 Mode.X second)
     with
     | () ->
         ignore (Sharded.release_all t ~txn);
@@ -189,7 +343,7 @@ let test_deadlock_kill () =
         while !victims = 0 && !attempts < 2000 do
           incr attempts;
           Unix.sleepf 0.002;
-          victims := !victims + Detector.sweep t
+          victims := !victims + Detector.sweep (Sharded.service t)
         done;
         !victims)
   in
@@ -211,11 +365,11 @@ let test_victim_policy_spares_compensation () =
   let a = Resource_id.Tuple ("t", [ Value.Int 1 ])
   and b = Resource_id.Tuple ("u", [ Value.Int 1 ]) in
   (* txn 1 (compensating) holds a, waits for b; txn 2 holds b, waits for a *)
-  Sharded.acquire t ~txn:1 ~step_type:0 ~admission:false ~compensating:false Mode.X a;
-  Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false Mode.X b;
-  ignore (Sharded.request t ~txn:1 ~step_type:0 ~compensating:true Mode.X b);
-  ignore (Sharded.request t ~txn:2 ~step_type:0 Mode.X a);
-  ignore (Detector.sweep t);
+  Sharded.acquire_req t (Lock_request.make ~txn:1 ~step_type:0 Mode.X a);
+  Sharded.acquire_req t (Lock_request.make ~txn:2 ~step_type:0 Mode.X b);
+  ignore (Sharded.submit t (Lock_request.make ~txn:1 ~step_type:0 ~compensating:true Mode.X b));
+  ignore (Sharded.submit t (Lock_request.make ~txn:2 ~step_type:0 Mode.X a));
+  ignore (Detector.sweep (Sharded.service t));
   (* txn 1's wait must survive; txn 2's must have been cancelled *)
   Alcotest.(check int) "compensating wait survives" 1
     (List.length (Sharded.outstanding_tickets t ~txn:1));
@@ -233,13 +387,14 @@ let test_timeout_breaks_cycle () =
   let t = Sharded.create ~shards:4 Mode.no_semantics in
   let a = Resource_id.Tuple ("t", [ Value.Int 1 ])
   and b = Resource_id.Tuple ("u", [ Value.Int 1 ]) in
-  Sharded.acquire t ~txn:1 ~step_type:0 ~admission:false ~compensating:false Mode.X a;
+  Sharded.acquire_req t (Lock_request.make ~txn:1 ~step_type:0 Mode.X a);
   let d =
     Domain.spawn (fun () ->
-        Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false Mode.X b;
+        Sharded.acquire_req t (Lock_request.make ~txn:2 ~step_type:0 Mode.X b);
         match
-          Sharded.acquire t ~txn:2 ~step_type:0 ~admission:false ~compensating:false
-            ~deadline:(Unix.gettimeofday () +. 0.05) Mode.X a
+          Sharded.acquire_req t
+            (Lock_request.make ~txn:2 ~step_type:0
+               ~deadline:(Unix.gettimeofday () +. 0.05) Mode.X a)
         with
         | () ->
             ignore (Sharded.release_all t ~txn:2);
@@ -256,7 +411,7 @@ let test_timeout_breaks_cycle () =
     incr spins;
     Unix.sleepf 0.001
   done;
-  let g = Sharded.request t ~txn:1 ~step_type:0 Mode.X b in
+  let g = Sharded.submit t (Lock_request.make ~txn:1 ~step_type:0 Mode.X b) in
   let sweeps = ref 0 in
   while Sharded.timeout_count t = 0 && !sweeps < 5000 do
     incr sweeps;
@@ -268,7 +423,7 @@ let test_timeout_breaks_cycle () =
   | `Granted -> Alcotest.fail "deadlocked wait was granted");
   Alcotest.(check int) "exactly one timeout" 1 (Sharded.timeout_count t);
   (* the cycle is already broken: detection and victimization find nothing *)
-  Alcotest.(check int) "detector sweep finds no cycle" 0 (Detector.sweep t);
+  Alcotest.(check int) "detector sweep finds no cycle" 0 (Detector.sweep (Sharded.service t));
   Alcotest.(check int) "kill after timeout is a no-op" 0 (Sharded.kill t ~txn:2);
   (* txn 2's release promoted the survivor's queued request *)
   (match g with
@@ -302,7 +457,7 @@ let prop_sharded_bounded_bypass =
               active := !next :: !active;
               let mode = [| Mode.S; Mode.X; Mode.IS; Mode.IX |].(k) in
               let res = if k >= 2 then shard_res.(2) else shard_res.(r mod 2) in
-              ignore (Sharded.request t ~txn:!next ~step_type:0 mode res)
+              ignore (Sharded.submit t (Lock_request.make ~txn:!next ~step_type:0 mode res))
           | 4 | 5 -> (
               match !active with
               | [] -> ()
@@ -436,6 +591,13 @@ let suites =
         Alcotest.test_case "victim policy spares compensating waiter" `Quick
           test_victim_policy_spares_compensation;
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_parity;
+        QCheck_alcotest.to_alcotest
+          ~rand:(Random.State.make [| 0xACC |])
+          prop_batch_parity;
+        Alcotest.test_case "batch blocks mid-footprint, completes on handoff" `Quick
+          test_batch_blocks_then_completes;
+        Alcotest.test_case "deadline expiry mid-batch reclaims cleanly" `Quick
+          test_batch_deadline_expiry;
       ] );
     ( "parallel.overload",
       [

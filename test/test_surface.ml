@@ -9,6 +9,7 @@ module Predicate = Acc_relation.Predicate
 module Ordered_index = Acc_relation.Ordered_index
 module Mode = Acc_lock.Mode
 module Lock_table = Acc_lock.Lock_table
+module Lock_request = Acc_lock.Lock_request
 module Resource_id = Acc_lock.Resource_id
 module Executor = Acc_txn.Executor
 module Schedule = Acc_txn.Schedule
@@ -62,8 +63,8 @@ let test_schema_printer () =
 let test_lock_state_printer () =
   let t = Lock_table.create Mode.no_semantics in
   let res = Resource_id.Tuple ("t", [ v_int 1 ]) in
-  ignore (Lock_table.request t ~txn:1 ~step_type:0 Mode.X res);
-  ignore (Lock_table.request t ~txn:2 ~step_type:0 Mode.S res);
+  ignore (Lock_table.submit t (Lock_request.make ~txn:1 ~step_type:0 Mode.X res));
+  ignore (Lock_table.submit t (Lock_request.make ~txn:2 ~step_type:0 Mode.S res));
   let out = Format.asprintf "%a" Lock_table.pp_state t in
   Alcotest.(check bool) "shows holder" true (contains out "held(T1,X");
   Alcotest.(check bool) "shows waiter" true (contains out "wait(T2,S)");

@@ -8,6 +8,7 @@ module Table = Acc_relation.Table
 module Value = Acc_relation.Value
 module Predicate = Acc_relation.Predicate
 module Executor = Acc_txn.Executor
+module Lock_service = Acc_lock.Lock_service
 module Schedule = Acc_txn.Schedule
 module Runtime = Acc_core.Runtime
 module Program = Acc_core.Program
@@ -192,7 +193,7 @@ let test_each_type_acc () =
     (fun o -> Alcotest.(check bool) "committed" true (o = Runtime.Committed))
     outcomes;
   check_consistent (Executor.db eng);
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 let test_each_type_flat () =
   let eng = Executor.create ~sem:Acc_lock.Mode.no_semantics (Load.populate ~seed:5 params) in
@@ -214,7 +215,7 @@ let test_each_type_flat () =
          | `Aborted -> Alcotest.fail "unexpected abort")
        inputs);
   check_consistent (Executor.db eng);
-  Alcotest.(check int) "locks drained" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "locks drained" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 let test_forced_abort_semantics () =
   (* the 1% rule: under ACC the new-order compensates and leaves a cancelled
@@ -437,7 +438,7 @@ let prop_concurrent_mix_consistent =
       in
       Schedule.run ~policy:Runtime.victim_policy eng fibers;
       Consistency.check (Executor.db eng) = []
-      && Lock_table.lock_count (Executor.locks eng) = 0)
+      && Lock_service.lock_count (Executor.lock_service eng) = 0)
 
 let suites =
   [

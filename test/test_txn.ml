@@ -11,6 +11,7 @@ module Predicate = Acc_relation.Predicate
 module Mode = Acc_lock.Mode
 module Resource_id = Acc_lock.Resource_id
 module Lock_table = Acc_lock.Lock_table
+module Lock_service = Acc_lock.Lock_service
 
 let v_int n = Value.Int n
 
@@ -58,7 +59,7 @@ let test_flat_commit () =
     ];
   Alcotest.(check int) "debited" 70 (balance eng 1);
   Alcotest.(check int) "credited" 80 (balance eng 2);
-  Alcotest.(check int) "no locks leaked" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "no locks leaked" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 let test_insert_delete_ops () =
   let eng = fresh_engine [ (1, 10) ] in
@@ -89,7 +90,7 @@ let test_abort_restores () =
   Alcotest.(check int) "balance restored" 100 (balance eng 1);
   Alcotest.(check bool) "insert undone" false
     (Table.mem (Database.table (Executor.db eng) "accounts") [ v_int 5 ]);
-  Alcotest.(check int) "no locks leaked" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "no locks leaked" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 let test_log_contents () =
   let eng = fresh_engine [ (1, 100) ] in
@@ -283,7 +284,7 @@ let test_deadlock_detected_and_resolved () =
   (* both transactions eventually applied both updates *)
   Alcotest.(check int) "account 1 total" 2 (balance eng 1);
   Alcotest.(check int) "account 2 total" 2 (balance eng 2);
-  Alcotest.(check int) "no locks leaked" 0 (Lock_table.lock_count (Executor.locks eng))
+  Alcotest.(check int) "no locks leaked" 0 (Lock_service.lock_count (Executor.lock_service eng))
 
 let test_no_deadlock_same_order () =
   let eng = fresh_engine [ (1, 0); (2, 0) ] in
@@ -426,7 +427,7 @@ let prop_2pl_serializable =
       in
       Schedule.run eng (List.map fiber txn_specs);
       Serializability.conflict_serializable checker
-      && Lock_table.lock_count (Executor.locks eng) = 0)
+      && Lock_service.lock_count (Executor.lock_service eng) = 0)
 
 (* property: concurrent random transfers conserve total balance *)
 let prop_transfers_conserve_money =

@@ -90,6 +90,53 @@ let test_log_save_load () =
       Alcotest.(check int) "length survives" (Log.length log) (Log.length log');
       Alcotest.(check bool) "records survive" true (Log.to_list log = Log.to_list log'))
 
+(* the header check must turn each corruption class into its own message,
+   not a marshal crash *)
+let test_log_load_rejects () =
+  let with_file content f =
+    let path = Filename.temp_file "acc_log" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        content oc;
+        close_out oc;
+        f path)
+  in
+  let expect_failure label substring path =
+    match Log.load path with
+    | (_ : Log.t) -> Alcotest.failf "%s: load succeeded" label
+    | exception Failure msg ->
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec scan i = i + ln <= lh && (String.sub hay i ln = needle || scan (i + 1)) in
+          scan 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S mentions %S" label msg substring)
+          true (contains msg substring)
+  in
+  (* a foreign file: wrong magic *)
+  with_file (fun oc -> output_string oc "not a log at all")
+    (expect_failure "foreign" "not a WAL file");
+  (* shorter than the header *)
+  with_file (fun oc -> output_string oc "ACC")
+    (expect_failure "short" "not a WAL file");
+  (* right magic, unreadable version *)
+  with_file (fun oc -> output_string oc "ACCWAL\x00\x00")
+    (expect_failure "truncated" "truncated");
+  (* right magic, wrong version *)
+  with_file (fun oc ->
+      output_string oc "ACCWAL\x00\x00";
+      output_binary_int oc 999)
+    (expect_failure "version" "version 999");
+  (* right header, corrupt payload *)
+  with_file (fun oc ->
+      output_string oc "ACCWAL\x00\x00";
+      output_binary_int oc 1;
+      output_string oc "garbage")
+    (expect_failure "corrupt" "unreadable")
+
 (* --- Record ------------------------------------------------------------- *)
 
 let test_record_invert () =
@@ -467,6 +514,7 @@ let suites =
         Alcotest.test_case "growth" `Quick test_log_growth;
         Alcotest.test_case "prefix/since" `Quick test_log_prefix;
         Alcotest.test_case "save/load" `Quick test_log_save_load;
+        Alcotest.test_case "load rejects foreign/corrupt files" `Quick test_log_load_rejects;
       ] );
     ( "wal.record",
       [

@@ -11,7 +11,29 @@ module Histogram = Acc_util.Metrics.Histogram
 module CA = Acc_obs.Conflict_accounting
 module P = Acc_tpcc.Parallel_driver
 
-let schema_version = 1
+let schema_version = 2
+
+(* Build identity for trend tooling: without it, two BENCH files from
+   different checkouts are indistinguishable.  Never fails the bench run —
+   a non-git checkout just reports "unknown". *)
+let git_describe =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match (Unix.close_process_in ic, line) with
+       | Unix.WEXITED 0, d when d <> "" -> d
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+(* Experiment context stamped into every result cell, so each cell is
+   self-describing even when cut loose from the file that held it. *)
+let meta_fields ~warehouses ~domains =
+  [
+    ("warehouses", Json.Int warehouses);
+    ("domains", Json.Int domains);
+    ("git_describe", Json.Str (Lazy.force git_describe));
+  ]
 
 let pct t p = Tally.percentile t p
 
@@ -76,9 +98,15 @@ let figure_json (f : Figures.figure) =
              f.Figures.series) );
     ]
 
-let parallel_report_json (r : P.report) =
+let parallel_report_json ?cfg (r : P.report) =
+  let meta =
+    match cfg with
+    | Some c -> meta_fields ~warehouses:c.P.params.Acc_tpcc.Params.warehouses ~domains:c.P.domains
+    | None -> []
+  in
   Json.Obj
-    [
+    (meta
+    @ [
       ("committed", Json.Int r.P.committed);
       ("throughput", Json.Float r.P.throughput);
       ("elapsed", Json.Float r.P.elapsed);
@@ -125,7 +153,7 @@ let parallel_report_json (r : P.report) =
                      :: List.filter (fun (k, _) -> k <> "label" && k <> "step_type") fields)
                | j -> j)
              (P.conflicts_by_txn_type r.P.conflicts)) );
-    ]
+      ])
 
 let write ~mode sections =
   let path = Printf.sprintf "BENCH_%s.json" mode in
@@ -137,5 +165,6 @@ let write ~mode sections =
         (Json.Obj
            (("schema_version", Json.Int schema_version)
            :: ("mode", Json.Str mode)
+           :: ("git_describe", Json.Str (Lazy.force git_describe))
            :: sections)));
   Format.printf "@.wrote %s@." path

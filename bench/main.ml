@@ -97,9 +97,9 @@ let run_parallel ~quick =
   let cells =
     List.map
       (fun domains ->
-        let run system = P.run { base with P.system; domains } in
-        let acc = run P.Acc in
-        let bl = run P.Baseline in
+        let cfg system = { base with P.system; domains } in
+        let acc = P.run (cfg P.Acc) in
+        let bl = P.run (cfg P.Baseline) in
         (match (acc.P.violations, bl.P.violations) with
         | [], [] -> ()
         | va, vb ->
@@ -111,8 +111,8 @@ let run_parallel ~quick =
         Json.Obj
           [
             ("domains", Json.Int domains);
-            ("acc", Bench_json.parallel_report_json acc);
-            ("twopl", Bench_json.parallel_report_json bl);
+            ("acc", Bench_json.parallel_report_json ~cfg:(cfg P.Acc) acc);
+            ("twopl", Bench_json.parallel_report_json ~cfg:(cfg P.Baseline) bl);
             ( "throughput_ratio",
               Json.Float
                 (if bl.P.throughput > 0. then acc.P.throughput /. bl.P.throughput else nan) );
@@ -123,17 +123,17 @@ let run_parallel ~quick =
      "ACC passed where 2PL would block" numbers land in the JSON (the sweep
      cells above run clean to keep the trajectory numbers honest) *)
   let inst_domains = 2 in
-  let inst =
-    P.run
-      {
-        base with
-        P.system = P.Acc;
-        domains = inst_domains;
-        duration = 0.;
-        txns_per_domain = Some (if quick then 100 else 300);
-        accounting = true;
-      }
+  let inst_cfg =
+    {
+      base with
+      P.system = P.Acc;
+      domains = inst_domains;
+      duration = 0.;
+      txns_per_domain = Some (if quick then 100 else 300);
+      accounting = true;
+    }
   in
+  let inst = P.run inst_cfg in
   Format.fprintf ppf "@.--- instrumented cell (accounting on, %d domains) ---@." inst_domains;
   Acc_obs.Conflict_accounting.pp_table ppf ~label:P.step_label ~header:"lock decisions"
     inst.P.conflicts;
@@ -143,7 +143,7 @@ let run_parallel ~quick =
       Json.Obj
         [
           ("domains", Json.Int inst_domains);
-          ("acc", Bench_json.parallel_report_json inst);
+          ("acc", Bench_json.parallel_report_json ~cfg:inst_cfg inst);
         ] );
   ]
 
@@ -198,7 +198,7 @@ let run_overload ~quick =
             ("deadline_ms", Json.Float (deadline *. 1000.));
             ("shed_watermark", Json.Float 200.);
             ("shed_rate", Json.Float shed_rate);
-            ("report", Bench_json.parallel_report_json r);
+            ("report", Bench_json.parallel_report_json ~cfg r);
           ] );
     ]
   in
@@ -237,7 +237,8 @@ let run_batch ~quick =
     per_domain;
   Format.fprintf ppf "%12s %12s %14s %12s@." "mode" "txn/s" "mutex acqs" "acqs/txn";
   let cell name options =
-    let r = P.run { base with P.acc_options = options } in
+    let cfg = { base with P.acc_options = options } in
+    let r = P.run cfg in
     let per_txn =
       float_of_int r.P.mutex_acquisitions /. float_of_int (max 1 r.P.committed)
     in
@@ -246,21 +247,21 @@ let run_batch ~quick =
     if r.P.violations <> [] then
       Format.fprintf ppf "!! %d consistency violations in the %s cell@."
         (List.length r.P.violations) name;
-    (r, per_txn)
+    (cfg, r, per_txn)
   in
-  let singleton, s_per = cell "singleton" Runtime.default_options in
-  let batched, b_per =
+  let s_cfg, singleton, s_per = cell "singleton" Runtime.default_options in
+  let b_cfg, batched, b_per =
     cell "batched" { Runtime.default_options with Runtime.batch_footprints = true }
   in
   Format.fprintf ppf "  mutex acquisitions per txn: %.1f -> %.1f (%.2fx)@." s_per b_per
     (if b_per > 0. then s_per /. b_per else nan);
   Format.fprintf ppf "  throughput:                 %.1f -> %.1f txn/s@."
     singleton.P.throughput batched.P.throughput;
-  let cell_json (r, per_txn) =
+  let cell_json (cfg, r, per_txn) =
     Json.Obj
       [
         ("mutex_acquisitions_per_txn", Json.Float per_txn);
-        ("report", Bench_json.parallel_report_json r);
+        ("report", Bench_json.parallel_report_json ~cfg r);
       ]
   in
   [
@@ -269,8 +270,8 @@ let run_batch ~quick =
         [
           ("domains", Json.Int domains);
           ("txns_per_domain", Json.Int per_domain);
-          ("singleton", cell_json (singleton, s_per));
-          ("batched", cell_json (batched, b_per));
+          ("singleton", cell_json (s_cfg, singleton, s_per));
+          ("batched", cell_json (b_cfg, batched, b_per));
           ( "mutex_reduction",
             Json.Float (if b_per > 0. then s_per /. b_per else nan) );
           ( "throughput_ratio",
@@ -620,6 +621,67 @@ let run_recovery ~quick =
         ] );
   ]
 
+(* ---------- partitioned 2PC bench -------------------------------------- *)
+
+(* Throughput versus partition count with the cross-partition 2PC tax in
+   view: each cell reports the cross-partition fraction and the prepare-
+   window hold time (how long a branch's locks stay pinned across the
+   prepare/decide exchange).  The sweep holds the load fixed at 8 warehouses
+   and varies only the partitioning, so cell-to-cell deltas are the cost of
+   distribution, not of scale.  Exits non-zero on merged-database
+   violations. *)
+let run_dist ~quick =
+  let module D = Acc_dist.Dist_driver in
+  let module Tally = Acc_util.Stats.Tally in
+  let module Params = Acc_tpcc.Params in
+  let seconds = if quick then 1.0 else 3.0 in
+  let params = { Params.default with Params.warehouses = 8 } in
+  let base = { D.default_config with D.duration = seconds; domains = 4; params } in
+  Format.fprintf ppf "@.=== dist: partitioned TPC-C under 2PC (%.1fs per cell) ===@."
+    seconds;
+  Format.fprintf ppf "%10s %10s %12s %10s %16s@." "partitions" "txn/s" "cross-frac"
+    "aborts" "prep-hold p95 ms";
+  let failures = ref 0 in
+  let cells =
+    List.map
+      (fun partitions ->
+        let r = D.run { base with D.partitions } in
+        if r.D.violations <> [] then begin
+          incr failures;
+          List.iter (fun v -> Format.fprintf ppf "  violation: %s@." v) r.D.violations
+        end;
+        Format.fprintf ppf "%10d %10.1f %12.3f %10d %16.3f@." partitions r.D.throughput
+          r.D.cross_fraction r.D.cross_aborted
+          (1000. *. Tally.percentile r.D.prepare_hold 0.95);
+        Json.Obj
+          (Bench_json.meta_fields ~warehouses:params.Params.warehouses
+             ~domains:base.D.domains
+          @ [
+              ("partitions", Json.Int partitions);
+              ("committed", Json.Int r.D.committed);
+              ("single_committed", Json.Int r.D.single_committed);
+              ("cross_committed", Json.Int r.D.cross_committed);
+              ("cross_aborted", Json.Int r.D.cross_aborted);
+              ("compensations", Json.Int r.D.compensations);
+              ("cross_attempted", Json.Int r.D.cross_attempted);
+              ("cross_fraction", Json.Float r.D.cross_fraction);
+              ("throughput", Json.Float r.D.throughput);
+              ("elapsed", Json.Float r.D.elapsed);
+              ("prepare_hold", Bench_json.tally_json r.D.prepare_hold);
+              ("violations", Json.Int (List.length r.D.violations));
+              ( "partition_committed",
+                Json.List (List.map (fun c -> Json.Int c) r.D.partition_committed) );
+            ]))
+      [ 1; 2; 4; 8 ]
+  in
+  let json = [ ("cells", Json.List cells) ] in
+  if !failures > 0 then begin
+    Bench_json.write ~mode:"dist" json;
+    Format.fprintf ppf "!! dist run left consistency violations@.";
+    exit 1
+  end;
+  json
+
 let figures_json figs =
   ("figures", Json.List (List.map Bench_json.figure_json figs))
 
@@ -647,9 +709,11 @@ let () =
   | "obs-gate" -> run_obs_gate ()
   | "recovery" -> Bench_json.write ~mode (run_recovery ~quick:false)
   | "recovery-quick" -> Bench_json.write ~mode (run_recovery ~quick:true)
+  | "dist" -> Bench_json.write ~mode (run_dist ~quick:false)
+  | "dist-quick" -> Bench_json.write ~mode:"dist" (run_dist ~quick:true)
   | other ->
       Format.eprintf
         "unknown mode %s \
-         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|batch|obs-gate|recovery)@."
+         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|batch|obs-gate|recovery|dist)@."
         other;
       exit 2

@@ -9,7 +9,29 @@
 
 open Cmdliner
 module Harness = Acc_tpcc.Crash_harness
+module Dist = Acc_dist.Dist_harness
 module Fault = Acc_fault.Fault
+
+(* Partitioned mode (--dist): same sweep/chaos surface, but the system under
+   test is N partitions behind the 2PC coordinator and the oracle is
+   no-lost-decision (DESIGN.md §15). *)
+let report_dist results =
+  List.iter (fun r -> Format.printf "%a@." Dist.pp_result r) results;
+  let failures = List.filter Dist.failed results in
+  let crashes = List.fold_left (fun acc r -> acc + r.Dist.r_crashes) 0 results in
+  Format.printf "%d run(s), %d crash(es) injected, %d failure(s)@." (List.length results)
+    crashes (List.length failures);
+  if failures <> [] then exit 1
+
+let run_dist ~partitions ~txns ~chaos_p ~hits ~seed ~verbose ~chaos ~seeds =
+  let config =
+    { Dist.default_config with Dist.partitions; txns; chaos_p; hits_per_point = hits; seed; verbose }
+  in
+  let results =
+    if chaos then List.map (fun seed -> Dist.chaos ~config ~seed ()) seeds
+    else Dist.sweep ~config ()
+  in
+  report_dist results
 
 let report results =
   List.iter (fun r -> Format.printf "%a@." Harness.pp_result r) results;
@@ -20,12 +42,17 @@ let report results =
   if failures <> [] then exit 1
 
 let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_every hits seed
-    verbose =
+    verbose dist partitions =
   (* registration happens at module-init of the code under test; touching the
      harness module links everything *)
   ignore Harness.default_config;
+  ignore Dist.default_config;
   if list_points then
     List.iter print_endline (Fault.registered ())
+  else if dist then begin
+    if point <> None then failwith "--point is not supported with --dist (sweep covers every point)";
+    run_dist ~partitions ~txns ~chaos_p ~hits ~seed ~verbose ~chaos ~seeds
+  end
   else begin
     (* ACC_TRACE / ACC_TRACE_CHROME collect a lock-decision trace of the whole
        run — including the recoveries — for post-mortem on a failed seed *)
@@ -82,12 +109,18 @@ let hits =
 let seed = Arg.(value & opt int Harness.default_config.Harness.seed & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Narrate each crash and recovery.")
 
+let dist =
+  Arg.(value & flag & info [ "dist" ] ~doc:"Partitioned system under test: crash the 2PC coordinator paths and check the no-lost-decision oracle.")
+
+let partitions =
+  Arg.(value & opt int Dist.default_config.Dist.partitions & info [ "partitions" ] ~docv:"N" ~doc:"Partition count in --dist mode.")
+
 let cmd =
   let doc = "crash TPC-C at registered fault points, recover, check invariants" in
   Cmd.v
     (Cmd.info "acc-crash-restart" ~doc)
     Term.(
       const main $ list_points $ point $ hit $ chaos $ seeds $ txns $ chaos_p $ step_fault_p
-      $ checkpoint_every $ hits $ seed $ verbose)
+      $ checkpoint_every $ hits $ seed $ verbose $ dist $ partitions)
 
 let () = exit (Cmd.eval cmd)

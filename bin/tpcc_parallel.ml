@@ -33,7 +33,39 @@ let run_one cfg =
   List.iter (fun v -> Format.printf "  violation: %s@." v) r.P.violations;
   r
 
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints trace trace_chrome =
+(* Partitioned mode (--partitions): N isolated partition engines behind the
+   2PC coordinator (lib/dist).  The single-node knobs that have no
+   partitioned counterpart (system/shards/skew/mix/admission) are ignored;
+   the run always checks the merged database. *)
+let run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compute_ms
+    ~seed ~deadline_ms ~batch_footprints =
+  let module D = Acc_dist.Dist_driver in
+  let cfg =
+    {
+      D.seed;
+      domains;
+      partitions;
+      duration = seconds;
+      txns_per_domain = txns;
+      think_mean = think_ms /. 1000.;
+      compute_between = compute_ms /. 1000.;
+      params;
+      lock_deadline =
+        (match deadline_ms with
+        | Some ms -> Some (ms /. 1000.)
+        | None -> D.default_config.D.lock_deadline);
+      acc_options =
+        { D.default_config.D.acc_options with Acc_core.Runtime.batch_footprints };
+    }
+  in
+  let r = D.run cfg in
+  Format.printf "== partitioned domains=%d partitions=%d warehouses=%d seed=%d ==@."
+    domains partitions params.Acc_tpcc.Params.warehouses seed;
+  Format.printf "%a@." D.pp_report r;
+  List.iter (fun v -> Format.printf "  violation: %s@." v) r.D.violations;
+  if r.D.violations <> [] then exit 1
+
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints partitions trace trace_chrome =
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
   let mix =
     match mix with
@@ -51,6 +83,13 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
   (* ACC_CRASHPOINT / ACC_STEP_FAULTS arm fault injection (see RECOVERY.md) *)
   Acc_fault.Fault.configure_from_env ();
   let ts = Trace_setup.configure ~jsonl:trace ~chrome:trace_chrome () in
+  (match partitions with
+  | Some partitions ->
+      run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compute_ms
+        ~seed ~deadline_ms ~batch_footprints;
+      Trace_setup.finish ts;
+      exit 0
+  | None -> ());
   let cfg =
     {
       P.default_config with
@@ -195,6 +234,17 @@ let batch_footprints =
               canonically-ordered call (one shard-mutex round trip per shard \
               touched) instead of lock by lock.")
 
+let partitions =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "partitions" ] ~docv:"N"
+        ~doc:"Partitioned mode: split the warehouses across N isolated \
+              partition engines behind a two-phase-commit coordinator \
+              (lib/dist); cross-partition transactions run as 2PC branch \
+              programs.  Ignores --system/--shards/--skew/--mix and the \
+              admission knobs.")
+
 let trace =
   Arg.(
     value
@@ -217,6 +267,7 @@ let cmd =
     Term.(
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
       $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ deadline_ms
-      $ max_inflight $ shed_watermark $ batch_footprints $ trace $ trace_chrome)
+      $ max_inflight $ shed_watermark $ batch_footprints $ partitions $ trace
+      $ trace_chrome)
 
 let () = exit (Cmd.eval cmd)

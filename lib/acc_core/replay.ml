@@ -91,3 +91,47 @@ let replay_one eng (p : Recovery.pending) =
 let replay_pending eng (report : Recovery.report) =
   List.iter (replay_one eng) report.Recovery.pending;
   List.length report.Recovery.pending
+
+(* In-doubt 2PC participants resolve from the coordinator's decision, not on
+   their own: commit finishes the adopted branch directly; abort runs the
+   registered compensating handler exactly as [replay_one] would.  Either
+   way [adopt_in_doubt] re-logged the Prepare record first, so a crash
+   mid-resolution re-derives the same in-doubt obligation (and a commit
+   decision, being read again from the decision log, is never undone). *)
+let resolve_in_doubt eng ~commit (d : Recovery.in_doubt) =
+  let adopt () =
+    Executor.adopt_in_doubt eng ~txn:d.Recovery.i_txn ~txn_type:d.Recovery.i_txn_type
+      ~completed_steps:d.Recovery.i_completed_steps ~area:d.Recovery.i_area
+      ~gid:d.Recovery.i_gid
+  in
+  (if commit then begin
+     let ctx = adopt () in
+     Executor.commit ctx
+   end
+   else
+     match Hashtbl.find_opt registry d.Recovery.i_txn_type with
+     | None ->
+         failwith
+           (Printf.sprintf "Replay: no compensation handler registered for %s (txn %d)"
+              d.Recovery.i_txn_type d.Recovery.i_txn)
+     | Some (step_type, handler) ->
+         let ctx = adopt () in
+         Fault.trip cp_comp_begin;
+         Executor.set_compensating ctx true;
+         Executor.set_step ctx ~step_type ~step_index:(d.Recovery.i_completed_steps + 1);
+         with_inline_scheduler (fun () ->
+             let rec attempt n =
+               try
+                 Fault.step_trip ();
+                 handler ctx ~completed:d.Recovery.i_completed_steps ~area:d.Recovery.i_area
+               with Txn_effect.Deadlock_victim | Fault.Step_fault ->
+                 Executor.rollback_current_step ctx;
+                 Txn_effect.yield ~attempt:n ();
+                 attempt (n + 1)
+             in
+             attempt 1;
+             Executor.end_step ctx ~comp_area:None;
+             Executor.finish_compensated ctx));
+  if Acc_obs.Trace.enabled () then
+    Acc_obs.Trace.emit
+      (Acc_obs.Trace.Resolve { txn = d.Recovery.i_txn; gid = d.Recovery.i_gid; commit })

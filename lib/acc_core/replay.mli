@@ -39,3 +39,12 @@ val replay_one : Acc_txn.Executor.t -> Acc_wal.Recovery.pending -> unit
 val replay_pending : Acc_txn.Executor.t -> Acc_wal.Recovery.report -> int
 (** [replay_one] for every pending transaction of the report, in report
     order; returns how many were compensated. *)
+
+val resolve_in_doubt : Acc_txn.Executor.t -> commit:bool -> Acc_wal.Recovery.in_doubt -> unit
+(** Resolve one in-doubt 2PC participant branch according to its
+    coordinator's decision: [commit:true] adopts the branch
+    ({!Acc_txn.Executor.adopt_in_doubt}, which re-logs the Prepare record
+    for crash idempotence) and commits it; [commit:false] — an explicit
+    abort decision or presumed abort — runs its registered compensation
+    handler under the replay protocol.  Emits a [resolve] trace event.
+    Raises [Failure] on abort if no handler is registered for the type. *)

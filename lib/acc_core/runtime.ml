@@ -169,12 +169,23 @@ let compensate ctx inst ~completed =
         Compensated { completed_steps = completed }
   end
 
-let run ?(options = default_options) ?abort_at ?stop eng inst =
+(* Admission plus the per-step loop, stopping short of the commit decision:
+   [Error outcome] when the instance failed (compensated) along the way,
+   [Ok ctx] with every step completed, conventional locks released at the
+   last step boundary, and the until-commit assertional and compensation
+   locks still held.  [run] commits immediately; [prepare] interposes the
+   2PC vote, leaving the transaction open across the in-doubt window. *)
+let run_steps ?(options = default_options) ?abort_at ?stop eng inst =
   let n_steps = Array.length inst.Program.i_steps in
-  let multi_step = n_steps > 1 in
+  let needs_comp = Option.is_some inst.Program.i_compensate in
+  (* [multi_step] is recovery's "compensable ACC program" flag: a loser with
+     a durable completed step must go to compensation replay.  That covers
+     single-step programs too when they declare a compensating step (the
+     partitioned branch programs) — their one completed step is durable the
+     moment its step-end record is, and only compensation can take it back. *)
+  let multi_step = n_steps > 1 || needs_comp in
   let ctx = Executor.begin_txn eng ~txn_type:inst.Program.i_def.Program.tt_name ~multi_step in
   let stopped () = match stop with Some f -> f () | None -> false in
-  let needs_comp = Option.is_some inst.Program.i_compensate in
   let outcome = ref None in
   (try
      (* --- admission: lock pre(S_1) ------------------------------------- *)
@@ -309,12 +320,40 @@ let run ?(options = default_options) ?abort_at ?stop eng inst =
      done
    with Exit -> ());
   match !outcome with
-  | Some o -> o
+  | Some o -> Error o
   | None ->
       if options.verify_assertions then
         verify_active_assertions eng inst ~txn:(Executor.txn_id ctx) ~at_step:n_steps;
+      Ok ctx
+
+let run ?options ?abort_at ?stop eng inst =
+  match run_steps ?options ?abort_at ?stop eng inst with
+  | Error o -> o
+  | Ok ctx ->
       Executor.commit ctx;
       Committed
+
+type prepared = { pr_ctx : Executor.ctx; pr_inst : Program.instance; pr_txn : int }
+
+let prepare ?options ?stop eng inst ~gid =
+  if Option.is_none inst.Program.i_compensate then
+    invalid_arg
+      (inst.Program.i_def.Program.tt_name
+      ^ ": a 2PC participant branch must declare a compensating step");
+  match run_steps ?options ?stop eng inst with
+  | Error o -> Error o
+  | Ok ctx ->
+      Executor.prepare ctx ~gid;
+      Ok { pr_ctx = ctx; pr_inst = inst; pr_txn = Executor.txn_id ctx }
+
+let prepared_txn p = p.pr_txn
+let commit_prepared p = Executor.commit p.pr_ctx
+
+let abort_prepared p =
+  (* distributed cancel: every step completed, so this is always the logical
+     path — the compensating step, exactly as [run ~abort_at:n] takes it *)
+  ignore
+    (compensate p.pr_ctx p.pr_inst ~completed:(Array.length p.pr_inst.Program.i_steps))
 
 let run_legacy ?(options = default_options) ?stop eng ~txn_type body =
   ignore options;

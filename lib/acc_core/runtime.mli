@@ -76,6 +76,43 @@ val run :
     ([Txn_effect.Lock_timeout]) take the same retry-then-compensate path as
     deadlock victims. *)
 
+(** {1 Two-phase-commit participation}
+
+    A cross-partition transaction's branch on one partition runs all its
+    steps, then {e prepares} instead of committing: the [Prepare] record is
+    the branch's durable yes-vote, and the until-commit assertional locks
+    plus the compensation locks stay held across the in-doubt window (the
+    conventional locks were already released at the last step boundary, as
+    always).  The coordinator later applies its decision with
+    {!commit_prepared} or {!abort_prepared} — the latter runs the
+    compensating step, ACC's logical undo, as the distributed cancel. *)
+
+type prepared
+(** A branch that has voted yes and awaits the coordinator's decision. *)
+
+val prepare :
+  ?options:options ->
+  ?stop:(unit -> bool) ->
+  Acc_txn.Executor.t ->
+  Program.instance ->
+  gid:int ->
+  (prepared, outcome) result
+(** Run every step of the instance, then vote.  [Error outcome] means the
+    branch failed before the vote (deadlock past the retry budget, timeout,
+    programmatic abort) and has already rolled itself back — the coordinator
+    must abort the sibling branches.  The instance must declare a
+    compensating step: a prepared branch may still be told to abort. *)
+
+val prepared_txn : prepared -> int
+(** The branch's local transaction id. *)
+
+val commit_prepared : prepared -> unit
+(** Apply a commit decision: log [Commit], release everything. *)
+
+val abort_prepared : prepared -> unit
+(** Apply an abort decision: run the compensating step over all completed
+    steps, log [Abort], release everything. *)
+
 val run_legacy :
   ?options:options ->
   ?stop:(unit -> bool) ->

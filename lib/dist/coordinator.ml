@@ -1,0 +1,185 @@
+(* Two-phase commit over ACC partitions.
+
+   A cross-partition transaction is a set of per-partition branches, each a
+   normal ACC program instance.  The coordinator drives them through
+   prepare/decide/apply:
+
+   - branches prepare in ascending partition-id order ([Runtime.prepare]
+     runs every step, logs the Prepare vote, and keeps the assertional and
+     compensation locks held across the in-doubt window — the conventional
+     locks were already released at each step boundary, so the prepare
+     window pins only what ACC would pin anyway);
+   - the decision is durable once it is in the decision log (the
+     coordinator's analogue of a commit record); no logged decision means
+     abort — presumed abort, so a crash before logging needs no cleanup;
+   - commit applies [Runtime.commit_prepared] per branch; abort applies
+     [Runtime.abort_prepared], i.e. compensation replay, ACC's logical undo,
+     as the distributed cancel path.
+
+   Crash points:
+   - "dist.prepare"          (in Executor.prepare: vote logged, locks held)
+   - "dist.decide"           (decision chosen, not yet durable -> presumed
+                              abort on recovery)
+   - "dist.decision.durable" (decision durable, participants untold -> the
+                              decision log resolves the in-doubt branches) *)
+
+module Runtime = Acc_core.Runtime
+module Replay = Acc_core.Replay
+module Program = Acc_core.Program
+module Recovery = Acc_wal.Recovery
+module Fault = Acc_fault.Fault
+module Trace = Acc_obs.Trace
+module Stats = Acc_util.Stats
+
+let cp_decide = Fault.register "dist.decide"
+let cp_decision_durable = Fault.register "dist.decision.durable"
+
+type decision = Commit | Abort
+
+module Decision_log = struct
+  type t = { mu : Mutex.t; tbl : (int, decision) Hashtbl.t }
+
+  let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+
+  let record t ~gid d =
+    Mutex.lock t.mu;
+    Hashtbl.replace t.tbl gid d;
+    Mutex.unlock t.mu
+
+  let lookup t ~gid =
+    Mutex.lock t.mu;
+    let r = Hashtbl.find_opt t.tbl gid in
+    Mutex.unlock t.mu;
+    r
+
+  let size t =
+    Mutex.lock t.mu;
+    let n = Hashtbl.length t.tbl in
+    Mutex.unlock t.mu;
+    n
+
+  let max_gid t =
+    Mutex.lock t.mu;
+    let m = Hashtbl.fold (fun gid _ m -> max gid m) t.tbl 0 in
+    Mutex.unlock t.mu;
+    m
+end
+
+type t = {
+  parts : Partition.t array;
+  log : Decision_log.t;
+  next_gid : int Atomic.t;
+  committed : int Atomic.t;
+  aborted : int Atomic.t;
+  stats_mu : Mutex.t;
+  prepare_hold : Stats.Tally.t;  (* seconds, guarded by stats_mu *)
+}
+
+(* [first_gid] matters when rebuilding after a crash: a fresh gid counter
+   restarting at 1 could collide with a stale in-doubt branch's gid and make
+   an old decision-log entry speak for a new transaction.  Restart above the
+   watermark of every surviving gid (decision log + prepared WAL records). *)
+let create ?log ?(first_gid = 1) parts =
+  if Array.length parts = 0 then invalid_arg "Coordinator.create: no partitions";
+  let sorted = Array.copy parts in
+  Array.sort (fun a b -> compare (Partition.id a) (Partition.id b)) sorted;
+  let log = match log with Some l -> l | None -> Decision_log.create () in
+  {
+    parts = sorted;
+    log;
+    next_gid = Atomic.make (max first_gid (Decision_log.max_gid log + 1));
+    committed = Atomic.make 0;
+    aborted = Atomic.make 0;
+    stats_mu = Mutex.create ();
+    prepare_hold = Stats.Tally.create ();
+  }
+
+let partitions t = t.parts
+let decision_log t = t.log
+
+let partition_of t w =
+  let rec find i =
+    if i >= Array.length t.parts then
+      invalid_arg (Printf.sprintf "Coordinator.partition_of: warehouse %d unowned" w)
+    else if Partition.owns t.parts.(i) w then t.parts.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let decision_of t ~gid = Decision_log.lookup t.log ~gid
+
+let cross_committed t = Atomic.get t.committed
+let cross_aborted t = Atomic.get t.aborted
+
+let prepare_hold_snapshot t =
+  Mutex.lock t.stats_mu;
+  let s = Stats.Tally.merge t.prepare_hold (Stats.Tally.create ()) in
+  Mutex.unlock t.stats_mu;
+  s
+
+let record_hold t dt =
+  Mutex.lock t.stats_mu;
+  Stats.Tally.add t.prepare_hold dt;
+  Mutex.unlock t.stats_mu
+
+type outcome = Committed | Aborted
+
+(* Prepare every branch in ascending partition-id order (a global acquisition
+   order, so two cross transactions cannot deadlock on partitions), then
+   decide, log, and apply.  Any branch failing before its vote has already
+   rolled itself back; its prepared predecessors get the abort decision. *)
+let run_cross ?options ?stop t branches =
+  if branches = [] then invalid_arg "Coordinator.run_cross: no branches";
+  let branches =
+    List.sort
+      (fun (p1, _) (p2, _) -> compare (Partition.id p1) (Partition.id p2))
+      branches
+  in
+  let gid = Atomic.fetch_and_add t.next_gid 1 in
+  let t0 = Unix.gettimeofday () in
+  let prepared, all_voted =
+    List.fold_left
+      (fun (acc, ok) (part, inst) ->
+        if not ok then (acc, false)
+        else
+          match Runtime.prepare ?options ?stop (Partition.engine part) inst ~gid with
+          | Ok p -> (p :: acc, true)
+          | Error _ -> (acc, false))
+      ([], true) branches
+  in
+  let prepared = List.rev prepared in
+  let commit = all_voted in
+  Fault.trip cp_decide;
+  Decision_log.record t.log ~gid (if commit then Commit else Abort);
+  Fault.trip cp_decision_durable;
+  if Trace.enabled () then
+    Trace.emit (Trace.Decide { gid; commit; participants = List.length branches });
+  List.iter
+    (fun p ->
+      if commit then Runtime.commit_prepared p else Runtime.abort_prepared p)
+    prepared;
+  record_hold t (Unix.gettimeofday () -. t0);
+  if commit then begin
+    Atomic.incr t.committed;
+    Committed
+  end
+  else begin
+    Atomic.incr t.aborted;
+    Aborted
+  end
+
+(* Recovery-side resolution: every in-doubt branch a partition's recovery
+   reports is resolved from the decision log — a logged Commit finishes it,
+   anything else (logged Abort or no entry at all: presumed abort) runs its
+   compensation.  Returns how many branches were resolved. *)
+let resolve_in_doubt log eng (report : Recovery.report) =
+  List.iter
+    (fun (d : Recovery.in_doubt) ->
+      let commit =
+        match Decision_log.lookup log ~gid:d.Recovery.i_gid with
+        | Some Commit -> true
+        | Some Abort | None -> false
+      in
+      Replay.resolve_in_doubt eng ~commit d)
+    report.Recovery.in_doubt;
+  List.length report.Recovery.in_doubt

@@ -1,0 +1,82 @@
+(** Two-phase commit coordinator for partitioned ACC.
+
+    Single-partition transactions never come here — they run on their home
+    partition's executor exactly as on a single-node system.  A
+    cross-partition transaction is decomposed into one branch (an ordinary
+    {!Acc_core.Program.instance}) per touched partition; {!run_cross}
+    prepares the branches in ascending partition-id order, records the
+    commit/abort decision in the {e decision log} (durability point,
+    presumed abort: no entry means abort), and applies it to every prepared
+    branch — abort runs the branch's compensating step, ACC's logical undo.
+
+    Crash points, registered at module initialization:
+    - ["dist.prepare"] — branch vote logged, locks held (in the executor);
+    - ["dist.decide"] — decision chosen but not durable (recovery presumes
+      abort);
+    - ["dist.decision.durable"] — decision durable, participants not yet
+      told (recovery resolves from the decision log). *)
+
+type decision = Commit | Abort
+
+(** The coordinator's durable state: gid → decision.  Keep it across a
+    simulated crash and pass it back to {!create} / {!resolve_in_doubt} —
+    losing it is losing the commit record. *)
+module Decision_log : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> gid:int -> decision -> unit
+  val lookup : t -> gid:int -> decision option
+  val size : t -> int
+
+  val max_gid : t -> int
+  (** Largest recorded gid, 0 when empty. *)
+end
+
+type t
+
+val create : ?log:Decision_log.t -> ?first_gid:int -> Partition.t array -> t
+(** [create parts] builds a coordinator over the partitions (sorted by id).
+    Pass [?log] to adopt a decision log that survived a crash, and
+    [?first_gid] (one past the largest gid any surviving WAL Prepare record
+    carries) so restarted gids never collide with stale in-doubt branches;
+    the counter always starts above the log's own watermark.  Raises
+    [Invalid_argument] on an empty partition array. *)
+
+val partitions : t -> Partition.t array
+val decision_log : t -> Decision_log.t
+
+val partition_of : t -> int -> Partition.t
+(** Home partition of a warehouse.  Raises [Invalid_argument] if no
+    partition owns it. *)
+
+val decision_of : t -> gid:int -> decision option
+(** Logged decision for a global transaction, if any ([None] = presumed
+    abort once the transaction is in doubt). *)
+
+type outcome = Committed | Aborted
+
+val run_cross :
+  ?options:Acc_core.Runtime.options ->
+  ?stop:(unit -> bool) ->
+  t ->
+  (Partition.t * Acc_core.Program.instance) list ->
+  outcome
+(** Drive one cross-partition transaction: prepare every branch (ascending
+    partition id — a global order, so coordinators cannot deadlock against
+    each other on partitions), decide, log, apply.  If any branch fails
+    before voting it has already rolled itself back and the rest get the
+    abort decision.  Raises [Invalid_argument] on an empty branch list. *)
+
+val cross_committed : t -> int
+val cross_aborted : t -> int
+
+val prepare_hold_snapshot : t -> Acc_util.Stats.Tally.t
+(** Snapshot of per-transaction prepare-window hold times (seconds): from
+    the first branch's first step to the decision applied. *)
+
+val resolve_in_doubt :
+  Decision_log.t -> Acc_txn.Executor.t -> Acc_wal.Recovery.report -> int
+(** Post-recovery resolution for one partition: each in-doubt branch in the
+    report is committed if the log says [Commit], compensated otherwise
+    (explicit [Abort] or presumed abort).  Returns the number resolved. *)

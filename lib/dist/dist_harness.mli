@@ -1,0 +1,41 @@
+(** Crash-restart harness for the partitioned system: the no-lost-decision
+    oracle.
+
+    Runs a partitioned TPC-C workload one transaction at a time, crashes at
+    the 2PC crash points (["dist.prepare"], ["dist.decide"],
+    ["dist.decision.durable"]), restarts every partition from (baseline,
+    WAL) plus the coordinator's surviving decision log, and checks that no
+    partition stays in doubt, that a logged Commit decision is never lost,
+    that an unlogged one is presumed aborted and the transaction cleanly
+    re-submitted, and that the merged database satisfies the TPC-C
+    consistency conditions throughout. *)
+
+type config = {
+  params : Acc_tpcc.Params.t;
+  partitions : int;
+  seed : int;
+  txns : int;
+  remote_customer_rate : float;  (** elevated so short runs cross partitions *)
+  remote_item_rate : float;
+  hits_per_point : int;
+  chaos_p : float;
+  verbose : bool;
+}
+
+val default_config : config
+(** 4 warehouses over 2 partitions, elevated remote rates. *)
+
+type result = { r_label : string; r_crashes : int; r_errors : string list }
+
+val failed : result -> bool
+
+val sweep : ?config:config -> unit -> result list
+(** Deterministic sweep: dry-run to count each dist.* point's passages
+    (coverage failure if a point never trips), then crash at a spread of
+    hits per point.  First result is the zero-fault baseline. *)
+
+val chaos : ?config:config -> seed:int -> unit -> result
+(** Probabilistic crashes at every registered point, re-armed with a derived
+    seed after each recovery. *)
+
+val pp_result : Format.formatter -> result -> unit

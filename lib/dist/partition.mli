@@ -1,0 +1,25 @@
+(** One isolated ACC instance owning a contiguous warehouse range.
+
+    Each partition has its own database, lock-service backend, WAL, and
+    executor; partitions share nothing.  A transaction whose footprint stays
+    inside one partition's range runs on that partition exactly as on a
+    single-node system; anything else goes through {!Coordinator}. *)
+
+type t
+
+val make : id:int -> lo:int -> hi:int -> Acc_txn.Executor.t -> t
+(** [make ~id ~lo ~hi eng] wraps an executor as partition [id] owning
+    warehouses [lo..hi] (inclusive).  Raises [Invalid_argument] on a
+    negative id or an empty/invalid range. *)
+
+val id : t -> int
+val engine : t -> Acc_txn.Executor.t
+val range : t -> int * int
+val owns : t -> int -> bool
+(** [owns t w] — does warehouse [w] fall in this partition's range? *)
+
+val ranges : warehouses:int -> partitions:int -> (int * int) list
+(** Contiguous near-equal split of warehouses [1..warehouses] into
+    [partitions] ranges (earlier partitions absorb the remainder).  Raises
+    [Invalid_argument] if [partitions < 1] or there are fewer warehouses
+    than partitions. *)

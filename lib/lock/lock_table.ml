@@ -425,25 +425,6 @@ let attach_req t (r : Lock_request.t) =
   | Some h -> h.h_count <- h.h_count + 1
   | None -> add_hold t e ~txn ~step_type ~mode res
 
-(* deprecated optional-argument shims (one release); the canonical surface is
-   [submit]/[attach_req] on a {!Lock_request.t} *)
-let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode res
-    =
-  submit t
-    { Lock_request.txn; step_type; admission; compensating; deadline; mode; resource = res }
-
-let attach t ~txn ~step_type mode res =
-  attach_req t
-    {
-      Lock_request.txn;
-      step_type;
-      admission = false;
-      compensating = false;
-      deadline = None;
-      mode;
-      resource = res;
-    }
-
 (* Grant the maximal FIFO-respecting set of waiters on [e].  A promotion
    grant is subject to the same fairness gate as a fresh request: it may not
    overtake (again) a starved waiter it was already counted past — skipped

@@ -109,23 +109,6 @@ val attach_req : t -> Lock_request.t -> unit
     items on which the transaction already holds a conventional lock.  The
     request's [admission]/[compensating]/[deadline] fields are ignored. *)
 
-val request :
-  t ->
-  txn:int ->
-  step_type:int ->
-  ?admission:bool ->
-  ?compensating:bool ->
-  ?deadline:float ->
-  Mode.t ->
-  Resource_id.t ->
-  grant
-[@@deprecated "use Lock_table.submit with a Lock_request.t"]
-(** @deprecated Thin shim over {!submit}, kept for one release. *)
-
-val attach : t -> txn:int -> step_type:int -> Mode.t -> Resource_id.t -> unit
-[@@deprecated "use Lock_table.attach_req with a Lock_request.t"]
-(** @deprecated Thin shim over {!attach_req}, kept for one release. *)
-
 val release : t -> txn:int -> Mode.t -> Resource_id.t -> wakeup list
 (** Release one unit of one hold.  Raises [Invalid_argument] if not held. *)
 

@@ -42,6 +42,10 @@ type event =
   | Timed_out of { txn : int; mode : Mode.t; resource : Resource_id.t; waited : float }
   | Shed of { inflight : int; reason : string }
   | Degraded of { on : bool; oldest_wait : float }
+  (* distributed commit (DESIGN.md §15) *)
+  | Prepare of { txn : int; gid : int }
+  | Decide of { gid : int; commit : bool; participants : int }
+  | Resolve of { txn : int; gid : int; commit : bool }
 
 let event_name = function
   | Txn_begin _ -> "txn_begin"
@@ -66,13 +70,17 @@ let event_name = function
   | Timed_out _ -> "timed_out"
   | Shed _ -> "shed"
   | Degraded _ -> "degraded"
+  | Prepare _ -> "prepare"
+  | Decide _ -> "decide"
+  | Resolve _ -> "resolve"
 
 let all_event_names =
   [
     "txn_begin"; "txn_commit"; "txn_abort"; "step_begin"; "step_end"; "comp_run";
     "lock_request"; "lock_grant"; "lock_block"; "lock_wake"; "batch_acquired"; "lock_release";
     "lock_attach"; "lock_cancel"; "assertion_check"; "deadlock_cycle"; "victim";
-    "wal_append"; "wal_flush"; "timed_out"; "shed"; "degraded";
+    "wal_append"; "wal_flush"; "timed_out"; "shed"; "degraded"; "prepare"; "decide";
+    "resolve";
   ]
 
 (* ---------- the sink ----------------------------------------------------- *)
@@ -265,6 +273,14 @@ let payload = function
       [ ("inflight", Json.Int inflight); ("reason", Json.Str reason) ]
   | Degraded { on; oldest_wait } ->
       [ ("on", Json.Bool on); ("oldest_wait", Json.Float oldest_wait) ]
+  | Prepare { txn; gid } -> [ ("txn", Json.Int txn); ("gid", Json.Int gid) ]
+  | Decide { gid; commit; participants } ->
+      [
+        ("gid", Json.Int gid); ("commit", Json.Bool commit);
+        ("participants", Json.Int participants);
+      ]
+  | Resolve { txn; gid; commit } ->
+      [ ("txn", Json.Int txn); ("gid", Json.Int gid); ("commit", Json.Bool commit) ]
 
 let to_json e =
   Json.Obj
@@ -303,9 +319,10 @@ let txn_of_event = function
   | Lock_request { txn; _ } | Lock_grant { txn; _ } | Lock_block { txn; _ }
   | Lock_wake { txn; _ } | Lock_release { txn; _ } | Lock_attach { txn; _ }
   | Lock_cancel { txn; _ } | Batch_acquired { txn; _ } | Assertion_check { txn; _ }
-  | Victim { txn; _ } | Wal_append { txn; _ } | Timed_out { txn; _ } ->
+  | Victim { txn; _ } | Wal_append { txn; _ } | Timed_out { txn; _ }
+  | Prepare { txn; _ } | Resolve { txn; _ } ->
       txn
-  | Deadlock_cycle _ | Wal_flush _ | Shed _ | Degraded _ -> 0
+  | Deadlock_cycle _ | Wal_flush _ | Shed _ | Degraded _ | Decide _ -> 0
 
 let us t = t *. 1e6
 
@@ -360,13 +377,14 @@ let write_chrome oc dump =
       | Comp_run _ | Lock_request _ | Lock_grant _ | Lock_block _ | Lock_wake _
       | Batch_acquired _ | Lock_release _ | Lock_attach _ | Lock_cancel _
       | Assertion_check _ | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _
-      | Timed_out _ | Shed _ | Degraded _ -> ());
+      | Timed_out _ | Shed _ | Degraded _ | Prepare _ | Decide _ | Resolve _ -> ());
       match e.ev with
       | Txn_begin _ | Txn_commit _ | Txn_abort _ | Step_begin _ | Step_end _ -> ()
       | Comp_run _ | Lock_request _ | Lock_grant _ | Lock_block _ | Lock_wake _
       | Batch_acquired _ | Lock_release _ | Lock_attach _ | Lock_cancel _
       | Assertion_check _ | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _
-      | Timed_out _ | Shed _ | Degraded _ -> push (chrome_instant e))
+      | Timed_out _ | Shed _ | Degraded _ | Prepare _ | Decide _ | Resolve _ ->
+          push (chrome_instant e))
     dump.events;
   (* spans still open at drain time become instants so no data is lost *)
   Hashtbl.iter

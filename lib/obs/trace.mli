@@ -80,6 +80,14 @@ type event =
   | Degraded of { on : bool; oldest_wait : float }
       (** the watchdog tripped (or cleared) degraded mode; [oldest_wait] is
           the oldest-waiter age that triggered the transition *)
+  | Prepare of { txn : int; gid : int }
+      (** a 2PC participant branch voted yes for global transaction [gid];
+          the branch is in doubt until the matching [Decide]/[Resolve] *)
+  | Decide of { gid : int; commit : bool; participants : int }
+      (** the coordinator's decision for [gid] is durable *)
+  | Resolve of { txn : int; gid : int; commit : bool }
+      (** recovery resolved an in-doubt participant branch from the
+          coordinator's decision log (presumed abort when no decision) *)
 
 val event_name : event -> string
 (** The wire name (the ["ev"] field of the JSONL encoding). *)

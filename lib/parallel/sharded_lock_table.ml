@@ -143,24 +143,6 @@ let attach_batch t reqs =
                   List.iter (Lock_table.attach_req s.table) group))
         groups
 
-(* deprecated optional-argument shims (one release) *)
-let request t ~txn ~step_type ?(admission = false) ?(compensating = false) ?deadline mode
-    res =
-  submit t
-    { Lock_request.txn; step_type; admission; compensating; deadline; mode; resource = res }
-
-let attach t ~txn ~step_type mode res =
-  attach_req t
-    {
-      Lock_request.txn;
-      step_type;
-      admission = false;
-      compensating = false;
-      deadline = None;
-      mode;
-      resource = res;
-    }
-
 let release t ~txn mode res =
   let idx = shard_index t res in
   let s = t.shards.(idx) in
@@ -364,11 +346,6 @@ let acquire_batch t reqs =
                  raise e);
               Mutex.unlock s.mu)
         groups
-
-(* deprecated optional-argument shim (one release) *)
-let acquire t ~txn ~step_type ~admission ~compensating ?deadline mode res =
-  acquire_req t
-    { Lock_request.txn; step_type; admission; compensating; deadline; mode; resource = res }
 
 let pp_state ppf t =
   Array.iteri

@@ -62,24 +62,6 @@ val attach_batch : t -> Acc_lock.Lock_request.t list -> unit
 (** Attach a list of unconditional grants, grouped per shard (caller order
     preserved within a shard), one mutex acquisition per shard touched. *)
 
-val request :
-  t ->
-  txn:int ->
-  step_type:int ->
-  ?admission:bool ->
-  ?compensating:bool ->
-  ?deadline:float ->
-  Acc_lock.Mode.t ->
-  Acc_lock.Resource_id.t ->
-  Acc_lock.Lock_table.grant
-[@@deprecated "use Sharded_lock_table.submit with a Lock_request.t"]
-(** @deprecated Thin shim over {!submit}, kept for one release. *)
-
-val attach :
-  t -> txn:int -> step_type:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> unit
-[@@deprecated "use Sharded_lock_table.attach_req with a Lock_request.t"]
-(** @deprecated Thin shim over {!attach_req}, kept for one release. *)
-
 val release :
   t -> txn:int -> Acc_lock.Mode.t -> Acc_lock.Resource_id.t -> Acc_lock.Lock_table.wakeup list
 (** Wakeups are both returned and published to any blocked acquirers. *)
@@ -140,19 +122,6 @@ val acquire_batch : t -> Acc_lock.Lock_request.t list -> unit
     the group continues under the reacquired mutex.  On victimization or
     expiry mid-batch the members already granted remain held — the caller's
     abort path releases them, as with locks taken one by one. *)
-
-val acquire :
-  t ->
-  txn:int ->
-  step_type:int ->
-  admission:bool ->
-  compensating:bool ->
-  ?deadline:float ->
-  Acc_lock.Mode.t ->
-  Acc_lock.Resource_id.t ->
-  unit
-[@@deprecated "use Sharded_lock_table.acquire_req with a Lock_request.t"]
-(** @deprecated Thin shim over {!acquire_req}, kept for one release. *)
 
 val pp_state : Format.formatter -> t -> unit
 

@@ -33,18 +33,18 @@ let check db =
   let new_order = Database.table db "new_order" in
   let order_line = Database.table db "order_line" in
   let stock = Database.table db "stock" in
-  (* gather once: per-(w,d) aggregates *)
+  (* gather once: per-(w,d) aggregates.  History groups by h_w_id/h_d_id —
+     where the payment was made — not by the customer's home (remote-customer
+     payments put the money in the paying warehouse's ytd). *)
   let dist_sum_ytd = Hashtbl.create 16 (* w -> sum d_ytd *) in
   let hist_w = Hashtbl.create 16 and hist_d = Hashtbl.create 64 in
-  let hist_c = Hashtbl.create 256 in
   Table.iter
     (fun _ row ->
-      let w = as_int row.(1) and d = as_int row.(2) and c = as_int row.(3) in
-      let amt = number row.(4) in
+      let w = as_int row.(4) and d = as_int row.(5) in
+      let amt = number row.(6) in
       let bump tbl key = Hashtbl.replace tbl key (amt +. Option.value ~default:0. (Hashtbl.find_opt tbl key)) in
       bump hist_w w;
-      bump hist_d (w, d);
-      bump hist_c (w, d, c))
+      bump hist_d (w, d))
     history;
   let queue_ids = Hashtbl.create 64 (* (w,d) -> o_id list *) in
   Table.iter
@@ -63,12 +63,15 @@ let check db =
       let w = as_int row.(0) and d = as_int row.(1) and o = as_int row.(2) in
       let item = as_int row.(4) and qty = as_int row.(5) in
       let amount = number row.(6) and delivered = as_int row.(7) >= 0 in
+      let supply = as_int row.(8) in
       let bump tbl key v =
         Hashtbl.replace tbl key (v + Option.value ~default:0 (Hashtbl.find_opt tbl key))
       in
       bump lines_per_order (w, d, o) 1;
       bump lines_per_district (w, d) 1;
-      bump qty_per_item (w, item) qty;
+      (* C12 groups by the supplying warehouse: a remote line draws the
+         remote warehouse's stock *)
+      bump qty_per_item (supply, item) qty;
       if delivered then
         Hashtbl.replace delivered_amount_per_order (w, d, o)
           (amount +. Option.value ~default:0. (Hashtbl.find_opt delivered_amount_per_order (w, d, o)));

@@ -1,0 +1,510 @@
+(* Partitioned TPC-C: per-partition branch programs for the two transaction
+   types that can cross warehouse — and hence partition — boundaries.
+
+   A cross-partition payment splits into
+     - payment_home  (partition of p_w):   warehouse ytd | district ytd
+     - payment_rcust (partition of p_c_w): customer update + history insert
+   and a cross-partition new_order into
+     - new_order_home   (partition of no_w): the full four-step decomposition,
+       except that remote lines skip the stock draw
+     - new_order_rstock (one per remote partition): the stock draws that the
+       home branch skipped, one step per item.
+
+   Each branch is an ordinary ACC program instance with its own compensating
+   step, so [Acc_core.Runtime.prepare] can hold it in doubt and
+   [abort_prepared] can cancel it — the 2PC abort path is compensation
+   replay, exactly as the single-node abort path is.  Branch step ids
+   continue the numbering of {!Txns} (15..26); assertion ids continue at 5. *)
+
+module Executor = Acc_txn.Executor
+module Txn_effect = Acc_txn.Txn_effect
+module Program = Acc_core.Program
+module Assertion = Acc_core.Assertion
+module Footprint = Acc_core.Footprint
+module Interference = Acc_core.Interference
+module Value = Acc_relation.Value
+module Mode = Acc_lock.Mode
+module Rid = Acc_lock.Resource_id
+open Value
+
+let fp = Footprint.make
+let cols cs = Footprint.Columns cs
+let fresh = Footprint.Fresh
+let fnum = Value.number
+let tab t = Rid.Table t
+let tup t k = Rid.Tuple (t, k)
+
+(* --- payment_home: 2 forward steps + compensation --- *)
+
+let ph_wh =
+  Program.step ~id:15 ~name:"wh-ytd" ~txn_type:"payment_home" ~index:1
+    ~reads:[ fp "warehouse" (cols [ "w_name" ]) ]
+    ~writes:[ fp "warehouse" (cols [ "w_ytd" ]) ]
+    ()
+
+let ph_dist =
+  Program.step ~id:16 ~name:"district-ytd" ~txn_type:"payment_home" ~index:2
+    ~reads:[ fp "district" (cols [ "d_name" ]) ]
+    ~writes:[ fp "district" (cols [ "d_ytd" ]) ]
+    ()
+
+let ph_comp =
+  Program.step ~id:17 ~name:"refund-home" ~txn_type:"payment_home" ~index:0
+    ~reads:[]
+    ~writes:[ fp "warehouse" (cols [ "w_ytd" ]); fp "district" (cols [ "d_ytd" ]) ]
+    ()
+
+let payment_home_type =
+  Program.txn_type ~name:"payment_home" ~steps:[ ph_wh; ph_dist ] ~comp:ph_comp
+    ~assertions:[] ()
+
+(* --- payment_rcust: 1 forward step + compensation --- *)
+
+let pr_cust =
+  Program.step ~id:18 ~name:"customer+history" ~txn_type:"payment_rcust" ~index:1
+    ~reads:[ fp "customer" (cols [ "c_credit" ]) ]
+    ~writes:
+      [
+        fp "customer" (cols [ "c_balance"; "c_ytd_payment"; "c_payment_cnt" ]);
+        fp ~fresh "history" Footprint.All_columns;
+      ]
+    ()
+
+let pr_comp =
+  Program.step ~id:19 ~name:"refund-rcust" ~txn_type:"payment_rcust" ~index:0
+    ~reads:[]
+    ~writes:
+      [
+        fp "customer" (cols [ "c_balance"; "c_ytd_payment"; "c_payment_cnt" ]);
+        fp ~fresh "history" Footprint.All_columns;
+      ]
+    ()
+
+let payment_rcust_type =
+  Program.txn_type ~name:"payment_rcust" ~steps:[ pr_cust ] ~comp:pr_comp
+    ~assertions:[] ()
+
+(* --- new_order_home: the four-step decomposition, remote stock skipped --- *)
+
+let nh_reads =
+  Program.step ~id:20 ~name:"reads+counter" ~txn_type:"new_order_home" ~index:1
+    ~reads:
+      [
+        fp "warehouse" (cols [ "w_tax" ]);
+        fp "district" (cols [ "d_tax"; "d_next_o_id" ]);
+        fp "customer" (cols [ "c_discount"; "c_last"; "c_credit" ]);
+      ]
+    ~writes:[ fp "district" (cols [ "d_next_o_id" ]) ]
+    ()
+
+let nh_insert =
+  Program.step ~id:21 ~name:"insert-order" ~txn_type:"new_order_home" ~index:2
+    ~reads:[]
+    ~writes:
+      [ fp ~fresh "orders" Footprint.All_columns; fp ~fresh "new_order" Footprint.All_columns ]
+    ()
+
+let nh_line =
+  Program.step ~id:22 ~name:"order-line" ~txn_type:"new_order_home" ~index:3 ~repeats:true
+    ~reads:[ fp "item" (cols [ "i_price" ]); fp "stock" (cols [ "s_quantity" ]) ]
+    ~writes:
+      [
+        fp "stock" (cols [ "s_quantity"; "s_ytd"; "s_order_cnt" ]);
+        fp ~fresh "order_line" Footprint.All_columns;
+      ]
+    ()
+
+let nh_final =
+  Program.step ~id:23 ~name:"finalize" ~txn_type:"new_order_home" ~index:4
+    ~reads:[ fp ~fresh "orders" Footprint.All_columns ]
+    ~writes:[]
+    ()
+
+let nh_comp =
+  Program.step ~id:24 ~name:"cancel-order" ~txn_type:"new_order_home" ~index:0
+    ~reads:
+      [ fp ~fresh "order_line" Footprint.All_columns; fp "warehouse" (cols [ "w_id" ]) ]
+    ~writes:
+      [
+        fp "stock" (cols [ "s_quantity"; "s_ytd"; "s_order_cnt" ]);
+        fp ~fresh "orders" (cols [ "o_carrier_id"; "o_ol_cnt" ]);
+        fp ~fresh "order_line" Footprint.All_columns;
+        fp ~fresh "new_order" Footprint.All_columns;
+      ]
+    ()
+
+let a_nh_seq =
+  Assertion.make ~id:5 ~name:"nh_counter_seq" ~txn_type:"new_order_home" ~pre_of:2 ~until:2
+    ~refs:
+      [ fp "district" (cols [ "d_next_o_id" ]); fp ~fresh "orders" Footprint.All_columns ]
+
+let a_nh_lines =
+  Assertion.make ~id:6 ~name:"nh_lines_inv" ~txn_type:"new_order_home" ~pre_of:3
+    ~until:Assertion.until_commit
+    ~refs:
+      [
+        fp ~fresh "orders" (cols [ "o_ol_cnt"; "o_carrier_id" ]);
+        fp ~fresh "order_line" Footprint.All_columns;
+        fp ~fresh "new_order" Footprint.All_columns;
+      ]
+
+let new_order_home_type =
+  Program.txn_type ~name:"new_order_home"
+    ~steps:[ nh_reads; nh_insert; nh_line; nh_final ]
+    ~comp:nh_comp
+    ~assertions:[ a_nh_seq; a_nh_lines ]
+    ()
+
+(* --- new_order_rstock: one stock draw per remote item + compensation --- *)
+
+let nr_stock =
+  Program.step ~id:25 ~name:"remote-stock" ~txn_type:"new_order_rstock" ~index:1
+    ~repeats:true
+    ~reads:[ fp "stock" (cols [ "s_quantity" ]) ]
+    ~writes:[ fp "stock" (cols [ "s_quantity"; "s_ytd"; "s_order_cnt" ]) ]
+    ()
+
+let nr_comp =
+  Program.step ~id:26 ~name:"restock" ~txn_type:"new_order_rstock" ~index:0
+    ~reads:[]
+    ~writes:[ fp "stock" (cols [ "s_quantity"; "s_ytd"; "s_order_cnt" ]) ]
+    ()
+
+let new_order_rstock_type =
+  Program.txn_type ~name:"new_order_rstock" ~steps:[ nr_stock ] ~comp:nr_comp
+    ~assertions:[] ()
+
+let branch_types =
+  [ payment_home_type; payment_rcust_type; new_order_home_type; new_order_rstock_type ]
+
+(* The combined static workload a partition engine serves: every single-
+   partition transaction runs its ordinary program, cross-partition ones run
+   branch programs — both against the same lock semantics. *)
+let workload = Program.workload (Program.txn_types Txns.workload @ branch_types)
+
+(* the same monotone-counter compatibility as the single-node analysis,
+   closed over both counter-writing steps and both counter assertions *)
+let interference =
+  Interference.build
+    ~compatible:
+      [
+        (Txns.no_reads.Program.sd_id, Txns.a_no_seq.Assertion.id);
+        (Txns.no_reads.Program.sd_id, a_nh_seq.Assertion.id);
+        (nh_reads.Program.sd_id, Txns.a_no_seq.Assertion.id);
+        (nh_reads.Program.sd_id, a_nh_seq.Assertion.id);
+      ]
+    workload
+
+let semantics = Interference.semantics interference
+
+(* ====================================================================== *)
+(* Branch instances                                                        *)
+(* ====================================================================== *)
+
+let payment_home_instance env (i : Txns.payment_input) =
+  let pace = env.Txns.pace in
+  let steps =
+    [
+      ( ph_wh,
+        fun ctx ->
+          ignore
+            (Executor.update ctx "warehouse" [ Int i.Txns.p_w ] (fun row ->
+                 row.(3) <- Float (fnum row.(3) +. i.Txns.p_amount);
+                 row)) );
+      ( ph_dist,
+        fun ctx ->
+          pace ();
+          ignore
+            (Executor.update ctx "district"
+               (Load.district_key ~w:i.Txns.p_w ~d:i.Txns.p_d)
+               (fun row ->
+                 row.(4) <- Float (fnum row.(4) +. i.Txns.p_amount);
+                 row)) );
+    ]
+  in
+  let footprints j =
+    if j = 1 then [ (Mode.IX, tab "warehouse"); (Mode.X, tup "warehouse" [ Int i.Txns.p_w ]) ]
+    else if j = 2 then
+      [
+        (Mode.IX, tab "district");
+        (Mode.X, tup "district" (Load.district_key ~w:i.Txns.p_w ~d:i.Txns.p_d));
+      ]
+    else []
+  in
+  Program.instance ~def:payment_home_type ~steps ~footprints
+    ~compensate:(fun ctx ~completed ->
+      if completed >= 1 then
+        ignore
+          (Executor.update ctx "warehouse" [ Int i.Txns.p_w ] (fun row ->
+               row.(3) <- Float (fnum row.(3) -. i.Txns.p_amount);
+               row));
+      if completed >= 2 then
+        ignore
+          (Executor.update ctx "district"
+             (Load.district_key ~w:i.Txns.p_w ~d:i.Txns.p_d)
+             (fun row ->
+               row.(4) <- Float (fnum row.(4) -. i.Txns.p_amount);
+               row)))
+    ~comp_area:(fun () ->
+      [ ("w", Int i.Txns.p_w); ("d", Int i.Txns.p_d); ("amount", Float i.Txns.p_amount) ])
+    ()
+
+let payment_rcust_instance env (i : Txns.payment_input) =
+  let pace = env.Txns.pace in
+  let h_id = ref 0 and cust = ref 0 in
+  let body ctx =
+    let c = Txns.resolve_customer ctx ~w:i.Txns.p_c_w ~d:i.Txns.p_c_d i.Txns.p_customer in
+    cust := c;
+    ignore
+      (Executor.update ctx "customer"
+         (Load.customer_key ~w:i.Txns.p_c_w ~d:i.Txns.p_c_d ~c)
+         (fun row ->
+           row.(6) <- Float (fnum row.(6) -. i.Txns.p_amount);
+           row.(7) <- Float (fnum row.(7) +. i.Txns.p_amount);
+           row.(8) <- Int (as_int row.(8) + 1);
+           row));
+    pace ();
+    h_id := Txns.next_history_id ();
+    Executor.insert ctx "history"
+      [|
+        Int !h_id; Int i.Txns.p_c_w; Int i.Txns.p_c_d; Int c; Int i.Txns.p_w;
+        Int i.Txns.p_d; Float i.Txns.p_amount;
+      |]
+  in
+  let footprints j =
+    if j = 1 then
+      (Mode.IX, tab "customer") :: (Mode.IX, tab "history")
+      ::
+      (match i.Txns.p_customer with
+      | Txns.By_id c ->
+          [
+            (Mode.IS, tab "customer");
+            (Mode.X, tup "customer" (Load.customer_key ~w:i.Txns.p_c_w ~d:i.Txns.p_c_d ~c));
+          ]
+      | Txns.By_last_name _ -> [ (Mode.IS, tab "customer") ])
+    else []
+  in
+  Program.instance ~def:payment_rcust_type ~steps:[ (pr_cust, body) ] ~footprints
+    ~compensate:(fun ctx ~completed ->
+      if completed >= 1 then begin
+        ignore
+          (Executor.update ctx "customer"
+             (Load.customer_key ~w:i.Txns.p_c_w ~d:i.Txns.p_c_d ~c:!cust)
+             (fun row ->
+               row.(6) <- Float (fnum row.(6) +. i.Txns.p_amount);
+               row.(7) <- Float (fnum row.(7) -. i.Txns.p_amount);
+               row.(8) <- Int (as_int row.(8) - 1);
+               row));
+        Executor.delete ctx "history" [ Int !h_id ]
+      end)
+    ~comp_area:(fun () ->
+      [
+        ("c_w", Int i.Txns.p_c_w);
+        ("c_d", Int i.Txns.p_c_d);
+        ("c", Int !cust);
+        ("amount", Float i.Txns.p_amount);
+        ("h_id", Int !h_id);
+      ])
+    ()
+
+type nh_ws = { mutable o_id : int }
+
+let new_order_home_instance env ~local (i : Txns.new_order_input) =
+  let pace = env.Txns.pace in
+  let ws = { o_id = 0 } in
+  let w = i.Txns.no_w and d = i.Txns.no_d and c = i.Txns.no_c in
+  let items = Array.of_list i.Txns.no_items in
+  let n_items = Array.length items in
+  let step1 ctx =
+    ignore (Executor.read_exn ctx "warehouse" [ Int w ]);
+    pace ();
+    let d_row =
+      Executor.update ctx "district" (Load.district_key ~w ~d) (fun row ->
+          row.(5) <- Int (as_int row.(5) + 1);
+          row)
+    in
+    ws.o_id <- as_int d_row.(5) - 1;
+    pace ();
+    ignore (Executor.read_exn ctx "customer" (Load.customer_key ~w ~d ~c))
+  in
+  let step2 ctx =
+    Executor.insert ctx "orders"
+      [| Int w; Int d; Int ws.o_id; Int c; Int (-1); Int n_items |];
+    pace ();
+    Executor.insert ctx "new_order" [| Int w; Int d; Int ws.o_id |]
+  in
+  let step_line ~ln ~last ~item ~qty ~supply ctx =
+    if last && i.Txns.no_fail_last then raise Txn_effect.Abort_requested;
+    let item_row = Executor.read_exn ctx "item" [ Int item ] in
+    let price = fnum item_row.(2) in
+    pace ();
+    (* a remote line's stock draw belongs to that partition's rstock branch *)
+    if local supply then Txns.draw_stock ctx ~supply ~item ~qty;
+    pace ();
+    Executor.insert ctx "order_line"
+      [|
+        Int w; Int d; Int ws.o_id; Int ln; Int item; Int qty;
+        Float (float_of_int qty *. price); Int (-1); Int supply;
+      |]
+  in
+  let step_final ctx =
+    ignore (Executor.read_exn ctx "orders" (Load.order_key ~w ~d ~o:ws.o_id))
+  in
+  let line_steps =
+    List.mapi
+      (fun idx (item, qty, supply) ->
+        ( nh_line,
+          step_line ~ln:(idx + 1) ~last:(idx = n_items - 1) ~item ~qty ~supply ))
+      i.Txns.no_items
+  in
+  let steps =
+    ((nh_reads, step1) :: (nh_insert, step2) :: line_steps) @ [ (nh_final, step_final) ]
+  in
+  let n = List.length steps in
+  let assertions =
+    [
+      { Program.ai_assertion = a_nh_seq; ai_from = 2; ai_until = 2; ai_check = None };
+      { Program.ai_assertion = a_nh_lines; ai_from = 3; ai_until = n; ai_check = None };
+    ]
+  in
+  let footprints j =
+    if j = 1 then
+      [
+        (Mode.IS, tab "warehouse"); (Mode.S, tup "warehouse" [ Int w ]);
+        (Mode.IX, tab "district"); (Mode.X, tup "district" (Load.district_key ~w ~d));
+        (Mode.IS, tab "customer"); (Mode.S, tup "customer" (Load.customer_key ~w ~d ~c));
+      ]
+    else if j = 2 then
+      [
+        (Mode.IX, tab "orders");
+        (Mode.X, tup "orders" (Load.order_key ~w ~d ~o:ws.o_id));
+        (Mode.IX, tab "new_order");
+        (Mode.X, tup "new_order" [ Int w; Int d; Int ws.o_id ]);
+      ]
+    else if j >= 3 && j <= n_items + 2 then
+      let item, _, supply = items.(j - 3) in
+      (Mode.IS, tab "item") :: (Mode.S, tup "item" [ Int item ])
+      :: (Mode.IX, tab "order_line")
+      :: (Mode.X, tup "order_line" [ Int w; Int d; Int ws.o_id; Int (j - 2) ])
+      ::
+      (if local supply then
+         [ (Mode.IX, tab "stock"); (Mode.X, tup "stock" (Load.stock_key ~w:supply ~i:item)) ]
+       else [])
+    else if j = n_items + 3 then
+      [ (Mode.IS, tab "orders"); (Mode.S, tup "orders" (Load.order_key ~w ~d ~o:ws.o_id)) ]
+    else []
+  in
+  Program.instance ~def:new_order_home_type ~steps ~assertions ~footprints
+    ~compensate:(fun ctx ~completed ->
+      if completed = 1 then
+        Executor.insert ctx "orders" [| Int w; Int d; Int ws.o_id; Int c; Int (-2); Int 0 |];
+      if completed >= 2 then begin
+        let committed_lines = min n_items (max 0 (completed - 2)) in
+        for ln = 1 to committed_lines do
+          let key = [ Int w; Int d; Int ws.o_id; Int ln ] in
+          let row = Executor.read_exn ctx "order_line" key in
+          let item = as_int row.(4) and qty = as_int row.(5) in
+          let supply = as_int row.(8) in
+          if Executor.read_committed ctx "warehouse" [ Int supply ] <> None then
+            Txns.undo_stock ctx ~supply ~item ~qty;
+          Executor.delete ctx "order_line" key
+        done;
+        ignore
+          (Executor.update ctx "orders" (Load.order_key ~w ~d ~o:ws.o_id) (fun row ->
+               row.(4) <- Int (-2);
+               row.(5) <- Int 0;
+               row));
+        Executor.delete ctx "new_order" [ Int w; Int d; Int ws.o_id ]
+      end)
+    ~comp_area:(fun () ->
+      [ ("w", Int w); ("d", Int d); ("o_id", Int ws.o_id); ("c", Int c) ])
+    ()
+
+let new_order_rstock_instance env items =
+  let pace = env.Txns.pace in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let steps =
+    Array.to_list
+      (Array.map
+         (fun (item, qty, supply) ->
+           ( nr_stock,
+             fun ctx ->
+               pace ();
+               Txns.draw_stock ctx ~supply ~item ~qty ))
+         items)
+  in
+  let footprints j =
+    if j >= 1 && j <= n then
+      let item, _, supply = items.(j - 1) in
+      [ (Mode.IX, tab "stock"); (Mode.X, tup "stock" (Load.stock_key ~w:supply ~i:item)) ]
+    else []
+  in
+  Program.instance ~def:new_order_rstock_type ~steps ~footprints
+    ~compensate:(fun ctx ~completed ->
+      for k = 0 to min completed n - 1 do
+        let item, qty, supply = items.(k) in
+        Txns.undo_stock ctx ~supply ~item ~qty
+      done)
+    ~comp_area:(fun () ->
+      ("n", Int n)
+      :: List.concat
+           (List.mapi
+              (fun k (item, qty, supply) ->
+                [
+                  (Printf.sprintf "w%d" k, Int supply);
+                  (Printf.sprintf "i%d" k, Int item);
+                  (Printf.sprintf "q%d" k, Int qty);
+                ])
+              (Array.to_list items)))
+    ()
+
+(* ====================================================================== *)
+(* Routing                                                                 *)
+(* ====================================================================== *)
+
+let home_warehouse (input : Txns.input) =
+  match input with
+  | Txns.New_order i -> i.Txns.no_w
+  | Txns.Payment i -> i.Txns.p_w
+  | Txns.Order_status i -> i.Txns.os_w
+  | Txns.Delivery i -> i.Txns.dl_w
+  | Txns.Stock_level i -> i.Txns.sl_w
+
+let partitions_of_input ~part_of (input : Txns.input) =
+  let ps =
+    match input with
+    | Txns.New_order i ->
+        part_of i.Txns.no_w :: List.map (fun (_, _, s) -> part_of s) i.Txns.no_items
+    | Txns.Payment i -> [ part_of i.Txns.p_w; part_of i.Txns.p_c_w ]
+    | Txns.Order_status i -> [ part_of i.Txns.os_w ]
+    | Txns.Delivery i -> [ part_of i.Txns.dl_w ]
+    | Txns.Stock_level i -> [ part_of i.Txns.sl_w ]
+  in
+  List.sort_uniq Stdlib.compare ps
+
+let branches env ~part_of (input : Txns.input) =
+  match input with
+  | Txns.Payment i ->
+      [
+        (part_of i.Txns.p_w, payment_home_instance env i);
+        (part_of i.Txns.p_c_w, payment_rcust_instance env i);
+      ]
+  | Txns.New_order i ->
+      let home = part_of i.Txns.no_w in
+      let remote_pids =
+        List.sort_uniq Stdlib.compare
+          (List.filter_map
+             (fun (_, _, s) -> if part_of s <> home then Some (part_of s) else None)
+             i.Txns.no_items)
+      in
+      (home, new_order_home_instance env ~local:(fun s -> part_of s = home) i)
+      :: List.map
+           (fun pid ->
+             let items =
+               List.filter (fun (_, _, s) -> part_of s = pid) i.Txns.no_items
+             in
+             (pid, new_order_rstock_instance env items))
+           remote_pids
+  | Txns.Order_status _ | Txns.Delivery _ | Txns.Stock_level _ ->
+      invalid_arg "Dist_txns.branches: warehouse-local transaction type"

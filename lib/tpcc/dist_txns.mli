@@ -1,0 +1,44 @@
+(** Per-partition branch programs for cross-partition TPC-C transactions.
+
+    A cross-partition [payment] splits into a home branch (warehouse and
+    district ytd) and a remote-customer branch (customer update + history
+    insert); a cross-partition [new_order] into a home branch (the full
+    four-step decomposition with remote stock draws skipped) and one
+    remote-stock branch per remote partition.  Every branch is an ordinary
+    ACC program instance with a compensating step, so the two-phase-commit
+    abort path is compensation replay. *)
+
+(** {1 Static branch definitions} *)
+
+val payment_home_type : Acc_core.Program.txn_type_def
+val payment_rcust_type : Acc_core.Program.txn_type_def
+val new_order_home_type : Acc_core.Program.txn_type_def
+val new_order_rstock_type : Acc_core.Program.txn_type_def
+
+val branch_types : Acc_core.Program.txn_type_def list
+
+val ph_comp : Acc_core.Program.step_def
+val pr_comp : Acc_core.Program.step_def
+val nh_comp : Acc_core.Program.step_def
+val nr_comp : Acc_core.Program.step_def
+
+val workload : Acc_core.Program.workload
+(** The single-node workload plus the four branch types: what a partition
+    engine serves. *)
+
+val interference : Acc_core.Interference.t
+val semantics : Acc_lock.Mode.semantics
+
+(** {1 Routing} *)
+
+val home_warehouse : Txns.input -> int
+
+val partitions_of_input : part_of:(int -> int) -> Txns.input -> int list
+(** Sorted, deduplicated partition ids the input touches.  [part_of] maps a
+    warehouse id to its partition id.  A singleton means the transaction is
+    warehouse-local to one partition and needs no coordinator. *)
+
+val branches :
+  Txns.env -> part_of:(int -> int) -> Txns.input -> (int * Acc_core.Program.instance) list
+(** Branch instances of a cross-partition input, home branch first, keyed by
+    partition id.  Raises [Invalid_argument] for inherently local types. *)

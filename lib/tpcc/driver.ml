@@ -231,6 +231,8 @@ let run cfg =
       min_items = cfg.min_items;
       max_items = cfg.max_items;
       new_order_abort_rate = 0.01;
+      remote_customer_rate = 0.15;
+      remote_item_rate = 0.01;
       pace =
         (fun () -> if cfg.compute_between > 0.0 then Sim.delay cfg.compute_between);
     }

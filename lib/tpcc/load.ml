@@ -12,8 +12,15 @@ let order_key ~w ~d ~o = [ Int w; Int d; Int o ]
    conditions (verified by the test suite): ytd columns equal the history
    sums, delivered pre-loaded order lines carry zero amounts (as in the
    spec's initial population), and stock s_ytd equals the quantities of the
-   pre-loaded lines. *)
-let populate ~seed params =
+   pre-loaded lines.
+
+   [only] restricts the population to the warehouses it accepts — a
+   partition's share of the database.  The item table (read-only, warehouse-
+   independent) is always loaded in full, and every PRNG draw happens
+   whether or not the row is kept, so each partition's load is an exact
+   projection of the unrestricted database: merging the partition loads
+   reproduces [populate] without a filter. *)
+let populate ?(only = fun _ -> true) ~seed params =
   Params.validate params;
   let gen = Random_gen.create ~seed params in
   let g = Random_gen.prng gen in
@@ -23,10 +30,12 @@ let populate ~seed params =
   let p = params in
   let initial_payment = 10.0 in
   for w = 1 to p.Params.warehouses do
+    let keep = only w in
+    let ins name row = if keep then Table.insert (table name) row in
     let customers_per_wh =
       p.Params.customers_per_district * p.Params.districts_per_warehouse
     in
-    Table.insert (table "warehouse")
+    ins "warehouse"
       [|
         Int w;
         Str (Printf.sprintf "wh-%d" w);
@@ -37,12 +46,12 @@ let populate ~seed params =
       if w = 1 then
         Table.insert (table "item")
           [| Int i; Str (Prng.alpha_string g ~min:6 ~max:14); Float (1.0 +. Prng.float g 99.0) |];
-      Table.insert (table "stock") [| Int w; Int i; Int p.Params.initial_stock; Int 0; Int 0 |]
+      ins "stock" [| Int w; Int i; Int p.Params.initial_stock; Int 0; Int 0 |]
     done;
     let h_id = ref (w * 10_000_000) in
     for d = 1 to p.Params.districts_per_warehouse do
       let preloaded = p.Params.initial_orders_per_district in
-      Table.insert (table "district")
+      ins "district"
         [|
           Int w;
           Int d;
@@ -52,7 +61,7 @@ let populate ~seed params =
           Int (preloaded + 1);
         |];
       for c = 1 to p.Params.customers_per_district do
-        Table.insert (table "customer")
+        ins "customer"
           [|
             Int w;
             Int d;
@@ -66,24 +75,26 @@ let populate ~seed params =
             Int 0;
           |];
         incr h_id;
-        Table.insert (table "history") [| Int !h_id; Int w; Int d; Int c; Float initial_payment |]
+        ins "history"
+          [| Int !h_id; Int w; Int d; Int c; Int w; Int d; Float initial_payment |]
       done;
       (* pre-loaded, already-delivered orders (zero-amount lines, as in the
          spec's initial population of delivered orders) *)
       for o = 1 to preloaded do
         let c = ((o - 1) mod p.Params.customers_per_district) + 1 in
         let ol_cnt = Prng.int_in g 1 3 in
-        Table.insert (table "orders") [| Int w; Int d; Int o; Int c; Int 1; Int ol_cnt |];
+        ins "orders" [| Int w; Int d; Int o; Int c; Int 1; Int ol_cnt |];
         for ol = 1 to ol_cnt do
           let i = Prng.int_in g 1 p.Params.items in
           let qty = Prng.int_in g 1 5 in
-          Table.insert (table "order_line")
-            [| Int w; Int d; Int o; Int ol; Int i; Int qty; Float 0.0; Int 1 |];
-          ignore
-            (Table.update (table "stock") (stock_key ~w ~i) (fun s ->
-                 s.(3) <- Int (as_int s.(3) + qty);
-                 s.(4) <- Int (as_int s.(4) + 1);
-                 s))
+          ins "order_line"
+            [| Int w; Int d; Int o; Int ol; Int i; Int qty; Float 0.0; Int 1; Int w |];
+          if keep then
+            ignore
+              (Table.update (table "stock") (stock_key ~w ~i) (fun s ->
+                   s.(3) <- Int (as_int s.(3) + qty);
+                   s.(4) <- Int (as_int s.(4) + 1);
+                   s))
         done
       done
     done

@@ -5,8 +5,12 @@
     starts just past them — the consistency conditions hold of the freshly
     loaded database (verified by the test suite). *)
 
-val populate : seed:int -> Params.t -> Acc_relation.Database.t
-(** Build and fill a fresh database. *)
+val populate : ?only:(int -> bool) -> seed:int -> Params.t -> Acc_relation.Database.t
+(** Build and fill a fresh database.  [only] keeps only the warehouses it
+    accepts (a partition's share); the item table is always loaded in full,
+    and the PRNG draws are independent of the filter, so partition loads are
+    exact disjoint projections of the unfiltered database (items excepted —
+    they are replicated). *)
 
 val district_key : w:int -> d:int -> Acc_relation.Table.key
 val customer_key : w:int -> d:int -> c:int -> Acc_relation.Table.key

@@ -54,12 +54,12 @@ let new_order_handler ctx ~completed ~area =
       (fun key ->
         let row = Executor.read_exn ctx "order_line" key in
         let item = as_int row.(4) and qty = as_int row.(5) in
-        ignore
-          (Executor.update ctx "stock" (Load.stock_key ~w ~i:item) (fun s ->
-               s.(2) <- Int (as_int s.(2) + qty);
-               s.(3) <- Int (as_int s.(3) - qty);
-               s.(4) <- Int (as_int s.(4) - 1);
-               s));
+        let supply = as_int row.(8) in
+        (* a line's stock lives at its supplying warehouse; in a partitioned
+           home branch a remote warehouse is absent from this database and
+           the remote-stock branch compensates it on its own partition *)
+        if Executor.read_committed ctx "warehouse" [ Int supply ] <> None then
+          Txns.undo_stock ctx ~supply ~item ~qty;
         Executor.delete ctx "order_line" key)
       line_keys;
     ignore
@@ -85,8 +85,10 @@ let payment_handler ctx ~completed ~area =
            row));
   if completed >= 3 then begin
     let c = int_field area "c" in
+    (* the customer may live at another warehouse (the 15% remote case) *)
+    let c_w = int_field area "c_w" and c_d = int_field area "c_d" in
     ignore
-      (Executor.update ctx "customer" (Load.customer_key ~w ~d ~c) (fun row ->
+      (Executor.update ctx "customer" (Load.customer_key ~w:c_w ~d:c_d ~c) (fun row ->
            row.(6) <- Float (number row.(6) +. amount);
            row.(7) <- Float (number row.(7) -. amount);
            row.(8) <- Int (as_int row.(8) - 1);
@@ -123,13 +125,66 @@ let delivery_handler ctx ~completed ~area =
     Executor.insert ctx "new_order" [| Int w; Int d; Int o |]
   done
 
+(* --- partitioned-branch handlers (Dist_txns) --- *)
+
+(* the home branch of a cross-partition payment: only the two ytd bumps *)
+let payment_home_handler ctx ~completed ~area =
+  let w = int_field area "w" and d = int_field area "d" in
+  let amount = number (field area "amount") in
+  if completed >= 1 then
+    ignore
+      (Executor.update ctx "warehouse" [ Int w ] (fun row ->
+           row.(3) <- Float (number row.(3) -. amount);
+           row));
+  if completed >= 2 then
+    ignore
+      (Executor.update ctx "district" (Load.district_key ~w ~d) (fun row ->
+           row.(4) <- Float (number row.(4) -. amount);
+           row))
+
+(* the remote-customer branch: customer rollback + history delete *)
+let payment_rcust_handler ctx ~completed ~area =
+  if completed >= 1 then begin
+    let c_w = int_field area "c_w" and c_d = int_field area "c_d" in
+    let c = int_field area "c" in
+    let amount = number (field area "amount") in
+    ignore
+      (Executor.update ctx "customer" (Load.customer_key ~w:c_w ~d:c_d ~c) (fun row ->
+           row.(6) <- Float (number row.(6) +. amount);
+           row.(7) <- Float (number row.(7) -. amount);
+           row.(8) <- Int (as_int row.(8) - 1);
+           row));
+    Executor.delete ctx "history" [ Int (int_field area "h_id") ]
+  end
+
+(* the remote-stock branch: restock the first [completed] draws *)
+let new_order_rstock_handler ctx ~completed ~area =
+  let n = int_field area "n" in
+  for k = 0 to min completed n - 1 do
+    let supply = int_field area (Printf.sprintf "w%d" k) in
+    let item = int_field area (Printf.sprintf "i%d" k) in
+    let qty = int_field area (Printf.sprintf "q%d" k) in
+    Txns.undo_stock ctx ~supply ~item ~qty
+  done
+
 (* Linking this module is enough to make TPC-C recoverable: the handlers are
    registered at module-initialization time, keyed by transaction-type name
-   and carrying the design-time id of each compensating step. *)
+   and carrying the design-time id of each compensating step.  The home
+   branch of a partitioned new_order shares the single-node handler — its
+   work area has the same shape, and the handler's warehouse-presence check
+   already skips stock rows the partition does not own. *)
 let () =
   Replay.register ~txn_type:"new_order" ~step_type:Txns.no_comp.Program.sd_id new_order_handler;
   Replay.register ~txn_type:"payment" ~step_type:Txns.pay_comp.Program.sd_id payment_handler;
-  Replay.register ~txn_type:"delivery" ~step_type:Txns.dl_comp.Program.sd_id delivery_handler
+  Replay.register ~txn_type:"delivery" ~step_type:Txns.dl_comp.Program.sd_id delivery_handler;
+  Replay.register ~txn_type:"new_order_home" ~step_type:Dist_txns.nh_comp.Program.sd_id
+    new_order_handler;
+  Replay.register ~txn_type:"payment_home" ~step_type:Dist_txns.ph_comp.Program.sd_id
+    payment_home_handler;
+  Replay.register ~txn_type:"payment_rcust" ~step_type:Dist_txns.pr_comp.Program.sd_id
+    payment_rcust_handler;
+  Replay.register ~txn_type:"new_order_rstock" ~step_type:Dist_txns.nr_comp.Program.sd_id
+    new_order_rstock_handler
 
 let replay_engine db = Executor.create ~sem:Txns.semantics db
 

@@ -38,6 +38,8 @@ let customer =
       S.col "c_delivery_cnt" Tint;
     ]
 
+(* h_c_* name the customer; h_w_id/h_d_id name where the payment was made —
+   the two differ for the spec's 15% remote-customer payments *)
 let history =
   S.make ~name:"history" ~key:[ "h_id" ]
     [
@@ -45,6 +47,8 @@ let history =
       S.col "h_c_w_id" Tint;
       S.col "h_c_d_id" Tint;
       S.col "h_c_id" Tint;
+      S.col "h_w_id" Tint;
+      S.col "h_d_id" Tint;
       S.col "h_amount" Tfloat;
     ]
 
@@ -74,6 +78,7 @@ let order_line =
       S.col "ol_quantity" Tint;
       S.col "ol_amount" Tfloat;
       S.col "ol_delivery_d" Tint (* -1 = undelivered *);
+      S.col "ol_supply_w" Tint (* supplying warehouse; <> ol_w_id for ~1% of lines *);
     ]
 
 let item =

@@ -22,6 +22,8 @@ type env = {
   min_items : int;
   max_items : int;
   new_order_abort_rate : float;
+  remote_customer_rate : float;
+  remote_item_rate : float;
   pace : unit -> unit;
 }
 
@@ -33,6 +35,8 @@ let default_env ?(seed = 1) params =
     min_items = 5;
     max_items = 15;
     new_order_abort_rate = 0.01;
+    remote_customer_rate = 0.15;
+    remote_item_rate = 0.01;
     pace = (fun () -> ());
   }
 
@@ -40,13 +44,20 @@ type new_order_input = {
   no_w : int;
   no_d : int;
   no_c : int;
-  no_items : (int * int) list;
+  no_items : (int * int * int) list;
   no_fail_last : bool;
 }
 
 type customer_selector = By_id of int | By_last_name of string
 
-type payment_input = { p_w : int; p_d : int; p_customer : customer_selector; p_amount : float }
+type payment_input = {
+  p_w : int;
+  p_d : int;
+  p_c_w : int;
+  p_c_d : int;
+  p_customer : customer_selector;
+  p_amount : float;
+}
 type order_status_input = { os_w : int; os_d : int; os_customer : customer_selector }
 type delivery_input = { dl_w : int; dl_carrier : int }
 type stock_level_input = { sl_w : int; sl_d : int; sl_threshold : int }
@@ -65,16 +76,31 @@ let txn_name = function
   | Delivery _ -> "delivery"
   | Stock_level _ -> "stock_level"
 
+(* a warehouse other than [home], uniform over the rest *)
+let gen_remote_warehouse env ~home =
+  let g = Random_gen.prng env.gen in
+  let w = 1 + Prng.int g (env.params.Params.warehouses - 1) in
+  if w >= home then w + 1 else w
+
 let gen_new_order env =
   let g = Random_gen.prng env.gen in
+  let w = Random_gen.warehouse env.gen in
   let count = Random_gen.order_line_count env.gen ~min_items:env.min_items ~max_items:env.max_items in
   let items =
     List.map
-      (fun i -> (i, Random_gen.quantity env.gen))
+      (fun i ->
+        (* spec §2.4.1.5: ~1% of lines draw their stock from a remote
+           warehouse (only meaningful with more than one warehouse) *)
+        let supply =
+          if env.params.Params.warehouses > 1 && Prng.chance g env.remote_item_rate
+          then gen_remote_warehouse env ~home:w
+          else w
+        in
+        (i, Random_gen.quantity env.gen, supply))
       (Random_gen.distinct_items env.gen ~count)
   in
   {
-    no_w = Random_gen.warehouse env.gen;
+    no_w = w;
     no_d = Random_gen.district env.gen ~skewed:env.skewed_district;
     no_c = Random_gen.customer env.gen;
     no_items = items;
@@ -90,9 +116,22 @@ let gen_customer_selector env =
   else By_id c
 
 let gen_payment env =
+  let g = Random_gen.prng env.gen in
+  let w = Random_gen.warehouse env.gen in
+  let d = Random_gen.district env.gen ~skewed:env.skewed_district in
+  (* spec §2.5.1.2: 15% of payments are for a customer of a remote
+     warehouse (only meaningful with more than one warehouse) *)
+  let c_w, c_d =
+    if env.params.Params.warehouses > 1 && Prng.chance g env.remote_customer_rate
+    then
+      (gen_remote_warehouse env ~home:w, Random_gen.district env.gen ~skewed:false)
+    else (w, d)
+  in
   {
-    p_w = Random_gen.warehouse env.gen;
-    p_d = Random_gen.district env.gen ~skewed:env.skewed_district;
+    p_w = w;
+    p_d = d;
+    p_c_w = c_w;
+    p_c_d = c_d;
     p_customer = gen_customer_selector env;
     p_amount = Random_gen.payment_amount env.gen;
   }
@@ -165,7 +204,8 @@ let no_final =
 
 let no_comp =
   Program.step ~id:5 ~name:"cancel-order" ~txn_type:"new_order" ~index:0
-    ~reads:[ fp ~fresh "order_line" Footprint.All_columns ]
+    ~reads:
+      [ fp ~fresh "order_line" Footprint.All_columns; fp "warehouse" (cols [ "w_id" ]) ]
     ~writes:
       [
         fp "stock" (cols [ "s_quantity"; "s_ytd"; "s_order_cnt" ]);
@@ -406,27 +446,40 @@ let no_step2 env (i : new_order_input) ws ctx =
   env.pace ();
   Executor.insert ctx "new_order" [| Int i.no_w; Int i.no_d; Int ws.o_id |]
 
-let no_step_line env (i : new_order_input) ws ~ln ~last ~item ~qty ctx =
+(* the stock draw itself, shared with the remote-stock branch of the
+   partitioned decomposition *)
+let draw_stock ctx ~supply ~item ~qty =
+  ignore
+    (Executor.update ctx "stock" (Load.stock_key ~w:supply ~i:item) (fun row ->
+         let q = as_int row.(2) in
+         let q' = if q - qty >= 10 then q - qty else q - qty + 91 in
+         row.(2) <- Int q';
+         row.(3) <- Int (as_int row.(3) + qty);
+         row.(4) <- Int (as_int row.(4) + 1);
+         row))
+
+let undo_stock ctx ~supply ~item ~qty =
+  ignore
+    (Executor.update ctx "stock" (Load.stock_key ~w:supply ~i:item) (fun s ->
+         s.(2) <- Int (as_int s.(2) + qty);
+         s.(3) <- Int (as_int s.(3) - qty);
+         s.(4) <- Int (as_int s.(4) - 1);
+         s))
+
+let no_step_line env (i : new_order_input) ws ~ln ~last ~item ~qty ~supply ctx =
   (* idempotent under step retry: the line number comes from the step's
      position, and the workspace is assigned, not accumulated *)
   if last && i.no_fail_last then raise Txn_effect.Abort_requested;
   let item_row = Executor.read_exn ctx "item" [ Int item ] in
   let price = fnum item_row.(2) in
   env.pace ();
-  ignore
-    (Executor.update ctx "stock" (Load.stock_key ~w:i.no_w ~i:item) (fun row ->
-         let q = as_int row.(2) in
-         let q' = if q - qty >= 10 then q - qty else q - qty + 91 in
-         row.(2) <- Int q';
-         row.(3) <- Int (as_int row.(3) + qty);
-         row.(4) <- Int (as_int row.(4) + 1);
-         row));
+  draw_stock ctx ~supply ~item ~qty;
   env.pace ();
   ws.ol_number <- ln;
   Executor.insert ctx "order_line"
     [|
       Int i.no_w; Int i.no_d; Int ws.o_id; Int ln; Int item; Int qty;
-      Float (float_of_int qty *. price); Int (-1);
+      Float (float_of_int qty *. price); Int (-1); Int supply;
     |]
 
 let no_step_final (i : new_order_input) ws ctx =
@@ -453,12 +506,12 @@ let no_compensation (i : new_order_input) ws ctx ~completed =
       let key = [ Int i.no_w; Int i.no_d; Int ws.o_id; Int ln ] in
       let row = Executor.read_exn ctx "order_line" key in
       let item = as_int row.(4) and qty = as_int row.(5) in
-      ignore
-        (Executor.update ctx "stock" (Load.stock_key ~w:i.no_w ~i:item) (fun s ->
-             s.(2) <- Int (as_int s.(2) + qty);
-             s.(3) <- Int (as_int s.(3) - qty);
-             s.(4) <- Int (as_int s.(4) - 1);
-             s));
+      let supply = as_int row.(8) in
+      (* return the stock only if the supplying warehouse lives in this
+         database — a partitioned home branch leaves remote draws to the
+         remote-stock branch's own compensation *)
+      if Executor.read_committed ctx "warehouse" [ Int supply ] <> None then
+        undo_stock ctx ~supply ~item ~qty;
       Executor.delete ctx "order_line" key
     done;
     ignore
@@ -494,19 +547,24 @@ let pay_step2 env (i : payment_input) ctx =
          row.(4) <- Float (fnum row.(4) +. i.p_amount);
          row))
 
+let next_history_id () = 1 + Atomic.fetch_and_add pay_h_seq 1
+
 let pay_step3 env (i : payment_input) ws ctx =
-  let c = resolve_customer ctx ~w:i.p_w ~d:i.p_d i.p_customer in
+  let c = resolve_customer ctx ~w:i.p_c_w ~d:i.p_c_d i.p_customer in
   ws.w_customer <- c;
   ignore
-    (Executor.update ctx "customer" (Load.customer_key ~w:i.p_w ~d:i.p_d ~c) (fun row ->
+    (Executor.update ctx "customer" (Load.customer_key ~w:i.p_c_w ~d:i.p_c_d ~c) (fun row ->
          row.(6) <- Float (fnum row.(6) -. i.p_amount);
          row.(7) <- Float (fnum row.(7) +. i.p_amount);
          row.(8) <- Int (as_int row.(8) + 1);
          row));
   env.pace ();
-  ws.h_id <- 1 + Atomic.fetch_and_add pay_h_seq 1;
+  ws.h_id <- next_history_id ();
   Executor.insert ctx "history"
-    [| Int ws.h_id; Int i.p_w; Int i.p_d; Int ws.w_customer; Float i.p_amount |]
+    [|
+      Int ws.h_id; Int i.p_c_w; Int i.p_c_d; Int ws.w_customer; Int i.p_w; Int i.p_d;
+      Float i.p_amount;
+    |]
 
 let pay_compensation (i : payment_input) ws ctx ~completed =
   let c = ws.w_customer in
@@ -522,7 +580,7 @@ let pay_compensation (i : payment_input) ws ctx ~completed =
            row));
   if completed >= 3 then begin
     ignore
-      (Executor.update ctx "customer" (Load.customer_key ~w:i.p_w ~d:i.p_d ~c) (fun row ->
+      (Executor.update ctx "customer" (Load.customer_key ~w:i.p_c_w ~d:i.p_c_d ~c) (fun row ->
            row.(6) <- Float (fnum row.(6) +. i.p_amount);
            row.(7) <- Float (fnum row.(7) -. i.p_amount);
            row.(8) <- Int (as_int row.(8) - 1);
@@ -699,8 +757,8 @@ let flat_new_order env (i : new_order_input) ctx =
   env.pace ();
   let n = List.length i.no_items in
   List.iteri
-    (fun idx (item, qty) ->
-      no_step_line env i ws ~ln:(idx + 1) ~last:(idx = n - 1) ~item ~qty ctx;
+    (fun idx (item, qty, supply) ->
+      no_step_line env i ws ~ln:(idx + 1) ~last:(idx = n - 1) ~item ~qty ~supply ctx;
       env.pace ())
     i.no_items;
   no_step_final i ws ctx
@@ -768,10 +826,10 @@ let new_order_footprints (i : new_order_input) ws =
         (Mode.X, tup "new_order" [ Int i.no_w; Int i.no_d; Int ws.o_id ]);
       ]
     else if j >= 3 && j <= n_items + 2 then
-      let item, _ = items.(j - 3) in
+      let item, _, supply = items.(j - 3) in
       [
         (Mode.IS, tab "item"); (Mode.S, tup "item" [ Int item ]);
-        (Mode.IX, tab "stock"); (Mode.X, tup "stock" (Load.stock_key ~w:i.no_w ~i:item));
+        (Mode.IX, tab "stock"); (Mode.X, tup "stock" (Load.stock_key ~w:supply ~i:item));
         (Mode.IX, tab "order_line");
         (Mode.X, tup "order_line" [ Int i.no_w; Int i.no_d; Int ws.o_id; Int (j - 2) ]);
       ]
@@ -798,7 +856,7 @@ let payment_footprints (i : payment_input) j =
     | By_id c ->
         [
           (Mode.IS, tab "customer");
-          (Mode.X, tup "customer" (Load.customer_key ~w:i.p_w ~d:i.p_d ~c));
+          (Mode.X, tup "customer" (Load.customer_key ~w:i.p_c_w ~d:i.p_c_d ~c));
         ]
     | By_last_name _ -> [ (Mode.IS, tab "customer") ])
   else []
@@ -819,10 +877,11 @@ let new_order_instance env (i : new_order_input) =
   let n_items = List.length i.no_items in
   let line_steps =
     List.mapi
-      (fun idx (item, qty) ->
+      (fun idx (item, qty, supply) ->
         ( no_line,
           fun ctx ->
-            no_step_line env i ws ~ln:(idx + 1) ~last:(idx = n_items - 1) ~item ~qty ctx ))
+            no_step_line env i ws ~ln:(idx + 1) ~last:(idx = n_items - 1) ~item ~qty ~supply
+              ctx ))
       i.no_items
   in
   let steps =
@@ -864,6 +923,8 @@ let payment_instance env (i : payment_input) =
       [
         ("w", Int i.p_w);
         ("d", Int i.p_d);
+        ("c_w", Int i.p_c_w);
+        ("c_d", Int i.p_c_d);
         ("c", Int ws.w_customer);
         ("amount", Float i.p_amount);
         ("h_id", Int ws.h_id);

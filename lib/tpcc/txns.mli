@@ -28,6 +28,12 @@ type env = {
   min_items : int;
   max_items : int;
   new_order_abort_rate : float;  (** spec: 0.01 *)
+  remote_customer_rate : float;
+      (** fraction of payments made for a customer of another warehouse
+          (spec §2.5.1.2: 0.15); inert with a single warehouse *)
+  remote_item_rate : float;
+      (** per-line probability of drawing stock from another warehouse
+          (spec §2.4.1.5: 0.01); inert with a single warehouse *)
   pace : unit -> unit;
       (** called between successive SQL statements — the experiment knob
           "adding compute time between successive SQL statements" *)
@@ -41,7 +47,9 @@ type new_order_input = {
   no_w : int;
   no_d : int;
   no_c : int;
-  no_items : (int * int) list;  (** (item id, quantity), distinct items *)
+  no_items : (int * int * int) list;
+      (** (item id, quantity, supplying warehouse), distinct items; the
+          supplying warehouse differs from [no_w] for ~1% of lines *)
   no_fail_last : bool;
 }
 
@@ -51,7 +59,14 @@ type customer_selector =
       (** the spec's 60% case: resolve via the last-name index, choosing the
           midpoint of the matches (Rev 3.1 §2.5.2.2) *)
 
-type payment_input = { p_w : int; p_d : int; p_customer : customer_selector; p_amount : float }
+type payment_input = {
+  p_w : int;  (** warehouse taking the payment *)
+  p_d : int;
+  p_c_w : int;  (** the customer's warehouse; <> [p_w] for 15% of payments *)
+  p_c_d : int;
+  p_customer : customer_selector;
+  p_amount : float;
+}
 
 type order_status_input = { os_w : int; os_d : int; os_customer : customer_selector }
 
@@ -88,6 +103,14 @@ val no_comp : Acc_core.Program.step_def
 (** new_order's compensating step (cancel-order); {!Recovery_comp} keys its
     replay handler on its design-time id. *)
 
+val no_reads : Acc_core.Program.step_def
+(** new_order's first forward step (reads + order counter); named so
+    {!Dist_txns} can extend the counter's interference compatibility to the
+    partitioned home branch. *)
+
+val a_no_seq : Acc_core.Assertion.t
+(** the order-counter sequencing assertion, for the same reason. *)
+
 val pay_comp : Acc_core.Program.step_def
 (** payment's compensating step (refund). *)
 
@@ -98,6 +121,25 @@ val reset_history_seq : unit -> unit
 (** Reset the process-wide surrogate history-key sequence.  Call before a
     run whose final state must be comparable with another run of the same
     inputs (the crash-equivalence property test). *)
+
+val next_history_id : unit -> int
+(** Draw the next surrogate history key (shared with the partitioned
+    payment branches, which insert history rows of their own). *)
+
+(** {1 Shared SQL-ish pieces, reused by the partitioned branch programs} *)
+
+val resolve_customer :
+  Acc_txn.Executor.ctx -> w:int -> d:int -> customer_selector -> int
+(** Resolve a selector to a customer id ([By_last_name] probes the index and
+    picks the spec's midpoint match; raises
+    {!Acc_txn.Txn_effect.Abort_requested} on an unknown name). *)
+
+val draw_stock : Acc_txn.Executor.ctx -> supply:int -> item:int -> qty:int -> unit
+(** The new-order stock draw: quantity decrement with the spec's +91 restock
+    rule, s_ytd and s_order_cnt bumped. *)
+
+val undo_stock : Acc_txn.Executor.ctx -> supply:int -> item:int -> qty:int -> unit
+(** Exact inverse of {!draw_stock}. *)
 
 (** {1 Flat (baseline) bodies} *)
 

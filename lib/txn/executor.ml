@@ -23,6 +23,10 @@ let cp_commit_durable = Fault.register "exec.commit.durable"
 let cp_release = Fault.register "exec.release"
 let cp_comp_write = Fault.register "comp.write"
 
+(* the 2PC participant's vote window: the Prepare record is durable but the
+   coordinator has not decided — a crash here leaves the branch in doubt *)
+let cp_prepare = Fault.register "dist.prepare"
+
 type table_wrap = { wrap : 'a. string -> (unit -> 'a) -> 'a }
 
 type config = {
@@ -494,6 +498,16 @@ let finish ctx =
   ctx.finished <- true;
   Atomic.decr ctx.eng.active
 
+let prepare ctx ~gid =
+  (* participant vote: all steps have run and their conventional locks are
+     released; the assertional and compensation locks stay held across the
+     in-doubt window so foreign steps that would invalidate either outcome
+     keep blocking until the decision arrives *)
+  assert (not ctx.finished);
+  ignore (Log.append ctx.eng.log (Record.Prepare { txn = ctx.txn; gid }));
+  Fault.trip cp_prepare;
+  if Trace.enabled () then Trace.emit (Trace.Prepare { txn = ctx.txn; gid })
+
 let commit ctx =
   assert (not ctx.finished);
   ignore (Log.append ctx.eng.log (Record.Commit { txn = ctx.txn }));
@@ -553,6 +567,16 @@ let adopt_pending t ~txn ~txn_type ~completed_steps ~area =
     finished = false;
     pre_acquired = [];
   }
+
+(* Re-open an in-doubt 2PC participant.  Same contract as [adopt_pending],
+   plus the Prepare record is re-logged: if the process dies again before
+   the resolution completes, the next recovery re-derives the same in-doubt
+   obligation (instead of misreading the branch as an ordinary pending
+   compensation and wrongly undoing a committed decision). *)
+let adopt_in_doubt t ~txn ~txn_type ~completed_steps ~area ~gid =
+  let ctx = adopt_pending t ~txn ~txn_type ~completed_steps ~area in
+  ignore (Log.append t.log (Record.Prepare { txn; gid }));
+  ctx
 
 let active_txns t = Atomic.get t.active
 

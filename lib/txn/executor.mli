@@ -216,6 +216,14 @@ val release_locks : ctx -> (Acc_lock.Resource_id.t -> Acc_lock.Mode.t -> bool) -
 
 (* completion *)
 
+val prepare : ctx -> gid:int -> unit
+(** Two-phase-commit participant vote for global transaction [gid]: log the
+    [Prepare] record (the branch's durable yes-vote) and emit the [prepare]
+    trace event.  Call after the last step's end-of-step release, so only
+    the assertional and compensation locks remain held across the in-doubt
+    window; the transaction stays open until {!commit} (decision: commit) or
+    a compensation run ending in {!finish_compensated} (decision: abort). *)
+
 val commit : ctx -> unit
 (** Log commit, release everything, deliver wakeups. *)
 
@@ -247,6 +255,21 @@ val adopt_pending :
     as the runtime would (see {!Acc_core.Replay}).  Raises
     [Invalid_argument] if [completed_steps < 1] (nothing exposed — recovery
     already rolled such transactions back physically). *)
+
+val adopt_in_doubt :
+  t ->
+  txn:int ->
+  txn_type:string ->
+  completed_steps:int ->
+  area:(string * Acc_relation.Value.t) list ->
+  gid:int ->
+  ctx
+(** Re-open an in-doubt participant branch ({!Acc_wal.Recovery}'s [in_doubt]
+    report): {!adopt_pending} plus a re-logged [Prepare] record, so a crash
+    during resolution re-derives the in-doubt state rather than mistaking
+    the branch for an ordinary pending compensation.  The caller resolves it
+    with {!commit} or by running the compensating step, according to the
+    coordinator's decision log (see {!Acc_core.Replay.resolve_in_doubt}). *)
 
 (* checkpoints *)
 

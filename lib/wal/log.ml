@@ -11,7 +11,7 @@ type t = { mutable records : Record.t array; mutable len : int; mu : Mutex.t }
 let crash_points =
   List.map
     (fun kind -> (kind, Acc_fault.Fault.register ("wal.append." ^ kind)))
-    [ "begin"; "write"; "undo"; "step_end"; "comp_area"; "commit"; "abort" ]
+    [ "begin"; "write"; "undo"; "step_end"; "comp_area"; "commit"; "abort"; "prepare" ]
 
 let trip_for r = Acc_fault.Fault.trip (List.assoc (Record.kind r) crash_points)
 

@@ -12,6 +12,7 @@ type t =
   | Write of { txn : int; write : write; undo : bool }
   | Step_end of { txn : int; step_index : int }
   | Comp_area of { txn : int; completed_steps : int; area : (string * Value.t) list }
+  | Prepare of { txn : int; gid : int }
   | Commit of { txn : int }
   | Abort of { txn : int }
 
@@ -20,6 +21,7 @@ let txn_of = function
   | Write { txn; _ }
   | Step_end { txn; _ }
   | Comp_area { txn; _ }
+  | Prepare { txn; _ }
   | Commit { txn }
   | Abort { txn } ->
       txn
@@ -30,6 +32,7 @@ let kind = function
   | Write { undo = true; _ } -> "undo"
   | Step_end _ -> "step_end"
   | Comp_area _ -> "comp_area"
+  | Prepare _ -> "prepare"
   | Commit _ -> "commit"
   | Abort _ -> "abort"
 
@@ -54,6 +57,7 @@ let pp ppf = function
   | Comp_area { txn; completed_steps; area } ->
       Format.fprintf ppf "COMP_AREA T%d after %d steps (%d values)" txn completed_steps
         (List.length area)
+  | Prepare { txn; gid } -> Format.fprintf ppf "PREPARE T%d (global %d)" txn gid
   | Commit { txn } -> Format.fprintf ppf "COMMIT T%d" txn
   | Abort { txn } -> Format.fprintf ppf "ABORT T%d" txn
 

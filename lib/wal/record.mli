@@ -23,6 +23,11 @@ type t =
       (** Work area checkpoint enabling the compensating step to run after a
           crash: the forward steps completed so far and the named values the
           compensation needs. *)
+  | Prepare of { txn : int; gid : int }
+      (** Two-phase-commit participant vote: the branch of global transaction
+          [gid] has run all its steps and can commit.  Until a coordinator
+          decision is known the transaction is {e in doubt}: recovery may
+          neither commit nor compensate it on its own. *)
   | Commit of { txn : int }
   | Abort of { txn : int }
       (** Transaction fully undone (physically, or logically via its
@@ -32,7 +37,8 @@ val txn_of : t -> int
 
 val kind : t -> string
 (** A short record-kind tag (["begin"], ["write"], ["undo"], ["step_end"],
-    ["comp_area"], ["commit"], ["abort"]) for trace events and summaries. *)
+    ["comp_area"], ["prepare"], ["commit"], ["abort"]) for trace events and
+    summaries. *)
 
 val pp : Format.formatter -> t -> unit
 

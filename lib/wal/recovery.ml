@@ -9,9 +9,18 @@ type pending = {
   p_area : (string * Value.t) list;
 }
 
+type in_doubt = {
+  i_txn : int;
+  i_txn_type : string;
+  i_completed_steps : int;
+  i_area : (string * Value.t) list;
+  i_gid : int;
+}
+
 type report = {
   db : Database.t;
   pending : pending list;
+  in_doubt : in_doubt list;
   committed : int list;
   physically_undone : int list;
   already_resolved : int list;
@@ -51,6 +60,9 @@ type txn_info = {
      compensation is complete even though the final Abort record is not —
      the step-end is its atomic commit point, same as any step *)
   mutable comp_done : bool;
+  (* a durable Prepare vote: the transaction is a 2PC participant in doubt
+     until its coordinator's decision is known *)
+  mutable prepared_gid : int option;
 }
 
 let recover ~baseline records =
@@ -72,6 +84,7 @@ let recover ~baseline records =
             tail_undone = 0;
             comp_writes = [];
             comp_done = false;
+            prepared_gid = None;
           }
         in
         Hashtbl.add txns txn i;
@@ -117,6 +130,7 @@ let recover ~baseline records =
           (* staged until the matching Step_end arrives: only a durable
              end-of-step record completes a step *)
           (info txn).staged_area <- Some area
+      | Record.Prepare { txn; gid } -> (info txn).prepared_gid <- Some gid
       | Record.Commit { txn } -> (info txn).status <- `Committed
       | Record.Abort { txn } -> (info txn).status <- `Resolved)
     records;
@@ -136,11 +150,30 @@ let recover ~baseline records =
       let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
       List.iter (undo_write db) (i.comp_writes @ drop i.tail_undone i.tail_writes))
     losers;
+  (* a prepared loser voted yes in a two-phase commit and must await its
+     coordinator's decision: it is reported in doubt, neither compensated
+     (the decision may be commit) nor treated as undone (its steps stand).
+     The physical rewind above only cleared an interrupted compensating
+     step, which the eventual abort resolution restarts from scratch. *)
+  let in_doubt, undecided =
+    List.partition (fun (_, i) -> i.prepared_gid <> None) losers
+  in
   let pending, physically_undone =
-    List.partition (fun (_, i) -> i.multi_step && i.completed_steps > 0) losers
+    List.partition (fun (_, i) -> i.multi_step && i.completed_steps > 0) undecided
   in
   {
     db;
+    in_doubt =
+      List.map
+        (fun (txn, i) ->
+          {
+            i_txn = txn;
+            i_txn_type = i.txn_type;
+            i_completed_steps = i.completed_steps;
+            i_area = i.area;
+            i_gid = (match i.prepared_gid with Some g -> g | None -> assert false);
+          })
+        in_doubt;
     pending =
       List.map
         (fun (txn, i) ->

@@ -31,9 +31,23 @@ type pending = {
   p_area : (string * Acc_relation.Value.t) list;
 }
 
+type in_doubt = {
+  i_txn : int;
+  i_txn_type : string;
+  i_completed_steps : int;
+  i_area : (string * Acc_relation.Value.t) list;
+  i_gid : int;  (** the global transaction whose coordinator decides *)
+}
+(** A participant branch whose [Prepare] vote is durable but whose outcome
+    is not: recovery must consult the coordinator's decision log — commit
+    the branch if a commit decision is found, compensate it otherwise
+    (presumed abort). *)
+
 type report = {
   db : Acc_relation.Database.t;  (** the recovered state *)
   pending : pending list;  (** transactions awaiting compensating steps *)
+  in_doubt : in_doubt list;
+      (** prepared 2PC participants awaiting their coordinator's decision *)
   committed : int list;
   physically_undone : int list;
       (** losers with no completed step: rolled back in place *)

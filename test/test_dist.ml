@@ -1,0 +1,302 @@
+(* Tests for acc.dist: partitioning, the 2PC coordinator, the remote-payment
+   and remote-stock paths (single-node and partitioned), the partitioned
+   crash harness (no-lost-decision oracle), and the partitioned driver's
+   cross-partition fraction and merged-database consistency. *)
+
+open Acc_tpcc
+module Dist = Acc_dist
+module Partition = Acc_dist.Partition
+module Coordinator = Acc_dist.Coordinator
+module Dist_driver = Acc_dist.Dist_driver
+module Dist_harness = Acc_dist.Dist_harness
+module Executor = Acc_txn.Executor
+module Schedule = Acc_txn.Schedule
+module Database = Acc_relation.Database
+module Table = Acc_relation.Table
+open Acc_relation.Value
+
+let small_params =
+  {
+    Params.default with
+    Params.warehouses = 4;
+    districts_per_warehouse = 4;
+    customers_per_district = 20;
+    items = 200;
+    initial_orders_per_district = 3;
+  }
+
+(* --- partitioning --------------------------------------------------------- *)
+
+let test_ranges () =
+  Alcotest.(check (list (pair int int)))
+    "4 over 2" [ (1, 2); (3, 4) ]
+    (Partition.ranges ~warehouses:4 ~partitions:2);
+  Alcotest.(check (list (pair int int)))
+    "5 over 2: first takes the extra" [ (1, 3); (4, 5) ]
+    (Partition.ranges ~warehouses:5 ~partitions:2);
+  Alcotest.(check (list (pair int int)))
+    "1 over 1" [ (1, 1) ]
+    (Partition.ranges ~warehouses:1 ~partitions:1);
+  Alcotest.(check bool) "more partitions than warehouses rejected" true
+    (try
+       ignore (Partition.ranges ~warehouses:1 ~partitions:2);
+       false
+     with Invalid_argument _ -> true)
+
+let mk_parts ~seed ~partitions params =
+  let ranges = Partition.ranges ~warehouses:params.Params.warehouses ~partitions in
+  Array.of_list
+    (List.mapi
+       (fun id (lo, hi) ->
+         let db = Load.populate ~only:(fun w -> lo <= w && w <= hi) ~seed params in
+         Partition.make ~id ~lo ~hi (Executor.create ~sem:Dist_txns.semantics db))
+       ranges)
+
+(* partition loads are exact disjoint projections: their union is the
+   unpartitioned load *)
+let test_load_projection () =
+  let seed = 11 in
+  let parts = mk_parts ~seed ~partitions:3 small_params in
+  let merged = Dist_driver.merged_db (Array.to_list parts) in
+  let full = Load.populate ~seed small_params in
+  Alcotest.(check bool) "merged partitions = unpartitioned load" true
+    (Database.equal merged full);
+  Alcotest.(check (list string)) "merged load is consistent" [] (Consistency.check merged)
+
+(* --- remote payment, single-node ------------------------------------------ *)
+
+(* the 15% remote-customer payment on one engine: money lands in the paying
+   warehouse's ytd (C1/C8 group history by h_w_id), the customer side at the
+   customer's home warehouse *)
+let test_remote_payment_single_node () =
+  let seed = 5 in
+  let db = Load.populate ~seed small_params in
+  let eng = Executor.create ~sem:Txns.semantics db in
+  let env = Txns.default_env ~seed small_params in
+  let input =
+    Txns.Payment
+      {
+        Txns.p_w = 1; p_d = 2; p_c_w = 3; p_c_d = 4;
+        p_customer = Txns.By_id 7; p_amount = 123.25;
+      }
+  in
+  let outcome = ref None in
+  Schedule.run eng [ (fun () -> outcome := Some (Txns.run_acc eng env input)) ];
+  (match !outcome with
+  | Some Acc_core.Runtime.Committed -> ()
+  | _ -> Alcotest.fail "remote payment did not commit");
+  Alcotest.(check (list string)) "C1/C8 hold across warehouses" []
+    (Consistency.check db);
+  let site_rows =
+    Table.scan (Database.table db "history")
+      ~where:
+        (Acc_relation.Predicate.conj
+           [
+             Acc_relation.Predicate.Eq ("h_c_w_id", Int 3);
+             Acc_relation.Predicate.Eq ("h_w_id", Int 1);
+           ])
+  in
+  Alcotest.(check int) "history row: customer home 3, payment site 1" 1
+    (List.length site_rows)
+
+(* --- cross-partition payment through the coordinator ---------------------- *)
+
+let cross_payment =
+  {
+    Txns.p_w = 1; p_d = 1; p_c_w = 4; p_c_d = 2;
+    p_customer = Txns.By_id 3; p_amount = 77.5;
+  }
+
+let run_cross_input coord parts env input =
+  let part_of w = Partition.id (Coordinator.partition_of coord w) in
+  let branches =
+    List.map (fun (pid, inst) -> (parts.(pid), inst)) (Dist_txns.branches env ~part_of input)
+  in
+  let home = Partition.engine (fst (List.hd branches)) in
+  let outcome = ref Coordinator.Aborted in
+  Schedule.run home [ (fun () -> outcome := Coordinator.run_cross coord branches) ];
+  !outcome
+
+let test_cross_payment_commit () =
+  let seed = 3 in
+  let parts = mk_parts ~seed ~partitions:2 small_params in
+  let coord = Coordinator.create parts in
+  let env = Txns.default_env ~seed small_params in
+  let outcome = run_cross_input coord parts env (Txns.Payment cross_payment) in
+  Alcotest.(check bool) "committed" true (outcome = Coordinator.Committed);
+  Alcotest.(check int) "decision logged" 1
+    (Coordinator.Decision_log.size (Coordinator.decision_log coord));
+  let merged = Dist_driver.merged_db (Array.to_list parts) in
+  Alcotest.(check (list string)) "C1/C8 hold across partitions" []
+    (Consistency.check merged);
+  (* the history row lives on the customer's partition, stamped with the
+     paying site *)
+  let rcust_db = Executor.db (Partition.engine (Coordinator.partition_of coord 4)) in
+  let rows =
+    Table.scan (Database.table rcust_db "history")
+      ~where:(Acc_relation.Predicate.Eq ("h_w_id", Int 1))
+  in
+  Alcotest.(check int) "history on the customer's partition names site w1" 1
+    (List.length rows)
+
+(* a branch failure after the home branch prepared: the coordinator logs
+   Abort and the prepared branch compensates — both ytds restored *)
+let test_cross_payment_abort_compensates () =
+  let seed = 3 in
+  let parts = mk_parts ~seed ~partitions:2 small_params in
+  let coord = Coordinator.create parts in
+  let env = Txns.default_env ~seed small_params in
+  let home_db = Executor.db (Partition.engine parts.(0)) in
+  let w_ytd_before =
+    match Table.scan (Database.table home_db "warehouse") with
+    | row :: _ -> number row.(3)
+    | [] -> Alcotest.fail "no warehouse row"
+  in
+  let input =
+    Txns.Payment { cross_payment with Txns.p_customer = Txns.By_last_name "NOSUCHNAME" }
+  in
+  let outcome = run_cross_input coord parts env input in
+  Alcotest.(check bool) "aborted" true (outcome = Coordinator.Aborted);
+  let w_ytd_after =
+    match Table.scan (Database.table home_db "warehouse") with
+    | row :: _ -> number row.(3)
+    | [] -> Alcotest.fail "no warehouse row"
+  in
+  Alcotest.(check (float 1e-9)) "home w_ytd restored" w_ytd_before w_ytd_after;
+  Alcotest.(check (list string)) "merged state consistent" []
+    (Consistency.check (Dist_driver.merged_db (Array.to_list parts)))
+
+(* a cross-partition new_order spreads stock draws over partitions; C12
+   groups by the supplying warehouse of the merged database *)
+let test_cross_new_order () =
+  let seed = 9 in
+  let parts = mk_parts ~seed ~partitions:2 small_params in
+  let coord = Coordinator.create parts in
+  let env = Txns.default_env ~seed small_params in
+  let input =
+    Txns.New_order
+      {
+        Txns.no_w = 1; no_d = 1; no_c = 2;
+        (* two local lines, one remote line supplied from w3 (partition 1) *)
+        no_items = [ (5, 3, 1); (6, 2, 3); (7, 1, 1) ];
+        no_fail_last = false;
+      }
+  in
+  let outcome = run_cross_input coord parts env input in
+  Alcotest.(check bool) "committed" true (outcome = Coordinator.Committed);
+  let merged = Dist_driver.merged_db (Array.to_list parts) in
+  Alcotest.(check (list string)) "C12 holds across partitions" []
+    (Consistency.check merged);
+  (* the remote line's quantity was drawn from w3's stock on partition 1 *)
+  let p1_db = Executor.db (Partition.engine parts.(1)) in
+  let stock_row =
+    match
+      Table.scan (Database.table p1_db "stock")
+        ~where:
+          (Acc_relation.Predicate.conj
+             [
+               Acc_relation.Predicate.Eq ("s_w_id", Int 3);
+               Acc_relation.Predicate.Eq ("s_i_id", Int 6);
+             ])
+    with
+    | [ row ] -> row
+    | _ -> Alcotest.fail "remote stock row missing"
+  in
+  Alcotest.(check int) "remote s_ytd counts the draw" 2 (as_int stock_row.(3))
+
+(* --- the partitioned driver ----------------------------------------------- *)
+
+let test_driver_4_partitions () =
+  let cfg =
+    {
+      Dist_driver.default_config with
+      Dist_driver.seed = 21;
+      domains = 2;
+      partitions = 4;
+      txns_per_domain = Some 150;
+      params = small_params;
+    }
+  in
+  let r = Dist_driver.run cfg in
+  Alcotest.(check (list string)) "merged database consistent" []
+    r.Dist_driver.violations;
+  Alcotest.(check bool) "committed work" true (r.Dist_driver.committed > 100);
+  Alcotest.(check bool) "cross-partition commits happened" true
+    (r.Dist_driver.cross_committed > 0);
+  (* acceptance floor: the TPC-C mix at 4 warehouses yields >= 10%
+     cross-partition transactions (15% remote-customer payments + ~1%/line
+     remote stock) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cross fraction %.3f >= 0.10" r.Dist_driver.cross_fraction)
+    true
+    (r.Dist_driver.cross_fraction >= 0.10)
+
+(* --- crash harness --------------------------------------------------------- *)
+
+let harness_config =
+  {
+    Dist_harness.default_config with
+    Dist_harness.params = small_params;
+    partitions = 2;
+    txns = 24;
+    hits_per_point = 2;
+  }
+
+let check_results results =
+  List.iter
+    (fun r ->
+      if Dist_harness.failed r then
+        Alcotest.failf "%s" (Format.asprintf "%a" Dist_harness.pp_result r))
+    results
+
+let test_harness_sweep () =
+  let results = Dist_harness.sweep ~config:harness_config () in
+  check_results results;
+  Alcotest.(check bool) "sweep injected crashes" true
+    (List.exists (fun r -> r.Dist_harness.r_crashes > 0) results)
+
+let test_harness_chaos () =
+  check_results [ Dist_harness.chaos ~config:{ harness_config with txns = 16 } ~seed:2 () ]
+
+(* crash-equivalence, coordinator edition: whatever the seed, crashing at
+   random points leaves every partition decided (no in-doubt, no pending),
+   never loses a logged Commit, and the merged database stays consistent —
+   all checked inside the harness oracle *)
+let prop_no_lost_decision =
+  QCheck2.Test.make ~name:"dist: chaos crashes lose no decision" ~count:6
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let config = { harness_config with Dist_harness.txns = 14; chaos_p = 0.02 } in
+      let r = Dist_harness.chaos ~config ~seed () in
+      if Dist_harness.failed r then
+        QCheck2.Test.fail_report (Format.asprintf "%a" Dist_harness.pp_result r)
+      else true)
+
+let suites =
+  [
+    ( "dist.partition",
+      [
+        Alcotest.test_case "warehouse ranges" `Quick test_ranges;
+        Alcotest.test_case "partition loads are exact projections" `Quick
+          test_load_projection;
+      ] );
+    ( "dist.payment",
+      [
+        Alcotest.test_case "remote payment, single node" `Quick
+          test_remote_payment_single_node;
+        Alcotest.test_case "cross-partition payment commits" `Quick
+          test_cross_payment_commit;
+        Alcotest.test_case "cross-partition abort compensates" `Quick
+          test_cross_payment_abort_compensates;
+        Alcotest.test_case "cross-partition new_order" `Quick test_cross_new_order;
+      ] );
+    ( "dist.driver",
+      [ Alcotest.test_case "4 partitions: consistent, >=10%% cross" `Slow test_driver_4_partitions ] );
+    ( "dist.harness",
+      [
+        Alcotest.test_case "sweep survives every dist point" `Slow test_harness_sweep;
+        Alcotest.test_case "chaos seed survives" `Slow test_harness_chaos;
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xD157 |])
+          prop_no_lost_decision;
+      ] );
+  ]

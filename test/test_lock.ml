@@ -828,6 +828,55 @@ let prop_bounded_bypass =
         ~max_bypassed:(fun () -> Lock_table.max_bypassed t)
         ops)
 
+(* Sequential-vs-sharded parity: the sharded table must agree with the
+   sequential one request-for-request on the Lock_request surface.  The
+   script exercises grants, queueing, upgrades, re-entry and the
+   assertional/compensating modes. *)
+module Sharded = Acc_parallel.Sharded_lock_table
+
+let parity_script =
+  [
+    (1, 0, false, false, None, Mode.IX, tbl);
+    (1, 0, false, false, None, Mode.X, res_a);
+    (2, 10, false, false, None, Mode.IS, tbl);
+    (2, 10, false, false, Some 99.0, Mode.S, res_a) (* queues behind txn 1 *);
+    (3, 0, true, false, None, Mode.A 100, res_b);
+    (3, 0, false, true, None, Mode.Comp 10, res_b);
+    (1, 0, false, false, None, Mode.X, res_a) (* re-entrant *);
+    (3, 0, false, false, None, Mode.A 200, Resource_id.Tuple ("t", [ Value.Int 3 ]));
+  ]
+
+let same_grant g1 g2 =
+  match (g1, g2) with
+  | Lock_table.Granted, Lock_table.Granted -> true
+  | Lock_table.Queued _, Lock_table.Queued _ -> true
+  | _ -> false
+
+let test_sequential_sharded_parity () =
+  let seq = Lock_table.create test_semantics in
+  let sh = Sharded.create ~shards:4 test_semantics in
+  List.iter
+    (fun (txn, step_type, admission, compensating, deadline, mode, res) ->
+      let req = Lock_request.make ~txn ~step_type ~admission ~compensating ?deadline mode res in
+      let g_seq = Lock_table.submit seq req in
+      let g_sh = Sharded.submit sh req in
+      Alcotest.(check bool) "same grant decision" true (same_grant g_seq g_sh);
+      (* attach on a disjoint txn space so it cannot disturb the grants *)
+      let att = Lock_request.make ~txn:(txn + 100) ~step_type mode res in
+      Lock_table.attach_req seq att;
+      Sharded.attach_req sh att)
+    parity_script;
+  List.iter
+    (fun res ->
+      Alcotest.(check bool)
+        "same holders" true
+        (List.sort compare (Lock_table.holders seq res)
+        = List.sort compare (Sharded.holders sh res)))
+    [ tbl; res_a; res_b; Resource_id.Tuple ("t", [ Value.Int 3 ]) ];
+  Alcotest.(check int) "same lock count" (Lock_table.lock_count seq) (Sharded.lock_count sh);
+  Alcotest.(check int) "same waiter count" (Lock_table.waiter_count seq)
+    (Sharded.waiter_count sh)
+
 let suites =
   [
     ( "lock.mode",
@@ -883,6 +932,11 @@ let suites =
           test_deadline_spares_compensating;
         Alcotest.test_case "bounded-bypass gate" `Quick test_bounded_bypass_gate;
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xACC |]) prop_bounded_bypass;
+      ] );
+    ( "lock.parity",
+      [
+        Alcotest.test_case "sequential and sharded tables agree on Lock_request" `Quick
+          test_sequential_sharded_parity;
       ] );
     ( "lock.predicate",
       [

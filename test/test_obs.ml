@@ -50,6 +50,9 @@ let one_of_each =
     Trace.Timed_out { txn = 5; mode = Mode.X; resource = res 4; waited = 0.052 };
     Trace.Shed { inflight = 64; reason = "capacity" };
     Trace.Degraded { on = true; oldest_wait = 1.5 };
+    Trace.Prepare { txn = 8; gid = 3 };
+    Trace.Decide { gid = 3; commit = true; participants = 2 };
+    Trace.Resolve { txn = 8; gid = 3; commit = false };
   ]
 
 (* --- ring buffer ------------------------------------------------------- *)

@@ -270,7 +270,7 @@ let test_payment_by_last_name () =
   Alcotest.(check bool) "name exists" true (matches_before <> []);
   let input =
     Txns.Payment
-      { Txns.p_w = 1; p_d = 1; p_customer = Txns.By_last_name name; p_amount = 42.0 }
+      { Txns.p_w = 1; p_d = 1; p_c_w = 1; p_c_d = 1; p_customer = Txns.By_last_name name; p_amount = 42.0 }
   in
   let outcomes = run_inputs eng env [ input ] in
   Alcotest.(check bool) "committed" true (outcomes = [ Runtime.Committed ]);
@@ -285,7 +285,7 @@ let test_payment_unknown_name_aborts () =
   let env = Txns.default_env ~seed:72 params in
   let input =
     Txns.Payment
-      { Txns.p_w = 1; p_d = 1; p_customer = Txns.By_last_name "NOSUCHNAME"; p_amount = 1.0 }
+      { Txns.p_w = 1; p_d = 1; p_c_w = 1; p_c_d = 1; p_customer = Txns.By_last_name "NOSUCHNAME"; p_amount = 1.0 }
   in
   let outcomes = run_inputs eng env [ input ] in
   (match outcomes with
@@ -301,7 +301,7 @@ let test_delivery_drains_queue () =
   (* enqueue two orders in district 1, then deliver twice *)
   let order d =
     Txns.New_order
-      { Txns.no_w = 1; no_d = d; no_c = 1; no_items = [ (1, 2); (2, 1) ]; no_fail_last = false }
+      { Txns.no_w = 1; no_d = d; no_c = 1; no_items = [ (1, 2, 1); (2, 1, 1) ]; no_fail_last = false }
   in
   let delivery = Txns.Delivery { Txns.dl_w = 1; dl_carrier = 9 } in
   let outcomes = run_inputs eng env [ order 1; order 1; delivery; delivery ] in

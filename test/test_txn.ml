@@ -105,7 +105,8 @@ let test_log_contents () =
         | Acc_wal.Record.Commit _ -> "commit"
         | Acc_wal.Record.Step_end _ -> "step"
         | Acc_wal.Record.Comp_area _ -> "area"
-        | Acc_wal.Record.Abort _ -> "abort")
+        | Acc_wal.Record.Abort _ -> "abort"
+        | Acc_wal.Record.Prepare _ -> "prepare")
       records
   in
   Alcotest.(check (list string)) "log shape" [ "begin"; "write"; "commit" ] kinds

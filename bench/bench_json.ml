@@ -155,6 +155,32 @@ let parallel_report_json ?cfg (r : P.report) =
              (P.conflicts_by_txn_type r.P.conflicts)) );
       ])
 
+(* Run one bench cell under a private trace sink and return its result with
+   the span layer's phase breakdown (the "phases" object of a cell).  The
+   sink costs a few ring writes per event while the cell runs — acceptable
+   for the attribution it buys; the obs-gate mode measures the disabled
+   path separately and never goes through here.  A long cell can overflow
+   the ring (drop-oldest): the earliest transactions lose their begins and
+   fall out of the report, the surviving spans stay exact. *)
+let with_phases f =
+  let module Trace = Acc_obs.Trace in
+  let module Span = Acc_obs.Span in
+  Trace.start ~capacity:(1 lsl 18) ();
+  let result = f () in
+  let dump = Trace.stop () in
+  let spans = Span.of_dump dump in
+  let banded =
+    List.exists
+      (fun sp -> sp.Span.sp_txn >= Acc_dist.Partition.txn_stride)
+      spans
+  in
+  let report =
+    if banded then
+      Span.Report.build ~partition_of:Acc_dist.Partition.partition_of_txn spans
+    else Span.Report.build spans
+  in
+  (result, Span.Report.to_json report)
+
 let write ~mode sections =
   let path = Printf.sprintf "BENCH_%s.json" mode in
   let oc = open_out path in

@@ -98,7 +98,10 @@ let run_parallel ~quick =
     List.map
       (fun domains ->
         let cfg system = { base with P.system; domains } in
-        let acc = P.run (cfg P.Acc) in
+        (* the ACC cell runs traced so its span-level phase breakdown lands
+           next to the throughput numbers; the 2PL cell stays untraced (its
+           role is the clean baseline trajectory) *)
+        let acc, phases = Bench_json.with_phases (fun () -> P.run (cfg P.Acc)) in
         let bl = P.run (cfg P.Baseline) in
         (match (acc.P.violations, bl.P.violations) with
         | [], [] -> ()
@@ -113,6 +116,7 @@ let run_parallel ~quick =
             ("domains", Json.Int domains);
             ("acc", Bench_json.parallel_report_json ~cfg:(cfg P.Acc) acc);
             ("twopl", Bench_json.parallel_report_json ~cfg:(cfg P.Baseline) bl);
+            ("phases", phases);
             ( "throughput_ratio",
               Json.Float
                 (if bl.P.throughput > 0. then acc.P.throughput /. bl.P.throughput else nan) );
@@ -179,7 +183,7 @@ let run_overload ~quick =
   Format.fprintf ppf
     "@.=== overload: %d domains against an admission cap of %d (%.1fs, %.0fms deadline) ===@."
     domains max_inflight seconds (deadline *. 1000.);
-  let r = P.run cfg in
+  let r, phases = Bench_json.with_phases (fun () -> P.run cfg) in
   Format.fprintf ppf "%a@." P.pp_report r;
   List.iter (fun v -> Format.fprintf ppf "  violation: %s@." v) r.P.violations;
   let attempts = r.P.shed + r.P.committed + r.P.forced_aborts + r.P.compensations in
@@ -199,6 +203,7 @@ let run_overload ~quick =
             ("shed_watermark", Json.Float 200.);
             ("shed_rate", Json.Float shed_rate);
             ("report", Bench_json.parallel_report_json ~cfg r);
+            ("phases", phases);
           ] );
     ]
   in
@@ -238,7 +243,7 @@ let run_batch ~quick =
   Format.fprintf ppf "%12s %12s %14s %12s@." "mode" "txn/s" "mutex acqs" "acqs/txn";
   let cell name options =
     let cfg = { base with P.acc_options = options } in
-    let r = P.run cfg in
+    let r, phases = Bench_json.with_phases (fun () -> P.run cfg) in
     let per_txn =
       float_of_int r.P.mutex_acquisitions /. float_of_int (max 1 r.P.committed)
     in
@@ -247,21 +252,22 @@ let run_batch ~quick =
     if r.P.violations <> [] then
       Format.fprintf ppf "!! %d consistency violations in the %s cell@."
         (List.length r.P.violations) name;
-    (cfg, r, per_txn)
+    (cfg, r, per_txn, phases)
   in
-  let s_cfg, singleton, s_per = cell "singleton" Runtime.default_options in
-  let b_cfg, batched, b_per =
+  let s_cfg, singleton, s_per, s_phases = cell "singleton" Runtime.default_options in
+  let b_cfg, batched, b_per, b_phases =
     cell "batched" { Runtime.default_options with Runtime.batch_footprints = true }
   in
   Format.fprintf ppf "  mutex acquisitions per txn: %.1f -> %.1f (%.2fx)@." s_per b_per
     (if b_per > 0. then s_per /. b_per else nan);
   Format.fprintf ppf "  throughput:                 %.1f -> %.1f txn/s@."
     singleton.P.throughput batched.P.throughput;
-  let cell_json (cfg, r, per_txn) =
+  let cell_json (cfg, r, per_txn, phases) =
     Json.Obj
       [
         ("mutex_acquisitions_per_txn", Json.Float per_txn);
         ("report", Bench_json.parallel_report_json ~cfg r);
+        ("phases", phases);
       ]
   in
   [
@@ -270,8 +276,8 @@ let run_batch ~quick =
         [
           ("domains", Json.Int domains);
           ("txns_per_domain", Json.Int per_domain);
-          ("singleton", cell_json (s_cfg, singleton, s_per));
-          ("batched", cell_json (b_cfg, batched, b_per));
+          ("singleton", cell_json (s_cfg, singleton, s_per, s_phases));
+          ("batched", cell_json (b_cfg, batched, b_per, b_phases));
           ( "mutex_reduction",
             Json.Float (if b_per > 0. then s_per /. b_per else nan) );
           ( "throughput_ratio",
@@ -645,7 +651,9 @@ let run_dist ~quick =
   let cells =
     List.map
       (fun partitions ->
-        let r = D.run { base with D.partitions } in
+        let r, phases =
+          Bench_json.with_phases (fun () -> D.run { base with D.partitions })
+        in
         if r.D.violations <> [] then begin
           incr failures;
           List.iter (fun v -> Format.fprintf ppf "  violation: %s@." v) r.D.violations
@@ -668,6 +676,7 @@ let run_dist ~quick =
               ("throughput", Json.Float r.D.throughput);
               ("elapsed", Json.Float r.D.elapsed);
               ("prepare_hold", Bench_json.tally_json r.D.prepare_hold);
+              ("phases", phases);
               ("violations", Json.Int (List.length r.D.violations));
               ( "partition_committed",
                 Json.List (List.map (fun c -> Json.Int c) r.D.partition_committed) );

@@ -23,16 +23,6 @@ let report_dist results =
     crashes (List.length failures);
   if failures <> [] then exit 1
 
-let run_dist ~partitions ~txns ~chaos_p ~hits ~seed ~verbose ~chaos ~seeds =
-  let config =
-    { Dist.default_config with Dist.partitions; txns; chaos_p; hits_per_point = hits; seed; verbose }
-  in
-  let results =
-    if chaos then List.map (fun seed -> Dist.chaos ~config ~seed ()) seeds
-    else Dist.sweep ~config ()
-  in
-  report_dist results
-
 let report results =
   List.iter (fun r -> Format.printf "%a@." Harness.pp_result r) results;
   let failures = List.filter Harness.failed results in
@@ -42,16 +32,33 @@ let report results =
   if failures <> [] then exit 1
 
 let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_every hits seed
-    verbose dist partitions =
+    verbose dist partitions metrics_dump =
   (* registration happens at module-init of the code under test; touching the
      harness module links everything *)
   ignore Harness.default_config;
   ignore Dist.default_config;
+  (* the sweeps below exit directly on failure, so the exposition must be
+     written as soon as the runs finish, not on the way out of main *)
+  let dump_metrics () =
+    match metrics_dump with
+    | None -> ()
+    | Some path ->
+        Acc_obs.Prom.dump_file path;
+        Format.printf "wrote %s@." path
+  in
   if list_points then
     List.iter print_endline (Fault.registered ())
   else if dist then begin
     if point <> None then failwith "--point is not supported with --dist (sweep covers every point)";
-    run_dist ~partitions ~txns ~chaos_p ~hits ~seed ~verbose ~chaos ~seeds
+    let results =
+      let config =
+        { Dist.default_config with Dist.partitions; txns; chaos_p; hits_per_point = hits; seed; verbose }
+      in
+      if chaos then List.map (fun seed -> Dist.chaos ~config ~seed ()) seeds
+      else Dist.sweep ~config ()
+    in
+    dump_metrics ();
+    report_dist results
   end
   else begin
     (* ACC_TRACE / ACC_TRACE_CHROME collect a lock-decision trace of the whole
@@ -78,6 +85,7 @@ let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_
       | None, false -> Harness.sweep ~config ()
     in
     Trace_setup.finish ts;
+    dump_metrics ();
     report results
   end
 
@@ -115,12 +123,20 @@ let dist =
 let partitions =
   Arg.(value & opt int Dist.default_config.Dist.partitions & info [ "partitions" ] ~docv:"N" ~doc:"Partition count in --dist mode.")
 
+let metrics_dump =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-dump" ] ~docv:"FILE"
+        ~doc:"Write the metric registry as Prometheus text format to FILE after the runs \
+              (before the pass/fail verdict), covering the last run's engines.")
+
 let cmd =
   let doc = "crash TPC-C at registered fault points, recover, check invariants" in
   Cmd.v
     (Cmd.info "acc-crash-restart" ~doc)
     Term.(
       const main $ list_points $ point $ hit $ chaos $ seeds $ txns $ chaos_p $ step_fault_p
-      $ checkpoint_every $ hits $ seed $ verbose $ dist $ partitions)
+      $ checkpoint_every $ hits $ seed $ verbose $ dist $ partitions $ metrics_dump)
 
 let () = exit (Cmd.eval cmd)

@@ -65,7 +65,20 @@ let run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compu
   List.iter (fun v -> Format.printf "  violation: %s@." v) r.D.violations;
   if r.D.violations <> [] then exit 1
 
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints partitions trace trace_chrome =
+(* --metrics-dump: refresh the Prometheus exposition FILE on the watchdog's
+   snapshot cadence while the run is live, and once more (final values)
+   after the drivers return. *)
+let metrics_setup = function
+  | None -> fun () -> ()
+  | Some path ->
+      Acc_parallel.Watchdog.set_snapshot_hook
+        (Some (0.25, fun () -> Acc_obs.Prom.dump_file path));
+      fun () ->
+        Acc_parallel.Watchdog.set_snapshot_hook None;
+        Acc_obs.Prom.dump_file path;
+        Format.printf "wrote %s@." path
+
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints partitions trace trace_chrome metrics_dump =
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
   let mix =
     match mix with
@@ -83,10 +96,12 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
   (* ACC_CRASHPOINT / ACC_STEP_FAULTS arm fault injection (see RECOVERY.md) *)
   Acc_fault.Fault.configure_from_env ();
   let ts = Trace_setup.configure ~jsonl:trace ~chrome:trace_chrome () in
+  let finish_metrics = metrics_setup metrics_dump in
   (match partitions with
   | Some partitions ->
       run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compute_ms
         ~seed ~deadline_ms ~batch_footprints;
+      finish_metrics ();
       Trace_setup.finish ts;
       exit 0
   | None -> ());
@@ -126,6 +141,7 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
       Format.printf "acc/2pl throughput ratio: %.2f@."
         (if bl.P.throughput > 0.0 then acc.P.throughput /. bl.P.throughput else nan)
   | _ -> ());
+  finish_metrics ();
   Trace_setup.finish ts;
   let bad r =
     r.P.violations <> [] || r.P.leaked_locks > 0 || r.P.leaked_waiters > 0
@@ -260,6 +276,15 @@ let trace_chrome =
         ~doc:"Write a chrome://tracing JSON trace to FILE (also: \
               ACC_TRACE_CHROME env var).")
 
+let metrics_dump =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-dump" ] ~docv:"FILE"
+        ~doc:"Write the metric registry as Prometheus text format to FILE: \
+              refreshed every 250ms from the watchdog domain while the run \
+              is live, final values after it ends.")
+
 let cmd =
   let doc = "run TPC-C on real domains against the sharded lock manager" in
   Cmd.v
@@ -268,6 +293,6 @@ let cmd =
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
       $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ deadline_ms
       $ max_inflight $ shed_watermark $ batch_footprints $ partitions $ trace
-      $ trace_chrome)
+      $ trace_chrome $ metrics_dump)
 
 let () = exit (Cmd.eval cmd)

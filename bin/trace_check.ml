@@ -13,12 +13,20 @@
 open Cmdliner
 module Json = Acc_obs.Json
 module Trace = Acc_obs.Trace
+module Span = Acc_obs.Span
 
 let fail fmt = Format.kasprintf (fun s -> prerr_endline ("trace-check: " ^ s); exit 1) fmt
 
 let known = "trace_summary" :: Trace.all_event_names
 
-let main file requires forbids require_past allow_drops =
+(* Per-gid 2PC protocol-order state for --check-2pc.  The file is
+   timestamp-ordered, so "before" is line order. *)
+type gid_state = {
+  mutable prepares : int list;  (* distinct preparing txns, in order seen *)
+  mutable decided : bool option;  (* Some commit once a decide line passed *)
+}
+
+let main file requires forbids require_past allow_drops check_2pc check_spans =
   let ic = try open_in file with Sys_error e -> fail "%s" e in
   let counts = Hashtbl.create 32 in
   let bump ev =
@@ -28,6 +36,63 @@ let main file requires forbids require_past allow_drops =
   let events = ref 0 in
   let past_2pl = ref 0 in
   let lineno = ref 0 in
+  let gids : (int, gid_state) Hashtbl.t = Hashtbl.create 64 in
+  let gid_state gid =
+    match Hashtbl.find_opt gids gid with
+    | Some s -> s
+    | None ->
+        let s = { prepares = []; decided = None } in
+        Hashtbl.replace gids gid s;
+        s
+  in
+  let span_builder = if check_spans then Some (Span.Builder.create ()) else None in
+  let int_field j name = Option.bind (Json.member name j) Json.to_int in
+  let bool_field j name =
+    match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+  in
+  let check_2pc_line j ev =
+    let gid_of () =
+      match int_field j "gid" with
+      | Some g -> g
+      | None -> fail "line %d: %s without a gid field" !lineno ev
+    in
+    match ev with
+    | "prepare" ->
+        let gid = gid_of () in
+        let s = gid_state gid in
+        if s.decided <> None then
+          fail "line %d: prepare for gid %d after its decision" !lineno gid;
+        let txn = Option.value ~default:(-1) (int_field j "txn") in
+        if not (List.mem txn s.prepares) then s.prepares <- txn :: s.prepares
+    | "decide" ->
+        let gid = gid_of () in
+        let s = gid_state gid in
+        if s.decided <> None then fail "line %d: second decision for gid %d" !lineno gid;
+        if s.prepares = [] then
+          fail "line %d: decision for gid %d with no prepare before it" !lineno gid;
+        let commit = Option.value ~default:false (bool_field j "commit") in
+        let participants = Option.value ~default:0 (int_field j "participants") in
+        let voted = List.length s.prepares in
+        if commit && voted <> participants then
+          fail "line %d: gid %d committed with %d/%d branch prepares" !lineno gid voted
+            participants;
+        if (not commit) && voted > participants then
+          fail "line %d: gid %d has %d prepares for %d participants" !lineno gid voted
+            participants;
+        s.decided <- Some commit
+    | "resolve" ->
+        let gid = gid_of () in
+        let commit = Option.value ~default:false (bool_field j "commit") in
+        (* presumed abort: an abort resolution needs no decision record, but
+           a commit resolution without a prior commit decision in this trace
+           means the decision materialized from nowhere *)
+        if commit then (
+          match (gid_state gid).decided with
+          | Some true -> ()
+          | Some false -> fail "line %d: gid %d resolved commit after an abort decision" !lineno gid
+          | None -> fail "line %d: gid %d resolved commit with no prior decision" !lineno gid)
+    | _ -> ()
+  in
   (try
      while true do
        let line = input_line ic in
@@ -46,6 +111,10 @@ let main file requires forbids require_past allow_drops =
                  if ev = "trace_summary" then summary := Some (j, !lineno)
                  else begin
                    incr events;
+                   if check_2pc then check_2pc_line j ev;
+                   (match span_builder with
+                   | Some b -> Span.Builder.feed_json b j
+                   | None -> ());
                    if
                      ev = "lock_grant"
                      && Option.bind (Json.member "past2pl" j) Json.to_int
@@ -84,6 +153,22 @@ let main file requires forbids require_past allow_drops =
     forbids;
   if require_past && !past_2pl = 0 then
     fail "no lock_grant with past2pl > 0 (expected ACC to pass where 2PL blocks)";
+  (match span_builder with
+  | None -> ()
+  | Some b ->
+      (* with drops the begin events may be gone, so orphans prove nothing *)
+      if dropped > 0 then
+        Format.printf "note: skipping orphaned-span check (%d events dropped)@." dropped
+      else begin
+        ignore (Span.Builder.finish b);
+        let n = Span.Builder.orphans b in
+        if n > 0 then begin
+          List.iter
+            (fun (txn, ev) -> Format.eprintf "  orphan: %s for txn %d@." ev txn)
+            (Span.Builder.orphan_sample b);
+          fail "%d orphaned span event(s): events for transactions never begun" n
+        end
+      end);
   Format.printf "%s: OK, %d events (%d dropped)@." file !events dropped;
   List.iter
     (fun ev ->
@@ -116,10 +201,32 @@ let require_past =
 let allow_drops =
   Arg.(value & flag & info [ "allow-drops" ] ~doc:"Tolerate dropped > 0.")
 
+let check_2pc =
+  Arg.(
+    value & flag
+    & info [ "check-2pc" ]
+        ~doc:
+          "Validate two-phase-commit event ordering per gid: every decide has a prior \
+           prepare, a commit decision has all branch prepares, no prepare after the \
+           decision, no second decision, and no resolve-commit without a prior commit \
+           decision.  Opt-in because a crash tripped between the decision becoming \
+           durable and its trace event legitimately loses the decide line.")
+
+let check_spans =
+  Arg.(
+    value & flag
+    & info [ "check-spans" ]
+        ~doc:
+          "Fail on orphaned span events — step/commit/prepare events for transactions \
+           whose txn_begin never appeared.  Skipped (with a note) when the trace \
+           dropped events, since the begins may be among the drops.")
+
 let cmd =
   let doc = "validate a JSONL trace emitted by the ACC binaries" in
   Cmd.v
     (Cmd.info "acc-trace-check" ~doc)
-    Term.(const main $ file $ requires $ forbids $ require_past $ allow_drops)
+    Term.(
+      const main $ file $ requires $ forbids $ require_past $ allow_drops $ check_2pc
+      $ check_spans)
 
 let () = exit (Cmd.eval cmd)

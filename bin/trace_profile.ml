@@ -1,0 +1,110 @@
+(* Offline phase profiler for JSONL traces produced by ACC_TRACE / --trace.
+
+     acc-trace-profile dist-trace.jsonl --json phases.json --require-complete
+
+   Reconstructs one span per transaction (Acc_obs.Span) and prints the
+   phase breakdown: p50/p95/p99 per phase, per transaction type, per
+   partition (recovered from the dist driver's txn-id bands), and the
+   prepare-hold tail — the in-doubt window the assertional-locks-across-
+   prepare design bets on keeping cheap.
+
+   --require-complete is the CI gate: every committed transaction must have
+   a complete span (all phases closed), the trace must have dropped nothing,
+   and no span event may be orphaned. *)
+
+open Cmdliner
+module Json = Acc_obs.Json
+module Span = Acc_obs.Span
+module Partition = Acc_dist.Partition
+
+let fail fmt =
+  Format.kasprintf (fun s -> prerr_endline ("trace-profile: " ^ s); exit 1) fmt
+
+let main file json_out require_complete =
+  let ic = try open_in file with Sys_error e -> fail "%s" e in
+  let b = Span.Builder.create () in
+  let dropped = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Json.of_string line with
+         | Error e -> fail "line %d: %s" !lineno e
+         | Ok j ->
+             (match Option.bind (Json.member "ev" j) Json.to_str with
+             | Some "trace_summary" ->
+                 dropped :=
+                   Option.value ~default:0
+                     (Option.bind (Json.member "dropped" j) Json.to_int)
+             | _ -> Span.Builder.feed_json b j)
+     done
+   with End_of_file -> close_in ic);
+  let spans = Span.Builder.finish b in
+  if spans = [] then fail "%s: no spans (not a trace, or nothing ran?)" file;
+  (* partition breakdown only when some txn id actually sits in a band:
+     single-node traces (ids from 1) would all collapse to partition 0 *)
+  let banded =
+    List.exists (fun sp -> sp.Span.sp_txn >= Partition.txn_stride) spans
+  in
+  let report =
+    if banded then Span.Report.build ~partition_of:Partition.partition_of_txn spans
+    else Span.Report.build spans
+  in
+  Format.printf "%s: %d span(s)%s@." file (List.length spans)
+    (if !dropped > 0 then Printf.sprintf " (%d events dropped)" !dropped else "");
+  Format.printf "%a" Span.Report.pp report;
+  let orphans = Span.Builder.orphans b in
+  if orphans > 0 then Format.printf "orphaned span events: %d@." orphans;
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Json.pretty_to_channel oc
+            (Json.Obj
+               [
+                 ("file", Json.Str file);
+                 ("dropped", Json.Int !dropped);
+                 ("orphans", Json.Int orphans);
+                 ("phases", Span.Report.to_json report);
+               ]);
+          output_char oc '\n');
+      Format.printf "wrote %s@." path);
+  if require_complete then begin
+    if !dropped > 0 then fail "%d events dropped: span reconstruction is not trustworthy" !dropped;
+    if orphans > 0 then fail "%d orphaned span event(s)" orphans;
+    if Span.Report.committed report = 0 then fail "no committed spans to attest";
+    let n = Span.Report.incomplete_committed report in
+    if n > 0 then fail "%d committed span(s) with an unresolved phase" n
+  end
+
+let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl")
+
+let json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the phase report as JSON (the same object the bench attaches \
+              to its cells) to $(docv).")
+
+let require_complete =
+  Arg.(
+    value & flag
+    & info [ "require-complete" ]
+        ~doc:
+          "Exit 1 unless every committed transaction reconstructs to a complete span \
+           (all phases closed), nothing was dropped, no event was orphaned, and at \
+           least one transaction committed.")
+
+let cmd =
+  let doc = "phase-attribution profile of a JSONL trace" in
+  Cmd.v
+    (Cmd.info "acc-trace-profile" ~doc)
+    Term.(const main $ file $ json_out $ require_complete)
+
+let () = exit (Cmd.eval cmd)

@@ -73,6 +73,9 @@ type t = {
   aborted : int Atomic.t;
   stats_mu : Mutex.t;
   prepare_hold : Stats.Tally.t;  (* seconds, guarded by stats_mu *)
+  prepare_hold_hist : Acc_util.Metrics.Histogram.t;
+      (* same windows as [prepare_hold], but quantile-capable and lock-free
+         to read — the registry's acc_coordinator_prepare_hold_seconds *)
 }
 
 (* [first_gid] matters when rebuilding after a crash: a fresh gid counter
@@ -84,15 +87,29 @@ let create ?log ?(first_gid = 1) parts =
   let sorted = Array.copy parts in
   Array.sort (fun a b -> compare (Partition.id a) (Partition.id b)) sorted;
   let log = match log with Some l -> l | None -> Decision_log.create () in
-  {
-    parts = sorted;
-    log;
-    next_gid = Atomic.make (max first_gid (Decision_log.max_gid log + 1));
-    committed = Atomic.make 0;
-    aborted = Atomic.make 0;
-    stats_mu = Mutex.create ();
-    prepare_hold = Stats.Tally.create ();
-  }
+  let t =
+    {
+      parts = sorted;
+      log;
+      next_gid = Atomic.make (max first_gid (Decision_log.max_gid log + 1));
+      committed = Atomic.make 0;
+      aborted = Atomic.make 0;
+      stats_mu = Mutex.create ();
+      prepare_hold = Stats.Tally.create ();
+      prepare_hold_hist = Acc_util.Metrics.Histogram.create ();
+    }
+  in
+  let reg ?help name v = Acc_obs.Registry.register ?help name v in
+  reg "acc_coordinator_cross_committed_total" ~help:"cross-partition 2PC commits"
+    (Acc_obs.Registry.Poll_counter (fun () -> Atomic.get t.committed));
+  reg "acc_coordinator_cross_aborted_total" ~help:"cross-partition 2PC aborts"
+    (Acc_obs.Registry.Poll_counter (fun () -> Atomic.get t.aborted));
+  reg "acc_coordinator_decisions_total" ~help:"durable decision-log entries"
+    (Acc_obs.Registry.Poll_counter (fun () -> Decision_log.size t.log));
+  reg "acc_coordinator_prepare_hold_seconds"
+    ~help:"first prepare to decision applied, per cross transaction"
+    (Acc_obs.Registry.Histogram t.prepare_hold_hist);
+  t
 
 let partitions t = t.parts
 let decision_log t = t.log
@@ -120,7 +137,8 @@ let prepare_hold_snapshot t =
 let record_hold t dt =
   Mutex.lock t.stats_mu;
   Stats.Tally.add t.prepare_hold dt;
-  Mutex.unlock t.stats_mu
+  Mutex.unlock t.stats_mu;
+  Acc_util.Metrics.Histogram.record t.prepare_hold_hist dt
 
 type outcome = Committed | Aborted
 

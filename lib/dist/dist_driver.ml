@@ -81,7 +81,19 @@ let make_partitions ~seed ?lock_deadline ~partitions params =
   List.mapi
     (fun id (lo, hi) ->
       let db = Load.populate ~only:(fun w -> lo <= w && w <= hi) ~seed params in
-      let engine = Engine.create ?lock_deadline ~sem:Dist_txns.semantics db in
+      let engine =
+        Engine.create ?lock_deadline
+          ~metrics_labels:[ ("partition", string_of_int id) ]
+          ~sem:Dist_txns.semantics db
+      in
+      (* disjoint txn-id bands make every id in the trace globally unique,
+         so the span layer can attribute spans to partitions by id alone *)
+      Executor.set_next_txn (Engine.executor engine) (Partition.txn_base id + 1);
+      (* the partition engines carry the same lock-event instrumentation as
+         the single-node driver when a trace sink is live *)
+      if Acc_obs.Trace.enabled () then
+        Acc_parallel.Sharded_lock_table.set_observer (Engine.locks engine)
+          (Some (Acc_obs.Lock_obs.observer ()));
       (Partition.make ~id ~lo ~hi (Engine.executor engine), engine))
     ranges
 

@@ -17,6 +17,16 @@ let make ~id ~lo ~hi eng =
 
 let id t = t.id
 let engine t = t.eng
+
+(* Disjoint txn-id bands: partition [p]'s executor counts from [p * stride],
+   so any txn id seen in a distributed trace maps back to its partition by
+   division alone — no per-event partition field needed.  16M ids per
+   partition is ~5 orders of magnitude above any bench run; on overflow the
+   ids would bleed into the next band and only the trace attribution (not
+   correctness) would suffer. *)
+let txn_stride = 1 lsl 24
+let txn_base id = id * txn_stride
+let partition_of_txn txn = if txn < 0 then 0 else txn / txn_stride
 let range t = (t.lo, t.hi)
 let owns t w = t.lo <= w && w <= t.hi
 

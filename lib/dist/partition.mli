@@ -18,6 +18,23 @@ val range : t -> int * int
 val owns : t -> int -> bool
 (** [owns t w] — does warehouse [w] fall in this partition's range? *)
 
+(** {1 Transaction-id bands}
+
+    {!Dist_driver} starts each partition's executor at [txn_base id], giving
+    every transaction in a distributed run a globally unique id.  The span
+    layer and [acc-trace-profile] recover the partition from the id alone
+    ([--txn-band]); single-node runs (ids starting at 1) all map to
+    partition 0. *)
+
+val txn_stride : int
+(** Ids per band ([2{^24}]). *)
+
+val txn_base : int -> int
+(** [txn_base id = id * txn_stride]. *)
+
+val partition_of_txn : int -> int
+(** Inverse of the band assignment. *)
+
 val ranges : warehouses:int -> partitions:int -> (int * int) list
 (** Contiguous near-equal split of warehouses [1..warehouses] into
     [partitions] ranges (earlier partitions absorb the remainder).  Raises

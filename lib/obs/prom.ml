@@ -1,0 +1,108 @@
+(* Prometheus text exposition format 0.0.4 over a Registry snapshot.
+
+   Rows are grouped by metric name: one # HELP / # TYPE header per name
+   (the first registered help string wins), then one line per label set.
+   Histograms expand to the cumulative [le] bucket series plus _sum and
+   _count, built from Metrics.Histogram.Snapshot.cumulative so the series
+   is internally consistent (bucket counts, _count and _sum all from one
+   frozen view). *)
+
+module H = Acc_util.Metrics.Histogram
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let labels_str labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v)) labels)
+      ^ "}"
+
+(* Prometheus floats: no OCaml-isms ("inf" not "infinity", plain decimals) *)
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let type_str (row : Registry.row) =
+  match row.Registry.r_sample with
+  | Registry.S_counter _ -> "counter"
+  | Registry.S_gauge _ -> "gauge"
+  | Registry.S_histogram _ -> "histogram"
+
+let write_row buf (row : Registry.row) =
+  let name = row.Registry.r_name in
+  match row.Registry.r_sample with
+  | Registry.S_counter n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" name (labels_str row.Registry.r_labels) n)
+  | Registry.S_gauge v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" name (labels_str row.Registry.r_labels) (float_str v))
+  | Registry.S_histogram s ->
+      let base = row.Registry.r_labels in
+      List.iter
+        (fun (ub, cum) ->
+          let labels = base @ [ ("le", float_str ub) ] in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" name (labels_str labels) cum))
+        (H.Snapshot.cumulative s);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" name (labels_str base)
+           (float_str (H.Snapshot.sum s)));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" name (labels_str base) (H.Snapshot.count s))
+
+let to_string ?registry () =
+  let rows = Registry.snapshot ?registry () in
+  let buf = Buffer.create 4096 in
+  let last_name = ref "" in
+  List.iter
+    (fun (row : Registry.row) ->
+      if row.Registry.r_name <> !last_name then begin
+        last_name := row.Registry.r_name;
+        if row.Registry.r_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" row.Registry.r_name
+               (escape_help row.Registry.r_help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" row.Registry.r_name (type_str row))
+      end;
+      write_row buf row)
+    rows;
+  Buffer.contents buf
+
+let dump_file ?registry path =
+  let body = to_string ?registry () in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc body);
+  Sys.rename tmp path

@@ -1,0 +1,115 @@
+(** Span reconstruction: per-transaction phase attribution from a trace.
+
+    A {e span} is one transaction's lifetime — [Txn_begin] to
+    [Txn_commit]/[Txn_abort], or to the end of the trace for a transaction
+    cut off by a crash — with its wall time attributed to six disjoint
+    phases:
+
+    - [Lock_wait]: queued on a lock ([Lock_block] → [Lock_wake]/[Timed_out]),
+      including admission waits before the first step
+    - [Execute]: inside a forward step, net of the lock waits and WAL
+      appends that fell within it
+    - [Wal_append]: inside {!Acc_wal.Log.append} (the [dur] field of
+      [Wal_append] events)
+    - [Prepare_hold]: the 2PC in-doubt window, [Prepare] → [Decide] (or
+      [Resolve] for adopted branches) — the cost the assertional-lock-across-
+      prepare design trades against
+    - [Decide]: from the decision to the branch's end event
+    - [Compensate]: inside compensating steps, plus the abort dispatch tail
+
+    The intervals are disjoint by construction, so a closed span's phase
+    durations sum to at most its wall time (a qcheck property in the test
+    suite).  Events are correlated by txn id; [Decide] events (which carry
+    only a gid) reach branches through the gid recorded at [Prepare].
+    Partition attribution uses the per-partition txn-id bands of
+    {!Acc_dist.Partition}. *)
+
+type phase = Lock_wait | Execute | Wal_append | Prepare_hold | Decide | Compensate
+
+val all_phases : phase list
+val phase_name : phase -> string
+(** ["lock_wait"], ["execute"], … — the wire/metric-label names. *)
+
+val phase_index : phase -> int
+val phase_of_index : int -> phase
+val n_phases : int
+
+type outcome =
+  | Committed
+  | Aborted of { compensated : bool }
+  | Open  (** the trace ended (crash point, ring cut) before the txn did *)
+
+type t = {
+  sp_txn : int;
+  sp_txn_type : string;
+  sp_dom : int;  (** domain that emitted [Txn_begin] *)
+  sp_gid : int option;  (** global txn id, for 2PC participant branches *)
+  sp_begin : float;
+  sp_end : float option;  (** [None] iff [sp_outcome = Open] *)
+  sp_outcome : outcome;
+  sp_phases : (phase * float) list;  (** all six phases, zeros included *)
+  sp_open_phase : phase option;
+      (** the phase left open: set for [Open] spans cut mid-phase, and on a
+          {e closed} span only when its prepare window was never resolved by
+          a [Decide]/[Resolve] — a protocol-order violation worth flagging *)
+}
+
+val wall : t -> float option
+val phase : t -> phase -> float
+val complete : t -> bool
+(** Ended, and every phase closed. *)
+
+(** Streaming reconstruction.  Feed events in timestamp order (the order
+    {!Trace.dump} and the JSONL files already have); call {!Builder.finish}
+    once to collect the spans. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+
+  val feed_event : b -> ts:float -> dom:int -> Trace.event -> unit
+  (** Live front-end: fold a {!Trace.entry} stream. *)
+
+  val feed_json : b -> Json.t -> unit
+  (** Offline front-end: one parsed JSONL trace line.  Unknown events and
+      the [trace_summary] trailer are ignored. *)
+
+  val orphans : b -> int
+  (** Span-bearing events (steps, commits, prepares, …) whose txn had no
+      live span — begin events lost to ring drops or crash truncation. *)
+
+  val orphan_sample : b -> (int * string) list
+  (** Up to the first 8 orphans, as [(txn, event_name)]. *)
+
+  val finish : b -> t list
+  (** Finalize: every still-live txn becomes an [Open] span (ended at the
+      last timestamp seen).  Spans are returned in completion order. *)
+end
+
+val of_entries : Trace.entry list -> t list
+val of_dump : Trace.dump -> t list
+
+(** Aggregation: p50/p95/p99 per phase, overall / per txn type / per
+    partition, plus span counts and the prepare-hold tail.  Phase
+    distributions are conditional — a span contributes a sample to a phase
+    only if it spent time there — so p50(compensate) is the median of actual
+    compensation runs, not of a sea of zeros. *)
+module Report : sig
+  type r
+
+  val build : ?partition_of:(int -> int) -> t list -> r
+  (** [partition_of] maps a txn id to its partition (txn-id bands); when
+      given, the report includes a per-partition breakdown. *)
+
+  val to_json : r -> Json.t
+  (** The ["phases"] object attached to bench cells and emitted by
+      [acc-trace-profile --json]. *)
+
+  val pp : Format.formatter -> r -> unit
+
+  val committed : r -> int
+  val open_spans : r -> int
+  val incomplete_committed : r -> int
+  (** Committed spans with an unresolved phase — must be 0 on a clean traced
+      run ([acc-trace-profile --require-complete] gates on it). *)
+end

@@ -36,7 +36,7 @@ type event =
   | Assertion_check of { txn : int; assertion : int; interfering_step : int; passed : bool }
   | Deadlock_cycle of { cycle : int list }
   | Victim of { txn : int; spared_compensating : bool }
-  | Wal_append of { txn : int; lsn : int; kind : string }
+  | Wal_append of { txn : int; lsn : int; kind : string; dur : float }
   | Wal_flush of { records : int }
   (* overload robustness (DESIGN.md §13) *)
   | Timed_out of { txn : int; mode : Mode.t; resource : Resource_id.t; waited : float }
@@ -261,8 +261,11 @@ let payload = function
       [ ("cycle", Json.List (List.map (fun t -> Json.Int t) cycle)) ]
   | Victim { txn; spared_compensating } ->
       [ ("txn", Json.Int txn); ("spared", Json.Bool spared_compensating) ]
-  | Wal_append { txn; lsn; kind } ->
-      [ ("txn", Json.Int txn); ("lsn", Json.Int lsn); ("kind", Json.Str kind) ]
+  | Wal_append { txn; lsn; kind; dur } ->
+      [
+        ("txn", Json.Int txn); ("lsn", Json.Int lsn); ("kind", Json.Str kind);
+        ("dur", Json.Float dur);
+      ]
   | Wal_flush { records } -> [ ("records", Json.Int records) ]
   | Timed_out { txn; mode; resource; waited } ->
       [

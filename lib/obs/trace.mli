@@ -68,7 +68,10 @@ type event =
   | Victim of { txn : int; spared_compensating : bool }
       (** [spared_compensating]: this victim was chosen {e instead of} a
           compensating requester the §3.4 policy protected *)
-  | Wal_append of { txn : int; lsn : int; kind : string }
+  | Wal_append of { txn : int; lsn : int; kind : string; dur : float }
+      (** [dur]: seconds the append spent inside {!Acc_wal.Log.append}
+          (measured only while tracing is enabled; the span layer charges it
+          to the [wal_append] phase) *)
   | Wal_flush of { records : int }
   | Timed_out of { txn : int; mode : Acc_lock.Mode.t; resource : Acc_lock.Resource_id.t; waited : float }
       (** a lock wait withdrawn because its deadline expired; [waited] is the

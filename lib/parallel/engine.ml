@@ -17,8 +17,36 @@ type t = {
   lock_waits : Metrics.Histogram.t;
 }
 
+(* Every engine publishes its instruments in the process-wide registry; the
+   names are stable (DESIGN.md §16) and [metrics_labels] disambiguates
+   multi-engine processes (the dist driver labels each partition's engine
+   with [partition="N"]).  A single-engine re-run re-registers the same
+   (name, labels) pair and simply replaces the dead engine's entry. *)
+let register_metrics t labels =
+  let reg ?help name v = Acc_obs.Registry.register ?help ~labels name v in
+  reg "acc_engine_shed_total" ~help:"admissions refused by the overload gate"
+    (Acc_obs.Registry.Counter t.shed);
+  reg "acc_engine_lock_wait_seconds" ~help:"blocking lock-acquisition wait time"
+    (Acc_obs.Registry.Histogram t.lock_waits);
+  reg "acc_engine_inflight" ~help:"multi-step transactions currently admitted"
+    (Acc_obs.Registry.Poll_gauge (fun () -> float_of_int (Atomic.get t.inflight)));
+  reg "acc_engine_lock_timeouts_total" ~help:"lock waits withdrawn at their deadline"
+    (Acc_obs.Registry.Poll_counter (fun () -> Sharded_lock_table.timeout_count t.locks));
+  reg "acc_detector_victims_total" ~help:"transactions killed by the deadlock detector"
+    (Acc_obs.Registry.Poll_counter (fun () -> Deadlock_detector.victims t.detector));
+  reg "acc_watchdog_queue_depth" ~help:"lock waiters at the last watchdog tick"
+    (Acc_obs.Registry.Poll_gauge (fun () -> float_of_int (Watchdog.queue_depth t.watchdog)));
+  reg "acc_watchdog_oldest_wait_seconds" ~help:"oldest-waiter age at the last tick"
+    (Acc_obs.Registry.Poll_gauge (fun () -> Watchdog.oldest_wait t.watchdog));
+  reg "acc_watchdog_abort_rate" ~help:"smoothed victims+timeouts per second"
+    (Acc_obs.Registry.Poll_gauge (fun () -> Watchdog.abort_rate t.watchdog));
+  reg "acc_watchdog_ticks_total" ~help:"watchdog ticks since engine start"
+    (Acc_obs.Registry.Poll_counter (fun () -> Watchdog.ticks t.watchdog));
+  reg "acc_watchdog_degraded_trips_total" ~help:"times degraded mode tripped"
+    (Acc_obs.Registry.Poll_counter (fun () -> Watchdog.degraded_trips t.watchdog))
+
 let create ?shards ?detector_cadence ?cost ?lock_deadline ?max_inflight ?shed_watermark
-    ?max_bypass ?watchdog_cadence ?degrade_after ~sem db =
+    ?max_bypass ?watchdog_cadence ?degrade_after ?(metrics_labels = []) ~sem db =
   let locks = Sharded_lock_table.create ?shards ?max_bypass sem in
   let service = Sharded_lock_table.service locks in
   let exec = Executor.create_with ?cost ~service db in
@@ -48,16 +76,20 @@ let create ?shards ?detector_cadence ?cost ?lock_deadline ?max_inflight ?shed_wa
   let watchdog =
     Watchdog.start ?cadence:watchdog_cadence ?degrade_after ?shed_watermark ~detector service
   in
-  {
-    exec;
-    locks;
-    detector;
-    watchdog;
-    max_inflight;
-    inflight = Atomic.make 0;
-    shed = Metrics.Counter.create ();
-    lock_waits;
-  }
+  let t =
+    {
+      exec;
+      locks;
+      detector;
+      watchdog;
+      max_inflight;
+      inflight = Atomic.make 0;
+      shed = Metrics.Counter.create ();
+      lock_waits;
+    }
+  in
+  register_metrics t metrics_labels;
+  t
 
 let executor t = t.exec
 let locks t = t.locks

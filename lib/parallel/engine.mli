@@ -23,11 +23,18 @@ val create :
   ?max_bypass:int ->
   ?watchdog_cadence:float ->
   ?degrade_after:float ->
+  ?metrics_labels:(string * string) list ->
   sem:Acc_lock.Mode.semantics ->
   Acc_relation.Database.t ->
   t
 (** Builds the engine and starts the detector and watchdog domains; pair
     with {!shutdown}.
+
+    Every engine registers its instruments ([acc_engine_*],
+    [acc_watchdog_*], [acc_detector_*]) in {!Acc_obs.Registry.default} under
+    [metrics_labels] — multi-engine processes must pass distinct labels (the
+    dist driver passes [partition="N"]) or later engines replace earlier
+    ones in the exposition.
 
     [lock_deadline] is a per-request wait budget in seconds (see
     {!Acc_txn.Executor.set_lock_deadline}); omitted disables timeouts.  [max_inflight] caps concurrently admitted multi-step

@@ -44,6 +44,30 @@ type t = {
 let default_cadence = 0.005
 let default_degrade_after = 1.0
 
+(* Periodic metrics-snapshot hook ([--metrics-dump]'s refresh): module-level
+   and CAS-scheduled so that with N engines (N watchdog domains, e.g. one per
+   partition) exactly one domain fires per period — whichever ticks first
+   wins the CAS, the rest see the advanced timestamp.  The hook runs on a
+   watchdog domain, so it must stay sampling-cheap (a Registry snapshot +
+   file write is fine at a ≥100ms period). *)
+let snapshot_hook : (float * (unit -> unit)) option Atomic.t = Atomic.make None
+let snapshot_last = Atomic.make 0.
+
+let set_snapshot_hook = function
+  | None -> Atomic.set snapshot_hook None
+  | Some (every, fn) ->
+      if not (every > 0.) then invalid_arg "Watchdog.set_snapshot_hook: period <= 0";
+      Atomic.set snapshot_last (Unix.gettimeofday ());
+      Atomic.set snapshot_hook (Some (every, fn))
+
+let maybe_snapshot ~now =
+  match Atomic.get snapshot_hook with
+  | None -> ()
+  | Some (every, fn) ->
+      let last = Atomic.get snapshot_last in
+      if now -. last >= every && Atomic.compare_and_set snapshot_last last now then
+        try fn () with _ -> ()
+
 (* EMA smoothing per tick: ~0.25s time constant at the default cadence, so a
    burst of victims must persist before the watermark trips. *)
 let alpha cadence = Float.min 1. (cadence /. 0.25)
@@ -89,6 +113,7 @@ let tick t ~prev_aborts ~prev_now =
      if Trace.enabled () then Trace.emit (Trace.Degraded { on = true; oldest_wait = oldest })
    end);
   Atomic.incr t.ticks;
+  maybe_snapshot ~now;
   (total, now)
 
 let run t () =

@@ -50,6 +50,15 @@ val peak_oldest_wait : t -> float
 val ticks : t -> int
 val degraded_trips : t -> int
 
+val set_snapshot_hook : (float * (unit -> unit)) option -> unit
+(** Install (or clear) the process-wide periodic snapshot hook
+    [(period_seconds, fn)]: some watchdog domain calls [fn] once per period
+    from its tick loop — with several engines alive (one watchdog per
+    partition) a CAS on the shared schedule guarantees exactly one firing.
+    The binaries' [--metrics-dump] uses this to refresh the Prometheus
+    exposition file while a run is in flight; exceptions from [fn] are
+    swallowed.  Raises [Invalid_argument] on a non-positive period. *)
+
 val stop : t -> unit
 (** Signal, join, and run one final expiry sweep so deadlines passing during
     shutdown still resolve.  Idempotent. *)

@@ -203,11 +203,44 @@ let run cfg =
   if cfg.accounting || Trace.enabled () then
     Sharded_lock_table.set_observer (Engine.locks engine)
       (Some (Lock_obs.observer ?accounting ()));
+  (match accounting with
+  | None -> ()
+  | Some acct ->
+      (* the four 2PL-comparison classes, as registry poll-counters over the
+         accounting table's atomics *)
+      List.iter
+        (fun (name, help, get) ->
+          Acc_obs.Registry.register ~help name
+            (Acc_obs.Registry.Poll_counter
+               (fun () -> get (Conflict_accounting.totals acct))))
+        [
+          ( "acc_conflict_granted_clean_total",
+            "grants strict 2PL would also have made",
+            fun (r : Conflict_accounting.row) -> r.Conflict_accounting.r_granted_clean );
+          ( "acc_conflict_passed_2pl_total",
+            "grants a strict-2PL system would have blocked",
+            fun r -> r.Conflict_accounting.r_passed_2pl );
+          ( "acc_conflict_blocked_conventional_total",
+            "blocks from conventional mode incompatibility",
+            fun r -> r.Conflict_accounting.r_blocked_conv );
+          ( "acc_conflict_blocked_assertional_total",
+            "blocks from interference-table hits (true conflicts)",
+            fun r -> r.Conflict_accounting.r_blocked_assert );
+        ]);
   let committed = Metrics.Counter.create () in
   let forced_aborts = Metrics.Counter.create () in
   let compensations = Metrics.Counter.create () in
   let degraded_runs = Metrics.Counter.create () in
   let response = Metrics.Latency.create () in
+  let reg ?help name v = Acc_obs.Registry.register ?help name v in
+  reg "acc_driver_committed_total" ~help:"transactions committed by the driver"
+    (Acc_obs.Registry.Counter committed);
+  reg "acc_driver_forced_aborts_total" ~help:"forced 1% abort-rule aborts"
+    (Acc_obs.Registry.Counter forced_aborts);
+  reg "acc_driver_compensations_total" ~help:"compensated (logically undone) runs"
+    (Acc_obs.Registry.Counter compensations);
+  reg "acc_driver_degraded_runs_total" ~help:"transactions run on the degraded fallback path"
+    (Acc_obs.Registry.Counter degraded_runs);
   (* split the generator on this domain, before spawning: the PRNG is not
      thread-safe, and splitting up front makes each worker's stream a pure
      function of (seed, worker index) regardless of domain interleaving *)

@@ -129,6 +129,15 @@ let set_on_step_end t f = t.config.on_step_end <- f
 let set_table_wrap t w = t.config.table_wrap <- w
 let set_lock_deadline t d = t.config.lock_deadline <- d
 let lock_deadline t = t.config.lock_deadline
+
+(* monotonic: only moves the counter forward, so it composes with
+   [adopt_pending]'s bump and is safe to call on a live engine *)
+let set_next_txn t base =
+  let rec bump () =
+    let cur = Atomic.get t.next_txn in
+    if cur < base && not (Atomic.compare_and_set t.next_txn cur base) then bump ()
+  in
+  bump ()
 let charge t units = t.config.charge units
 let cost t = t.cost
 

@@ -88,41 +88,91 @@ module Histogram = struct
 
   let count t = Atomic.get t.total
   let total t = float_of_int (Atomic.get t.sum_ns) /. 1e9
-  let mean t = if count t = 0 then nan else total t /. float_of_int (count t)
 
-  let bounds t i =
+  let bucket_bounds ~base i =
     (* (lo, hi] of bucket i; bucket 0 starts at 0 *)
-    let hi = t.base *. Float.pow 2. (float_of_int i) in
-    let lo = if i = 0 then 0. else t.base *. Float.pow 2. (float_of_int (i - 1)) in
+    let hi = base *. Float.pow 2. (float_of_int i) in
+    let lo = if i = 0 then 0. else base *. Float.pow 2. (float_of_int (i - 1)) in
     (lo, hi)
 
-  let percentile t p =
-    let n = count t in
-    if n = 0 then nan
-    else begin
-      let p = Float.max 0. (Float.min 1. p) in
-      let target = p *. float_of_int n in
-      let rec walk i cum =
-        if i >= Array.length t.counts then snd (bounds t (Array.length t.counts - 1))
-        else
-          let c = Atomic.get t.counts.(i) in
-          if float_of_int (cum + c) >= target && c > 0 then begin
-            let lo, hi = bounds t i in
-            let frac =
-              if c = 0 then 0. else (target -. float_of_int cum) /. float_of_int c
-            in
-            lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
-          end
-          else walk (i + 1) (cum + c)
-      in
-      walk 0 0
-    end
+  (* A snapshot is one pass over the bucket array; every derived read
+     (percentile, mean, cumulative buckets) works from that single frozen
+     view, so it can never mix bucket counts taken at different moments with
+     a [total] taken at yet another — the torn-read hazard of walking the
+     live atomics directly.  The snapshot's own count is the sum of its
+     bucket counts, NOT the live [total] cell: a concurrent [record] that has
+     landed its bucket increment but not yet its total increment (or vice
+     versa) therefore cannot make a percentile walk run past the end or stop
+     short. *)
+  module Snapshot = struct
+    type t = { base : float; counts : int array; sum : float }
 
-  let nonzero_buckets t =
-    let out = ref [] in
-    for i = Array.length t.counts - 1 downto 0 do
-      let c = Atomic.get t.counts.(i) in
-      if c > 0 then out := (snd (bounds t i), c) :: !out
-    done;
-    !out
+    let count s = Array.fold_left ( + ) 0 s.counts
+    let sum s = s.sum
+    let bounds s i = bucket_bounds ~base:s.base i
+    let buckets s = Array.length s.counts
+    let mean s = if count s = 0 then nan else s.sum /. float_of_int (count s)
+
+    let percentile s p =
+      let n = count s in
+      if n = 0 then nan
+      else begin
+        let p = Float.max 0. (Float.min 1. p) in
+        let target = p *. float_of_int n in
+        let rec walk i cum =
+          if i >= Array.length s.counts then snd (bounds s (Array.length s.counts - 1))
+          else
+            let c = s.counts.(i) in
+            if float_of_int (cum + c) >= target && c > 0 then begin
+              let lo, hi = bounds s i in
+              let frac =
+                if c = 0 then 0. else (target -. float_of_int cum) /. float_of_int c
+              in
+              lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
+            end
+            else walk (i + 1) (cum + c)
+        in
+        walk 0 0
+      end
+
+    let nonzero s =
+      let out = ref [] in
+      for i = Array.length s.counts - 1 downto 0 do
+        if s.counts.(i) > 0 then out := (snd (bounds s i), s.counts.(i)) :: !out
+      done;
+      !out
+
+    let cumulative s =
+      (* (upper_bound, cumulative_count) per bucket, ascending — the shape of
+         a Prometheus histogram's [le] series.  The last bucket is open-ended
+         (it counts everything above its lower bound), so its upper bound is
+         reported as [infinity]. *)
+      let cum = ref 0 in
+      List.init (Array.length s.counts) (fun i ->
+          cum := !cum + s.counts.(i);
+          let ub =
+            if i = Array.length s.counts - 1 then infinity else snd (bounds s i)
+          in
+          (ub, !cum))
+
+    let merge a b =
+      if a.base <> b.base || Array.length a.counts <> Array.length b.counts then
+        invalid_arg "Histogram.Snapshot.merge: shape mismatch";
+      {
+        base = a.base;
+        counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+        sum = a.sum +. b.sum;
+      }
+  end
+
+  let snapshot t =
+    {
+      Snapshot.base = t.base;
+      counts = Array.map Atomic.get t.counts;
+      sum = float_of_int (Atomic.get t.sum_ns) /. 1e9;
+    }
+
+  let mean t = Snapshot.mean (snapshot t)
+  let percentile t p = Snapshot.percentile (snapshot t) p
+  let nonzero_buckets t = Snapshot.nonzero (snapshot t)
 end

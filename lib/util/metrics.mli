@@ -98,17 +98,60 @@ module Histogram : sig
   val create : ?base:float -> ?buckets:int -> unit -> t
 
   val record : t -> float -> unit
-  (** Negative and NaN samples are clamped to 0 (they land in bucket 0). *)
+  (** Negative and NaN samples are clamped to 0 (they land in bucket 0).
+      Three separate atomic adds (bucket, total, sum), so a concurrent reader
+      may observe them in any combination — which is why every derived read
+      below goes through {!snapshot}. *)
 
   val count : t -> int
   val total : t -> float
+
+  (** A frozen single-pass view of the buckets.  All derived statistics are
+      computed against the snapshot's own bucket counts (its count is the sum
+      of those counts, never the live total cell), so a percentile walk can
+      never run past the end of the array or stop short because a concurrent
+      {!record} landed one of its three atomic adds but not the others.
+      Snapshots of a live histogram remain {e approximate} in the sense of
+      the module contract (they may miss in-flight samples); they are merely
+      always internally consistent. *)
+  module Snapshot : sig
+    type t = { base : float; counts : int array; sum : float }
+
+    val count : t -> int
+    val sum : t -> float
+    val mean : t -> float
+    val buckets : t -> int
+
+    val bounds : t -> int -> float * float
+    (** [(lo, hi]] of bucket [i]; bucket 0 starts at 0. *)
+
+    val percentile : t -> float -> float
+
+    val nonzero : t -> (float * int) list
+    (** [(upper_bound, count)] for each non-empty bucket, ascending. *)
+
+    val cumulative : t -> (float * int) list
+    (** [(upper_bound, cumulative_count)] for {e every} bucket, ascending —
+        the Prometheus [le] series.  The final (open-ended) bucket's upper
+        bound is [infinity]. *)
+
+    val merge : t -> t -> t
+    (** Pointwise sum.  Commutative and associative, so merging per-domain
+        snapshots is order-independent.  Raises [Invalid_argument] if the
+        bases or bucket counts differ. *)
+  end
+
+  val snapshot : t -> Snapshot.t
+
   val mean : t -> float
+  (** [Snapshot.mean] of a fresh snapshot. *)
 
   val percentile : t -> float -> float
-  (** [percentile t 0.95] walks the cumulative bucket counts and interpolates
-      linearly inside the bucket containing the rank; [nan] when empty.
-      Approximate while writers run (module contract), and approximate in
-      value to within the winning bucket's width. *)
+  (** [percentile t 0.95] snapshots the buckets once, then walks the
+      cumulative counts and interpolates linearly inside the bucket
+      containing the rank; [nan] when empty.  Approximate while writers run
+      (module contract), and approximate in value to within the winning
+      bucket's width. *)
 
   val nonzero_buckets : t -> (float * int) list
   (** [(upper_bound, count)] for each non-empty bucket, ascending. *)

@@ -20,6 +20,9 @@ let create () =
 
 let append t r =
   trip_for r;
+  (* the clock runs only under tracing, so the disabled path stays two
+     mutex ops + the one [enabled] guard *)
+  let t0 = if Acc_obs.Trace.enabled () then Unix.gettimeofday () else 0. in
   Mutex.lock t.mu;
   if t.len = Array.length t.records then begin
     let bigger = Array.make (2 * t.len) r in
@@ -30,9 +33,11 @@ let append t r =
   t.len <- t.len + 1;
   let lsn = t.len - 1 in
   Mutex.unlock t.mu;
-  if Acc_obs.Trace.enabled () then
+  if Acc_obs.Trace.enabled () then begin
+    let dur = if t0 = 0. then 0. else Unix.gettimeofday () -. t0 in
     Acc_obs.Trace.emit
-      (Acc_obs.Trace.Wal_append { txn = Record.txn_of r; lsn; kind = Record.kind r });
+      (Acc_obs.Trace.Wal_append { txn = Record.txn_of r; lsn; kind = Record.kind r; dur })
+  end;
   lsn
 
 let length t = t.len

@@ -45,7 +45,7 @@ let one_of_each =
     Trace.Assertion_check { txn = 1; assertion = 4; interfering_step = 12; passed = true };
     Trace.Deadlock_cycle { cycle = [ 1; 7; 9 ] };
     Trace.Victim { txn = 7; spared_compensating = true };
-    Trace.Wal_append { txn = 1; lsn = 42; kind = "write" };
+    Trace.Wal_append { txn = 1; lsn = 42; kind = "write"; dur = 3e-6 };
     Trace.Wal_flush { records = 17 };
     Trace.Timed_out { txn = 5; mode = Mode.X; resource = res 4; waited = 0.052 };
     Trace.Shed { inflight = 64; reason = "capacity" };

@@ -128,6 +128,13 @@ let parallel_report_json ?cfg (r : P.report) =
       ("peak_queue_depth", Json.Int r.P.peak_queue_depth);
       ("peak_oldest_wait", Json.Float r.P.peak_oldest_wait);
       ("mutex_acquisitions", Json.Int r.P.mutex_acquisitions);
+      ("fast_path_attempts", Json.Int r.P.fast_path_attempts);
+      ("fast_path_hits", Json.Int r.P.fast_path_hits);
+      ( "fast_path_hit_rate",
+        Json.Float
+          (if r.P.fast_path_attempts = 0 then 0.
+           else float_of_int r.P.fast_path_hits /. float_of_int r.P.fast_path_attempts) );
+      ("wal_flushes", Json.Int r.P.wal_flushes);
       ( "step_latency",
         Json.List
           (List.map

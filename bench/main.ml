@@ -288,6 +288,77 @@ let run_batch ~quick =
         ] );
   ]
 
+(* ---------- lock fast path + group commit scaling ---------------------- *)
+
+(* The lock-manager fast path and group-commit WAL, measured together: the
+   same fixed-count parallel TPC-C run as the batch bench (batched footprints
+   on, so the remaining mutex traffic is what the fast path removes), swept
+   across domain counts.  Per cell: committed txn/s, shard-mutex acquisitions
+   per committed transaction, fast-path hit rate, and WAL durability round
+   trips per committed transaction under group commit.  CI gates the 1-domain
+   hit rate (uncontended, so the fast path should carry most requests) and
+   the 4-domain acqs/txn against the pre-fast-path batched baseline. *)
+let run_scale ~quick =
+  let module P = Acc_tpcc.Parallel_driver in
+  let module Runtime = Acc_core.Runtime in
+  let domain_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let per_domain = if quick then 150 else 500 in
+  let base =
+    {
+      P.default_config with
+      P.system = P.Acc;
+      duration = 0.;
+      txns_per_domain = Some per_domain;
+      mix = P.New_order_payment;
+      group_commit = true;
+      acc_options =
+        { Runtime.default_options with Runtime.batch_footprints = true };
+    }
+  in
+  Format.fprintf ppf
+    "@.=== scale: lock fast path + group commit vs domains (%d txns/domain) ===@."
+    per_domain;
+  Format.fprintf ppf "%8s %10s %12s %10s %12s@." "domains" "txn/s" "acqs/txn"
+    "fast-hit" "flushes/txn";
+  let cells =
+    List.map
+      (fun domains ->
+        let cfg = { base with P.domains } in
+        let r, phases = Bench_json.with_phases (fun () -> P.run cfg) in
+        let per c = float_of_int c /. float_of_int (max 1 r.P.committed) in
+        let acqs = per r.P.mutex_acquisitions in
+        let flushes = per r.P.wal_flushes in
+        let hit_rate =
+          if r.P.fast_path_attempts = 0 then 0.
+          else float_of_int r.P.fast_path_hits /. float_of_int r.P.fast_path_attempts
+        in
+        Format.fprintf ppf "%8d %10.1f %12.1f %9.1f%% %12.2f@." domains r.P.throughput
+          acqs (100. *. hit_rate) flushes;
+        if r.P.violations <> [] then
+          Format.fprintf ppf "!! %d consistency violations at %d domains@."
+            (List.length r.P.violations) domains;
+        Json.Obj
+          [
+            ("domains", Json.Int domains);
+            ("mutex_acquisitions_per_txn", Json.Float acqs);
+            ("fast_path_hit_rate", Json.Float hit_rate);
+            ("wal_flushes_per_txn", Json.Float flushes);
+            ("report", Bench_json.parallel_report_json ~cfg r);
+            ("phases", phases);
+          ])
+      domain_counts
+  in
+  [
+    ( "scale",
+      Json.Obj
+        [
+          ("txns_per_domain", Json.Int per_domain);
+          ("batch_footprints", Json.Bool true);
+          ("group_commit", Json.Bool true);
+          ("cells", Json.List cells);
+        ] );
+  ]
+
 (* ---------- micro-benchmarks ------------------------------------------- *)
 
 module Value = Acc_relation.Value
@@ -715,6 +786,8 @@ let () =
   | "overload-quick" -> Bench_json.write ~mode:"overload" (run_overload ~quick:true)
   | "batch" -> Bench_json.write ~mode (run_batch ~quick:false)
   | "batch-quick" -> Bench_json.write ~mode:"batch" (run_batch ~quick:true)
+  | "scale" -> Bench_json.write ~mode (run_scale ~quick:false)
+  | "scale-quick" -> Bench_json.write ~mode:"scale" (run_scale ~quick:true)
   | "obs-gate" -> run_obs_gate ()
   | "recovery" -> Bench_json.write ~mode (run_recovery ~quick:false)
   | "recovery-quick" -> Bench_json.write ~mode (run_recovery ~quick:true)
@@ -723,6 +796,6 @@ let () =
   | other ->
       Format.eprintf
         "unknown mode %s \
-         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|batch|obs-gate|recovery|dist)@."
+         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|batch|scale|obs-gate|recovery|dist)@."
         other;
       exit 2

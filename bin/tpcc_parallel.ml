@@ -78,7 +78,7 @@ let metrics_setup = function
         Acc_obs.Prom.dump_file path;
         Format.printf "wrote %s@." path
 
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints partitions trace trace_chrome metrics_dump =
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints no_fast_path group_commit wal_buffer partitions trace trace_chrome metrics_dump =
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
   let mix =
     match mix with
@@ -124,6 +124,9 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
       lock_deadline = Option.map (fun ms -> ms /. 1000.) deadline_ms;
       max_inflight;
       shed_watermark;
+      fast_path = not no_fast_path;
+      group_commit;
+      wal_buffer;
       acc_options =
         { P.default_config.P.acc_options with Acc_core.Runtime.batch_footprints };
     }
@@ -250,6 +253,29 @@ let batch_footprints =
               canonically-ordered call (one shard-mutex round trip per shard \
               touched) instead of lock by lock.")
 
+let no_fast_path =
+  Arg.(
+    value & flag
+    & info [ "no-fast-path" ]
+        ~doc:"Disable the lock manager's lock-free uncontended fast path \
+              (every request then takes its shard mutex; for A/B runs).")
+
+let group_commit =
+  Arg.(
+    value & flag
+    & info [ "group-commit" ]
+        ~doc:"Group-commit the WAL: appends stage in per-domain buffers and \
+              concurrent commit-time flushes merge into one leader-flushed \
+              batch per append-mutex round trip.")
+
+let wal_buffer =
+  Arg.(
+    value & opt int 0
+    & info [ "wal-buffer" ] ~docv:"N"
+        ~doc:"Per-domain WAL buffer capacity in records (0 = direct, every \
+              append is its own flush).  Implied at the default capacity by \
+              --group-commit.")
+
 let partitions =
   Arg.(
     value
@@ -292,7 +318,7 @@ let cmd =
     Term.(
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
       $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ deadline_ms
-      $ max_inflight $ shed_watermark $ batch_footprints $ partitions $ trace
-      $ trace_chrome $ metrics_dump)
+      $ max_inflight $ shed_watermark $ batch_footprints $ no_fast_path $ group_commit
+      $ wal_buffer $ partitions $ trace $ trace_chrome $ metrics_dump)
 
 let () = exit (Cmd.eval cmd)

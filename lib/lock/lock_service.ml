@@ -26,6 +26,8 @@ module type S = sig
   val max_bypassed : unit -> int
   val timeout_count : unit -> int
   val mutex_acquisitions : unit -> int
+  val fast_attempts : unit -> int
+  val fast_hits : unit -> int
   val set_observer : (Lock_table.observation -> unit) option -> unit
   val pp_state : Format.formatter -> unit -> unit
 end
@@ -59,6 +61,8 @@ let oldest_wait (module M : S) ~now = M.oldest_wait ~now
 let max_bypassed (module M : S) = M.max_bypassed ()
 let timeout_count (module M : S) = M.timeout_count ()
 let mutex_acquisitions (module M : S) = M.mutex_acquisitions ()
+let fast_attempts (module M : S) = M.fast_attempts ()
+let fast_hits (module M : S) = M.fast_hits ()
 let set_observer (module M : S) obs = M.set_observer obs
 let pp_state ppf (module M : S) = M.pp_state ppf ()
 
@@ -108,6 +112,11 @@ let of_table ~wait ~deliver table : t =
     let max_bypassed () = Lock_table.max_bypassed table
     let timeout_count () = 0
     let mutex_acquisitions () = 0
+
+    (* no lock-free fast path in the sequential backend: every request is
+       already a plain function call *)
+    let fast_attempts () = 0
+    let fast_hits () = 0
     let set_observer obs = Lock_table.set_observer table obs
     let pp_state ppf () = Lock_table.pp_state ppf table
   end)

@@ -94,6 +94,16 @@ module type S = sig
       {!acquire_batch} exists to reduce.  Constantly 0 on the sequential
       backend (no mutex). *)
 
+  val fast_attempts : unit -> int
+  (** Lock-free fast-path installs attempted over the backend's lifetime
+      (DESIGN.md §17).  Constantly 0 on backends without a fast path,
+      including the sequential one. *)
+
+  val fast_hits : unit -> int
+  (** Fast-path installs that validated and stuck: [fast_hits () /
+      fast_attempts ()] is the fast-path hit rate the scale bench and its CI
+      gate report. *)
+
   val set_observer : (Lock_table.observation -> unit) option -> unit
   val pp_state : Format.formatter -> unit -> unit
 end
@@ -133,6 +143,8 @@ val oldest_wait : t -> now:float -> float
 val max_bypassed : t -> int
 val timeout_count : t -> int
 val mutex_acquisitions : t -> int
+val fast_attempts : t -> int
+val fast_hits : t -> int
 val set_observer : t -> (Lock_table.observation -> unit) option -> unit
 val pp_state : Format.formatter -> t -> unit
 

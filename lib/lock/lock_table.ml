@@ -82,6 +82,12 @@ type t = {
   tickets : (ticket, waiter) Hashtbl.t; (* outstanding waits only *)
   by_txn : (int, unit Resource_id.Tbl.t) Hashtbl.t; (* txn -> resources held *)
   mutable obs : (observation -> unit) option;
+  mutable activity : (int -> int -> unit) option;
+  (* per-transaction bookkeeping hook: called with (txn, +1) whenever a hold
+     record or a waiter of [txn] enters the table and (txn, -1) when one
+     leaves (re-entrant count changes are not reported).  The sharded table
+     points this at per-shard atomic counters so "does txn hold or wait for
+     anything here?" is answerable without the shard mutex. *)
   max_bypass : int; (* bounded-bypass fairness limit *)
   clock : unit -> float; (* timestamps queue times and checks deadlines *)
 }
@@ -95,11 +101,14 @@ let create ?(max_bypass = Lock_core.default_max_bypass) ?(clock = fun () -> 0.) 
     tickets = Hashtbl.create 64;
     by_txn = Hashtbl.create 64;
     obs = None;
+    activity = None;
     max_bypass;
     clock;
   }
 
 let set_observer t obs = t.obs <- obs
+let set_activity_hook t hook = t.activity <- hook
+let act t txn delta = match t.activity with None -> () | Some f -> f txn delta
 
 let table_members t tname =
   match Hashtbl.find_opt t.by_table tname with
@@ -256,7 +265,8 @@ let queue_ahead_compatible t ~txn ~mode ~requester ahead =
 let add_hold t e ~txn ~step_type ~mode res =
   e.holds <- e.holds @ [ { h_txn = txn; h_mode = mode; h_step = step_type; h_count = 1 } ];
   note_entry_active t res;
-  note_held t ~txn res
+  note_held t ~txn res;
+  act t txn 1
 
 (* Post-hoc classification of a decision, for the observer.  Runs only when
    an observer is installed; re-reads the same holds/queue the decision
@@ -403,6 +413,7 @@ let submit t (r : Lock_request.t) =
         e.queue <- (if upgrade then w :: e.queue else e.queue @ [ w ]);
         note_entry_active t res;
         Hashtbl.replace t.tickets ticket w;
+        act t txn 1;
         Queued ticket
       end
 
@@ -452,6 +463,7 @@ let promote_entry t e =
           record_bypass t ~txn:w.w_txn ~mode:w.w_mode ~step_type:w.w_step overtaken;
           add_hold t e ~txn:w.w_txn ~step_type:w.w_step ~mode:w.w_mode w.w_resource;
           Hashtbl.remove t.tickets w.w_ticket;
+          act t w.w_txn (-1);
           (match t.obs with
           | None -> ()
           | Some f ->
@@ -484,12 +496,9 @@ let promote_table t tname =
   in
   sweep []
 
-let after_change t e =
-  let tname = Resource_id.table_of e.e_resource in
-  let woken = promote_table t tname in
-  gc_entry t e;
-  (* gc any other drained entries of the table *)
-  (match Hashtbl.find_opt t.by_table tname with
+(* gc every drained entry of the table *)
+let gc_table_drained t tname =
+  match Hashtbl.find_opt t.by_table tname with
   | Some set ->
       let drained =
         Resource_id.Tbl.fold
@@ -501,8 +510,43 @@ let after_change t e =
           set []
       in
       List.iter (gc_entry t) drained
-  | None -> ());
+  | None -> ()
+
+let after_change t e =
+  let tname = Resource_id.table_of e.e_resource in
+  let woken = promote_table t tname in
+  gc_entry t e;
+  gc_table_drained t tname;
   woken
+
+(* Promotion poke without a triggering release: run the table's promotion
+   sweep to a fixpoint and gc what drained.  The sharded table calls this
+   after a lock-free fast-path retreat (a rolled-back optimistic install may
+   have transiently blocked a grantable waiter). *)
+let promote t ~table =
+  let woken = promote_table t table in
+  gc_table_drained t table;
+  woken
+
+(* Unconditional install of an already-granted hold, used when the sharded
+   table migrates a lock-free fast-path grant into the sequential table (the
+   resource is becoming contended).  The grant decision already happened —
+   and was already observed — at fast-install time, and no waiter existed
+   then (fast installs require an empty shard table), so neither the observer
+   nor the bypass bookkeeping fires here. *)
+let import_hold t ~txn ~step_type ~mode ~count res =
+  if count < 1 then invalid_arg "Lock_table.import_hold: count must be >= 1";
+  let e = entry t res in
+  match
+    List.find_opt (fun h -> h.h_txn = txn && Mode.equal h.h_mode mode) e.holds
+  with
+  | Some h -> h.h_count <- h.h_count + count
+  | None ->
+      e.holds <-
+        e.holds @ [ { h_txn = txn; h_mode = mode; h_step = step_type; h_count = count } ];
+      note_entry_active t res;
+      note_held t ~txn res;
+      act t txn 1
 
 let release t ~txn mode res =
   let e = entry t res in
@@ -521,6 +565,7 @@ let release t ~txn mode res =
       end
       else begin
         e.holds <- List.filter (fun h' -> h' != h) e.holds;
+        act t txn (-1);
         (match t.obs with
         | None -> ()
         | Some f -> f (Ob_release { ol_txn = txn; ol_mode = mode; ol_resource = res }));
@@ -545,6 +590,7 @@ let release_where t ~txn pred =
           end
           else begin
             e.holds <- kept;
+            act t txn (-List.length mine);
             (match t.obs with
             | None -> ()
             | Some f ->
@@ -561,6 +607,7 @@ let cancel t ~ticket =
   | None -> []
   | Some w ->
       Hashtbl.remove t.tickets ticket;
+      act t w.w_txn (-1);
       (match t.obs with
       | None -> ()
       | Some f -> f (Ob_cancel { oc_txn = w.w_txn; oc_resource = w.w_resource }));

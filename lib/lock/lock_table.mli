@@ -92,6 +92,14 @@ val set_observer : t -> (observation -> unit) option -> unit
     inside lock-table operations — in the sharded table, under the shard
     mutex — so it must be fast and must not call back into the table. *)
 
+val set_activity_hook : t -> (int -> int -> unit) option -> unit
+(** Install (or clear) the per-transaction activity hook, called with
+    [(txn, +1)] whenever a hold record or waiter of [txn] enters the table
+    and [(txn, -1)] when one leaves (re-entrant count changes are not
+    reported).  The sharded table points this at per-shard atomic counters
+    so "does txn hold or wait for anything here?" is answerable without the
+    shard mutex. *)
+
 val submit : t -> Lock_request.t -> grant
 (** Ask for a lock.  [admission] marks the transaction-initiation acquisition
     of the first interstep assertion (prefix-interference checks apply);
@@ -123,6 +131,21 @@ val release_all : t -> txn:int -> wakeup list
 val cancel : t -> ticket:ticket -> wakeup list
 (** Withdraw a waiting request (used when its step is chosen as deadlock
     victim); no-op if the ticket is no longer outstanding. *)
+
+val promote : t -> table:string -> wakeup list
+(** Run the table's promotion sweep to a fixpoint (and gc drained entries)
+    without a triggering release.  Used by the sharded table after rolling
+    back an optimistic fast-path install that may have transiently blocked a
+    grantable waiter. *)
+
+val import_hold :
+  t -> txn:int -> step_type:int -> mode:Mode.t -> count:int -> Resource_id.t -> unit
+(** Install an already-granted hold unconditionally, merging into an existing
+    hold of the same (txn, mode) if present.  Used when the sharded table
+    migrates a lock-free fast-path grant into the table because the resource
+    is becoming contended.  The grant was decided (and observed) at
+    fast-install time, so no conflict check, observation, or bypass
+    accounting happens here.  Raises [Invalid_argument] if [count < 1]. *)
 
 val expire_overdue : t -> now:float -> expired list * wakeup list
 (** Withdraw every non-compensating waiter whose deadline is at or before

@@ -46,10 +46,11 @@ let register_metrics t labels =
     (Acc_obs.Registry.Poll_counter (fun () -> Watchdog.degraded_trips t.watchdog))
 
 let create ?shards ?detector_cadence ?cost ?lock_deadline ?max_inflight ?shed_watermark
-    ?max_bypass ?watchdog_cadence ?degrade_after ?(metrics_labels = []) ~sem db =
-  let locks = Sharded_lock_table.create ?shards ?max_bypass sem in
+    ?max_bypass ?watchdog_cadence ?degrade_after ?(metrics_labels = []) ?fast_path
+    ?wal_policy ~sem db =
+  let locks = Sharded_lock_table.create ?shards ?max_bypass ?fast:fast_path sem in
   let service = Sharded_lock_table.service locks in
-  let exec = Executor.create_with ?cost ~service db in
+  let exec = Executor.create_with ?cost ?wal_policy ~service db in
   Executor.set_lock_deadline exec lock_deadline;
   let lock_waits = Metrics.Histogram.create () in
   Sharded_lock_table.set_on_wait locks (Some (Metrics.Histogram.record lock_waits));

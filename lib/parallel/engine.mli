@@ -24,6 +24,8 @@ val create :
   ?watchdog_cadence:float ->
   ?degrade_after:float ->
   ?metrics_labels:(string * string) list ->
+  ?fast_path:bool ->
+  ?wal_policy:Acc_wal.Log.policy ->
   sem:Acc_lock.Mode.semantics ->
   Acc_relation.Database.t ->
   t
@@ -41,7 +43,13 @@ val create :
     transactions ({!try_admit}); [shed_watermark] is the abort rate
     (victims + timeouts per second) above which admissions shed;
     [max_bypass] is the lock tables' bounded-bypass fairness limit;
-    [degrade_after] is the oldest-waiter age that trips degraded mode. *)
+    [degrade_after] is the oldest-waiter age that trips degraded mode.
+
+    [fast_path] (default [true]) enables the sharded table's lock-free
+    uncontended fast path ({!Sharded_lock_table.create}'s [fast]);
+    [wal_policy] selects the executor WAL's append policy
+    ({!Acc_wal.Log.policy}, default [Direct]) — pass
+    [Buffered {cap; group = true}] for group commit. *)
 
 val executor : t -> Acc_txn.Executor.t
 

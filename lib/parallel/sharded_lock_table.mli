@@ -12,6 +12,16 @@
     {!kill}).  {!service} packages the whole thing as a
     {!Acc_lock.Lock_service.t} — the form the engine and executor consume.
 
+    The blocking surface additionally runs a {e lock-free fast path}
+    (DESIGN.md §17): while a shard's lock table is completely empty, tuple
+    and table-intention requests CAS-install their grants into per-shard
+    fast slots, validated by a per-shard seqlock, without ever touching the
+    shard mutex.  Any conflict, slot collision, table-level absolute mode,
+    or seqlock movement falls back to the mutex path, after {e migrating}
+    the affected fast holds into the lock table so the sequential decision
+    logic — {!Acc_lock.Lock_core}, unchanged — sees every hold.  The
+    installed observer fires on both paths.
+
     Tickets returned here are globally unique encodings of per-shard tickets
     ([local * n_shards + shard]). *)
 
@@ -19,10 +29,13 @@ type t
 
 val default_shards : int
 
-val create : ?shards:int -> ?max_bypass:int -> Acc_lock.Mode.semantics -> t
+val create : ?shards:int -> ?max_bypass:int -> ?fast:bool -> Acc_lock.Mode.semantics -> t
 (** Shard clocks are wall-clock time ([Unix.gettimeofday]): deadlines in
     requests passed to {!acquire_req}/{!submit} are absolute wall-clock
-    instants.  [max_bypass] is each shard's bounded-bypass fairness limit. *)
+    instants.  [max_bypass] is each shard's bounded-bypass fairness limit.
+    [fast] (default [true]) enables the lock-free fast path; pass [false]
+    to force every operation through the shard mutexes (the parity tests
+    compare the two). *)
 
 val n_shards : t -> int
 
@@ -36,9 +49,19 @@ val timeout_count : t -> int
 
 val mutex_acquisitions : t -> int
 (** Explicit shard-mutex acquisitions over the table's lifetime: one per
-    synchronous operation, one per blocking {!acquire_req}, and one {e per
-    shard group} of an {!acquire_batch} — the quantity batching amortizes.
-    Condition-variable reacquisitions during sleeps are not counted. *)
+    synchronous operation, one per blocking {!acquire_req} that misses the
+    fast path, and one {e per shard group} of an {!acquire_batch} — the
+    quantity batching amortizes and the fast path avoids entirely.
+    Fast-path installs and shards skipped by the per-transaction activity
+    index cost none.  Condition-variable reacquisitions during sleeps are
+    not counted. *)
+
+val fast_attempts : t -> int
+(** Lock-free fast-path installs attempted (blocking surface only). *)
+
+val fast_hits : t -> int
+(** Fast-path installs that validated and stuck; [fast_hits/fast_attempts]
+    is the hit rate reported by [bench scale] and gated in CI. *)
 
 val set_observer : t -> (Acc_lock.Lock_table.observation -> unit) option -> unit
 (** Install (or clear) one decision observer on every shard.  The observer

@@ -91,17 +91,22 @@ let gen_inputs cfg =
   let env = { env with Txns.new_order_abort_rate = cfg.abort_rate } in
   Array.init cfg.txns (fun _ -> Txns.gen_input env)
 
+(* The harness runs under group commit so the sweep covers the [wal.flush]
+   batch-boundary crash window (§17's widened loss unit): a crash loses whole
+   un-synced batches, and the flushed log prefix is what restart sees. *)
+let harness_wal = Log.Buffered { cap = Log.default_cap; group = true }
+
 let fresh cfg ~inputs =
   Txns.reset_history_seq ();
   let db = Load.populate ~seed:cfg.seed cfg.params in
   let baseline = Database.copy db in
-  let eng = Executor.create ~sem:Txns.semantics db in
+  let eng = Executor.create ~wal_policy:harness_wal ~sem:Txns.semantics db in
   let mgr = Checkpoint.Manager.create ~every:cfg.checkpoint_every () in
   { cfg; inputs; env = Txns.default_env ~seed:cfg.seed cfg.params; baseline; eng; mgr }
 
 let restart r ~db =
   r.baseline <- Database.copy db;
-  r.eng <- Executor.create ~sem:Txns.semantics db;
+  r.eng <- Executor.create ~wal_policy:harness_wal ~sem:Txns.semantics db;
   r.mgr <- Checkpoint.Manager.create ~every:r.cfg.checkpoint_every ()
 
 exception Crashed of { point : string; hit : int; at : int; start_lsn : Log.lsn }
@@ -198,7 +203,9 @@ let merge_carried carried (rep : Recovery.report) =
    disarmed so chaos mode always terminates. *)
 let replay_with_retries errs label rep0 =
   let rec go ~snapshot ~carried ~tries =
-    let eng' = Executor.create ~sem:Txns.semantics (Database.copy snapshot) in
+    let eng' =
+      Executor.create ~wal_policy:harness_wal ~sem:Txns.semantics (Database.copy snapshot)
+    in
     match List.iter (Replay.replay_one eng') carried with
     | () -> (snapshot, carried, eng')
     | exception Fault.Crash _ ->

@@ -54,6 +54,16 @@ type config = {
   shed_watermark : float option;
       (** abort rate (victims + timeouts per second) above which admissions
           shed *)
+  fast_path : bool;
+      (** lock-free uncontended fast path in the sharded lock table (on by
+          default; off forces every request through the shard mutexes) *)
+  group_commit : bool;
+      (** group commit: buffered WAL appends, concurrent syncs merged into
+          leader-flushed batches (implies a buffered WAL) *)
+  wal_buffer : int;
+      (** per-domain WAL buffer capacity in records; [0] keeps the direct
+          (append = flush) WAL unless [group_commit] forces the default
+          capacity *)
 }
 
 let default_config =
@@ -76,7 +86,21 @@ let default_config =
     lock_deadline = None;
     max_inflight = None;
     shed_watermark = None;
+    fast_path = true;
+    group_commit = false;
+    wal_buffer = 0;
   }
+
+(* the WAL policy a config asks for: [--wal-buffer N] buffers, and
+   [--group-commit] additionally merges concurrent syncs (forcing the
+   default buffer capacity when none was given) *)
+let wal_policy_of cfg =
+  let open Acc_wal.Log in
+  if cfg.group_commit then
+    Buffered
+      { cap = (if cfg.wal_buffer > 0 then cfg.wal_buffer else default_cap); group = true }
+  else if cfg.wal_buffer > 0 then Buffered { cap = cfg.wal_buffer; group = false }
+  else Direct
 
 type report = {
   committed : int;
@@ -113,7 +137,15 @@ type report = {
   mutex_acquisitions : int;
       (** explicit shard-mutex acquisitions in the lock manager over the whole
           run — the contention-side quantity batched footprint acquisition
-          ([acc_options.batch_footprints]) amortizes *)
+          ([acc_options.batch_footprints]) and the lock-free fast path
+          amortize *)
+  fast_path_attempts : int;
+      (** lock requests that probed the lock-free fast path *)
+  fast_path_hits : int;
+      (** fast-path probes that granted without touching a shard mutex *)
+  wal_flushes : int;
+      (** WAL durability round trips: one per append with a direct WAL, one
+          per flushed batch under group commit *)
 }
 
 (* step-type naming, shared with the CLI and bench output *)
@@ -188,7 +220,8 @@ let run cfg =
   let engine =
     Engine.create ~shards:cfg.shards ~detector_cadence:cfg.detector_cadence
       ?lock_deadline:cfg.lock_deadline ?max_inflight:cfg.max_inflight
-      ?shed_watermark:cfg.shed_watermark ~sem db
+      ?shed_watermark:cfg.shed_watermark ~fast_path:cfg.fast_path
+      ~wal_policy:(wal_policy_of cfg) ~sem db
   in
   let eng = Engine.executor engine in
   let max_step_id =
@@ -396,6 +429,9 @@ let run cfg =
     peak_queue_depth = Watchdog.peak_queue_depth (Engine.watchdog engine);
     peak_oldest_wait = Watchdog.peak_oldest_wait (Engine.watchdog engine);
     mutex_acquisitions = Sharded_lock_table.mutex_acquisitions locks;
+    fast_path_attempts = Sharded_lock_table.fast_attempts locks;
+    fast_path_hits = Sharded_lock_table.fast_hits locks;
+    wal_flushes = Acc_wal.Log.flush_count (Executor.log eng);
   }
 
 let pp_step_hist ppf hist =
@@ -428,6 +464,11 @@ let pp_report ppf r =
     | [] -> "OK"
     | v -> Printf.sprintf "%d VIOLATION(S)" (List.length v));
   Format.fprintf ppf "@.shard-mutex acquisitions %d" r.mutex_acquisitions;
+  if r.fast_path_attempts > 0 then
+    Format.fprintf ppf "@.fast-path hits       %d / %d (%.1f%%)" r.fast_path_hits
+      r.fast_path_attempts
+      (100.0 *. float_of_int r.fast_path_hits /. float_of_int r.fast_path_attempts);
+  Format.fprintf ppf "@.wal flushes          %d" r.wal_flushes;
   if
     r.lock_timeouts > 0 || r.shed > 0 || r.degraded_trips > 0 || r.degraded_runs > 0
     || r.lock_wait_count > 0

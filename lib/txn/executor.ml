@@ -79,11 +79,11 @@ type ctx = {
          entry stays held for the step's whole lifetime. *)
 }
 
-let make ?(cost = Cost_model.default) service db =
+let make ?(cost = Cost_model.default) ?wal_policy service db =
   {
     db;
     service;
-    log = Log.create ();
+    log = Log.create ?policy:wal_policy ();
     cost;
     config =
       {
@@ -103,7 +103,7 @@ let make ?(cost = Cost_model.default) service db =
    must call [t.config.on_wakeup], but the service is built before [t].  A
    forward reference unties it — [on_wakeup] is mutable anyway, so the one
    extra indirection changes nothing observable. *)
-let create ?cost ~sem db =
+let create ?cost ?wal_policy ~sem db =
   let table = Lock_table.create sem in
   let deliver_ref = ref (fun (_ : Lock_table.wakeup list) -> ()) in
   let service =
@@ -112,11 +112,11 @@ let create ?cost ~sem db =
       ~deliver:(fun wakeups -> !deliver_ref wakeups)
       table
   in
-  let t = make ?cost service db in
+  let t = make ?cost ?wal_policy service db in
   deliver_ref := (fun wakeups -> if wakeups <> [] then t.config.on_wakeup wakeups);
   t
 
-let create_with ?cost ~service db = make ?cost service db
+let create_with ?cost ?wal_policy ~service db = make ?cost ?wal_policy service db
 
 let db t = t.db
 let lock_service t = t.service
@@ -495,9 +495,17 @@ let release_locks ctx pred =
   (* any mid-transaction release invalidates the footprint memo wholesale —
      a later acquire of a released pair must go back to the lock manager *)
   ctx.pre_acquired <- [];
+  (* WAL-before-unlock: once a conventional lock drops at a step boundary,
+     a foreign transaction may read (and log decisions over) this step's
+     writes, so the records describing them must be durable first — under a
+     buffered policy that means flushing this domain's batch *)
+  Log.sync ctx.eng.log;
   lock_release_where ctx.eng ~txn:ctx.txn pred
 
 let release_everything ctx =
+  (* WAL-before-unlock, as in [release_locks]: nothing of this transaction
+     may become foreign-visible before its records are durable *)
+  Log.sync ctx.eng.log;
   (* a crash here leaves every lock of the transaction dangling in the dying
      process; the restarted engine must come up with an empty lock table *)
   Fault.trip cp_release;
@@ -514,12 +522,19 @@ let prepare ctx ~gid =
      keep blocking until the decision arrives *)
   assert (not ctx.finished);
   ignore (Log.append ctx.eng.log (Record.Prepare { txn = ctx.txn; gid }));
+  (* the YES vote must be durable before the coordinator may count it: the
+     sync orders the Prepare record's flush before [cp_prepare] — the crash
+     window after which recovery must re-derive the in-doubt branch *)
+  Log.sync ctx.eng.log;
   Fault.trip cp_prepare;
   if Trace.enabled () then Trace.emit (Trace.Prepare { txn = ctx.txn; gid })
 
 let commit ctx =
   assert (not ctx.finished);
   ignore (Log.append ctx.eng.log (Record.Commit { txn = ctx.txn }));
+  (* group-commit durability contract: the commit is acknowledged (and the
+     locks released) only after the batch holding the Commit record flushed *)
+  Log.sync ctx.eng.log;
   (* commit durable, locks still held *)
   Fault.trip cp_commit_durable;
   if Trace.enabled () then Trace.emit (Trace.Txn_commit { txn = ctx.txn });
@@ -593,4 +608,5 @@ let checkpoint t =
   if Atomic.get t.active > 0 then
     invalid_arg
       (Printf.sprintf "Executor.checkpoint: %d transaction(s) still active" (Atomic.get t.active));
+  Log.flush_all t.log;
   Acc_wal.Checkpoint.take t.db t.log

@@ -16,19 +16,35 @@ type ctx
 (** A live transaction. *)
 
 val create :
-  ?cost:Cost_model.t -> sem:Acc_lock.Mode.semantics -> Acc_relation.Database.t -> t
+  ?cost:Cost_model.t ->
+  ?wal_policy:Acc_wal.Log.policy ->
+  sem:Acc_lock.Mode.semantics ->
+  Acc_relation.Database.t ->
+  t
 (** An engine on the sequential {!Acc_lock.Lock_table} (wrapped as a
     {!Acc_lock.Lock_service.t}): lock waits perform {!Txn_effect.Wait_lock}
-    and wakeups flow through {!set_on_wakeup}. *)
+    and wakeups flow through {!set_on_wakeup}.  [wal_policy] as in
+    {!create_with}. *)
 
 val create_with :
-  ?cost:Cost_model.t -> service:Acc_lock.Lock_service.t -> Acc_relation.Database.t -> t
+  ?cost:Cost_model.t ->
+  ?wal_policy:Acc_wal.Log.policy ->
+  service:Acc_lock.Lock_service.t ->
+  Acc_relation.Database.t ->
+  t
 (** An engine on a caller-supplied lock manager — the parallel engine passes
     [Sharded_lock_table.service] here.  The service's [acquire]
     must block (or suspend) until the lock is held, raising
     [Txn_effect.Deadlock_victim] if victimized and [Txn_effect.Lock_timeout]
     on deadline expiry.  {!set_on_wakeup} never fires on such an engine (the
-    manager wakes its own waiters). *)
+    manager wakes its own waiters).
+
+    [wal_policy] (default {!Acc_wal.Log.Direct}) selects the log's append
+    policy.  Under a {!Acc_wal.Log.Buffered} policy the executor inserts a
+    {!Acc_wal.Log.sync} before every lock release that could expose this
+    transaction's effects — step-boundary releases, commit, abort — and
+    before the 2PC prepare vote is observable, preserving the WAL rule and
+    the group-commit durability contract (DESIGN.md §17). *)
 
 val db : t -> Acc_relation.Database.t
 

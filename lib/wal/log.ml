@@ -1,8 +1,39 @@
 type lsn = int
 
-(* [mu] serializes appends only: every transaction on every domain appends,
-   but readers (recovery, tests, checkpointing) run on a quiesced engine *)
-type t = { mutable records : Record.t array; mutable len : int; mu : Mutex.t }
+type policy = Direct | Buffered of { cap : int; group : bool }
+
+let default_cap = 64
+
+(* A domain-local staging buffer: appends land here without any shared-state
+   round trip and reach the log array only on {!sync} (or when [cap]
+   overflows).  [items] is newest-first. *)
+type buffer = { mutable items : Record.t list; mutable count : int }
+
+(* [mu] serializes the flushed array only: every transaction on every domain
+   appends, but readers (recovery, tests, checkpointing) run on a quiesced
+   engine.  Under [Buffered] policies the array holds exactly the {e flushed}
+   records — a crash loses the buffered tails, which is the point of the
+   group-commit durability contract (DESIGN.md §17): an operation is durable
+   iff its batch was flushed, and commit acknowledgement orders after the
+   {!sync} of the batch holding the commit record. *)
+type t = {
+  mutable records : Record.t array;
+  mutable len : int;
+  mu : Mutex.t;
+  policy : policy;
+  flushes : int Atomic.t;
+      (* durability round trips: one per append under [Direct], one per
+         flushed batch under [Buffered] — the "WAL flushes" of bench scale *)
+  buffers : buffer list Atomic.t;  (* every domain's buffer, for flush_all *)
+  key : buffer Domain.DLS.key;  (* this domain's buffer (per-log key) *)
+  (* group-commit state, used only by [Buffered {group = true}] *)
+  gmu : Mutex.t;
+  gcond : Condition.t;
+  mutable staged : Record.t list list;  (* staged batches, staging order *)
+  mutable staged_ticket : int;  (* ticket of the newest staged batch *)
+  mutable flushed_ticket : int;  (* batches up to here are in the array *)
+  mutable leader_active : bool;
+}
 
 (* One crash point per record kind, tripped just before the append becomes
    visible: a crash here models losing the record (and everything the
@@ -15,15 +46,46 @@ let crash_points =
 
 let trip_for r = Acc_fault.Fault.trip (List.assoc (Record.kind r) crash_points)
 
-let create () =
-  { records = Array.make 256 (Record.Commit { txn = -1 }); len = 0; mu = Mutex.create () }
+(* The batch-boundary crash point: tripping here loses the whole un-flushed
+   batch (every record since the previous flush), the window group commit
+   widens and the recovery tests must therefore cover.  Tripped at the top
+   of {!sync}, before any batch is staged, so an injected crash can never
+   strand group-commit followers behind a dead leader. *)
+let cp_flush = Acc_fault.Fault.register "wal.flush"
 
-let append t r =
-  trip_for r;
-  (* the clock runs only under tracing, so the disabled path stays two
-     mutex ops + the one [enabled] guard *)
-  let t0 = if Acc_obs.Trace.enabled () then Unix.gettimeofday () else 0. in
-  Mutex.lock t.mu;
+let create ?(policy = Direct) () =
+  let buffers = Atomic.make [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let b = { items = []; count = 0 } in
+        let rec register () =
+          let old = Atomic.get buffers in
+          if not (Atomic.compare_and_set buffers old (b :: old)) then register ()
+        in
+        register ();
+        b)
+  in
+  {
+    records = Array.make 256 (Record.Commit { txn = -1 });
+    len = 0;
+    mu = Mutex.create ();
+    policy;
+    flushes = Atomic.make 0;
+    buffers;
+    key;
+    gmu = Mutex.create ();
+    gcond = Condition.create ();
+    staged = [];
+    staged_ticket = -1;
+    flushed_ticket = -1;
+    leader_active = false;
+  }
+
+let policy t = t.policy
+let flush_count t = Atomic.get t.flushes
+
+(* Append one record to the flushed array.  Caller holds [t.mu]. *)
+let push_record t r =
   if t.len = Array.length t.records then begin
     let bigger = Array.make (2 * t.len) r in
     Array.blit t.records 0 bigger 0 t.len;
@@ -31,14 +93,113 @@ let append t r =
   end;
   t.records.(t.len) <- r;
   t.len <- t.len + 1;
-  let lsn = t.len - 1 in
-  Mutex.unlock t.mu;
-  if Acc_obs.Trace.enabled () then begin
-    let dur = if t0 = 0. then 0. else Unix.gettimeofday () -. t0 in
-    Acc_obs.Trace.emit
-      (Acc_obs.Trace.Wal_append { txn = Record.txn_of r; lsn; kind = Record.kind r; dur })
-  end;
-  lsn
+  t.len - 1
+
+(* Flush one batch (append order) under a single [t.mu] round trip. *)
+let flush_batch t items =
+  match items with
+  | [] -> ()
+  | items ->
+      Mutex.lock t.mu;
+      List.iter (fun r -> ignore (push_record t r)) items;
+      Mutex.unlock t.mu;
+      Atomic.incr t.flushes;
+      if Acc_obs.Trace.enabled () then
+        Acc_obs.Trace.emit (Acc_obs.Trace.Wal_flush { records = List.length items })
+
+(* Group commit: stage the batch, then either lead — drain {e every} staged
+   batch under one [t.mu] round trip, repeat until nothing is staged — or
+   wait until a leader's flush covers our ticket.  Commit acknowledgement
+   (the caller's return from {!sync}) therefore orders after the flush of
+   the batch holding the commit record, never before. *)
+let sync_group t items =
+  Mutex.lock t.gmu;
+  t.staged_ticket <- t.staged_ticket + 1;
+  let my = t.staged_ticket in
+  t.staged <- t.staged @ [ items ];
+  if t.leader_active then begin
+    while t.flushed_ticket < my do
+      Condition.wait t.gcond t.gmu
+    done;
+    Mutex.unlock t.gmu
+  end
+  else begin
+    t.leader_active <- true;
+    while t.flushed_ticket < t.staged_ticket do
+      let batches = t.staged in
+      let upto = t.staged_ticket in
+      t.staged <- [];
+      Mutex.unlock t.gmu;
+      flush_batch t (List.concat batches);
+      Mutex.lock t.gmu;
+      t.flushed_ticket <- upto;
+      Condition.broadcast t.gcond
+    done;
+    t.leader_active <- false;
+    Mutex.unlock t.gmu
+  end
+
+(* Make everything this domain appended durable.  No-op under [Direct]
+   (appends are already in the array) and on an empty buffer. *)
+let sync t =
+  match t.policy with
+  | Direct -> ()
+  | Buffered { group; _ } ->
+      let b = Domain.DLS.get t.key in
+      if b.items <> [] then begin
+        let items = List.rev b.items in
+        b.items <- [];
+        b.count <- 0;
+        Acc_fault.Fault.trip cp_flush;
+        if group then sync_group t items else flush_batch t items
+      end
+
+(* Drain every domain's buffer.  Only callable on a quiesced engine (no
+   in-flight appends), e.g. by {!Executor.checkpoint} before it reads the
+   log; buffer order across domains is arbitrary, which is fine — records
+   of one domain stay in order, and inter-domain order of unsynced records
+   was never promised. *)
+let flush_all t =
+  match t.policy with
+  | Direct -> ()
+  | Buffered _ ->
+      List.iter
+        (fun b ->
+          if b.items <> [] then begin
+            let items = List.rev b.items in
+            b.items <- [];
+            b.count <- 0;
+            flush_batch t items
+          end)
+        (Atomic.get t.buffers)
+
+let append t r =
+  trip_for r;
+  match t.policy with
+  | Buffered { cap; _ } ->
+      let b = Domain.DLS.get t.key in
+      b.items <- r :: b.items;
+      b.count <- b.count + 1;
+      if Acc_obs.Trace.enabled () then
+        Acc_obs.Trace.emit
+          (Acc_obs.Trace.Wal_append { txn = Record.txn_of r; lsn = -1; kind = Record.kind r; dur = 0. });
+      if b.count >= cap then sync t;
+      (* buffered records have no LSN until their batch flushes *)
+      -1
+  | Direct ->
+      (* the clock runs only under tracing, so the disabled path stays two
+         mutex ops + the one [enabled] guard *)
+      let t0 = if Acc_obs.Trace.enabled () then Unix.gettimeofday () else 0. in
+      Mutex.lock t.mu;
+      let lsn = push_record t r in
+      Mutex.unlock t.mu;
+      Atomic.incr t.flushes;
+      if Acc_obs.Trace.enabled () then begin
+        let dur = if t0 = 0. then 0. else Unix.gettimeofday () -. t0 in
+        Acc_obs.Trace.emit
+          (Acc_obs.Trace.Wal_append { txn = Record.txn_of r; lsn; kind = Record.kind r; dur })
+      end;
+      lsn
 
 let length t = t.len
 

@@ -9,8 +9,48 @@ type t
 type lsn = int
 (** Log sequence number: the index of a record; the first record has LSN 0. *)
 
-val create : unit -> t
+type policy =
+  | Direct  (** every append goes to the log under the append mutex — the
+                historical behaviour, and what {!load} rebuilds with *)
+  | Buffered of { cap : int; group : bool }
+      (** appends land in a per-domain buffer and reach the log only on
+          {!sync} (or when the buffer holds [cap] records).  With [group]
+          set, concurrent syncing domains elect a leader that flushes every
+          staged batch under one append-mutex round trip — group commit.
+          The durability contract (DESIGN.md §17): a record is durable iff
+          the {!sync} covering it returned; a crash loses whole un-synced
+          batches, never a synced prefix. *)
+
+val default_cap : int
+(** Default per-domain buffer capacity (64 records). *)
+
+val create : ?policy:policy -> unit -> t
+(** [policy] defaults to {!Direct}. *)
+
+val policy : t -> policy
+
 val append : t -> Record.t -> lsn
+(** Under {!Direct}, appends and returns the record's LSN.  Under
+    {!Buffered}, stages the record in the calling domain's buffer and
+    returns [-1] — the record has no LSN until its batch flushes.  Either
+    way the per-kind [wal.append.*] crash point trips first. *)
+
+val sync : t -> unit
+(** Make every record this domain appended durable (flush its buffer as one
+    batch; with [group] set, possibly riding a concurrent leader's flush).
+    Returns only once the batch is in the log.  No-op under {!Direct}.  The
+    [wal.flush] crash point trips at the start of a non-empty sync — a crash
+    there loses the whole batch. *)
+
+val flush_all : t -> unit
+(** Drain every domain's buffer.  Only meaningful on a quiesced engine (no
+    in-flight appends); checkpointing uses it before reading the log. *)
+
+val flush_count : t -> int
+(** Durability round trips so far: one per append under {!Direct}, one per
+    flushed batch under {!Buffered} — the "WAL flushes" the scale bench
+    reports per transaction. *)
+
 val length : t -> int
 val get : t -> lsn -> Record.t
 val to_list : t -> Record.t list

@@ -65,10 +65,11 @@ let sorted_held tbl_held = List.sort compare tbl_held
    guarantees. *)
 let prop_parity =
   QCheck2.Test.make ~name:"sharded table: decision parity with sequential" ~count:200
-    QCheck2.Gen.(pair (oneofl [ 1; 2; 4; 7 ]) (list_size (int_range 0 60) pop_gen))
-    (fun (shards, ops) ->
+    QCheck2.Gen.(
+      triple (oneofl [ 1; 2; 4; 7 ]) bool (list_size (int_range 0 60) pop_gen))
+    (fun (shards, fast, ops) ->
       let seq = Lock_table.create parity_sem in
-      let sha = Sharded.create ~shards parity_sem in
+      let sha = Sharded.create ~shards ~fast parity_sem in
       let ok = ref true in
       let check b = if not b then ok := false in
       List.iter
@@ -176,13 +177,14 @@ let never_wait ~ticket:_ ~txn:_ = assert false
 let prop_batch_parity =
   QCheck2.Test.make
     ~name:"acquire_batch = canonical singleton sequence, both backends" ~count:300
-    QCheck2.Gen.(pair (oneofl [ 1; 2; 4; 7 ]) (list_size (int_range 0 24) batch_req_gen))
-    (fun (shards, reqs) ->
+    QCheck2.Gen.(
+      triple (oneofl [ 1; 2; 4; 7 ]) bool (list_size (int_range 0 24) batch_req_gen))
+    (fun (shards, fast, reqs) ->
       (* sharded: batch vs singleton *)
-      let sha_b = Sharded.create ~shards parity_sem in
+      let sha_b = Sharded.create ~shards ~fast parity_sem in
       Sharded.acquire_batch sha_b reqs;
       let batch_mutex_ops = Sharded.mutex_acquisitions sha_b in
-      let sha_s = Sharded.create ~shards parity_sem in
+      let sha_s = Sharded.create ~shards ~fast parity_sem in
       List.iter (Sharded.acquire_req sha_s) (Lock_request.canonicalize reqs);
       let singleton_mutex_ops = Sharded.mutex_acquisitions sha_s in
       (* sequential service: batch vs singleton *)
@@ -285,6 +287,145 @@ let test_batch_deadline_expiry () =
   Alcotest.(check int) "no residue locks" 0 (Sharded.lock_count t);
   Alcotest.(check int) "no residue waiters" 0 (Sharded.waiter_count t);
   Alcotest.(check int) "one timeout recorded" 1 (Sharded.timeout_count t)
+
+(* --- lock-free fast path (DESIGN.md §17) -------------------------------- *)
+
+(* Compatible installers racing on one resource: both CAS into the same fast
+   slot, in whichever order the race lands, and both holds must be present
+   afterwards.  Repeated so both interleavings (and the CAS-failure retry)
+   actually occur. *)
+let test_fast_racing_compatible_installs () =
+  let t = Sharded.create ~shards:1 Mode.no_semantics in
+  let r = Resource_id.Tuple ("t", [ Value.Int 1 ]) in
+  for _ = 1 to 400 do
+    ignore
+      (Domain_pool.run ~domains:2 (fun i ->
+           Sharded.acquire_req t (Lock_request.make ~txn:(i + 1) ~step_type:0 Mode.S r)));
+    let holders = List.sort compare (List.map (fun (txn, _, _) -> txn) (Sharded.holders t r)) in
+    if holders <> [ 1; 2 ] then
+      Alcotest.failf "racing compatible installs lost a hold: [%s]"
+        (String.concat ";" (List.map string_of_int holders));
+    ignore (Sharded.release_all t ~txn:1);
+    ignore (Sharded.release_all t ~txn:2)
+  done;
+  Alcotest.(check int) "no residue" 0 (Sharded.lock_count t);
+  Alcotest.(check bool) "fast path actually exercised" true (Sharded.fast_hits t > 0)
+
+(* Conflicting installers racing on one resource: exactly one side's CAS can
+   install; the loser must land in the slow path's queue, never as a second
+   incompatible hold.  Both submit orders occur across iterations. *)
+let test_fast_racing_conflicting_installs () =
+  let t = Sharded.create ~shards:1 Mode.no_semantics in
+  let r = Resource_id.Tuple ("t", [ Value.Int 1 ]) in
+  for _ = 1 to 400 do
+    let grants =
+      Domain_pool.run ~domains:2 (fun i ->
+          match Sharded.submit t (Lock_request.make ~txn:(i + 1) ~step_type:0 Mode.X r) with
+          | Lock_table.Granted -> `Granted (i + 1)
+          | Lock_table.Queued ticket -> `Queued ticket)
+    in
+    let granted = List.filter_map (function `Granted t -> Some t | _ -> None) grants in
+    let queued = List.filter_map (function `Queued k -> Some k | _ -> None) grants in
+    Alcotest.(check int) "exactly one grant" 1 (List.length granted);
+    Alcotest.(check int) "the loser queued" 1 (List.length queued);
+    List.iter (fun ticket -> ignore (Sharded.cancel t ~ticket)) queued;
+    ignore (Sharded.release_all t ~txn:1);
+    ignore (Sharded.release_all t ~txn:2)
+  done;
+  Alcotest.(check int) "no residue locks" 0 (Sharded.lock_count t);
+  Alcotest.(check int) "no residue waiters" 0 (Sharded.waiter_count t)
+
+(* Deadline expiry racing fast-path traffic on the same shard: the sweep must
+   still find (and time out) the queued waiter while another transaction
+   hammers the fast surface, and nothing leaks afterwards. *)
+let test_fast_expiry_race () =
+  let t = Sharded.create ~shards:1 Mode.no_semantics in
+  let r1 = Resource_id.Tuple ("t", [ Value.Int 1 ]) in
+  let r2 = Resource_id.Tuple ("t", [ Value.Int 2 ]) in
+  (* txn 1's hold lands in a fast slot; txn 2's conflicting wait migrates it
+     into the table *)
+  Sharded.acquire_req t (Lock_request.make ~txn:1 ~step_type:0 Mode.X r1);
+  let d =
+    Domain.spawn (fun () ->
+        match
+          Sharded.acquire_req t
+            (Lock_request.make ~txn:2 ~step_type:0
+               ~deadline:(Unix.gettimeofday () +. 0.05) Mode.X r1)
+        with
+        | () ->
+            ignore (Sharded.release_all t ~txn:2);
+            `Granted
+        | exception Txn_effect.Lock_timeout ->
+            ignore (Sharded.release_all t ~txn:2);
+            `Timed_out)
+  in
+  let sweeps = ref 0 in
+  while Sharded.timeout_count t = 0 && !sweeps < 5000 do
+    incr sweeps;
+    (* concurrent fast acquire/release traffic on the waiter's own shard *)
+    Sharded.acquire_req t (Lock_request.make ~txn:3 ~step_type:0 Mode.S r2);
+    ignore (Sharded.release t ~txn:3 Mode.S r2);
+    Unix.sleepf 0.002;
+    ignore (Sharded.expire t ~now:(Unix.gettimeofday ()))
+  done;
+  (match Domain.join d with
+  | `Timed_out -> ()
+  | `Granted -> Alcotest.fail "expected the racing wait to expire");
+  Alcotest.(check int) "one timeout" 1 (Sharded.timeout_count t);
+  ignore (Sharded.release_all t ~txn:1);
+  Alcotest.(check int) "no residue locks" 0 (Sharded.lock_count t);
+  Alcotest.(check int) "no residue waiters" 0 (Sharded.waiter_count t)
+
+(* Group commit's durability contract through the executor: arm the
+   [wal.flush] batch-boundary crash point and commit transactions until it
+   fires.  Every commit that was acknowledged before the crash must have its
+   Commit record in the flushed log; the transaction whose sync crashed lost
+   its whole batch — including its own, never-acknowledged commit. *)
+let test_group_commit_crash_loses_no_acked_commit () =
+  let module Executor = Acc_txn.Executor in
+  let module Fault = Acc_fault.Fault in
+  let module Log = Acc_wal.Log in
+  let module Record = Acc_wal.Record in
+  let db = Acc_relation.Database.create () in
+  let tbl =
+    Acc_relation.Database.create_table db
+      (Acc_relation.Schema.make ~name:"t" ~key:[ "id" ]
+         [ Acc_relation.Schema.col "id" Value.Tint; Acc_relation.Schema.col "v" Value.Tint ])
+  in
+  Acc_relation.Table.insert tbl [| Value.Int 1; Value.Int 0 |];
+  let locks = Sharded.create ~shards:1 Mode.no_semantics in
+  let eng =
+    Executor.create_with
+      ~wal_policy:(Log.Buffered { cap = 64; group = true })
+      ~service:(Sharded.service locks) db
+  in
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      (* each commit syncs one non-empty batch, so hit 3 crashes txn 3's sync *)
+      Fault.arm ~point:"wal.flush" ~hit:3;
+      let acked = ref [] in
+      (try
+         for i = 1 to 10 do
+           let ctx = Executor.begin_txn eng ~txn_type:"bump" ~multi_step:false in
+           ignore
+             (Executor.update ctx "t" [ Value.Int 1 ] (fun row ->
+                  row.(1) <- Value.Int (Value.as_int row.(1) + 1);
+                  row));
+           Executor.commit ctx;
+           acked := i :: !acked
+         done;
+         Alcotest.fail "armed crash point never fired"
+       with Fault.Crash _ -> ());
+      Alcotest.(check (list int)) "two commits acked before the crash" [ 2; 1 ] !acked;
+      (* executor txn ids are internal, so compare counts: one durable Commit
+         record per acked commit, and none from the crashed batch *)
+      let durable_commits =
+        List.length
+          (List.filter
+             (function Record.Commit _ -> true | _ -> false)
+             (Log.to_list (Executor.log eng)))
+      in
+      Alcotest.(check int) "durable commits = acked commits, crashed batch lost whole"
+        (List.length !acked) durable_commits)
 
 (* --- real-domain blocking ---------------------------------------------- *)
 
@@ -598,6 +739,17 @@ let suites =
           test_batch_blocks_then_completes;
         Alcotest.test_case "deadline expiry mid-batch reclaims cleanly" `Quick
           test_batch_deadline_expiry;
+      ] );
+    ( "parallel.fastpath",
+      [
+        Alcotest.test_case "racing compatible installs both land" `Quick
+          test_fast_racing_compatible_installs;
+        Alcotest.test_case "racing conflicting installs: one grant, one queued" `Quick
+          test_fast_racing_conflicting_installs;
+        Alcotest.test_case "deadline expiry races fast-path traffic" `Quick
+          test_fast_expiry_race;
+        Alcotest.test_case "group-commit crash loses no acked commit" `Quick
+          test_group_commit_crash_loses_no_acked_commit;
       ] );
     ( "parallel.overload",
       [

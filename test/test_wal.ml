@@ -90,6 +90,87 @@ let test_log_save_load () =
       Alcotest.(check int) "length survives" (Log.length log) (Log.length log');
       Alcotest.(check bool) "records survive" true (Log.to_list log = Log.to_list log'))
 
+(* --- buffered appends and group commit (DESIGN.md §17) ------------------ *)
+
+(* Buffered policy: appends stage invisibly in the domain buffer; sync makes
+   them durable as one batch (one flush), in append order. *)
+let test_log_buffered_sync () =
+  let log = Log.create ~policy:(Log.Buffered { cap = 64; group = false }) () in
+  let l0 = Log.append log (Record.Begin { txn = 1; txn_type = "t"; multi_step = false }) in
+  ignore (Log.append log (Record.Commit { txn = 1 }));
+  Alcotest.(check int) "buffered append has no lsn" (-1) l0;
+  Alcotest.(check int) "invisible before sync" 0 (Log.length log);
+  Alcotest.(check int) "no flush yet" 0 (Log.flush_count log);
+  Log.sync log;
+  Alcotest.(check int) "batch landed" 2 (Log.length log);
+  Alcotest.(check int) "one flush for the batch" 1 (Log.flush_count log);
+  (match Log.to_list log with
+  | [ Record.Begin _; Record.Commit _ ] -> ()
+  | _ -> Alcotest.fail "append order lost in the batch");
+  (* idle sync is free *)
+  Log.sync log;
+  Alcotest.(check int) "empty sync does not flush" 1 (Log.flush_count log)
+
+(* A full buffer flushes itself: cap appends cost one flush, not cap. *)
+let test_log_buffered_cap_overflow () =
+  let cap = 8 in
+  let log = Log.create ~policy:(Log.Buffered { cap; group = false }) () in
+  for i = 1 to cap - 1 do
+    ignore (Log.append log (Record.Commit { txn = i }))
+  done;
+  Alcotest.(check int) "under cap: still buffered" 0 (Log.length log);
+  ignore (Log.append log (Record.Commit { txn = cap }));
+  Alcotest.(check int) "cap overflow flushed the batch" cap (Log.length log);
+  Alcotest.(check int) "one flush" 1 (Log.flush_count log)
+
+(* flush_all drains every registered domain buffer on a quiesced log. *)
+let test_log_flush_all () =
+  let log = Log.create ~policy:(Log.Buffered { cap = 64; group = true }) () in
+  let domains =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            ignore (Log.append log (Record.Commit { txn = i + 1 }))))
+  in
+  Array.iter Domain.join domains;
+  ignore (Log.append log (Record.Commit { txn = 99 }));
+  Log.flush_all log;
+  Alcotest.(check int) "every buffer drained" 4 (Log.length log);
+  let txns =
+    List.sort compare
+      (List.filter_map
+         (function Record.Commit { txn } -> Some txn | _ -> None)
+         (Log.to_list log))
+  in
+  Alcotest.(check (list int)) "no record lost or duplicated" [ 1; 2; 3; 99 ] txns
+
+(* Group commit under real concurrency: N domains each append-and-sync M
+   times; every synced record must be in the log afterwards, and concurrent
+   syncs must have merged (fewer flushes than syncs). *)
+let test_log_group_commit_concurrent () =
+  let log = Log.create ~policy:(Log.Buffered { cap = 1024; group = true }) () in
+  let domains = 4 and per = 200 in
+  let workers =
+    Array.init domains (fun i ->
+        Domain.spawn (fun () ->
+            for j = 1 to per do
+              ignore (Log.append log (Record.Commit { txn = (i * per) + j }));
+              Log.sync log
+            done))
+  in
+  Array.iter Domain.join workers;
+  Alcotest.(check int) "every synced record durable" (domains * per) (Log.length log);
+  let txns =
+    List.sort compare
+      (List.filter_map
+         (function Record.Commit { txn } -> Some txn | _ -> None)
+         (Log.to_list log))
+  in
+  Alcotest.(check (list int)) "no record lost or duplicated"
+    (List.init (domains * per) (fun i -> i + 1))
+    txns;
+  Alcotest.(check bool) "flushes never exceed syncs" true
+    (Log.flush_count log <= domains * per)
+
 (* the header check must turn each corruption class into its own message,
    not a marshal crash *)
 let test_log_load_rejects () =
@@ -515,6 +596,14 @@ let suites =
         Alcotest.test_case "prefix/since" `Quick test_log_prefix;
         Alcotest.test_case "save/load" `Quick test_log_save_load;
         Alcotest.test_case "load rejects foreign/corrupt files" `Quick test_log_load_rejects;
+        Alcotest.test_case "buffered: invisible until sync, one flush" `Quick
+          test_log_buffered_sync;
+        Alcotest.test_case "buffered: cap overflow self-flushes" `Quick
+          test_log_buffered_cap_overflow;
+        Alcotest.test_case "buffered: flush_all drains every domain" `Quick
+          test_log_flush_all;
+        Alcotest.test_case "group commit: 4 domains, nothing lost, syncs merge" `Quick
+          test_log_group_commit_concurrent;
       ] );
     ( "wal.record",
       [

@@ -705,8 +705,11 @@ let run_recovery ~quick =
    window hold time (how long a branch's locks stay pinned across the
    prepare/decide exchange).  The sweep holds the load fixed at 8 warehouses
    and varies only the partitioning, so cell-to-cell deltas are the cost of
-   distribution, not of scale.  Exits non-zero on merged-database
-   violations. *)
+   distribution, not of scale.  The transport axis (loopback vs pipe) prices
+   the RPC layer itself: same protocol, but pipe adds the socketpair hop and
+   a handler domain per partition (multi-partition cells only — with one
+   partition nothing crosses, so the transport is never exercised).  Exits
+   non-zero on merged-database violations. *)
 let run_dist ~quick =
   let module D = Acc_dist.Dist_driver in
   let module Tally = Acc_util.Stats.Tally in
@@ -716,27 +719,40 @@ let run_dist ~quick =
   let base = { D.default_config with D.duration = seconds; domains = 4; params } in
   Format.fprintf ppf "@.=== dist: partitioned TPC-C under 2PC (%.1fs per cell) ===@."
     seconds;
-  Format.fprintf ppf "%10s %10s %12s %10s %16s@." "partitions" "txn/s" "cross-frac"
-    "aborts" "prep-hold p95 ms";
+  Format.fprintf ppf "%10s %10s %10s %12s %10s %16s@." "partitions" "transport"
+    "txn/s" "cross-frac" "aborts" "prep-hold p95 ms";
   let failures = ref 0 in
+  let grid =
+    List.concat_map
+      (fun partitions ->
+        List.filter_map
+          (fun transport ->
+            if transport = `Pipe && (partitions = 1 || (quick && partitions <> 2))
+            then None
+            else Some (partitions, transport))
+          [ `Loopback; `Pipe ])
+      [ 1; 2; 4; 8 ]
+  in
   let cells =
     List.map
-      (fun partitions ->
+      (fun (partitions, transport) ->
         let r, phases =
-          Bench_json.with_phases (fun () -> D.run { base with D.partitions })
+          Bench_json.with_phases (fun () ->
+              D.run { base with D.partitions; transport })
         in
         if r.D.violations <> [] then begin
           incr failures;
           List.iter (fun v -> Format.fprintf ppf "  violation: %s@." v) r.D.violations
         end;
-        Format.fprintf ppf "%10d %10.1f %12.3f %10d %16.3f@." partitions r.D.throughput
-          r.D.cross_fraction r.D.cross_aborted
+        Format.fprintf ppf "%10d %10s %10.1f %12.3f %10d %16.3f@." partitions
+          r.D.transport r.D.throughput r.D.cross_fraction r.D.cross_aborted
           (1000. *. Tally.percentile r.D.prepare_hold 0.95);
         Json.Obj
           (Bench_json.meta_fields ~warehouses:params.Params.warehouses
              ~domains:base.D.domains
           @ [
               ("partitions", Json.Int partitions);
+              ("transport", Json.Str r.D.transport);
               ("committed", Json.Int r.D.committed);
               ("single_committed", Json.Int r.D.single_committed);
               ("cross_committed", Json.Int r.D.cross_committed);
@@ -752,7 +768,7 @@ let run_dist ~quick =
               ( "partition_committed",
                 Json.List (List.map (fun c -> Json.Int c) r.D.partition_committed) );
             ]))
-      [ 1; 2; 4; 8 ]
+      grid
   in
   let json = [ ("cells", Json.List cells) ] in
   if !failures > 0 then begin

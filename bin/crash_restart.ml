@@ -32,7 +32,7 @@ let report results =
   if failures <> [] then exit 1
 
 let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_every hits seed
-    verbose dist partitions metrics_dump =
+    verbose dist partitions netfault coordinator_kill matrix quick metrics_dump =
   (* registration happens at module-init of the code under test; touching the
      harness module links everything *)
   ignore Harness.default_config;
@@ -50,13 +50,35 @@ let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_
     List.iter print_endline (Fault.registered ())
   else if dist then begin
     if point <> None then failwith "--point is not supported with --dist (sweep covers every point)";
+    (* --netfault beats ACC_NETFAULT beats none *)
+    let netfault =
+      match netfault with
+      | Some spec -> Fault.Netfault.parse spec
+      | None -> (
+          match Fault.Netfault.of_env () with
+          | Some s -> s
+          | None -> Fault.Netfault.none)
+    in
+    let ts = Trace_setup.configure () in
     let results =
       let config =
-        { Dist.default_config with Dist.partitions; txns; chaos_p; hits_per_point = hits; seed; verbose }
+        {
+          Dist.default_config with
+          Dist.partitions;
+          txns;
+          chaos_p;
+          hits_per_point = hits;
+          seed;
+          netfault;
+          coordinator_kill;
+          verbose;
+        }
       in
-      if chaos then List.map (fun seed -> Dist.chaos ~config ~seed ()) seeds
+      if matrix then Dist.sweep_matrix ~config ~quick ()
+      else if chaos then List.map (fun seed -> Dist.chaos ~config ~seed ()) seeds
       else Dist.sweep ~config ()
     in
+    Trace_setup.finish ts;
     dump_metrics ();
     report_dist results
   end
@@ -123,6 +145,39 @@ let dist =
 let partitions =
   Arg.(value & opt int Dist.default_config.Dist.partitions & info [ "partitions" ] ~docv:"N" ~doc:"Partition count in --dist mode.")
 
+let netfault =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "netfault" ] ~docv:"SPEC"
+        ~doc:"--dist mode: message-fault spec live on every coordinator↔participant \
+              connection, e.g. 'drop=0.1,dup=0.05,seed=7' or 'all=0.05' (kinds: drop, \
+              dup, delay, reorder, disconnect; optional ops=decide+prepare filter). \
+              Default: the ACC_NETFAULT env var, else none.")
+
+let coordinator_kill =
+  Arg.(
+    value & flag
+    & info [ "coordinator-kill" ]
+        ~doc:"--dist mode: crashes at coordinator-side points (dist.decide, \
+              dist.decision.durable) fail over the coordinator (reopen the decision \
+              log, settle in-doubt branches over the transport) instead of restarting \
+              every partition.")
+
+let matrix =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:"--dist mode: sweep the full chaos matrix — crash points × transport-fault \
+              kinds × restart mode (full restart and coordinator kill) — instead of the \
+              plain crash-point sweep.")
+
+let quick =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"With --matrix: one fault kind per point (the per-push smoke slice).")
+
 let metrics_dump =
   Arg.(
     value
@@ -137,6 +192,7 @@ let cmd =
     (Cmd.info "acc-crash-restart" ~doc)
     Term.(
       const main $ list_points $ point $ hit $ chaos $ seeds $ txns $ chaos_p $ step_fault_p
-      $ checkpoint_every $ hits $ seed $ verbose $ dist $ partitions $ metrics_dump)
+      $ checkpoint_every $ hits $ seed $ verbose $ dist $ partitions $ netfault
+      $ coordinator_kill $ matrix $ quick $ metrics_dump)
 
 let () = exit (Cmd.eval cmd)

@@ -38,8 +38,15 @@ let run_one cfg =
    partitioned counterpart (system/shards/skew/mix/admission) are ignored;
    the run always checks the merged database. *)
 let run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compute_ms
-    ~seed ~deadline_ms ~batch_footprints =
+    ~seed ~deadline_ms ~batch_footprints ~transport =
   let module D = Acc_dist.Dist_driver in
+  (* --transport picks the coordinator↔participant path; ACC_NETFAULT
+     injects message faults on it (see RECOVERY.md) *)
+  let netfault =
+    match Acc_fault.Fault.Netfault.of_env () with
+    | Some s -> s
+    | None -> D.default_config.D.netfault
+  in
   let cfg =
     {
       D.seed;
@@ -56,6 +63,8 @@ let run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compu
         | None -> D.default_config.D.lock_deadline);
       acc_options =
         { D.default_config.D.acc_options with Acc_core.Runtime.batch_footprints };
+      transport = Acc_dist.Transport.kind_of_string transport;
+      netfault;
     }
   in
   let r = D.run cfg in
@@ -78,7 +87,7 @@ let metrics_setup = function
         Acc_obs.Prom.dump_file path;
         Format.printf "wrote %s@." path
 
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints no_fast_path group_commit wal_buffer partitions trace trace_chrome metrics_dump =
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints no_fast_path group_commit wal_buffer partitions transport trace trace_chrome metrics_dump =
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
   let mix =
     match mix with
@@ -100,7 +109,7 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
   (match partitions with
   | Some partitions ->
       run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compute_ms
-        ~seed ~deadline_ms ~batch_footprints;
+        ~seed ~deadline_ms ~batch_footprints ~transport;
       finish_metrics ();
       Trace_setup.finish ts;
       exit 0
@@ -287,6 +296,15 @@ let partitions =
               programs.  Ignores --system/--shards/--skew/--mix and the \
               admission knobs.")
 
+let transport =
+  Arg.(
+    value & opt string "loopback"
+    & info [ "transport" ] ~docv:"KIND"
+        ~doc:"Partitioned mode: coordinator↔participant transport — \
+              'loopback' (in-process, default) or 'pipe' (socketpair with \
+              each partition's request loop on a dedicated domain).  \
+              ACC_NETFAULT=spec injects message faults on either.")
+
 let trace =
   Arg.(
     value
@@ -319,6 +337,6 @@ let cmd =
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
       $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ deadline_ms
       $ max_inflight $ shed_watermark $ batch_footprints $ no_fast_path $ group_commit
-      $ wal_buffer $ partitions $ trace $ trace_chrome $ metrics_dump)
+      $ wal_buffer $ partitions $ transport $ trace $ trace_chrome $ metrics_dump)
 
 let () = exit (Cmd.eval cmd)

@@ -36,14 +36,88 @@ let cp_decision_durable = Fault.register "dist.decision.durable"
 
 type decision = Commit | Abort
 
+(* The coordinator's commit record.  In-memory ([Mem]) for tests that only
+   need the protocol; file-backed ([File]) for anything that survives a
+   coordinator death: an append-only log of fixed 9-byte records (8-byte
+   big-endian gid, 1 decision byte) behind the WAL's magic+version header
+   discipline.  [record] fsyncs before returning — "dist.decision.durable"
+   really means the bytes are on disk — and a torn tail (a crash mid-append)
+   is truncated away at open, exactly like the WAL's load path.  Lookups
+   always hit the in-memory mirror; the file is only read at open. *)
 module Decision_log = struct
-  type t = { mu : Mutex.t; tbl : (int, decision) Hashtbl.t }
+  type backend = Mem | File of { fd : Unix.file_descr; path : string }
 
-  let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+  type t = { mu : Mutex.t; tbl : (int, decision) Hashtbl.t; backend : backend }
+
+  let magic = "ACCDEC\x00\x00"
+  let format_version = 1
+  let record_size = 9
+
+  let create () =
+    { mu = Mutex.create (); tbl = Hashtbl.create 64; backend = Mem }
+
+  let path t = match t.backend with Mem -> None | File f -> Some f.path
+
+  let encode_record gid d =
+    let b = Bytes.create record_size in
+    Bytes.set_int64_be b 0 (Int64.of_int gid);
+    Bytes.set b 8 (match d with Commit -> '\001' | Abort -> '\000');
+    b
+
+  let open_file path =
+    let module Header = Acc_wal.Log.Header in
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    let size = (Unix.fstat fd).Unix.st_size in
+    let tbl = Hashtbl.create 64 in
+    let hlen = Header.size ~magic in
+    if size = 0 then begin
+      let h = Header.to_string ~magic ~version:format_version in
+      ignore (Unix.write_substring fd h 0 (String.length h));
+      Unix.fsync fd
+    end
+    else begin
+      let rec really_read b off len =
+        if len > 0 then
+          match Unix.read fd b off len with
+          | 0 -> off
+          | n -> really_read b (off + n) (len - n)
+        else off
+      in
+      let hb = Bytes.create (min size hlen) in
+      let got = really_read hb 0 (Bytes.length hb) in
+      Header.check ~magic ~version:format_version ~what:"decision log"
+        ~who:"Decision_log.open_file" ~path
+        (Bytes.sub_string hb 0 got);
+      let body = size - hlen in
+      let whole = body / record_size * record_size in
+      let b = Bytes.create whole in
+      let got = really_read b 0 whole in
+      let n = got / record_size in
+      for i = 0 to n - 1 do
+        let off = i * record_size in
+        let gid = Int64.to_int (Bytes.get_int64_be b off) in
+        let d = if Bytes.get b (off + 8) = '\001' then Commit else Abort in
+        Hashtbl.replace tbl gid d
+      done;
+      if whole < body then
+        (* torn tail: a crash mid-append left a partial record *)
+        Unix.ftruncate fd (hlen + whole);
+      ignore (Unix.lseek fd 0 Unix.SEEK_END)
+    end;
+    { mu = Mutex.create (); tbl; backend = File { fd; path } }
 
   let record t ~gid d =
     Mutex.lock t.mu;
-    Hashtbl.replace t.tbl gid d;
+    let fresh = Hashtbl.find_opt t.tbl gid <> Some d in
+    if fresh then begin
+      Hashtbl.replace t.tbl gid d;
+      match t.backend with
+      | Mem -> ()
+      | File { fd; _ } ->
+          let b = encode_record gid d in
+          ignore (Unix.write fd b 0 record_size);
+          Unix.fsync fd
+    end;
     Mutex.unlock t.mu
 
   let lookup t ~gid =
@@ -63,6 +137,11 @@ module Decision_log = struct
     let m = Hashtbl.fold (fun gid _ m -> max gid m) t.tbl 0 in
     Mutex.unlock t.mu;
     m
+
+  let close t =
+    match t.backend with
+    | Mem -> ()
+    | File { fd; _ } -> ( try Unix.close fd with Unix.Unix_error _ -> ())
 end
 
 type t = {
@@ -201,3 +280,229 @@ let resolve_in_doubt log eng (report : Recovery.report) =
       Replay.resolve_in_doubt eng ~commit d)
     report.Recovery.in_doubt;
   List.length report.Recovery.in_doubt
+
+(* Same resolution, but the decision comes from [ask] (normally a Resolve
+   RPC against the coordinator, with the durable log as fallback) instead
+   of a direct log lookup.  [None] leaves the branch blocked — the caller
+   decides whether presumed abort applies, not this function. *)
+let resolve_in_doubt_via ~ask eng (report : Recovery.report) =
+  List.fold_left
+    (fun (resolved, blocked) (d : Recovery.in_doubt) ->
+      match ask d.Recovery.i_gid with
+      | Some commit ->
+          Replay.resolve_in_doubt eng ~commit d;
+          (resolved + 1, blocked)
+      | None -> (resolved, blocked + 1))
+    (0, 0) report.Recovery.in_doubt
+
+(* The coordinator driven over the RPC transport: one participant and one
+   connection per partition, plus a resolver connection that answers
+   Resolve from whatever core currently holds the decision log (so a
+   failed-over core picks up resolution duty the instant [recover] swaps
+   it in).
+
+   Timeouts vote no / retry with decorrelated jitter; every handler on the
+   other side is idempotent, so a retry that duplicates a delivered frame
+   is safe.  After the decision is durable, the coordinator never gives up
+   on a participant: a Decide lost to the wire is settled from the durable
+   log before [run_cross] returns, so an acked commit cannot be lost to a
+   transport fault. *)
+module Remote = struct
+  module Backoff = Acc_txn.Backoff
+
+  type link = { participant : Participant.t; conn : Transport.t }
+
+  type nonrec t = {
+    cell : t ref;  (* the current core; [recover] swaps it *)
+    links : link array;
+    resolver : Transport.t;
+    transport_kind : Transport.kind;
+    retries : int;
+    prepare_deadline : float;
+    decide_deadline : float;
+  }
+
+  let core r = !(r.cell)
+  let participants r = Array.map (fun l -> l.participant) r.links
+  let transport r = r.transport_kind
+
+  let make ?options ?stop ?(retries = 4) ?(transport = `Loopback)
+      ?(faults = Fault.Netfault.none) ?(prepare_deadline = 5.0)
+      ?(decide_deadline = 0.2) core =
+    let connect handler =
+      match transport with
+      | `Loopback -> Transport.loopback ~faults handler
+      | `Pipe -> Transport.pipe ~faults handler
+    in
+    let links =
+      Array.map
+        (fun part ->
+          let participant = Participant.make ?options ?stop part in
+          { participant; conn = connect (Participant.handle participant) })
+        (partitions core)
+    in
+    let cell = ref core in
+    let resolver =
+      connect (function
+        | Transport.Resolve { gid } ->
+            Transport.Decide
+              { gid; commit = decision_of !cell ~gid = Some Commit }
+        | m ->
+            invalid_arg
+              ("Coordinator.Remote resolver: unexpected request "
+              ^ Transport.msg_kind m))
+    in
+    {
+      cell;
+      links;
+      resolver;
+      transport_kind = transport;
+      retries;
+      prepare_deadline;
+      decide_deadline;
+    }
+
+  let link_of r part =
+    let id = Partition.id part in
+    match
+      Array.find_opt
+        (fun l -> Partition.id (Participant.partition l.participant) = id)
+        r.links
+    with
+    | Some l -> l
+    | None -> invalid_arg "Coordinator.Remote: branch on an unknown partition"
+
+  let rpc r conn ~deadline msg =
+    let bo = Backoff.Jitter.create () in
+    let rec go attempt =
+      match Transport.call ~deadline conn msg with
+      | Some reply -> Some reply
+      | None ->
+          if attempt > r.retries then None
+          else begin
+            if Trace.enabled () then
+              Trace.emit
+                (Trace.Rpc_retry
+                   {
+                     msg = Transport.msg_kind msg;
+                     gid = Transport.gid_of msg;
+                     attempt;
+                   });
+            (match r.transport_kind with
+            | `Pipe -> Unix.sleepf (Backoff.Jitter.next bo ~attempt)
+            | `Loopback -> ());
+            go (attempt + 1)
+          end
+    in
+    go 1
+
+  let run_cross r branches =
+    if branches = [] then
+      invalid_arg "Coordinator.Remote.run_cross: no branches";
+    let core = !(r.cell) in
+    let branches =
+      List.sort
+        (fun (p1, _) (p2, _) -> compare (Partition.id p1) (Partition.id p2))
+        branches
+    in
+    let gid = Atomic.fetch_and_add core.next_gid 1 in
+    let t0 = Unix.gettimeofday () in
+    let touched, all_voted =
+      List.fold_left
+        (fun (acc, ok) (part, inst) ->
+          if not ok then (acc, false)
+          else begin
+            let link = link_of r part in
+            Participant.stage link.participant ~gid inst;
+            match
+              rpc r link.conn ~deadline:r.prepare_deadline
+                (Transport.Prepare { gid; part = Partition.id part })
+            with
+            | Some (Transport.Vote { ok = v; _ }) -> (link :: acc, v)
+            | Some _ | None -> (link :: acc, false)
+          end)
+        ([], true) branches
+    in
+    let touched = List.rev touched in
+    let commit = all_voted in
+    Fault.trip cp_decide;
+    Decision_log.record core.log ~gid (if commit then Commit else Abort);
+    Fault.trip cp_decision_durable;
+    if Trace.enabled () then
+      Trace.emit
+        (Trace.Decide { gid; commit; participants = List.length branches });
+    List.iter
+      (fun link ->
+        (match
+           rpc r link.conn ~deadline:r.decide_deadline
+             (Transport.Decide { gid; commit })
+         with
+        | Some (Transport.Ack _) -> ()
+        | Some _ | None -> ());
+        (* the decision is durable: a participant the wire failed is
+           settled from the log right now, never left in doubt *)
+        ignore
+          (Participant.settle_gid link.participant
+             ~ask:(fun g ->
+               match Decision_log.lookup core.log ~gid:g with
+               | Some Commit -> Some true
+               | Some Abort -> Some false
+               | None -> None)
+             gid);
+        Participant.forget link.participant ~gid)
+      touched;
+    record_hold core (Unix.gettimeofday () -. t0);
+    if commit then begin
+      Atomic.incr core.committed;
+      Committed
+    end
+    else begin
+      Atomic.incr core.aborted;
+      Aborted
+    end
+
+  (* Coordinator failover: the old core died (its in-memory state is gone);
+     rebuild from the on-disk decision log, restart the gid counter above
+     every surviving gid, swap the core in, and drive every participant's
+     in-doubt branches to resolution over the transport.  Presumed abort is
+     sound here precisely because failover runs quiescently: an unlogged
+     decision can only belong to a coordinator that died before its
+     durability point. *)
+  let recover ?first_gid r =
+    let old = !(r.cell) in
+    let path =
+      match Decision_log.path old.log with
+      | Some p -> p
+      | None ->
+          invalid_arg
+            "Coordinator.Remote.recover: decision log is not file-backed"
+    in
+    Decision_log.close old.log;
+    let log = Decision_log.open_file path in
+    let survivors =
+      Array.fold_left
+        (fun m l -> max m (Participant.max_gid l.participant))
+        0 r.links
+      + 1
+    in
+    let first_gid = max (Option.value first_gid ~default:1) survivors in
+    r.cell := create ~log ~first_gid (partitions old);
+    let ask g =
+      match
+        rpc r r.resolver ~deadline:r.decide_deadline
+          (Transport.Resolve { gid = g })
+      with
+      | Some (Transport.Decide { commit; _ }) -> Some commit
+      | Some _ | None ->
+          (* wire too faulty even with retries: read the durable log
+             directly (same presumed-abort rule the resolver applies) *)
+          Some (Decision_log.lookup log ~gid:g = Some Commit)
+    in
+    Array.fold_left
+      (fun n l -> n + fst (Participant.settle l.participant ~ask))
+      0 r.links
+
+  let close r =
+    Array.iter (fun l -> Transport.close l.conn) r.links;
+    Transport.close r.resolver
+end

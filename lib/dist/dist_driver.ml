@@ -38,6 +38,12 @@ type config = {
       (** per-request lock-wait budget on every partition engine: the
           backstop against cross-coordinator blocking the per-partition
           detectors cannot see *)
+  transport : Transport.kind;
+      (** how the coordinator reaches its participants: in-process loopback,
+          or a socketpair with each partition's request loop on its own
+          domain *)
+  netfault : Acc_fault.Fault.Netfault.spec;
+      (** message faults injected on every coordinator↔participant stream *)
 }
 
 let default_config =
@@ -52,9 +58,12 @@ let default_config =
     params = Params.default;
     acc_options = Runtime.default_options;
     lock_deadline = Some 1.0;
+    transport = `Loopback;
+    netfault = Acc_fault.Fault.Netfault.none;
   }
 
 type report = {
+  transport : string;  (** ["loopback"] | ["pipe"] — the bench matrix axis *)
   committed : int;  (** single-partition + cross-partition commits *)
   single_committed : int;
   cross_committed : int;
@@ -123,6 +132,16 @@ let run cfg =
   let engines = List.map snd pairs in
   let coord = Coordinator.create parts in
   let part_of w = Partition.id (Coordinator.partition_of coord w) in
+  let started = Unix.gettimeofday () in
+  let deadline = started +. cfg.duration in
+  let stop () = cfg.txns_per_domain = None && Unix.gettimeofday () >= deadline in
+  (* every cross transaction goes over the RPC transport — loopback costs
+     one encode/decode round-trip per message, pipe adds the socketpair and
+     the per-partition handler domain *)
+  let remote =
+    Coordinator.Remote.make ~options:cfg.acc_options ~stop
+      ~transport:cfg.transport ~faults:cfg.netfault coord
+  in
   let committed = Metrics.Counter.create () in
   let single_committed = Metrics.Counter.create () in
   let compensations = Metrics.Counter.create () in
@@ -139,8 +158,6 @@ let run cfg =
     Array.init cfg.domains (fun _ ->
         { base_env with Txns.gen = Random_gen.split base_env.Txns.gen })
   in
-  let started = Unix.gettimeofday () in
-  let deadline = started +. cfg.duration in
   let worker i =
     let env = envs.(i) in
     let jitter = Backoff.Jitter.create ~seed:((cfg.seed * 7919) + i) () in
@@ -148,7 +165,6 @@ let run cfg =
     let mine = ref 0 in
     let budget = ref (match cfg.txns_per_domain with Some n -> n | None -> max_int) in
     let time_ok () = cfg.txns_per_domain <> None || Unix.gettimeofday () < deadline in
-    let stop () = cfg.txns_per_domain = None && Unix.gettimeofday () >= deadline in
     while !budget > 0 && time_ok () do
       decr budget;
       if cfg.think_mean > 0.0 then
@@ -178,7 +194,7 @@ let run cfg =
           in
           let outcome =
             Engine.run_txn ~jitter (fun () ->
-                Coordinator.run_cross ~options:cfg.acc_options ~stop coord branches)
+                Coordinator.Remote.run_cross remote branches)
           in
           (match outcome with
           | Coordinator.Committed ->
@@ -190,10 +206,12 @@ let run cfg =
   in
   let per_domain = Domain_pool.run ~domains:cfg.domains worker in
   let elapsed = Unix.gettimeofday () -. started in
+  Coordinator.Remote.close remote;
   List.iter Engine.shutdown engines;
   let n_attempted = Metrics.Counter.get attempted in
   let n_committed = Metrics.Counter.get committed in
   {
+    transport = Transport.kind_name cfg.transport;
     committed = n_committed;
     single_committed = Metrics.Counter.get single_committed;
     cross_committed = Coordinator.cross_committed coord;
@@ -213,13 +231,14 @@ let run cfg =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>committed            %d@,throughput           %.1f txn/s@,\
+    "@[<v>transport            %s@,committed            %d@,\
+     throughput           %.1f txn/s@,\
      single-partition     %d committed, %d compensated@,\
      cross-partition      %d committed, %d aborted (%d attempted)@,\
      cross fraction       %.3f@,\
      prepare hold (s)     mean %.6f p95 %.6f (%d samples)@,\
      per-domain committed %s@,consistency          %s@]"
-    r.committed r.throughput r.single_committed r.compensations r.cross_committed
+    r.transport r.committed r.throughput r.single_committed r.compensations r.cross_committed
     r.cross_aborted r.cross_attempted r.cross_fraction
     (Tally.mean r.prepare_hold)
     (Tally.percentile r.prepare_hold 0.95)

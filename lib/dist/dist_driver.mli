@@ -17,11 +17,20 @@ type config = {
       (** per-request lock-wait budget on every partition engine: the
           backstop against cross-coordinator blocking that per-partition
           deadlock detectors cannot see *)
+  transport : Transport.kind;
+      (** how the coordinator reaches its participants (default loopback);
+          [`Pipe] serializes each partition's requests through a handler
+          domain, so lock waits inside a prepare delay that partition's
+          other requests — the lock deadline is the liveness backstop *)
+  netfault : Acc_fault.Fault.Netfault.spec;
+      (** message faults injected on every coordinator↔participant stream
+          (default none) *)
 }
 
 val default_config : config
 
 type report = {
+  transport : string;
   committed : int;
   single_committed : int;
   cross_committed : int;

@@ -2,14 +2,20 @@
    oracle.
 
    Sequential single-fiber execution (one transaction per {!Schedule.run}),
-   N partitions, one coordinator.  A crash discards every partition's engine
-   un-cleaned-up; restart sees each partition's (baseline snapshot, WAL) and
-   the coordinator's decision log — the durable state a real deployment
+   N partitions, one coordinator driven over the loopback transport (so the
+   whole protocol — framing, fault layer, retries, idempotent handlers —
+   is under test, while execution stays deterministic: loopback consults no
+   wall clock).  The decision log is file-backed; "durable" means the bytes
+   are fsynced.  A crash discards every partition's engine un-cleaned-up;
+   restart sees each partition's (baseline snapshot, WAL) and the
+   coordinator's on-disk decision log — the durable state a real deployment
    would have.  After every crash the harness checks:
 
    - recovery leaves {e no} partition in doubt: every prepared branch is
-     resolved from the decision log (logged Commit finishes it; logged Abort
-     or no entry — presumed abort — compensates it), and re-deriving the
+     resolved — over the transport (a Resolve RPC against the reopened
+     decision log, with a direct log read as the liveness fallback when the
+     fault layer eats the retries), logged Commit finishes it, logged Abort
+     or no entry (presumed abort) compensates it — and re-deriving the
      partition from (snapshot, resolution log) confirms zero in-doubt and
      zero pending;
    - a cross transaction whose Commit decision made the log before the
@@ -22,11 +28,24 @@
      at the end.  Per-partition checks would be wrong: C1/C8 (history) and
      C12 (stock vs. remote order lines) only hold of the union.
 
-   Faults are disarmed for the duration of recovery itself (a restarted
-   process boots with no fault injector armed); crash-during-replay coverage
-   is the single-node harness's job. *)
+   Two restart modes.  A {e full restart} (the default) loses every
+   process: partitions recover from (baseline, WAL), the coordinator from
+   its on-disk log.  With [coordinator_kill] set, a crash at a
+   coordinator-side point ("dist.decide" / "dist.decision.durable") kills
+   {e only} the coordinator: the partitions' engines survive with their
+   prepared branches still holding locks, and {!Coordinator.Remote.recover}
+   fails over — reopens the log, restarts the gid counter above every
+   survivor, and settles the in-doubt branches over the transport.
+   Presumed abort is sound there precisely because the old coordinator died
+   before its durability point.
+
+   Crash faults are disarmed for the duration of recovery itself (a
+   restarted process boots with no fault injector armed); the message-fault
+   layer stays live throughout — the network does not heal because a
+   process died. *)
 
 module Fault = Acc_fault.Fault
+module Netfault = Fault.Netfault
 module Executor = Acc_txn.Executor
 module Schedule = Acc_txn.Schedule
 module Database = Acc_relation.Database
@@ -55,6 +74,8 @@ type config = {
   remote_item_rate : float;
   hits_per_point : int;
   chaos_p : float;
+  netfault : Netfault.spec;
+  coordinator_kill : bool;
   verbose : bool;
 }
 
@@ -70,6 +91,8 @@ let default_config =
     remote_item_rate = 0.2;
     hits_per_point = 3;
     chaos_p = 0.01;
+    netfault = Netfault.none;
+    coordinator_kill = false;
     verbose = false;
   }
 
@@ -93,9 +116,12 @@ type run = {
   ranges : (int * int) array;
   parts : Partition.t array;  (* rebuilt in place on restart *)
   baselines : Database.t array;
-  dlog : Coordinator.Decision_log.t;  (* durable: survives every crash *)
-  mutable coord : Coordinator.t;
+  dlog_path : string;  (* durable: the file survives every crash *)
+  mutable remote : Coordinator.Remote.t;
 }
+
+let coord r = Coordinator.Remote.core r.remote
+let dlog r = Coordinator.decision_log (coord r)
 
 let harness_env cfg =
   {
@@ -107,6 +133,9 @@ let harness_env cfg =
 let gen_inputs cfg =
   let env = harness_env cfg in
   Array.init cfg.txns (fun _ -> Txns.gen_input env)
+
+let make_remote cfg core =
+  Coordinator.Remote.make ~transport:`Loopback ~faults:cfg.netfault core
 
 let fresh cfg ~inputs =
   Txns.reset_history_seq ();
@@ -124,7 +153,8 @@ let fresh cfg ~inputs =
         Partition.make ~id ~lo ~hi (Executor.create ~sem:Dist_txns.semantics db))
       ranges
   in
-  let dlog = Coordinator.Decision_log.create () in
+  let dlog_path = Filename.temp_file "acc_decision" ".log" in
+  let dlog = Coordinator.Decision_log.open_file dlog_path in
   {
     cfg;
     inputs;
@@ -132,11 +162,16 @@ let fresh cfg ~inputs =
     ranges;
     parts;
     baselines;
-    dlog;
-    coord = Coordinator.create ~log:dlog parts;
+    dlog_path;
+    remote = make_remote cfg (Coordinator.create ~log:dlog parts);
   }
 
-let part_of r w = Partition.id (Coordinator.partition_of r.coord w)
+let teardown r =
+  Coordinator.Remote.close r.remote;
+  Coordinator.Decision_log.close (dlog r);
+  try Sys.remove r.dlog_path with Sys_error _ -> ()
+
+let part_of r w = Partition.id (Coordinator.partition_of (coord r) w)
 
 exception
   Crashed of {
@@ -156,7 +191,7 @@ let exec_from r ~from =
     let start_lsns =
       Array.map (fun p -> Log.length (Executor.log (Partition.engine p))) r.parts
     in
-    let gid_before = Coordinator.Decision_log.max_gid r.dlog in
+    let gid_before = Coordinator.Decision_log.max_gid (dlog r) in
     (try
        match Dist_txns.partitions_of_input ~part_of:(part_of r) input with
        | [ pid ] ->
@@ -170,7 +205,8 @@ let exec_from r ~from =
            in
            let home = Partition.engine (fst (List.hd branches)) in
            Schedule.run home
-             [ (fun () -> ignore (Coordinator.run_cross r.coord branches)) ]
+             [ (fun () ->
+                 ignore (Coordinator.Remote.run_cross r.remote branches)) ]
      with Fault.Crash { point; hit } ->
        raise (Crashed { point; hit; at = !i; start_lsns; gid_before }));
     incr i
@@ -188,15 +224,41 @@ let durably_committed r ~input ~start_lsns ~gid_before =
         (function Record.Commit _ -> true | _ -> false)
         (Log.appended_since log start_lsns.(pid))
   | _ ->
-      let g = Coordinator.Decision_log.max_gid r.dlog in
+      let g = Coordinator.Decision_log.max_gid (dlog r) in
       g > gid_before
-      && Coordinator.Decision_log.lookup r.dlog ~gid:g = Some Coordinator.Commit
+      && Coordinator.Decision_log.lookup (dlog r) ~gid:g = Some Coordinator.Commit
 
-(* Recover one partition: full-log replay from its baseline, decision-log
-   resolution of the in-doubt branches, compensation replay of the pending
-   ones, and the re-derivation oracle.  Returns the recovered engine and the
-   largest gid seen in doubt. *)
-let recover_partition errs label r idx =
+(* Resolution decisions travel over a (fault-wrapped) Resolve connection
+   against the given log, exactly as a restarted participant would ask a
+   recovered coordinator; the direct log read is the liveness fallback when
+   the fault layer eats every retry, applying the same presumed-abort rule
+   the resolver itself does. *)
+let transport_ask cfg log =
+  let conn =
+    Transport.loopback ~faults:cfg.netfault (function
+      | Transport.Resolve { gid } ->
+          Transport.Decide
+            { gid; commit = Coordinator.Decision_log.lookup log ~gid = Some Coordinator.Commit }
+      | m ->
+          invalid_arg
+            ("Dist_harness resolver: unexpected request " ^ Transport.msg_kind m))
+  in
+  fun gid ->
+    let rec go attempt =
+      if attempt > 5 then
+        Some (Coordinator.Decision_log.lookup log ~gid = Some Coordinator.Commit)
+      else
+        match Transport.call conn (Transport.Resolve { gid }) with
+        | Some (Transport.Decide { commit; _ }) -> Some commit
+        | Some _ | None -> go (attempt + 1)
+    in
+    go 1
+
+(* Recover one partition: full-log replay from its baseline, decision
+   resolution of the in-doubt branches over the transport, compensation
+   replay of the pending ones, and the re-derivation oracle.  Returns the
+   recovered engine and the largest gid seen in doubt. *)
+let recover_partition errs label r ~fresh_log idx =
   let part = r.parts.(idx) in
   let records = Log.to_list (Executor.log (Partition.engine part)) in
   let rep = Recovery.recover ~baseline:r.baselines.(idx) records in
@@ -211,7 +273,11 @@ let recover_partition errs label r idx =
   in
   let base2 = Database.copy rep.Recovery.db in
   let eng' = Executor.create ~sem:Dist_txns.semantics rep.Recovery.db in
-  let resolved = Coordinator.resolve_in_doubt r.dlog eng' rep in
+  let resolved, blocked =
+    Coordinator.resolve_in_doubt_via ~ask:(transport_ask r.cfg fresh_log) eng' rep
+  in
+  if blocked > 0 then
+    err errs label "partition %d: %d in-doubt branches left blocked" idx blocked;
   if resolved <> List.length rep.Recovery.in_doubt then
     err errs label "partition %d: %d in-doubt branches, %d resolved" idx
       (List.length rep.Recovery.in_doubt)
@@ -240,28 +306,70 @@ let merged r = Dist_driver.merged_db (Array.to_list r.parts)
 let check_consistency errs label r =
   List.iter (fun c -> err errs label "consistency: %s" c) (Consistency.check (merged r))
 
-(* Crash → recover every partition → rebuild the coordinator over the
-   surviving decision log, gid counter above every surviving gid.  Returns
-   the input index to resume from. *)
+(* Full restart: crash → recover every partition → reopen the on-disk
+   decision log and rebuild coordinator + transport over it, gid counter
+   above every surviving gid.  Returns the input index to resume from. *)
 let recover_crash errs label r ~at ~start_lsns ~gid_before =
   let input = r.inputs.(at) in
   let committed = durably_committed r ~input ~start_lsns ~gid_before in
+  (* the crashed coordinator's fd goes down with it; recovery reads the
+     file back — load-time recovery is part of what is under test *)
+  Coordinator.Remote.close r.remote;
+  Coordinator.Decision_log.close (dlog r);
+  let fresh_log = Coordinator.Decision_log.open_file r.dlog_path in
   let max_gid = ref 0 in
   Array.iteri
     (fun idx _ ->
-      let db, doubt_gid = recover_partition errs label r idx in
+      let db, doubt_gid = recover_partition errs label r ~fresh_log idx in
       max_gid := max !max_gid doubt_gid;
       let lo, hi = r.ranges.(idx) in
       r.baselines.(idx) <- Database.copy db;
       r.parts.(idx) <-
         Partition.make ~id:idx ~lo ~hi (Executor.create ~sem:Dist_txns.semantics db))
     r.parts;
-  r.coord <- Coordinator.create ~log:r.dlog ~first_gid:(!max_gid + 1) r.parts;
+  r.remote <-
+    make_remote r.cfg
+      (Coordinator.create ~log:fresh_log ~first_gid:(!max_gid + 1) r.parts);
   (* the system is quiescent right after recovery (the crashed transaction
      was either finished by resolution or wholly undone), so the merged
      database must already be consistent here, not only at the end *)
   check_consistency errs (label ^ Printf.sprintf "[post-crash txn %d]" at) r;
   if committed then at + 1 else at
+
+(* Coordinator kill: only the coordinator process dies.  The partitions'
+   engines survive — prepared branches still hold their until-commit and
+   compensation locks — and {!Coordinator.Remote.recover} fails over:
+   reopen the log, restart the gid counter above every survivor, settle the
+   in-doubt branches over the transport.  No WAL replay happens, so this is
+   the pure failover path. *)
+let recover_kill errs label r ~at ~start_lsns ~gid_before =
+  let input = r.inputs.(at) in
+  let committed = durably_committed r ~input ~start_lsns ~gid_before in
+  (match Coordinator.Remote.recover r.remote with
+  | _resolved -> ()
+  | exception e ->
+      err errs label "failover raised %s" (Printexc.to_string e));
+  Array.iteri
+    (fun idx p ->
+      let locks = Executor.lock_service (Partition.engine p) in
+      if Lock_service.lock_count locks <> 0 then
+        err errs label "partition %d: %d locks survive failover settlement" idx
+          (Lock_service.lock_count locks))
+    r.parts;
+  check_consistency errs (label ^ Printf.sprintf "[post-failover txn %d]" at) r;
+  if committed then at + 1 else at
+
+let coordinator_point = function
+  | "dist.decide" | "dist.decision.durable" -> true
+  | _ -> false
+
+(* Dispatch: coordinator-kill mode handles coordinator-side crashes by
+   failover; everything else (and every crash in default mode) is a full
+   restart. *)
+let recover_any errs label r ~point ~at ~start_lsns ~gid_before =
+  if r.cfg.coordinator_kill && coordinator_point point then
+    recover_kill errs label r ~at ~start_lsns ~gid_before
+  else recover_crash errs label r ~at ~start_lsns ~gid_before
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic sweep over the dist.* crash points. *)
@@ -269,7 +377,8 @@ let recover_crash errs label r ~at ~start_lsns ~gid_before =
 let dist_point name = String.length name >= 5 && String.sub name 0 5 = "dist."
 
 (* Dry-run with counters live to learn each dist point's passage count; also
-   the zero-fault baseline check. *)
+   the zero-crash baseline check (the message-fault layer, if configured,
+   stays live — consistency must hold under a faulty network alone). *)
 let observe_counts cfg ~inputs =
   Fault.observe ();
   let r = fresh cfg ~inputs in
@@ -289,8 +398,8 @@ let hit_spread ~want n =
     List.init want (fun k -> if want = 1 then 1 else 1 + (k * (n - 1) / (want - 1)))
     |> List.sort_uniq compare
 
-let run_one_crash cfg ~inputs ~point ~hit =
-  let label = Printf.sprintf "%s:%d" point hit in
+let run_one_crash ?(tag = "") cfg ~inputs ~point ~hit =
+  let label = Printf.sprintf "%s:%d%s" point hit tag in
   let errs = ref [] in
   Fault.arm ~point ~hit;
   let r = fresh cfg ~inputs in
@@ -298,17 +407,18 @@ let run_one_crash cfg ~inputs ~point ~hit =
   let rec go from =
     match exec_from r ~from with
     | () -> ()
-    | exception Crashed { at; start_lsns; gid_before; _ } ->
+    | exception Crashed { at; start_lsns; gid_before; point; _ } ->
         incr crashes;
         say cfg "  %s: crashed at txn %d, recovering %d partitions" label at
           (Array.length r.parts);
         Fault.disarm ();
-        go (recover_crash errs label r ~at ~start_lsns ~gid_before)
+        go (recover_any errs label r ~point ~at ~start_lsns ~gid_before)
   in
   go 0;
   Fault.disarm ();
   if !crashes = 0 then err errs label "armed crash never fired";
   check_consistency errs label r;
+  teardown r;
   { r_label = label; r_crashes = !crashes; r_errors = List.rev !errs }
 
 let sweep ?(config = default_config) () =
@@ -319,6 +429,7 @@ let sweep ?(config = default_config) () =
   List.iter
     (fun c -> err errs0 "baseline(no faults)" "consistency: %s" c)
     (Consistency.check (merged clean));
+  teardown clean;
   (* coverage: a partitioned workload that never reaches a dist point is not
      testing two-phase commit at all *)
   List.iter
@@ -342,6 +453,55 @@ let sweep ?(config = default_config) () =
   base :: per_point
 
 (* ------------------------------------------------------------------ *)
+(* The chaos matrix: crash points × transport-fault kinds × restart mode.
+   Each cell is one [run_one_crash] at the point's first passage with that
+   single-kind message-fault spec live on every connection and the chosen
+   recovery path.  [kill=true] cells only exist for coordinator-side
+   points — killing the coordinator at a participant-side point is a
+   no-op pairing.  [quick] trims to one fault kind per point (CI smoke);
+   the nightly job runs the full cross product. *)
+
+let matrix_faults =
+  [
+    ("net=none", Netfault.none);
+    ("net=drop", Netfault.parse "drop=0.2,seed=11");
+    ("net=dup", Netfault.parse "dup=0.2,seed=11");
+    ("net=delay", Netfault.parse "delay=0.2,seed=11");
+    ("net=reorder", Netfault.parse "reorder=0.2,seed=11");
+    ("net=disconnect", Netfault.parse "disconnect=0.1,seed=11");
+  ]
+
+let sweep_matrix ?(config = default_config) ?(quick = false) () =
+  let cfg = config in
+  let inputs = gen_inputs cfg in
+  let counts, clean = observe_counts { cfg with netfault = Netfault.none } ~inputs in
+  teardown clean;
+  let points = List.map fst counts in
+  let faults =
+    if quick then [ List.nth matrix_faults 1 ] else matrix_faults
+  in
+  List.concat_map
+    (fun point ->
+      List.concat_map
+        (fun (ftag, spec) ->
+          List.filter_map
+            (fun kill ->
+              if kill && not (coordinator_point point) then None
+              else begin
+                let tag =
+                  Printf.sprintf "[%s]%s" ftag (if kill then "[kill]" else "")
+                in
+                say cfg "matrix %s %s kill=%b" point ftag kill;
+                Some
+                  (run_one_crash ~tag
+                     { cfg with netfault = spec; coordinator_kill = kill }
+                     ~inputs ~point ~hit:1)
+              end)
+            [ false; true ])
+        faults)
+    points
+
+(* ------------------------------------------------------------------ *)
 (* Chaos mode: every passage through any registered point (dist.* included)
    crashes with probability [chaos_p].  Faults are re-armed with a derived
    seed after each recovery, so successive crashes land at different
@@ -349,7 +509,12 @@ let sweep ?(config = default_config) () =
 
 let chaos ?(config = default_config) ~seed () =
   let cfg = config in
-  let label = Printf.sprintf "dist-chaos(seed=%d,p=%g)" seed cfg.chaos_p in
+  let label =
+    Printf.sprintf "dist-chaos(seed=%d,p=%g%s%s)" seed cfg.chaos_p
+      (if Netfault.is_none cfg.netfault then ""
+       else "," ^ Netfault.to_string cfg.netfault)
+      (if cfg.coordinator_kill then ",kill" else "")
+  in
   let errs = ref [] in
   let inputs = gen_inputs cfg in
   let r = fresh cfg ~inputs in
@@ -366,13 +531,14 @@ let chaos ?(config = default_config) ~seed () =
         incr crashes;
         say cfg "  %s: crash #%d at %s:%d (txn %d)" label !crashes point hit at;
         Fault.disarm ();
-        let resume = recover_crash errs label r ~at ~start_lsns ~gid_before in
+        let resume = recover_any errs label r ~point ~at ~start_lsns ~gid_before in
         Fault.arm_chaos ~seed:(seed + (7919 * !crashes)) ~p:cfg.chaos_p;
         go resume
   in
   go 0;
   Fault.disarm ();
   check_consistency errs label r;
+  teardown r;
   { r_label = label; r_crashes = !crashes; r_errors = List.rev !errs }
 
 (* ------------------------------------------------------------------ *)

@@ -1,14 +1,19 @@
 (** Crash-restart harness for the partitioned system: the no-lost-decision
     oracle.
 
-    Runs a partitioned TPC-C workload one transaction at a time, crashes at
-    the 2PC crash points (["dist.prepare"], ["dist.decide"],
-    ["dist.decision.durable"]), restarts every partition from (baseline,
-    WAL) plus the coordinator's surviving decision log, and checks that no
-    partition stays in doubt, that a logged Commit decision is never lost,
-    that an unlogged one is presumed aborted and the transaction cleanly
-    re-submitted, and that the merged database satisfies the TPC-C
-    consistency conditions throughout. *)
+    Runs a partitioned TPC-C workload one transaction at a time with the
+    coordinator driven over the loopback transport (framing, fault layer,
+    retries and idempotent handlers all under test; loopback consults no
+    wall clock, so runs stay deterministic) and a file-backed, fsynced
+    decision log.  Crashes at the 2PC crash points (["dist.prepare"],
+    ["dist.decide"], ["dist.decision.durable"], ["dist.apply"]), restarts
+    every partition from (baseline, WAL) plus the reopened on-disk decision
+    log — or, with [coordinator_kill], fails over only the coordinator via
+    {!Coordinator.Remote.recover} while the partitions survive — and checks
+    that no partition stays in doubt, that a logged Commit decision is
+    never lost, that an unlogged one is presumed aborted and the
+    transaction cleanly re-submitted, and that the merged database
+    satisfies the TPC-C consistency conditions throughout. *)
 
 type config = {
   params : Acc_tpcc.Params.t;
@@ -19,11 +24,22 @@ type config = {
   remote_item_rate : float;
   hits_per_point : int;
   chaos_p : float;
+  netfault : Acc_fault.Fault.Netfault.spec;
+      (** message faults live on every coordinator↔participant connection
+          (and the recovery-time Resolve path) for the whole run — the
+          network does not heal because a process died *)
+  coordinator_kill : bool;
+      (** handle crashes at coordinator-side points ("dist.decide",
+          "dist.decision.durable") by coordinator failover
+          ({!Coordinator.Remote.recover}) instead of a full restart: the
+          partitions' engines survive with their prepared branches' locks
+          held until settlement *)
   verbose : bool;
 }
 
 val default_config : config
-(** 4 warehouses over 2 partitions, elevated remote rates. *)
+(** 4 warehouses over 2 partitions, elevated remote rates, no message
+    faults, full-restart recovery. *)
 
 type result = { r_label : string; r_crashes : int; r_errors : string list }
 
@@ -32,10 +48,19 @@ val failed : result -> bool
 val sweep : ?config:config -> unit -> result list
 (** Deterministic sweep: dry-run to count each dist.* point's passages
     (coverage failure if a point never trips), then crash at a spread of
-    hits per point.  First result is the zero-fault baseline. *)
+    hits per point.  First result is the zero-crash baseline. *)
+
+val sweep_matrix : ?config:config -> ?quick:bool -> unit -> result list
+(** The chaos matrix: crash points × transport-fault kinds (none, drop,
+    dup, delay, reorder, disconnect) × restart mode (full restart, and
+    coordinator kill for coordinator-side points).  Each cell crashes at
+    the point's first passage with that single-kind fault spec live on
+    every connection.  [quick] trims to one fault kind per point (the
+    per-push smoke slice); the nightly job runs the full product. *)
 
 val chaos : ?config:config -> seed:int -> unit -> result
 (** Probabilistic crashes at every registered point, re-armed with a derived
-    seed after each recovery. *)
+    seed after each recovery; [config.netfault] / [config.coordinator_kill]
+    compose with it. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -139,6 +139,79 @@ let step_trip () =
 
 let is_crash = function Crash _ -> true | _ -> false
 
+(* Message-level fault specs for the dist transport.  This module only owns
+   the spec (what to inject, how often, from which seed) — the injection
+   itself lives in the transport's fault layer, which draws from a PRNG
+   seeded here exactly like [arm_chaos] does for crash points.  Kept beside
+   the crash-point registry so every fault the test fleet can inject is
+   configured through one library and one env-var convention. *)
+module Netfault = struct
+  type spec = {
+    drop : float;  (* message silently discarded *)
+    dup : float;  (* message delivered twice *)
+    delay : float;  (* message held back for 1-3 later sends *)
+    reorder : float;  (* message swapped with the next send *)
+    disconnect : float;  (* connection flap: a 1-4 message drop burst *)
+    seed : int;
+    ops : string list;  (* message kinds faults apply to; [] = all *)
+  }
+
+  let none =
+    { drop = 0.; dup = 0.; delay = 0.; reorder = 0.; disconnect = 0.; seed = 42; ops = [] }
+
+  let is_none s =
+    s.drop = 0. && s.dup = 0. && s.delay = 0. && s.reorder = 0. && s.disconnect = 0.
+
+  let applies s ~op = s.ops = [] || List.mem op s.ops
+
+  let kinds = [ "drop"; "dup"; "delay"; "reorder"; "disconnect" ]
+
+  (* "drop=0.1,dup=0.05,seed=7,ops=decide+prepare"; "all=p" sets every kind *)
+  let parse str =
+    let check_p k p =
+      if p < 0. || p > 1. then
+        invalid_arg (Printf.sprintf "Netfault.parse: %s=%g not a probability" k p);
+      p
+    in
+    List.fold_left
+      (fun s field ->
+        match String.index_opt field '=' with
+        | None -> invalid_arg ("Netfault.parse: expected key=value, got " ^ field)
+        | Some i -> (
+            let k = String.sub field 0 i in
+            let v = String.sub field (i + 1) (String.length field - i - 1) in
+            let p () = check_p k (float_of_string v) in
+            match k with
+            | "drop" -> { s with drop = p () }
+            | "dup" -> { s with dup = p () }
+            | "delay" -> { s with delay = p () }
+            | "reorder" -> { s with reorder = p () }
+            | "disconnect" -> { s with disconnect = p () }
+            | "all" ->
+                let p = p () in
+                { s with drop = p; dup = p; delay = p; reorder = p; disconnect = p }
+            | "seed" -> { s with seed = int_of_string v }
+            | "ops" -> { s with ops = String.split_on_char '+' v }
+            | _ -> invalid_arg ("Netfault.parse: unknown key " ^ k)))
+      none
+      (List.filter (fun f -> f <> "") (String.split_on_char ',' str))
+
+  let to_string s =
+    let prob k v = if v > 0. then [ Printf.sprintf "%s=%g" k v ] else [] in
+    String.concat ","
+      (prob "drop" s.drop @ prob "dup" s.dup @ prob "delay" s.delay
+      @ prob "reorder" s.reorder
+      @ prob "disconnect" s.disconnect
+      @ [ Printf.sprintf "seed=%d" s.seed ]
+      @ if s.ops = [] then [] else [ "ops=" ^ String.concat "+" s.ops ])
+
+  (* ACC_NETFAULT=spec, same convention as ACC_CRASHPOINT *)
+  let of_env () =
+    match Sys.getenv_opt "ACC_NETFAULT" with
+    | None | Some "" -> None
+    | Some spec -> Some (parse spec)
+end
+
 (* ACC_CRASHPOINT=point[:hit] | chaos:p[:seed]; ACC_STEP_FAULTS=p[:seed] *)
 let configure_from_env () =
   (match Sys.getenv_opt "ACC_CRASHPOINT" with

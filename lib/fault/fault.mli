@@ -74,6 +74,47 @@ val is_crash : exn -> bool
 (** [is_crash e] is true iff [e] is {!Crash}.  Use in [when] guards so
     generic catch-all handlers stand aside for simulated process death. *)
 
+(** Message-level fault specs for the dist transport: what the injectable
+    network-fault layer may do to each wire message, how often, and from
+    which seed.  The spec lives here (beside the crash-point registry, same
+    seeding and env-var conventions); the injection itself is the
+    transport's fault layer ({!Acc_dist.Transport}). *)
+module Netfault : sig
+  type spec = {
+    drop : float;  (** message silently discarded *)
+    dup : float;  (** message delivered twice *)
+    delay : float;  (** message held back for 1-3 later sends *)
+    reorder : float;  (** message swapped with the next send *)
+    disconnect : float;  (** connection flap: a 1-4 message drop burst *)
+    seed : int;
+    ops : string list;  (** message kinds faults apply to; [[]] = all *)
+  }
+
+  val none : spec
+  (** All probabilities zero. *)
+
+  val is_none : spec -> bool
+
+  val applies : spec -> op:string -> bool
+  (** Does this spec target messages of kind [op]? *)
+
+  val kinds : string list
+  (** The five fault kinds, as spec keys: drop, dup, delay, reorder,
+      disconnect. *)
+
+  val parse : string -> spec
+  (** ["drop=0.1,dup=0.05,seed=7,ops=decide+prepare"]; [all=p] sets every
+      kind to [p].  Raises [Invalid_argument] on unknown keys or
+      out-of-range probabilities. *)
+
+  val to_string : spec -> string
+  (** Inverse of {!parse} (zero-probability kinds omitted). *)
+
+  val of_env : unit -> spec option
+  (** Parse [ACC_NETFAULT], the workload binaries' arming path ([None] when
+      unset or empty). *)
+end
+
 val configure_from_env : unit -> unit
 (** Arm from the environment, for binaries:
     [ACC_CRASHPOINT=point[:hit]] or [ACC_CRASHPOINT=chaos:p[:seed]], and

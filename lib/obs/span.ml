@@ -337,7 +337,8 @@ module Builder = struct
     | Trace.Lock_request _ | Trace.Lock_grant _ | Trace.Batch_acquired _
     | Trace.Lock_release _ | Trace.Lock_attach _ | Trace.Lock_cancel _
     | Trace.Assertion_check _ | Trace.Deadlock_cycle _ | Trace.Victim _
-    | Trace.Wal_flush _ | Trace.Shed _ | Trace.Degraded _ ->
+    | Trace.Wal_flush _ | Trace.Shed _ | Trace.Degraded _ | Trace.Net_fault _
+    | Trace.Rpc_retry _ ->
         ()
 
   (* One parsed JSONL trace line (see {!Trace.to_json}); unknown events and

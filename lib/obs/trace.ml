@@ -46,6 +46,9 @@ type event =
   | Prepare of { txn : int; gid : int }
   | Decide of { gid : int; commit : bool; participants : int }
   | Resolve of { txn : int; gid : int; commit : bool }
+  (* faultable transport (DESIGN.md §18) *)
+  | Net_fault of { kind : string; msg : string }
+  | Rpc_retry of { msg : string; gid : int; attempt : int }
 
 let event_name = function
   | Txn_begin _ -> "txn_begin"
@@ -73,6 +76,8 @@ let event_name = function
   | Prepare _ -> "prepare"
   | Decide _ -> "decide"
   | Resolve _ -> "resolve"
+  | Net_fault _ -> "net_fault"
+  | Rpc_retry _ -> "rpc_retry"
 
 let all_event_names =
   [
@@ -80,7 +85,7 @@ let all_event_names =
     "lock_request"; "lock_grant"; "lock_block"; "lock_wake"; "batch_acquired"; "lock_release";
     "lock_attach"; "lock_cancel"; "assertion_check"; "deadlock_cycle"; "victim";
     "wal_append"; "wal_flush"; "timed_out"; "shed"; "degraded"; "prepare"; "decide";
-    "resolve";
+    "resolve"; "net_fault"; "rpc_retry";
   ]
 
 (* ---------- the sink ----------------------------------------------------- *)
@@ -284,6 +289,9 @@ let payload = function
       ]
   | Resolve { txn; gid; commit } ->
       [ ("txn", Json.Int txn); ("gid", Json.Int gid); ("commit", Json.Bool commit) ]
+  | Net_fault { kind; msg } -> [ ("kind", Json.Str kind); ("msg", Json.Str msg) ]
+  | Rpc_retry { msg; gid; attempt } ->
+      [ ("msg", Json.Str msg); ("gid", Json.Int gid); ("attempt", Json.Int attempt) ]
 
 let to_json e =
   Json.Obj
@@ -325,7 +333,9 @@ let txn_of_event = function
   | Victim { txn; _ } | Wal_append { txn; _ } | Timed_out { txn; _ }
   | Prepare { txn; _ } | Resolve { txn; _ } ->
       txn
-  | Deadlock_cycle _ | Wal_flush _ | Shed _ | Degraded _ | Decide _ -> 0
+  | Deadlock_cycle _ | Wal_flush _ | Shed _ | Degraded _ | Decide _ | Net_fault _
+  | Rpc_retry _ ->
+      0
 
 let us t = t *. 1e6
 
@@ -380,13 +390,15 @@ let write_chrome oc dump =
       | Comp_run _ | Lock_request _ | Lock_grant _ | Lock_block _ | Lock_wake _
       | Batch_acquired _ | Lock_release _ | Lock_attach _ | Lock_cancel _
       | Assertion_check _ | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _
-      | Timed_out _ | Shed _ | Degraded _ | Prepare _ | Decide _ | Resolve _ -> ());
+      | Timed_out _ | Shed _ | Degraded _ | Prepare _ | Decide _ | Resolve _
+      | Net_fault _ | Rpc_retry _ -> ());
       match e.ev with
       | Txn_begin _ | Txn_commit _ | Txn_abort _ | Step_begin _ | Step_end _ -> ()
       | Comp_run _ | Lock_request _ | Lock_grant _ | Lock_block _ | Lock_wake _
       | Batch_acquired _ | Lock_release _ | Lock_attach _ | Lock_cancel _
       | Assertion_check _ | Deadlock_cycle _ | Victim _ | Wal_append _ | Wal_flush _
-      | Timed_out _ | Shed _ | Degraded _ | Prepare _ | Decide _ | Resolve _ ->
+      | Timed_out _ | Shed _ | Degraded _ | Prepare _ | Decide _ | Resolve _
+      | Net_fault _ | Rpc_retry _ ->
           push (chrome_instant e))
     dump.events;
   (* spans still open at drain time become instants so no data is lost *)

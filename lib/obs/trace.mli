@@ -91,6 +91,13 @@ type event =
   | Resolve of { txn : int; gid : int; commit : bool }
       (** recovery resolved an in-doubt participant branch from the
           coordinator's decision log (presumed abort when no decision) *)
+  | Net_fault of { kind : string; msg : string }
+      (** the transport's fault layer injected [kind] (drop / dup / delay /
+          reorder / disconnect) on a wire message of kind [msg] *)
+  | Rpc_retry of { msg : string; gid : int; attempt : int }
+      (** a coordinator RPC timed out and is being re-sent ([attempt] counts
+          from 1); participant handlers are idempotent, so the duplicate the
+          retry may produce is safe *)
 
 val event_name : event -> string
 (** The wire name (the ["ev"] field of the JSONL encoding). *)

@@ -224,7 +224,34 @@ let appended_since t lsn =
    the marshalled record list.  Marshal payloads are build-fragile, so the
    header is what turns "Marshal.from_channel blew up" into an actionable
    error: a foreign file fails on the magic, an old/new log fails on the
-   version. *)
+   version.  The header discipline is shared — the coordinator's durable
+   decision log and the RPC framing reuse it with their own magic. *)
+module Header = struct
+  let size ~magic = String.length magic + 4
+
+  let to_string ~magic ~version =
+    let m = String.length magic in
+    let b = Bytes.create (m + 4) in
+    Bytes.blit_string magic 0 b 0 m;
+    Bytes.set_int32_be b m (Int32.of_int version);
+    Bytes.unsafe_to_string b
+
+  let check ~magic ~version ~what ~who ~path s =
+    let m = String.length magic in
+    if String.length s < m then
+      failwith
+        (Printf.sprintf "%s: %s is not a %s file (shorter than the header)" who path what);
+    if String.sub s 0 m <> magic then
+      failwith (Printf.sprintf "%s: %s is not a %s file (bad magic)" who path what);
+    if String.length s < m + 4 then
+      failwith (Printf.sprintf "%s: %s is truncated (no format version)" who path);
+    let v = Int32.to_int (String.get_int32_be s m) in
+    if v <> version then
+      failwith
+        (Printf.sprintf "%s: %s has %s format version %d, this build reads version %d" who
+           path what v version)
+end
+
 let magic = "ACCWAL\x00\x00"
 let format_version = 1
 
@@ -233,8 +260,7 @@ let save t path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc magic;
-      output_binary_int oc format_version;
+      output_string oc (Header.to_string ~magic ~version:format_version);
       Marshal.to_channel oc (to_list t) []);
   if Acc_obs.Trace.enabled () then
     Acc_obs.Trace.emit (Acc_obs.Trace.Wal_flush { records = t.len })
@@ -245,23 +271,16 @@ let load path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let header =
-        try really_input_string ic (String.length magic)
-        with End_of_file ->
-          failwith
-            (Printf.sprintf "Log.load: %s is not a WAL file (shorter than the header)" path)
+        let n = Header.size ~magic in
+        let b = Buffer.create n in
+        (try
+           while Buffer.length b < n do
+             Buffer.add_channel b ic 1
+           done
+         with End_of_file -> ());
+        Buffer.contents b
       in
-      if header <> magic then
-        failwith (Printf.sprintf "Log.load: %s is not a WAL file (bad magic)" path);
-      let version =
-        try input_binary_int ic
-        with End_of_file ->
-          failwith (Printf.sprintf "Log.load: %s is truncated (no format version)" path)
-      in
-      if version <> format_version then
-        failwith
-          (Printf.sprintf
-             "Log.load: %s has WAL format version %d, this build reads version %d" path
-             version format_version);
+      Header.check ~magic ~version:format_version ~what:"WAL" ~who:"Log.load" ~path header;
       let records : Record.t list =
         try Marshal.from_channel ic
         with _ -> failwith ("Log.load: unreadable log file " ^ path)

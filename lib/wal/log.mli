@@ -9,6 +9,27 @@ type t
 type lsn = int
 (** Log sequence number: the index of a record; the first record has LSN 0. *)
 
+(** The shared on-disk header discipline: a fixed magic string followed by a
+    4-byte big-endian format version.  The WAL file format uses it, and so do
+    the coordinator's durable decision log and the dist transport's wire
+    framing — one place to keep "unreadable file" errors actionable. *)
+module Header : sig
+  val size : magic:string -> int
+  (** Bytes a header with this magic occupies. *)
+
+  val to_string : magic:string -> version:int -> string
+  (** The header bytes. *)
+
+  val check :
+    magic:string -> version:int -> what:string -> who:string -> path:string -> string -> unit
+  (** [check ~magic ~version ~what ~who ~path s] validates the header bytes
+      [s] (possibly shorter than {!size} when the file was truncated) and
+      raises [Failure] with a distinct, actionable message per failure class:
+      shorter than the header, bad magic, missing version, or a version this
+      build does not read.  [what] names the format (e.g. ["WAL"]), [who] the
+      failing operation (e.g. ["Log.load"]). *)
+end
+
 type policy =
   | Direct  (** every append goes to the log under the append mutex — the
                 historical behaviour, and what {!load} rebuilds with *)

@@ -7,8 +7,11 @@ open Acc_tpcc
 module Dist = Acc_dist
 module Partition = Acc_dist.Partition
 module Coordinator = Acc_dist.Coordinator
+module Transport = Acc_dist.Transport
+module Participant = Acc_dist.Participant
 module Dist_driver = Acc_dist.Dist_driver
 module Dist_harness = Acc_dist.Dist_harness
+module Fault = Acc_fault.Fault
 module Executor = Acc_txn.Executor
 module Schedule = Acc_txn.Schedule
 module Database = Acc_relation.Database
@@ -272,6 +275,351 @@ let prop_no_lost_decision =
         QCheck2.Test.fail_report (Format.asprintf "%a" Dist_harness.pp_result r)
       else true)
 
+(* --- transport framing ----------------------------------------------------- *)
+
+let all_msgs =
+  [
+    Transport.Prepare { gid = 7; part = 1 };
+    Transport.Vote { gid = 7; ok = true };
+    Transport.Decide { gid = 7; commit = false };
+    Transport.Ack { gid = 7 };
+    Transport.Resolve { gid = 9 };
+  ]
+
+let test_framing_roundtrip () =
+  List.iteri
+    (fun i msg ->
+      let f = { Transport.seq = 100 + i; msg } in
+      let f' = Transport.decode (Transport.encode f) in
+      Alcotest.(check bool) ("round-trips: " ^ Transport.msg_kind msg) true (f' = f))
+    all_msgs;
+  Alcotest.(check (list string)) "msg_kind is the netfault ops vocabulary"
+    [ "prepare"; "vote"; "decide"; "ack"; "resolve" ]
+    (List.map Transport.msg_kind all_msgs);
+  Alcotest.(check (list int)) "gid_of" [ 7; 7; 7; 7; 9 ] (List.map Transport.gid_of all_msgs)
+
+let test_framing_rejects () =
+  let fails s = try ignore (Transport.decode s); false with Failure _ -> true in
+  let good = Transport.encode { Transport.seq = 1; msg = Transport.Ack { gid = 1 } } in
+  Alcotest.(check bool) "truncated header" true (fails (String.sub good 0 3));
+  let foreign = Bytes.of_string good in
+  Bytes.set foreign 0 'X';
+  Alcotest.(check bool) "foreign magic" true (fails (Bytes.to_string foreign));
+  let hdr = Acc_wal.Log.Header.size ~magic:Transport.magic in
+  let future =
+    Acc_wal.Log.Header.to_string ~magic:Transport.magic ~version:(Transport.version + 1)
+    ^ String.sub good hdr (String.length good - hdr)
+  in
+  Alcotest.(check bool) "future version" true (fails future);
+  Alcotest.(check bool) "truncated payload" true
+    (fails (String.sub good 0 (String.length good - 2)))
+
+let test_transport_kinds () =
+  Alcotest.(check string) "loopback name" "loopback" (Transport.kind_name `Loopback);
+  Alcotest.(check string) "pipe name" "pipe" (Transport.kind_name `Pipe);
+  Alcotest.(check bool) "loopback parses" true (Transport.kind_of_string "loopback" = `Loopback);
+  Alcotest.(check bool) "pipe parses" true (Transport.kind_of_string "pipe" = `Pipe);
+  Alcotest.(check bool) "junk rejected" true
+    (try ignore (Transport.kind_of_string "carrier-pigeon"); false
+     with Invalid_argument _ -> true)
+
+(* --- idempotent participant handlers --------------------------------------- *)
+
+(* the transport may duplicate any frame: a repeated Prepare returns the
+   cached vote without re-running the branch; a repeated Decide re-Acks an
+   already-applied gid; a Decide for an unknown gid is a harmless no-op *)
+let test_participant_idempotent () =
+  let seed = 3 in
+  let parts = mk_parts ~seed ~partitions:2 small_params in
+  let coord = Coordinator.create parts in
+  let env = Txns.default_env ~seed small_params in
+  let part_of w = Partition.id (Coordinator.partition_of coord w) in
+  let remote_inst =
+    match Dist_txns.branches env ~part_of (Txns.Payment cross_payment) with
+    | [ _home; (1, inst) ] -> inst
+    | _ -> Alcotest.fail "expected a home + partition-1 branch split"
+  in
+  let p = Participant.make parts.(1) in
+  Participant.stage p ~gid:1 remote_inst;
+  let history_rows () =
+    Table.scan
+      (Database.table (Executor.db (Partition.engine parts.(1))) "history")
+      ~where:(Acc_relation.Predicate.Eq ("h_w_id", Int 1))
+    |> List.length
+  in
+  Schedule.run (Partition.engine parts.(1))
+    [
+      (fun () ->
+        let v1 = Participant.handle p (Transport.Prepare { gid = 1; part = 1 }) in
+        Alcotest.(check bool) "prepare votes yes" true
+          (v1 = Transport.Vote { gid = 1; ok = true });
+        let v2 = Participant.handle p (Transport.Prepare { gid = 1; part = 1 }) in
+        Alcotest.(check bool) "duplicate prepare: cached vote" true (v1 = v2);
+        Alcotest.(check (list int)) "gid 1 in doubt once prepared" [ 1 ]
+          (Participant.in_doubt p);
+        Alcotest.(check bool) "unstaged gid votes no" true
+          (Participant.handle p (Transport.Prepare { gid = 50; part = 1 })
+          = Transport.Vote { gid = 50; ok = false });
+        let a1 = Participant.handle p (Transport.Decide { gid = 1; commit = true }) in
+        Alcotest.(check bool) "decide acks" true (a1 = Transport.Ack { gid = 1 });
+        Alcotest.(check int) "branch applied exactly once" 1 (history_rows ());
+        let a2 = Participant.handle p (Transport.Decide { gid = 1; commit = true }) in
+        Alcotest.(check bool) "duplicate decide re-acks" true (a2 = Transport.Ack { gid = 1 });
+        Alcotest.(check int) "duplicate decide did not re-apply" 1 (history_rows ());
+        Alcotest.(check (list int)) "nothing left in doubt" [] (Participant.in_doubt p);
+        Alcotest.(check bool) "decide for an unknown gid is a no-op ack" true
+          (Participant.handle p (Transport.Decide { gid = 99; commit = false })
+          = Transport.Ack { gid = 99 });
+        Alcotest.(check bool) "reply kinds rejected" true
+          (try ignore (Participant.handle p (Transport.Vote { gid = 1; ok = true })); false
+           with Invalid_argument _ -> true);
+        Alcotest.(check int) "max gid tracks every role" 99 (Participant.max_gid p));
+    ]
+
+(* --- the durable decision log ---------------------------------------------- *)
+
+let with_temp_log f =
+  let path = Filename.temp_file "acc_dec_test" ".log" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_decision_log_durable () =
+  with_temp_log @@ fun path ->
+  let module L = Coordinator.Decision_log in
+  let log = L.open_file path in
+  Alcotest.(check bool) "file-backed" true (L.path log = Some path);
+  Alcotest.(check int) "fresh log empty" 0 (L.size log);
+  L.record log ~gid:5 Coordinator.Commit;
+  L.record log ~gid:9 Coordinator.Abort;
+  L.record log ~gid:5 Coordinator.Commit;
+  (* idempotent re-record *)
+  Alcotest.(check int) "re-record is a no-op" 2 (L.size log);
+  L.close log;
+  let log = L.open_file path in
+  Alcotest.(check int) "records survive reopen" 2 (L.size log);
+  Alcotest.(check bool) "commit survives" true (L.lookup log ~gid:5 = Some Coordinator.Commit);
+  Alcotest.(check bool) "abort survives" true (L.lookup log ~gid:9 = Some Coordinator.Abort);
+  Alcotest.(check bool) "absent gid is absent" true (L.lookup log ~gid:7 = None);
+  Alcotest.(check int) "watermark" 9 (L.max_gid log);
+  L.close log;
+  (* a crash mid-append leaves a torn tail: reopen truncates it and the log
+     accepts new records at the healed end *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\000\000\000";
+  close_out oc;
+  let log = L.open_file path in
+  Alcotest.(check int) "torn tail truncated away" 2 (L.size log);
+  L.record log ~gid:12 Coordinator.Commit;
+  L.close log;
+  let log = L.open_file path in
+  Alcotest.(check int) "append after heal survives" 3 (L.size log);
+  Alcotest.(check bool) "healed record readable" true
+    (L.lookup log ~gid:12 = Some Coordinator.Commit);
+  L.close log
+
+let test_decision_log_foreign_file () =
+  with_temp_log @@ fun path ->
+  let oc = open_out_bin path in
+  output_string oc "this is no decision log, and longer than any header";
+  close_out oc;
+  Alcotest.(check bool) "foreign file rejected" true
+    (try ignore (Coordinator.Decision_log.open_file path); false with Failure _ -> true)
+
+(* --- coordinator failover: the gid watermark ------------------------------- *)
+
+(* The ISSUE-9 directed case: the coordinator dies at "dist.decide" with gid 2
+   prepared on the participants (their WALs carry Prepare records for it) but
+   the on-disk decision log stale at gid 1.  The failed-over coordinator must
+   presume gid 2 aborted, and must never reissue a colliding gid: its counter
+   restarts above every surviving participant's largest seen gid, not just
+   above the stale log's watermark. *)
+let test_failover_never_reissues_gid () =
+  with_temp_log @@ fun path ->
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let seed = 3 in
+  let parts = mk_parts ~seed ~partitions:2 small_params in
+  let log = Coordinator.Decision_log.open_file path in
+  let coord = Coordinator.create ~log parts in
+  let remote = Coordinator.Remote.make coord in
+  let env = Txns.default_env ~seed small_params in
+  let part_of w = Partition.id (Coordinator.partition_of coord w) in
+  let run input =
+    let branches =
+      List.map (fun (pid, inst) -> (parts.(pid), inst)) (Dist_txns.branches env ~part_of input)
+    in
+    let home = Partition.engine (fst (List.hd branches)) in
+    let outcome = ref Coordinator.Aborted in
+    Schedule.run home [ (fun () -> outcome := Coordinator.Remote.run_cross remote branches) ];
+    !outcome
+  in
+  (* gid 1 commits and is durable *)
+  Alcotest.(check bool) "gid 1 committed" true
+    (run (Txns.Payment cross_payment) = Coordinator.Committed);
+  (* gid 2: die between the decision and its durability point *)
+  Fault.arm ~point:"dist.decide" ~hit:1;
+  (match run (Txns.Payment { cross_payment with Txns.p_d = 2; p_amount = 11.0 }) with
+  | _ -> Alcotest.fail "expected the coordinator to crash at dist.decide"
+  | exception Fault.Crash { point; _ } ->
+      Alcotest.(check string) "died at the decision point" "dist.decide" point);
+  Fault.disarm ();
+  Alcotest.(check bool) "participants hold gid 2 in doubt" true
+    (Array.exists
+       (fun p -> Participant.in_doubt p = [ 2 ])
+       (Coordinator.Remote.participants remote));
+  let resolved = Coordinator.Remote.recover remote in
+  Alcotest.(check bool) "failover resolved the in-doubt branches" true (resolved >= 1);
+  let core = Coordinator.Remote.core remote in
+  Alcotest.(check bool) "gid 2 presumed aborted (no log entry)" true
+    (Coordinator.decision_of core ~gid:2 = None);
+  Array.iter
+    (fun p ->
+      Alcotest.(check (list int)) "no branch left in doubt" [] (Participant.in_doubt p))
+    (Coordinator.Remote.participants remote);
+  (* the next transaction must not collide with the stale gid 2 *)
+  Alcotest.(check bool) "post-failover txn commits" true
+    (run (Txns.Payment { cross_payment with Txns.p_d = 3; p_amount = 12.0 }) = Coordinator.Committed);
+  let log' = Coordinator.decision_log core in
+  Alcotest.(check int) "new gid issued above the in-doubt watermark" 3
+    (Coordinator.Decision_log.max_gid log');
+  Alcotest.(check bool) "gid 2 still has no decision" true
+    (Coordinator.Decision_log.lookup log' ~gid:2 = None);
+  Alcotest.(check (list string)) "merged state consistent after failover" []
+    (Consistency.check (Dist_driver.merged_db (Array.to_list parts)));
+  Coordinator.Remote.close remote;
+  Coordinator.Decision_log.close log'
+
+(* --- crash-point registry once lib/dist is linked -------------------------- *)
+
+let test_dist_registry () =
+  ignore Dist_harness.default_config;
+  (* link the dist modules *)
+  let names = Fault.registered () in
+  List.iter
+    (fun n -> Alcotest.(check bool) ("registered: " ^ n) true (List.mem n names))
+    [ "dist.prepare"; "dist.decide"; "dist.decision.durable"; "dist.apply" ];
+  Alcotest.(check (list string)) "registry is stable across reads" names (Fault.registered ());
+  ignore (Fault.register "dist.decide");
+  Alcotest.(check (list string)) "re-registering a dist point adds nothing" names
+    (Fault.registered ())
+
+(* --- loopback / pipe parity ------------------------------------------------ *)
+
+(* same seed, one domain: the socketpair transport must commit exactly the
+   same work as loopback — the transport is an implementation detail, not a
+   semantics knob *)
+let test_transport_parity () =
+  let run transport =
+    Dist_driver.run
+      {
+        Dist_driver.default_config with
+        Dist_driver.seed = 17;
+        domains = 1;
+        partitions = 2;
+        txns_per_domain = Some 60;
+        params = small_params;
+        transport;
+      }
+  in
+  let a = run `Loopback and b = run `Pipe in
+  Alcotest.(check (list string)) "loopback consistent" [] a.Dist_driver.violations;
+  Alcotest.(check (list string)) "pipe consistent" [] b.Dist_driver.violations;
+  Alcotest.(check int) "same commits" a.Dist_driver.committed b.Dist_driver.committed;
+  Alcotest.(check int) "same cross commits" a.Dist_driver.cross_committed
+    b.Dist_driver.cross_committed;
+  Alcotest.(check bool) "parity run crossed partitions" true
+    (a.Dist_driver.cross_committed > 0)
+
+(* --- dup/reorder Decide equivalence ---------------------------------------- *)
+
+(* fixed cross-partition workload for the fault-equivalence property; every
+   input commits fault-free *)
+let equiv_inputs =
+  [
+    Txns.Payment cross_payment;
+    Txns.Payment { cross_payment with Txns.p_d = 2; p_c_d = 3; p_amount = 10.5 };
+    Txns.Payment
+      { cross_payment with Txns.p_w = 4; p_d = 1; p_c_w = 1; p_c_d = 4; p_amount = 9.0 };
+    Txns.New_order
+      {
+        Txns.no_w = 1; no_d = 1; no_c = 2;
+        no_items = [ (5, 3, 1); (6, 2, 3); (7, 1, 1) ];
+        no_fail_last = false;
+      };
+    Txns.Payment { cross_payment with Txns.p_d = 4; p_customer = Txns.By_id 5 };
+  ]
+
+let run_equiv ~seed faults =
+  Txns.reset_history_seq ();
+  let parts = mk_parts ~seed ~partitions:2 small_params in
+  let coord = Coordinator.create parts in
+  let remote = Coordinator.Remote.make ~transport:`Loopback ~faults coord in
+  let env = Txns.default_env ~seed small_params in
+  let part_of w = Partition.id (Coordinator.partition_of coord w) in
+  let outcomes =
+    List.map
+      (fun input ->
+        let branches =
+          List.map
+            (fun (pid, inst) -> (parts.(pid), inst))
+            (Dist_txns.branches env ~part_of input)
+        in
+        let home = Partition.engine (fst (List.hd branches)) in
+        let outcome = ref Coordinator.Aborted in
+        Schedule.run home [ (fun () -> outcome := Coordinator.Remote.run_cross remote branches) ];
+        !outcome)
+      equiv_inputs
+  in
+  Coordinator.Remote.close remote;
+  (outcomes, Dist_driver.merged_db (Array.to_list parts))
+
+(* ISSUE-9 satellite: duplicated and reordered Decide messages — any mix the
+   fault layer produces — leave every partition's merged state exactly equal
+   to the fault-free run's.  Retries flush held frames and the handlers are
+   idempotent, so dup/reorder (which never lose a message for good) must be
+   invisible. *)
+let prop_dup_reorder_decide_equiv =
+  QCheck2.Test.make ~name:"dist: dup/reorder'd Decides = fault-free state" ~count:8
+    QCheck2.Gen.(
+      quad (int_range 0 1000) (int_range 0 50) (int_range 0 50) (int_range 0 1000))
+    (fun (seed, dup_pct, reorder_pct, fault_seed) ->
+      let faults =
+        {
+          Fault.Netfault.none with
+          Fault.Netfault.dup = float_of_int dup_pct /. 100.;
+          reorder = float_of_int reorder_pct /. 100.;
+          seed = fault_seed;
+          ops = [ "decide" ];
+        }
+      in
+      let outcomes_ref, db_ref = run_equiv ~seed Fault.Netfault.none in
+      let outcomes, db = run_equiv ~seed faults in
+      if outcomes <> outcomes_ref then
+        QCheck2.Test.fail_report "outcomes diverged under dup/reorder"
+      else if not (Database.equal db db_ref) then
+        QCheck2.Test.fail_report "merged state diverged under dup/reorder"
+      else if Consistency.check db <> [] then
+        QCheck2.Test.fail_report "faulted run inconsistent"
+      else true)
+
+(* --- the chaos matrix (quick slice) ---------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_harness_matrix_quick () =
+  let config = { harness_config with Dist_harness.txns = 16; hits_per_point = 1 } in
+  let results = Dist_harness.sweep_matrix ~config ~quick:true () in
+  check_results results;
+  Alcotest.(check bool) "matrix injected crashes" true
+    (List.exists (fun r -> r.Dist_harness.r_crashes > 0) results);
+  Alcotest.(check bool) "matrix includes coordinator-kill cells" true
+    (List.exists
+       (fun r -> r.Dist_harness.r_crashes > 0 && contains ~sub:"[kill]" r.Dist_harness.r_label)
+       results)
+
 let suites =
   [
     ( "dist.partition",
@@ -279,6 +627,29 @@ let suites =
         Alcotest.test_case "warehouse ranges" `Quick test_ranges;
         Alcotest.test_case "partition loads are exact projections" `Quick
           test_load_projection;
+      ] );
+    ( "dist.transport",
+      [
+        Alcotest.test_case "frame round-trip" `Quick test_framing_roundtrip;
+        Alcotest.test_case "foreign/short/future frames rejected" `Quick test_framing_rejects;
+        Alcotest.test_case "transport kinds" `Quick test_transport_kinds;
+        Alcotest.test_case "participant handlers idempotent" `Quick
+          test_participant_idempotent;
+        Alcotest.test_case "loopback/pipe parity" `Slow test_transport_parity;
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xD15F |])
+          prop_dup_reorder_decide_equiv;
+      ] );
+    ( "dist.decision_log",
+      [
+        Alcotest.test_case "durable, idempotent, heals a torn tail" `Quick
+          test_decision_log_durable;
+        Alcotest.test_case "foreign file rejected" `Quick test_decision_log_foreign_file;
+      ] );
+    ( "dist.failover",
+      [
+        Alcotest.test_case "failover never reissues an in-doubt gid" `Quick
+          test_failover_never_reissues_gid;
+        Alcotest.test_case "dist crash points registered" `Quick test_dist_registry;
       ] );
     ( "dist.payment",
       [
@@ -296,6 +667,8 @@ let suites =
       [
         Alcotest.test_case "sweep survives every dist point" `Slow test_harness_sweep;
         Alcotest.test_case "chaos seed survives" `Slow test_harness_chaos;
+        Alcotest.test_case "chaos matrix quick slice survives" `Slow
+          test_harness_matrix_quick;
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xD157 |])
           prop_no_lost_decision;
       ] );

@@ -155,6 +155,57 @@ let test_configure_from_env () =
           Fault.trip release_pt;
           Alcotest.(check int) "empty vars leave faults disarmed" 0 (Fault.trips release_pt)))
 
+(* --- message-fault specs (the dist transport's arming surface) ------------ *)
+
+let test_netfault_parse () =
+  let s = Fault.Netfault.parse "drop=0.1,dup=0.05,seed=7,ops=decide+prepare" in
+  Alcotest.(check (float 0.)) "drop" 0.1 s.Fault.Netfault.drop;
+  Alcotest.(check (float 0.)) "dup" 0.05 s.Fault.Netfault.dup;
+  Alcotest.(check (float 0.)) "delay defaults to 0" 0. s.Fault.Netfault.delay;
+  Alcotest.(check int) "seed" 7 s.Fault.Netfault.seed;
+  Alcotest.(check (list string)) "ops filter" [ "decide"; "prepare" ]
+    (List.sort compare s.Fault.Netfault.ops);
+  Alcotest.(check bool) "applies to a listed op" true (Fault.Netfault.applies s ~op:"decide");
+  Alcotest.(check bool) "ignores an unlisted op" false (Fault.Netfault.applies s ~op:"ack");
+  let all = Fault.Netfault.parse "all=0.05" in
+  List.iter
+    (fun k ->
+      let v =
+        match k with
+        | "drop" -> all.Fault.Netfault.drop
+        | "dup" -> all.Fault.Netfault.dup
+        | "delay" -> all.Fault.Netfault.delay
+        | "reorder" -> all.Fault.Netfault.reorder
+        | _ -> all.Fault.Netfault.disconnect
+      in
+      Alcotest.(check (float 0.)) ("all sets " ^ k) 0.05 v)
+    Fault.Netfault.kinds;
+  Alcotest.(check bool) "empty ops applies everywhere" true
+    (Fault.Netfault.applies all ~op:"vote");
+  Alcotest.(check bool) "none is none" true (Fault.Netfault.is_none Fault.Netfault.none);
+  Alcotest.(check bool) "a live spec is not none" false (Fault.Netfault.is_none s);
+  (* to_string is parse's inverse *)
+  Alcotest.(check bool) "round-trips through to_string" true
+    (Fault.Netfault.parse (Fault.Netfault.to_string s) = s);
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "unknown key" true
+    (invalid (fun () -> Fault.Netfault.parse "bogus=1"));
+  Alcotest.(check bool) "p > 1" true (invalid (fun () -> Fault.Netfault.parse "drop=1.5"));
+  Alcotest.(check bool) "p < 0" true (invalid (fun () -> Fault.Netfault.parse "dup=-0.1"));
+  Alcotest.(check bool) "bare word" true (invalid (fun () -> Fault.Netfault.parse "drop"))
+
+let test_netfault_of_env () =
+  let clear () = Unix.putenv "ACC_NETFAULT" "" in
+  Fun.protect ~finally:clear (fun () ->
+      clear ();
+      Alcotest.(check bool) "empty var is None" true (Fault.Netfault.of_env () = None);
+      Unix.putenv "ACC_NETFAULT" "drop=0.25,seed=3";
+      match Fault.Netfault.of_env () with
+      | None -> Alcotest.fail "set var ignored"
+      | Some s ->
+          Alcotest.(check (float 0.)) "drop from env" 0.25 s.Fault.Netfault.drop;
+          Alcotest.(check int) "seed from env" 3 s.Fault.Netfault.seed)
+
 (* --- crash-restart harness ------------------------------------------------ *)
 
 let small_config =
@@ -307,6 +358,8 @@ let suites =
         Alcotest.test_case "chaos is seed-deterministic" `Quick test_chaos_deterministic;
         Alcotest.test_case "step faults" `Quick test_step_faults;
         Alcotest.test_case "configure from env" `Quick test_configure_from_env;
+        Alcotest.test_case "netfault spec parse/print" `Quick test_netfault_parse;
+        Alcotest.test_case "netfault from ACC_NETFAULT" `Quick test_netfault_of_env;
       ] );
     ( "fault.harness",
       [

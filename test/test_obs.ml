@@ -53,6 +53,8 @@ let one_of_each =
     Trace.Prepare { txn = 8; gid = 3 };
     Trace.Decide { gid = 3; commit = true; participants = 2 };
     Trace.Resolve { txn = 8; gid = 3; commit = false };
+    Trace.Net_fault { kind = "drop"; msg = "decide" };
+    Trace.Rpc_retry { msg = "decide"; gid = 3; attempt = 2 };
   ]
 
 (* --- ring buffer ------------------------------------------------------- *)

@@ -64,15 +64,33 @@ module Decision_log = struct
     Bytes.set b 8 (match d with Commit -> '\001' | Abort -> '\000');
     b
 
+  (* A record is only as durable as every one of its bytes: loop short
+     writes to completion and fail loudly if the kernel cannot take them
+     — silently dropping a tail here would turn an acked commit into a
+     torn record the next open truncates away. *)
+  let rec write_all ~who fd b off len =
+    if len > 0 then
+      match Unix.write fd b off len with
+      | 0 -> failwith (who ^ ": short write to decision log")
+      | n -> write_all ~who fd b (off + n) (len - n)
+
   let open_file path =
     let module Header = Acc_wal.Log.Header in
     let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
     let size = (Unix.fstat fd).Unix.st_size in
     let tbl = Hashtbl.create 64 in
     let hlen = Header.size ~magic in
-    if size = 0 then begin
+    if size < hlen then begin
+      (* empty, or a crash during the initial header write left a torn
+         header: either way the file provably contains no complete
+         record, so reinitialise rather than failing every open *)
+      if size > 0 then begin
+        Unix.ftruncate fd 0;
+        ignore (Unix.lseek fd 0 Unix.SEEK_SET)
+      end;
       let h = Header.to_string ~magic ~version:format_version in
-      ignore (Unix.write_substring fd h 0 (String.length h));
+      write_all ~who:"Decision_log.open_file" fd
+        (Bytes.unsafe_of_string h) 0 (String.length h);
       Unix.fsync fd
     end
     else begin
@@ -83,8 +101,8 @@ module Decision_log = struct
           | n -> really_read b (off + n) (len - n)
         else off
       in
-      let hb = Bytes.create (min size hlen) in
-      let got = really_read hb 0 (Bytes.length hb) in
+      let hb = Bytes.create hlen in
+      let got = really_read hb 0 hlen in
       Header.check ~magic ~version:format_version ~what:"decision log"
         ~who:"Decision_log.open_file" ~path
         (Bytes.sub_string hb 0 got);
@@ -108,17 +126,19 @@ module Decision_log = struct
 
   let record t ~gid d =
     Mutex.lock t.mu;
-    let fresh = Hashtbl.find_opt t.tbl gid <> Some d in
-    if fresh then begin
-      Hashtbl.replace t.tbl gid d;
-      match t.backend with
-      | Mem -> ()
-      | File { fd; _ } ->
-          let b = encode_record gid d in
-          ignore (Unix.write fd b 0 record_size);
-          Unix.fsync fd
-    end;
-    Mutex.unlock t.mu
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mu)
+      (fun () ->
+        let fresh = Hashtbl.find_opt t.tbl gid <> Some d in
+        if fresh then begin
+          Hashtbl.replace t.tbl gid d;
+          match t.backend with
+          | Mem -> ()
+          | File { fd; _ } ->
+              let b = encode_record gid d in
+              write_all ~who:"Decision_log.record" fd b 0 record_size;
+              Unix.fsync fd
+        end)
 
   let lookup t ~gid =
     Mutex.lock t.mu;

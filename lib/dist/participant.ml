@@ -9,7 +9,11 @@
 
    - a duplicate Prepare returns the cached vote without re-running the
      branch;
-   - a duplicate Decide finds the gid already applied and just re-Acks.
+   - a duplicate Decide finds the gid already applied and just re-Acks;
+   - a Prepare that arrives *after* its Decide (a delay/reorder hold on
+     the last Prepare retry, released by the Decide send) answers from
+     the recorded decision without running the branch — re-running it
+     would pin locks into a prepared state no later Decide releases.
 
    "dist.apply" is this module's crash point: the participant dying after
    the decision reached it but before the branch applied it.  The branch's
@@ -88,11 +92,16 @@ let max_gid t =
    (per-connection call serialization already orders same-gid requests). *)
 let handle_prepare t ~gid =
   Mutex.lock t.mu;
-  let cached = Hashtbl.find_opt t.votes gid in
-  let inst =
-    match cached with
+  let decided = Hashtbl.find_opt t.applied gid in
+  let cached =
+    match decided with
     | Some _ -> None
-    | None -> (
+    | None -> Hashtbl.find_opt t.votes gid
+  in
+  let inst =
+    match (decided, cached) with
+    | Some _, _ | None, Some _ -> None
+    | None, None -> (
         match Hashtbl.find_opt t.staged gid with
         | Some i ->
             Hashtbl.remove t.staged gid;
@@ -104,10 +113,16 @@ let handle_prepare t ~gid =
             None)
   in
   Mutex.unlock t.mu;
-  match (cached, inst) with
-  | Some ok, _ -> Transport.Vote { gid; ok }
-  | None, None -> Transport.Vote { gid; ok = false }
-  | None, Some i -> (
+  match (decided, cached, inst) with
+  | Some commit, _, _ ->
+      (* the decision already landed here: this Prepare lost a race with
+         its own Decide.  Answer consistently with the decision and do
+         NOT run the branch — apply is done with this gid, so a branch
+         prepared now could never be committed or compensated *)
+      Transport.Vote { gid; ok = commit }
+  | None, Some ok, _ -> Transport.Vote { gid; ok }
+  | None, None, None -> Transport.Vote { gid; ok = false }
+  | None, None, Some i -> (
       match
         Runtime.prepare ?options:t.options ?stop:t.stop
           (Partition.engine t.part) i ~gid
@@ -128,23 +143,32 @@ let apply t ~gid ~commit =
   let todo =
     Mutex.lock t.mu;
     let r =
-      if Hashtbl.mem t.applied gid then None
-      else
-        match Hashtbl.find_opt t.prepared gid with
-        | Some p -> Some p
-        | None ->
-            (* decided but never prepared here (the branch failed before
-               voting, or the Prepare never arrived): record so a late
-               duplicate Prepare still answers consistently *)
+      match Hashtbl.find_opt t.prepared gid with
+      | Some p ->
+          (* a prepared branch is always settled, even if [applied]
+             already has the gid (a branch that slipped into prepared
+             after the decision landed still holds its locks); the
+             recorded decision wins over the caller's argument *)
+          let commit =
+            match Hashtbl.find_opt t.applied gid with
+            | Some d -> d
+            | None -> commit
+          in
+          Some (p, commit)
+      | None ->
+          (* decided but never prepared here (the branch failed before
+             voting, or the Prepare never arrived): record so a late
+             duplicate Prepare still answers consistently *)
+          if not (Hashtbl.mem t.applied gid) then
             Hashtbl.replace t.applied gid commit;
-            None
+          None
     in
     Mutex.unlock t.mu;
     r
   in
   match todo with
   | None -> ()
-  | Some p ->
+  | Some (p, commit) ->
       Fault.trip cp_apply;
       if commit then Runtime.commit_prepared p else Runtime.abort_prepared p;
       Mutex.lock t.mu;

@@ -331,6 +331,11 @@ let pipe_call p seq deadline m =
         if remain <= 0. then None
         else begin
           match Unix.select [ p.cfd ] [] [] remain with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              (* a signal interrupted the wait: loop with the remaining
+                 deadline recomputed instead of leaking the exception
+                 through [call] *)
+              wait ()
           | [], _, _ -> None
           | _ -> (
               match Unix.read p.cfd p.rbuf 0 (Bytes.length p.rbuf) with

@@ -376,6 +376,64 @@ let test_participant_idempotent () =
         Alcotest.(check int) "max gid tracks every role" 99 (Participant.max_gid p));
     ]
 
+(* the fault layer can deliver a Prepare *after* its Decide: a delay/reorder
+   hold on the last Prepare retry is released by the Decide send.  The
+   participant must answer the late Prepare from the recorded decision and
+   never run the branch — re-running it would acquire locks into a prepared
+   state no subsequent Decide or settle releases (the applied mark would
+   make apply a no-op forever) *)
+let test_participant_late_prepare_after_decide () =
+  let seed = 3 in
+  let parts = mk_parts ~seed ~partitions:2 small_params in
+  let coord = Coordinator.create parts in
+  let env = Txns.default_env ~seed small_params in
+  let part_of w = Partition.id (Coordinator.partition_of coord w) in
+  let remote_inst gid =
+    match Dist_txns.branches env ~part_of (Txns.Payment cross_payment) with
+    | [ _home; (1, inst) ] -> inst
+    | _ -> Alcotest.fail (Printf.sprintf "gid %d: expected a partition-1 branch" gid)
+  in
+  let p = Participant.make parts.(1) in
+  let history_rows () =
+    Table.scan
+      (Database.table (Executor.db (Partition.engine parts.(1))) "history")
+      ~where:(Acc_relation.Predicate.Eq ("h_w_id", Int 1))
+    |> List.length
+  in
+  Schedule.run (Partition.engine parts.(1))
+    [
+      (fun () ->
+        (* gid 1: the abort decision lands before the (held-back) Prepare *)
+        Participant.stage p ~gid:1 (remote_inst 1);
+        Alcotest.(check bool) "decide-first acks" true
+          (Participant.handle p (Transport.Decide { gid = 1; commit = false })
+          = Transport.Ack { gid = 1 });
+        Alcotest.(check bool) "late prepare echoes the abort decision" true
+          (Participant.handle p (Transport.Prepare { gid = 1; part = 1 })
+          = Transport.Vote { gid = 1; ok = false });
+        Alcotest.(check int) "branch never ran" 0 (history_rows ());
+        Alcotest.(check (list int)) "nothing in doubt" [] (Participant.in_doubt p);
+        Alcotest.(check bool) "retried decide still a duplicate" true
+          (Participant.handle p (Transport.Decide { gid = 1; commit = false })
+          = Transport.Ack { gid = 1 });
+        (* gid 2: same race, commit decision — the late vote is consistent *)
+        Participant.stage p ~gid:2 (remote_inst 2);
+        ignore (Participant.handle p (Transport.Decide { gid = 2; commit = true }));
+        Alcotest.(check bool) "late prepare echoes the commit decision" true
+          (Participant.handle p (Transport.Prepare { gid = 2; part = 1 })
+          = Transport.Vote { gid = 2; ok = true });
+        Alcotest.(check int) "commit race: branch still never ran" 0 (history_rows ());
+        (* gid 3: a fresh fault-free transaction proves no locks were left
+           behind by the raced gids *)
+        Participant.stage p ~gid:3 (remote_inst 3);
+        Alcotest.(check bool) "fresh prepare acquires locks and votes yes" true
+          (Participant.handle p (Transport.Prepare { gid = 3; part = 1 })
+          = Transport.Vote { gid = 3; ok = true });
+        ignore (Participant.handle p (Transport.Decide { gid = 3; commit = true }));
+        Alcotest.(check int) "fresh branch applied" 1 (history_rows ());
+        Alcotest.(check (list int)) "all settled" [] (Participant.in_doubt p));
+    ]
+
 (* --- the durable decision log ---------------------------------------------- *)
 
 let with_temp_log f =
@@ -416,6 +474,21 @@ let test_decision_log_durable () =
   Alcotest.(check int) "append after heal survives" 3 (L.size log);
   Alcotest.(check bool) "healed record readable" true
     (L.lookup log ~gid:12 = Some Coordinator.Commit);
+  L.close log;
+  (* a crash during the very first header write leaves 0 < size < header:
+     the file provably holds no record, so open heals it to an empty log
+     instead of failing every subsequent open *)
+  Sys.remove path;
+  let oc = open_out_bin path in
+  output_string oc "ACC";
+  close_out oc;
+  let log = L.open_file path in
+  Alcotest.(check int) "torn header heals to an empty log" 0 (L.size log);
+  L.record log ~gid:21 Coordinator.Commit;
+  L.close log;
+  let log = L.open_file path in
+  Alcotest.(check bool) "record survives the healed header" true
+    (L.lookup log ~gid:21 = Some Coordinator.Commit);
   L.close log
 
 let test_decision_log_foreign_file () =
@@ -635,6 +708,8 @@ let suites =
         Alcotest.test_case "transport kinds" `Quick test_transport_kinds;
         Alcotest.test_case "participant handlers idempotent" `Quick
           test_participant_idempotent;
+        Alcotest.test_case "late prepare after decide answers from the decision"
+          `Quick test_participant_late_prepare_after_decide;
         Alcotest.test_case "loopback/pipe parity" `Slow test_transport_parity;
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xD15F |])
           prop_dup_reorder_decide_equiv;

@@ -11,7 +11,7 @@ module Histogram = Acc_util.Metrics.Histogram
 module CA = Acc_obs.Conflict_accounting
 module P = Acc_tpcc.Parallel_driver
 
-let schema_version = 2
+let schema_version = 3
 
 (* Build identity for trend tooling: without it, two BENCH files from
    different checkouts are indistinguishable.  Never fails the bench run —
@@ -98,6 +98,9 @@ let figure_json (f : Figures.figure) =
              f.Figures.series) );
     ]
 
+(* Every parallel cell self-describes: which workload produced it and which
+   cell schema it speaks (v3 added the workload stamp and report-carried step
+   labels, so a consumer must not decode step ids with the TPC-C table). *)
 let parallel_report_json ?cfg (r : P.report) =
   let meta =
     match cfg with
@@ -105,7 +108,9 @@ let parallel_report_json ?cfg (r : P.report) =
     | None -> []
   in
   Json.Obj
-    (meta
+    (("schema_version", Json.Int schema_version)
+    :: ("workload", Json.Str r.P.workload_name)
+    :: meta
     @ [
       ("committed", Json.Int r.P.committed);
       ("throughput", Json.Float r.P.throughput);
@@ -143,12 +148,12 @@ let parallel_report_json ?cfg (r : P.report) =
                | Json.Obj fields ->
                    Json.Obj
                      (("step_type", Json.Int st)
-                     :: ("label", Json.Str (P.step_label st))
+                     :: ("label", Json.Str (r.P.step_label st))
                      :: fields)
                | j -> j)
              r.P.step_hist) );
       ( "conflicts",
-        Json.List (List.map (CA.row_to_json ~label:P.step_label) r.P.conflicts) );
+        Json.List (List.map (CA.row_to_json ~label:r.P.step_label) r.P.conflicts) );
       ( "conflicts_by_txn_type",
         Json.List
           (List.map
@@ -159,7 +164,8 @@ let parallel_report_json ?cfg (r : P.report) =
                      (("txn_type", Json.Str name)
                      :: List.filter (fun (k, _) -> k <> "label" && k <> "step_type") fields)
                | j -> j)
-             (P.conflicts_by_txn_type r.P.conflicts)) );
+             (P.conflicts_by_txn_type_with ~step_txn_type:r.P.step_txn_type
+                r.P.conflicts)) );
       ])
 
 (* Run one bench cell under a private trace sink and return its result with

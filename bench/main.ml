@@ -151,6 +151,97 @@ let run_parallel ~quick =
         ] );
   ]
 
+(* ---------- workload plugin sweep -------------------------------------- *)
+
+(* Every registered workload plugin through the multicore engine: ACC with
+   conflict accounting on against the strict-2PL baseline, fixed transaction
+   count, same seed.  The headline per workload is the false-conflict column
+   — lock decisions the ACC granted where strict 2PL would have blocked
+   (the shadow-2PL classifier, DESIGN.md §11) — next to the throughput
+   ratio; each cell also re-checks the workload's own invariants.  Exits
+   non-zero on violations or leaks anywhere in the sweep. *)
+let run_workloads ~quick =
+  let module P = Acc_tpcc.Parallel_driver in
+  let module CA = Acc_obs.Conflict_accounting in
+  Acc_harness.Cli.ensure_registered ();
+  let domains = 4 in
+  let per_domain = if quick then 150 else 500 in
+  let names = List.map fst (Acc_workload.Registry.names ()) in
+  Format.fprintf ppf
+    "@.=== workloads: every registered plugin, ACC vs strict 2PL (%d domains x %d txns) ===@."
+    domains per_domain;
+  Format.fprintf ppf "%18s %10s %10s %7s %12s %12s %12s@." "workload" "acc tx/s"
+    "2pl tx/s" "ratio" "granted" "false-confl" "true-confl";
+  let failures = ref 0 in
+  let cells =
+    List.map
+      (fun name ->
+        let wl =
+          match Acc_workload.Registry.find name with
+          | Some make ->
+              make { Acc_workload.scale = 1; skew = 0.; mix = None; abort_rate = None }
+          | None -> assert false
+        in
+        let cfg system =
+          {
+            P.default_config with
+            P.system;
+            domains;
+            duration = 0.;
+            txns_per_domain = Some per_domain;
+            (* the contended regime (client compute at each pace point while
+               locks are held) — same as the parallel sweep, and the regime
+               where step-boundary release is supposed to pay *)
+            compute_between = 0.001;
+            accounting = true;
+            workload = Some wl;
+          }
+        in
+        let acc = P.run (cfg P.Acc) in
+        let bl = P.run (cfg P.Baseline) in
+        let bad r = r.P.violations <> [] || r.P.leaked_locks > 0 || r.P.leaked_waiters > 0 in
+        if bad acc || bad bl then begin
+          incr failures;
+          List.iter
+            (fun v -> Format.fprintf ppf "  violation (%s): %s@." name v)
+            (acc.P.violations @ bl.P.violations)
+        end;
+        (* the accounting totals come from the ACC run: every grant is also
+           checked against a shadow strict-2PL lock table, so r_passed_2pl
+           counts exactly the false conflicts the assertional modes dissolve *)
+        let tot f = List.fold_left (fun a row -> a + f row) 0 acc.P.conflicts in
+        let granted = tot (fun r -> r.CA.r_granted_clean) in
+        let false_conflicts = tot (fun r -> r.CA.r_passed_2pl) in
+        let true_conflicts = tot (fun r -> r.CA.r_blocked_conv + r.CA.r_blocked_assert) in
+        Format.fprintf ppf "%18s %10.1f %10.1f %7.2f %12d %12d %12d@." name
+          acc.P.throughput bl.P.throughput
+          (if bl.P.throughput > 0. then acc.P.throughput /. bl.P.throughput else nan)
+          granted false_conflicts true_conflicts;
+        Json.Obj
+          [
+            ("workload", Json.Str name);
+            ("domains", Json.Int domains);
+            ("txns_per_domain", Json.Int per_domain);
+            ("granted_clean", Json.Int granted);
+            ("false_conflicts", Json.Int false_conflicts);
+            ("true_conflicts", Json.Int true_conflicts);
+            ( "throughput_ratio",
+              Json.Float
+                (if bl.P.throughput > 0. then acc.P.throughput /. bl.P.throughput
+                 else nan) );
+            ("acc", Bench_json.parallel_report_json ~cfg:(cfg P.Acc) acc);
+            ("twopl", Bench_json.parallel_report_json ~cfg:(cfg P.Baseline) bl);
+          ])
+      names
+  in
+  let json = [ ("cells", Json.List cells) ] in
+  if !failures > 0 then begin
+    Bench_json.write ~mode:"workloads" json;
+    Format.fprintf ppf "!! workload sweep left violations or leaks@.";
+    exit 1
+  end;
+  json
+
 (* ---------- overload bench --------------------------------------------- *)
 
 (* The engine past saturation: 4× more worker domains than the admission cap,
@@ -798,6 +889,8 @@ let () =
   | "micro" -> Bench_json.write ~mode [ ("micro", micro_json (run_micro ())) ]
   | "parallel" -> Bench_json.write ~mode (run_parallel ~quick:false)
   | "parallel-quick" -> Bench_json.write ~mode (run_parallel ~quick:true)
+  | "workloads" -> Bench_json.write ~mode (run_workloads ~quick:false)
+  | "workloads-quick" -> Bench_json.write ~mode:"workloads" (run_workloads ~quick:true)
   | "overload" -> Bench_json.write ~mode (run_overload ~quick:false)
   | "overload-quick" -> Bench_json.write ~mode:"overload" (run_overload ~quick:true)
   | "batch" -> Bench_json.write ~mode (run_batch ~quick:false)
@@ -812,6 +905,6 @@ let () =
   | other ->
       Format.eprintf
         "unknown mode %s \
-         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|overload|batch|scale|obs-gate|recovery|dist)@."
+         (use all|quick|fig2|fig3|fig4|servers|ablation|items|micro|parallel|workloads|overload|batch|scale|obs-gate|recovery|dist)@."
         other;
       exit 2

@@ -11,6 +11,7 @@ open Cmdliner
 module Harness = Acc_tpcc.Crash_harness
 module Dist = Acc_dist.Dist_harness
 module Fault = Acc_fault.Fault
+module Cli = Acc_harness.Cli
 
 (* Partitioned mode (--dist): same sweep/chaos surface, but the system under
    test is N partitions behind the 2PC coordinator and the oracle is
@@ -32,24 +33,26 @@ let report results =
   if failures <> [] then exit 1
 
 let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_every hits seed
-    verbose dist partitions netfault coordinator_kill matrix quick metrics_dump =
+    verbose dist partitions netfault coordinator_kill matrix quick metrics_dump workload
+    list_workloads scale theta mix abort_rate =
+  if list_workloads then begin
+    Cli.print_workloads ();
+    exit 0
+  end;
   (* registration happens at module-init of the code under test; touching the
      harness module links everything *)
   ignore Harness.default_config;
   ignore Dist.default_config;
+  let wl = Cli.resolve ~scale ~theta ?mix ?abort_rate workload in
+  let wl_name = Option.value workload ~default:"tpcc" in
   (* the sweeps below exit directly on failure, so the exposition must be
      written as soon as the runs finish, not on the way out of main *)
-  let dump_metrics () =
-    match metrics_dump with
-    | None -> ()
-    | Some path ->
-        Acc_obs.Prom.dump_file path;
-        Format.printf "wrote %s@." path
-  in
+  let dump_metrics () = Cli.metrics_final metrics_dump in
   if list_points then
     List.iter print_endline (Fault.registered ())
   else if dist then begin
     if point <> None then failwith "--point is not supported with --dist (sweep covers every point)";
+    if wl <> None then failwith "--workload is not supported with --dist (partitioned TPC-C only)";
     (* --netfault beats ACC_NETFAULT beats none *)
     let netfault =
       match netfault with
@@ -96,17 +99,18 @@ let main list_points point hit chaos seeds txns chaos_p step_fault_p checkpoint_
         hits_per_point = hits;
         seed;
         verbose;
+        workload = wl;
       }
     in
     let results =
       match (point, chaos) with
       | Some p, _ ->
           (* single-point mode: one deterministic crash site, chosen hit *)
-          [ Harness.run_one_crash config ~inputs:(Harness.gen_inputs config) ~point:p ~hit ]
+          [ Harness.run_one_crash_jobs config ~jobs:(Harness.jobs_of config) ~point:p ~hit ]
       | None, true -> List.map (fun seed -> Harness.chaos ~config ~seed ()) seeds
       | None, false -> Harness.sweep ~config ()
     in
-    Trace_setup.finish ts;
+    Trace_setup.finish ~workload:wl_name ts;
     dump_metrics ();
     report results
   end
@@ -178,21 +182,17 @@ let quick =
     & info [ "quick" ]
         ~doc:"With --matrix: one fault kind per point (the per-push smoke slice).")
 
-let metrics_dump =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-dump" ] ~docv:"FILE"
-        ~doc:"Write the metric registry as Prometheus text format to FILE after the runs \
-              (before the pass/fail verdict), covering the last run's engines.")
+let metrics_dump = Cli.metrics_dump_arg
 
 let cmd =
-  let doc = "crash TPC-C at registered fault points, recover, check invariants" in
+  let doc = "crash a workload at registered fault points, recover, check invariants" in
   Cmd.v
     (Cmd.info "acc-crash-restart" ~doc)
     Term.(
       const main $ list_points $ point $ hit $ chaos $ seeds $ txns $ chaos_p $ step_fault_p
       $ checkpoint_every $ hits $ seed $ verbose $ dist $ partitions $ netfault
-      $ coordinator_kill $ matrix $ quick $ metrics_dump)
+      $ coordinator_kill $ matrix $ quick $ metrics_dump $ Cli.workload_arg
+      $ Cli.list_workloads_arg $ Cli.scale_arg $ Cli.theta_arg $ Cli.wl_mix_arg
+      $ Cli.wl_abort_rate_arg)
 
 let () = exit (Cmd.eval cmd)

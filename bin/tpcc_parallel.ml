@@ -9,9 +9,10 @@
 open Cmdliner
 module P = Acc_tpcc.Parallel_driver
 module CA = Acc_obs.Conflict_accounting
+module Cli = Acc_harness.Cli
 
 let pp_conflicts_by_type r =
-  match P.conflicts_by_txn_type r.P.conflicts with
+  match P.conflicts_by_txn_type_with ~step_txn_type:r.P.step_txn_type r.P.conflicts with
   | [] -> ()
   | by_type ->
       Format.printf "lock decisions by transaction type:@.";
@@ -25,7 +26,8 @@ let pp_conflicts_by_type r =
 
 let run_one cfg =
   let r = P.run cfg in
-  Format.printf "== system=%s domains=%d shards=%d warehouses=%d seed=%d ==@."
+  Format.printf "== workload=%s system=%s domains=%d shards=%d warehouses=%d seed=%d ==@."
+    r.P.workload_name
     (match cfg.P.system with P.Acc -> "acc" | P.Baseline -> "2pl")
     cfg.P.domains cfg.P.shards cfg.P.params.Acc_tpcc.Params.warehouses cfg.P.seed;
   Format.printf "%a@." P.pp_report r;
@@ -74,26 +76,24 @@ let run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compu
   List.iter (fun v -> Format.printf "  violation: %s@." v) r.D.violations;
   if r.D.violations <> [] then exit 1
 
-(* --metrics-dump: refresh the Prometheus exposition FILE on the watchdog's
-   snapshot cadence while the run is live, and once more (final values)
-   after the drivers return. *)
-let metrics_setup = function
-  | None -> fun () -> ()
-  | Some path ->
-      Acc_parallel.Watchdog.set_snapshot_hook
-        (Some (0.25, fun () -> Acc_obs.Prom.dump_file path));
-      fun () ->
-        Acc_parallel.Watchdog.set_snapshot_hook None;
-        Acc_obs.Prom.dump_file path;
-        Format.printf "wrote %s@." path
-
-let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints no_fast_path group_commit wal_buffer partitions transport trace trace_chrome metrics_dump =
+let main system domains shards warehouses seconds txns think_ms compute_ms skew mix detector_ms seed warmup conflicts deadline_ms max_inflight shed_watermark batch_footprints no_fast_path group_commit wal_buffer partitions transport trace trace_chrome metrics_dump workload list_workloads scale theta abort_rate =
+  if list_workloads then begin
+    Cli.print_workloads ();
+    exit 0
+  end;
   let params = { Acc_tpcc.Params.default with Acc_tpcc.Params.warehouses } in
-  let mix =
-    match mix with
-    | "standard" -> P.Standard
-    | "nop" | "new-order-payment" -> P.New_order_payment
-    | other -> failwith ("unknown mix: " ^ other)
+  (* --workload routes everything through the plugin registry; the classic
+     TPC-C path (workload = None) parses --mix itself *)
+  let wl =
+    Cli.resolve ~scale
+      ~theta:(if skew then Float.max theta 0.5 else theta)
+      ?mix ?abort_rate workload
+  in
+  let tpcc_mix =
+    match (wl, Option.value mix ~default:"standard") with
+    | Some _, _ | None, "standard" -> P.Standard
+    | None, ("nop" | "new-order-payment") -> P.New_order_payment
+    | None, other -> failwith ("unknown mix: " ^ other)
   in
   (* --deadline-ms beats ACC_LOCK_DEADLINE_MS beats off *)
   let deadline_ms =
@@ -105,13 +105,14 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
   (* ACC_CRASHPOINT / ACC_STEP_FAULTS arm fault injection (see RECOVERY.md) *)
   Acc_fault.Fault.configure_from_env ();
   let ts = Trace_setup.configure ~jsonl:trace ~chrome:trace_chrome () in
-  let finish_metrics = metrics_setup metrics_dump in
+  let wl_name = Option.value workload ~default:"tpcc" in
+  let finish_metrics = Cli.metrics_live metrics_dump in
   (match partitions with
   | Some partitions ->
       run_partitioned ~partitions ~domains ~params ~seconds ~txns ~think_ms ~compute_ms
         ~seed ~deadline_ms ~batch_footprints ~transport;
       finish_metrics ();
-      Trace_setup.finish ts;
+      Trace_setup.finish ~workload:wl_name ts;
       exit 0
   | None -> ());
   let cfg =
@@ -126,7 +127,8 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
       skewed_district = skew;
       detector_cadence = detector_ms /. 1000.;
       params;
-      mix;
+      mix = tpcc_mix;
+      workload = wl;
       seed;
       warmup;
       accounting = conflicts;
@@ -154,7 +156,7 @@ let main system domains shards warehouses seconds txns think_ms compute_ms skew 
         (if bl.P.throughput > 0.0 then acc.P.throughput /. bl.P.throughput else nan)
   | _ -> ());
   finish_metrics ();
-  Trace_setup.finish ts;
+  Trace_setup.finish ~workload:wl_name ts;
   let bad r =
     r.P.violations <> [] || r.P.leaked_locks > 0 || r.P.leaked_waiters > 0
   in
@@ -202,11 +204,7 @@ let compute_ms =
               (the paper's regime; 0 for raw engine speed).")
 
 let skew = Arg.(value & flag & info [ "skew" ] ~doc:"Skew district selection (hotspot).")
-
-let mix =
-  Arg.(
-    value & opt string "standard"
-    & info [ "mix" ] ~docv:"MIX" ~doc:"standard or new-order-payment.")
+let mix = Cli.wl_mix_arg
 
 let detector_ms =
   Arg.(
@@ -305,38 +303,20 @@ let transport =
               each partition's request loop on a dedicated domain).  \
               ACC_NETFAULT=spec injects message faults on either.")
 
-let trace =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Write a JSONL event trace to FILE (also: ACC_TRACE env var).")
-
-let trace_chrome =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace-chrome" ] ~docv:"FILE"
-        ~doc:"Write a chrome://tracing JSON trace to FILE (also: \
-              ACC_TRACE_CHROME env var).")
-
-let metrics_dump =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-dump" ] ~docv:"FILE"
-        ~doc:"Write the metric registry as Prometheus text format to FILE: \
-              refreshed every 250ms from the watchdog domain while the run \
-              is live, final values after it ends.")
+let trace = Cli.Trace.jsonl_arg
+let trace_chrome = Cli.Trace.chrome_arg
+let metrics_dump = Cli.metrics_dump_arg
 
 let cmd =
-  let doc = "run TPC-C on real domains against the sharded lock manager" in
+  let doc = "run a workload on real domains against the sharded lock manager" in
   Cmd.v
     (Cmd.info "acc-tpcc-parallel" ~doc)
     Term.(
       const main $ system $ domains $ shards $ warehouses $ seconds $ txns $ think_ms
       $ compute_ms $ skew $ mix $ detector_ms $ seed $ warmup $ conflicts $ deadline_ms
       $ max_inflight $ shed_watermark $ batch_footprints $ no_fast_path $ group_commit
-      $ wal_buffer $ partitions $ transport $ trace $ trace_chrome $ metrics_dump)
+      $ wal_buffer $ partitions $ transport $ trace $ trace_chrome $ metrics_dump
+      $ Cli.workload_arg $ Cli.list_workloads_arg $ Cli.scale_arg $ Cli.theta_arg
+      $ Cli.wl_abort_rate_arg)
 
 let () = exit (Cmd.eval cmd)

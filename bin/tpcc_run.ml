@@ -7,14 +7,26 @@
 open Cmdliner
 module Driver = Acc_tpcc.Driver
 module Tally = Acc_util.Stats.Tally
+module Cli = Acc_harness.Cli
 
-let main system terminals servers horizon think compute_ms skew min_items max_items seed verbose =
+let main system terminals servers horizon think compute_ms skew min_items max_items seed verbose
+    workload list_workloads scale theta mix abort_rate =
+  if list_workloads then begin
+    Cli.print_workloads ();
+    exit 0
+  end;
   let system =
     match system with
     | "acc" -> Driver.Acc
     | "baseline" | "2pl" -> Driver.Baseline
     | other -> failwith ("unknown system: " ^ other)
   in
+  let wl =
+    Cli.resolve ~scale
+      ~theta:(if skew then Float.max theta 0.5 else theta)
+      ?mix ?abort_rate workload
+  in
+  let wl_name = Option.value workload ~default:"tpcc" in
   let cfg =
     {
       Driver.default_config with
@@ -30,6 +42,7 @@ let main system terminals servers horizon think compute_ms skew min_items max_it
       max_items;
       seed;
       cpu_per_unit = 0.005;
+      workload = wl;
     }
   in
   (* ACC_TRACE / ACC_TRACE_CHROME collect a lock-decision trace of the run
@@ -38,8 +51,9 @@ let main system terminals servers horizon think compute_ms skew min_items max_it
   Acc_fault.Fault.configure_from_env ();
   let ts = Trace_setup.configure () in
   let r = Driver.run cfg in
-  Trace_setup.finish ts;
-  Format.printf "system=%s terminals=%d servers=%d skew=%b compute=%.0fms seed=%d@."
+  Trace_setup.finish ~workload:wl_name ts;
+  Format.printf "workload=%s system=%s terminals=%d servers=%d skew=%b compute=%.0fms seed=%d@."
+    wl_name
     (match system with Driver.Acc -> "acc" | Driver.Baseline -> "baseline")
     terminals servers skew compute_ms seed;
   Format.printf "completed          %d (%.2f txn/s)@." r.Driver.completed r.Driver.throughput;
@@ -56,7 +70,9 @@ let main system terminals servers horizon think compute_ms skew min_items max_it
           (Tally.mean tally) (Tally.percentile tally 0.9))
       r.Driver.per_type;
   match r.Driver.violations with
-  | [] -> Format.printf "consistency        OK (12 conditions)@."
+  | [] ->
+      Format.printf "consistency        OK%s@."
+        (if wl = None then " (12 conditions)" else "")
   | problems ->
       Format.printf "consistency        %d VIOLATIONS@." (List.length problems);
       List.iter (fun p -> Format.printf "  %s@." p) problems;
@@ -88,6 +104,7 @@ let cmd =
   Cmd.v (Cmd.info "acc-tpcc-run" ~doc)
     Term.(
       const main $ system $ terminals $ servers $ horizon $ think $ compute_ms $ skew
-      $ min_items $ max_items $ seed $ verbose)
+      $ min_items $ max_items $ seed $ verbose $ Cli.workload_arg $ Cli.list_workloads_arg
+      $ Cli.scale_arg $ Cli.theta_arg $ Cli.wl_mix_arg $ Cli.wl_abort_rate_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -17,7 +17,10 @@ module Span = Acc_obs.Span
 
 let fail fmt = Format.kasprintf (fun s -> prerr_endline ("trace-check: " ^ s); exit 1) fmt
 
-let known = "trace_summary" :: Trace.all_event_names
+(* trace_meta is the optional leading stamp the CLI writes (schema version +
+   workload name); it describes the file rather than the run, so it joins the
+   census but never the event count the trace_summary is checked against *)
+let known = "trace_summary" :: "trace_meta" :: Trace.all_event_names
 
 (* Per-gid 2PC protocol-order state for --check-2pc.  The file is
    timestamp-ordered, so "before" is line order. *)
@@ -109,6 +112,7 @@ let main file requires forbids require_past allow_drops check_2pc check_spans =
                    fail "line %d: unknown event %S" !lineno ev;
                  bump ev;
                  if ev = "trace_summary" then summary := Some (j, !lineno)
+                 else if ev = "trace_meta" then ()
                  else begin
                    incr events;
                    if check_2pc then check_2pc_line j ev;

@@ -38,6 +38,7 @@ let main file json_out require_complete =
                  dropped :=
                    Option.value ~default:0
                      (Option.bind (Json.member "dropped" j) Json.to_int)
+             | Some "trace_meta" -> () (* leading workload/schema stamp *)
              | _ -> Span.Builder.feed_json b j)
      done
    with End_of_file -> close_in ic);

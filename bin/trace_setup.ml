@@ -1,43 +1,4 @@
-(* Shared trace-collection plumbing for the CLI binaries.
+(* Thin shim: the shared implementation lives in {!Acc_harness.Cli.Trace}
+   now that trace collection is part of the common CLI plumbing. *)
 
-   A trace is requested either with the --trace/--trace-chrome flags (where a
-   binary exposes them) or the ACC_TRACE / ACC_TRACE_CHROME environment
-   variables:
-
-     ACC_TRACE=out.jsonl dune exec bin/tpcc_parallel.exe -- --domains 4
-
-   Flags win over the environment.  With neither set, no sink is installed
-   and every emission site in the engine stays on its no-op path. *)
-
-module Trace = Acc_obs.Trace
-
-type t = { jsonl : string option; chrome : string option }
-
-let configure ?(jsonl = None) ?(chrome = None) () =
-  let pick flag env = match flag with Some _ -> flag | None -> Sys.getenv_opt env in
-  let t = { jsonl = pick jsonl "ACC_TRACE"; chrome = pick chrome "ACC_TRACE_CHROME" } in
-  if t.jsonl <> None || t.chrome <> None then begin
-    (* ACC_TRACE_CAP sizes the per-domain ring; raise it when a long run must
-       complete with dropped = 0 (the CI smoke test does) *)
-    let capacity = Option.bind (Sys.getenv_opt "ACC_TRACE_CAP") int_of_string_opt in
-    Trace.start ?capacity ()
-  end;
-  t
-
-let active t = t.jsonl <> None || t.chrome <> None
-
-let finish t =
-  if active t then begin
-    let dump = Trace.stop () in
-    let write path f =
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc dump)
-    in
-    Option.iter (fun p -> write p Trace.write_jsonl) t.jsonl;
-    Option.iter (fun p -> write p Trace.write_chrome) t.chrome;
-    Format.printf "trace: %d events captured, %d dropped%s%s@."
-      (List.length dump.Trace.events)
-      dump.Trace.dropped
-      (match t.jsonl with Some p -> ", jsonl -> " ^ p | None -> "")
-      (match t.chrome with Some p -> ", chrome -> " ^ p | None -> "")
-  end
+include Acc_harness.Cli.Trace

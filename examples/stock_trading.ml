@@ -1,4 +1,5 @@
-(* The stock-trading example of Sec 3.1 of the paper.
+(* The stock-trading example of Sec 3.1 of the paper, driven from the
+   promoted workload plugin ({!Acc_workload.Stock_trading}).
 
    Two concurrent [buy] transactions each want n shares.  There are exactly
    n shares at $30 and more at $31.  Under serializability one buyer would
@@ -14,145 +15,25 @@
 
    Run with:  dune exec examples/stock_trading.exe *)
 
-module Value = Acc_relation.Value
-module Schema = Acc_relation.Schema
-module Table = Acc_relation.Table
-module Database = Acc_relation.Database
-module Predicate = Acc_relation.Predicate
 module Executor = Acc_txn.Executor
 module Schedule = Acc_txn.Schedule
 module Serializability = Acc_txn.Serializability
-module Txn_effect = Acc_txn.Txn_effect
-module Program = Acc_core.Program
-module Footprint = Acc_core.Footprint
 module Interference = Acc_core.Interference
 module Runtime = Acc_core.Runtime
-
-let v_int n = Value.Int n
-
-(* sell orders: lots of shares offered at a price *)
-let sell_orders =
-  Schema.make ~name:"sell_orders" ~key:[ "lot_id" ]
-    [
-      Schema.col "lot_id" Value.Tint;
-      Schema.col "price" Value.Tint;
-      Schema.col "shares" Value.Tint;
-    ]
-
-(* the buyers' ledger: one row per purchase *)
-let ledger =
-  Schema.make ~name:"ledger" ~key:[ "buyer"; "entry" ]
-    [
-      Schema.col "buyer" Value.Tint;
-      Schema.col "entry" Value.Tint;
-      Schema.col "price" Value.Tint;
-      Schema.col "shares" Value.Tint;
-    ]
+module ST = Acc_workload.Stock_trading
 
 let n_shares = 10
 
-let make_db () =
-  let db = Database.create () in
-  let sells = Database.create_table db sell_orders in
-  (* n shares at $30 (two lots), plenty at $31 *)
-  Table.insert sells [| v_int 1; v_int 30; v_int (n_shares / 2) |];
-  Table.insert sells [| v_int 2; v_int 30; v_int (n_shares / 2) |];
-  Table.insert sells [| v_int 3; v_int 31; v_int 100 |];
-  let _ = Database.create_table db ledger in
-  db
-
-(* --- design-time description: buy is one repeating per-lot step ---------- *)
-
-let step_buy_lot =
-  Program.step ~id:1 ~name:"buy-lot" ~txn_type:"buy" ~index:1 ~repeats:true
-    ~reads:[ Footprint.make "sell_orders" (Footprint.Columns [ "price"; "shares" ]) ]
-    ~writes:
-      [
-        Footprint.make "sell_orders" (Footprint.Columns [ "shares" ]);
-        Footprint.make ~fresh:Footprint.Fresh "ledger" Footprint.All_columns;
-      ]
-    ()
-
-let step_buy_comp =
-  Program.step ~id:2 ~name:"return-shares" ~txn_type:"buy" ~index:0 ~reads:[]
-    ~writes:
-      [
-        Footprint.make "sell_orders" (Footprint.Columns [ "shares" ]);
-        Footprint.make ~fresh:Footprint.Fresh "ledger" Footprint.All_columns;
-      ]
-    ()
-
-(* The key of the analysis: one buyer's per-lot step does NOT interfere with
-   another buyer's postcondition-in-progress, because "no cheaper unbought
-   shares existed when I bought" is evaluated at each purchase instant — the
-   proof needs no interstep assertion over the shared lots at all.  Hence no
-   declared assertions, and arbitrary interleaving of buy steps. *)
-let buy_type =
-  Program.txn_type ~name:"buy" ~steps:[ step_buy_lot ] ~comp:step_buy_comp ~assertions:[] ()
-
-let workload = Program.workload [ buy_type ]
-let interference = Interference.build workload
-
-(* --- run-time: buy [want] shares, one lot per step ------------------------ *)
-
-type buy_log = { mutable bought : (int * int) list (* price, shares *) }
-
-let cheapest_lot ctx =
-  let lots = Executor.scan ctx "sell_orders" ~where:(Predicate.Cmp (Predicate.Gt, "shares", v_int 0)) () in
-  match
-    List.sort
-      (fun a b -> compare (Value.as_int a.(1)) (Value.as_int b.(1)))
-      lots
-  with
-  | [] -> None
-  | best :: _ -> Some (Value.as_int best.(0), Value.as_int best.(1), Value.as_int best.(2))
-
-let buy ~buyer ~want =
-  let log = { bought = [] } in
-  let remaining = ref want in
-  let entry = ref 0 in
-  let buy_step ctx =
-    (* purchase from the cheapest available lot; each step is one lot *)
-    Txn_effect.yield ();
-    match cheapest_lot ctx with
-    | None -> failwith "market ran dry"
-    | Some (lot, price, avail) ->
-        let take = min !remaining avail in
-        ignore
-          (Executor.update ctx "sell_orders" [ v_int lot ] (fun row ->
-               row.(2) <- v_int (avail - take);
-               row));
-        incr entry;
-        Executor.insert ctx "ledger" [| v_int buyer; v_int !entry; v_int price; v_int take |];
-        remaining := !remaining - take;
-        log.bought <- (price, take) :: log.bought
-  in
-  (* two lots always suffice for [want = n/2 + n/2] in this scenario *)
-  let inst =
-    Program.instance ~def:buy_type
-      ~steps:[ (step_buy_lot, buy_step); (step_buy_lot, buy_step) ]
-      ~compensate:(fun ctx ~completed:_ ->
-        List.iter
-          (fun key ->
-            let row = Executor.read_exn ctx "ledger" key in
-            let price = Value.as_int row.(2) and shares = Value.as_int row.(3) in
-            let lot = if price = 30 then 1 else 3 in
-            ignore
-              (Executor.update ctx "sell_orders" [ v_int lot ] (fun r ->
-                   r.(2) <- v_int (Value.as_int r.(2) + shares);
-                   r));
-            Executor.delete ctx "ledger" key)
-          (List.init !entry (fun i -> [ v_int buyer; v_int (i + 1) ])))
-      ()
-  in
-  (inst, log)
-
 let () =
-  let eng = Executor.create ~sem:(Interference.semantics interference) (make_db ()) in
+  (* n shares at $30 (two lots), plenty at $31 *)
+  let db =
+    ST.make_db [ (1, 30, n_shares / 2); (2, 30, n_shares / 2); (3, 31, 100) ]
+  in
+  let eng = Executor.create ~sem:(Interference.semantics ST.interference) db in
   let checker = Serializability.create () in
   Executor.set_trace eng (Some (Serializability.hook checker));
-  let i1, log1 = buy ~buyer:1 ~want:n_shares in
-  let i2, log2 = buy ~buyer:2 ~want:n_shares in
+  let i1, log1 = ST.buy ~buyer:1 ~want:n_shares ~steps:2 () in
+  let i2, log2 = ST.buy ~buyer:2 ~want:n_shares ~steps:2 () in
   Schedule.run ~policy:Runtime.victim_policy eng
     [
       (fun () ->
@@ -165,13 +46,13 @@ let () =
   let pp_log name log =
     Format.printf "%s bought: %s@." name
       (String.concat ", "
-         (List.rev_map (fun (price, shares) -> Printf.sprintf "%d @ $%d" shares price) log.bought))
+         (List.rev_map (fun (price, shares) -> Printf.sprintf "%d @ $%d" shares price) !log))
   in
   pp_log "buyer 1" log1;
   pp_log "buyer 2" log2;
   (* both postconditions hold: every purchase took the cheapest lot available
      at its instant, and each buyer has all its shares *)
-  let total log = List.fold_left (fun acc (_, s) -> acc + s) 0 log.bought in
+  let total log = List.fold_left (fun acc (_, s) -> acc + s) 0 !log in
   assert (total log1 = n_shares && total log2 = n_shares);
   Format.printf "@.each buyer paid two prices - impossible in any serial execution:@.";
   Format.printf "conflict-serializable? %b@." (Serializability.conflict_serializable checker);

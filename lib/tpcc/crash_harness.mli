@@ -29,9 +29,22 @@ type config = {
           counts per point (always including the first and the last) *)
   chaos_p : float;  (** chaos mode: per-passage crash probability *)
   verbose : bool;  (** narrate each crash/recovery on stdout *)
+  workload : Acc_workload.t option;
+      (** [None] crashes TPC-C (the historical behavior, including the
+          crash-point coverage check); [Some w] crashes any workload plugin
+          — every recovery invariant still applies, but dead crash points
+          are not reported (a workload without compensations legitimately
+          never reaches the comp.* points) *)
 }
 
 val default_config : config
+
+type jobs
+(** A workload lowered to the harness's terms: a fixed, seed-deterministic
+    array of transaction closures plus the per-incarnation reset hooks. *)
+
+val jobs_of : config -> jobs
+(** Respects [config.workload]. *)
 
 type result = {
   r_label : string;  (** ["point:hit"], ["chaos(seed=…)"], or the baseline *)
@@ -47,7 +60,11 @@ val gen_inputs : config -> Txns.input array
 val run_one_crash : config -> inputs:Txns.input array -> point:string -> hit:int -> result
 (** One deterministic crash: arm [point] at its [hit]-th passage, run,
     recover, resume, check.  [r_errors] includes ["armed crash never
-    fired"] when the workload never reaches that passage. *)
+    fired"] when the workload never reaches that passage.  TPC-C only
+    (explicit inputs); any-workload callers use {!run_one_crash_jobs}. *)
+
+val run_one_crash_jobs : config -> jobs:jobs -> point:string -> hit:int -> result
+(** {!run_one_crash} over a {!jobs} value from {!jobs_of}. *)
 
 val sweep : ?config:config -> unit -> result list
 (** Deterministic sweep.  Dry-runs the workload under

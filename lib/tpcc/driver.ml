@@ -37,6 +37,10 @@ type config = {
   params : Params.t;
   acc_options : Acc_core.Runtime.options;
   acc_semantics : Acc_lock.Mode.semantics option;
+  workload : Acc_workload.t option;
+      (** [None] runs TPC-C with this config's scale knobs (the historical
+          behavior); [Some w] runs any {!Acc_workload.S} plugin, ignoring
+          the TPC-C-specific fields *)
 }
 
 let default_config =
@@ -56,7 +60,15 @@ let default_config =
     params = Params.default;
     acc_options = Acc_core.Runtime.default_options;
     acc_semantics = None;
+    workload = None;
   }
+
+let workload_of cfg =
+  match cfg.workload with
+  | Some w -> w
+  | None ->
+      Tpcc_workload.make ~params:cfg.params ~skewed_district:cfg.skewed_district
+        ~min_items:cfg.min_items ~max_items:cfg.max_items ()
 
 type report = {
   completed : int;
@@ -180,12 +192,14 @@ let with_txn_effects : type r. state -> (unit -> r) -> r =
     }
 
 let run cfg =
-  Params.validate cfg.params;
-  let db = Load.populate ~seed:cfg.seed cfg.params in
+  if cfg.workload = None then Params.validate cfg.params;
+  let module W = (val workload_of cfg : Acc_workload.S) in
+  W.reset_global ();
+  let db = W.populate ~seed:cfg.seed in
   let sem =
     match cfg.system with
     | Baseline -> Mode.no_semantics
-    | Acc -> Option.value ~default:Txns.semantics cfg.acc_semantics
+    | Acc -> Option.value ~default:W.semantics cfg.acc_semantics
   in
   let eng = Executor.create ~sem db in
   let sim = Sim.create () in
@@ -224,44 +238,33 @@ let run cfg =
   let forced_aborts = ref 0 in
   let compensations = ref 0 in
   let base_env =
-    {
-      Txns.gen = Random_gen.create ~seed:(cfg.seed * 31 + 1) cfg.params;
-      params = cfg.params;
-      skewed_district = cfg.skewed_district;
-      min_items = cfg.min_items;
-      max_items = cfg.max_items;
-      new_order_abort_rate = 0.01;
-      remote_customer_rate = 0.15;
-      remote_item_rate = 0.01;
-      pace =
-        (fun () -> if cfg.compute_between > 0.0 then Sim.delay cfg.compute_between);
-    }
+    W.make_env
+      ~pace:(fun () -> if cfg.compute_between > 0.0 then Sim.delay cfg.compute_between)
+      ~seed:((cfg.seed * 31) + 1) ()
   in
   let terminal term_id =
-    let env = { base_env with Txns.gen = Random_gen.split base_env.Txns.gen } in
+    let env = W.split_env base_env in
     let think_g = Prng.create ~seed:((cfg.seed * 1009) + term_id) in
     let rec loop () =
       if Sim.now sim < cfg.horizon then begin
         Sim.delay (Prng.exponential think_g ~mean:cfg.think_mean);
         if Sim.now sim < cfg.horizon then begin
-          let input = Txns.gen_input env in
+          let input = W.gen_input env in
           let t0 = Sim.now sim in
           let outcome =
             with_txn_effects st (fun () ->
                 match cfg.system with
                 | Baseline -> begin
-                    match Txns.run_flat eng env input with
+                    match W.run_flat eng env input with
                     | `Committed -> `Done
                     | `Aborted -> `Forced_abort
                   end
                 | Acc -> begin
-                    match Txns.run_acc ~options:cfg.acc_options eng env input with
+                    match W.run_acc ~options:cfg.acc_options eng env input with
                     | Runtime.Committed -> `Done
-                    | Runtime.Compensated _ -> begin
-                        match input with
-                        | Txns.New_order { no_fail_last = true; _ } -> `Forced_abort_compensated
-                        | _ -> `Compensated
-                      end
+                    | Runtime.Compensated _ ->
+                        if W.forced_abort input then `Forced_abort_compensated
+                        else `Compensated
                   end)
           in
           let t1 = Sim.now sim in
@@ -275,7 +278,7 @@ let run cfg =
           if t0 >= cfg.warmup && t1 <= cfg.horizon then begin
             incr completed;
             Tally.add response (t1 -. t0);
-            Tally.add (type_tally (Txns.txn_name input)) (t1 -. t0)
+            Tally.add (type_tally (W.txn_name input)) (t1 -. t0)
           end;
           loop ()
         end
@@ -349,5 +352,5 @@ let run cfg =
     compensations = !compensations;
     cpu_utilization = Sim.Resource.utilization servers_pool ~at:quiesced_at;
     quiesced_at;
-    violations = Consistency.check (Executor.db eng);
+    violations = W.consistency (Executor.db eng);
   }

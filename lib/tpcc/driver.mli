@@ -40,11 +40,20 @@ type config = {
   acc_semantics : Acc_lock.Mode.semantics option;
       (** override the interference oracle for the ACC side (e.g. tables
           built without the hand-proved commutativity facts); [None] uses
-          {!Txns.semantics} *)
+          the workload's own semantics *)
+  workload : Acc_workload.t option;
+      (** [None] (the default) runs TPC-C built from this config's scale
+          knobs — the historical behavior, generator-stream-identical for a
+          given seed; [Some w] runs any {!Acc_workload.S} plugin, and the
+          TPC-C-specific fields ([params], [skewed_district], [min_items],
+          [max_items]) are ignored *)
 }
 
 val default_config : config
 (** 3 servers, 10 terminals, standard mix, no skew, no added compute time. *)
+
+val workload_of : config -> Acc_workload.t
+(** The plugin a config resolves to (TPC-C when [workload = None]). *)
 
 type report = {
   completed : int;  (** transactions finished inside the horizon *)

@@ -64,6 +64,10 @@ type config = {
       (** per-domain WAL buffer capacity in records; [0] keeps the direct
           (append = flush) WAL unless [group_commit] forces the default
           capacity *)
+  workload : Acc_workload.t option;
+      (** [None] runs TPC-C from this config's scale knobs (the historical
+          behavior); [Some w] runs any {!Acc_workload.S} plugin, ignoring
+          the TPC-C-specific fields ([params], [mix], [skewed_district]) *)
 }
 
 let default_config =
@@ -89,7 +93,19 @@ let default_config =
     fast_path = true;
     group_commit = false;
     wal_buffer = 0;
+    workload = None;
   }
+
+let workload_of cfg =
+  match cfg.workload with
+  | Some w -> w
+  | None ->
+      Tpcc_workload.make ~params:cfg.params ~skewed_district:cfg.skewed_district
+        ~mix:
+          (match cfg.mix with
+          | Standard -> Tpcc_workload.Standard
+          | New_order_payment -> Tpcc_workload.New_order_payment)
+        ()
 
 (* the WAL policy a config asks for: [--wal-buffer N] buffers, and
    [--group-commit] additionally merges concurrent syncs (forcing the
@@ -146,9 +162,18 @@ type report = {
   wal_flushes : int;
       (** WAL durability round trips: one per append with a direct WAL, one
           per flushed batch under group commit *)
+  workload_name : string;
+  step_label : int -> string;
+      (** render a step-type id in this run's workload ("txn.step") *)
+  step_txn_type : int -> string option;
+      (** the owning transaction type of a step-type id, if declared *)
+  extras : (string * float) list;
+      (** workload-specific counters (e.g. the long-reader workload's shadow
+          predicate-lock statistics) *)
 }
 
-(* step-type naming, shared with the CLI and bench output *)
+(* step-type naming for the historical TPC-C workload, shared with the CLI
+   and bench output; per-run reports carry their own workload's renderers *)
 let workload_steps = lazy (Program.all_steps Txns.workload)
 
 let step_def id =
@@ -167,10 +192,10 @@ let step_txn_type id =
   | Some s when s.Program.sd_txn_type <> "" -> Some s.Program.sd_txn_type
   | Some _ | None -> None
 
-(* Aggregate per-step-type conflict rows up to TPC-C transaction types.
-   Steps of undeclared type (the flat baseline's legacy step 0, overflow)
-   land under "(flat)". *)
-let conflicts_by_txn_type conflicts =
+(* Aggregate per-step-type conflict rows up to transaction types.  Steps of
+   undeclared type (the flat baseline's legacy step 0, overflow) land under
+   "(flat)". *)
+let conflicts_by_txn_type_with ~step_txn_type conflicts =
   let open Conflict_accounting in
   let name_of row =
     match step_txn_type row.r_step_type with Some t -> t | None -> "(flat)"
@@ -202,20 +227,17 @@ let conflicts_by_txn_type conflicts =
       (name, agg))
     names
 
-let gen_mixed_input cfg env =
-  match cfg.mix with
-  | Standard -> Txns.gen_input env
-  | New_order_payment ->
-      if Prng.chance (Random_gen.prng env.Txns.gen) 0.5 then
-        Txns.New_order (Txns.gen_new_order env)
-      else Txns.Payment (Txns.gen_payment env)
+let conflicts_by_txn_type conflicts = conflicts_by_txn_type_with ~step_txn_type conflicts
 
 let run cfg =
   if cfg.domains < 1 then invalid_arg "Parallel_driver.run: domains must be >= 1";
-  Params.validate cfg.params;
-  let db = Load.populate ~seed:cfg.seed cfg.params in
+  if cfg.workload = None then Params.validate cfg.params;
+  let module W = (val workload_of cfg : Acc_workload.S) in
+  W.reset_global ();
+  let step_info = Acc_workload.Step_info.of_workload W.workload in
+  let db = W.populate ~seed:cfg.seed in
   let sem =
-    match cfg.system with Baseline -> Mode.no_semantics | Acc -> Txns.semantics
+    match cfg.system with Baseline -> Mode.no_semantics | Acc -> W.semantics
   in
   let engine =
     Engine.create ~shards:cfg.shards ~detector_cadence:cfg.detector_cadence
@@ -224,11 +246,7 @@ let run cfg =
       ~wal_policy:(wal_policy_of cfg) ~sem db
   in
   let eng = Engine.executor engine in
-  let max_step_id =
-    List.fold_left
-      (fun m s -> max m s.Program.sd_id)
-      Program.legacy_step_id (Lazy.force workload_steps)
-  in
+  let max_step_id = step_info.Acc_workload.Step_info.max_step_id in
   let hists = Array.init (max_step_id + 1) (fun _ -> Metrics.Histogram.create ()) in
   let accounting =
     if cfg.accounting then Some (Conflict_accounting.create ()) else None
@@ -278,17 +296,11 @@ let run cfg =
      thread-safe, and splitting up front makes each worker's stream a pure
      function of (seed, worker index) regardless of domain interleaving *)
   let base_env =
-    {
-      (Txns.default_env ~seed:((cfg.seed * 31) + 1) cfg.params) with
-      Txns.skewed_district = cfg.skewed_district;
-      pace =
-        (fun () -> if cfg.compute_between > 0.0 then Unix.sleepf cfg.compute_between);
-    }
+    W.make_env
+      ~pace:(fun () -> if cfg.compute_between > 0.0 then Unix.sleepf cfg.compute_between)
+      ~seed:((cfg.seed * 31) + 1) ()
   in
-  let envs =
-    Array.init cfg.domains (fun _ ->
-        { base_env with Txns.gen = Random_gen.split base_env.Txns.gen })
-  in
+  let envs = Array.init cfg.domains (fun _ -> W.split_env base_env) in
   let started = Unix.gettimeofday () in
   let deadline = started +. cfg.duration in
   (* warmup applies to duration mode only; fixed-count runs record everything *)
@@ -320,21 +332,18 @@ let run cfg =
     let stop () = cfg.txns_per_domain = None && Unix.gettimeofday () >= deadline in
     let run_flat_outcome () =
       Engine.run_txn ~jitter (fun () ->
-          let input = gen_mixed_input cfg env in
-          match Txns.run_flat ~stop eng env input with
+          let input = W.gen_input env in
+          match W.run_flat ~stop eng env input with
           | `Committed -> `Done
           | `Aborted -> `Forced_abort)
     in
     let run_acc_outcome () =
       Engine.run_txn ~jitter (fun () ->
-          let input = gen_mixed_input cfg env in
-          match Txns.run_acc ~options:cfg.acc_options ~stop eng env input with
+          let input = W.gen_input env in
+          match W.run_acc ~options:cfg.acc_options ~stop eng env input with
           | Runtime.Committed -> `Done
-          | Runtime.Compensated _ -> begin
-              match input with
-              | Txns.New_order { no_fail_last = true; _ } -> `Forced_abort_compensated
-              | _ -> `Compensated
-            end)
+          | Runtime.Compensated _ ->
+              if W.forced_abort input then `Forced_abort_compensated else `Compensated)
     in
     while continue () do
       decr budget;
@@ -411,7 +420,7 @@ let run cfg =
       (if measured > 0.0 then float_of_int (Metrics.Counter.get committed) /. measured
        else 0.0);
     per_domain_committed;
-    violations = Consistency.check (Executor.db eng);
+    violations = W.consistency (Executor.db eng);
     leaked_locks = Sharded_lock_table.lock_count locks;
     leaked_waiters = Sharded_lock_table.waiter_count locks;
     step_hist =
@@ -432,15 +441,19 @@ let run cfg =
     fast_path_attempts = Sharded_lock_table.fast_attempts locks;
     fast_path_hits = Sharded_lock_table.fast_hits locks;
     wal_flushes = Acc_wal.Log.flush_count (Executor.log eng);
+    workload_name = W.name;
+    step_label = step_info.Acc_workload.Step_info.label;
+    step_txn_type = step_info.Acc_workload.Step_info.txn_type;
+    extras = W.extras ();
   }
 
-let pp_step_hist ppf hist =
+let pp_step_hist ~label ppf hist =
   Format.fprintf ppf "@[<v>step latency (s)     %-24s %8s %10s %10s %10s@,"
     "" "count" "p50" "p95" "p99";
   List.iter
     (fun (st, h) ->
       Format.fprintf ppf "                     %-24s %8d %10.6f %10.6f %10.6f@,"
-        (step_label st)
+        (label st)
         (Metrics.Histogram.count h)
         (Metrics.Histogram.percentile h 0.50)
         (Metrics.Histogram.percentile h 0.95)
@@ -481,8 +494,11 @@ let pp_report ppf r =
       r.lock_timeouts r.shed r.degraded_trips r.degraded_runs
       (if r.lock_wait_count = 0 then 0. else r.lock_wait_p99)
       r.lock_wait_count r.peak_queue_depth r.peak_oldest_wait;
-  if r.step_hist <> [] then Format.fprintf ppf "@.%a" pp_step_hist r.step_hist;
+  if r.extras <> [] then
+    List.iter (fun (k, v) -> Format.fprintf ppf "@.%-20s %.0f" k v) r.extras;
+  if r.step_hist <> [] then
+    Format.fprintf ppf "@.%a" (pp_step_hist ~label:r.step_label) r.step_hist;
   if r.conflicts <> [] then
     Format.fprintf ppf "@.%a"
-      (Conflict_accounting.pp_table ~label:step_label ~header:"lock decisions")
+      (Conflict_accounting.pp_table ~label:r.step_label ~header:"lock decisions")
       r.conflicts

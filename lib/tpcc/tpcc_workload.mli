@@ -1,0 +1,24 @@
+(** TPC-C as a first-class {!Acc_workload.S} plugin.
+
+    The drivers' historical defaults are this module's defaults, so
+    [make ()] reproduces the exact pre-interface TPC-C behavior (same
+    generator streams for the same seed). *)
+
+type mix = Standard | New_order_payment
+
+val make :
+  ?params:Params.t ->
+  ?skewed_district:bool ->
+  ?mix:mix ->
+  ?min_items:int ->
+  ?max_items:int ->
+  ?abort_rate:float ->
+  unit ->
+  Acc_workload.t
+
+val of_spec : Acc_workload.spec -> Acc_workload.t
+(** [spec.scale] is the warehouse count; [spec.skew > 0] turns on the
+    skewed-district hotspot; mixes: ["standard"], ["new-order-payment"]. *)
+
+val register : unit -> unit
+(** Idempotently add ["tpcc"] to {!Acc_workload.Registry}. *)

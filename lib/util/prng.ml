@@ -83,3 +83,41 @@ let alpha_string g ~min ~max =
   String.init len (fun _ -> Char.chr (Char.code 'a' + int g 26))
 
 let numeric_string g len = String.init len (fun _ -> Char.chr (Char.code '0' + int g 10))
+
+(* Zipfian sampler after Gray et al. (SIGMOD '94), the YCSB formulation:
+   precompute the normalization constants once, then each draw costs one
+   uniform and a couple of [**].  [theta = 0.] degenerates to uniform. *)
+type zipf = { zn : int; z_theta : float; z_zetan : float; z_alpha : float; z_eta : float }
+
+let zipf ~n ~theta =
+  assert (n > 0);
+  assert (theta >= 0. && theta < 1.);
+  if theta = 0. then { zn = n; z_theta = 0.; z_zetan = 0.; z_alpha = 0.; z_eta = 0. }
+  else begin
+    let zeta m = 
+      let s = ref 0. in
+      for i = 1 to m do s := !s +. (1. /. (float_of_int i ** theta)) done;
+      !s
+    in
+    let zetan = zeta n in
+    let zeta2 = zeta (min 2 n) in
+    let alpha = 1. /. (1. -. theta) in
+    let eta = (1. -. ((2. /. float_of_int n) ** (1. -. theta))) /. (1. -. (zeta2 /. zetan)) in
+    { zn = n; z_theta = theta; z_zetan = zetan; z_alpha = alpha; z_eta = eta }
+  end
+
+let zipf_draw g z =
+  if z.z_theta = 0. then int g z.zn
+  else begin
+    let u = float g 1.0 in
+    let uz = u *. z.z_zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. (0.5 ** z.z_theta) then 1
+    else
+      let rank =
+        float_of_int z.zn
+        *. (((z.z_eta *. u) -. z.z_eta +. 1.) ** z.z_alpha)
+      in
+      let r = int_of_float rank in
+      if r >= z.zn then z.zn - 1 else if r < 0 then 0 else r
+  end

@@ -56,3 +56,16 @@ val alpha_string : t -> min:int -> max:int -> string
 
 val numeric_string : t -> int -> string
 (** Random string of digits of exactly the given length. *)
+
+type zipf
+(** Precomputed constants for a Zipfian distribution over ranks
+    [0 .. n-1] (rank 0 most popular). *)
+
+val zipf : n:int -> theta:float -> zipf
+(** Gray et al.'s generator (the YCSB formulation): the normalization
+    constants are computed once here, in O(n), so each {!zipf_draw} is
+    O(1).  [theta] in [\[0, 1)]; [theta = 0.] is exactly uniform and
+    skew grows with [theta]. *)
+
+val zipf_draw : t -> zipf -> int
+(** A rank in [0 .. n-1], Zipf-distributed under the given constants. *)

@@ -1,0 +1,14 @@
+(* Root of the workload plugin library: the interface, the registry, and
+   the bundled workloads (DESIGN.md §19).  TPC-C's plugin lives in
+   [Acc_tpcc.Tpcc_workload] (it needs the TPC-C library); call
+   [Builtin.ensure ()] plus [Acc_tpcc.Tpcc_workload.register ()] — or go
+   through [Acc_harness.Cli] — to have every workload registered. *)
+
+include Workload_intf
+module Smallbank = Smallbank
+module Tatp = Tatp
+module Hotspot = Hotspot
+module Long_reader = Long_reader
+module Order_processing = Order_processing
+module Stock_trading = Stock_trading
+module Builtin = Builtin

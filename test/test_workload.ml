@@ -1,0 +1,148 @@
+(* Tests for acc.workload: the plugin registry, generic consistency of every
+   registered workload under the sequential and multicore engines, and the
+   directed write-skew test — the SmallBank invariant checker must catch the
+   overdraw a deliberately weakened interference table lets through, and the
+   shipped table must prevent it. *)
+
+module W = Acc_workload
+module P = Acc_tpcc.Parallel_driver
+module SB = Acc_workload.Smallbank
+module Executor = Acc_txn.Executor
+module Schedule = Acc_txn.Schedule
+module Txn_effect = Acc_txn.Txn_effect
+module Runtime = Acc_core.Runtime
+module Prng = Acc_util.Prng
+
+let registered () =
+  W.Builtin.ensure ();
+  Acc_tpcc.Tpcc_workload.register ();
+  W.Registry.names ()
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry () =
+  let names = List.map fst (registered ()) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "tpcc"; "smallbank"; "tatp"; "hotspot"; "longreader"; "order-processing"; "stock-trading" ];
+  Alcotest.(check bool) "ensure is idempotent" true
+    (List.length (registered ()) = List.length names);
+  match W.Registry.find "no-such-workload" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "find of an unknown name returned a workload"
+
+let test_zipf () =
+  let g = Prng.create ~seed:5 in
+  let z = Prng.zipf ~n:100 ~theta:0.9 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Prng.zipf_draw g z in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* the defining property: rank 0 dominates any deep-tail rank *)
+  Alcotest.(check bool) "skewed toward rank 0" true (counts.(0) > 10 * counts.(99))
+
+(* --- every registered workload, sequential and multicore ---------------- *)
+
+(* One spec per workload, small, fixed seed: the run must end with that
+   workload's own consistency check clean and no locks or waiters leaked,
+   at 1 domain (sequential order) and at 4 (real interleaving), under both
+   the ACC and the strict-2PL flat baseline. *)
+let run_registered name ~domains ~system =
+  let wl =
+    match W.Registry.find name with
+    | Some make -> make { W.scale = 1; skew = 0.; mix = None; abort_rate = None }
+    | None -> Alcotest.failf "%s not registered" name
+  in
+  let r =
+    P.run
+      {
+        P.default_config with
+        P.system;
+        domains;
+        duration = 0.;
+        txns_per_domain = Some 40;
+        compute_between = 0.;
+        seed = 11;
+        workload = Some wl;
+      }
+  in
+  Alcotest.(check (list string)) (name ^ ": consistency") [] r.P.violations;
+  Alcotest.(check int) (name ^ ": leaked locks") 0 r.P.leaked_locks;
+  Alcotest.(check int) (name ^ ": leaked waiters") 0 r.P.leaked_waiters;
+  Alcotest.(check bool) (name ^ ": committed") true (r.P.committed > 0);
+  Alcotest.(check string) (name ^ ": report names itself") name r.P.workload_name
+
+let test_all_seq () =
+  List.iter
+    (fun (name, _) -> run_registered name ~domains:1 ~system:P.Acc)
+    (registered ())
+
+let test_all_parallel () =
+  List.iter
+    (fun (name, _) -> run_registered name ~domains:4 ~system:P.Acc)
+    (registered ())
+
+let test_all_baseline () =
+  List.iter
+    (fun (name, _) -> run_registered name ~domains:2 ~system:P.Baseline)
+    (registered ())
+
+(* --- directed write-skew ------------------------------------------------ *)
+
+(* Two write_checks of 400 against one account endowed with 600, run with
+   batched footprints so both verify-funds steps hold their S locks — and
+   attach wc_funds — before either deduct is admitted.  The shipped
+   interference table makes each deduct (and its void-check compensation
+   lock) interfere with the other's held wc_funds assertion: the crosswise
+   blocks are a deadlock, the victim policy compensates one, and at most
+   one deduct lands (total stays >= 0).  The weakened table declares the
+   deducts compatible with wc_funds — the false claim — so both stale
+   decisions execute and the account is jointly overdrawn, which
+   [SB.consistency] must report. *)
+let write_skew_race sem =
+  SB.reset_global ();
+  let db = SB.populate ~accounts:4 ~seed:3 in
+  let eng = Executor.create ~sem db in
+  let env =
+    SB.make_env
+      ~pace:(fun () -> Txn_effect.yield ())
+      ~accounts:4 ~skew:0. ~abort_rate:0. ~mix:None ~seed:1 ()
+  in
+  let options = { Runtime.default_options with Runtime.batch_footprints = true } in
+  let run acct =
+    let inst = SB.write_check_instance env ~acct ~amount:400. ~fail:false in
+    fun () -> ignore (Runtime.run eng ~options inst)
+  in
+  Schedule.run ~policy:Runtime.victim_policy eng [ run 1; run 1 ];
+  SB.consistency (Executor.db eng)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_write_skew_weakened () =
+  let violations = write_skew_race SB.semantics_weakened in
+  Alcotest.(check bool) "weakened table lets the overdraw through" true
+    (List.exists (fun v -> contains v "overdrawn") violations)
+
+let test_write_skew_guarded () =
+  Alcotest.(check (list string)) "shipped table keeps the invariant" []
+    (write_skew_race SB.semantics)
+
+let suites =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "registry: all plugins present" `Quick test_registry;
+        Alcotest.test_case "zipf: range and skew" `Quick test_zipf;
+        Alcotest.test_case "every workload: 1-domain acc" `Quick test_all_seq;
+        Alcotest.test_case "every workload: 4-domain acc" `Slow test_all_parallel;
+        Alcotest.test_case "every workload: 2-domain 2pl" `Slow test_all_baseline;
+        Alcotest.test_case "write-skew: weakened table caught" `Quick test_write_skew_weakened;
+        Alcotest.test_case "write-skew: shipped table clean" `Quick test_write_skew_guarded;
+      ] );
+  ]
